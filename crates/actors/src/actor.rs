@@ -1,0 +1,105 @@
+//! Actors: private state plus a repeated behaviour clause (§4).
+
+/// What the runtime should do after one execution of a behaviour clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Run the behaviour again (the default — Ensemble behaviours repeat
+    /// until explicitly told to stop).
+    Continue,
+    /// Stop the actor; its thread exits and its state is dropped
+    /// (the garbage-collection step in the Ensemble VM).
+    Stop,
+}
+
+/// Per-actor context handed to each behaviour execution.
+#[derive(Debug)]
+pub struct ActorCtx {
+    name: String,
+    stage: String,
+    iterations: u64,
+}
+
+impl ActorCtx {
+    pub(crate) fn new(name: String, stage: String) -> ActorCtx {
+        ActorCtx {
+            name,
+            stage,
+            iterations: 0,
+        }
+    }
+
+    /// The actor's instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The name of the stage (memory space) the actor runs in.
+    pub fn stage(&self) -> &str {
+        &self.stage
+    }
+
+    /// How many times the behaviour clause has completed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    pub(crate) fn bump(&mut self) {
+        self.iterations += 1;
+    }
+}
+
+/// An actor: encapsulated state with a single thread of control.
+///
+/// The runtime calls [`Actor::constructor`] once, then repeats
+/// [`Actor::behaviour`] until it returns [`Control::Stop`] (or a channel
+/// the behaviour depends on closes and the behaviour chooses to stop).
+pub trait Actor: Send + 'static {
+    /// One-time initialisation, mirroring Ensemble's `constructor()` clause.
+    fn constructor(&mut self, _ctx: &mut ActorCtx) {}
+
+    /// One execution of the behaviour clause.
+    fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control;
+}
+
+/// Adapter so plain closures can serve as actors:
+/// `stage.spawn_fn("name", |ctx| { ...; Control::Stop })`.
+pub struct FnActor<F>(pub F);
+
+impl<F> Actor for FnActor<F>
+where
+    F: FnMut(&mut ActorCtx) -> Control + Send + 'static,
+{
+    fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control {
+        (self.0)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_tracks_identity() {
+        let ctx = ActorCtx::new("snd".into(), "home".into());
+        assert_eq!(ctx.name(), "snd");
+        assert_eq!(ctx.stage(), "home");
+        assert_eq!(ctx.iterations(), 0);
+    }
+
+    #[test]
+    fn fn_actor_delegates() {
+        let mut counter = 0;
+        let mut a = FnActor(move |_ctx: &mut ActorCtx| {
+            counter += 1;
+            if counter >= 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        let mut ctx = ActorCtx::new("a".into(), "s".into());
+        assert_eq!(a.behaviour(&mut ctx), Control::Continue);
+        assert_eq!(a.behaviour(&mut ctx), Control::Continue);
+        assert_eq!(a.behaviour(&mut ctx), Control::Stop);
+    }
+}

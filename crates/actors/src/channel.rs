@@ -1,0 +1,564 @@
+//! Typed, unidirectional channels with Ensemble semantics (§4).
+//!
+//! * Channels connect an [`Out`] endpoint to one or more [`In`] endpoints.
+//! * An `In` may carry an optional buffer; with no buffer (or a full one)
+//!   communication is synchronous and blocking — the sender rendezvouses
+//!   with the receiver, exactly as the paper describes.
+//! * `send` **duplicates** the value (shared-nothing semantics: sender and
+//!   receiver each own an independent copy). `send_moved` transfers
+//!   ownership without a copy — this is Ensemble's `mov`. The paper's
+//!   compile-time inter-procedural check that a moved value is not touched
+//!   again is exactly Rust's move checker, so it needs no runtime machinery
+//!   here.
+//! * Endpoints are first-class values that can themselves be sent through
+//!   channels — the dynamic-channel pattern the OpenCL settings protocol
+//!   relies on (Listing 3 of the paper).
+//!
+//! Topologies: `connect` may be called many times on one `Out` (1-n;
+//! deliveries rotate round-robin across receivers) and many `Out`s may
+//! connect to one `In` (n-1). `broadcast` additionally clones to *every*
+//! connected receiver.
+//!
+//! Disconnection: a receiver learns that a channel is closed when every
+//! connection made to it has been dropped (and the buffer is drained).
+//! Connections are tracked explicitly — the `In` endpoint itself holds a
+//! sender handle for future `connect` calls, so raw crossbeam disconnect
+//! detection would never fire; instead each connection carries a guard and
+//! blocked receives poll at a coarse interval while also waiting on the
+//! underlying channel.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError as XSendError, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned when a channel operation cannot complete because the
+/// other side is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Every connected receiver has been dropped (send side).
+    NoReceivers,
+    /// Every connection to this receiver has been dropped and the buffer is
+    /// drained (receive side).
+    Closed,
+    /// The `Out` endpoint has no connections yet.
+    NotConnected,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::NoReceivers => write!(f, "all receivers disconnected"),
+            ChannelError::Closed => write!(f, "channel closed"),
+            ChannelError::NotConnected => write!(f, "out endpoint is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Receiver-side connection bookkeeping shared with every connection guard.
+#[derive(Debug, Default)]
+struct InState {
+    /// Live connections into this endpoint.
+    connected: AtomicUsize,
+    /// Whether any connection was ever made (an unconnected endpoint blocks
+    /// rather than reporting `Closed` — it may be connected later).
+    ever_connected: AtomicBool,
+}
+
+/// One live `Out` → `In` connection. Dropping the guard (when the owning
+/// `Out` network drops) decrements the receiver's connection count.
+#[derive(Debug)]
+struct Connection<T> {
+    sender: Sender<T>,
+    state: Arc<InState>,
+}
+
+impl<T> Drop for Connection<T> {
+    fn drop(&mut self) {
+        self.state.connected.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// How long a blocked receive waits on the underlying channel before
+/// re-checking whether every connection has dropped.
+const DISCONNECT_POLL: Duration = Duration::from_millis(2);
+
+/// The receiving endpoint of a typed channel.
+///
+/// Single-consumer: `In` is deliberately not `Clone`. It is `Send`, so it
+/// can travel through other channels (dynamic channel composition).
+#[derive(Debug)]
+pub struct In<T> {
+    sender: Sender<T>,
+    receiver: Receiver<T>,
+    state: Arc<InState>,
+    capacity: usize,
+}
+
+impl<T> In<T> {
+    /// Create an unbuffered (rendezvous) input endpoint: `new in T`.
+    pub fn new() -> In<T> {
+        In::with_buffer(0)
+    }
+
+    /// Create an input endpoint with an asynchrony buffer of `capacity`
+    /// messages. Sends block once the buffer fills (the paper's "reverts to
+    /// synchronous" rule).
+    pub fn with_buffer(capacity: usize) -> In<T> {
+        let (sender, receiver) = bounded(capacity);
+        In {
+            sender,
+            receiver,
+            state: Arc::new(InState::default()),
+            capacity,
+        }
+    }
+
+    /// Buffer capacity (0 = rendezvous).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live connections into this endpoint.
+    pub fn connections(&self) -> usize {
+        self.state.connected.load(Ordering::Acquire)
+    }
+
+    /// Block until a value arrives: `receive data from input`.
+    ///
+    /// Returns [`ChannelError::Closed`] once every connection has dropped
+    /// and the buffer is drained. An endpoint that was *never* connected
+    /// blocks (it may be connected dynamically at any time).
+    pub fn receive(&self) -> Result<T, ChannelError> {
+        loop {
+            match self.receiver.recv_timeout(DISCONNECT_POLL) {
+                Ok(v) => return Ok(v),
+                Err(RecvTimeoutError::Disconnected) => return Err(ChannelError::Closed),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.state.ever_connected.load(Ordering::Acquire)
+                        && self.state.connected.load(Ordering::Acquire) == 0
+                    {
+                        // Final drain: a value may have landed between the
+                        // timeout and the check.
+                        return match self.receiver.try_recv() {
+                            Ok(v) => Ok(v),
+                            Err(_) => Err(ChannelError::Closed),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no message is waiting.
+    pub fn try_receive(&self) -> Result<Option<T>, ChannelError> {
+        match self.receiver.try_recv() {
+            Ok(v) => Ok(Some(v)),
+            Err(crossbeam::channel::TryRecvError::Empty) => {
+                if self.state.ever_connected.load(Ordering::Acquire)
+                    && self.state.connected.load(Ordering::Acquire) == 0
+                {
+                    // Final drain: a message may have landed between the
+                    // empty poll and the connection-count check (same
+                    // window `receive` guards against).
+                    match self.receiver.try_recv() {
+                        Ok(v) => Ok(Some(v)),
+                        Err(_) => Err(ChannelError::Closed),
+                    }
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(ChannelError::Closed),
+        }
+    }
+
+    fn make_connection(&self) -> Connection<T> {
+        self.state.connected.fetch_add(1, Ordering::AcqRel);
+        self.state.ever_connected.store(true, Ordering::Release);
+        Connection {
+            sender: self.sender.clone(),
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// A connector for this endpoint: a cheap token that lets `Out`s be
+    /// connected to this `In` *after* the `In` itself has moved into an
+    /// actor. This is what makes Ensemble's "reconnect the configuration
+    /// channel to an appropriate kernel actor" (§6.1.1) expressible: hold
+    /// the connector, move the endpoint.
+    pub fn connector(&self) -> InConnector<T> {
+        InConnector {
+            sender: self.sender.clone(),
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// A token referring to some `In` endpoint, usable to connect `Out`s to it
+/// even after the endpoint moved into its owning actor.
+#[derive(Debug, Clone)]
+pub struct InConnector<T> {
+    sender: Sender<T>,
+    state: Arc<InState>,
+}
+
+impl<T> Default for In<T> {
+    fn default() -> Self {
+        In::new()
+    }
+}
+
+/// The sending endpoint of a typed channel.
+///
+/// Cloning an `Out` yields another sender into the same connection set
+/// (n-1 composition); connections live as long as any clone does.
+#[derive(Debug, Clone)]
+pub struct Out<T> {
+    targets: Arc<Mutex<Targets<T>>>,
+}
+
+#[derive(Debug)]
+struct Targets<T> {
+    connections: Vec<Arc<Connection<T>>>,
+    next: usize,
+}
+
+impl<T> Out<T> {
+    /// Create an unconnected output endpoint: `new out T`.
+    pub fn new() -> Out<T> {
+        Out {
+            targets: Arc::new(Mutex::new(Targets {
+                connections: Vec::new(),
+                next: 0,
+            })),
+        }
+    }
+
+    /// Connect this output to an input: `connect s.output to r.input`.
+    pub fn connect(&self, input: &In<T>) {
+        let conn = Arc::new(input.make_connection());
+        self.targets.lock().connections.push(conn);
+    }
+
+    /// Connect through a connector token (the endpoint itself may already
+    /// live inside another actor).
+    pub fn connect_via(&self, connector: &InConnector<T>) {
+        connector.state.connected.fetch_add(1, Ordering::AcqRel);
+        connector.state.ever_connected.store(true, Ordering::Release);
+        let conn = Arc::new(Connection {
+            sender: connector.sender.clone(),
+            state: Arc::clone(&connector.state),
+        });
+        self.targets.lock().connections.push(conn);
+    }
+
+    /// Drop every connection of this output — the first half of Ensemble's
+    /// runtime *reconnect*. Receivers whose last connection this was will
+    /// observe closure once their buffers drain.
+    pub fn disconnect_all(&self) {
+        self.targets.lock().connections.clear();
+    }
+
+    /// Number of currently connected receivers.
+    pub fn fan_out(&self) -> usize {
+        self.targets.lock().connections.len()
+    }
+
+    fn send_inner(&self, mut value: T) -> Result<(), ChannelError> {
+        loop {
+            // Pick the next live target round-robin without holding the lock
+            // across the (possibly blocking) send.
+            let target = {
+                let mut t = self.targets.lock();
+                if t.connections.is_empty() {
+                    return Err(ChannelError::NotConnected);
+                }
+                let idx = t.next % t.connections.len();
+                t.next = t.next.wrapping_add(1);
+                Arc::clone(&t.connections[idx])
+            };
+            match target.sender.send(value) {
+                Ok(()) => return Ok(()),
+                Err(XSendError(v)) => {
+                    // Receiver vanished: forget it and retry with the rest.
+                    value = v;
+                    let mut t = self.targets.lock();
+                    t.connections
+                        .retain(|c| !c.sender.same_channel(&target.sender));
+                    if t.connections.is_empty() {
+                        return Err(ChannelError::NoReceivers);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Send a **duplicate** of `value` (the shared-nothing default): the
+    /// sender keeps its copy, the receiver gets an independent one.
+    pub fn send(&self, value: &T) -> Result<(), ChannelError>
+    where
+        T: Clone,
+    {
+        self.send_inner(value.clone())
+    }
+
+    /// Send `value` by **moving** it — Ensemble's `mov` channels. No copy
+    /// is made; the Rust move checker enforces, at compile time, that the
+    /// sender never touches the value again (the paper implements the same
+    /// guarantee with inter-procedural analysis in the Ensemble compiler).
+    pub fn send_moved(&self, value: T) -> Result<(), ChannelError> {
+        self.send_inner(value)
+    }
+
+    /// Deliver a duplicate to *every* connected receiver.
+    pub fn broadcast(&self, value: &T) -> Result<(), ChannelError>
+    where
+        T: Clone,
+    {
+        let connections = self.targets.lock().connections.clone();
+        if connections.is_empty() {
+            return Err(ChannelError::NotConnected);
+        }
+        let mut delivered = 0;
+        let mut dead: Vec<Sender<T>> = Vec::new();
+        for c in connections {
+            if c.sender.send(value.clone()).is_ok() {
+                delivered += 1;
+            } else {
+                dead.push(c.sender.clone());
+            }
+        }
+        if !dead.is_empty() {
+            // Prune dropped receivers, as send_inner does.
+            self.targets
+                .lock()
+                .connections
+                .retain(|c| !dead.iter().any(|d| d.same_channel(&c.sender)));
+        }
+        if delivered == 0 {
+            Err(ChannelError::NoReceivers)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<T> Default for Out<T> {
+    fn default() -> Self {
+        Out::new()
+    }
+}
+
+/// Create a pre-connected rendezvous channel pair (convenience for the
+/// common 1-1 case).
+pub fn channel<T>() -> (Out<T>, In<T>) {
+    let i = In::new();
+    let o = Out::new();
+    o.connect(&i);
+    (o, i)
+}
+
+/// Create a pre-connected channel pair with a buffer of `capacity`.
+pub fn buffered_channel<T>(capacity: usize) -> (Out<T>, In<T>) {
+    let i = In::with_buffer(capacity);
+    let o = Out::new();
+    o.connect(&i);
+    (o, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn rendezvous_send_receive() {
+        let (o, i) = channel::<i32>();
+        let t = thread::spawn(move || i.receive().unwrap());
+        o.send(&42).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn buffered_send_does_not_block_until_full() {
+        let (o, i) = buffered_channel::<i32>(2);
+        o.send(&1).unwrap();
+        o.send(&2).unwrap();
+        assert_eq!(i.receive().unwrap(), 1);
+        assert_eq!(i.receive().unwrap(), 2);
+    }
+
+    #[test]
+    fn unconnected_out_errors() {
+        let o = Out::<i32>::new();
+        assert_eq!(o.send(&1), Err(ChannelError::NotConnected));
+    }
+
+    #[test]
+    fn send_duplicates_value() {
+        // The sender keeps using its copy after sending (Listing 2: the
+        // sender increments `value` after each send).
+        let (o, i) = buffered_channel::<Vec<i32>>(1);
+        let mut v = vec![1, 2, 3];
+        o.send(&v).unwrap();
+        v[0] = 99;
+        assert_eq!(i.receive().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn send_moved_transfers_without_copy() {
+        #[derive(Debug, PartialEq)]
+        struct NoClone(i32);
+        let (o, i) = buffered_channel::<NoClone>(1);
+        o.send_moved(NoClone(7)).unwrap();
+        assert_eq!(i.receive().unwrap(), NoClone(7));
+    }
+
+    #[test]
+    fn n_to_1_topology() {
+        let i = In::with_buffer(4);
+        let o1 = Out::new();
+        let o2 = Out::new();
+        o1.connect(&i);
+        o2.connect(&i);
+        assert_eq!(i.connections(), 2);
+        o1.send(&1).unwrap();
+        o2.send(&2).unwrap();
+        let mut got = vec![i.receive().unwrap(), i.receive().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn one_to_n_round_robin() {
+        let a = In::with_buffer(4);
+        let b = In::with_buffer(4);
+        let o = Out::new();
+        o.connect(&a);
+        o.connect(&b);
+        assert_eq!(o.fan_out(), 2);
+        for k in 0..4 {
+            o.send(&k).unwrap();
+        }
+        let got_a = [a.receive().unwrap(), a.receive().unwrap()];
+        let got_b = [b.receive().unwrap(), b.receive().unwrap()];
+        assert_eq!(got_a, [0, 2]);
+        assert_eq!(got_b, [1, 3]);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_receiver() {
+        let a = In::with_buffer(1);
+        let b = In::with_buffer(1);
+        let o = Out::new();
+        o.connect(&a);
+        o.connect(&b);
+        o.broadcast(&9).unwrap();
+        assert_eq!(a.receive().unwrap(), 9);
+        assert_eq!(b.receive().unwrap(), 9);
+    }
+
+    #[test]
+    fn receive_after_all_senders_drop_errors() {
+        let (o, i) = buffered_channel::<i32>(1);
+        o.send(&5).unwrap();
+        drop(o);
+        assert_eq!(i.receive().unwrap(), 5);
+        assert_eq!(i.receive(), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn cloned_out_keeps_connection_alive() {
+        let (o, i) = buffered_channel::<i32>(1);
+        let o2 = o.clone();
+        drop(o);
+        o2.send(&1).unwrap();
+        assert_eq!(i.receive().unwrap(), 1);
+        drop(o2);
+        assert_eq!(i.receive(), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn blocked_receive_unblocks_when_sender_drops() {
+        // The kernel-actor shutdown path: an actor parked on its requests
+        // channel must wake and stop when the other side goes away.
+        let (o, i) = buffered_channel::<i32>(1);
+        let t = thread::spawn(move || i.receive());
+        thread::sleep(Duration::from_millis(20));
+        drop(o);
+        assert_eq!(t.join().unwrap(), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn never_connected_in_blocks_rather_than_closing() {
+        let i = In::<i32>::with_buffer(1);
+        assert_eq!(i.try_receive(), Ok(None));
+        // Connect later, then send: dynamic connection must work.
+        let o = Out::new();
+        o.connect(&i);
+        o.send(&3).unwrap();
+        assert_eq!(i.receive().unwrap(), 3);
+    }
+
+    #[test]
+    fn dead_receiver_is_pruned() {
+        let a = In::with_buffer(1);
+        let b = In::with_buffer(4);
+        let o = Out::new();
+        o.connect(&a);
+        o.connect(&b);
+        drop(a);
+        for k in 0..3 {
+            o.send(&k).unwrap();
+        }
+        // All three must have landed in `b` despite `a` being first in the
+        // rotation.
+        assert_eq!(b.receive().unwrap(), 0);
+        assert_eq!(b.receive().unwrap(), 1);
+        assert_eq!(b.receive().unwrap(), 2);
+        assert_eq!(o.fan_out(), 1);
+    }
+
+    #[test]
+    fn endpoints_travel_through_channels() {
+        // The dynamic-channel pattern from Listing 3: send an In endpoint
+        // to another thread, which then receives data through it.
+        let (ep_out, ep_in) = channel::<In<i32>>();
+        let t = thread::spawn(move || {
+            let data_in = ep_in.receive().unwrap();
+            data_in.receive().unwrap()
+        });
+        let data = In::with_buffer(1);
+        let data_out = Out::new();
+        data_out.connect(&data);
+        ep_out.send_moved(data).unwrap();
+        data_out.send(&123).unwrap();
+        assert_eq!(t.join().unwrap(), 123);
+    }
+
+    #[test]
+    fn rendezvous_blocks_until_receiver_arrives() {
+        let (o, i) = channel::<i32>();
+        let start = std::time::Instant::now();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(50));
+            i.receive().unwrap()
+        });
+        o.send(&1).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(45));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_receive_is_nonblocking() {
+        let (o, i) = buffered_channel::<i32>(1);
+        assert_eq!(i.try_receive().unwrap(), None);
+        o.send(&1).unwrap();
+        assert_eq!(i.try_receive().unwrap(), Some(1));
+    }
+}

@@ -1,0 +1,66 @@
+//! # ensemble-actors — the Ensemble actor runtime, in Rust
+//!
+//! Reproduction of the actor model of the Ensemble language (§4–5 of
+//! *Parallel Programming in Actor-Based Applications via OpenCL*,
+//! MIDDLEWARE 2015):
+//!
+//! * **Actors** ([`Actor`]) own private state and a single thread of
+//!   control; the `behaviour` clause repeats until explicitly stopped.
+//! * **Stages** ([`Stage`]) are memory spaces; the runtime creates one
+//!   thread per actor (the paper uses a pthread per actor on Linux).
+//! * **Channels** ([`In`], [`Out`]) are typed and unidirectional, with an
+//!   optional buffer; unbuffered or full channels block (synchronous
+//!   rendezvous). Endpoints are first-class and can be sent through other
+//!   channels — the dynamic composition that the OpenCL settings protocol
+//!   of §6.1.1 builds on.
+//! * **Shared-nothing semantics**: [`Out::send`] *duplicates* the value, so
+//!   sender and receiver never share state. [`Out::send_moved`] is
+//!   Ensemble's `mov`: ownership transfers with no copy, and Rust's move
+//!   checker provides (at compile time) the use-after-send rejection that
+//!   the Ensemble compiler implements with inter-procedural analysis.
+//!
+//! ## Mapping from the paper
+//!
+//! | Ensemble construct           | This crate                               |
+//! |------------------------------|------------------------------------------|
+//! | `actor X presents I {...}`   | a type implementing [`Actor`]            |
+//! | `behaviour { ... }`          | [`Actor::behaviour`] (re-run until Stop)  |
+//! | `stage home { ... boot {} }` | [`Stage::new`] + `spawn` + boot closure   |
+//! | `in T` / `out T`             | [`In<T>`] / [`Out<T>`]                    |
+//! | `connect a.out to b.in`      | [`Out::connect`]                          |
+//! | `send v on ch`               | [`Out::send`] (duplicates)                |
+//! | `mov` channels               | [`Out::send_moved`] (no duplicate)        |
+//! | `receive v from ch`          | [`In::receive`]                           |
+//!
+//! ## Example (Listing 2 of the paper)
+//!
+//! ```
+//! use ensemble_actors::{Stage, Control, channel};
+//!
+//! let (output, input) = channel::<i32>();
+//! let mut stage = Stage::new("home");
+//!
+//! let mut value = 1;           // snd's private state
+//! stage.spawn_fn("snd", move |_ctx| {
+//!     output.send(&value).unwrap();
+//!     value += 1;
+//!     if value > 3 { Control::Stop } else { Control::Continue }
+//! });
+//!
+//! stage.spawn_fn("rcv", move |_ctx| match input.receive() {
+//!     Ok(v) => { println!("received: {v}"); Control::Continue }
+//!     Err(_) => Control::Stop,
+//! });
+//!
+//! stage.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod channel;
+pub mod stage;
+
+pub use actor::{Actor, ActorCtx, Control, FnActor};
+pub use channel::{buffered_channel, channel, ChannelError, In, InConnector, Out};
+pub use stage::{Stage, StageReport};

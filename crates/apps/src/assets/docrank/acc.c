@@ -1,0 +1,24 @@
+// Document ranking, C with OpenACC annotations.
+// The scoring helper is a separate function — idiomatic C, but user
+// functions cannot be inlined into OpenACC compute regions, so the
+// compiler rejects the parallel loop. The paper: "The PGI compiler was
+// not able to compile this code, hence no results were obtained for the
+// GPU or CPU from C-OpenACC."
+float score(float* docs, float* tpl, int d, int nterms) {
+    float s = 0.0f;
+    for (int t = 0; t < nterms; t++) {
+        s += docs[d * nterms + t] * tpl[t];
+    }
+    return s;
+}
+
+void rank_all(float* docs, float* tpl, int* out,
+              int nterms, int ndocs, float threshold, int rounds) {
+    for (int r = 0; r < rounds; r++) {
+        #pragma acc parallel loop copyin(docs, tpl) copyout(out)
+        for (int d = 0; d < ndocs; d++) {
+            float s = score(docs, tpl, d, nterms);
+            out[d] = s > threshold ? 1 : 0;
+        }
+    }
+}

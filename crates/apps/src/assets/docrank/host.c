@@ -1,0 +1,166 @@
+/* Document ranking, C-OpenCL host (Table 1 concurrent version, with
+ * kernel.cl). Copies the corpus to the device and the flags back on every
+ * round — the comparison point for the Ensemble version's mov channels. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+#include <CL/cl.h>
+
+#define DOCS 65536
+#define TERMS 64
+#define ROUNDS 10
+#define GROUP 64
+#define THRESHOLD 2.0f
+#define CHECK(err, what)                                        \
+    if ((err) != CL_SUCCESS) {                                  \
+        fprintf(stderr, "%s failed: %d\n", (what), (int)(err)); \
+        exit(1);                                                \
+    }
+
+static char *load_kernel_source(const char *path, size_t *len) {
+    FILE *f = fopen(path, "rb");
+    if (f == NULL) {
+        fprintf(stderr, "cannot open %s\n", path);
+        exit(1);
+    }
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    char *src = (char *)malloc(size + 1);
+    if (fread(src, 1, size, f) != (size_t)size) {
+        fprintf(stderr, "short read on %s\n", path);
+        exit(1);
+    }
+    src[size] = '\0';
+    fclose(f);
+    *len = (size_t)size;
+    return src;
+}
+
+static void init_corpus(float *docs, float *tpl, int ndocs, int nterms) {
+    srand(77);
+    for (int d = 0; d < ndocs; d++) {
+        for (int t = 0; t < nterms; t++) {
+            float zipf = 1.0f / (float)(t + 1);
+            float noise = (float)rand() / (float)RAND_MAX;
+            float boost = (d % 5 == 0 && t < nterms / 8) ? 3.0f : 1.0f;
+            docs[d * nterms + t] = zipf * noise * boost;
+        }
+    }
+    for (int t = 0; t < nterms; t++) {
+        tpl[t] = t < nterms / 8 ? 1.0f : 0.05f;
+    }
+}
+
+int main(void) {
+    cl_int err;
+
+    cl_uint num_platforms = 0;
+    err = clGetPlatformIDs(0, NULL, &num_platforms);
+    CHECK(err, "clGetPlatformIDs(count)");
+    cl_platform_id *platforms =
+        (cl_platform_id *)malloc(sizeof(cl_platform_id) * num_platforms);
+    err = clGetPlatformIDs(num_platforms, platforms, NULL);
+    CHECK(err, "clGetPlatformIDs");
+    cl_device_id device;
+    err = clGetDeviceIDs(platforms[0], CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+    CHECK(err, "clGetDeviceIDs");
+
+    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+    CHECK(err, "clCreateContext");
+    cl_command_queue queue =
+        clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+    CHECK(err, "clCreateCommandQueue");
+
+    size_t src_len = 0;
+    char *src = load_kernel_source("kernel.cl", &src_len);
+    cl_program program =
+        clCreateProgramWithSource(context, 1, (const char **)&src, &src_len, &err);
+    CHECK(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &device, "-cl-std=CL1.2", NULL, NULL);
+    if (err != CL_SUCCESS) {
+        char log[16384];
+        clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG,
+                              sizeof(log), log, NULL);
+        fprintf(stderr, "build failed:\n%s\n", log);
+        exit(1);
+    }
+    cl_kernel kernel = clCreateKernel(program, "rank", &err);
+    CHECK(err, "clCreateKernel");
+
+    float *docs = (float *)malloc(sizeof(float) * DOCS * TERMS);
+    float *tpl = (float *)malloc(sizeof(float) * TERMS);
+    int *out = (int *)malloc(sizeof(int) * DOCS);
+    init_corpus(docs, tpl, DOCS, TERMS);
+
+    cl_mem buf_docs = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                     sizeof(float) * DOCS * TERMS, NULL, &err);
+    CHECK(err, "clCreateBuffer(docs)");
+    cl_mem buf_tpl = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                    sizeof(float) * TERMS, NULL, &err);
+    CHECK(err, "clCreateBuffer(tpl)");
+    cl_mem buf_out = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                    sizeof(int) * DOCS, NULL, &err);
+    CHECK(err, "clCreateBuffer(out)");
+
+    int nterms4 = TERMS / 4;
+    int ndocs = DOCS;
+    float threshold = THRESHOLD;
+
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    for (int r = 0; r < ROUNDS; r++) {
+        /* The data never changes, but this host copies it every round. */
+        err = clEnqueueWriteBuffer(queue, buf_docs, CL_TRUE, 0,
+                                   sizeof(float) * DOCS * TERMS, docs,
+                                   0, NULL, NULL);
+        CHECK(err, "clEnqueueWriteBuffer(docs)");
+        err = clEnqueueWriteBuffer(queue, buf_tpl, CL_TRUE, 0,
+                                   sizeof(float) * TERMS, tpl, 0, NULL, NULL);
+        CHECK(err, "clEnqueueWriteBuffer(tpl)");
+        err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &buf_docs);
+        CHECK(err, "clSetKernelArg(0)");
+        err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &buf_tpl);
+        CHECK(err, "clSetKernelArg(1)");
+        err = clSetKernelArg(kernel, 2, sizeof(cl_mem), &buf_out);
+        CHECK(err, "clSetKernelArg(2)");
+        err = clSetKernelArg(kernel, 3, sizeof(int), &nterms4);
+        CHECK(err, "clSetKernelArg(3)");
+        err = clSetKernelArg(kernel, 4, sizeof(int), &ndocs);
+        CHECK(err, "clSetKernelArg(4)");
+        err = clSetKernelArg(kernel, 5, sizeof(float), &threshold);
+        CHECK(err, "clSetKernelArg(5)");
+        size_t global = (DOCS + GROUP - 1) / GROUP * GROUP;
+        size_t local = GROUP;
+        err = clEnqueueNDRangeKernel(queue, kernel, 1, NULL, &global, &local,
+                                     0, NULL, NULL);
+        CHECK(err, "clEnqueueNDRangeKernel");
+        err = clEnqueueReadBuffer(queue, buf_out, CL_TRUE, 0,
+                                  sizeof(int) * DOCS, out, 0, NULL, NULL);
+        CHECK(err, "clEnqueueReadBuffer");
+    }
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    int wanted = 0;
+    for (int d = 0; d < DOCS; d++) {
+        wanted += out[d];
+    }
+    printf("ranked %d docs x%d rounds: %.3f s, %d wanted\n",
+           DOCS, ROUNDS, secs, wanted);
+
+    clReleaseMemObject(buf_docs);
+    clReleaseMemObject(buf_tpl);
+    clReleaseMemObject(buf_out);
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+    clReleaseCommandQueue(queue);
+    clReleaseContext(context);
+    free(platforms);
+    free(src);
+    free(docs);
+    free(tpl);
+    free(out);
+    return 0;
+}

@@ -1,0 +1,13 @@
+__kernel void rank(__global float4* docs, __global float4* tpl,
+                   __global int* out,
+                   const int nterms4, const int ndocs,
+                   const float threshold) {
+    int d = get_global_id(0);
+    if (d >= ndocs) { return; }
+    float4 acc = (float4)(0.0f);
+    for (int t = 0; t < nterms4; t++) {
+        acc = acc + docs[d * nterms4 + t] * tpl[t];
+    }
+    float score = acc.x + acc.y + acc.z + acc.w;
+    out[d] = score > threshold ? 1 : 0;
+}

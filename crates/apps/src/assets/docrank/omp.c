@@ -1,0 +1,16 @@
+// Document ranking, OpenMP-style CPU fallback (compiled by gcc in the
+// paper). The scoring helper is manually inlined so the annotated loop
+// compiles; per-round data movement still applies.
+void rank_all(float* docs, float* tpl, int* out,
+              int nterms, int ndocs, float threshold, int rounds) {
+    for (int r = 0; r < rounds; r++) {
+        #pragma acc parallel loop copyin(docs, tpl) copyout(out)
+        for (int d = 0; d < ndocs; d++) {
+            float s = 0.0f;
+            for (int t = 0; t < nterms; t++) {
+                s += docs[d * nterms + t] * tpl[t];
+            }
+            out[d] = s > threshold ? 1 : 0;
+        }
+    }
+}

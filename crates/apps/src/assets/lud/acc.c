@@ -1,0 +1,21 @@
+// LU decomposition, C with OpenACC annotations.
+// A data region keeps the matrix resident across the step loop; the two
+// inner loops need `independent` (the compiler cannot prove the
+// step-ordered dependences safe) and gang/worker tuning — the paper:
+// "annotating the outer loop of the relevant code was not sufficient,
+// requiring use of the non-trivial gangs and worker annotations".
+void lud(float* m, int n) {
+    #pragma acc data copy(m)
+    for (int step = 0; step < n; step++) {
+        #pragma acc parallel loop independent present(m) gang(64) worker(64)
+        for (int i = step + 1; i < n; i++) {
+            m[i * n + step] = m[i * n + step] / m[step * n + step];
+        }
+        #pragma acc parallel loop independent present(m) gang(64) worker(64)
+        for (int i = step + 1; i < n; i++) {
+            for (int j = step + 1; j < n; j++) {
+                m[i * n + j] = m[i * n + j] - m[i * n + step] * m[step * n + j];
+            }
+        }
+    }
+}

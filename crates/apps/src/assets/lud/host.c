@@ -1,0 +1,174 @@
+/* LU decomposition, C-OpenCL host (Table 1 concurrent version, with
+ * kernel.cl): three kernels dispatched in series per elimination step.
+ * Keeping the matrix on the device across all steps is the hand-written
+ * optimisation that Ensemble gets from `mov` channels. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+#include <CL/cl.h>
+
+#define N 2048
+#define GROUP 16
+#define CHECK(err, what)                                        \
+    if ((err) != CL_SUCCESS) {                                  \
+        fprintf(stderr, "%s failed: %d\n", (what), (int)(err)); \
+        exit(1);                                                \
+    }
+
+static char *load_kernel_source(const char *path, size_t *len) {
+    FILE *f = fopen(path, "rb");
+    if (f == NULL) {
+        fprintf(stderr, "cannot open %s\n", path);
+        exit(1);
+    }
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    char *src = (char *)malloc(size + 1);
+    if (fread(src, 1, size, f) != (size_t)size) {
+        fprintf(stderr, "short read on %s\n", path);
+        exit(1);
+    }
+    src[size] = '\0';
+    fclose(f);
+    *len = (size_t)size;
+    return src;
+}
+
+static void init_dominant(float *m, int n, unsigned seed) {
+    srand(seed);
+    for (int i = 0; i < n; i++) {
+        float sum = 0.0f;
+        for (int j = 0; j < n; j++) {
+            if (i != j) {
+                m[i * n + j] = 0.5f * (float)rand() / (float)RAND_MAX;
+                sum += m[i * n + j];
+            }
+        }
+        m[i * n + i] = sum + 1.0f;
+    }
+}
+
+static void set_common_args(cl_kernel k, cl_mem buf_m, cl_mem buf_piv,
+                            int n, int step) {
+    cl_int err;
+    int one = 1;
+    err = clSetKernelArg(k, 0, sizeof(cl_mem), &buf_m);
+    CHECK(err, "clSetKernelArg(m)");
+    err = clSetKernelArg(k, 1, sizeof(cl_mem), &buf_piv);
+    CHECK(err, "clSetKernelArg(piv)");
+    err = clSetKernelArg(k, 2, sizeof(int), &n);
+    CHECK(err, "clSetKernelArg(rows)");
+    err = clSetKernelArg(k, 3, sizeof(int), &n);
+    CHECK(err, "clSetKernelArg(cols)");
+    err = clSetKernelArg(k, 4, sizeof(int), &one);
+    CHECK(err, "clSetKernelArg(npiv)");
+    err = clSetKernelArg(k, 5, sizeof(int), &step);
+    CHECK(err, "clSetKernelArg(step)");
+}
+
+int main(void) {
+    cl_int err;
+
+    cl_uint num_platforms = 0;
+    err = clGetPlatformIDs(0, NULL, &num_platforms);
+    CHECK(err, "clGetPlatformIDs(count)");
+    cl_platform_id *platforms =
+        (cl_platform_id *)malloc(sizeof(cl_platform_id) * num_platforms);
+    err = clGetPlatformIDs(num_platforms, platforms, NULL);
+    CHECK(err, "clGetPlatformIDs");
+    cl_device_id device;
+    err = clGetDeviceIDs(platforms[0], CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+    CHECK(err, "clGetDeviceIDs");
+
+    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+    CHECK(err, "clCreateContext");
+    cl_command_queue queue =
+        clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+    CHECK(err, "clCreateCommandQueue");
+
+    size_t src_len = 0;
+    char *src = load_kernel_source("kernel.cl", &src_len);
+    cl_program program =
+        clCreateProgramWithSource(context, 1, (const char **)&src, &src_len, &err);
+    CHECK(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &device, "-cl-std=CL1.2", NULL, NULL);
+    if (err != CL_SUCCESS) {
+        char log[16384];
+        clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG,
+                              sizeof(log), log, NULL);
+        fprintf(stderr, "build failed:\n%s\n", log);
+        exit(1);
+    }
+    cl_kernel k_diag = clCreateKernel(program, "lud_diag", &err);
+    CHECK(err, "clCreateKernel(diag)");
+    cl_kernel k_col = clCreateKernel(program, "lud_col", &err);
+    CHECK(err, "clCreateKernel(col)");
+    cl_kernel k_sub = clCreateKernel(program, "lud_sub", &err);
+    CHECK(err, "clCreateKernel(sub)");
+
+    float *m = (float *)malloc(sizeof(float) * N * N);
+    init_dominant(m, N, 31);
+
+    size_t bytes = sizeof(float) * N * N;
+    cl_mem buf_m = clCreateBuffer(context, CL_MEM_READ_WRITE, bytes, NULL, &err);
+    CHECK(err, "clCreateBuffer(m)");
+    cl_mem buf_piv =
+        clCreateBuffer(context, CL_MEM_READ_WRITE, sizeof(float), NULL, &err);
+    CHECK(err, "clCreateBuffer(piv)");
+
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    err = clEnqueueWriteBuffer(queue, buf_m, CL_TRUE, 0, bytes, m, 0, NULL, NULL);
+    CHECK(err, "clEnqueueWriteBuffer");
+
+    for (int step = 0; step < N; step++) {
+        int rem = N - step - 1;
+        size_t g1 = ((rem > 0 ? rem : 1) + GROUP - 1) / GROUP * GROUP;
+        size_t one = 1;
+        size_t local1 = GROUP;
+
+        set_common_args(k_diag, buf_m, buf_piv, N, step);
+        err = clEnqueueNDRangeKernel(queue, k_diag, 1, NULL, &one, &one,
+                                     0, NULL, NULL);
+        CHECK(err, "clEnqueueNDRangeKernel(diag)");
+
+        set_common_args(k_col, buf_m, buf_piv, N, step);
+        err = clEnqueueNDRangeKernel(queue, k_col, 1, NULL, &g1, &local1,
+                                     0, NULL, NULL);
+        CHECK(err, "clEnqueueNDRangeKernel(col)");
+
+        set_common_args(k_sub, buf_m, buf_piv, N, step);
+        size_t g2[2] = {g1, g1};
+        size_t l2[2] = {GROUP, GROUP};
+        err = clEnqueueNDRangeKernel(queue, k_sub, 2, NULL, g2, l2,
+                                     0, NULL, NULL);
+        CHECK(err, "clEnqueueNDRangeKernel(sub)");
+    }
+    err = clFinish(queue);
+    CHECK(err, "clFinish");
+    err = clEnqueueReadBuffer(queue, buf_m, CL_TRUE, 0, bytes, m, 0, NULL, NULL);
+    CHECK(err, "clEnqueueReadBuffer");
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    float trace = 0.0f;
+    for (int i = 0; i < N; i++) {
+        trace += m[i * N + i];
+    }
+    printf("lud %dx%d: %.3f s, U trace %f\n", N, N, secs, trace);
+
+    clReleaseMemObject(buf_m);
+    clReleaseMemObject(buf_piv);
+    clReleaseKernel(k_diag);
+    clReleaseKernel(k_col);
+    clReleaseKernel(k_sub);
+    clReleaseProgram(program);
+    clReleaseCommandQueue(queue);
+    clReleaseContext(context);
+    free(platforms);
+    free(src);
+    free(m);
+    return 0;
+}

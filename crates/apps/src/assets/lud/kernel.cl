@@ -1,0 +1,24 @@
+__kernel void lud_diag(__global float* m, __global float* piv,
+                       const int rows, const int cols, const int npiv,
+                       const int step) {
+    piv[0] = 1.0f / m[step * cols + step];
+}
+
+__kernel void lud_col(__global float* m, __global float* piv,
+                      const int rows, const int cols, const int npiv,
+                      const int step) {
+    int i = get_global_id(0) + step + 1;
+    if (i < rows) {
+        m[i * cols + step] = m[i * cols + step] * piv[0];
+    }
+}
+
+__kernel void lud_sub(__global float* m, __global float* piv,
+                      const int rows, const int cols, const int npiv,
+                      const int step) {
+    int j = get_global_id(0) + step + 1;
+    int i = get_global_id(1) + step + 1;
+    if (i < rows && j < cols) {
+        m[i * cols + j] = m[i * cols + j] - m[i * cols + step] * m[step * cols + j];
+    }
+}

@@ -1,0 +1,64 @@
+/* LU decomposition (Doolittle, in place), single-threaded C. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <time.h>
+
+#define N 2048
+
+static float *alloc_matrix(int n) {
+    float *m = (float *)malloc(sizeof(float) * n * n);
+    if (m == NULL) {
+        fprintf(stderr, "allocation failed\n");
+        exit(1);
+    }
+    return m;
+}
+
+static void init_dominant(float *m, int n, unsigned seed) {
+    srand(seed);
+    for (int i = 0; i < n; i++) {
+        float sum = 0.0f;
+        for (int j = 0; j < n; j++) {
+            if (i != j) {
+                m[i * n + j] = 0.5f * (float)rand() / (float)RAND_MAX;
+                sum += m[i * n + j];
+            }
+        }
+        m[i * n + i] = sum + 1.0f;
+    }
+}
+
+static void lud(float *m, int n) {
+    for (int step = 0; step < n; step++) {
+        float piv = 1.0f / m[step * n + step];
+        for (int i = step + 1; i < n; i++) {
+            m[i * n + step] = m[i * n + step] * piv;
+        }
+        for (int i = step + 1; i < n; i++) {
+            float l = m[i * n + step];
+            for (int j = step + 1; j < n; j++) {
+                m[i * n + j] = m[i * n + j] - l * m[step * n + j];
+            }
+        }
+    }
+}
+
+int main(void) {
+    float *m = alloc_matrix(N);
+    init_dominant(m, N, 31);
+
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    lud(m, N);
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    float trace = 0.0f;
+    for (int i = 0; i < N; i++) {
+        trace += m[i * N + i];
+    }
+    printf("lud %dx%d: %.3f s, U trace %f\n", N, N, secs, trace);
+
+    free(m);
+    return 0;
+}

@@ -1,0 +1,23 @@
+// Mandelbrot set, C with OpenACC annotations.
+// Only the outer row loop can be annotated: one gang element per row.
+// The explicit-kernel versions use the 2-D layout instead; the paper's
+// Figure 3b shows the price of this difference.
+void mandelbrot(int* out, int width, int height, int max_iter) {
+    #pragma acc parallel loop copyout(out) gang(256) worker(64)
+    for (int py = 0; py < height; py++) {
+        for (int px = 0; px < width; px++) {
+            float x0 = -2.0f + 3.0f * (float)px / (float)width;
+            float y0 = -1.5f + 3.0f * (float)py / (float)height;
+            float x = 0.0f;
+            float y = 0.0f;
+            int iter = 0;
+            while (x * x + y * y <= 4.0f && iter < max_iter) {
+                float xt = x * x - y * y + x0;
+                y = 2.0f * x * y + y0;
+                x = xt;
+                iter = iter + 1;
+            }
+            out[py * width + px] = iter;
+        }
+    }
+}

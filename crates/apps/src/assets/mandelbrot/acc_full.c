@@ -1,0 +1,65 @@
+/* Mandelbrot set, C with OpenACC annotations (Table 1 concurrent
+ * version for the pragma approach). The gang/worker clauses were needed
+ * to get anywhere near explicit-kernel performance — and still lose
+ * (Figure 3b): the pragma can only parallelise the row loop. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <time.h>
+
+#define WIDTH 1024
+#define HEIGHT 1024
+#define MAX_ITER 1000
+
+static int *alloc_image(int w, int h) {
+    int *img = (int *)malloc(sizeof(int) * w * h);
+    if (img == NULL) {
+        fprintf(stderr, "allocation failed\n");
+        exit(1);
+    }
+    return img;
+}
+
+static void mandelbrot(int *out, int width, int height, int max_iter) {
+    int total = width * height;
+    #pragma acc parallel loop copyout(out[0:total]) gang(256) worker(64)
+    for (int py = 0; py < height; py++) {
+        for (int px = 0; px < width; px++) {
+            float x0 = -2.0f + 3.0f * (float)px / (float)width;
+            float y0 = -1.5f + 3.0f * (float)py / (float)height;
+            float x = 0.0f;
+            float y = 0.0f;
+            int iter = 0;
+            while (x * x + y * y <= 4.0f && iter < max_iter) {
+                float xt = x * x - y * y + x0;
+                y = 2.0f * x * y + y0;
+                x = xt;
+                iter = iter + 1;
+            }
+            out[py * width + px] = iter;
+        }
+    }
+}
+
+static long histogram_total(const int *out, int n) {
+    long total = 0;
+    for (int i = 0; i < n; i++) {
+        total += out[i];
+    }
+    return total;
+}
+
+int main(void) {
+    int *img = alloc_image(WIDTH, HEIGHT);
+
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    mandelbrot(img, WIDTH, HEIGHT, MAX_ITER);
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    printf("mandelbrot %dx%d: %.3f s, total %ld\n", WIDTH, HEIGHT, secs,
+           histogram_total(img, WIDTH * HEIGHT));
+
+    free(img);
+    return 0;
+}

@@ -1,0 +1,124 @@
+/* Mandelbrot set, C-OpenCL host (Table 1 concurrent version, with
+ * kernel.cl). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+#include <CL/cl.h>
+
+#define WIDTH 1024
+#define HEIGHT 1024
+#define MAX_ITER 1000
+#define GROUP 16
+#define CHECK(err, what)                                        \
+    if ((err) != CL_SUCCESS) {                                  \
+        fprintf(stderr, "%s failed: %d\n", (what), (int)(err)); \
+        exit(1);                                                \
+    }
+
+static char *load_kernel_source(const char *path, size_t *len) {
+    FILE *f = fopen(path, "rb");
+    if (f == NULL) {
+        fprintf(stderr, "cannot open %s\n", path);
+        exit(1);
+    }
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    char *src = (char *)malloc(size + 1);
+    if (fread(src, 1, size, f) != (size_t)size) {
+        fprintf(stderr, "short read on %s\n", path);
+        exit(1);
+    }
+    src[size] = '\0';
+    fclose(f);
+    *len = (size_t)size;
+    return src;
+}
+
+int main(void) {
+    cl_int err;
+
+    cl_uint num_platforms = 0;
+    err = clGetPlatformIDs(0, NULL, &num_platforms);
+    CHECK(err, "clGetPlatformIDs(count)");
+    cl_platform_id *platforms =
+        (cl_platform_id *)malloc(sizeof(cl_platform_id) * num_platforms);
+    err = clGetPlatformIDs(num_platforms, platforms, NULL);
+    CHECK(err, "clGetPlatformIDs");
+    cl_device_id device;
+    err = clGetDeviceIDs(platforms[0], CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+    CHECK(err, "clGetDeviceIDs");
+
+    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+    CHECK(err, "clCreateContext");
+    cl_command_queue queue =
+        clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+    CHECK(err, "clCreateCommandQueue");
+
+    size_t src_len = 0;
+    char *src = load_kernel_source("kernel.cl", &src_len);
+    cl_program program =
+        clCreateProgramWithSource(context, 1, (const char **)&src, &src_len, &err);
+    CHECK(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &device, "-cl-std=CL1.2", NULL, NULL);
+    if (err != CL_SUCCESS) {
+        char log[16384];
+        clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG,
+                              sizeof(log), log, NULL);
+        fprintf(stderr, "build failed:\n%s\n", log);
+        exit(1);
+    }
+    cl_kernel kernel = clCreateKernel(program, "mandelbrot", &err);
+    CHECK(err, "clCreateKernel");
+
+    int n = WIDTH * HEIGHT;
+    int *img = (int *)malloc(sizeof(int) * n);
+    size_t bytes = sizeof(int) * n;
+    cl_mem buf = clCreateBuffer(context, CL_MEM_READ_WRITE, bytes, NULL, &err);
+    CHECK(err, "clCreateBuffer");
+
+    int width = WIDTH;
+    int height = HEIGHT;
+    int max_iter = MAX_ITER;
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &buf);
+    CHECK(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(kernel, 1, sizeof(int), &n);
+    CHECK(err, "clSetKernelArg(1)");
+    err = clSetKernelArg(kernel, 2, sizeof(int), &width);
+    CHECK(err, "clSetKernelArg(2)");
+    err = clSetKernelArg(kernel, 3, sizeof(int), &height);
+    CHECK(err, "clSetKernelArg(3)");
+    err = clSetKernelArg(kernel, 4, sizeof(int), &max_iter);
+    CHECK(err, "clSetKernelArg(4)");
+
+    size_t global[2] = {WIDTH, HEIGHT};
+    size_t local[2] = {GROUP, GROUP};
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    err = clEnqueueNDRangeKernel(queue, kernel, 2, NULL, global, local,
+                                 0, NULL, NULL);
+    CHECK(err, "clEnqueueNDRangeKernel");
+    err = clFinish(queue);
+    CHECK(err, "clFinish");
+    err = clEnqueueReadBuffer(queue, buf, CL_TRUE, 0, bytes, img, 0, NULL, NULL);
+    CHECK(err, "clEnqueueReadBuffer");
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    long total = 0;
+    for (int i = 0; i < n; i++) {
+        total += img[i];
+    }
+    printf("mandelbrot %dx%d: %.3f s, total %ld\n", WIDTH, HEIGHT, secs, total);
+
+    clReleaseMemObject(buf);
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+    clReleaseCommandQueue(queue);
+    clReleaseContext(context);
+    free(platforms);
+    free(src);
+    free(img);
+    return 0;
+}

@@ -1,0 +1,19 @@
+__kernel void mandelbrot(__global int* out, const int n,
+                         const int width, const int height,
+                         const int max_iter) {
+    int px = get_global_id(0);
+    int py = get_global_id(1);
+    if (px >= width || py >= height) { return; }
+    float x0 = -2.0f + 3.0f * (float)px / (float)width;
+    float y0 = -1.5f + 3.0f * (float)py / (float)height;
+    float x = 0.0f;
+    float y = 0.0f;
+    int iter = 0;
+    while (x * x + y * y <= 4.0f && iter < max_iter) {
+        float xt = x * x - y * y + x0;
+        y = 2.0f * x * y + y0;
+        x = xt;
+        iter = iter + 1;
+    }
+    out[py * width + px] = iter;
+}

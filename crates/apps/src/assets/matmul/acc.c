@@ -1,0 +1,15 @@
+// Matrix multiplication, C with OpenACC annotations.
+// The sequential code plus pragmas; the engine outlines the annotated
+// outer loop into a 1-D kernel.
+void matmul(float* a, float* b, float* c, int n) {
+    #pragma acc parallel loop copyin(a, b) copyout(c) worker(64)
+    for (int y = 0; y < n; y++) {
+        for (int x = 0; x < n; x++) {
+            float acc = 0.0f;
+            for (int k = 0; k < n; k++) {
+                acc += a[y * n + k] * b[k * n + x];
+            }
+            c[y * n + x] = acc;
+        }
+    }
+}

@@ -1,0 +1,165 @@
+/* Matrix multiplication, C-OpenCL host (Table 1 concurrent version,
+ * together with kernel.cl). The boilerplate below is the point: this is
+ * what "the API approach" costs, §2.1 / §3.1 of the paper. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+#include <CL/cl.h>
+
+#define N 1024
+#define GROUP 16
+#define CHECK(err, what)                                        \
+    if ((err) != CL_SUCCESS) {                                  \
+        fprintf(stderr, "%s failed: %d\n", (what), (int)(err)); \
+        exit(1);                                                \
+    }
+
+static float *alloc_matrix(int n) {
+    float *m = (float *)malloc(sizeof(float) * n * n);
+    if (m == NULL) {
+        fprintf(stderr, "allocation failed\n");
+        exit(1);
+    }
+    return m;
+}
+
+static void init_matrix(float *m, int n, unsigned seed) {
+    srand(seed);
+    for (int i = 0; i < n * n; i++) {
+        m[i] = (float)rand() / (float)RAND_MAX;
+    }
+}
+
+static char *load_kernel_source(const char *path, size_t *len) {
+    FILE *f = fopen(path, "rb");
+    if (f == NULL) {
+        fprintf(stderr, "cannot open %s\n", path);
+        exit(1);
+    }
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    char *src = (char *)malloc(size + 1);
+    if (fread(src, 1, size, f) != (size_t)size) {
+        fprintf(stderr, "short read on %s\n", path);
+        exit(1);
+    }
+    src[size] = '\0';
+    fclose(f);
+    *len = (size_t)size;
+    return src;
+}
+
+int main(void) {
+    cl_int err;
+
+    /* Platform and device discovery. */
+    cl_uint num_platforms = 0;
+    err = clGetPlatformIDs(0, NULL, &num_platforms);
+    CHECK(err, "clGetPlatformIDs(count)");
+    cl_platform_id *platforms =
+        (cl_platform_id *)malloc(sizeof(cl_platform_id) * num_platforms);
+    err = clGetPlatformIDs(num_platforms, platforms, NULL);
+    CHECK(err, "clGetPlatformIDs");
+    cl_device_id device;
+    err = clGetDeviceIDs(platforms[0], CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+    CHECK(err, "clGetDeviceIDs");
+
+    /* Context and command queue. */
+    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+    CHECK(err, "clCreateContext");
+    cl_command_queue queue =
+        clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+    CHECK(err, "clCreateCommandQueue");
+
+    /* Program: load, create, build at runtime. */
+    size_t src_len = 0;
+    char *src = load_kernel_source("kernel.cl", &src_len);
+    cl_program program =
+        clCreateProgramWithSource(context, 1, (const char **)&src, &src_len, &err);
+    CHECK(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &device, "-cl-std=CL1.2", NULL, NULL);
+    if (err != CL_SUCCESS) {
+        char log[16384];
+        clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG,
+                              sizeof(log), log, NULL);
+        fprintf(stderr, "build failed:\n%s\n", log);
+        exit(1);
+    }
+    cl_kernel kernel = clCreateKernel(program, "multiply", &err);
+    CHECK(err, "clCreateKernel");
+
+    /* Host data. */
+    float *a = alloc_matrix(N);
+    float *b = alloc_matrix(N);
+    float *c = alloc_matrix(N);
+    init_matrix(a, N, 11);
+    init_matrix(b, N, 23);
+
+    /* Device buffers. */
+    size_t bytes = sizeof(float) * N * N;
+    cl_mem buf_a = clCreateBuffer(context, CL_MEM_READ_ONLY, bytes, NULL, &err);
+    CHECK(err, "clCreateBuffer(a)");
+    cl_mem buf_b = clCreateBuffer(context, CL_MEM_READ_ONLY, bytes, NULL, &err);
+    CHECK(err, "clCreateBuffer(b)");
+    cl_mem buf_c = clCreateBuffer(context, CL_MEM_READ_WRITE, bytes, NULL, &err);
+    CHECK(err, "clCreateBuffer(c)");
+
+    /* Host -> device. */
+    err = clEnqueueWriteBuffer(queue, buf_a, CL_TRUE, 0, bytes, a, 0, NULL, NULL);
+    CHECK(err, "clEnqueueWriteBuffer(a)");
+    err = clEnqueueWriteBuffer(queue, buf_b, CL_TRUE, 0, bytes, b, 0, NULL, NULL);
+    CHECK(err, "clEnqueueWriteBuffer(b)");
+
+    /* Arguments: buffers, then the flattened dimensions. */
+    int n = N;
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &buf_a);
+    CHECK(err, "clSetKernelArg(0)");
+    err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &buf_b);
+    CHECK(err, "clSetKernelArg(1)");
+    err = clSetKernelArg(kernel, 2, sizeof(cl_mem), &buf_c);
+    CHECK(err, "clSetKernelArg(2)");
+    for (int i = 0; i < 6; i++) {
+        err = clSetKernelArg(kernel, 3 + i, sizeof(int), &n);
+        CHECK(err, "clSetKernelArg(dim)");
+    }
+
+    /* Dispatch. */
+    size_t global[2] = {N, N};
+    size_t local[2] = {GROUP, GROUP};
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    err = clEnqueueNDRangeKernel(queue, kernel, 2, NULL, global, local,
+                                 0, NULL, NULL);
+    CHECK(err, "clEnqueueNDRangeKernel");
+    err = clFinish(queue);
+    CHECK(err, "clFinish");
+
+    /* Device -> host. */
+    err = clEnqueueReadBuffer(queue, buf_c, CL_TRUE, 0, bytes, c, 0, NULL, NULL);
+    CHECK(err, "clEnqueueReadBuffer");
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    float sum = 0.0f;
+    for (int i = 0; i < N * N; i++) {
+        sum += c[i];
+    }
+    printf("matmul %dx%d: %.3f s, checksum %f\n", N, N, secs, sum);
+
+    /* Release everything. */
+    clReleaseMemObject(buf_a);
+    clReleaseMemObject(buf_b);
+    clReleaseMemObject(buf_c);
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+    clReleaseCommandQueue(queue);
+    clReleaseContext(context);
+    free(platforms);
+    free(src);
+    free(a);
+    free(b);
+    free(c);
+    return 0;
+}

@@ -1,0 +1,14 @@
+__kernel void multiply(__global float* a, __global float* b,
+                       __global float* result,
+                       const int ra, const int ca,
+                       const int rb, const int cb,
+                       const int rr, const int cr) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int dim = get_global_size(0);
+    float c = 0.0f;
+    for (int i = 0; i < dim; i++) {
+        c = c + a[y * ca + i] * b[i * cb + x];
+    }
+    result[y * cr + x] = c;
+}

@@ -1,0 +1,63 @@
+/* Matrix multiplication, single-threaded C (Table 1 baseline). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <time.h>
+
+#define N 1024
+
+static float *alloc_matrix(int n) {
+    float *m = (float *)malloc(sizeof(float) * n * n);
+    if (m == NULL) {
+        fprintf(stderr, "allocation failed\n");
+        exit(1);
+    }
+    return m;
+}
+
+static void init_matrix(float *m, int n, unsigned seed) {
+    srand(seed);
+    for (int i = 0; i < n * n; i++) {
+        m[i] = (float)rand() / (float)RAND_MAX;
+    }
+}
+
+static void matmul(const float *a, const float *b, float *c, int n) {
+    for (int y = 0; y < n; y++) {
+        for (int x = 0; x < n; x++) {
+            float acc = 0.0f;
+            for (int k = 0; k < n; k++) {
+                acc += a[y * n + k] * b[k * n + x];
+            }
+            c[y * n + x] = acc;
+        }
+    }
+}
+
+static float checksum(const float *m, int n) {
+    float sum = 0.0f;
+    for (int i = 0; i < n * n; i++) {
+        sum += m[i];
+    }
+    return sum;
+}
+
+int main(void) {
+    float *a = alloc_matrix(N);
+    float *b = alloc_matrix(N);
+    float *c = alloc_matrix(N);
+    init_matrix(a, N, 11);
+    init_matrix(b, N, 23);
+
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    matmul(a, b, c, N);
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    printf("matmul %dx%d: %.3f s, checksum %f\n", N, N, secs, checksum(c, N));
+
+    free(a);
+    free(b);
+    free(c);
+    return 0;
+}

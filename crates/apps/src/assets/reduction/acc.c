@@ -1,0 +1,12 @@
+// Minimum of an array, C with an OpenACC reduction clause.
+// The annotation is one line — but the generated code is a naive
+// two-stage reduction with a serial host-side combine, which is why
+// Figure 3d shows OpenACC losing on both devices.
+void minimum(float* data, float* out, int n) {
+    float m = 3.0e38f;
+    #pragma acc parallel loop reduction(min:m) copyin(data)
+    for (int i = 0; i < n; i++) {
+        m = fmin(m, data[i]);
+    }
+    out[0] = m;
+}

@@ -1,0 +1,52 @@
+/* Matrix reduction (minimum), C with OpenACC annotations (Table 1
+ * concurrent version for the pragma approach). One clause — and the
+ * naive generated reduction that Figure 3d pays for. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <time.h>
+
+#define COUNT 33554432
+
+static float *alloc_data(int n) {
+    float *d = (float *)malloc(sizeof(float) * n);
+    if (d == NULL) {
+        fprintf(stderr, "allocation failed\n");
+        exit(1);
+    }
+    return d;
+}
+
+static void init_data(float *d, int n, unsigned seed) {
+    srand(seed);
+    for (int i = 0; i < n; i++) {
+        d[i] = (float)rand() / (float)RAND_MAX + 0.5f;
+    }
+    d[n / 3] = -123.5f;
+}
+
+static float minimum(const float *d, int n) {
+    float m = 3.0e38f;
+    #pragma acc parallel loop reduction(min:m) copyin(d[0:n])
+    for (int i = 0; i < n; i++) {
+        if (d[i] < m) {
+            m = d[i];
+        }
+    }
+    return m;
+}
+
+int main(void) {
+    float *data = alloc_data(COUNT);
+    init_data(data, COUNT, 97);
+
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    float m = minimum(data, COUNT);
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    printf("reduction of %d elements: %.3f s, min %f\n", COUNT, secs, m);
+
+    free(data);
+    return 0;
+}

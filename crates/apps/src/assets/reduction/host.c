@@ -1,0 +1,151 @@
+/* Matrix reduction (minimum), C-OpenCL host (Table 1 concurrent version,
+ * with kernel.cl). Tree reduction needs genuinely different logic from
+ * the sequential loop — the paper notes both explicit approaches pay this
+ * "different mindset" cost, unlike OpenACC's one-line clause. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+#include <CL/cl.h>
+
+#define COUNT 33554432
+#define GROUP 256
+#define CHECK(err, what)                                        \
+    if ((err) != CL_SUCCESS) {                                  \
+        fprintf(stderr, "%s failed: %d\n", (what), (int)(err)); \
+        exit(1);                                                \
+    }
+
+static char *load_kernel_source(const char *path, size_t *len) {
+    FILE *f = fopen(path, "rb");
+    if (f == NULL) {
+        fprintf(stderr, "cannot open %s\n", path);
+        exit(1);
+    }
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    char *src = (char *)malloc(size + 1);
+    if (fread(src, 1, size, f) != (size_t)size) {
+        fprintf(stderr, "short read on %s\n", path);
+        exit(1);
+    }
+    src[size] = '\0';
+    fclose(f);
+    *len = (size_t)size;
+    return src;
+}
+
+static void init_data(float *d, int n, unsigned seed) {
+    srand(seed);
+    for (int i = 0; i < n; i++) {
+        d[i] = (float)rand() / (float)RAND_MAX + 0.5f;
+    }
+    d[n / 3] = -123.5f;
+}
+
+int main(void) {
+    cl_int err;
+
+    cl_uint num_platforms = 0;
+    err = clGetPlatformIDs(0, NULL, &num_platforms);
+    CHECK(err, "clGetPlatformIDs(count)");
+    cl_platform_id *platforms =
+        (cl_platform_id *)malloc(sizeof(cl_platform_id) * num_platforms);
+    err = clGetPlatformIDs(num_platforms, platforms, NULL);
+    CHECK(err, "clGetPlatformIDs");
+    cl_device_id device;
+    err = clGetDeviceIDs(platforms[0], CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+    CHECK(err, "clGetDeviceIDs");
+
+    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+    CHECK(err, "clCreateContext");
+    cl_command_queue queue =
+        clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+    CHECK(err, "clCreateCommandQueue");
+
+    size_t src_len = 0;
+    char *src = load_kernel_source("kernel.cl", &src_len);
+    cl_program program =
+        clCreateProgramWithSource(context, 1, (const char **)&src, &src_len, &err);
+    CHECK(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &device, "-cl-std=CL1.2", NULL, NULL);
+    if (err != CL_SUCCESS) {
+        char log[16384];
+        clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG,
+                              sizeof(log), log, NULL);
+        fprintf(stderr, "build failed:\n%s\n", log);
+        exit(1);
+    }
+    cl_kernel kernel = clCreateKernel(program, "reduce_min", &err);
+    CHECK(err, "clCreateKernel");
+
+    float *data = (float *)malloc(sizeof(float) * COUNT);
+    init_data(data, COUNT, 97);
+
+    int groups = (COUNT + GROUP - 1) / GROUP;
+    cl_mem buf_data =
+        clCreateBuffer(context, CL_MEM_READ_WRITE, sizeof(float) * COUNT, NULL, &err);
+    CHECK(err, "clCreateBuffer(data)");
+    cl_mem buf_partial =
+        clCreateBuffer(context, CL_MEM_READ_WRITE, sizeof(float) * groups, NULL, &err);
+    CHECK(err, "clCreateBuffer(partial)");
+
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    err = clEnqueueWriteBuffer(queue, buf_data, CL_TRUE, 0,
+                               sizeof(float) * COUNT, data, 0, NULL, NULL);
+    CHECK(err, "clEnqueueWriteBuffer");
+
+    /* Round trip: data -> partials -> ... until one value remains. The
+     * input and output buffers swap roles between rounds so nothing is
+     * copied back until the end. */
+    cl_mem src_buf = buf_data;
+    cl_mem dst_buf = buf_partial;
+    int len = COUNT;
+    for (;;) {
+        int round_groups = (len + GROUP - 1) / GROUP;
+        err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &src_buf);
+        CHECK(err, "clSetKernelArg(0)");
+        err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &dst_buf);
+        CHECK(err, "clSetKernelArg(1)");
+        err = clSetKernelArg(kernel, 2, sizeof(int), &len);
+        CHECK(err, "clSetKernelArg(2)");
+        err = clSetKernelArg(kernel, 3, sizeof(int), &round_groups);
+        CHECK(err, "clSetKernelArg(3)");
+        size_t global = (size_t)round_groups * GROUP;
+        size_t local = GROUP;
+        err = clEnqueueNDRangeKernel(queue, kernel, 1, NULL, &global, &local,
+                                     0, NULL, NULL);
+        CHECK(err, "clEnqueueNDRangeKernel");
+        if (round_groups == 1) {
+            break;
+        }
+        len = round_groups;
+        cl_mem tmp = src_buf;
+        src_buf = dst_buf;
+        dst_buf = tmp;
+    }
+    err = clFinish(queue);
+    CHECK(err, "clFinish");
+
+    float result = 0.0f;
+    err = clEnqueueReadBuffer(queue, dst_buf, CL_TRUE, 0, sizeof(float),
+                              &result, 0, NULL, NULL);
+    CHECK(err, "clEnqueueReadBuffer");
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+
+    double secs = (t1.tv_sec - t0.tv_sec) + (t1.tv_nsec - t0.tv_nsec) / 1e9;
+    printf("reduction of %d elements: %.3f s, min %f\n", COUNT, secs, result);
+
+    clReleaseMemObject(buf_data);
+    clReleaseMemObject(buf_partial);
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+    clReleaseCommandQueue(queue);
+    clReleaseContext(context);
+    free(platforms);
+    free(src);
+    free(data);
+    return 0;
+}

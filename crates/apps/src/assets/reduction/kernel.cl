@@ -1,0 +1,21 @@
+__kernel void reduce_min(__global float* data, __global float* partial,
+                         const int n, const int npartial) {
+    __local float scratch[256];
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    if (gid < n) {
+        scratch[lid] = data[gid];
+    } else {
+        scratch[lid] = 3.0e38f;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int stride = get_local_size(0) / 2; stride > 0; stride = stride / 2) {
+        if (lid < stride) {
+            scratch[lid] = fmin(scratch[lid], scratch[lid + stride]);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = scratch[0];
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic workload generators.
+//!
+//! Every experiment must be exactly repeatable, so all input data derives
+//! from seeded RNGs; the seed is part of the experiment definition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` floats in `[0, 1)`, deterministic for a given `seed`.
+pub fn deterministic_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<f32>()).collect()
+}
+
+/// A diagonally dominant `n×n` matrix (row-major) — keeps LU decomposition
+/// numerically stable without pivoting, as the paper's LUD kernels assume.
+pub fn diagonally_dominant(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = vec![0.0f32; n * n];
+    for (i, row) in m.chunks_exact_mut(n).enumerate() {
+        let mut sum = 0.0f32;
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                *v = rng.random::<f32>() * 0.5;
+                sum += v.abs();
+            }
+        }
+        row[i] = sum + 1.0 + rng.random::<f32>();
+    }
+    m
+}
+
+/// Zipf-like synthetic term-frequency vectors for the document-ranking
+/// substitution: `docs × terms`, row-major. Frequencies fall off as 1/rank
+/// with per-document noise, which is the shape real term distributions
+/// have; a deterministic fraction of documents gets the template's top
+/// terms boosted so the ranking kernel has true positives to find.
+pub fn document_matrix(docs: usize, terms: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = vec![0.0f32; docs * terms];
+    for d in 0..docs {
+        let relevant = d % 5 == 0; // every 5th document matches the template
+        for t in 0..terms {
+            let zipf = 1.0 / (t as f32 + 1.0);
+            let noise: f32 = rng.random::<f32>();
+            let boost = if relevant && t < terms / 8 { 3.0 } else { 1.0 };
+            m[d * terms + t] = zipf * noise * boost;
+        }
+    }
+    m
+}
+
+/// The ranking template: weight concentrated on the leading terms.
+pub fn document_template(terms: usize) -> Vec<f32> {
+    (0..terms)
+        .map(|t| if t < terms / 8 { 1.0 } else { 0.05 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(deterministic_f32(100, 7), deterministic_f32(100, 7));
+        assert_ne!(deterministic_f32(100, 7), deterministic_f32(100, 8));
+        assert_eq!(diagonally_dominant(16, 1), diagonally_dominant(16, 1));
+        assert_eq!(document_matrix(10, 32, 3), document_matrix(10, 32, 3));
+    }
+
+    #[test]
+    fn diagonal_dominance_holds() {
+        let n = 32;
+        let m = diagonally_dominant(n, 42);
+        for i in 0..n {
+            let off: f32 = (0..n).filter(|&j| j != i).map(|j| m[i * n + j].abs()).sum();
+            assert!(m[i * n + i] > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn document_matrix_has_relevant_docs() {
+        let docs = 20;
+        let terms = 64;
+        let m = document_matrix(docs, terms, 9);
+        let tpl = document_template(terms);
+        let score = |d: usize| -> f32 {
+            (0..terms).map(|t| m[d * terms + t] * tpl[t]).sum()
+        };
+        // Boosted documents outrank their unboosted neighbours.
+        assert!(score(0) > score(1));
+        assert!(score(5) > score(6));
+    }
+}

@@ -1,0 +1,32 @@
+//! # ensemble-apps — the five evaluation applications
+//!
+//! Each application from §7.1 of the paper, in the paper's three
+//! implementations plus a sequential reference:
+//!
+//! | module | paper workload | kernels | notable mechanism |
+//! |---|---|---|---|
+//! | [`matmul`] | 1024² multiply | 1 | the Listing 3 settings protocol |
+//! | [`mandelbrot`] | 1000-iteration set | 1 | 2-D layout vs ACC's 1-D (Fig 3b) |
+//! | [`lud`] | 2048² decomposition | 3 in series | pipeline + `mov` (Fig 3c/4) |
+//! | [`reduction`] | min of 33 554 432 | 1 (two rounds) | barriers + local memory |
+//! | [`docrank`] | document ranking | 1 × many rounds | float4 vs scalar, residency (Fig 3e) |
+//!
+//! Every module exposes `generate`, `reference`, `run_ensemble`,
+//! `run_copencl`, `run_openacc` (docrank adds `run_openmp_cpu` and
+//! `lud` adds the `run_ensemble_nomov` ablation), and the tests in each
+//! module assert both functional equivalence against the reference and
+//! the profile *shapes* the paper's figures report.
+//!
+//! Benchmark sizes are reduced from the paper's (the simulator interprets
+//! kernels); the `figures` harness in the `bench` crate accepts
+//! `--paper-scale` for the original sizes. Figures are normalised, so the
+//! shapes are size-stable.
+
+#![warn(missing_docs)]
+
+pub mod docrank;
+pub mod generate;
+pub mod lud;
+pub mod mandelbrot;
+pub mod matmul;
+pub mod reduction;

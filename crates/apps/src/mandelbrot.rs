@@ -1,0 +1,218 @@
+//! Mandelbrot set (paper: 1000 iterations, one kernel).
+//!
+//! The instructive case for Figure 3b: the explicit kernels use the 2-D
+//! thread layout (one work-item per pixel), while the OpenACC version can
+//! only annotate the outer row loop — one work-item per *row*, which both
+//! under-fills the GPU and suffers load imbalance (row cost varies wildly
+//! across the set). The engine's wave-scheduling cost model makes that
+//! penalty measurable.
+
+use baselines::acc::{AccError, AccRunner, AccTarget};
+use baselines::host_eval::{array_i32, HArg, HVal, HostArray};
+use ensemble_actors::{buffered_channel, In, Out, Stage};
+use ensemble_ocl::{DeviceSel, KernelActor, KernelSpec, ProfileSink, Settings};
+use oclsim::{
+    CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, ProfileSink as Sink, Program,
+};
+use std::rc::Rc;
+
+/// Escape-iteration kernel over a 2-D range, shared by Ensemble and
+/// C-OpenCL.
+pub const KERNEL_SRC: &str = r#"
+__kernel void mandelbrot(__global int* out, const int n,
+                         const int width, const int height,
+                         const int max_iter) {
+    int px = get_global_id(0);
+    int py = get_global_id(1);
+    if (px >= width || py >= height) { return; }
+    float x0 = -2.0f + 3.0f * (float)px / (float)width;
+    float y0 = -1.5f + 3.0f * (float)py / (float)height;
+    float x = 0.0f;
+    float y = 0.0f;
+    int iter = 0;
+    while (x * x + y * y <= 4.0f && iter < max_iter) {
+        float xt = x * x - y * y + x0;
+        y = 2.0f * x * y + y0;
+        x = xt;
+        iter = iter + 1;
+    }
+    out[py * width + px] = iter;
+}
+"#;
+
+/// Annotated sequential C (outer-row loop only — the pragma limitation).
+pub const ACC_SRC: &str = include_str!("assets/mandelbrot/acc.c");
+
+/// Sequential reference.
+pub fn reference(width: usize, height: usize, max_iter: u32) -> Vec<i32> {
+    let mut out = vec![0i32; width * height];
+    for py in 0..height {
+        for px in 0..width {
+            let x0 = -2.0f32 + 3.0 * px as f32 / width as f32;
+            let y0 = -1.5f32 + 3.0 * py as f32 / height as f32;
+            let (mut x, mut y) = (0.0f32, 0.0f32);
+            let mut iter = 0u32;
+            while x * x + y * y <= 4.0 && iter < max_iter {
+                let xt = x * x - y * y + x0;
+                y = 2.0 * x * y + y0;
+                x = xt;
+                iter += 1;
+            }
+            out[py * width + px] = iter as i32;
+        }
+    }
+    out
+}
+
+const GROUP: usize = 16;
+
+/// Ensemble-OpenCL path.
+pub fn run_ensemble(
+    width: usize,
+    height: usize,
+    max_iter: u32,
+    device: DeviceSel,
+    profile: ProfileSink,
+) -> Vec<i32> {
+    let spec = KernelSpec {
+        source: KERNEL_SRC.to_string(),
+        kernel_name: "mandelbrot".to_string(),
+        device,
+        out_segs: vec![0],
+        out_dims: vec![0],
+        profile,
+    };
+    let (req_out, req_in) = buffered_channel::<Settings<Vec<i32>, Vec<i32>>>(1);
+    let mut stage = Stage::new("home");
+    stage.spawn("Mandelbrot", KernelActor::<Vec<i32>, Vec<i32>>::new(spec, req_in));
+    let (result_out, result_in) = buffered_channel::<Vec<i32>>(1);
+    stage.spawn_once("Dispatch", move |_| {
+        let i = In::with_buffer(1);
+        let o = Out::new();
+        o.connect(&i);
+        let mut settings = Settings::new(
+            vec![width, height],
+            vec![GROUP.min(width), GROUP.min(height)],
+            i,
+            result_out,
+        );
+        settings.extra_args = vec![width as i32, height as i32, max_iter as i32];
+        req_out.send_moved(settings).unwrap();
+        o.send_moved(vec![0i32; width * height]).unwrap();
+    });
+    let result = result_in.receive().unwrap();
+    stage.join();
+    result
+}
+
+/// C-OpenCL path: verbose host code.
+pub fn run_copencl(
+    width: usize,
+    height: usize,
+    max_iter: u32,
+    device_type: DeviceType,
+    profile: Sink,
+) -> Vec<i32> {
+    let platforms = Platform::all();
+    let device = platforms
+        .iter()
+        .flat_map(|p| p.devices(Some(device_type)))
+        .next()
+        .expect("no such device");
+    let context = Context::new(std::slice::from_ref(&device)).expect("context");
+    let queue = CommandQueue::new(&context, &device).expect("queue");
+    let program = Program::build(&context, KERNEL_SRC).expect("program build");
+    let kernel = program.create_kernel("mandelbrot").expect("kernel");
+    let n = width * height;
+    let buf = context.create_buffer(MemFlags::ReadWrite, n * 4).expect("buf");
+    // No input upload: the kernel writes every element. (The Ensemble
+    // version pays an upload here — the settings protocol moves the
+    // receive buffer too; that lands in its to-device bar.)
+    kernel.set_arg_buffer(0, &buf).expect("arg");
+    kernel.set_arg_i32(1, n as i32).expect("arg");
+    kernel.set_arg_i32(2, width as i32).expect("arg");
+    kernel.set_arg_i32(3, height as i32).expect("arg");
+    kernel.set_arg_i32(4, max_iter as i32).expect("arg");
+    let g = GROUP.min(width);
+    let ev = queue
+        .enqueue_nd_range(&kernel, &NdRange::d2([width, height], [g, g]))
+        .expect("dispatch");
+    profile.add_kernel(ev.duration_ns());
+    let (result, ev) = queue.read_i32(&buf).expect("read");
+    profile.add_from_device(ev.duration_ns());
+    context.release_bytes(n * 4);
+    result
+}
+
+/// C-OpenACC path: only the row loop parallelises.
+pub fn run_openacc(
+    width: usize,
+    height: usize,
+    max_iter: u32,
+    target: AccTarget,
+    profile: Sink,
+) -> Result<Vec<i32>, AccError> {
+    let runner = AccRunner::new(ACC_SRC, target, profile)?;
+    let out = array_i32(vec![0; width * height]);
+    runner.run(
+        "mandelbrot",
+        &[
+            HArg::Array(Rc::clone(&out)),
+            HArg::Scalar(HVal::I(width as i64)),
+            HArg::Scalar(HVal::I(height as i64)),
+            HArg::Scalar(HVal::I(max_iter as i64)),
+        ],
+    )?;
+    let data = match &*out.borrow() {
+        HostArray::I32(v) => v.clone(),
+        _ => unreachable!("declared i32"),
+    };
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: usize = 64;
+    const H: usize = 64;
+    const IT: u32 = 100;
+
+    #[test]
+    fn ensemble_matches_reference() {
+        let expected = reference(W, H, IT);
+        let got = run_ensemble(W, H, IT, DeviceSel::gpu(), ProfileSink::new());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn copencl_matches_reference() {
+        let expected = reference(W, H, IT);
+        for ty in [DeviceType::Gpu, DeviceType::Cpu] {
+            assert_eq!(run_copencl(W, H, IT, ty, Sink::new()), expected);
+        }
+    }
+
+    #[test]
+    fn openacc_matches_reference() {
+        let expected = reference(W, H, IT);
+        let got = run_openacc(W, H, IT, AccTarget::gpu(), Sink::new()).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn acc_kernel_time_is_much_worse_on_gpu() {
+        // Figure 3b: the row-parallel ACC mapping cannot fill the GPU and
+        // suffers row-cost imbalance; the explicit 2-D kernel does not.
+        let p_ocl = Sink::new();
+        run_copencl(W, H, IT, DeviceType::Gpu, p_ocl.clone());
+        let p_acc = Sink::new();
+        run_openacc(W, H, IT, AccTarget::gpu(), p_acc.clone()).unwrap();
+        let ocl = p_ocl.snapshot().kernel_ns;
+        let acc = p_acc.snapshot().kernel_ns;
+        assert!(
+            acc > 2.0 * ocl,
+            "ACC GPU kernel {acc} not ≫ explicit {ocl}"
+        );
+    }
+}

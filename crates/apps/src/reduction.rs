@@ -1,0 +1,247 @@
+//! Matrix reduction: minimum of a large array by parallel tree reduction
+//! (paper: 33 554 432 elements, one kernel).
+//!
+//! Both explicit paths dispatch the same tree-reduction kernel twice —
+//! once over the data, once over the per-group partial minima — which is
+//! the "different kernel logic" the paper notes both Ensemble and C
+//! require relative to the sequential loop. The OpenACC version annotates
+//! the sequential loop with a `reduction(min:...)` clause and gets the
+//! engine's naive two-stage scheme (Figure 3d's penalty).
+
+use baselines::acc::{AccError, AccRunner, AccTarget};
+use baselines::host_eval::{array_f32, HArg, HVal, HostArray};
+use ensemble_actors::{buffered_channel, In, Out, Stage};
+use ensemble_ocl::{DeviceSel, KernelActor, KernelSpec, ProfileSink, Settings};
+use oclsim::{
+    CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, ProfileSink as Sink, Program,
+};
+use std::rc::Rc;
+
+/// Work-group size; the kernel's local scratch is sized to match.
+pub const GROUP: usize = 256;
+
+/// Tree-reduction kernel: each group folds its slice into one partial
+/// minimum using local memory and barriers.
+pub const KERNEL_SRC: &str = r#"
+__kernel void reduce_min(__global float* data, __global float* partial,
+                         const int n, const int npartial) {
+    __local float scratch[256];
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    if (gid < n) {
+        scratch[lid] = data[gid];
+    } else {
+        scratch[lid] = 3.0e38f;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int stride = get_local_size(0) / 2; stride > 0; stride = stride / 2) {
+        if (lid < stride) {
+            scratch[lid] = fmin(scratch[lid], scratch[lid + stride]);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = scratch[0];
+    }
+}
+"#;
+
+/// Annotated sequential C with a `reduction(min:m)` clause.
+pub const ACC_SRC: &str = include_str!("assets/reduction/acc.c");
+
+/// Deterministic input with a known minimum planted at a fixed position.
+pub fn generate(n: usize) -> Vec<f32> {
+    let mut v = crate::generate::deterministic_f32(n, 97);
+    for x in v.iter_mut() {
+        *x += 0.5; // keep everything above the planted minimum
+    }
+    v[n / 3] = -123.5;
+    v
+}
+
+/// Sequential reference minimum.
+pub fn reference(data: &[f32]) -> f32 {
+    data.iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+fn rounds(n: usize) -> Vec<(usize, usize)> {
+    // (input length, group count) per dispatch until one value remains.
+    let mut out = Vec::new();
+    let mut len = n;
+    loop {
+        let groups = len.div_ceil(GROUP);
+        out.push((len, groups));
+        if groups == 1 {
+            break;
+        }
+        len = groups;
+    }
+    out
+}
+
+/// Ensemble-OpenCL: one kernel actor, driven once per reduction round
+/// (the dynamic-channel protocol makes re-dispatching trivial).
+pub fn run_ensemble(data: Vec<f32>, device: DeviceSel, profile: ProfileSink) -> f32 {
+    type RIn = (Vec<f32>, Vec<f32>);
+    let spec = KernelSpec {
+        source: KERNEL_SRC.to_string(),
+        kernel_name: "reduce_min".to_string(),
+        device,
+        out_segs: vec![1],
+        out_dims: vec![1],
+        profile,
+    };
+    let (req_out, req_in) = buffered_channel::<Settings<RIn, Vec<f32>>>(4);
+    let mut stage = Stage::new("home");
+    stage.spawn("Reduce", KernelActor::<RIn, Vec<f32>>::new(spec, req_in));
+    let (result_out, result_in) = buffered_channel::<f32>(1);
+    stage.spawn_once("Dispatch", move |_| {
+        let mut current = data;
+        loop {
+            let n = current.len();
+            let groups = n.div_ceil(GROUP);
+            let i = In::with_buffer(1);
+            let o = Out::new();
+            o.connect(&i);
+            let (back_out, back_in) = buffered_channel::<Vec<f32>>(1);
+            let settings = Settings::new(vec![groups * GROUP], vec![GROUP], i, back_out);
+            req_out.send_moved(settings).unwrap();
+            o.send_moved((current, vec![0.0f32; groups])).unwrap();
+            current = back_in.receive().unwrap();
+            if groups == 1 {
+                result_out.send(&current[0]).unwrap();
+                return;
+            }
+        }
+    });
+    let result = result_in.receive().unwrap();
+    stage.join();
+    result
+}
+
+/// C-OpenCL: verbose host, same two-round tree reduction. Buffers are
+/// reused across rounds (an optimisation the host programmer writes by
+/// hand here, and gets from `mov` channels in Ensemble).
+pub fn run_copencl(data: Vec<f32>, device_type: DeviceType, profile: Sink) -> f32 {
+    let platforms = Platform::all();
+    let device = platforms
+        .iter()
+        .flat_map(|p| p.devices(Some(device_type)))
+        .next()
+        .expect("no such device");
+    let context = Context::new(std::slice::from_ref(&device)).expect("context");
+    let queue = CommandQueue::new(&context, &device).expect("queue");
+    let program = Program::build(&context, KERNEL_SRC).expect("program build");
+    let kernel = program.create_kernel("reduce_min").expect("kernel");
+
+    let n = data.len();
+    let buf_data = context.create_buffer(MemFlags::ReadWrite, n * 4).expect("buf");
+    let max_groups = n.div_ceil(GROUP);
+    let buf_partial = context
+        .create_buffer(MemFlags::ReadWrite, max_groups * 4)
+        .expect("buf");
+    let ev = queue.write_f32(&buf_data, &data).expect("write");
+    profile.add_to_device(ev.duration_ns());
+
+    let mut src = buf_data.clone();
+    let mut dst = buf_partial.clone();
+    for (len, groups) in rounds(n) {
+        kernel.set_arg_buffer(0, &src).expect("arg");
+        kernel.set_arg_buffer(1, &dst).expect("arg");
+        kernel.set_arg_i32(2, len as i32).expect("arg");
+        kernel.set_arg_i32(3, groups as i32).expect("arg");
+        let ev = queue
+            .enqueue_nd_range(&kernel, &NdRange::d1(groups * GROUP, GROUP))
+            .expect("dispatch");
+        profile.add_kernel(ev.duration_ns());
+        std::mem::swap(&mut src, &mut dst);
+    }
+    // After the final swap, `src` holds the single result at index 0.
+    let mut bytes = vec![0u8; src.len()];
+    let ev = queue.enqueue_read_buffer(&src, &mut bytes).expect("read");
+    profile.add_from_device(ev.duration_ns());
+    let result = oclsim::hostmem::bytes_to_f32(&bytes)[0];
+    context.release_bytes(n * 4 + max_groups * 4);
+    result
+}
+
+/// C-OpenACC: annotated loop with a reduction clause.
+pub fn run_openacc(data: Vec<f32>, target: AccTarget, profile: Sink) -> Result<f32, AccError> {
+    let n = data.len();
+    let runner = AccRunner::new(ACC_SRC, target, profile)?;
+    let hdata = array_f32(data);
+    let hout = array_f32(vec![0.0]);
+    runner.run(
+        "minimum",
+        &[
+            HArg::Array(Rc::clone(&hdata)),
+            HArg::Array(Rc::clone(&hout)),
+            HArg::Scalar(HVal::I(n as i64)),
+        ],
+    )?;
+    let v = match &*hout.borrow() {
+        HostArray::F32(v) => v[0],
+        _ => unreachable!("declared f32"),
+    };
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 4096 + 123; // deliberately not a multiple of GROUP
+
+    #[test]
+    fn ensemble_matches_reference() {
+        let data = generate(N);
+        let expected = reference(&data);
+        let got = run_ensemble(data, DeviceSel::gpu(), ProfileSink::new());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn copencl_matches_reference() {
+        let data = generate(N);
+        let expected = reference(&data);
+        for ty in [DeviceType::Gpu, DeviceType::Cpu] {
+            assert_eq!(run_copencl(data.clone(), ty, Sink::new()), expected);
+        }
+    }
+
+    #[test]
+    fn openacc_matches_reference() {
+        let data = generate(N);
+        let expected = reference(&data);
+        let got = run_openacc(data, AccTarget::gpu(), Sink::new()).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn round_plan_reaches_one_group() {
+        assert_eq!(rounds(GROUP), vec![(GROUP, 1)]);
+        assert_eq!(rounds(GROUP * GROUP), vec![(GROUP * GROUP, GROUP), (GROUP, 1)]);
+        let r = rounds(33_554_432);
+        assert_eq!(r.len(), 4); // 33.5M -> 131072 -> 512 -> 2 -> 1
+        assert_eq!(r.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn acc_reduction_is_slower_than_tree_reduction_on_gpu() {
+        // Figure 3d: the pragma reduction pays a serial combine + extra
+        // transfer; the explicit tree reduction does not.
+        let data = generate(1 << 16);
+        let p_ocl = Sink::new();
+        run_copencl(data.clone(), DeviceType::Gpu, p_ocl.clone());
+        let p_acc = Sink::new();
+        run_openacc(data, AccTarget::gpu(), p_acc.clone()).unwrap();
+        let ocl = p_ocl.snapshot();
+        let acc = p_acc.snapshot();
+        assert!(
+            acc.opencl_ns() > ocl.opencl_ns(),
+            "ACC {} not slower than explicit {}",
+            acc.opencl_ns(),
+            ocl.opencl_ns()
+        );
+    }
+}

@@ -1,0 +1,1006 @@
+//! Host-side evaluator for mini-C functions.
+//!
+//! Runs plain (non-`__kernel`) functions from a mini OpenCL-C translation
+//! unit sequentially on the host. Two roles in the reproduction:
+//!
+//! * it executes the **single-threaded C** versions of the five evaluation
+//!   applications (the same sources `code-metrics` measures for Table 1),
+//!   providing the functional reference every parallel version is checked
+//!   against; and
+//! * it is the host half of the OpenACC-style engine
+//!   ([`crate::acc`]): statements between annotated loops run here, while
+//!   annotated loops are intercepted through [`LoopHook`].
+
+use oclsim::minicl::ast::*;
+use oclsim::minicl::token::Pos;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A scalar value during host evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HVal {
+    /// Integer register.
+    I(i64),
+    /// Float register.
+    F(f64),
+}
+
+impl HVal {
+    /// Integer view (truncates floats, like a C cast).
+    pub fn as_i(self) -> i64 {
+        match self {
+            HVal::I(v) => v,
+            HVal::F(v) => v as i64,
+        }
+    }
+
+    /// Float view.
+    pub fn as_f(self) -> f64 {
+        match self {
+            HVal::I(v) => v as f64,
+            HVal::F(v) => v,
+        }
+    }
+
+    /// C truthiness.
+    pub fn truthy(self) -> bool {
+        match self {
+            HVal::I(v) => v != 0,
+            HVal::F(v) => v != 0.0,
+        }
+    }
+}
+
+/// A host-resident array, shared by reference like a C pointer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostArray {
+    /// `float*` data.
+    F32(Vec<f32>),
+    /// `int*` data.
+    I32(Vec<i32>),
+}
+
+impl HostArray {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            HostArray::F32(v) => v.len(),
+            HostArray::I32(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, i: usize) -> Option<HVal> {
+        match self {
+            HostArray::F32(v) => v.get(i).map(|&x| HVal::F(x as f64)),
+            HostArray::I32(v) => v.get(i).map(|&x| HVal::I(x as i64)),
+        }
+    }
+
+    fn set(&mut self, i: usize, v: HVal) -> bool {
+        match self {
+            HostArray::F32(a) => {
+                if let Some(slot) = a.get_mut(i) {
+                    *slot = v.as_f() as f32;
+                    true
+                } else {
+                    false
+                }
+            }
+            HostArray::I32(a) => {
+                if let Some(slot) = a.get_mut(i) {
+                    *slot = v.as_i() as i32;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Shared handle to a host array (a "pointer").
+pub type ArrRef = Rc<RefCell<HostArray>>;
+
+/// Wrap data as an array argument.
+pub fn array_f32(data: Vec<f32>) -> ArrRef {
+    Rc::new(RefCell::new(HostArray::F32(data)))
+}
+
+/// Wrap data as an int array argument.
+pub fn array_i32(data: Vec<i32>) -> ArrRef {
+    Rc::new(RefCell::new(HostArray::I32(data)))
+}
+
+/// An argument to a host function call.
+#[derive(Debug, Clone)]
+pub enum HArg {
+    /// Scalar by value.
+    Scalar(HVal),
+    /// Array by reference.
+    Array(ArrRef),
+}
+
+/// Evaluation error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    /// Description.
+    pub message: String,
+    /// Source position (best effort).
+    pub pos: Pos,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: eval error: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+enum Flow {
+    Normal,
+    Return(Option<HVal>),
+}
+
+enum Binding {
+    Scalar(HVal),
+    Array(ArrRef),
+}
+
+/// Hook invoked for every `for` loop before sequential evaluation.
+///
+/// Return `Ok(true)` to signal "I executed this loop myself" (the OpenACC
+/// engine's parallel dispatch); `Ok(false)` to let the evaluator run it
+/// sequentially.
+pub trait LoopHook {
+    /// Inspect (and possibly take over) a `for` statement. `eval` is the
+    /// evaluator itself, so a hook can run nested statements (e.g. the
+    /// OpenACC `data` region runs its loop sequentially while keeping
+    /// arrays resident).
+    fn on_for(
+        &mut self,
+        stmt: &Stmt,
+        scope: &mut Scope,
+        eval: &HostEval<'_>,
+    ) -> Result<bool, EvalError>;
+}
+
+/// A no-op hook: everything runs sequentially.
+pub struct NoHook;
+
+impl LoopHook for NoHook {
+    fn on_for(
+        &mut self,
+        _stmt: &Stmt,
+        _scope: &mut Scope,
+        _eval: &HostEval<'_>,
+    ) -> Result<bool, EvalError> {
+        Ok(false)
+    }
+}
+
+/// The mutable variable environment of one function activation, exposed to
+/// loop hooks so the OpenACC engine can read bounds and bind buffers.
+pub struct Scope {
+    frames: Vec<HashMap<String, Binding>>,
+}
+
+impl Scope {
+    fn new() -> Scope {
+        Scope {
+            frames: vec![HashMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn bind_scalar(&mut self, name: &str, v: HVal) {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .insert(name.to_string(), Binding::Scalar(v));
+    }
+
+    fn bind_array(&mut self, name: &str, a: ArrRef) {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .insert(name.to_string(), Binding::Array(a));
+    }
+
+    /// Read a scalar variable.
+    pub fn scalar(&self, name: &str) -> Option<HVal> {
+        for f in self.frames.iter().rev() {
+            match f.get(name) {
+                Some(Binding::Scalar(v)) => return Some(*v),
+                Some(Binding::Array(_)) => return None,
+                None => {}
+            }
+        }
+        None
+    }
+
+    /// Overwrite an existing scalar (searching outward through frames).
+    pub fn set_scalar(&mut self, name: &str, v: HVal) -> bool {
+        for f in self.frames.iter_mut().rev() {
+            if let Some(b) = f.get_mut(name) {
+                if let Binding::Scalar(s) = b {
+                    *s = v;
+                    return true;
+                }
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Look up an array binding.
+    pub fn array(&self, name: &str) -> Option<ArrRef> {
+        for f in self.frames.iter().rev() {
+            match f.get(name) {
+                Some(Binding::Array(a)) => return Some(Rc::clone(a)),
+                Some(Binding::Scalar(_)) => return None,
+                None => {}
+            }
+        }
+        None
+    }
+}
+
+/// The host evaluator over one translation unit.
+pub struct HostEval<'u> {
+    funcs: HashMap<&'u str, &'u Func>,
+}
+
+impl<'u> HostEval<'u> {
+    /// Index the callable (non-kernel) functions of a unit.
+    pub fn new(unit: &'u Unit) -> HostEval<'u> {
+        let funcs = unit
+            .funcs
+            .iter()
+            .filter(|f| !f.is_kernel)
+            .map(|f| (f.name.as_str(), f))
+            .collect();
+        HostEval { funcs }
+    }
+
+    /// Call `name` with `args` sequentially (no hook).
+    pub fn call(&self, name: &str, args: &[HArg]) -> Result<Option<HVal>, EvalError> {
+        self.call_hooked(name, args, &mut NoHook)
+    }
+
+    /// Call `name` with `args`, giving `hook` first refusal on every `for`.
+    pub fn call_hooked(
+        &self,
+        name: &str,
+        args: &[HArg],
+        hook: &mut dyn LoopHook,
+    ) -> Result<Option<HVal>, EvalError> {
+        let f = self.funcs.get(name).ok_or_else(|| EvalError {
+            message: format!("unknown host function `{name}`"),
+            pos: Pos { line: 0, col: 0 },
+        })?;
+        if args.len() != f.params.len() {
+            return Err(EvalError {
+                message: format!(
+                    "`{name}` expects {} arguments, got {}",
+                    f.params.len(),
+                    args.len()
+                ),
+                pos: f.pos,
+            });
+        }
+        let mut scope = Scope::new();
+        for (p, a) in f.params.iter().zip(args) {
+            match (&p.ty, a) {
+                (Type::Ptr(..), HArg::Array(arr)) => scope.bind_array(&p.name, Rc::clone(arr)),
+                (t, HArg::Scalar(v)) if !matches!(t, Type::Ptr(..)) => {
+                    let v = if t.is_float() {
+                        HVal::F(v.as_f())
+                    } else {
+                        HVal::I(v.as_i())
+                    };
+                    scope.bind_scalar(&p.name, v)
+                }
+                _ => {
+                    return Err(EvalError {
+                        message: format!("argument kind mismatch for parameter `{}`", p.name),
+                        pos: p.pos,
+                    })
+                }
+            }
+        }
+        match self.block(&f.body, &mut scope, hook)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(None),
+        }
+    }
+
+    fn block(
+        &self,
+        stmts: &[Stmt],
+        scope: &mut Scope,
+        hook: &mut dyn LoopHook,
+    ) -> Result<Flow, EvalError> {
+        for s in stmts {
+            if let Flow::Return(v) = self.stmt(s, scope, hook)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(
+        &self,
+        s: &Stmt,
+        scope: &mut Scope,
+        hook: &mut dyn LoopHook,
+    ) -> Result<Flow, EvalError> {
+        match s {
+            Stmt::Decl {
+                name,
+                ty,
+                array_len,
+                init,
+                pos,
+                ..
+            } => {
+                if let Some(n) = array_len {
+                    let arr = if ty.is_float() {
+                        array_f32(vec![0.0; *n])
+                    } else {
+                        array_i32(vec![0; *n])
+                    };
+                    scope.bind_array(name, arr);
+                } else {
+                    let v = match init {
+                        Some(e) => self.expr(e, scope)?,
+                        None => HVal::I(0),
+                    };
+                    let v = if ty.is_float() {
+                        HVal::F(v.as_f())
+                    } else {
+                        HVal::I(v.as_i())
+                    };
+                    let _ = pos;
+                    scope.bind_scalar(name, v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                pos,
+            } => {
+                let rhs = self.expr(value, scope)?;
+                self.assign(target, *op, rhs, scope, *pos)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                if self.expr(cond, scope)?.truthy() {
+                    scope.push();
+                    let f = self.block(then_blk, scope, hook);
+                    scope.pop();
+                    f
+                } else {
+                    scope.push();
+                    let f = self.block(else_blk, scope, hook);
+                    scope.pop();
+                    f
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.expr(cond, scope)?.truthy() {
+                    scope.push();
+                    let f = self.block(body, scope, hook)?;
+                    scope.pop();
+                    if let Flow::Return(v) = f {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { .. } => {
+                // Give the hook (the OpenACC engine) first refusal.
+                if hook.on_for(s, scope, self)? {
+                    return Ok(Flow::Normal);
+                }
+                self.run_for(s, scope, hook)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => Some(self.expr(e, scope)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Barrier { pos } => Err(EvalError {
+                message: "barrier() outside a kernel".to_string(),
+                pos: *pos,
+            }),
+            Stmt::ExprStmt(e) => {
+                self.expr(e, scope)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(b) => {
+                scope.push();
+                let f = self.block(b, scope, hook);
+                scope.pop();
+                f
+            }
+        }
+    }
+
+    fn run_for(
+        &self,
+        s: &Stmt,
+        scope: &mut Scope,
+        hook: &mut dyn LoopHook,
+    ) -> Result<Flow, EvalError> {
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } = s
+        else {
+            return Err(EvalError {
+                message: "run_for on a non-for statement".to_string(),
+                pos: Pos { line: 0, col: 0 },
+            });
+        };
+        scope.push();
+        if let Some(i) = init {
+            self.stmt(i, scope, hook)?;
+        }
+        loop {
+            let go = match cond {
+                Some(c) => self.expr(c, scope)?.truthy(),
+                None => true,
+            };
+            if !go {
+                break;
+            }
+            scope.push();
+            let f = self.block(body, scope, hook)?;
+            scope.pop();
+            if let Flow::Return(v) = f {
+                scope.pop();
+                return Ok(Flow::Return(v));
+            }
+            if let Some(st) = step {
+                self.stmt(st, scope, hook)?;
+            }
+        }
+        scope.pop();
+        Ok(Flow::Normal)
+    }
+
+    /// Execute a `for` statement sequentially, *without* offering it to the
+    /// hook (inner loops still go through `hook`). Used by the OpenACC
+    /// `data` region, which wraps a host loop around resident device data.
+    pub fn exec_stmt_sequential_for(
+        &self,
+        s: &Stmt,
+        scope: &mut Scope,
+        hook: &mut dyn LoopHook,
+    ) -> Result<(), EvalError> {
+        self.run_for(s, scope, hook).map(|_| ())
+    }
+
+    /// Evaluate an expression in `scope` (used by the OpenACC engine for
+    /// loop bounds).
+    pub fn eval_expr(&self, e: &Expr, scope: &mut Scope) -> Result<HVal, EvalError> {
+        self.expr(e, scope)
+    }
+
+    fn assign(
+        &self,
+        target: &LValue,
+        op: AssignOp,
+        rhs: HVal,
+        scope: &mut Scope,
+        pos: Pos,
+    ) -> Result<(), EvalError> {
+        match target {
+            LValue::Var(name, _) => {
+                let cur = scope.scalar(name).ok_or_else(|| EvalError {
+                    message: format!("unknown scalar `{name}`"),
+                    pos,
+                })?;
+                let v = apply_assign(cur, op, rhs, pos)?;
+                scope.set_scalar(name, v);
+                Ok(())
+            }
+            LValue::Index(name, idx, _) => {
+                let arr = scope.array(name).ok_or_else(|| EvalError {
+                    message: format!("unknown array `{name}`"),
+                    pos,
+                })?;
+                let i = self.expr(idx, scope)?.as_i();
+                if i < 0 {
+                    return Err(EvalError {
+                        message: format!("negative index {i} into `{name}`"),
+                        pos,
+                    });
+                }
+                let mut borrowed = arr.borrow_mut();
+                let cur = borrowed.get(i as usize).ok_or_else(|| EvalError {
+                    message: format!("index {i} out of bounds for `{name}`"),
+                    pos,
+                })?;
+                let v = apply_assign(cur, op, rhs, pos)?;
+                borrowed.set(i as usize, v);
+                Ok(())
+            }
+            LValue::Comp(..) => Err(EvalError {
+                message: "float4 components are kernel-only".to_string(),
+                pos,
+            }),
+        }
+    }
+
+    fn expr(&self, e: &Expr, scope: &mut Scope) -> Result<HVal, EvalError> {
+        match e {
+            Expr::IntLit(v, _) => Ok(HVal::I(*v)),
+            Expr::FloatLit(v, _) => Ok(HVal::F(*v)),
+            Expr::BoolLit(b, _) => Ok(HVal::I(*b as i64)),
+            Expr::Var(name, pos) => scope.scalar(name).ok_or_else(|| EvalError {
+                message: format!("unknown scalar `{name}`"),
+                pos: *pos,
+            }),
+            Expr::Unary(op, inner, _) => {
+                let v = self.expr(inner, scope)?;
+                Ok(match op {
+                    UnOp::Neg => match v {
+                        HVal::I(x) => HVal::I(-x),
+                        HVal::F(x) => HVal::F(-x),
+                    },
+                    UnOp::LNot => HVal::I(!v.truthy() as i64),
+                    UnOp::BNot => HVal::I(!v.as_i()),
+                })
+            }
+            Expr::Binary(op, l, r, pos) => {
+                // Short-circuit.
+                if *op == BinOp::LAnd {
+                    return Ok(HVal::I(
+                        (self.expr(l, scope)?.truthy() && self.expr(r, scope)?.truthy()) as i64,
+                    ));
+                }
+                if *op == BinOp::LOr {
+                    return Ok(HVal::I(
+                        (self.expr(l, scope)?.truthy() || self.expr(r, scope)?.truthy()) as i64,
+                    ));
+                }
+                let a = self.expr(l, scope)?;
+                let b = self.expr(r, scope)?;
+                binop(*op, a, b, *pos)
+            }
+            Expr::Ternary(c, a, b, _) => {
+                if self.expr(c, scope)?.truthy() {
+                    self.expr(a, scope)
+                } else {
+                    self.expr(b, scope)
+                }
+            }
+            Expr::Index(base, idx, pos) => {
+                let name = match base.as_ref() {
+                    Expr::Var(n, _) => n,
+                    _ => {
+                        return Err(EvalError {
+                            message: "host indexing requires a named array".to_string(),
+                            pos: *pos,
+                        })
+                    }
+                };
+                let arr = scope.array(name).ok_or_else(|| EvalError {
+                    message: format!("unknown array `{name}`"),
+                    pos: *pos,
+                })?;
+                let i = self.expr(idx, scope)?.as_i();
+                if i < 0 {
+                    return Err(EvalError {
+                        message: format!("negative index {i} into `{name}`"),
+                        pos: *pos,
+                    });
+                }
+                let v = arr.borrow().get(i as usize);
+                v.ok_or_else(|| EvalError {
+                    message: format!("index {i} out of bounds for `{name}`"),
+                    pos: *pos,
+                })
+            }
+            Expr::Call(name, args, pos) => self.call_expr(name, args, scope, *pos),
+            Expr::Cast(ty, inner, _) => {
+                let v = self.expr(inner, scope)?;
+                Ok(if ty.is_float() {
+                    HVal::F(v.as_f())
+                } else {
+                    HVal::I(v.as_i())
+                })
+            }
+            Expr::MakeF4(_, pos) | Expr::Comp(_, _, pos) => Err(EvalError {
+                message: "float4 is kernel-only".to_string(),
+                pos: *pos,
+            }),
+        }
+    }
+
+    fn call_expr(
+        &self,
+        name: &str,
+        args: &[Expr],
+        scope: &mut Scope,
+        pos: Pos,
+    ) -> Result<HVal, EvalError> {
+        // Math builtins shared with kernels.
+        let mut vals = Vec::with_capacity(args.len());
+        let builtin = matches!(
+            name,
+            "sqrt" | "fabs" | "floor" | "ceil" | "exp" | "log" | "pow" | "sin" | "cos"
+                | "fmin" | "fmax" | "min" | "max" | "abs" | "rsqrt"
+        );
+        if builtin {
+            for a in args {
+                vals.push(self.expr(a, scope)?);
+            }
+            return host_builtin(name, &vals, pos);
+        }
+        // User function call: evaluate args, binding arrays by name.
+        let f = self.funcs.get(name).ok_or_else(|| EvalError {
+            message: format!("unknown function `{name}`"),
+            pos,
+        })?;
+        let mut hargs = Vec::with_capacity(args.len());
+        for (p, a) in f.params.iter().zip(args) {
+            if matches!(p.ty, Type::Ptr(..)) {
+                match a {
+                    Expr::Var(n, _) => {
+                        let arr = scope.array(n).ok_or_else(|| EvalError {
+                            message: format!("unknown array `{n}`"),
+                            pos,
+                        })?;
+                        hargs.push(HArg::Array(arr));
+                    }
+                    _ => {
+                        return Err(EvalError {
+                            message: "array arguments must be named variables".to_string(),
+                            pos,
+                        })
+                    }
+                }
+            } else {
+                hargs.push(HArg::Scalar(self.expr(a, scope)?));
+            }
+        }
+        let r = self.call(name, &hargs)?;
+        Ok(r.unwrap_or(HVal::I(0)))
+    }
+}
+
+fn apply_assign(cur: HVal, op: AssignOp, rhs: HVal, pos: Pos) -> Result<HVal, EvalError> {
+    let float = matches!(cur, HVal::F(_));
+    let combine_f = |a: f64, b: f64| match op {
+        AssignOp::Set => b,
+        AssignOp::Add => a + b,
+        AssignOp::Sub => a - b,
+        AssignOp::Mul => a * b,
+        AssignOp::Div => a / b,
+        AssignOp::Shl | AssignOp::Shr => b,
+    };
+    if float {
+        Ok(HVal::F(combine_f(cur.as_f(), rhs.as_f())))
+    } else {
+        let (a, b) = (cur.as_i(), rhs.as_i());
+        Ok(HVal::I(match op {
+            AssignOp::Set => b,
+            AssignOp::Add => a.wrapping_add(b),
+            AssignOp::Sub => a.wrapping_sub(b),
+            AssignOp::Mul => a.wrapping_mul(b),
+            AssignOp::Div => {
+                if b == 0 {
+                    return Err(EvalError {
+                        message: "division by zero".to_string(),
+                        pos,
+                    });
+                }
+                a.wrapping_div(b)
+            }
+            AssignOp::Shl => a.wrapping_shl(b as u32),
+            AssignOp::Shr => a.wrapping_shr(b as u32),
+        }))
+    }
+}
+
+fn binop(op: BinOp, a: HVal, b: HVal, pos: Pos) -> Result<HVal, EvalError> {
+    use BinOp::*;
+    let float = matches!(a, HVal::F(_)) || matches!(b, HVal::F(_));
+    Ok(match op {
+        Add | Sub | Mul | Div | Rem => {
+            if float {
+                let (x, y) = (a.as_f(), b.as_f());
+                HVal::F(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Rem => x % y,
+                    _ => unreachable!(),
+                })
+            } else {
+                let (x, y) = (a.as_i(), b.as_i());
+                if matches!(op, Div | Rem) && y == 0 {
+                    return Err(EvalError {
+                        message: "division by zero".to_string(),
+                        pos,
+                    });
+                }
+                HVal::I(match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => x.wrapping_div(y),
+                    Rem => x.wrapping_rem(y),
+                    _ => unreachable!(),
+                })
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let r = if float {
+                let (x, y) = (a.as_f(), b.as_f());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    _ => x >= y,
+                }
+            } else {
+                let (x, y) = (a.as_i(), b.as_i());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    _ => x >= y,
+                }
+            };
+            HVal::I(r as i64)
+        }
+        BAnd => HVal::I(a.as_i() & b.as_i()),
+        BOr => HVal::I(a.as_i() | b.as_i()),
+        BXor => HVal::I(a.as_i() ^ b.as_i()),
+        Shl => HVal::I(a.as_i().wrapping_shl(b.as_i() as u32)),
+        Shr => HVal::I(a.as_i().wrapping_shr(b.as_i() as u32)),
+        LAnd | LOr => unreachable!("short-circuited"),
+    })
+}
+
+fn host_builtin(name: &str, vals: &[HVal], pos: Pos) -> Result<HVal, EvalError> {
+    let need = |n: usize| -> Result<(), EvalError> {
+        if vals.len() != n {
+            Err(EvalError {
+                message: format!("`{name}` expects {n} arguments, got {}", vals.len()),
+                pos,
+            })
+        } else {
+            Ok(())
+        }
+    };
+    match name {
+        "sqrt" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().sqrt()))
+        }
+        "rsqrt" => {
+            need(1)?;
+            Ok(HVal::F(1.0 / vals[0].as_f().sqrt()))
+        }
+        "fabs" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().abs()))
+        }
+        "floor" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().floor()))
+        }
+        "ceil" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().ceil()))
+        }
+        "exp" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().exp()))
+        }
+        "log" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().ln()))
+        }
+        "sin" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().sin()))
+        }
+        "cos" => {
+            need(1)?;
+            Ok(HVal::F(vals[0].as_f().cos()))
+        }
+        "pow" => {
+            need(2)?;
+            Ok(HVal::F(vals[0].as_f().powf(vals[1].as_f())))
+        }
+        "fmin" => {
+            need(2)?;
+            Ok(HVal::F(vals[0].as_f().min(vals[1].as_f())))
+        }
+        "fmax" => {
+            need(2)?;
+            Ok(HVal::F(vals[0].as_f().max(vals[1].as_f())))
+        }
+        "min" => {
+            need(2)?;
+            Ok(match (vals[0], vals[1]) {
+                (HVal::I(a), HVal::I(b)) => HVal::I(a.min(b)),
+                (a, b) => HVal::F(a.as_f().min(b.as_f())),
+            })
+        }
+        "max" => {
+            need(2)?;
+            Ok(match (vals[0], vals[1]) {
+                (HVal::I(a), HVal::I(b)) => HVal::I(a.max(b)),
+                (a, b) => HVal::F(a.as_f().max(b.as_f())),
+            })
+        }
+        "abs" => {
+            need(1)?;
+            Ok(HVal::I(vals[0].as_i().abs()))
+        }
+        other => Err(EvalError {
+            message: format!("unknown builtin `{other}`"),
+            pos,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oclsim::minicl::parse;
+
+    fn eval(src: &str, func: &str, args: &[HArg]) -> Option<HVal> {
+        let unit = parse(src).unwrap();
+        HostEval::new(&unit).call(func, args).unwrap()
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_return() {
+        let src = "float quad(float x) { return x * x * x * x; }
+                   __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        assert_eq!(eval(src, "quad", &[HArg::Scalar(HVal::F(2.0))]), Some(HVal::F(16.0)));
+    }
+
+    #[test]
+    fn sequential_matmul_matches_hand_rolled() {
+        let src = "void matmul(float* a, float* b, float* c, int n) {
+            for (int y = 0; y < n; y++) {
+                for (int x = 0; x < n; x++) {
+                    float acc = 0.0f;
+                    for (int k = 0; k < n; k++) {
+                        acc += a[y * n + k] * b[k * n + x];
+                    }
+                    c[y * n + x] = acc;
+                }
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        let a = array_f32(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = array_f32(vec![5.0, 6.0, 7.0, 8.0]);
+        let c = array_f32(vec![0.0; 4]);
+        eval(
+            src,
+            "matmul",
+            &[
+                HArg::Array(Rc::clone(&a)),
+                HArg::Array(Rc::clone(&b)),
+                HArg::Array(Rc::clone(&c)),
+                HArg::Scalar(HVal::I(2)),
+            ],
+        );
+        assert_eq!(
+            *c.borrow(),
+            HostArray::F32(vec![19.0, 22.0, 43.0, 50.0])
+        );
+    }
+
+    #[test]
+    fn local_arrays_and_while() {
+        let src = "int collatz(int n) {
+            int steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                steps++;
+            }
+            return steps;
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        assert_eq!(eval(src, "collatz", &[HArg::Scalar(HVal::I(6))]), Some(HVal::I(8)));
+    }
+
+    #[test]
+    fn nested_function_calls_share_arrays() {
+        let src = "void fill(float* a, int n, float v) {
+            for (int i = 0; i < n; i++) { a[i] = v; }
+        }
+        float total(float* a, int n) {
+            fill(a, n, 2.0f);
+            float s = 0.0f;
+            for (int i = 0; i < n; i++) { s += a[i]; }
+            return s;
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        let a = array_f32(vec![0.0; 5]);
+        assert_eq!(
+            eval(src, "total", &[HArg::Array(a), HArg::Scalar(HVal::I(5))]),
+            Some(HVal::F(10.0))
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let src = "void bad(float* a) { a[10] = 1.0f; }
+                   __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        let unit = parse(src).unwrap();
+        let a = array_f32(vec![0.0; 2]);
+        let err = HostEval::new(&unit)
+            .call("bad", &[HArg::Array(a)])
+            .unwrap_err();
+        assert!(err.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let src = "int d(int x) { return 1 / x; }
+                   __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        let unit = parse(src).unwrap();
+        let err = HostEval::new(&unit)
+            .call("d", &[HArg::Scalar(HVal::I(0))])
+            .unwrap_err();
+        assert!(err.message.contains("division by zero"));
+    }
+
+    #[test]
+    fn builtins_match_std() {
+        let src = "float h(float x) { return fmax(sqrt(x), fabs(-3.0f)); }
+                   __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        assert_eq!(eval(src, "h", &[HArg::Scalar(HVal::F(4.0))]), Some(HVal::F(3.0)));
+    }
+
+    #[test]
+    fn private_array_declarations_work_on_host() {
+        let src = "float f() {
+            float tmp[4];
+            for (int i = 0; i < 4; i++) { tmp[i] = (float)i; }
+            return tmp[3];
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }";
+        assert_eq!(eval(src, "f", &[]), Some(HVal::F(3.0)));
+    }
+}

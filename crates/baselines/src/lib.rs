@@ -1,0 +1,33 @@
+//! # baselines — the paper's comparison points
+//!
+//! The evaluation of *Parallel Programming in Actor-Based Applications via
+//! OpenCL* (MIDDLEWARE 2015) compares Ensemble-OpenCL against two other ways
+//! of programming accelerators. This crate supplies both:
+//!
+//! * **C-OpenCL** (the API approach, §3.1) — hand-written host code making
+//!   the full verbose sequence of `oclsim` calls: query platform → pick
+//!   device → create context → create queue → build program from source →
+//!   create kernel → set args → enqueue write / ND-range / read. The
+//!   per-application hosts live in `ensemble-apps`; this crate documents
+//!   the style and provides the shared sequential references.
+//!
+//! * **C-OpenACC** (the pragma approach, §3.3) — module [`acc`]: a
+//!   source-to-source engine over annotated mini-C, faithfully reproducing
+//!   the limitations the paper observes with PGI-compiled OpenACC
+//!   (1-D-only mapping, per-region data movement, naive reductions,
+//!   sequential fallback on unproven dependences, and an outright compile
+//!   failure when a compute region calls a user function — the
+//!   document-ranking case).
+//!
+//! * **Single-threaded C** — module [`host_eval`]: a sequential evaluator
+//!   for the same mini-C dialect. The single-threaded application sources
+//!   (which `code-metrics` measures for Table 1) are *runnable* through it
+//!   and serve as the functional references for every parallel version.
+
+#![warn(missing_docs)]
+
+pub mod acc;
+pub mod host_eval;
+
+pub use acc::{AccError, AccReport, AccRunner, AccTarget};
+pub use host_eval::{array_f32, array_i32, ArrRef, EvalError, HArg, HVal, HostArray, HostEval};

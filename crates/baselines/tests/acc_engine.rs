@@ -1,0 +1,340 @@
+//! Integration tests for the OpenACC-style pragma engine.
+
+use baselines::acc::{AccError, AccRunner, AccTarget};
+use baselines::host_eval::{array_f32, HArg, HVal, HostArray};
+use oclsim::ProfileSink;
+use std::rc::Rc;
+
+fn f32s(arr: &baselines::host_eval::ArrRef) -> Vec<f32> {
+    match &*arr.borrow() {
+        HostArray::F32(v) => v.clone(),
+        other => panic!("expected f32 array, got {other:?}"),
+    }
+}
+
+#[test]
+fn annotated_loop_runs_on_device() {
+    let src = "
+        void square_all(float* data, int n) {
+            #pragma acc parallel loop copy(data)
+            for (int i = 0; i < n; i++) {
+                data[i] = data[i] * data[i];
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let profile = ProfileSink::new();
+    let runner = AccRunner::new(src, AccTarget::gpu(), profile.clone()).unwrap();
+    let data = array_f32(vec![1.0, 2.0, 3.0, 4.0]);
+    let report = runner
+        .run(
+            "square_all",
+            &[HArg::Array(Rc::clone(&data)), HArg::Scalar(HVal::I(4))],
+        )
+        .unwrap();
+    assert_eq!(f32s(&data), vec![1.0, 4.0, 9.0, 16.0]);
+    assert_eq!(report.dispatches, 1);
+    assert_eq!(report.sequential_fallbacks, 0);
+    let p = profile.snapshot();
+    assert!(p.to_device_ns > 0.0 && p.from_device_ns > 0.0 && p.kernel_ns > 0.0);
+}
+
+#[test]
+fn captured_scalars_become_kernel_args() {
+    let src = "
+        void scale(float* data, int n, float factor) {
+            #pragma acc parallel loop
+            for (int i = 0; i < n; i++) {
+                data[i] = data[i] * factor;
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let runner = AccRunner::new(src, AccTarget::cpu(), ProfileSink::new()).unwrap();
+    let data = array_f32(vec![1.0, 2.0]);
+    runner
+        .run(
+            "scale",
+            &[
+                HArg::Array(Rc::clone(&data)),
+                HArg::Scalar(HVal::I(2)),
+                HArg::Scalar(HVal::F(3.0)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(f32s(&data), vec![3.0, 6.0]);
+}
+
+#[test]
+fn nonlinear_write_index_falls_back_to_sequential_device_code() {
+    // `data[i*i] = ...` — the paper: "if there is a non-linear data
+    // dependency in a for loop, sequential code may be generated".
+    let src = "
+        void scatter(float* data, int n) {
+            #pragma acc parallel loop
+            for (int i = 0; i < n; i++) {
+                data[i * i] = 1.0f;
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let runner = AccRunner::new(src, AccTarget::gpu(), ProfileSink::new()).unwrap();
+    let data = array_f32(vec![0.0; 16]);
+    let report = runner
+        .run(
+            "scatter",
+            &[HArg::Array(Rc::clone(&data)), HArg::Scalar(HVal::I(4))],
+        )
+        .unwrap();
+    assert_eq!(report.sequential_fallbacks, 1);
+    // Still functionally correct, just serial.
+    let v = f32s(&data);
+    assert_eq!(v[0], 1.0);
+    assert_eq!(v[1], 1.0);
+    assert_eq!(v[4], 1.0);
+    assert_eq!(v[9], 1.0);
+    assert_eq!(v[2], 0.0);
+}
+
+#[test]
+fn unproven_dependence_requires_independent_clause() {
+    // Reads m[i*n+step] while writing m[i*n+j]: unproven without
+    // `independent` (the LUD situation).
+    let body = "
+        void update(float* m, int n, int step) {
+            #pragma acc parallel loop PLACEHOLDER
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) {
+                    m[i * n + j] = m[i * n + j] - m[i * n + step];
+                }
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    for (clause, expect_fallback) in [("", 1u64), ("independent", 0u64)] {
+        let src = body.replace("PLACEHOLDER", clause);
+        let runner = AccRunner::new(&src, AccTarget::gpu(), ProfileSink::new()).unwrap();
+        let data = array_f32(vec![1.0; 16]);
+        let report = runner
+            .run(
+                "update",
+                &[
+                    HArg::Array(Rc::clone(&data)),
+                    HArg::Scalar(HVal::I(4)),
+                    HArg::Scalar(HVal::I(0)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            report.sequential_fallbacks, expect_fallback,
+            "clause `{clause}`"
+        );
+    }
+}
+
+#[test]
+fn reduction_clause_uses_two_stage_scheme() {
+    let src = "
+        float minimum(float* data, int n) {
+            float m = 3.0e38f;
+            #pragma acc parallel loop reduction(min:m)
+            for (int i = 0; i < n; i++) {
+                m = fmin(m, data[i]);
+            }
+            return m;
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let profile = ProfileSink::new();
+    let runner = AccRunner::new(src, AccTarget::gpu(), profile.clone()).unwrap();
+    let mut vals: Vec<f32> = (0..4096).map(|i| (i as f32 - 1000.0).abs() + 5.0).collect();
+    vals[1234] = -42.0;
+    let data = array_f32(vals);
+    runner
+        .run(
+            "minimum",
+            &[HArg::Array(Rc::clone(&data)), HArg::Scalar(HVal::I(4096))],
+        )
+        .unwrap();
+    // The scalar result lives in the function's return; re-run via host
+    // eval to check... instead, verify through a writeback variant below.
+    let p = profile.snapshot();
+    assert_eq!(p.dispatches, 1);
+    assert!(p.from_device_ns > 0.0, "partials must be downloaded");
+}
+
+#[test]
+fn reduction_result_is_correct() {
+    let src = "
+        void minimum(float* data, float* out, int n) {
+            float m = 3.0e38f;
+            #pragma acc parallel loop reduction(min:m)
+            for (int i = 0; i < n; i++) {
+                m = fmin(m, data[i]);
+            }
+            out[0] = m;
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let runner = AccRunner::new(src, AccTarget::gpu(), ProfileSink::new()).unwrap();
+    let mut vals: Vec<f32> = (0..1000).map(|i| 1000.0 - i as f32).collect();
+    vals[777] = -3.5;
+    let data = array_f32(vals);
+    let out = array_f32(vec![0.0]);
+    runner
+        .run(
+            "minimum",
+            &[
+                HArg::Array(data),
+                HArg::Array(Rc::clone(&out)),
+                HArg::Scalar(HVal::I(1000)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(f32s(&out), vec![-3.5]);
+}
+
+#[test]
+fn data_region_keeps_arrays_resident_across_iterations() {
+    let src = "
+        void steps(float* m, int n, int rounds) {
+            #pragma acc data copy(m)
+            for (int r = 0; r < rounds; r++) {
+                #pragma acc parallel loop present(m)
+                for (int i = 0; i < n; i++) {
+                    m[i] = m[i] + 1.0f;
+                }
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let profile = ProfileSink::new();
+    let runner = AccRunner::new(src, AccTarget::gpu(), profile.clone()).unwrap();
+    let data = array_f32(vec![0.0; 256]);
+    let report = runner
+        .run(
+            "steps",
+            &[
+                HArg::Array(Rc::clone(&data)),
+                HArg::Scalar(HVal::I(256)),
+                HArg::Scalar(HVal::I(10)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(report.dispatches, 10);
+    assert!(f32s(&data).iter().all(|&v| v == 10.0));
+    // One upload + one download for the whole region, not ten.
+    let p = profile.snapshot();
+    let gpu = oclsim::Platform::default_device(oclsim::DeviceType::Gpu).unwrap();
+    let one_way = gpu.cost_model().transfer_ns(256 * 4);
+    assert!(
+        (p.to_device_ns - one_way).abs() < 1e-6,
+        "expected a single upload, got {} vs {}",
+        p.to_device_ns,
+        one_way
+    );
+    assert!((p.from_device_ns - one_way).abs() < 1e-6);
+}
+
+#[test]
+fn without_data_region_every_iteration_pays_transfers() {
+    let src = "
+        void steps(float* m, int n, int rounds) {
+            for (int r = 0; r < rounds; r++) {
+                #pragma acc parallel loop copy(m)
+                for (int i = 0; i < n; i++) {
+                    m[i] = m[i] + 1.0f;
+                }
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let profile = ProfileSink::new();
+    let runner = AccRunner::new(src, AccTarget::gpu(), profile.clone()).unwrap();
+    let data = array_f32(vec![0.0; 256]);
+    runner
+        .run(
+            "steps",
+            &[
+                HArg::Array(Rc::clone(&data)),
+                HArg::Scalar(HVal::I(256)),
+                HArg::Scalar(HVal::I(10)),
+            ],
+        )
+        .unwrap();
+    assert!(f32s(&data).iter().all(|&v| v == 10.0));
+    let p = profile.snapshot();
+    let gpu = oclsim::Platform::default_device(oclsim::DeviceType::Gpu).unwrap();
+    let one_way = gpu.cost_model().transfer_ns(256 * 4);
+    assert!((p.to_device_ns - 10.0 * one_way).abs() < 1e-3);
+}
+
+#[test]
+fn user_function_call_in_compute_region_fails_to_compile() {
+    // The modeled PGI failure that leaves Figure 3e without ACC GPU bars.
+    let src = "
+        float score(float x) { return x * 2.0f; }
+        void rank(float* data, int n) {
+            #pragma acc parallel loop
+            for (int i = 0; i < n; i++) {
+                data[i] = score(data[i]);
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let runner = AccRunner::new(src, AccTarget::gpu(), ProfileSink::new()).unwrap();
+    let data = array_f32(vec![1.0; 4]);
+    let err = runner
+        .run("rank", &[HArg::Array(data), HArg::Scalar(HVal::I(4))])
+        .unwrap_err();
+    assert!(matches!(err, AccError::CompileFail(_)), "got {err:?}");
+}
+
+#[test]
+fn un_annotated_code_runs_sequentially_on_host() {
+    let src = "
+        void plain(float* data, int n) {
+            for (int i = 0; i < n; i++) { data[i] = (float)i; }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let profile = ProfileSink::new();
+    let runner = AccRunner::new(src, AccTarget::gpu(), profile.clone()).unwrap();
+    let data = array_f32(vec![0.0; 4]);
+    let report = runner
+        .run("plain", &[HArg::Array(Rc::clone(&data)), HArg::Scalar(HVal::I(4))])
+        .unwrap();
+    assert_eq!(report.dispatches, 0);
+    assert_eq!(f32s(&data), vec![0.0, 1.0, 2.0, 3.0]);
+    assert_eq!(profile.snapshot().kernel_ns, 0.0);
+}
+
+#[test]
+fn gang_worker_clauses_shape_the_launch() {
+    // Worker(256) on a GPU: fewer, larger groups than the default 64 —
+    // observable through the virtual clock (different makespan).
+    let src_t = "
+        void touch(float* data, int n) {
+            #pragma acc parallel loop WORKER
+            for (int i = 0; i < n; i++) {
+                float x = data[i];
+                for (int k = 0; k < 50; k++) { x = x * 1.001f + 0.5f; }
+                data[i] = x;
+            }
+        }
+        __kernel void unused(__global float* a) { a[0] = 0.0f; }
+    ";
+    let mut times = Vec::new();
+    for worker in ["worker(1)", "worker(64)"] {
+        let src = src_t.replace("WORKER", worker);
+        let profile = ProfileSink::new();
+        let runner = AccRunner::new(&src, AccTarget::gpu(), profile.clone()).unwrap();
+        let data = array_f32(vec![1.0; 2048]);
+        runner
+            .run("touch", &[HArg::Array(data), HArg::Scalar(HVal::I(2048))])
+            .unwrap();
+        times.push(profile.snapshot().kernel_ns);
+    }
+    // One-item groups waste the 64-wide SIMD units: must be slower.
+    assert!(times[0] > times[1], "worker(1) {} !> worker(64) {}", times[0], times[1]);
+}

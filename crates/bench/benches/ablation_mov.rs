@@ -1,0 +1,24 @@
+//! The movability ablation (Figure 3c discussion): LUD with `mov` channels
+//! vs copying channels — both wall-clock (here) and virtual-time
+//! (`figures -- ablation`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_apps::lud;
+use ensemble_ocl::{DeviceSel, ProfileSink};
+
+const N: usize = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mov");
+    g.sample_size(10);
+    g.bench_function("lud_mov", |b| {
+        b.iter(|| lud::run_ensemble(lud::generate(N), DeviceSel::gpu(), ProfileSink::new()))
+    });
+    g.bench_function("lud_nomov", |b| {
+        b.iter(|| lud::run_ensemble_nomov(lud::generate(N), DeviceSel::gpu(), ProfileSink::new()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 3a: matrix multiplication under the three approaches (GPU sim).
+//!
+//! Criterion measures wall-clock of the full application runs (kernels are
+//! interpreted); the *virtual-time* figure itself comes from
+//! `cargo run -p bench --bin figures -- fig3a`.
+
+use bench::apps_ens;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_apps::matmul;
+use ensemble_lang::compile_source;
+use ensemble_vm::VmRuntime;
+use oclsim::{DeviceType, ProfileSink};
+
+const N: usize = 48;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3a_matmul");
+    g.sample_size(10);
+    g.bench_function("ensemble_vm_gpu", |b| {
+        let src = apps_ens::matmul(N, "GPU");
+        let module = compile_source(&src).unwrap();
+        b.iter(|| VmRuntime::new(module.clone()).run().unwrap())
+    });
+    g.bench_function("c_opencl_gpu", |b| {
+        b.iter(|| {
+            let (a, m) = matmul::generate(N);
+            matmul::run_copencl(a, m, DeviceType::Gpu, ProfileSink::new())
+        })
+    });
+    g.bench_function("c_openacc_gpu", |b| {
+        b.iter(|| {
+            let (a, m) = matmul::generate(N);
+            matmul::run_openacc(a, m, baselines::acc::AccTarget::gpu(), ProfileSink::new())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3b: Mandelbrot under the three approaches (GPU sim).
+
+use bench::apps_ens;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_apps::mandelbrot;
+use ensemble_lang::compile_source;
+use ensemble_vm::VmRuntime;
+use oclsim::{DeviceType, ProfileSink};
+
+const N: usize = 48;
+const ITERS: u32 = 80;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b_mandelbrot");
+    g.sample_size(10);
+    g.bench_function("ensemble_vm_gpu", |b| {
+        let src = apps_ens::mandelbrot(N, ITERS as usize, "GPU");
+        let module = compile_source(&src).unwrap();
+        b.iter(|| VmRuntime::new(module.clone()).run().unwrap())
+    });
+    g.bench_function("c_opencl_gpu", |b| {
+        b.iter(|| mandelbrot::run_copencl(N, N, ITERS, DeviceType::Gpu, ProfileSink::new()))
+    });
+    g.bench_function("c_openacc_gpu", |b| {
+        b.iter(|| {
+            mandelbrot::run_openacc(N, N, ITERS, baselines::acc::AccTarget::gpu(), ProfileSink::new())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

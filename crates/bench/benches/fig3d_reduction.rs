@@ -1,0 +1,37 @@
+//! Figure 3d: parallel reduction under the three approaches.
+
+use bench::apps_ens;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_apps::reduction;
+use ensemble_lang::compile_source;
+use ensemble_vm::VmRuntime;
+use oclsim::{DeviceType, ProfileSink};
+
+const N: usize = 1 << 14;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3d_reduction");
+    g.sample_size(10);
+    g.bench_function("ensemble_vm_gpu", |b| {
+        let src = apps_ens::reduction(N, "GPU");
+        let module = compile_source(&src).unwrap();
+        b.iter(|| VmRuntime::new(module.clone()).run().unwrap())
+    });
+    g.bench_function("c_opencl_gpu", |b| {
+        b.iter(|| reduction::run_copencl(reduction::generate(N), DeviceType::Gpu, ProfileSink::new()))
+    });
+    g.bench_function("c_openacc_gpu", |b| {
+        b.iter(|| {
+            reduction::run_openacc(
+                reduction::generate(N),
+                baselines::acc::AccTarget::gpu(),
+                ProfileSink::new(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

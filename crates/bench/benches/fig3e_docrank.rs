@@ -1,0 +1,38 @@
+//! Figure 3e: document ranking — Ensemble (mov) vs C-OpenCL vs the OpenMP
+//! CPU fallback (the OpenACC GPU build fails, as in the paper).
+
+use bench::apps_ens;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_apps::docrank;
+use ensemble_lang::compile_source;
+use ensemble_vm::VmRuntime;
+use oclsim::{DeviceType, ProfileSink};
+
+const DOCS: usize = 512;
+const ROUNDS: usize = 5;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3e_docrank");
+    g.sample_size(10);
+    g.bench_function("ensemble_vm_gpu", |b| {
+        let src = apps_ens::docrank(DOCS, ROUNDS, "GPU");
+        let module = compile_source(&src).unwrap();
+        b.iter(|| VmRuntime::new(module.clone()).run().unwrap())
+    });
+    g.bench_function("c_opencl_gpu", |b| {
+        b.iter(|| {
+            let (d, t) = docrank::generate(DOCS);
+            docrank::run_copencl(d, t, docrank::threshold(), DeviceType::Gpu, ProfileSink::new())
+        })
+    });
+    g.bench_function("openmp_cpu", |b| {
+        b.iter(|| {
+            let (d, t) = docrank::generate(DOCS);
+            docrank::run_openmp_cpu(d, t, docrank::threshold(), ProfileSink::new()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

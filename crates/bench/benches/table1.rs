@@ -1,0 +1,17 @@
+//! Table 1 micro-benchmark: how long the metric analyzers take over the
+//! full application source set (and a smoke check that the table builds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/measure_all_sources", |b| {
+        b.iter(|| {
+            let rows = bench::table1::rows();
+            assert_eq!(rows.len(), 15);
+            std::hint::black_box(rows)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

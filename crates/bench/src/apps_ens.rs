@@ -1,0 +1,132 @@
+//! Parameterised Ensemble sources for the five applications.
+//!
+//! The `.ens` assets embed the paper's input sizes; the harness rewrites
+//! those constants for bench-scale runs (the kernels are interpreted, so
+//! paper-scale runs take a while) and retargets the kernel actors' device
+//! annotation for the CPU bars. Every substitution is asserted to match —
+//! a silent no-op rewrite would quietly benchmark the wrong size.
+
+/// Sizes for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    /// Matrix multiplication: n×n.
+    pub matmul_n: usize,
+    /// Mandelbrot: width = height.
+    pub mandel_n: usize,
+    /// Mandelbrot iterations.
+    pub mandel_iters: usize,
+    /// LUD: n×n.
+    pub lud_n: usize,
+    /// Reduction element count.
+    pub reduction_n: usize,
+    /// Document count.
+    pub docrank_docs: usize,
+    /// Ranking rounds.
+    pub docrank_rounds: usize,
+}
+
+impl Sizes {
+    /// Reduced sizes for interpreted-kernel benchmarking.
+    pub fn bench() -> Sizes {
+        Sizes {
+            matmul_n: 64,
+            mandel_n: 64,
+            mandel_iters: 150,
+            lud_n: 48,
+            reduction_n: 1 << 16,
+            docrank_docs: 1024,
+            docrank_rounds: 10,
+        }
+    }
+
+    /// The paper's sizes (slow: every work-item is interpreted).
+    pub fn paper() -> Sizes {
+        Sizes {
+            matmul_n: 1024,
+            mandel_n: 1024,
+            mandel_iters: 1000,
+            lud_n: 2048,
+            reduction_n: 33_554_432,
+            docrank_docs: 65_536,
+            docrank_rounds: 10,
+        }
+    }
+}
+
+fn sub(src: &str, from: &str, to: &str) -> String {
+    assert!(src.contains(from), "substitution `{from}` not found");
+    src.replace(from, to)
+}
+
+fn retarget(src: String, device: &str) -> String {
+    sub(&src, "device_type=GPU", &format!("device_type={device}"))
+}
+
+/// Matmul `.ens` at size `n` targeting `device` ("GPU"/"CPU").
+pub fn matmul(n: usize, device: &str) -> String {
+    let group = if n >= 16 { 16 } else { 2 };
+    let s = include_str!("../../apps/src/assets/matmul/ocl.ens");
+    let s = sub(s, "1024", &n.to_string());
+    let s = sub(&s, "of 16", &format!("of {group}"));
+    retarget(s, device)
+}
+
+/// Mandelbrot `.ens`.
+pub fn mandelbrot(n: usize, iters: usize, device: &str) -> String {
+    let group = if n >= 16 { 16 } else { 4 };
+    let s = include_str!("../../apps/src/assets/mandelbrot/ocl.ens");
+    let s = sub(s, "1024", &n.to_string());
+    let s = sub(&s, "1000", &iters.to_string());
+    let s = sub(&s, "of 16", &format!("of {group}"));
+    retarget(s, device)
+}
+
+/// LUD `.ens`.
+pub fn lud(n: usize, device: &str) -> String {
+    let group = if n >= 16 { 16 } else { 4 };
+    let s = include_str!("../../apps/src/assets/lud/ocl.ens");
+    let s = sub(s, "2048", &n.to_string());
+    let s = sub(&s, "group = 16", &format!("group = {group}"));
+    retarget(s, device)
+}
+
+/// Reduction `.ens`.
+pub fn reduction(n: usize, device: &str) -> String {
+    let s = include_str!("../../apps/src/assets/reduction/ocl.ens");
+    let s = sub(s, "33554432", &n.to_string());
+    retarget(s, device)
+}
+
+/// Document ranking `.ens`.
+pub fn docrank(docs: usize, rounds: usize, device: &str) -> String {
+    let s = include_str!("../../apps/src/assets/docrank/ocl.ens");
+    let s = sub(s, "65536", &docs.to_string());
+    let s = sub(&s, "rounds = 10", &format!("rounds = {rounds}"));
+    retarget(s, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_parameterised_sources_compile() {
+        let sizes = Sizes::bench();
+        for (name, src) in [
+            ("matmul", matmul(sizes.matmul_n, "CPU")),
+            ("mandelbrot", mandelbrot(sizes.mandel_n, sizes.mandel_iters, "CPU")),
+            ("lud", lud(sizes.lud_n, "CPU")),
+            ("reduction", reduction(sizes.reduction_n, "CPU")),
+            ("docrank", docrank(sizes.docrank_docs, sizes.docrank_rounds, "CPU")),
+        ] {
+            ensemble_lang::compile_source(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn retarget_rewrites_device() {
+        let s = matmul(16, "CPU");
+        assert!(s.contains("device_type=CPU"));
+        assert!(!s.contains("device_type=GPU"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerate Figures 3a–3e of the paper (plus the movability ablation).
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures            # all, bench sizes
+//! cargo run --release -p bench --bin figures -- fig3b   # one figure
+//! cargo run --release -p bench --bin figures -- --paper-scale
+//! cargo run --release -p bench --bin figures -- --json  # machine-readable
+//! ```
+
+use bench::figures::{self, ALL};
+use bench::Sizes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper-scale");
+    let json = args.iter().any(|a| a == "--json");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let known: Vec<&str> = ALL.iter().map(|(n, _)| *n).chain(["ablation"]).collect();
+    if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
+        eprintln!("error: unknown figure `{bad}`; valid names: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    let sizes = if paper { Sizes::paper() } else { Sizes::bench() };
+    if paper {
+        eprintln!("note: paper-scale inputs run every work-item through an interpreter; expect long runtimes");
+    }
+    let mut out = Vec::new();
+    for (name, f) in ALL {
+        if !wanted.is_empty() && !wanted.contains(&name) {
+            continue;
+        }
+        let fig = f(&sizes);
+        if json {
+            out.push(fig);
+        } else {
+            println!("{}", fig.render());
+        }
+    }
+    if wanted.is_empty() || wanted.contains(&"ablation") {
+        let fig = figures::ablation_mov(&sizes);
+        if json {
+            out.push(fig);
+        } else {
+            println!("{}", fig.render());
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialise"));
+    }
+}

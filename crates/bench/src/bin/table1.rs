@@ -1,0 +1,12 @@
+//! Regenerate Table 1 of the paper from the in-repo application sources.
+//!
+//! ```text
+//! cargo run -p bench --bin table1
+//! ```
+
+fn main() {
+    println!("Table 1: Difference Between Single Threaded and Concurrent Code per Approach");
+    println!("(absolute delta, percentage in parentheses; sources in crates/apps/src/assets)");
+    println!();
+    print!("{}", bench::table1::render());
+}

@@ -1,0 +1,247 @@
+//! Figure builders: one function per paper figure.
+//!
+//! Bar order matches the paper's grouping: Ensemble GPU (the normalisation
+//! reference), C-OpenCL GPU, C-OpenACC GPU, then the CPU triple.
+
+use crate::apps_ens;
+use crate::apps_ens::Sizes;
+use crate::{c_bar, ens_bar, Bar, Figure};
+use baselines::acc::AccTarget;
+use ensemble_apps::{docrank, lud, mandelbrot, matmul, reduction};
+use ensemble_ocl::ProfileSink;
+use oclsim::DeviceType;
+
+/// Convenient alias so binaries can iterate all figures.
+pub type FigureFn = fn(&Sizes) -> Figure;
+
+/// All five figures in paper order.
+pub const ALL: [(&str, FigureFn); 5] = [
+    ("fig3a", fig3a),
+    ("fig3b", fig3b),
+    ("fig3c", fig3c),
+    ("fig3d", fig3d),
+    ("fig3e", fig3e),
+];
+
+/// The reference bar label (the paper normalises to Ensemble GPU).
+pub const REFERENCE: &str = "Ensemble GPU";
+
+fn acc_bar_or_note(
+    label: &str,
+    result: Result<ProfileSink, String>,
+    notes: &mut Vec<String>,
+) -> Option<Bar> {
+    match result {
+        Ok(profile) => Some(c_bar(label, &profile, 1)),
+        Err(e) => {
+            notes.push(format!("{label}: {e}"));
+            None
+        }
+    }
+}
+
+/// Figure 3a: matrix multiplication.
+pub fn fig3a(sizes: &Sizes) -> Figure {
+    let n = sizes.matmul_n;
+    let mut bars = Vec::new();
+    let mut notes = Vec::new();
+    for (dev, ocl_ty, acc_ty) in [
+        ("GPU", DeviceType::Gpu, AccTarget::gpu()),
+        ("CPU", DeviceType::Cpu, AccTarget::cpu()),
+    ] {
+        bars.push(
+            ens_bar(&format!("Ensemble {dev}"), &apps_ens::matmul(n, dev))
+                .expect("ensemble matmul"),
+        );
+        let p = ProfileSink::new();
+        let (a, b) = matmul::generate(n);
+        matmul::run_copencl(a, b, ocl_ty, p.clone());
+        bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 3));
+        let p = ProfileSink::new();
+        let (a, b) = matmul::generate(n);
+        let r = matmul::run_openacc(a, b, acc_ty, p.clone())
+            .map(|_| p)
+            .map_err(|e| e.to_string());
+        if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
+            bars.push(bar);
+        }
+    }
+    let mut f = Figure {
+        id: "3a".into(),
+        title: format!("Matrix Multiplication ({n}x{n})"),
+        bars,
+        notes,
+    };
+    f.normalise(REFERENCE);
+    f
+}
+
+/// Figure 3b: Mandelbrot.
+pub fn fig3b(sizes: &Sizes) -> Figure {
+    let n = sizes.mandel_n;
+    let iters = sizes.mandel_iters as u32;
+    let mut bars = Vec::new();
+    let mut notes = Vec::new();
+    for (dev, ocl_ty, acc_ty) in [
+        ("GPU", DeviceType::Gpu, AccTarget::gpu()),
+        ("CPU", DeviceType::Cpu, AccTarget::cpu()),
+    ] {
+        bars.push(
+            ens_bar(
+                &format!("Ensemble {dev}"),
+                &apps_ens::mandelbrot(n, iters as usize, dev),
+            )
+            .expect("ensemble mandelbrot"),
+        );
+        let p = ProfileSink::new();
+        mandelbrot::run_copencl(n, n, iters, ocl_ty, p.clone());
+        bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 1));
+        let p = ProfileSink::new();
+        let r = mandelbrot::run_openacc(n, n, iters, acc_ty, p.clone())
+            .map(|_| p)
+            .map_err(|e| e.to_string());
+        if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
+            bars.push(bar);
+        }
+    }
+    let mut f = Figure {
+        id: "3b".into(),
+        title: format!("Mandelbrot ({n}x{n}, {iters} iterations)"),
+        bars,
+        notes,
+    };
+    f.normalise(REFERENCE);
+    f
+}
+
+/// Figure 3c: LUD — three kernels in series, movability on.
+pub fn fig3c(sizes: &Sizes) -> Figure {
+    let n = sizes.lud_n;
+    let mut bars = Vec::new();
+    let mut notes = Vec::new();
+    for (dev, ocl_ty, acc_ty) in [
+        ("GPU", DeviceType::Gpu, AccTarget::gpu()),
+        ("CPU", DeviceType::Cpu, AccTarget::cpu()),
+    ] {
+        bars.push(ens_bar(&format!("Ensemble {dev}"), &apps_ens::lud(n, dev)).expect("ensemble lud"));
+        let p = ProfileSink::new();
+        lud::run_copencl(lud::generate(n), ocl_ty, p.clone());
+        bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 1));
+        let p = ProfileSink::new();
+        let r = lud::run_openacc(lud::generate(n), acc_ty, p.clone())
+            .map(|_| p)
+            .map_err(|e| e.to_string());
+        if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
+            bars.push(bar);
+        }
+    }
+    let mut f = Figure {
+        id: "3c".into(),
+        title: format!("LUD ({n}x{n}, 3 kernels in series)"),
+        bars,
+        notes,
+    };
+    f.normalise(REFERENCE);
+    f
+}
+
+/// Figure 3d: parallel reduction.
+pub fn fig3d(sizes: &Sizes) -> Figure {
+    let n = sizes.reduction_n;
+    let mut bars = Vec::new();
+    let mut notes = Vec::new();
+    for (dev, ocl_ty, acc_ty) in [
+        ("GPU", DeviceType::Gpu, AccTarget::gpu()),
+        ("CPU", DeviceType::Cpu, AccTarget::cpu()),
+    ] {
+        bars.push(
+            ens_bar(&format!("Ensemble {dev}"), &apps_ens::reduction(n, dev))
+                .expect("ensemble reduction"),
+        );
+        let p = ProfileSink::new();
+        reduction::run_copencl(reduction::generate(n), ocl_ty, p.clone());
+        bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 1));
+        let p = ProfileSink::new();
+        let r = reduction::run_openacc(reduction::generate(n), acc_ty, p.clone())
+            .map(|_| p)
+            .map_err(|e| e.to_string());
+        if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
+            bars.push(bar);
+        }
+    }
+    let mut f = Figure {
+        id: "3d".into(),
+        title: format!("Matrix Reduction (min of {n} elements)"),
+        bars,
+        notes,
+    };
+    f.normalise(REFERENCE);
+    f
+}
+
+/// Figure 3e: document ranking — the real-world example.
+pub fn fig3e(sizes: &Sizes) -> Figure {
+    let docs = sizes.docrank_docs;
+    let rounds = sizes.docrank_rounds;
+    let mut bars = Vec::new();
+    let mut notes = Vec::new();
+    let threshold = docrank::threshold();
+    for (dev, ocl_ty) in [("GPU", DeviceType::Gpu), ("CPU", DeviceType::Cpu)] {
+        bars.push(
+            ens_bar(
+                &format!("Ensemble {dev}"),
+                &apps_ens::docrank(docs, rounds, dev),
+            )
+            .expect("ensemble docrank"),
+        );
+        let p = ProfileSink::new();
+        let (d, t) = docrank::generate(docs);
+        docrank::run_copencl(d, t, threshold, ocl_ty, p.clone());
+        bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 3));
+    }
+    // C-OpenACC: the GPU build fails (PGI could not compile this code);
+    // the CPU numbers come from the OpenMP/gcc fallback.
+    let p = ProfileSink::new();
+    let (d, t) = docrank::generate(docs);
+    match docrank::run_openacc(d, t, threshold, AccTarget::gpu(), p) {
+        Ok(_) => notes.push("unexpected: ACC GPU compiled".into()),
+        Err(e) => notes.push(format!(
+            "C-OpenACC GPU/CPU absent: compile failure, as with PGI in the paper ({e})"
+        )),
+    }
+    let p = ProfileSink::new();
+    let (d, t) = docrank::generate(docs);
+    docrank::run_openmp_cpu(d, t, threshold, p.clone()).expect("openmp fallback");
+    bars.push(c_bar("OpenMP-gcc CPU", &p, 3));
+    let mut f = Figure {
+        id: "3e".into(),
+        title: format!("Document Ranking ({docs} docs x{rounds} rounds)"),
+        bars,
+        notes,
+    };
+    f.normalise(REFERENCE);
+    f
+}
+
+/// The Figure 3c movability ablation (paper: ≈3 min without mov vs ≈5 s
+/// with, on the GPU at 2048²).
+pub fn ablation_mov(sizes: &Sizes) -> Figure {
+    let n = sizes.lud_n;
+    let p_mov = ProfileSink::new();
+    lud::run_ensemble(lud::generate(n), ensemble_ocl::DeviceSel::gpu(), p_mov.clone());
+    let p_nomov = ProfileSink::new();
+    lud::run_ensemble_nomov(lud::generate(n), ensemble_ocl::DeviceSel::gpu(), p_nomov.clone());
+    let mut f = Figure {
+        id: "3c-ablation".into(),
+        title: format!("LUD movability ablation ({n}x{n}, GPU)"),
+        bars: vec![
+            c_bar("mov channels", &p_mov, 0),
+            c_bar("copying channels", &p_nomov, 0),
+        ],
+        notes: vec![
+            "paper: without movability LUD took ~3 minutes; with it ~5 seconds".into(),
+        ],
+    };
+    f.normalise("mov channels");
+    f
+}

@@ -1,0 +1,447 @@
+//! Kernel actors: OpenCL kernels represented as actors (§6).
+//!
+//! A kernel actor presents a single channel carrying a [`Settings`] struct.
+//! Its behaviour is the protocol the Ensemble compiler enforces:
+//!
+//! 1. `receive req from requests` — the settings (worksizes + channels);
+//! 2. `receive d from req.input` — the data;
+//! 3. *the kernel body* — here, a mini OpenCL-C kernel dispatched through
+//!    [`oclsim`] on the device named in the actor's [`DeviceSel`];
+//! 4. `send result on req.output` — the processed data onward.
+//!
+//! The actor's bytecode-interpreted host role from Figure 2 of the paper is
+//! played by the actor thread: it prepares buffers, launches the kernel and
+//! collects results, so multiple kernel actors can share one device, and
+//! changing the target device is a one-line change to the `DeviceSel`.
+//!
+//! Two flavours mirror the paper's two channel modes:
+//!
+//! * [`KernelActor`] — plain channels: data is copied to the device and the
+//!   outputs are copied back on every message (shared-nothing semantics).
+//! * [`ResidentKernelActor`] — `mov` channels: messages are
+//!   [`DeviceData`] values; outputs stay on the device and inputs already
+//!   resident in the actor's context are used in place (§6.2.3).
+
+use crate::env::{DeviceSel, OpenClEnvironment};
+use crate::flatten::{FlatData, FlatSeg, Flatten};
+use crate::profile::ProfileSink;
+use crate::resident::{DeviceData, Dispatchable, ResidentBufs};
+use crate::settings::Settings;
+use ensemble_actors::{Actor, ActorCtx, Control, In};
+use oclsim::{ClResult, Kernel, MemFlags, Program};
+use std::marker::PhantomData;
+
+/// Static description of a kernel actor: what to compile, where to run it,
+/// and how its output maps back onto the input's flattened form.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Mini OpenCL-C source (the string the Ensemble compiler would have
+    /// generated from the actor's behaviour clause).
+    pub source: String,
+    /// `__kernel` entry point name.
+    pub kernel_name: String,
+    /// Device selection from the actor declaration.
+    pub device: DeviceSel,
+    /// Indices of the input's flattened segments that form the output
+    /// (e.g. matmul sends only the result matrix onward).
+    pub out_segs: Vec<usize>,
+    /// Indices into the input's `dims` that describe the output's shape.
+    pub out_dims: Vec<usize>,
+    /// Where transfer/kernel times are recorded.
+    pub profile: ProfileSink,
+}
+
+impl KernelSpec {
+    /// Spec with output = the entire input (in-place kernels).
+    pub fn in_place(
+        source: impl Into<String>,
+        kernel_name: impl Into<String>,
+        device: DeviceSel,
+    ) -> KernelSpec {
+        KernelSpec {
+            source: source.into(),
+            kernel_name: kernel_name.into(),
+            device,
+            out_segs: Vec::new(),
+            out_dims: Vec::new(),
+            profile: ProfileSink::new(),
+        }
+    }
+}
+
+/// Upload a flattened value into fresh device buffers, charging the
+/// transfers to `profile`.
+pub(crate) fn upload_flat(
+    env: &OpenClEnvironment,
+    flat: FlatData,
+    profile: &ProfileSink,
+) -> ClResult<ResidentBufs> {
+    let mut bufs = Vec::with_capacity(flat.segs.len());
+    for seg in &flat.segs {
+        let buf = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, seg.byte_len())?;
+        let ev = env.queue.enqueue_write_buffer(&buf, &seg.to_bytes())?;
+        profile.add_to_device(ev.duration_ns());
+        bufs.push((buf, seg.ty()));
+    }
+    Ok(ResidentBufs {
+        bufs,
+        dims: flat.dims,
+        context: env.context.clone(),
+        queue: env.queue.clone(),
+    })
+}
+
+fn bind_and_dispatch(
+    env: &OpenClEnvironment,
+    kernel: &Kernel,
+    rb: &ResidentBufs,
+    worksize: &[usize],
+    groupsize: &[usize],
+    extra_args: &[i32],
+    extra_f32: &[f32],
+    profile: &ProfileSink,
+) -> ClResult<()> {
+    let mut arg = 0usize;
+    for (buf, _) in &rb.bufs {
+        kernel.set_arg_buffer(arg, buf)?;
+        arg += 1;
+    }
+    for d in &rb.dims {
+        kernel.set_arg_i32(arg, *d)?;
+        arg += 1;
+    }
+    for x in extra_args {
+        kernel.set_arg_i32(arg, *x)?;
+        arg += 1;
+    }
+    for x in extra_f32 {
+        kernel.set_arg_f32(arg, *x)?;
+        arg += 1;
+    }
+    let nd = crate::settings::nd_from(worksize, groupsize)?;
+    let ev = env.queue.enqueue_nd_range(kernel, &nd)?;
+    profile.add_kernel(ev.duration_ns());
+    Ok(())
+}
+
+struct Compiled {
+    env: OpenClEnvironment,
+    kernel: Kernel,
+}
+
+fn compile(spec: &KernelSpec, who: &str) -> Compiled {
+    let env = OpenClEnvironment::resolve(spec.device)
+        .unwrap_or_else(|e| panic!("kernel actor `{who}`: device selection failed: {e}"));
+    let program = Program::build(&env.context, &spec.source)
+        .unwrap_or_else(|e| panic!("kernel actor `{who}`: kernel build failed: {e}"));
+    let kernel = program
+        .create_kernel(&spec.kernel_name)
+        .unwrap_or_else(|e| panic!("kernel actor `{who}`: {e}"));
+    Compiled { env, kernel }
+}
+
+/// A kernel actor with plain (copying) channels.
+///
+/// `TIn` is the message type received on the settings' input channel; its
+/// flattened segments become the kernel's buffer arguments (followed by the
+/// dims and any per-dispatch `extra_args` as `int` scalars). After the
+/// dispatch, the segments named by `spec.out_segs` are read back, rebuilt
+/// as `TOut`, and sent on the output channel.
+pub struct KernelActor<TIn: Flatten, TOut: Flatten> {
+    spec: KernelSpec,
+    requests: In<Settings<TIn, TOut>>,
+    compiled: Option<Compiled>,
+    _marker: PhantomData<fn(TIn) -> TOut>,
+}
+
+impl<TIn: Flatten, TOut: Flatten> KernelActor<TIn, TOut> {
+    /// Create the actor; `requests` is its single (interface) channel.
+    pub fn new(spec: KernelSpec, requests: In<Settings<TIn, TOut>>) -> Self {
+        KernelActor {
+            spec,
+            requests,
+            compiled: None,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
+    fn constructor(&mut self, ctx: &mut ActorCtx) {
+        self.compiled = Some(compile(&self.spec, ctx.name()));
+    }
+
+    fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control {
+        let c = self.compiled.as_ref().expect("constructor ran");
+        let settings = match self.requests.receive() {
+            Ok(s) => s,
+            Err(_) => return Control::Stop,
+        };
+        let data = match settings.input.receive() {
+            Ok(d) => d,
+            Err(_) => return Control::Stop,
+        };
+        let flat = data.flatten();
+        let rb = upload_flat(&c.env, flat, &self.spec.profile)
+            .unwrap_or_else(|e| panic!("kernel actor `{}`: upload failed: {e}", ctx.name()));
+        bind_and_dispatch(
+            &c.env,
+            &c.kernel,
+            &rb,
+            &settings.worksize,
+            &settings.groupsize,
+            &settings.extra_args,
+            &settings.extra_f32,
+            &self.spec.profile,
+        )
+        .unwrap_or_else(|e| panic!("kernel actor `{}`: dispatch failed: {e}", ctx.name()));
+
+        // Read back the output segments.
+        let mut out_segs = Vec::with_capacity(self.spec.out_segs.len());
+        for &idx in &self.spec.out_segs {
+            let (buf, ty) = &rb.bufs[idx];
+            let mut bytes = vec![0u8; buf.len()];
+            let ev = c
+                .env
+                .queue
+                .enqueue_read_buffer(buf, &mut bytes)
+                .unwrap_or_else(|e| panic!("kernel actor `{}`: read failed: {e}", ctx.name()));
+            self.spec.profile.add_from_device(ev.duration_ns());
+            out_segs.push(FlatSeg::from_bytes(*ty, &bytes));
+        }
+        let out_dims = self.spec.out_dims.iter().map(|&i| rb.dims[i]).collect();
+        let out = TOut::unflatten(FlatData {
+            segs: out_segs,
+            dims: out_dims,
+        })
+        .unwrap_or_else(|e| panic!("kernel actor `{}`: {e}", ctx.name()));
+
+        // Plain channels: nothing stays on the device.
+        let released = rb.device_bytes();
+        c.env.context.release_bytes(released);
+        drop(rb);
+
+        if settings.output.send_moved(out).is_err() {
+            return Control::Stop;
+        }
+        Control::Continue
+    }
+}
+
+/// A kernel actor whose data channels are `mov`: it consumes and produces
+/// [`DeviceData`], leaving results on the device (§6.2.3).
+///
+/// The kernel runs **in place** over all of the value's segments; the same
+/// buffers flow onward inside the output `DeviceData`, so a pipeline of
+/// these actors (the paper's LUD topology, Figure 4) moves the data to the
+/// device once and back once.
+pub struct ResidentKernelActor<T: Flatten> {
+    spec: KernelSpec,
+    requests: In<Settings<DeviceData<T>, DeviceData<T>>>,
+    compiled: Option<Compiled>,
+}
+
+impl<T: Flatten> ResidentKernelActor<T> {
+    /// Create the actor; `requests` is its single (interface) channel.
+    pub fn new(spec: KernelSpec, requests: In<Settings<DeviceData<T>, DeviceData<T>>>) -> Self {
+        ResidentKernelActor {
+            spec,
+            requests,
+            compiled: None,
+        }
+    }
+}
+
+impl<T: Flatten> Actor for ResidentKernelActor<T> {
+    fn constructor(&mut self, ctx: &mut ActorCtx) {
+        self.compiled = Some(compile(&self.spec, ctx.name()));
+    }
+
+    fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control {
+        let c = self.compiled.as_ref().expect("constructor ran");
+        let settings = match self.requests.receive() {
+            Ok(s) => s,
+            Err(_) => return Control::Stop,
+        };
+        let data = match settings.input.receive() {
+            Ok(d) => d,
+            Err(_) => return Control::Stop,
+        };
+        // §6.2.3: same context → reuse buffers; host or foreign context →
+        // (read back and) upload.
+        let rb = match data
+            .for_dispatch(&c.env.context, Some(&self.spec.profile))
+            .unwrap_or_else(|e| panic!("kernel actor `{}`: {e}", ctx.name()))
+        {
+            Dispatchable::Resident(rb) => rb,
+            Dispatchable::Host(flat) => upload_flat(&c.env, flat, &self.spec.profile)
+                .unwrap_or_else(|e| panic!("kernel actor `{}`: upload failed: {e}", ctx.name())),
+        };
+        bind_and_dispatch(
+            &c.env,
+            &c.kernel,
+            &rb,
+            &settings.worksize,
+            &settings.groupsize,
+            &settings.extra_args,
+            &settings.extra_f32,
+            &self.spec.profile,
+        )
+        .unwrap_or_else(|e| panic!("kernel actor `{}`: dispatch failed: {e}", ctx.name()));
+
+        if settings.output.send_moved(DeviceData::resident(rb)).is_err() {
+            return Control::Stop;
+        }
+        Control::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_actors::{buffered_channel, Out, Stage};
+    use oclsim::DeviceType;
+
+    const SCALE_SRC: &str = "__kernel void scale(__global float* data, const int n) {
+        int i = get_global_id(0);
+        if (i < n) { data[i] = data[i] * 2.0f; }
+    }";
+
+    fn scale_spec(profile: ProfileSink) -> KernelSpec {
+        KernelSpec {
+            source: SCALE_SRC.to_string(),
+            kernel_name: "scale".to_string(),
+            device: DeviceSel::gpu(),
+            out_segs: vec![0],
+            out_dims: vec![0],
+            profile,
+        }
+    }
+
+    #[test]
+    fn kernel_actor_full_protocol() {
+        // The complete Listing-3 choreography: dispatch actor + kernel
+        // actor connected by a requests channel; data channels created
+        // dynamically and sent inside the settings struct.
+        let profile = ProfileSink::new();
+        let (req_out, req_in) = buffered_channel::<Settings<Vec<f32>, Vec<f32>>>(1);
+        let mut stage = Stage::new("home");
+        stage.spawn("Multiply", KernelActor::new(scale_spec(profile.clone()), req_in));
+        let (result_out, result_in) = buffered_channel::<Vec<f32>>(1);
+        stage.spawn_once("Dispatch", move |_| {
+            let data_in = In::with_buffer(1);
+            let data_out = Out::new();
+            data_out.connect(&data_in);
+            let settings = Settings::new(vec![8], vec![4], data_in, result_out);
+            req_out.send_moved(settings).unwrap();
+            data_out
+                .send(&vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+                .unwrap();
+        });
+        let result = result_in.receive().unwrap();
+        stage.join(); // kernel actor stops when the requests channel closes
+        assert_eq!(result, vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+        let p = profile.snapshot();
+        assert!(p.to_device_ns > 0.0);
+        assert!(p.from_device_ns > 0.0);
+        assert!(p.kernel_ns > 0.0);
+        assert_eq!(p.dispatches, 1);
+    }
+
+    #[test]
+    fn resident_pipeline_skips_intermediate_transfers() {
+        // Two mov kernel actors in series on the same device: the value
+        // crosses the host boundary exactly twice (up once, down once).
+        let profile = ProfileSink::new();
+        let (req1_out, req1_in) = buffered_channel(1);
+        let (req2_out, req2_in) = buffered_channel(1);
+        let mut stage = Stage::new("home");
+        stage.spawn(
+            "k1",
+            ResidentKernelActor::<Vec<f32>>::new(
+                KernelSpec {
+                    out_segs: vec![],
+                    out_dims: vec![],
+                    ..scale_spec(profile.clone())
+                },
+                req1_in,
+            ),
+        );
+        stage.spawn(
+            "k2",
+            ResidentKernelActor::<Vec<f32>>::new(
+                KernelSpec {
+                    out_segs: vec![],
+                    out_dims: vec![],
+                    ..scale_spec(profile.clone())
+                },
+                req2_in,
+            ),
+        );
+        let (final_out, final_in) = buffered_channel::<DeviceData<Vec<f32>>>(1);
+        let p2 = profile.clone();
+        stage.spawn_once("controller", move |_| {
+            // Plumb: controller -> k1 -> k2 -> controller (Figure 4).
+            let k1_data = In::with_buffer(1);
+            let to_k1 = Out::new();
+            to_k1.connect(&k1_data);
+            let k2_data = In::with_buffer(1);
+            let k1_to_k2 = Out::new();
+            k1_to_k2.connect(&k2_data);
+            req1_out
+                .send_moved(Settings::new(vec![4], vec![4], k1_data, k1_to_k2))
+                .unwrap();
+            req2_out
+                .send_moved(Settings::new(vec![4], vec![4], k2_data, final_out))
+                .unwrap();
+            to_k1
+                .send_moved(DeviceData::host(vec![1.0f32, 2.0, 3.0, 4.0]))
+                .unwrap();
+        });
+        let result = final_in.receive().unwrap();
+        assert!(result.is_resident());
+        let values = result.into_host_profiled(Some(&p2)).unwrap();
+        stage.join();
+        assert_eq!(values, vec![4.0, 8.0, 12.0, 16.0]);
+        let p = profile.snapshot();
+        assert_eq!(p.dispatches, 2);
+        // One upload (16 bytes) and one final download — no transfer
+        // between the two kernels. Transfer cost is affine, so a second
+        // hop would have doubled these figures.
+        let gpu = crate::env::device_matrix().select(DeviceSel::gpu()).unwrap();
+        let one_way = gpu.device.cost_model().transfer_ns(16);
+        assert!((p.to_device_ns - one_way).abs() < 1e-6);
+        assert!((p.from_device_ns - one_way).abs() < 1e-6);
+    }
+
+    #[test]
+    fn device_retarget_is_one_line() {
+        // "should the user wish to change the device ... the language only
+        // requires that the device type be modified in the actor
+        // definition" — here: the DeviceSel field.
+        for ty in [DeviceType::Gpu, DeviceType::Cpu, DeviceType::Accelerator] {
+            let profile = ProfileSink::new();
+            let (req_out, req_in) = buffered_channel(1);
+            let mut stage = Stage::new("home");
+            let spec = KernelSpec {
+                device: DeviceSel::new(ty, 0),
+                ..scale_spec(profile)
+            };
+            stage.spawn("k", KernelActor::<Vec<f32>, Vec<f32>>::new(spec, req_in));
+            let (result_out, result_in) = buffered_channel::<Vec<f32>>(1);
+            stage.spawn_once("d", move |_| {
+                let data_in = In::with_buffer(1);
+                let data_out = Out::new();
+                data_out.connect(&data_in);
+                req_out
+                    .send_moved(Settings::new(vec![4], vec![2], data_in, result_out))
+                    .unwrap();
+                data_out.send(&vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
+            });
+            assert_eq!(result_in.receive().unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
+            stage.join();
+        }
+    }
+}

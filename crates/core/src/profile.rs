@@ -1,0 +1,8 @@
+//! Re-export of the profiling accumulators.
+//!
+//! The `Profile`/`ProfileSink` types live in [`oclsim::profile`] so that the
+//! comparison baselines (which do not depend on this crate) can record the
+//! same to-device / from-device / kernel splits that the kernel actors do;
+//! the figure harness then treats every approach identically.
+
+pub use oclsim::profile::{Profile, ProfileSink};

@@ -1,0 +1,117 @@
+//! §6.1.2's closing remark, made measurable: "Primitive values are sent as
+//! 1D-arrays of one element … A potential optimisation here is to wrap all
+//! passed primitive variables in a single array."
+//!
+//! Each one-element segment becomes its own buffer and its own transfer,
+//! paying the fixed per-transfer latency; packing the scalars into one
+//! array pays it once. The deterministic cost model lets the test assert
+//! the exact ratio.
+
+use ensemble_actors::{buffered_channel, In, Out, Stage};
+use ensemble_ocl::{device_matrix, DeviceSel, Flatten, KernelActor, KernelSpec, ProfileSink, Settings};
+
+/// Eight scalars the paper's rule sends as eight one-element arrays.
+type Unpacked = (
+    (f32, f32, f32, f32),
+    (f32, f32, f32, f32),
+);
+
+const SUM8_UNPACKED: &str = "__kernel void sum8(
+    __global float* a, __global float* b, __global float* c, __global float* d,
+    __global float* e, __global float* f, __global float* g, __global float* h) {
+    a[0] = a[0] + b[0] + c[0] + d[0] + e[0] + f[0] + g[0] + h[0];
+}";
+
+const SUM8_PACKED: &str = "__kernel void sum8(__global float* s, const int n) {
+    float total = 0.0f;
+    for (int i = 0; i < n; i++) { total = total + s[i]; }
+    s[0] = total;
+}";
+
+fn run_unpacked(profile: ProfileSink) -> f32 {
+    let spec = KernelSpec {
+        source: SUM8_UNPACKED.to_string(),
+        kernel_name: "sum8".to_string(),
+        device: DeviceSel::gpu(),
+        out_segs: vec![0],
+        out_dims: vec![],
+        profile,
+    };
+    let (req_out, req_in) = buffered_channel::<Settings<Unpacked, f32>>(1);
+    let mut stage = Stage::new("home");
+    stage.spawn("sum", KernelActor::<Unpacked, f32>::new(spec, req_in));
+    let (result_out, result_in) = buffered_channel(1);
+    stage.spawn_once("drive", move |_| {
+        let i = In::with_buffer(1);
+        let o = Out::new();
+        o.connect(&i);
+        req_out
+            .send_moved(Settings::new(vec![1], vec![1], i, result_out))
+            .unwrap();
+        o.send(&((1.0, 2.0, 3.0, 4.0), (5.0, 6.0, 7.0, 8.0))).unwrap();
+    });
+    let r = result_in.receive().unwrap();
+    stage.join();
+    r
+}
+
+fn run_packed(profile: ProfileSink) -> f32 {
+    let spec = KernelSpec {
+        source: SUM8_PACKED.to_string(),
+        kernel_name: "sum8".to_string(),
+        device: DeviceSel::gpu(),
+        out_segs: vec![0],
+        out_dims: vec![0],
+        profile,
+    };
+    let (req_out, req_in) = buffered_channel::<Settings<Vec<f32>, Vec<f32>>>(1);
+    let mut stage = Stage::new("home");
+    stage.spawn("sum", KernelActor::<Vec<f32>, Vec<f32>>::new(spec, req_in));
+    let (result_out, result_in) = buffered_channel(1);
+    stage.spawn_once("drive", move |_| {
+        let i = In::with_buffer(1);
+        let o = Out::new();
+        o.connect(&i);
+        req_out
+            .send_moved(Settings::new(vec![1], vec![1], i, result_out))
+            .unwrap();
+        o.send(&vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+    });
+    let r = result_in.receive().unwrap();
+    stage.join();
+    r[0]
+}
+
+#[test]
+fn eight_scalars_flatten_to_eight_segments() {
+    let flat = ((1.0f32, 2.0f32, 3.0f32, 4.0f32), (5.0f32, 6.0f32, 7.0f32, 8.0f32)).flatten();
+    assert_eq!(flat.segs.len(), 8);
+    assert!(flat.segs.iter().all(|s| s.len() == 1));
+}
+
+#[test]
+fn packing_scalars_saves_seven_transfer_latencies() {
+    let p_unpacked = ProfileSink::new();
+    assert_eq!(run_unpacked(p_unpacked.clone()), 36.0);
+    let p_packed = ProfileSink::new();
+    assert_eq!(run_packed(p_packed.clone()), 36.0);
+
+    let unpacked = p_unpacked.snapshot();
+    let packed = p_packed.snapshot();
+    let cost = device_matrix()
+        .select(DeviceSel::gpu())
+        .unwrap()
+        .device
+        .cost_model()
+        .clone();
+    // Unpacked: 8 transfers of 4 bytes. Packed: 1 transfer of 32 bytes.
+    let expected_unpacked = 8.0 * cost.transfer_ns(4);
+    let expected_packed = cost.transfer_ns(32);
+    assert!((unpacked.to_device_ns - expected_unpacked).abs() < 1.0);
+    assert!((packed.to_device_ns - expected_packed).abs() < 1.0);
+    assert!(
+        unpacked.to_device_ns > 7.0 * packed.to_device_ns,
+        "the optimisation the paper suggests is worth ~{:.1}x here",
+        unpacked.to_device_ns / packed.to_device_ns
+    );
+}

@@ -1,0 +1,389 @@
+//! Abstract syntax tree for mini-Ensemble.
+
+use crate::token::Pos;
+
+/// Type expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `integer`.
+    Integer,
+    /// `real`.
+    Real,
+    /// `boolean`.
+    Boolean,
+    /// `string`.
+    StringT,
+    /// `T []`, `T [][]`, ... — element type plus dimension count.
+    Array(Box<TypeExpr>, usize),
+    /// A named struct / opencl struct type.
+    Named(String),
+    /// `in T` channel endpoint type.
+    ChanIn(Box<TypeExpr>),
+    /// `out T` channel endpoint type.
+    ChanOut(Box<TypeExpr>),
+}
+
+impl std::fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeExpr::Integer => write!(f, "integer"),
+            TypeExpr::Real => write!(f, "real"),
+            TypeExpr::Boolean => write!(f, "boolean"),
+            TypeExpr::StringT => write!(f, "string"),
+            TypeExpr::Array(e, d) => {
+                write!(f, "{e}")?;
+                for _ in 0..*d {
+                    write!(f, " []")?;
+                }
+                Ok(())
+            }
+            TypeExpr::Named(n) => write!(f, "{n}"),
+            TypeExpr::ChanIn(e) => write!(f, "in {e}"),
+            TypeExpr::ChanOut(e) => write!(f, "out {e}"),
+        }
+    }
+}
+
+/// A struct field (or opencl-struct field).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeExpr,
+    /// Declared `mov` (movable — §6.2.3 of the paper).
+    pub mov: bool,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Direction of an interface port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `in` — the actor receives on this channel.
+    In,
+    /// `out` — the actor sends on this channel.
+    Out,
+}
+
+/// An interface port: `out integer output`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Direction.
+    pub dir: Dir,
+    /// Element type conveyed.
+    pub ty: TypeExpr,
+    /// Port name.
+    pub name: String,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A type declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeDecl {
+    /// `type name is [opencl] struct ( fields )`.
+    Struct {
+        /// Type name.
+        name: String,
+        /// Fields, in declaration order.
+        fields: Vec<Field>,
+        /// Declared with the `opencl` keyword (the settings-struct shape is
+        /// then validated by semantic analysis).
+        opencl: bool,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `type name is interface ( ports )`.
+    Interface {
+        /// Type name.
+        name: String,
+        /// Ports.
+        ports: Vec<Port>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl TypeDecl {
+    /// Declared name.
+    pub fn name(&self) -> &str {
+        match self {
+            TypeDecl::Struct { name, .. } | TypeDecl::Interface { name, .. } => name,
+        }
+    }
+}
+
+/// Attributes of an `opencl <...>` actor header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpenclAttrs {
+    /// `device_index=N`.
+    pub device_index: usize,
+    /// `device_type=GPU|CPU|ACCELERATOR` (None = default device).
+    pub device_type: Option<String>,
+}
+
+/// An actor declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorDecl {
+    /// Actor type name.
+    pub name: String,
+    /// Interface presented.
+    pub interface: String,
+    /// `Some` when declared `opencl <...> actor`.
+    pub opencl: Option<OpenclAttrs>,
+    /// Field declarations with initialisers (`value = 1;`).
+    pub fields: Vec<(String, Expr)>,
+    /// Constructor body.
+    pub constructor: Vec<Stmt>,
+    /// Behaviour body (repeated until stop).
+    pub behaviour: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A stage: actors plus the boot block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDecl {
+    /// Stage name.
+    pub name: String,
+    /// Actors declared inside the stage.
+    pub actors: Vec<ActorDecl>,
+    /// The boot block.
+    pub boot: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A whole compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Top-level type declarations.
+    pub types: Vec<TypeDecl>,
+    /// Stages (typically one).
+    pub stages: Vec<StageDecl>,
+}
+
+/// One segment of an l-value / variable path: `d.result[x][y]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathSeg {
+    /// `.field`.
+    Field(String),
+    /// `[index]`.
+    Index(Expr),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operator variants are self-describing
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Real literal.
+    Real(f64, Pos),
+    /// Boolean literal.
+    Bool(bool, Pos),
+    /// String literal.
+    Str(String, Pos),
+    /// Variable access with optional field/index path.
+    Path(String, Vec<PathSeg>, Pos),
+    /// Unary negation.
+    Neg(Box<Expr>, Pos),
+    /// Logical not.
+    Not(Box<Expr>, Pos),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Builtin call: `get_global_id(0)`, `toReal(x)`, `lengthof(a)`, ...
+    Call(String, Vec<Expr>, Pos),
+    /// `new real[n][m]` / `new integer[2] of s`.
+    NewArray {
+        /// Element type.
+        elem: TypeExpr,
+        /// One expression per dimension.
+        dims: Vec<Expr>,
+        /// `of <expr>` fill value (default zero).
+        fill: Option<Box<Expr>>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `new settings_t(a, b, c, d)` — struct construction.
+    NewStruct {
+        /// Struct type name.
+        name: String,
+        /// Field values in declaration order.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `new snd()` — actor instantiation (boot only).
+    NewActor {
+        /// Actor type name.
+        name: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `new in T` — dynamic input endpoint.
+    NewChanIn(TypeExpr, Pos),
+    /// `new out T` — dynamic output endpoint.
+    NewChanOut(TypeExpr, Pos),
+}
+
+impl Expr {
+    /// Source position.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Real(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Str(_, p)
+            | Expr::Path(_, _, p)
+            | Expr::Neg(_, p)
+            | Expr::Not(_, p)
+            | Expr::Binary(_, _, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::NewArray { pos: p, .. }
+            | Expr::NewStruct { pos: p, .. }
+            | Expr::NewActor { pos: p, .. }
+            | Expr::NewChanIn(_, p)
+            | Expr::NewChanOut(_, p) => *p,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = expr;` — declaration of a new binding.
+    Declare {
+        /// New variable name.
+        name: String,
+        /// Initial value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `local x = new real[k];` — kernel-local (work-group shared) array.
+    DeclareLocal {
+        /// New variable name.
+        name: String,
+        /// Initial value (must be a NewArray inside kernels).
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `path := expr;` — assignment to an existing location.
+    Assign {
+        /// Target root variable.
+        name: String,
+        /// Path from the root (may be empty).
+        path: Vec<PathSeg>,
+        /// New value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `send expr on chan;`
+    Send {
+        /// Value to send.
+        value: Expr,
+        /// Channel expression (a path).
+        chan: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `receive name from chan;` — declares `name`.
+    Receive {
+        /// Variable to bind.
+        name: String,
+        /// Channel expression (a path).
+        chan: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `connect a.x to b.y;`
+    Connect {
+        /// The out endpoint.
+        from: Expr,
+        /// The in endpoint.
+        to: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `for i = lo .. hi do { ... }` (inclusive bounds, as in Listing 3).
+    For {
+        /// Loop variable (fresh binding).
+        var: String,
+        /// Lower bound.
+        from: Expr,
+        /// Upper bound (inclusive).
+        to: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (cond) { ... }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `if cond then { ... } else { ... }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Vec<Stmt>,
+        /// Else branch.
+        else_blk: Vec<Stmt>,
+    },
+    /// `printString("...")` / `printInt(x)` / `printReal(x)`.
+    Print {
+        /// Which print primitive.
+        kind: PrintKind,
+        /// Value printed.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `barrier();` — kernel actors only.
+    Barrier {
+        /// Source position.
+        pos: Pos,
+    },
+    /// `stop;` — stop this actor.
+    Stop {
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// The print primitives of the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrintKind {
+    /// `printString`.
+    Str,
+    /// `printInt`.
+    Int,
+    /// `printReal`.
+    Real,
+}

@@ -1,0 +1,35 @@
+//! # ensemble-lang — the mini-Ensemble compiler
+//!
+//! A compiler for the subset of the Ensemble language used by the paper's
+//! listings and evaluation applications (§4, §6.1): actors with repeated
+//! behaviours, stages with boot blocks, typed unidirectional channels,
+//! struct/interface/opencl-struct types, `mov` fields, and `opencl`
+//! kernel actors.
+//!
+//! The pipeline mirrors Figure 1 of the paper:
+//!
+//! 1. [`parser`] — source → AST;
+//! 2. [`compile`] — semantic checks (opencl struct shape, single-channel
+//!    kernel interfaces, the receive/receive/…/send kernel protocol, the
+//!    `mov` use-after-send analysis) and code generation;
+//! 3. host actors become stack bytecode ([`vmops`]) for the Ensemble VM
+//!    (crate `ensemble-vm`), and kernel-actor behaviours become OpenCL C
+//!    strings ([`kernelgen`]) "stored within the actor's bytecode" — the
+//!    §6.1.3 execution model.
+//!
+//! Compile-time kernel errors (with `.ens` positions) instead of runtime
+//! build failures are one of the paper's stated advantages; the tests in
+//! [`compile`] exercise exactly those rejections.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod kernelgen;
+pub mod parser;
+pub mod token;
+pub mod vmops;
+
+pub use compile::{compile_module, compile_source, CompileError};
+pub use parser::{parse, ParseError};
+pub use vmops::{ActorCode, Chunk, CompiledActor, CompiledModule, KernelPlan, VOp};

@@ -1,0 +1,852 @@
+//! Recursive-descent parser for mini-Ensemble.
+
+use crate::ast::*;
+use crate::token::{lex, Pos, Spanned, Tok};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub pos: Pos,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: parse error: {}", self.pos, self.message)
+    }
+}
+
+/// Parse a full module.
+pub fn parse(src: &str) -> Result<Module, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        pos: e.pos,
+    })?;
+    let mut p = Parser { tokens, i: 0 };
+    let mut module = Module::default();
+    while !p.at_eof() {
+        if p.peek_kw("type") {
+            module.types.push(p.type_decl()?);
+        } else if p.peek_kw("stage") {
+            module.stages.push(p.stage()?);
+        } else {
+            return Err(p.err(format!(
+                "expected `type` or `stage`, found {}",
+                p.peek()
+            )));
+        }
+    }
+    Ok(module)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i].tok.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            pos: self.pos(),
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---- types ----
+
+    fn type_expr(&mut self) -> Result<TypeExpr, ParseError> {
+        if self.eat_kw("in") {
+            let inner = self.type_expr()?;
+            return Ok(TypeExpr::ChanIn(Box::new(inner)));
+        }
+        if self.eat_kw("out") {
+            let inner = self.type_expr()?;
+            return Ok(TypeExpr::ChanOut(Box::new(inner)));
+        }
+        let name = self.ident()?;
+        let base = match name.as_str() {
+            "integer" => TypeExpr::Integer,
+            "real" => TypeExpr::Real,
+            "boolean" => TypeExpr::Boolean,
+            "string" => TypeExpr::StringT,
+            other => TypeExpr::Named(other.to_string()),
+        };
+        // Array suffixes: `[]` repeated.
+        let mut dims = 0usize;
+        while *self.peek() == Tok::LBracket {
+            // Only `[]` (empty) denotes an array type here.
+            if self.tokens[self.i + 1].tok != Tok::RBracket {
+                break;
+            }
+            self.bump();
+            self.bump();
+            dims += 1;
+        }
+        if dims > 0 {
+            Ok(TypeExpr::Array(Box::new(base), dims))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn type_decl(&mut self) -> Result<TypeDecl, ParseError> {
+        let pos = self.pos();
+        self.expect_kw("type")?;
+        let name = self.ident()?;
+        self.expect_kw("is")?;
+        if self.eat_kw("interface") {
+            self.expect(Tok::LParen)?;
+            let mut ports = Vec::new();
+            while *self.peek() != Tok::RParen {
+                let ppos = self.pos();
+                let dir = if self.eat_kw("in") {
+                    Dir::In
+                } else if self.eat_kw("out") {
+                    Dir::Out
+                } else {
+                    return Err(self.err("interface ports start with `in` or `out`".into()));
+                };
+                let ty = self.type_expr()?;
+                let pname = self.ident()?;
+                ports.push(Port {
+                    dir,
+                    ty,
+                    name: pname,
+                    pos: ppos,
+                });
+                if *self.peek() == Tok::Semi || *self.peek() == Tok::Comma {
+                    self.bump();
+                }
+            }
+            self.expect(Tok::RParen)?;
+            return Ok(TypeDecl::Interface { name, ports, pos });
+        }
+        let opencl = self.eat_kw("opencl");
+        self.expect_kw("struct")?;
+        self.expect(Tok::LParen)?;
+        let mut fields = Vec::new();
+        while *self.peek() != Tok::RParen {
+            let fpos = self.pos();
+            let mov = self.eat_kw("mov");
+            let ty = self.type_expr()?;
+            let fname = self.ident()?;
+            fields.push(Field {
+                name: fname,
+                ty,
+                mov,
+                pos: fpos,
+            });
+            if *self.peek() == Tok::Semi || *self.peek() == Tok::Comma {
+                self.bump();
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(TypeDecl::Struct {
+            name,
+            fields,
+            opencl,
+            pos,
+        })
+    }
+
+    // ---- stages and actors ----
+
+    fn stage(&mut self) -> Result<StageDecl, ParseError> {
+        let pos = self.pos();
+        self.expect_kw("stage")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut actors = Vec::new();
+        let mut boot = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if self.peek_kw("boot") {
+                self.bump();
+                self.expect(Tok::LBrace)?;
+                boot = self.stmt_block()?;
+            } else {
+                actors.push(self.actor()?);
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(StageDecl {
+            name,
+            actors,
+            boot,
+            pos,
+        })
+    }
+
+    fn actor(&mut self) -> Result<ActorDecl, ParseError> {
+        let pos = self.pos();
+        let opencl = if self.eat_kw("opencl") {
+            let mut attrs = OpenclAttrs::default();
+            if *self.peek() == Tok::Lt {
+                self.bump();
+                loop {
+                    let key = self.ident()?;
+                    self.expect(Tok::Declare)?;
+                    match key.as_str() {
+                        "device_index" => match self.bump() {
+                            Tok::Int(v) => attrs.device_index = v as usize,
+                            other => {
+                                return Err(self.err(format!(
+                                    "device_index expects an integer, found {other}"
+                                )))
+                            }
+                        },
+                        "device_type" => attrs.device_type = Some(self.ident()?),
+                        other => {
+                            return Err(self.err(format!("unknown opencl attribute `{other}`")))
+                        }
+                    }
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::Gt)?;
+            }
+            Some(attrs)
+        } else {
+            None
+        };
+        self.expect_kw("actor")?;
+        let name = self.ident()?;
+        self.expect_kw("presents")?;
+        let interface = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut constructor = Vec::new();
+        let mut behaviour = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if self.peek_kw("constructor") {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                constructor = self.stmt_block()?;
+            } else if self.peek_kw("behaviour") {
+                self.bump();
+                self.expect(Tok::LBrace)?;
+                behaviour = self.stmt_block()?;
+            } else {
+                // Field declaration: `name = expr;`
+                let fpos = self.pos();
+                let fname = self.ident()?;
+                self.expect(Tok::Declare).map_err(|_| ParseError {
+                    message: "expected a field declaration, `constructor` or `behaviour`"
+                        .to_string(),
+                    pos: fpos,
+                })?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                fields.push((fname, value));
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(ActorDecl {
+            name,
+            interface,
+            opencl,
+            fields,
+            constructor,
+            behaviour,
+            pos,
+        })
+    }
+
+    // ---- statements ----
+
+    fn stmt_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if self.at_eof() {
+                return Err(self.err("unterminated block".to_string()));
+            }
+            out.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(out)
+    }
+
+    fn block_after_brace(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        self.stmt_block()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        // Keyword statements.
+        if self.peek_kw("send") {
+            self.bump();
+            let value = self.expr()?;
+            self.expect_kw("on")?;
+            let chan = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Send { value, chan, pos });
+        }
+        if self.peek_kw("receive") {
+            self.bump();
+            let name = self.ident()?;
+            self.expect_kw("from")?;
+            let chan = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Receive { name, chan, pos });
+        }
+        if self.peek_kw("connect") {
+            self.bump();
+            let from = self.expr()?;
+            self.expect_kw("to")?;
+            let to = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Connect { from, to, pos });
+        }
+        if self.peek_kw("for") {
+            self.bump();
+            let var = self.ident()?;
+            self.expect(Tok::Declare)?;
+            let from = self.expr()?;
+            self.expect(Tok::DotDot)?;
+            let to = self.expr()?;
+            self.expect_kw("do")?;
+            let body = self.block_after_brace()?;
+            return Ok(Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                pos,
+            });
+        }
+        if self.peek_kw("while") {
+            self.bump();
+            let cond = self.expr()?;
+            let body = self.block_after_brace()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.peek_kw("if") {
+            self.bump();
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let then_blk = self.block_after_brace()?;
+            let else_blk = if self.eat_kw("else") {
+                self.block_after_brace()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            });
+        }
+        if self.peek_kw("printString") || self.peek_kw("printInt") || self.peek_kw("printReal") {
+            let kind = match self.bump() {
+                Tok::Ident(s) if s == "printString" => PrintKind::Str,
+                Tok::Ident(s) if s == "printInt" => PrintKind::Int,
+                _ => PrintKind::Real,
+            };
+            self.expect(Tok::LParen)?;
+            let value = self.expr()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Print { kind, value, pos });
+        }
+        if self.peek_kw("barrier") {
+            self.bump();
+            self.expect(Tok::LParen)?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Barrier { pos });
+        }
+        if self.peek_kw("stop") {
+            self.bump();
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Stop { pos });
+        }
+        if self.peek_kw("local") {
+            // `local x = new real[k];`
+            self.bump();
+            let name = self.ident()?;
+            self.expect(Tok::Declare)?;
+            let value = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::DeclareLocal { name, value, pos });
+        }
+        // Declaration or assignment: starts with an identifier path.
+        let name = self.ident()?;
+        if *self.peek() == Tok::Declare {
+            self.bump();
+            let value = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Declare { name, value, pos });
+        }
+        let mut path = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    path.push(PathSeg::Field(self.ident()?));
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    path.push(PathSeg::Index(idx));
+                }
+                _ => break,
+            }
+        }
+        self.expect(Tok::Assign)?;
+        let value = self.expr()?;
+        self.expect(Tok::Semi)?;
+        Ok(Stmt::Assign {
+            name,
+            path,
+            value,
+            pos,
+        })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek_kw("or") {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek_kw("and") {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?), pos));
+        }
+        if self.peek_kw("not") {
+            self.bump();
+            return Ok(Expr::Not(Box::new(self.unary_expr()?), pos));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            Tok::Real(v) => {
+                self.bump();
+                Ok(Expr::Real(v, pos))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => return Ok(Expr::Bool(true, pos)),
+                    "false" => return Ok(Expr::Bool(false, pos)),
+                    "new" => return self.new_expr(pos),
+                    _ => {}
+                }
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    return Ok(Expr::Call(name, args, pos));
+                }
+                let mut path = Vec::new();
+                loop {
+                    match self.peek() {
+                        Tok::Dot => {
+                            self.bump();
+                            path.push(PathSeg::Field(self.ident()?));
+                        }
+                        Tok::LBracket => {
+                            self.bump();
+                            let idx = self.expr()?;
+                            self.expect(Tok::RBracket)?;
+                            path.push(PathSeg::Index(idx));
+                        }
+                        _ => break,
+                    }
+                }
+                Ok(Expr::Path(name, path, pos))
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+
+    /// `new <type-ish>` — array, struct, actor, or channel endpoint.
+    fn new_expr(&mut self, pos: Pos) -> Result<Expr, ParseError> {
+        if self.eat_kw("in") {
+            let ty = self.type_expr()?;
+            return Ok(Expr::NewChanIn(ty, pos));
+        }
+        if self.eat_kw("out") {
+            let ty = self.type_expr()?;
+            return Ok(Expr::NewChanOut(ty, pos));
+        }
+        let name = self.ident()?;
+        let elem = match name.as_str() {
+            "integer" => Some(TypeExpr::Integer),
+            "real" => Some(TypeExpr::Real),
+            "boolean" => Some(TypeExpr::Boolean),
+            _ => None,
+        };
+        if let Some(elem) = elem {
+            // Array: `new real[n][m]` or `new integer[2] of s`.
+            let mut dims = Vec::new();
+            while *self.peek() == Tok::LBracket {
+                self.bump();
+                dims.push(self.expr()?);
+                self.expect(Tok::RBracket)?;
+            }
+            if dims.is_empty() {
+                return Err(self.err("`new` of a primitive requires array dimensions".into()));
+            }
+            let fill = if self.eat_kw("of") {
+                Some(Box::new(self.expr()?))
+            } else {
+                None
+            };
+            return Ok(Expr::NewArray {
+                elem,
+                dims,
+                fill,
+                pos,
+            });
+        }
+        // Struct or actor: `new name(...)`.
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        if args.is_empty() {
+            // Ambiguous without type info: `new snd()` (actor) vs a
+            // zero-field struct. Structs with zero fields are useless;
+            // treat as actor instantiation. Semantic analysis re-checks.
+            Ok(Expr::NewActor { name, pos })
+        } else {
+            Ok(Expr::NewStruct { name, args, pos })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listing 2 of the paper, verbatim modulo comment style.
+    pub const LISTING2: &str = r#"
+type Isnd is interface(out integer output)
+type Ircv is interface(in integer input)
+
+stage home {
+
+    actor snd presents Isnd {
+        value = 1;
+        constructor() {}
+        behaviour {
+            send value on output;
+            value := value + 1;
+        }
+    }
+
+    actor rcv presents Ircv {
+        constructor() {}
+        behaviour {
+            receive data from input;
+            printString("\nreceived: ");
+            printInt(data);
+        }
+    }
+
+    boot {
+        s = new snd();
+        r = new rcv();
+        connect s.output to r.input;
+    }
+}
+"#;
+
+    #[test]
+    fn parses_listing2() {
+        let m = parse(LISTING2).unwrap();
+        assert_eq!(m.types.len(), 2);
+        assert_eq!(m.stages.len(), 1);
+        let stage = &m.stages[0];
+        assert_eq!(stage.actors.len(), 2);
+        assert_eq!(stage.actors[0].name, "snd");
+        assert_eq!(stage.actors[0].fields.len(), 1);
+        assert_eq!(stage.boot.len(), 3);
+    }
+
+    #[test]
+    fn parses_matmul_asset() {
+        let src = include_str!("../../apps/src/assets/matmul/ocl.ens");
+        let m = parse(src).unwrap();
+        let actor = &m.stages[0].actors[0];
+        assert_eq!(actor.name, "Multiply");
+        let attrs = actor.opencl.as_ref().unwrap();
+        assert_eq!(attrs.device_index, 0);
+        assert_eq!(attrs.device_type.as_deref(), Some("GPU"));
+    }
+
+    #[test]
+    fn parses_seq_assets() {
+        for src in [
+            include_str!("../../apps/src/assets/matmul/seq.ens"),
+            include_str!("../../apps/src/assets/mandelbrot/seq.ens"),
+            include_str!("../../apps/src/assets/lud/seq.ens"),
+            include_str!("../../apps/src/assets/reduction/seq.ens"),
+            include_str!("../../apps/src/assets/docrank/seq.ens"),
+        ] {
+            parse(src).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn parses_ocl_assets() {
+        for src in [
+            include_str!("../../apps/src/assets/matmul/ocl.ens"),
+            include_str!("../../apps/src/assets/mandelbrot/ocl.ens"),
+            include_str!("../../apps/src/assets/lud/ocl.ens"),
+            include_str!("../../apps/src/assets/reduction/ocl.ens"),
+            include_str!("../../apps/src/assets/docrank/ocl.ens"),
+        ] {
+            parse(src).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn opencl_struct_and_mov_fields() {
+        let src = "
+            type d is struct ( mov real [][] m; real [] p )
+            type s is opencl struct (
+                integer [] worksize;
+                integer [] groupsize;
+                in d input;
+                out d output
+            )
+            stage home { boot {} }
+        ";
+        let m = parse(src).unwrap();
+        match &m.types[0] {
+            TypeDecl::Struct { fields, opencl, .. } => {
+                assert!(!opencl);
+                assert!(fields[0].mov);
+                assert!(!fields[1].mov);
+                assert_eq!(fields[0].ty, TypeExpr::Array(Box::new(TypeExpr::Real), 2));
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+        match &m.types[1] {
+            TypeDecl::Struct { opencl, fields, .. } => {
+                assert!(opencl);
+                assert!(matches!(fields[2].ty, TypeExpr::ChanIn(_)));
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_and_nested_indexing() {
+        let src = "
+            stage home {
+                actor a presents I {
+                    constructor() {}
+                    behaviour {
+                        n = 4;
+                        m = new real[n][n];
+                        for i = 0 .. (n - 1) do {
+                            m[i][i] := toReal(i);
+                        }
+                        stop;
+                    }
+                }
+                boot {}
+            }
+        ";
+        let m = parse(src).unwrap();
+        let behaviour = &m.stages[0].actors[0].behaviour;
+        assert!(matches!(behaviour[2], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("stage home { actor presents }").is_err());
+        assert!(parse("type x is struct").is_err());
+    }
+
+    #[test]
+    fn declare_requires_equals_assign_requires_colon_equals() {
+        let ok = "stage home { boot { x = 1; x := 2; } }";
+        assert!(parse(ok).is_ok());
+    }
+}

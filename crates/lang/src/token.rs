@@ -1,0 +1,362 @@
+//! Lexer for the mini-Ensemble language.
+//!
+//! The token set covers the paper's listings (2 and 3) and the five
+//! evaluation applications: keywords are resolved by the parser, `=`
+//! declares while `:=` assigns (as in the listings), and `..` is the
+//! range operator of `for` loops.
+
+use std::fmt;
+
+/// Source position (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // punctuation variants are self-describing
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real (floating) literal.
+    Real(f64),
+    /// String literal (unescaped content).
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Declare,  // =
+    Assign,   // :=
+    Eq,       // ==
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Real(v) => write!(f, "real {v}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Dot => ".",
+                    Tok::DotDot => "..",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Declare => "=",
+                    Tok::Assign => ":=",
+                    Tok::Eq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Eof => "end of input",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// Token plus position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: lex error: {}", self.pos, self.message)
+    }
+}
+
+/// Tokenize mini-Ensemble source. `//` comments are stripped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            continue;
+        }
+        if c == '"' {
+            bump!();
+            let mut s = String::new();
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                    let esc = chars[i];
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                    bump!();
+                    continue;
+                }
+                s.push(chars[i]);
+                bump!();
+            }
+            if i >= chars.len() {
+                return Err(LexError {
+                    message: "unterminated string literal".to_string(),
+                    pos,
+                });
+            }
+            bump!(); // closing quote
+            out.push(Spanned {
+                tok: Tok::Str(s),
+                pos,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                s.push(chars[i]);
+                bump!();
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(s),
+                pos,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut s = String::new();
+            let mut is_real = false;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                s.push(chars[i]);
+                bump!();
+            }
+            // Fraction — but `1..` is a range, not a real.
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                is_real = true;
+                s.push('.');
+                bump!();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    s.push(chars[i]);
+                    bump!();
+                }
+            }
+            // Exponent: 3.0e38
+            if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                let mut k = i + 1;
+                if k < chars.len() && (chars[k] == '+' || chars[k] == '-') {
+                    k += 1;
+                }
+                if k < chars.len() && chars[k].is_ascii_digit() {
+                    is_real = true;
+                    s.push('e');
+                    bump!();
+                    if chars[i] == '+' || chars[i] == '-' {
+                        s.push(chars[i]);
+                        bump!();
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        s.push(chars[i]);
+                        bump!();
+                    }
+                }
+            }
+            let tok = if is_real {
+                Tok::Real(s.parse().map_err(|_| LexError {
+                    message: format!("invalid real literal {s}"),
+                    pos,
+                })?)
+            } else {
+                Tok::Int(s.parse().map_err(|_| LexError {
+                    message: format!("invalid integer literal {s}"),
+                    pos,
+                })?)
+            };
+            out.push(Spanned { tok, pos });
+            continue;
+        }
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let (tok, len) = match two.as_str() {
+            ":=" => (Tok::Assign, 2),
+            "==" => (Tok::Eq, 2),
+            "!=" => (Tok::Ne, 2),
+            "<=" => (Tok::Le, 2),
+            ">=" => (Tok::Ge, 2),
+            ".." => (Tok::DotDot, 2),
+            _ => match c {
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                '{' => (Tok::LBrace, 1),
+                '}' => (Tok::RBrace, 1),
+                '[' => (Tok::LBracket, 1),
+                ']' => (Tok::RBracket, 1),
+                ',' => (Tok::Comma, 1),
+                ';' => (Tok::Semi, 1),
+                '.' => (Tok::Dot, 1),
+                '+' => (Tok::Plus, 1),
+                '-' => (Tok::Minus, 1),
+                '*' => (Tok::Star, 1),
+                '/' => (Tok::Slash, 1),
+                '%' => (Tok::Percent, 1),
+                '=' => (Tok::Declare, 1),
+                '<' => (Tok::Lt, 1),
+                '>' => (Tok::Gt, 1),
+                other => {
+                    return Err(LexError {
+                        message: format!("unexpected character `{other}`"),
+                        pos,
+                    })
+                }
+            },
+        };
+        for _ in 0..len {
+            bump!();
+        }
+        out.push(Spanned { tok, pos });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn declare_vs_assign() {
+        assert_eq!(toks("x = 1")[1], Tok::Declare);
+        assert_eq!(toks("x := 1")[1], Tok::Assign);
+    }
+
+    #[test]
+    fn range_vs_real() {
+        let t = toks("for i = 0 .. 9");
+        assert!(t.contains(&Tok::DotDot));
+        assert_eq!(toks("1.5")[0], Tok::Real(1.5));
+        assert_eq!(toks("3.0e38")[0], Tok::Real(3.0e38));
+        // `0 .. (n-1)` must not lex 0. as a real
+        let t = toks("0 .. 9");
+        assert_eq!(t[0], Tok::Int(0));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#"printString("\nreceived: ")"#)[2],
+            Tok::Str("\nreceived: ".to_string())
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let t = toks("a // comment\nb");
+        assert_eq!(t.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn listing2_lexes() {
+        let src = r#"
+            type Isnd is interface(out integer output)
+            stage home {
+                actor snd presents Isnd {
+                    value = 1;
+                    behaviour {
+                        send value on output;
+                        value := value + 1;
+                    }
+                }
+            }
+        "#;
+        assert!(lex(src).is_ok());
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+}

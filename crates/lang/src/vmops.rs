@@ -1,0 +1,318 @@
+//! The Ensemble VM instruction set and compiled-module containers.
+//!
+//! Host actors compile to this stack bytecode; the VM (crate
+//! `ensemble-vm`) interprets it with one thread per actor, which is the
+//! paper's runtime architecture — and the interpretation cost is exactly
+//! the "overhead" component of Figures 3a–3e, so the interpreter counts
+//! every opcode it retires.
+//!
+//! Kernel actors do **not** compile to this bytecode: their behaviour
+//! bodies become OpenCL C strings (module [`crate::kernelgen`]), and the
+//! VM runs their host-side protocol natively (Figure 2 of the paper).
+
+use crate::ast::{Dir, PrintKind};
+
+/// Element kind of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// `integer` elements.
+    Int,
+    /// `real` elements.
+    Real,
+    /// `boolean` elements.
+    Bool,
+    /// Nested arrays or structs.
+    Cell,
+}
+
+/// Native runtime functions — the paper's `generate_data(s)` (Listing 3)
+/// and similar helpers are provided by the runtime in C, not interpreted;
+/// these are their stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeFn {
+    /// `generate_vector(n, seed)` → `real []`, uniform in [0.5, 1.5).
+    GenerateVector,
+    /// `generate_matrix(rows, cols, seed)` → `real [][]`, uniform in [0, 1).
+    GenerateMatrix,
+    /// `generate_dominant(n, seed)` → diagonally dominant `real [][]`.
+    GenerateDominant,
+    /// `checksum(arr)` → `real`: recursive sum of every element.
+    Checksum,
+}
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // arithmetic/comparison variants are self-describing
+pub enum VOp {
+    /// Push an integer constant.
+    PushI(i64),
+    /// Push a real constant.
+    PushR(f64),
+    /// Push a boolean constant.
+    PushB(bool),
+    /// Push a string from the module string table.
+    PushStr(u16),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Load local slot.
+    Ld(u16),
+    /// Store to local slot.
+    St(u16),
+    /// Allocate an array: pops `ndims` sizes (innermost last) and, when
+    /// `has_fill`, a fill value (popped first).
+    NewArr {
+        /// Number of dimensions.
+        ndims: u8,
+        /// Leaf element kind.
+        elem: ElemKind,
+        /// Whether a fill value is on the stack.
+        has_fill: bool,
+    },
+    /// Allocate a struct from `nfields` stack values (first field deepest).
+    NewStructV {
+        /// Struct type id in the module table.
+        type_id: u16,
+        /// Field count.
+        nfields: u8,
+    },
+    /// `[struct] -> [field]`.
+    GetField(u8),
+    /// `[struct, value] -> []`.
+    SetField(u8),
+    /// `[array, index] -> [value]`.
+    IdxLd,
+    /// `[array, index, value] -> []`.
+    IdxSt,
+    // Arithmetic (numeric dispatch on operand kinds).
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Neg,
+    // Comparisons: push boolean.
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    /// Logical not.
+    NotOp,
+    /// Boolean and (both operands evaluated).
+    AndOp,
+    /// Boolean or (both operands evaluated).
+    OrOp,
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Jump when the boolean on top of stack is false.
+    Jz(u32),
+    /// `toReal(x)`.
+    ToReal,
+    /// `toInt(x)` (truncating).
+    ToInt,
+    /// `lengthof(a)` — first dimension length.
+    LengthOf,
+    /// `new in T` — push a fresh input endpoint.
+    NewChanIn,
+    /// `new out T` — push a fresh output endpoint.
+    NewChanOut,
+    /// `connect <out> to <in>`: `[out, in] -> []`.
+    ConnectOp,
+    /// `send v on ch`: `[chan, value] -> []`. `mov` skips the duplicate.
+    SendOp {
+        /// Whether the conveyed type is movable (§6.2.3).
+        mov: bool,
+    },
+    /// `receive v from ch`: `[chan] -> [value]`.
+    RecvOp,
+    /// Boot only: instantiate actor `idx`, pushing its port map.
+    SpawnActor(u16),
+    /// `[actor-ref] -> [endpoint]` — port by name (string table id).
+    GetPort(u16),
+    /// Call a native runtime function with `argc` stack arguments.
+    CallNative(NativeFn, u8),
+    /// Print primitive.
+    Print(PrintKind),
+    /// Stop this actor (behaviour does not repeat).
+    StopOp,
+}
+
+impl VOp {
+    /// Interpreter cost in abstract VM operations. The VM multiplies the
+    /// total by its per-op nanosecond cost to model the "Ensemble VM is an
+    /// unoptimised interpreter" overhead the paper reports.
+    pub fn cost(&self) -> u64 {
+        match self {
+            VOp::NewArr { .. } | VOp::NewStructV { .. } => 8,
+            VOp::SendOp { .. } | VOp::RecvOp | VOp::ConnectOp => 12,
+            VOp::SpawnActor(_) => 32,
+            // Native functions execute in the runtime, not the interpreter.
+            VOp::CallNative(..) => 8,
+            VOp::IdxLd | VOp::IdxSt | VOp::GetField(_) | VOp::SetField(_) => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// A compiled code block plus its frame size.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Chunk {
+    /// Instructions.
+    pub code: Vec<VOp>,
+    /// Number of local slots the block needs.
+    pub nslots: u16,
+}
+
+/// Struct metadata kept for runtime construction and mov semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructMeta {
+    /// Type name.
+    pub name: String,
+    /// Field names, in order.
+    pub fields: Vec<String>,
+    /// Per-field mov flags.
+    pub movs: Vec<bool>,
+    /// True when any field is `mov` — values travel by reference.
+    pub any_mov: bool,
+}
+
+/// An actor interface port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortMeta {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Buffer capacity for `in` ports (the runtime default).
+    pub capacity: usize,
+}
+
+/// Shape of the data a kernel actor receives on its settings' input
+/// channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataShape {
+    /// A bare array (e.g. Mandelbrot's `integer [][]`).
+    Array {
+        /// Leaf element kind.
+        elem: ElemKind,
+        /// Dimensions.
+        ndims: usize,
+    },
+    /// A struct whose array fields become separate buffers.
+    Struct {
+        /// Struct type id.
+        type_id: u16,
+    },
+}
+
+/// One array field of the kernel's data (in flattening order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataField {
+    /// Field name (or the receive binding for a bare array).
+    pub name: String,
+    /// Leaf element kind (Int or Real).
+    pub elem: ElemKind,
+    /// Dimension count.
+    pub ndims: usize,
+}
+
+/// What the kernel actor sends on the output channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOut {
+    /// `send d on req.output` — the whole data value.
+    Whole,
+    /// `send d.<field> on req.output` — one field, read back alone.
+    Field(usize),
+}
+
+/// Everything the VM needs to run one kernel actor (Figure 2: the
+/// bytecode actor is the host; this plan is what the compiler stored in
+/// the actor's bytecode — including the generated OpenCL C string).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPlan {
+    /// Generated OpenCL C source.
+    pub source: String,
+    /// Kernel entry-point name.
+    pub kernel_name: String,
+    /// `device_index` from the actor header.
+    pub device_index: usize,
+    /// `device_type` from the actor header.
+    pub device_type: Option<String>,
+    /// The settings port (always the single `in` port).
+    pub requests_port: usize,
+    /// Shape of the data value.
+    pub data_shape: DataShape,
+    /// Array fields, in flattening order.
+    pub data_fields: Vec<DataField>,
+    /// Names of trailing scalar fields of the opencl settings struct
+    /// (passed as extra kernel arguments, e.g. the LUD step).
+    pub settings_scalars: Vec<String>,
+    /// True when the data type carries `mov` fields: leave data on the
+    /// device between dispatches (§6.2.3).
+    pub mov: bool,
+    /// What goes out on the output channel.
+    pub out: KernelOut,
+}
+
+/// A compiled actor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledActor {
+    /// Actor type name.
+    pub name: String,
+    /// Interface ports (slot order: ports first).
+    pub ports: Vec<PortMeta>,
+    /// Number of persistent field slots after the ports.
+    pub nfields: u16,
+    /// Field initialiser code (runs once, before the constructor).
+    pub field_init: Chunk,
+    /// Host bytecode or kernel plan.
+    pub code: ActorCode,
+}
+
+/// The two kinds of actor body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActorCode {
+    /// Interpreted host actor.
+    Host {
+        /// Constructor (runs once).
+        constructor: Chunk,
+        /// Behaviour (repeats until `StopOp` or channel closure).
+        behaviour: Chunk,
+    },
+    /// OpenCL kernel actor driven natively by the runtime.
+    Kernel(Box<KernelPlan>),
+}
+
+/// A fully compiled module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledModule {
+    /// String table.
+    pub strings: Vec<String>,
+    /// Struct table.
+    pub structs: Vec<StructMeta>,
+    /// Actor table.
+    pub actors: Vec<CompiledActor>,
+    /// Boot code (runs on the main runtime thread).
+    pub boot: Chunk,
+    /// Stage name.
+    pub stage_name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_costs_reflect_weight() {
+        assert!(VOp::SendOp { mov: false }.cost() > VOp::Add.cost());
+        assert!(VOp::SpawnActor(0).cost() > VOp::NewArr {
+            ndims: 1,
+            elem: ElemKind::Real,
+            has_fill: false
+        }
+        .cost());
+    }
+}

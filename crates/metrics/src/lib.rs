@@ -1,0 +1,323 @@
+//! # code-metrics — the Table 1 analyzers
+//!
+//! Quantitative code-complexity metrics over the evaluation sources,
+//! regenerating Table 1 of the paper ("Difference Between Single Threaded
+//! and Concurrent Code per Approach"):
+//!
+//! * **Lines of code** — logical lines: at least one token after comment
+//!   stripping.
+//! * **McCabe cyclomatic complexity** — decision points (`if`, loops,
+//!   `case`, short-circuit operators, ternaries) plus one per function
+//!   body, summed over the whole application, as the paper does.
+//! * **ABC** — assignments / branches (calls, allocations) / conditions
+//!   (comparisons, `else`), reported as the rounded vector magnitude
+//!   `√(A² + B² + C²)` per Fitzpatrick's formulation.
+//!
+//! Two syntaxes are supported: the C-like dialect (sequential C, OpenCL
+//! host C, OpenCL kernel C, OpenACC-annotated C) and the Ensemble language
+//! (the `.ens` sources). The analyzers are token-based — they do not need
+//! a full parse, which keeps them honest about measuring *source text*,
+//! exactly what the paper's metrics measured.
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod tokenizer;
+
+pub use table::{Delta, Table1Row};
+pub use tokenizer::{tokenize, CodeToken};
+
+/// Which language's keyword set to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lang {
+    /// C-like sources: `.c`, `.cl`, OpenACC-annotated C.
+    C,
+    /// Ensemble sources: `.ens`.
+    Ensemble,
+}
+
+/// The measured metrics of one source (or source set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Metrics {
+    /// Logical lines of code.
+    pub loc: usize,
+    /// McCabe cyclomatic complexity (whole application).
+    pub cyclomatic: usize,
+    /// ABC magnitude, rounded to the nearest integer.
+    pub abc: usize,
+    /// ABC components for inspection: assignments.
+    pub assignments: usize,
+    /// ABC components: branches (calls + allocations).
+    pub branches: usize,
+    /// ABC components: conditions.
+    pub conditions: usize,
+}
+
+impl Metrics {
+    /// Sum two measurements (e.g. host file + kernel file).
+    pub fn add(&self, other: &Metrics) -> Metrics {
+        let a = self.assignments + other.assignments;
+        let b = self.branches + other.branches;
+        let c = self.conditions + other.conditions;
+        Metrics {
+            loc: self.loc + other.loc,
+            cyclomatic: self.cyclomatic + other.cyclomatic,
+            abc: abc_magnitude(a, b, c),
+            assignments: a,
+            branches: b,
+            conditions: c,
+        }
+    }
+}
+
+fn abc_magnitude(a: usize, b: usize, c: usize) -> usize {
+    let m = ((a * a + b * b + c * c) as f64).sqrt();
+    m.round() as usize
+}
+
+/// Measure one source text.
+pub fn measure(src: &str, lang: Lang) -> Metrics {
+    let tokens = tokenize(src);
+    let loc = count_loc(&tokens);
+    let (cyclomatic, assignments, branches, conditions) = match lang {
+        Lang::C => analyze_c(&tokens),
+        Lang::Ensemble => analyze_ensemble(&tokens),
+    };
+    Metrics {
+        loc,
+        cyclomatic,
+        abc: abc_magnitude(assignments, branches, conditions),
+        assignments,
+        branches,
+        conditions,
+    }
+}
+
+/// Measure a set of files that together form one application
+/// (e.g. OpenCL host `.c` + kernel `.cl`).
+pub fn measure_files(files: &[(&str, Lang)]) -> Metrics {
+    let mut acc = Metrics::default();
+    for (src, lang) in files {
+        acc = acc.add(&measure(src, *lang));
+    }
+    acc
+}
+
+fn count_loc(tokens: &[CodeToken]) -> usize {
+    let mut lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len()
+}
+
+const C_DECISION_KEYWORDS: &[&str] = &["if", "for", "while", "case", "do"];
+const C_FUNC_BLACKLIST: &[&str] = &[
+    "if", "for", "while", "switch", "return", "sizeof", "case", "do", "else",
+];
+
+fn analyze_c(tokens: &[CodeToken]) -> (usize, usize, usize, usize) {
+    let mut decisions = 0usize;
+    let mut functions = 0usize;
+    let mut assignments = 0usize;
+    let mut branches = 0usize;
+    let mut conditions = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.text[..] {
+            w if C_DECISION_KEYWORDS.contains(&w) && t.is_word => decisions += 1,
+            "&&" | "||" | "?" => decisions += 1,
+            "else" => conditions += 1,
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => conditions += 1,
+            "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "<<=" | ">>=" | "++" | "--" => {
+                assignments += 1
+            }
+            "(" => {
+                // A call or a function definition: `ident (`.
+                if i > 0
+                    && tokens[i - 1].is_word
+                    && !C_FUNC_BLACKLIST.contains(&tokens[i - 1].text.as_str())
+                {
+                    if is_c_definition(tokens, i) {
+                        functions += 1;
+                    } else {
+                        branches += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (decisions + functions.max(1), assignments, branches, conditions)
+}
+
+fn is_c_definition(tokens: &[CodeToken], open: usize) -> bool {
+    // `ident (` where the token before `ident` is also a word (the return
+    // type or a qualifier) and the matching `)` is followed by `{`.
+    if open < 2 {
+        return false;
+    }
+    if !tokens[open - 2].is_word {
+        return false;
+    }
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return tokens.get(k + 1).map(|n| n.text == "{").unwrap_or(false);
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+const ENS_DECISION_KEYWORDS: &[&str] = &["if", "for", "while", "and", "or"];
+const ENS_BODY_KEYWORDS: &[&str] = &["behaviour", "constructor", "boot"];
+
+fn analyze_ensemble(tokens: &[CodeToken]) -> (usize, usize, usize, usize) {
+    let mut decisions = 0usize;
+    let mut functions = 0usize;
+    let mut assignments = 0usize;
+    let mut branches = 0usize;
+    let mut conditions = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            w if ENS_DECISION_KEYWORDS.contains(&w) && t.is_word => decisions += 1,
+            w if ENS_BODY_KEYWORDS.contains(&w) && t.is_word => functions += 1,
+            "else" => conditions += 1,
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => conditions += 1,
+            ":=" | "=" | "+=" | "-=" => assignments += 1,
+            "new" => branches += 1,
+            "send" | "receive" | "connect" => branches += 1,
+            "(" => {
+                if i > 0
+                    && tokens[i - 1].is_word
+                    && !ENS_BODY_KEYWORDS.contains(&tokens[i - 1].text.as_str())
+                    && !ENS_DECISION_KEYWORDS.contains(&tokens[i - 1].text.as_str())
+                    && tokens[i - 1].text != "new"
+                {
+                    branches += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    (decisions + functions.max(1), assignments, branches, conditions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C_SNIPPET: &str = r#"
+// a comment-only line
+int square(int x) {
+    return x * x; /* inline */
+}
+
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i % 2 == 0 && i > 2) {
+            total += square(i);
+        } else {
+            total--;
+        }
+    }
+    return total;
+}
+"#;
+
+    #[test]
+    fn c_loc_ignores_blank_and_comment_lines() {
+        let m = measure(C_SNIPPET, Lang::C);
+        assert_eq!(m.loc, 14);
+    }
+
+    #[test]
+    fn c_cyclomatic_counts_decisions_and_functions() {
+        let m = measure(C_SNIPPET, Lang::C);
+        // for + if + && = 3 decisions; 2 function definitions.
+        assert_eq!(m.cyclomatic, 5);
+    }
+
+    #[test]
+    fn c_abc_components() {
+        let m = measure(C_SNIPPET, Lang::C);
+        // assignments: total=0, i=0 (in for), i++, total+=, total-- → 5
+        assert_eq!(m.assignments, 5);
+        // branches: the square(i) call → 1
+        assert_eq!(m.branches, 1);
+        // conditions: <, ==, >, else → 4
+        assert_eq!(m.conditions, 4);
+        assert_eq!(m.abc, 6); // √(25+1+16) ≈ 6.48 → 6
+    }
+
+    const ENS_SNIPPET: &str = r#"
+type Isnd is interface(out integer output)
+stage home {
+    actor snd presents Isnd {
+        value = 1;
+        constructor() {}
+        behaviour {
+            send value on output;
+            value := value + 1;
+            if value > 10 then {
+                stop;
+            }
+        }
+    }
+    boot {
+        s = new snd();
+    }
+}
+"#;
+
+    #[test]
+    fn ensemble_metrics() {
+        let m = measure(ENS_SNIPPET, Lang::Ensemble);
+        assert_eq!(m.loc, 17);
+        // decisions: if → 1; bodies: constructor + behaviour + boot → 3.
+        assert_eq!(m.cyclomatic, 4);
+        // assignments: value = 1, value := ..., s = ... → 3
+        assert_eq!(m.assignments, 3);
+        // branches: at least send, receive-less here: send + new → 2.
+        assert!(m.branches >= 2);
+        // conditions: the `>` comparison.
+        assert_eq!(m.conditions, 1);
+    }
+
+    #[test]
+    fn adding_metrics_recomputes_magnitude() {
+        let a = measure(C_SNIPPET, Lang::C);
+        let sum = a.add(&a);
+        assert_eq!(sum.loc, 2 * a.loc);
+        assert_eq!(sum.assignments, 2 * a.assignments);
+        // Magnitude is recomputed, not summed.
+        assert_eq!(
+            sum.abc,
+            abc_magnitude(sum.assignments, sum.branches, sum.conditions)
+        );
+    }
+
+    #[test]
+    fn empty_source_measures_zero_loc() {
+        let m = measure("\n\n// nothing\n", Lang::C);
+        assert_eq!(m.loc, 0);
+        assert_eq!(m.assignments, 0);
+    }
+
+    #[test]
+    fn pragma_lines_count_as_code() {
+        // The paper's OpenACC deltas come almost entirely from pragmas.
+        let without = measure("void f(int* a) {\n a[0] = 1;\n}", Lang::C);
+        let with = measure(
+            "void f(int* a) {\n#pragma acc parallel loop\n a[0] = 1;\n}",
+            Lang::C,
+        );
+        assert_eq!(with.loc, without.loc + 1);
+    }
+}

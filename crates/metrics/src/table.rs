@@ -1,0 +1,137 @@
+//! Table 1 assembly: deltas between single-threaded and concurrent code.
+
+use crate::Metrics;
+
+/// An absolute delta with its percentage change, printed the way Table 1
+/// prints them: `154 (142)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delta {
+    /// Concurrent minus single-threaded (may be negative).
+    pub absolute: i64,
+    /// Percentage change relative to the single-threaded value.
+    pub percent: i64,
+}
+
+impl Delta {
+    /// Compute the delta between a baseline and a concurrent measurement.
+    pub fn between(single: usize, concurrent: usize) -> Delta {
+        let absolute = concurrent as i64 - single as i64;
+        let percent = if single == 0 {
+            0
+        } else {
+            (absolute as f64 / single as f64 * 100.0).round() as i64
+        };
+        Delta { absolute, percent }
+    }
+}
+
+impl std::fmt::Display for Delta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.absolute, self.percent)
+    }
+}
+
+/// One row of Table 1: an application under one approach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Application name.
+    pub application: String,
+    /// Approach label: "C", "Ensemble", or "OpenACC".
+    pub approach: String,
+    /// Lines-of-code delta.
+    pub loc: Delta,
+    /// Cyclomatic-complexity delta.
+    pub cyclomatic: Delta,
+    /// ABC delta.
+    pub abc: Delta,
+}
+
+impl Table1Row {
+    /// Build a row from the two measurements.
+    pub fn from_metrics(
+        application: impl Into<String>,
+        approach: impl Into<String>,
+        single: &Metrics,
+        concurrent: &Metrics,
+    ) -> Table1Row {
+        Table1Row {
+            application: application.into(),
+            approach: approach.into(),
+            loc: Delta::between(single.loc, concurrent.loc),
+            cyclomatic: Delta::between(single.cyclomatic, concurrent.cyclomatic),
+            abc: Delta::between(single.abc, concurrent.abc),
+        }
+    }
+}
+
+/// Render rows in the paper's layout (grouped by application, one column
+/// triplet per approach).
+pub fn render_table(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<10} {:>12} {:>12} {:>12}\n",
+        "Application", "Approach", "ΔLoC (%)", "ΔCyclomatic", "ΔABC (%)"
+    ));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:<10} {:>12} {:>12} {:>12}\n",
+            r.application,
+            r.approach,
+            r.loc.to_string(),
+            r.cyclomatic.to_string(),
+            r.abc.to_string()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_signs_and_percentages() {
+        let d = Delta::between(108, 262);
+        assert_eq!(d.absolute, 154);
+        assert_eq!(d.percent, 143);
+        let d = Delta::between(80, 72);
+        assert_eq!(d.absolute, -8);
+        assert_eq!(d.percent, -10);
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let d = Delta::between(0, 5);
+        assert_eq!(d.absolute, 5);
+        assert_eq!(d.percent, 0);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        assert_eq!(Delta::between(108, 262).to_string(), "154 (143)");
+        assert_eq!(Delta::between(80, 72).to_string(), "-8 (-10)");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let m1 = Metrics {
+            loc: 100,
+            cyclomatic: 10,
+            abc: 50,
+            ..Default::default()
+        };
+        let m2 = Metrics {
+            loc: 250,
+            cyclomatic: 9,
+            abc: 180,
+            ..Default::default()
+        };
+        let row = Table1Row::from_metrics("Matrix Multiplication", "C", &m1, &m2);
+        let rendered = render_table(std::slice::from_ref(&row));
+        assert!(rendered.contains("Matrix Multiplication"));
+        assert!(rendered.contains("150 (150)"));
+        assert!(rendered.contains("-1 (-10)"));
+    }
+}

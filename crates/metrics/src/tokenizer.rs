@@ -1,0 +1,203 @@
+//! Language-tolerant tokenizer shared by the C and Ensemble analyzers.
+//!
+//! Strips `//` and `/* */` comments, keeps `#pragma` lines as tokens (they
+//! are code the programmer wrote — the whole point of the OpenACC column),
+//! and classifies tokens as words, numbers, strings or operators.
+
+/// One token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeToken {
+    /// Token text (operators are normalised multi-char strings).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// True for identifier/keyword-shaped tokens.
+    pub is_word: bool,
+}
+
+/// Tokenize a source text. Never fails: unknown characters become
+/// single-character operator tokens (the analyzers just ignore them).
+pub fn tokenize(src: &str) -> Vec<CodeToken> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let push = |out: &mut Vec<CodeToken>, text: String, line: u32, is_word: bool| {
+        out.push(CodeToken {
+            text,
+            line,
+            is_word,
+        });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(chars.len());
+                continue;
+            }
+        }
+        // Preprocessor lines: tokenize the words so `#pragma` counts.
+        if c == '#' {
+            let start_line = line;
+            let mut text = String::from("#");
+            i += 1;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                i += 1;
+            }
+            push(&mut out, text, start_line, true);
+            continue;
+        }
+        // Strings and chars.
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start_line = line;
+            let mut text = String::new();
+            text.push(quote);
+            i += 1;
+            while i < chars.len() && chars[i] != quote {
+                if chars[i] == '\\' {
+                    text.push(chars[i]);
+                    i += 1;
+                    if i >= chars.len() {
+                        break;
+                    }
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                text.push(chars[i]);
+                i += 1;
+            }
+            text.push(quote);
+            i = (i + 1).min(chars.len());
+            push(&mut out, text, start_line, false);
+            continue;
+        }
+        // Words.
+        if c.is_alphanumeric() || c == '_' {
+            let start_line = line;
+            let mut text = String::new();
+            let is_word = c.is_alphabetic() || c == '_';
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                // Allow `1.5f` style numbers but stop words at `.`.
+                if chars[i] == '.' && is_word {
+                    break;
+                }
+                text.push(chars[i]);
+                i += 1;
+            }
+            push(&mut out, text, start_line, is_word);
+            continue;
+        }
+        // Multi-char operators (longest match first).
+        const OPS3: &[&str] = &["<<=", ">>=", "..."];
+        const OPS2: &[&str] = &[
+            ":=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--",
+            "<<", ">>", "->", "..",
+        ];
+        let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        let mut matched = None;
+        for op in OPS3 {
+            if rest.starts_with(op) {
+                matched = Some(op.to_string());
+                break;
+            }
+        }
+        if matched.is_none() {
+            for op in OPS2 {
+                if rest.starts_with(op) {
+                    matched = Some(op.to_string());
+                    break;
+                }
+            }
+        }
+        let text = matched.unwrap_or_else(|| c.to_string());
+        i += text.chars().count();
+        push(&mut out, text, line, false);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn words_numbers_operators() {
+        assert_eq!(
+            texts("x := y + 1.5f;"),
+            vec!["x", ":=", "y", "+", "1.5f", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped_but_lines_tracked() {
+        let toks = tokenize("a\n// gone\n/* multi\nline */\nb");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 5);
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let toks = tokenize(r#"printString("hello; // world");"#);
+        assert_eq!(toks.len(), 5); // printString ( "..." ) ;
+        assert!(!toks[2].is_word);
+    }
+
+    #[test]
+    fn pragma_becomes_a_word_token() {
+        let toks = tokenize("#pragma acc parallel loop");
+        assert_eq!(toks[0].text, "#pragma");
+        assert!(toks[0].is_word);
+        assert_eq!(toks[1].text, "acc");
+    }
+
+    #[test]
+    fn compound_assignment_is_one_token() {
+        assert_eq!(texts("a <<= 2")[1], "<<=");
+        assert_eq!(texts("a := 2")[1], ":=");
+    }
+
+    #[test]
+    fn range_operator_for_ensemble_loops() {
+        assert_eq!(texts("for i = 0 .. 9 do")[4], "..");
+    }
+
+    #[test]
+    fn unknown_characters_do_not_panic() {
+        assert!(!tokenize("a @ b § c").is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Device memory objects, mirroring `cl_mem`.
+
+use crate::error::{ClError, ClResult};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Buffer access flags, mirroring `CL_MEM_READ_WRITE` and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFlags {
+    /// Kernels may read and write.
+    ReadWrite,
+    /// Kernels may only read (writes trap).
+    ReadOnly,
+    /// Kernels may only write (host-read still allowed, as in OpenCL).
+    WriteOnly,
+}
+
+#[derive(Debug)]
+pub(crate) struct BufferInner {
+    pub(crate) id: u64,
+    pub(crate) ctx_id: u64,
+    pub(crate) flags: MemFlags,
+    pub(crate) len: usize,
+    pub(crate) data: Mutex<Vec<u8>>,
+    /// True while a dispatch on some queue has checked the bytes out. Reads
+    /// during that window are the race the paper hit with multiple command
+    /// queues per device; the simulator surfaces it as an error instead of
+    /// returning garbage.
+    pub(crate) checked_out: AtomicBool,
+}
+
+/// A device memory buffer.
+///
+/// Cloning is cheap (reference count); the backing store is freed when the
+/// last clone drops, mirroring `clReleaseMemObject` semantics.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    pub(crate) inner: Arc<BufferInner>,
+}
+
+impl Buffer {
+    pub(crate) fn new(ctx_id: u64, flags: MemFlags, len: usize) -> Buffer {
+        Buffer {
+            inner: Arc::new(BufferInner {
+                id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+                ctx_id,
+                flags,
+                len,
+                data: Mutex::new(vec![0u8; len]),
+                checked_out: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// True if the buffer has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// Access flags the buffer was created with.
+    pub fn flags(&self) -> MemFlags {
+        self.inner.flags
+    }
+
+    /// Process-unique id (used for aliasing detection during dispatch).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Id of the owning context.
+    pub fn context_id(&self) -> u64 {
+        self.inner.ctx_id
+    }
+
+    /// True while some queue's dispatch has the bytes checked out.
+    pub fn is_busy(&self) -> bool {
+        self.inner.checked_out.load(Ordering::Acquire)
+    }
+
+    /// Take the bytes out for a dispatch. Fails when another queue already
+    /// holds them — the multi-queue race from §6.2.1 of the paper.
+    pub(crate) fn check_out(&self) -> ClResult<Vec<u8>> {
+        if self
+            .inner
+            .checked_out
+            .swap(true, Ordering::AcqRel)
+        {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "buffer {} is busy on another command queue",
+                self.inner.id
+            )));
+        }
+        Ok(std::mem::take(&mut *self.inner.data.lock()))
+    }
+
+    /// Return the bytes after a dispatch.
+    pub(crate) fn check_in(&self, bytes: Vec<u8>) {
+        *self.inner.data.lock() = bytes;
+        self.inner.checked_out.store(false, Ordering::Release);
+    }
+
+    /// Host-side copy of the buffer contents (used by queue reads).
+    pub(crate) fn snapshot(&self) -> ClResult<Vec<u8>> {
+        if self.is_busy() {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "read of buffer {} raced a dispatch on another queue",
+                self.inner.id
+            )));
+        }
+        Ok(self.inner.data.lock().clone())
+    }
+
+    /// Host-side overwrite (used by queue writes).
+    pub(crate) fn overwrite(&self, offset: usize, bytes: &[u8]) -> ClResult<()> {
+        if self.is_busy() {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "write to buffer {} raced a dispatch on another queue",
+                self.inner.id
+            )));
+        }
+        if offset + bytes.len() > self.inner.len {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "write of {} bytes at offset {offset} exceeds buffer size {}",
+                bytes.len(),
+                self.inner.len
+            )));
+        }
+        self.inner.data.lock()[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_zeroed() {
+        let b = Buffer::new(1, MemFlags::ReadWrite, 8);
+        assert_eq!(b.snapshot().unwrap(), vec![0u8; 8]);
+        assert_eq!(b.len(), 8);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn overwrite_respects_bounds() {
+        let b = Buffer::new(1, MemFlags::ReadWrite, 4);
+        assert!(b.overwrite(0, &[1, 2, 3, 4]).is_ok());
+        assert!(b.overwrite(2, &[9, 9, 9]).is_err());
+        assert_eq!(b.snapshot().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn checkout_conflict_mirrors_multiqueue_race() {
+        let b = Buffer::new(1, MemFlags::ReadWrite, 4);
+        let taken = b.check_out().unwrap();
+        // A second queue arriving now sees the race.
+        assert!(b.check_out().is_err());
+        assert!(b.snapshot().is_err());
+        b.check_in(taken);
+        assert!(b.snapshot().is_ok());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Buffer::new(1, MemFlags::ReadWrite, 1);
+        let b = Buffer::new(1, MemFlags::ReadWrite, 1);
+        assert_ne!(a.id(), b.id());
+    }
+}

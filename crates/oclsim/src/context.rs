@@ -1,0 +1,145 @@
+//! Contexts, mirroring `cl_context`.
+
+use crate::buffer::{Buffer, MemFlags};
+use crate::device::Device;
+use crate::error::{ClError, ClResult};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Debug)]
+struct ContextInner {
+    id: u64,
+    devices: Vec<Device>,
+    mem_budget: usize,
+    allocated: Mutex<usize>,
+}
+
+/// An umbrella structure holding the devices in use plus the runtime
+/// software constructs (buffers, programs) created against them (§2.1).
+///
+/// Cloning shares the context (reference counted).
+#[derive(Debug, Clone)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+impl Context {
+    /// Create a context over one or more devices.
+    ///
+    /// The context's allocation budget is the smallest global memory of its
+    /// devices (a buffer must fit on every device of the context).
+    pub fn new(devices: &[Device]) -> ClResult<Context> {
+        if devices.is_empty() {
+            return Err(ClError::Internal(
+                "a context requires at least one device".to_string(),
+            ));
+        }
+        let mem_budget = devices
+            .iter()
+            .map(|d| d.global_mem_size())
+            .min()
+            .unwrap_or(0);
+        Ok(Context {
+            inner: Arc::new(ContextInner {
+                id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
+                devices: devices.to_vec(),
+                mem_budget,
+                allocated: Mutex::new(0),
+            }),
+        })
+    }
+
+    /// Process-unique context id.
+    ///
+    /// The Ensemble runtime uses this to decide whether device-resident data
+    /// can stay on the device when it moves between kernel actors (§6.2.3:
+    /// OpenCL moves data between devices of one context, but not across
+    /// contexts).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Devices of this context.
+    pub fn devices(&self) -> &[Device] {
+        &self.inner.devices
+    }
+
+    /// True when `device` belongs to this context.
+    pub fn has_device(&self, device: &Device) -> bool {
+        self.inner.devices.iter().any(|d| d.id() == device.id())
+    }
+
+    /// Allocate a device buffer of `bytes` bytes, mirroring
+    /// `clCreateBuffer`.
+    pub fn create_buffer(&self, flags: MemFlags, bytes: usize) -> ClResult<Buffer> {
+        let mut allocated = self.inner.allocated.lock();
+        if *allocated + bytes > self.inner.mem_budget {
+            return Err(ClError::OutOfDeviceMemory {
+                requested: bytes,
+                available: self.inner.mem_budget - *allocated,
+            });
+        }
+        *allocated += bytes;
+        Ok(Buffer::new(self.inner.id, flags, bytes))
+    }
+
+    /// Bytes currently allocated (for tests and the memory-pressure bench).
+    pub fn allocated_bytes(&self) -> usize {
+        *self.inner.allocated.lock()
+    }
+
+    /// Return `bytes` to the allocator. Called by the higher layers when a
+    /// buffer is dropped; the simulator keeps this explicit rather than
+    /// hooking `Drop` so that accounting stays deterministic under clones.
+    pub fn release_bytes(&self, bytes: usize) {
+        let mut allocated = self.inner.allocated.lock();
+        *allocated = allocated.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn context_over_gpu_and_cpu() {
+        let p = &Platform::all()[0];
+        let ctx = Context::new(&p.devices(None)).unwrap();
+        assert_eq!(ctx.devices().len(), 2);
+    }
+
+    #[test]
+    fn empty_device_list_is_rejected() {
+        assert!(Context::new(&[]).is_err());
+    }
+
+    #[test]
+    fn allocation_accounting() {
+        let p = &Platform::all()[0];
+        let ctx = Context::new(&p.devices(None)).unwrap();
+        let _b = ctx.create_buffer(MemFlags::ReadWrite, 1024).unwrap();
+        assert_eq!(ctx.allocated_bytes(), 1024);
+        ctx.release_bytes(1024);
+        assert_eq!(ctx.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn over_allocation_fails_like_opencl() {
+        let p = &Platform::all()[0];
+        let ctx = Context::new(&p.devices(None)).unwrap();
+        let err = ctx.create_buffer(MemFlags::ReadWrite, usize::MAX / 2).unwrap_err();
+        assert!(matches!(err, ClError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn ids_are_unique_across_contexts() {
+        let p = &Platform::all()[0];
+        let a = Context::new(&p.devices(None)).unwrap();
+        let b = Context::new(&p.devices(None)).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+}

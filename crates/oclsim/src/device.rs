@@ -1,0 +1,192 @@
+//! Simulated devices and their performance profiles.
+//!
+//! A [`Device`] stands in for a physical accelerator. The two built-in
+//! profiles are shaped after the paper's testbed: an AMD Radeon R9 290x GPU
+//! and an Intel Core i5-3550 CPU. The numbers do not claim to reproduce that
+//! hardware's absolute speed — only the *relationships* that drive the
+//! paper's figures: the GPU has enormous arithmetic parallelism but pays a
+//! PCIe-like cost to move data; the CPU has little parallelism but shares
+//! memory with the host, so transfers are nearly free.
+
+use crate::timing::CostModel;
+
+/// Kind of accelerator, mirroring `cl_device_type`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    /// A CPU device (host-shared memory, few wide cores).
+    Cpu,
+    /// A discrete GPU (many SIMD lanes, PCIe transfer costs).
+    Gpu,
+    /// A co-processor such as a Xeon Phi.
+    Accelerator,
+}
+
+impl std::fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceType::Cpu => write!(f, "CPU"),
+            DeviceType::Gpu => write!(f, "GPU"),
+            DeviceType::Accelerator => write!(f, "ACCELERATOR"),
+        }
+    }
+}
+
+/// Static description of a simulated device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Stable identifier, unique within the process.
+    pub(crate) id: usize,
+    /// Marketing name reported by `device.name()`.
+    pub(crate) name: String,
+    /// Device class.
+    pub(crate) device_type: DeviceType,
+    /// Number of compute units (cores on a CPU, CUs on a GPU).
+    pub(crate) compute_units: usize,
+    /// SIMD lanes per compute unit.
+    pub(crate) simd_width: usize,
+    /// Global memory capacity in bytes.
+    pub(crate) global_mem_size: usize,
+    /// Local (work-group shared) memory per compute unit, in bytes.
+    pub(crate) local_mem_size: usize,
+    /// Largest allowed work-group size.
+    pub(crate) max_work_group_size: usize,
+    /// The analytic timing model used to charge virtual time.
+    pub(crate) cost: CostModel,
+}
+
+impl Device {
+    /// Device name, e.g. `"SimCL R9-290x (sim)"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device class (CPU / GPU / accelerator).
+    pub fn device_type(&self) -> DeviceType {
+        self.device_type
+    }
+
+    /// Number of compute units.
+    pub fn compute_units(&self) -> usize {
+        self.compute_units
+    }
+
+    /// SIMD width of each compute unit.
+    pub fn simd_width(&self) -> usize {
+        self.simd_width
+    }
+
+    /// Total hardware lanes = compute units × SIMD width.
+    pub fn lanes(&self) -> usize {
+        self.compute_units * self.simd_width
+    }
+
+    /// Global memory capacity in bytes.
+    pub fn global_mem_size(&self) -> usize {
+        self.global_mem_size
+    }
+
+    /// Local memory per work-group in bytes.
+    pub fn local_mem_size(&self) -> usize {
+        self.local_mem_size
+    }
+
+    /// Maximum work-group size accepted by `enqueue_nd_range`.
+    pub fn max_work_group_size(&self) -> usize {
+        self.max_work_group_size
+    }
+
+    /// The timing model for this device.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Process-unique id (used by contexts and the device matrix).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Built-in GPU profile shaped after the paper's AMD Radeon R9 290x.
+    ///
+    /// 44 compute units × 64-lane wavefronts, 4 GiB of device memory, and a
+    /// PCIe-3-like transfer cost.
+    pub(crate) fn sim_gpu(id: usize) -> Device {
+        Device {
+            id,
+            name: "SimCL Radeon R9-290x (simulated)".to_string(),
+            device_type: DeviceType::Gpu,
+            compute_units: 44,
+            simd_width: 64,
+            global_mem_size: 4 << 30,
+            local_mem_size: 64 << 10,
+            max_work_group_size: 256,
+            cost: CostModel::gpu_pcie(),
+        }
+    }
+
+    /// Built-in CPU profile shaped after the paper's Intel Core i5-3550.
+    ///
+    /// 4 cores × 8-wide vector units, host-shared memory (cheap transfers).
+    pub(crate) fn sim_cpu(id: usize) -> Device {
+        Device {
+            id,
+            name: "SimCL Core i5-3550 (simulated)".to_string(),
+            device_type: DeviceType::Cpu,
+            compute_units: 4,
+            simd_width: 8,
+            global_mem_size: 16 << 30,
+            local_mem_size: 32 << 10,
+            max_work_group_size: 1024,
+            cost: CostModel::cpu_shared(),
+        }
+    }
+
+    /// Built-in accelerator profile shaped after a Xeon Phi co-processor.
+    ///
+    /// Included because the paper lists co-processors among OpenCL device
+    /// classes; useful for tests exercising three-way device selection.
+    pub(crate) fn sim_phi(id: usize) -> Device {
+        Device {
+            id,
+            name: "SimCL Xeon Phi 5110P (simulated)".to_string(),
+            device_type: DeviceType::Accelerator,
+            compute_units: 60,
+            simd_width: 16,
+            global_mem_size: 8 << 30,
+            local_mem_size: 32 << 10,
+            max_work_group_size: 512,
+            cost: CostModel::accelerator_pcie(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_profile_has_more_lanes_than_cpu() {
+        let gpu = Device::sim_gpu(0);
+        let cpu = Device::sim_cpu(1);
+        assert!(gpu.lanes() > 10 * cpu.lanes());
+    }
+
+    #[test]
+    fn cpu_transfers_are_cheaper_than_gpu_transfers() {
+        let gpu = Device::sim_gpu(0);
+        let cpu = Device::sim_cpu(1);
+        let bytes = 1 << 20;
+        assert!(cpu.cost_model().transfer_ns(bytes) < gpu.cost_model().transfer_ns(bytes));
+    }
+
+    #[test]
+    fn display_matches_opencl_names() {
+        assert_eq!(DeviceType::Cpu.to_string(), "CPU");
+        assert_eq!(DeviceType::Gpu.to_string(), "GPU");
+        assert_eq!(DeviceType::Accelerator.to_string(), "ACCELERATOR");
+    }
+
+    #[test]
+    fn ids_are_preserved() {
+        assert_eq!(Device::sim_gpu(7).id(), 7);
+    }
+}

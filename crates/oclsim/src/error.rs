@@ -1,0 +1,103 @@
+//! Error types for the OpenCL simulator.
+//!
+//! The variants intentionally mirror the error *classes* of the real OpenCL
+//! API (`CL_INVALID_*`, `CL_BUILD_PROGRAM_FAILURE`, ...) so that host code
+//! written against `oclsim` reads like host code written against OpenCL.
+
+use std::fmt;
+
+/// Errors returned by the simulator API.
+///
+/// Like the OpenCL C API, almost every entry point can fail; unlike it, the
+/// failure is a typed value rather than a negative integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClError {
+    /// No platform matched the requested criteria.
+    PlatformNotFound,
+    /// No device of the requested type exists on the platform.
+    DeviceNotFound {
+        /// Human-readable description of what was requested.
+        requested: String,
+    },
+    /// An object (buffer, kernel, queue) was used with a context it does not
+    /// belong to. Mirrors `CL_INVALID_CONTEXT`.
+    InvalidContext(String),
+    /// A buffer was accessed out of bounds or with a mismatched type.
+    InvalidBufferAccess(String),
+    /// Mirrors `CL_INVALID_KERNEL_ARGS`: an argument was missing or had the
+    /// wrong type when the kernel was enqueued.
+    InvalidKernelArgs(String),
+    /// Mirrors `CL_INVALID_WORK_GROUP_SIZE`: the local size does not divide
+    /// the global size, or exceeds the device limit.
+    InvalidWorkGroupSize(String),
+    /// Mirrors `CL_BUILD_PROGRAM_FAILURE`: the mini OpenCL-C source failed
+    /// to compile. Carries the full build log.
+    BuildFailure {
+        /// Compiler diagnostics, one per line.
+        log: String,
+    },
+    /// The named kernel does not exist in the program.
+    KernelNotFound(String),
+    /// A kernel trapped at runtime (out-of-bounds access, division by zero,
+    /// stack overflow, ...). Real OpenCL would give you undefined behaviour;
+    /// the simulator gives you this.
+    KernelTrap {
+        /// Which kernel trapped.
+        kernel: String,
+        /// What went wrong.
+        message: String,
+        /// Global id of the work-item that trapped.
+        global_id: [usize; 3],
+    },
+    /// Memory allocation on the simulated device failed
+    /// (mirrors `CL_MEM_OBJECT_ALLOCATION_FAILURE`).
+    OutOfDeviceMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available on the device.
+        available: usize,
+    },
+    /// Operation attempted on a released object.
+    ObjectReleased(String),
+    /// Catch-all for violated simulator invariants.
+    Internal(String),
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::PlatformNotFound => write!(f, "no OpenCL platform found"),
+            ClError::DeviceNotFound { requested } => {
+                write!(f, "no device matching request: {requested}")
+            }
+            ClError::InvalidContext(msg) => write!(f, "invalid context: {msg}"),
+            ClError::InvalidBufferAccess(msg) => write!(f, "invalid buffer access: {msg}"),
+            ClError::InvalidKernelArgs(msg) => write!(f, "invalid kernel arguments: {msg}"),
+            ClError::InvalidWorkGroupSize(msg) => write!(f, "invalid work-group size: {msg}"),
+            ClError::BuildFailure { log } => write!(f, "program build failure:\n{log}"),
+            ClError::KernelNotFound(name) => write!(f, "kernel not found: {name}"),
+            ClError::KernelTrap {
+                kernel,
+                message,
+                global_id,
+            } => write!(
+                f,
+                "kernel `{kernel}` trapped at global id {global_id:?}: {message}"
+            ),
+            ClError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            ClError::ObjectReleased(what) => write!(f, "use after release: {what}"),
+            ClError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+/// Convenient result alias used across the simulator.
+pub type ClResult<T> = Result<T, ClError>;

@@ -1,0 +1,87 @@
+//! Host-side byte conversion helpers.
+//!
+//! OpenCL buffers are untyped byte ranges; host code is responsible for the
+//! layout. These helpers centralise the little-endian conversions used by
+//! hosts, the flattening layer, and tests.
+
+/// Pack an `f32` slice into little-endian bytes.
+pub fn f32_to_bytes(vals: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack little-endian bytes into `f32`s. Trailing partial elements are
+/// ignored (mirrors reading a deliberately oversized buffer).
+pub fn bytes_to_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+/// Pack an `i32` slice into little-endian bytes.
+pub fn i32_to_bytes(vals: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack little-endian bytes into `i32`s.
+pub fn bytes_to_i32(bytes: &[u8]) -> Vec<i32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+/// Pack a `u32` slice into little-endian bytes.
+pub fn u32_to_bytes(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack little-endian bytes into `u32`s.
+pub fn bytes_to_u32(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = vec![0.0, -1.5, 3.25, f32::MAX];
+        assert_eq!(bytes_to_f32(&f32_to_bytes(&vals)), vals);
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        let vals = vec![0, -1, i32::MAX, i32::MIN];
+        assert_eq!(bytes_to_i32(&i32_to_bytes(&vals)), vals);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let vals = vec![0, 1, u32::MAX];
+        assert_eq!(bytes_to_u32(&u32_to_bytes(&vals)), vals);
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        let mut bytes = f32_to_bytes(&[1.0]);
+        bytes.push(0xff);
+        assert_eq!(bytes_to_f32(&bytes), vec![1.0]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Lexer for the mini OpenCL-C kernel language.
+//!
+//! The dialect covers the subset of OpenCL C that the paper's applications
+//! need: scalar `int`/`uint`/`long`/`float`, the `float4` short-vector type,
+//! address-space qualifiers, control flow, and the work-item builtins.
+
+use std::fmt;
+
+/// A source position (1-based line and column) for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // punctuation variants are self-describing
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex).
+    IntLit(i64),
+    /// Floating-point literal (an optional `f` suffix is consumed).
+    FloatLit(f64),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    ShrAssign,
+    ShlAssign,
+    Question,
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::IntLit(v) => write!(f, "integer literal {v}"),
+            Tok::FloatLit(v) => write!(f, "float literal {v}"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Dot => ".",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Assign => "=",
+                    Tok::PlusAssign => "+=",
+                    Tok::MinusAssign => "-=",
+                    Tok::StarAssign => "*=",
+                    Tok::SlashAssign => "/=",
+                    Tok::PlusPlus => "++",
+                    Tok::MinusMinus => "--",
+                    Tok::Eq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Not => "!",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::Caret => "^",
+                    Tok::Tilde => "~",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    Tok::ShrAssign => ">>=",
+                    Tok::ShlAssign => "<<=",
+                    Tok::Question => "?",
+                    Tok::Colon => ":",
+                    Tok::Eof => "end of input",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it starts in the source.
+    pub pos: Pos,
+}
+
+/// A lexical error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: lex error: {}", self.pos, self.message)
+    }
+}
+
+/// Tokenize `src`, handling `//` and `/* */` comments and `#pragma` lines.
+///
+/// `#pragma` lines are returned to the caller via `pragmas` as
+/// `(line, text)` pairs rather than as tokens — the OpenACC-style baseline
+/// consumes them, and plain kernel compilation ignores them.
+pub fn lex(src: &str) -> Result<(Vec<Spanned>, Vec<(u32, String)>), LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut pragmas = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    bump!();
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let start = pos!();
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".to_string(),
+                            pos: start,
+                        });
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                continue;
+            }
+        }
+        // Preprocessor-ish lines: keep pragmas, ignore other directives.
+        if c == '#' {
+            let at_line = line;
+            let mut text = String::new();
+            while i < bytes.len() && bytes[i] != '\n' {
+                text.push(bytes[i]);
+                bump!();
+            }
+            if let Some(rest) = text.strip_prefix("#pragma") {
+                pragmas.push((at_line, rest.trim().to_string()));
+            }
+            continue;
+        }
+        let p = pos!();
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                s.push(bytes[i]);
+                bump!();
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(s),
+                pos: p,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let mut s = String::new();
+            let mut is_float = false;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                bump!();
+                bump!();
+                let mut h = String::new();
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    h.push(bytes[i]);
+                    bump!();
+                }
+                let v = i64::from_str_radix(&h, 16).map_err(|_| LexError {
+                    message: format!("invalid hex literal 0x{h}"),
+                    pos: p,
+                })?;
+                out.push(Spanned {
+                    tok: Tok::IntLit(v),
+                    pos: p,
+                });
+                continue;
+            }
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                if bytes[i] == '.' {
+                    // Don't eat a member access like `4.x` (float4 swizzle).
+                    if is_float {
+                        break;
+                    }
+                    if i + 1 < bytes.len() && !bytes[i + 1].is_ascii_digit() {
+                        break;
+                    }
+                    is_float = true;
+                }
+                s.push(bytes[i]);
+                bump!();
+            }
+            // Exponent.
+            if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                is_float = true;
+                s.push(bytes[i]);
+                bump!();
+                if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                    s.push(bytes[i]);
+                    bump!();
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    s.push(bytes[i]);
+                    bump!();
+                }
+            }
+            // Suffixes: f => float, u/l ignored for ints.
+            if i < bytes.len() && (bytes[i] == 'f' || bytes[i] == 'F') {
+                is_float = true;
+                bump!();
+            } else if i < bytes.len() && (bytes[i] == 'u' || bytes[i] == 'U' || bytes[i] == 'l') {
+                bump!();
+            }
+            if is_float {
+                let v: f64 = s.parse().map_err(|_| LexError {
+                    message: format!("invalid float literal {s}"),
+                    pos: p,
+                })?;
+                out.push(Spanned {
+                    tok: Tok::FloatLit(v),
+                    pos: p,
+                });
+            } else {
+                let v: i64 = s.parse().map_err(|_| LexError {
+                    message: format!("invalid integer literal {s}"),
+                    pos: p,
+                })?;
+                out.push(Spanned {
+                    tok: Tok::IntLit(v),
+                    pos: p,
+                });
+            }
+            continue;
+        }
+        // Operators / punctuation.
+        let two = if i + 1 < bytes.len() {
+            Some(bytes[i + 1])
+        } else {
+            None
+        };
+        let three = if i + 2 < bytes.len() {
+            Some(bytes[i + 2])
+        } else {
+            None
+        };
+        let (tok, len) = match (c, two, three) {
+            ('<', Some('<'), Some('=')) => (Tok::ShlAssign, 3),
+            ('>', Some('>'), Some('=')) => (Tok::ShrAssign, 3),
+            ('+', Some('+'), _) => (Tok::PlusPlus, 2),
+            ('-', Some('-'), _) => (Tok::MinusMinus, 2),
+            ('+', Some('='), _) => (Tok::PlusAssign, 2),
+            ('-', Some('='), _) => (Tok::MinusAssign, 2),
+            ('*', Some('='), _) => (Tok::StarAssign, 2),
+            ('/', Some('='), _) => (Tok::SlashAssign, 2),
+            ('=', Some('='), _) => (Tok::Eq, 2),
+            ('!', Some('='), _) => (Tok::Ne, 2),
+            ('<', Some('='), _) => (Tok::Le, 2),
+            ('>', Some('='), _) => (Tok::Ge, 2),
+            ('<', Some('<'), _) => (Tok::Shl, 2),
+            ('>', Some('>'), _) => (Tok::Shr, 2),
+            ('&', Some('&'), _) => (Tok::AndAnd, 2),
+            ('|', Some('|'), _) => (Tok::OrOr, 2),
+            ('(', _, _) => (Tok::LParen, 1),
+            (')', _, _) => (Tok::RParen, 1),
+            ('{', _, _) => (Tok::LBrace, 1),
+            ('}', _, _) => (Tok::RBrace, 1),
+            ('[', _, _) => (Tok::LBracket, 1),
+            (']', _, _) => (Tok::RBracket, 1),
+            (',', _, _) => (Tok::Comma, 1),
+            (';', _, _) => (Tok::Semi, 1),
+            ('.', _, _) => (Tok::Dot, 1),
+            ('+', _, _) => (Tok::Plus, 1),
+            ('-', _, _) => (Tok::Minus, 1),
+            ('*', _, _) => (Tok::Star, 1),
+            ('/', _, _) => (Tok::Slash, 1),
+            ('%', _, _) => (Tok::Percent, 1),
+            ('=', _, _) => (Tok::Assign, 1),
+            ('<', _, _) => (Tok::Lt, 1),
+            ('>', _, _) => (Tok::Gt, 1),
+            ('!', _, _) => (Tok::Not, 1),
+            ('&', _, _) => (Tok::Amp, 1),
+            ('|', _, _) => (Tok::Pipe, 1),
+            ('^', _, _) => (Tok::Caret, 1),
+            ('~', _, _) => (Tok::Tilde, 1),
+            ('?', _, _) => (Tok::Question, 1),
+            (':', _, _) => (Tok::Colon, 1),
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character `{c}`"),
+                    pos: p,
+                })
+            }
+        };
+        for _ in 0..len {
+            bump!();
+        }
+        out.push(Spanned { tok, pos: p });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok((out, pragmas))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().0.into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_kernel_header() {
+        let t = toks("__kernel void square(__global float* in)");
+        assert_eq!(t[0], Tok::Ident("__kernel".into()));
+        assert_eq!(t[1], Tok::Ident("void".into()));
+        assert_eq!(t[4], Tok::Ident("__global".into()));
+        assert!(t.contains(&Tok::Star));
+    }
+
+    #[test]
+    fn float_suffix_and_exponent() {
+        assert_eq!(toks("1.5f")[0], Tok::FloatLit(1.5));
+        assert_eq!(toks("2e3")[0], Tok::FloatLit(2000.0));
+        assert_eq!(toks("4.0")[0], Tok::FloatLit(4.0));
+    }
+
+    #[test]
+    fn hex_and_decimal_ints() {
+        assert_eq!(toks("0x10")[0], Tok::IntLit(16));
+        assert_eq!(toks("42")[0], Tok::IntLit(42));
+    }
+
+    #[test]
+    fn swizzle_dot_is_not_consumed_by_number() {
+        // `v.x` after an int-like prefix must not merge into a float.
+        let t = toks("v.x + 4.x");
+        assert!(t.contains(&Tok::Dot));
+        assert_eq!(t[0], Tok::Ident("v".into()));
+    }
+
+    #[test]
+    fn comments_and_pragmas() {
+        let (t, pragmas) =
+            lex("// line\n#pragma acc parallel loop\n/* block */ int x;").unwrap();
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].1, "acc parallel loop");
+        assert_eq!(t[0].tok, Tok::Ident("int".into()));
+    }
+
+    #[test]
+    fn three_char_operators() {
+        assert_eq!(toks(">>=")[0], Tok::ShrAssign);
+        assert_eq!(toks("<<=")[0], Tok::ShlAssign);
+    }
+
+    #[test]
+    fn error_on_stray_character() {
+        assert!(lex("int @;").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let (t, _) = lex("int\nx").unwrap();
+        assert_eq!(t[1].pos.line, 2);
+    }
+}

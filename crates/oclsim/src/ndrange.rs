@@ -1,0 +1,126 @@
+//! ND-range descriptions: global and local work sizes (§2.2).
+
+use crate::error::{ClError, ClResult};
+
+/// Global/local work sizes for a kernel dispatch.
+///
+/// As in OpenCL, the local size must evenly divide the global size in every
+/// dimension; validation happens at enqueue time against the target device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Number of meaningful dimensions (1–3).
+    pub dims: u8,
+    /// Global work size per dimension (unused dimensions are 1).
+    pub global: [usize; 3],
+    /// Local work size per dimension (unused dimensions are 1).
+    pub local: [usize; 3],
+}
+
+impl NdRange {
+    /// One-dimensional range.
+    pub fn d1(global: usize, local: usize) -> NdRange {
+        NdRange {
+            dims: 1,
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
+    }
+
+    /// Two-dimensional range.
+    pub fn d2(global: [usize; 2], local: [usize; 2]) -> NdRange {
+        NdRange {
+            dims: 2,
+            global: [global[0], global[1], 1],
+            local: [local[0], local[1], 1],
+        }
+    }
+
+    /// Three-dimensional range.
+    pub fn d3(global: [usize; 3], local: [usize; 3]) -> NdRange {
+        NdRange {
+            dims: 3,
+            global,
+            local,
+        }
+    }
+
+    /// Total number of work-items.
+    pub fn total_items(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Work-items per work-group.
+    pub fn group_size(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    /// Number of work-groups.
+    pub fn num_groups(&self) -> usize {
+        self.total_items() / self.group_size().max(1)
+    }
+
+    /// Validate against a device's limits, mirroring the checks behind
+    /// `CL_INVALID_WORK_GROUP_SIZE`.
+    pub fn validate(&self, max_work_group_size: usize) -> ClResult<()> {
+        for d in 0..3 {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(ClError::InvalidWorkGroupSize(format!(
+                    "dimension {d} has zero size (global {:?}, local {:?})",
+                    self.global, self.local
+                )));
+            }
+            if self.global[d] % self.local[d] != 0 {
+                return Err(ClError::InvalidWorkGroupSize(format!(
+                    "local size {} does not divide global size {} in dimension {d}",
+                    self.local[d], self.global[d]
+                )));
+            }
+        }
+        if self.group_size() > max_work_group_size {
+            return Err(ClError::InvalidWorkGroupSize(format!(
+                "work-group of {} items exceeds the device limit of {max_work_group_size}",
+                self.group_size()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_counts() {
+        let nd = NdRange::d1(1024, 64);
+        assert_eq!(nd.total_items(), 1024);
+        assert_eq!(nd.group_size(), 64);
+        assert_eq!(nd.num_groups(), 16);
+        assert!(nd.validate(256).is_ok());
+    }
+
+    #[test]
+    fn d2_counts() {
+        let nd = NdRange::d2([64, 64], [8, 8]);
+        assert_eq!(nd.total_items(), 4096);
+        assert_eq!(nd.num_groups(), 64);
+    }
+
+    #[test]
+    fn indivisible_local_size_is_rejected() {
+        let nd = NdRange::d1(100, 8);
+        assert!(nd.validate(256).is_err());
+    }
+
+    #[test]
+    fn oversized_group_is_rejected() {
+        let nd = NdRange::d2([64, 64], [32, 32]);
+        assert!(nd.validate(256).is_err());
+        assert!(nd.validate(1024).is_ok());
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        assert!(NdRange::d1(0, 1).validate(256).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Platform discovery, mirroring `clGetPlatformIDs` / `clGetDeviceIDs`.
+
+use crate::device::{Device, DeviceType};
+
+/// A vendor platform: a driver exposing one or more devices.
+///
+/// The simulator exposes two platforms, mirroring a typical workstation
+/// where a GPU vendor's driver carries the GPU and CPU devices and a second
+/// vendor's runtime carries a co-processor.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    vendor: String,
+    devices: Vec<Device>,
+}
+
+impl Platform {
+    /// Enumerate every platform on the (simulated) machine.
+    ///
+    /// Deterministic: platform 0 is the primary "SimCL" platform with the
+    /// GPU (device 0) and CPU (device 1); platform 1 carries the
+    /// accelerator (device 2).
+    pub fn all() -> Vec<Platform> {
+        vec![
+            Platform {
+                name: "SimCL Primary".to_string(),
+                vendor: "SimCL Project".to_string(),
+                devices: vec![Device::sim_gpu(0), Device::sim_cpu(1)],
+            },
+            Platform {
+                name: "SimCL Coprocessor Runtime".to_string(),
+                vendor: "SimCL Project".to_string(),
+                devices: vec![Device::sim_phi(2)],
+            },
+        ]
+    }
+
+    /// Platform display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Platform vendor string.
+    pub fn vendor(&self) -> &str {
+        &self.vendor
+    }
+
+    /// All devices of this platform, optionally filtered by type.
+    pub fn devices(&self, ty: Option<DeviceType>) -> Vec<Device> {
+        self.devices
+            .iter()
+            .filter(|d| ty.map_or(true, |t| d.device_type() == t))
+            .cloned()
+            .collect()
+    }
+
+    /// Convenience: first device of the given type across all platforms,
+    /// mirroring the common `clGetDeviceIDs(..., type, 1, &dev, NULL)` call.
+    pub fn default_device(ty: DeviceType) -> Option<Device> {
+        Platform::all()
+            .iter()
+            .flat_map(|p| p.devices(Some(ty)))
+            .next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let a = Platform::all();
+        let b = Platform::all();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].devices(None).len(), 2);
+        assert_eq!(a[1].devices(None).len(), 1);
+    }
+
+    #[test]
+    fn filtering_by_type() {
+        let p = &Platform::all()[0];
+        assert_eq!(p.devices(Some(DeviceType::Gpu)).len(), 1);
+        assert_eq!(p.devices(Some(DeviceType::Cpu)).len(), 1);
+        assert_eq!(p.devices(Some(DeviceType::Accelerator)).len(), 0);
+    }
+
+    #[test]
+    fn default_device_lookup() {
+        assert_eq!(
+            Platform::default_device(DeviceType::Gpu).unwrap().device_type(),
+            DeviceType::Gpu
+        );
+        assert_eq!(
+            Platform::default_device(DeviceType::Accelerator)
+                .unwrap()
+                .device_type(),
+            DeviceType::Accelerator
+        );
+    }
+
+    #[test]
+    fn device_ids_are_distinct() {
+        let mut ids: Vec<usize> = Platform::all()
+            .iter()
+            .flat_map(|p| p.devices(None))
+            .map(|d| d.id())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Profiling accumulators for the figure harness.
+//!
+//! The paper's Figures 3a–3e split each bar into *move data to device*,
+//! *move data from device*, *kernel execution*, and *overhead* (total minus
+//! the other three). Kernel actors and the baselines both record into a
+//! [`Profile`], so the harness can produce identical splits for every
+//! approach.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Accumulated virtual-time costs of one application run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Profile {
+    /// Host→device transfer time (virtual ns).
+    pub to_device_ns: f64,
+    /// Device→host transfer time (virtual ns).
+    pub from_device_ns: f64,
+    /// Kernel execution time (virtual ns).
+    pub kernel_ns: f64,
+    /// Number of kernel dispatches.
+    pub dispatches: u64,
+}
+
+impl Profile {
+    /// Sum of the OpenCL portions (everything except host overhead).
+    pub fn opencl_ns(&self) -> f64 {
+        self.to_device_ns + self.from_device_ns + self.kernel_ns
+    }
+
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        self.to_device_ns += other.to_device_ns;
+        self.from_device_ns += other.from_device_ns;
+        self.kernel_ns += other.kernel_ns;
+        self.dispatches += other.dispatches;
+    }
+}
+
+/// Shared, thread-safe profile sink handed to kernel actors.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSink {
+    inner: Arc<Mutex<Profile>>,
+}
+
+impl ProfileSink {
+    /// Fresh, zeroed sink.
+    pub fn new() -> ProfileSink {
+        ProfileSink::default()
+    }
+
+    /// Add host→device transfer time.
+    pub fn add_to_device(&self, ns: f64) {
+        self.inner.lock().to_device_ns += ns;
+    }
+
+    /// Add device→host transfer time.
+    pub fn add_from_device(&self, ns: f64) {
+        self.inner.lock().from_device_ns += ns;
+    }
+
+    /// Add kernel execution time and count the dispatch.
+    pub fn add_kernel(&self, ns: f64) {
+        let mut p = self.inner.lock();
+        p.kernel_ns += ns;
+        p.dispatches += 1;
+    }
+
+    /// Snapshot the accumulated profile.
+    pub fn snapshot(&self) -> Profile {
+        *self.inner.lock()
+    }
+
+    /// Reset to zero (between benchmark iterations).
+    pub fn reset(&self) {
+        *self.inner.lock() = Profile::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets() {
+        let sink = ProfileSink::new();
+        sink.add_to_device(10.0);
+        sink.add_kernel(100.0);
+        sink.add_kernel(50.0);
+        sink.add_from_device(5.0);
+        let p = sink.snapshot();
+        assert_eq!(p.to_device_ns, 10.0);
+        assert_eq!(p.kernel_ns, 150.0);
+        assert_eq!(p.from_device_ns, 5.0);
+        assert_eq!(p.dispatches, 2);
+        assert_eq!(p.opencl_ns(), 165.0);
+        sink.reset();
+        assert_eq!(sink.snapshot(), Profile::default());
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Profile {
+            to_device_ns: 1.0,
+            from_device_ns: 2.0,
+            kernel_ns: 3.0,
+            dispatches: 1,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.dispatches, 2);
+        assert_eq!(a.opencl_ns(), 12.0);
+    }
+
+    #[test]
+    fn sink_is_shared_between_clones() {
+        let sink = ProfileSink::new();
+        let clone = sink.clone();
+        clone.add_kernel(7.0);
+        assert_eq!(sink.snapshot().kernel_ns, 7.0);
+    }
+}

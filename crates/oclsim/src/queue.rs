@@ -1,0 +1,397 @@
+//! In-order command queues, mirroring `cl_command_queue`.
+
+use crate::buffer::{Buffer, MemFlags};
+use crate::context::Context;
+use crate::device::Device;
+use crate::error::{ClError, ClResult};
+use crate::event::{CommandKind, Event};
+use crate::minicl::ast::{Space, Type};
+use crate::minicl::interp::{run_ndrange, MemPool, RtArg};
+use crate::ndrange::NdRange;
+use crate::program::{ArgSpec, Kernel};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An in-order command queue bound to one device of a context (§2.1).
+///
+/// Commands execute eagerly (results are visible when the enqueue call
+/// returns) but are *timed* on the queue's virtual clock; `finish()` returns
+/// immediately and exists for host-code fidelity.
+///
+/// Cloning shares the queue (and its clock).
+#[derive(Debug, Clone)]
+pub struct CommandQueue {
+    inner: Arc<QueueInner>,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    ctx: Context,
+    device: Device,
+    clock_ns: Mutex<f64>,
+}
+
+impl CommandQueue {
+    /// Create a queue for `device`, which must belong to `ctx`.
+    pub fn new(ctx: &Context, device: &Device) -> ClResult<CommandQueue> {
+        if !ctx.has_device(device) {
+            return Err(ClError::InvalidContext(format!(
+                "device `{}` is not part of the context",
+                device.name()
+            )));
+        }
+        Ok(CommandQueue {
+            inner: Arc::new(QueueInner {
+                ctx: ctx.clone(),
+                device: device.clone(),
+                clock_ns: Mutex::new(0.0),
+            }),
+        })
+    }
+
+    /// The device this queue feeds.
+    pub fn device(&self) -> &Device {
+        &self.inner.device
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &Context {
+        &self.inner.ctx
+    }
+
+    /// Current virtual time of this queue in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        *self.inner.clock_ns.lock()
+    }
+
+    /// Block until all enqueued commands complete (a no-op under eager
+    /// execution; returns the queue's virtual time for convenience).
+    pub fn finish(&self) -> f64 {
+        self.now_ns()
+    }
+
+    fn advance(&self, cost_ns: f64) -> (f64, f64) {
+        let mut clock = self.inner.clock_ns.lock();
+        let start = *clock;
+        *clock += cost_ns;
+        (start, *clock)
+    }
+
+    /// Copy `data` into `buf` (host → device), mirroring
+    /// `clEnqueueWriteBuffer`.
+    pub fn enqueue_write_buffer(&self, buf: &Buffer, data: &[u8]) -> ClResult<Event> {
+        self.check_buffer(buf)?;
+        buf.overwrite(0, data)?;
+        let cost = self.inner.device.cost_model().transfer_ns(data.len());
+        let (start, end) = self.advance(cost);
+        Ok(Event::new(CommandKind::WriteBuffer, start, start, end, data.len(), 0))
+    }
+
+    /// Copy `buf` into `out` (device → host), mirroring
+    /// `clEnqueueReadBuffer`. `out` must be exactly the buffer's size.
+    pub fn enqueue_read_buffer(&self, buf: &Buffer, out: &mut [u8]) -> ClResult<Event> {
+        self.check_buffer(buf)?;
+        let snapshot = buf.snapshot()?;
+        if out.len() != snapshot.len() {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "read of {} bytes from a buffer of {} bytes",
+                out.len(),
+                snapshot.len()
+            )));
+        }
+        out.copy_from_slice(&snapshot);
+        let cost = self.inner.device.cost_model().transfer_ns(out.len());
+        let (start, end) = self.advance(cost);
+        Ok(Event::new(CommandKind::ReadBuffer, start, start, end, out.len(), 0))
+    }
+
+    /// Convenience: write an `f32` slice.
+    pub fn write_f32(&self, buf: &Buffer, data: &[f32]) -> ClResult<Event> {
+        self.enqueue_write_buffer(buf, &crate::hostmem::f32_to_bytes(data))
+    }
+
+    /// Convenience: read the whole buffer as `f32`s.
+    pub fn read_f32(&self, buf: &Buffer) -> ClResult<(Vec<f32>, Event)> {
+        let mut bytes = vec![0u8; buf.len()];
+        let ev = self.enqueue_read_buffer(buf, &mut bytes)?;
+        Ok((crate::hostmem::bytes_to_f32(&bytes), ev))
+    }
+
+    /// Convenience: write an `i32` slice.
+    pub fn write_i32(&self, buf: &Buffer, data: &[i32]) -> ClResult<Event> {
+        self.enqueue_write_buffer(buf, &crate::hostmem::i32_to_bytes(data))
+    }
+
+    /// Convenience: read the whole buffer as `i32`s.
+    pub fn read_i32(&self, buf: &Buffer) -> ClResult<(Vec<i32>, Event)> {
+        let mut bytes = vec![0u8; buf.len()];
+        let ev = self.enqueue_read_buffer(buf, &mut bytes)?;
+        Ok((crate::hostmem::bytes_to_i32(&bytes), ev))
+    }
+
+    fn check_buffer(&self, buf: &Buffer) -> ClResult<()> {
+        if buf.context_id() != self.inner.ctx.id() {
+            return Err(ClError::InvalidContext(format!(
+                "buffer {} does not belong to this queue's context",
+                buf.id()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Launch a kernel over `nd`, mirroring `clEnqueueNDRangeKernel`.
+    ///
+    /// Executes the kernel with the work-group interpreter and charges the
+    /// device's analytic cost to the queue's virtual clock. The returned
+    /// event's profiling timestamps expose that cost.
+    pub fn enqueue_nd_range(&self, kernel: &Kernel, nd: &NdRange) -> ClResult<Event> {
+        if kernel.ctx_id != self.inner.ctx.id() {
+            return Err(ClError::InvalidContext(format!(
+                "kernel `{}` was built for a different context",
+                kernel.name()
+            )));
+        }
+        nd.validate(self.inner.device.max_work_group_size())?;
+        let specs = kernel.collect_args()?;
+
+        // Total local memory: host-set __local args + in-body declarations.
+        let local_bytes: usize = specs
+            .iter()
+            .map(|s| match s {
+                ArgSpec::LocalBytes(b) => *b,
+                _ => 0,
+            })
+            .sum::<usize>()
+            + kernel.info.local_decl_bytes.iter().sum::<usize>();
+        if local_bytes > self.inner.device.local_mem_size() {
+            return Err(ClError::InvalidWorkGroupSize(format!(
+                "kernel `{}` needs {local_bytes} bytes of local memory; device has {}",
+                kernel.name(),
+                self.inner.device.local_mem_size()
+            )));
+        }
+
+        // A buffer bound to several parameters is writable if *any* of
+        // them is writable: decide const-ness across all bindings first.
+        let mut writable_ids: Vec<u64> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            if let ArgSpec::Buf(b) = spec {
+                let via_const =
+                    matches!(kernel.info.params[i].ty, Type::Ptr(Space::Constant, _));
+                if !via_const && !matches!(b.flags(), MemFlags::ReadOnly) {
+                    writable_ids.push(b.id());
+                }
+            }
+        }
+        // Build the memory pool: unique buffers checked out once each.
+        let mut pool = MemPool::default();
+        let mut pooled: Vec<Buffer> = Vec::new();
+        let mut rt_args: Vec<RtArg> = Vec::with_capacity(specs.len());
+        let mut checkout_err: Option<ClError> = None;
+        for spec in specs.iter() {
+            match spec {
+                ArgSpec::Buf(b) => {
+                    let slot = match pooled.iter().position(|p| p.id() == b.id()) {
+                        Some(s) => s,
+                        None => match b.check_out() {
+                            Ok(bytes) => {
+                                pooled.push(b.clone());
+                                pool.bufs.push(bytes);
+                                pool.read_only.push(!writable_ids.contains(&b.id()));
+                                pool.bufs.len() - 1
+                            }
+                            Err(e) => {
+                                checkout_err = Some(e);
+                                break;
+                            }
+                        },
+                    };
+                    rt_args.push(RtArg::Buf { pool_slot: slot });
+                }
+                ArgSpec::Scalar(v) => rt_args.push(RtArg::Scalar(*v)),
+                ArgSpec::LocalBytes(b) => rt_args.push(RtArg::Local { bytes: *b }),
+            }
+        }
+        if let Some(e) = checkout_err {
+            for (buf, bytes) in pooled.iter().zip(pool.bufs.drain(..)) {
+                buf.check_in(bytes);
+            }
+            return Err(e);
+        }
+
+        let result = run_ndrange(
+            &kernel.unit,
+            &kernel.info,
+            &rt_args,
+            &mut pool,
+            nd.global,
+            nd.local,
+        );
+
+        // Always return bytes to their buffers, even on trap.
+        for (buf, bytes) in pooled.iter().zip(pool.bufs.drain(..)) {
+            buf.check_in(bytes);
+        }
+
+        let stats = result.map_err(|t| ClError::KernelTrap {
+            kernel: kernel.name().to_string(),
+            message: t.message,
+            global_id: t.global_id,
+        })?;
+
+        let cost = self.inner.device.cost_model().kernel_ns(
+            &stats.group_ops,
+            nd.group_size(),
+            self.inner.device.compute_units(),
+            self.inner.device.simd_width(),
+        );
+        let (start, end) = self.advance(cost);
+        Ok(Event::new(
+            CommandKind::NdRange(kernel.name().to_string()),
+            start,
+            start,
+            end,
+            0,
+            stats.items,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use crate::platform::Platform;
+    use crate::program::Program;
+
+    fn setup(ty: DeviceType) -> (Context, CommandQueue) {
+        let dev = Platform::default_device(ty).unwrap();
+        let ctx = Context::new(std::slice::from_ref(&dev)).unwrap();
+        let q = CommandQueue::new(&ctx, &dev).unwrap();
+        (ctx, q)
+    }
+
+    #[test]
+    fn write_read_roundtrip_advances_clock() {
+        let (ctx, q) = setup(DeviceType::Gpu);
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        let w = q.write_f32(&buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (vals, r) = q.read_f32(&buf).unwrap();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(w.duration_ns() > 0.0);
+        assert!(r.start_ns() >= w.end_ns());
+        assert!(q.now_ns() >= r.end_ns());
+    }
+
+    #[test]
+    fn dispatch_square_on_cpu_and_gpu() {
+        for ty in [DeviceType::Cpu, DeviceType::Gpu] {
+            let (ctx, q) = setup(ty);
+            let src = "__kernel void square(__global float* a) {
+                int i = get_global_id(0);
+                a[i] = a[i] * a[i];
+            }";
+            let program = Program::build(&ctx, src).unwrap();
+            let k = program.create_kernel("square").unwrap();
+            let buf = ctx.create_buffer(MemFlags::ReadWrite, 32).unwrap();
+            q.write_f32(&buf, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+                .unwrap();
+            k.set_arg_buffer(0, &buf).unwrap();
+            let ev = q.enqueue_nd_range(&k, &NdRange::d1(8, 4)).unwrap();
+            assert_eq!(ev.items(), 8);
+            let (vals, _) = q.read_f32(&buf).unwrap();
+            assert_eq!(vals[7], 64.0);
+        }
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_compute_heavy_kernels() {
+        // A compute-dense kernel: the GPU's lane advantage should dominate.
+        let src = "__kernel void heavy(__global float* a) {
+            int i = get_global_id(0);
+            float x = a[i];
+            for (int k = 0; k < 200; k++) { x = x * 1.0001f + 0.5f; }
+            a[i] = x;
+        }";
+        let mut times = Vec::new();
+        for ty in [DeviceType::Gpu, DeviceType::Cpu] {
+            let (ctx, q) = setup(ty);
+            let program = Program::build(&ctx, src).unwrap();
+            let k = program.create_kernel("heavy").unwrap();
+            let buf = ctx.create_buffer(MemFlags::ReadWrite, 4096 * 4).unwrap();
+            k.set_arg_buffer(0, &buf).unwrap();
+            let ev = q.enqueue_nd_range(&k, &NdRange::d1(4096, 64)).unwrap();
+            times.push(ev.duration_ns());
+        }
+        assert!(times[0] < times[1], "gpu {} !< cpu {}", times[0], times[1]);
+    }
+
+    #[test]
+    fn cpu_transfers_beat_gpu_transfers() {
+        let mut times = Vec::new();
+        for ty in [DeviceType::Gpu, DeviceType::Cpu] {
+            let (ctx, q) = setup(ty);
+            let buf = ctx.create_buffer(MemFlags::ReadWrite, 1 << 20).unwrap();
+            let data = vec![0u8; 1 << 20];
+            let ev = q.enqueue_write_buffer(&buf, &data).unwrap();
+            times.push(ev.duration_ns());
+        }
+        assert!(times[1] < times[0]);
+    }
+
+    #[test]
+    fn kernel_trap_surfaces_as_error_and_releases_buffers() {
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let src = "__kernel void bad(__global float* a) { a[1000000] = 1.0f; }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("bad").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let err = q.enqueue_nd_range(&k, &NdRange::d1(1, 1)).unwrap_err();
+        assert!(matches!(err, ClError::KernelTrap { .. }));
+        // Buffer must be usable again.
+        assert!(q.read_f32(&buf).is_ok());
+    }
+
+    #[test]
+    fn aliased_args_share_one_checkout() {
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let src = "__kernel void copy2(__global float* a, __global float* b) {
+            int i = get_global_id(0);
+            b[i] = a[i] + 1.0f;
+        }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("copy2").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        q.write_f32(&buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        k.set_arg_buffer(1, &buf).unwrap();
+        q.enqueue_nd_range(&k, &NdRange::d1(4, 4)).unwrap();
+        let (vals, _) = q.read_f32(&buf).unwrap();
+        assert_eq!(vals, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn local_memory_limit_enforced() {
+        let (ctx, q) = setup(DeviceType::Gpu);
+        let src = "__kernel void l(__global float* a, __local float* s) {
+            s[get_local_id(0)] = a[get_global_id(0)];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            a[get_global_id(0)] = s[0];
+        }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("l").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 64).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        k.set_arg_local(1, 1 << 30).unwrap();
+        assert!(q.enqueue_nd_range(&k, &NdRange::d1(16, 4)).is_err());
+    }
+
+    #[test]
+    fn queue_requires_device_in_context() {
+        let gpu = Platform::default_device(DeviceType::Gpu).unwrap();
+        let cpu = Platform::default_device(DeviceType::Cpu).unwrap();
+        let ctx = Context::new(std::slice::from_ref(&gpu)).unwrap();
+        assert!(CommandQueue::new(&ctx, &cpu).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! The analytic virtual-clock cost model.
+//!
+//! Every command a queue executes is charged deterministic *virtual
+//! nanoseconds* derived from the work actually performed:
+//!
+//! * transfers cost a fixed per-transfer latency plus a per-byte cost;
+//! * kernel launches cost a fixed overhead plus the compute time of the
+//!   ND-range, computed by scheduling work-groups onto the device's lanes in
+//!   waves (so under-utilisation and load imbalance are captured — this is
+//!   what makes the paper's Mandelbrot OpenACC penalty reproducible).
+//!
+//! Virtual time is what [`crate::event::Event`] profiling reports and what
+//! the figure harness plots. It is deterministic across runs and machines,
+//! which is the point: the paper's figures depend on cost *structure*, not
+//! on the wall clock of whatever container this happens to run in.
+
+/// Per-device cost constants. All times in virtual nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost per host↔device transfer (driver + DMA setup).
+    pub transfer_latency_ns: f64,
+    /// Per-byte transfer cost (inverse bandwidth).
+    pub transfer_ns_per_byte: f64,
+    /// Fixed cost of launching one ND-range.
+    pub launch_overhead_ns: f64,
+    /// Time for one lane to retire one abstract instruction.
+    pub ns_per_op: f64,
+    /// Fraction of peak throughput actually achieved (memory stalls etc.).
+    pub efficiency: f64,
+    /// Extra per-work-group scheduling cost.
+    pub group_schedule_ns: f64,
+}
+
+impl CostModel {
+    /// Discrete GPU over a PCIe-3-like link: ~12 GB/s transfers, huge
+    /// arithmetic throughput, noticeable launch latency.
+    pub fn gpu_pcie() -> CostModel {
+        CostModel {
+            transfer_latency_ns: 10_000.0,
+            transfer_ns_per_byte: 0.085, // ≈ 11.8 GB/s
+            launch_overhead_ns: 9_000.0,
+            ns_per_op: 1.0, // ~1 GHz per lane
+            efficiency: 0.35,
+            group_schedule_ns: 40.0,
+        }
+    }
+
+    /// CPU device sharing memory with the host: transfers are little more
+    /// than a `memcpy`, launches are cheap, but there are few lanes.
+    pub fn cpu_shared() -> CostModel {
+        CostModel {
+            transfer_latency_ns: 1_200.0,
+            transfer_ns_per_byte: 0.012, // ≈ 83 GB/s memcpy
+            launch_overhead_ns: 2_500.0,
+            ns_per_op: 0.30, // ~3.3 GHz per lane
+            efficiency: 0.85,
+            group_schedule_ns: 120.0,
+        }
+    }
+
+    /// PCIe co-processor (Xeon Phi-like): between the two above.
+    pub fn accelerator_pcie() -> CostModel {
+        CostModel {
+            transfer_latency_ns: 12_000.0,
+            transfer_ns_per_byte: 0.12,
+            launch_overhead_ns: 11_000.0,
+            ns_per_op: 0.95,
+            efficiency: 0.5,
+            group_schedule_ns: 60.0,
+        }
+    }
+
+    /// Virtual time to move `bytes` across the host↔device boundary.
+    pub fn transfer_ns(&self, bytes: usize) -> f64 {
+        self.transfer_latency_ns + bytes as f64 * self.transfer_ns_per_byte
+    }
+
+    /// Virtual time for an ND-range, given the per-work-group op counts
+    /// gathered by the interpreter, the work-group size, and the device's
+    /// lane count.
+    ///
+    /// Work-groups are scheduled onto compute units in waves: each compute
+    /// unit takes one group at a time and needs
+    /// `group_ops / (occupied_lanes × efficiency)` lane-steps to retire it,
+    /// where a group can occupy at most `items_per_group` of the CU's SIMD
+    /// lanes — a one-item group runs on a single lane, which is exactly why
+    /// gang-only OpenACC mappings and sequential fallbacks are slow on wide
+    /// devices. The total is the makespan of a greedy
+    /// longest-processing-time schedule, approximated by
+    /// `max(critical_group, total/parallelism)` — exact enough for figure
+    /// shapes and cheap to compute.
+    pub fn kernel_ns(
+        &self,
+        group_ops: &[u64],
+        items_per_group: usize,
+        compute_units: usize,
+        simd_width: usize,
+    ) -> f64 {
+        if group_ops.is_empty() {
+            return self.launch_overhead_ns;
+        }
+        let lanes = simd_width.min(items_per_group.max(1));
+        let per_lane = self.ns_per_op / self.efficiency;
+        let group_time = |ops: u64| -> f64 {
+            // A group runs on one CU; its items are spread over the CU's
+            // SIMD lanes. Rounding up models partial waves inside the CU.
+            (ops as f64 / lanes as f64).ceil() * per_lane + self.group_schedule_ns
+        };
+        let total: f64 = group_ops.iter().map(|&g| group_time(g)).sum();
+        let longest = group_ops
+            .iter()
+            .map(|&g| group_time(g))
+            .fold(0.0_f64, f64::max);
+        let ideal = total / compute_units as f64;
+        self.launch_overhead_ns + ideal.max(longest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_affine_in_bytes() {
+        let m = CostModel::gpu_pcie();
+        let a = m.transfer_ns(0);
+        let b = m.transfer_ns(1000);
+        let c = m.transfer_ns(2000);
+        assert!((c - b) - (b - a) < 1e-9);
+        assert!((a - m.transfer_latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ndrange_costs_only_launch_overhead() {
+        let m = CostModel::cpu_shared();
+        assert!((m.kernel_ns(&[], 8, 4, 8) - m.launch_overhead_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalanced_groups_are_bound_by_longest_group() {
+        let m = CostModel::gpu_pcie();
+        // One giant group amid many tiny ones: makespan ≈ giant group.
+        let mut groups = vec![10u64; 100];
+        groups.push(1_000_000);
+        let t = m.kernel_ns(&groups, 64, 44, 64);
+        let alone = m.kernel_ns(&[1_000_000], 64, 44, 64);
+        assert!(t >= alone * 0.99);
+    }
+
+    #[test]
+    fn more_compute_units_means_less_time_for_balanced_work() {
+        let m = CostModel::gpu_pcie();
+        let groups = vec![1000u64; 512];
+        let wide = m.kernel_ns(&groups, 64, 44, 64);
+        let narrow = m.kernel_ns(&groups, 64, 4, 64);
+        assert!(wide < narrow);
+    }
+
+    #[test]
+    fn one_item_groups_use_one_lane() {
+        let m = CostModel::gpu_pcie();
+        // Compare compute time net of the fixed launch overhead.
+        let full = m.kernel_ns(&vec![6400u64; 8], 64, 44, 64) - m.launch_overhead_ns;
+        let single = m.kernel_ns(&vec![6400u64; 8], 1, 44, 64) - m.launch_overhead_ns;
+        assert!(single > 10.0 * full, "single {single} !>> full {full}");
+    }
+
+    #[test]
+    fn kernel_time_scales_roughly_linearly_with_ops() {
+        let m = CostModel::cpu_shared();
+        let one = m.kernel_ns(&vec![10_000u64; 64], 8, 4, 8) - m.launch_overhead_ns;
+        let two = m.kernel_ns(&vec![20_000u64; 64], 8, 4, 8) - m.launch_overhead_ns;
+        // Per-group scheduling overhead keeps the ratio slightly below 2.
+        let ratio = two / one;
+        assert!(ratio > 1.6 && ratio < 2.2, "ratio was {ratio}");
+    }
+}

@@ -1,0 +1,446 @@
+//! The Ensemble VM runtime: thread-per-actor execution of compiled modules.
+//!
+//! Mirrors §5–6 of the paper: each actor gets an OS thread interpreting its
+//! behaviour bytecode (communication-driven scheduling falls out of
+//! blocking channel operations); `opencl` actors run a **native** host
+//! protocol (Figure 2) — the `invokenative` path of the paper's VM —
+//! building their kernel once at actor creation from the source string the
+//! compiler stored, then receive-settings / receive-data / dispatch / send
+//! until their channel closes.
+
+use crate::interp::{run_chunk, Exit, RuntimeHooks};
+use crate::value::{flatten_fields, unflatten_fields, MovState, VmError, VmVal};
+use ensemble_lang::vmops::*;
+use ensemble_ocl::{
+    nd_from, DeviceSel, FlatData, FlatSeg, OpenClEnvironment, Profile, ProfileSink, ResidentBufs,
+};
+use oclsim::{DeviceType, Kernel, MemFlags, Program};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Modeled interpreter cost per abstract VM op, in virtual nanoseconds.
+///
+/// The paper attributes Ensemble's overhead to "the unoptimised VM"
+/// interpreting bytecode; this constant (an interpreted-dispatch cost of a
+/// few tens of cycles) turns the retired-op count into the same virtual
+/// time unit the OpenCL cost model uses, so the figures can stack them.
+pub const VM_NS_PER_OP: f64 = 40.0;
+
+/// Result of running a module to completion.
+#[derive(Debug, Clone)]
+pub struct VmReport {
+    /// Total interpreted VM ops (all actors + boot).
+    pub vm_ops: u64,
+    /// Captured `print*` output, in emission order.
+    pub output: Vec<String>,
+    /// Accumulated OpenCL costs from kernel actors.
+    pub profile: Profile,
+}
+
+impl VmReport {
+    /// The modeled interpreter overhead in virtual nanoseconds.
+    pub fn overhead_ns(&self) -> f64 {
+        self.vm_ops as f64 * VM_NS_PER_OP
+    }
+
+    /// Total modeled application time: OpenCL work + VM overhead.
+    pub fn total_ns(&self) -> f64 {
+        self.profile.opencl_ns() + self.overhead_ns()
+    }
+}
+
+struct Shared {
+    module: CompiledModule,
+    ops: Arc<AtomicU64>,
+    profile: ProfileSink,
+    output: Mutex<Vec<String>>,
+    /// Actors created during boot; their threads start only after boot
+    /// finishes wiring the topology (otherwise an eager sender could see a
+    /// not-yet-connected channel).
+    pending: Mutex<Vec<(CompiledActor, Vec<VmVal>)>>,
+    handles: Mutex<Vec<(String, JoinHandle<Result<(), VmError>>)>>,
+}
+
+impl RuntimeHooks for Arc<Shared> {
+    fn spawn_actor(&self, idx: u16) -> Result<VmVal, VmError> {
+        spawn(self, idx)
+    }
+
+    fn print(&self, text: String) {
+        self.output.lock().push(text);
+    }
+
+    fn profile(&self) -> Option<&ProfileSink> {
+        Some(&self.profile)
+    }
+}
+
+/// The VM: owns a compiled module and runs it.
+pub struct VmRuntime {
+    shared: Arc<Shared>,
+}
+
+impl VmRuntime {
+    /// Create a VM for `module`.
+    pub fn new(module: CompiledModule) -> VmRuntime {
+        VmRuntime::with_profile(module, ProfileSink::new())
+    }
+
+    /// Use an external profile sink (so benchmarks can share one).
+    pub fn with_profile(module: CompiledModule, profile: ProfileSink) -> VmRuntime {
+        VmRuntime {
+            shared: Arc::new(Shared {
+                module,
+                ops: Arc::new(AtomicU64::new(0)),
+                profile,
+                output: Mutex::new(Vec::new()),
+                pending: Mutex::new(Vec::new()),
+                handles: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Run boot, wait for every actor to stop, and report.
+    pub fn run(&self) -> Result<VmReport, VmError> {
+        let shared = Arc::clone(&self.shared);
+        let boot = &shared.module.boot;
+        let mut slots = vec![VmVal::Unit; boot.nslots as usize];
+        run_chunk(boot, &shared.module, &mut slots, &shared.ops, &shared)?;
+        // Drop the boot frame before starting the actors: the actor
+        // handles it holds keep clones of the actors' out endpoints alive,
+        // and receivers only observe closure once every clone is gone.
+        drop(slots);
+        // Start every actor now that the topology is wired.
+        let pending: Vec<_> = std::mem::take(&mut *self.shared.pending.lock());
+        for (actor, port_slots) in pending {
+            let name = actor.name.clone();
+            let shared2 = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("vm/{}", actor.name))
+                .spawn(move || -> Result<(), VmError> {
+                    let r = match &actor.code {
+                        ActorCode::Host { .. } => host_actor(&shared2, &actor, port_slots),
+                        ActorCode::Kernel(plan) => kernel_actor(&shared2, plan, port_slots),
+                    };
+                    if let Err(e) = &r {
+                        // Surface failures immediately: a dead actor can
+                        // leave peers blocked, so don't wait for join.
+                        eprintln!("[vm] actor `{}` failed: {e}", actor.name);
+                    }
+                    r
+                })
+                .map_err(|e| VmError(format!("failed to spawn actor thread: {e}")))?;
+            self.shared.handles.lock().push((name, handle));
+        }
+        // Join every actor (actors may only be spawned from boot).
+        loop {
+            let next = self.shared.handles.lock().pop();
+            match next {
+                Some((name, h)) => match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => return Err(VmError(format!("actor `{name}`: {e}"))),
+                    Err(_) => return Err(VmError(format!("actor `{name}` panicked"))),
+                },
+                None => break,
+            }
+        }
+        Ok(VmReport {
+            vm_ops: self.shared.ops.load(Ordering::Relaxed),
+            output: self.shared.output.lock().clone(),
+            profile: self.shared.profile.snapshot(),
+        })
+    }
+}
+
+fn spawn(shared: &Arc<Shared>, idx: u16) -> Result<VmVal, VmError> {
+    let actor = shared
+        .module
+        .actors
+        .get(idx as usize)
+        .ok_or_else(|| VmError(format!("no actor #{idx}")))?
+        .clone();
+    // Create the interface endpoints; the actor thread and the returned
+    // handle share them.
+    let mut port_map: HashMap<String, VmVal> = HashMap::new();
+    let mut port_slots: Vec<VmVal> = Vec::with_capacity(actor.ports.len());
+    for p in &actor.ports {
+        let v = match p.dir {
+            ensemble_lang::ast::Dir::In => {
+                VmVal::ChanIn(Arc::new(ensemble_actors::In::with_buffer(p.capacity)))
+            }
+            ensemble_lang::ast::Dir::Out => VmVal::ChanOut(ensemble_actors::Out::new()),
+        };
+        port_map.insert(p.name.clone(), v.clone());
+        port_slots.push(v);
+    }
+    shared.pending.lock().push((actor, port_slots));
+    Ok(VmVal::ActorRef(Arc::new(port_map)))
+}
+
+fn host_actor(
+    shared: &Arc<Shared>,
+    actor: &CompiledActor,
+    port_slots: Vec<VmVal>,
+) -> Result<(), VmError> {
+    let ActorCode::Host {
+        constructor,
+        behaviour,
+    } = &actor.code
+    else {
+        unreachable!("host_actor on kernel actor");
+    };
+    let nslots = actor
+        .field_init
+        .nslots
+        .max(constructor.nslots)
+        .max(behaviour.nslots) as usize;
+    let mut slots = vec![VmVal::Unit; nslots.max(port_slots.len())];
+    for (i, p) in port_slots.into_iter().enumerate() {
+        slots[i] = p;
+    }
+    let module = &shared.module;
+    run_chunk(&actor.field_init, module, &mut slots, &shared.ops, shared)?;
+    run_chunk(constructor, module, &mut slots, &shared.ops, shared)?;
+    loop {
+        match run_chunk(behaviour, module, &mut slots, &shared.ops, shared)? {
+            Exit::Done => continue,
+            Exit::Stopped | Exit::ChannelClosed => return Ok(()),
+        }
+    }
+}
+
+fn parse_device(plan: &KernelPlan) -> DeviceSel {
+    let ty = plan.device_type.as_deref().map(|s| match s {
+        "CPU" => DeviceType::Cpu,
+        "ACCELERATOR" => DeviceType::Accelerator,
+        _ => DeviceType::Gpu,
+    });
+    DeviceSel {
+        device_type: ty,
+        device_index: plan.device_index,
+    }
+}
+
+fn upload(
+    env: &OpenClEnvironment,
+    flat: FlatData,
+    profile: &ProfileSink,
+) -> Result<ResidentBufs, VmError> {
+    let mut bufs = Vec::with_capacity(flat.segs.len());
+    for seg in &flat.segs {
+        let buf = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, seg.byte_len())
+            .map_err(|e| VmError(format!("buffer allocation failed: {e}")))?;
+        let ev = env
+            .queue
+            .enqueue_write_buffer(&buf, &seg.to_bytes())
+            .map_err(|e| VmError(format!("upload failed: {e}")))?;
+        profile.add_to_device(ev.duration_ns());
+        bufs.push((buf, seg.ty()));
+    }
+    Ok(ResidentBufs {
+        bufs,
+        dims: flat.dims,
+        context: env.context.clone(),
+        queue: env.queue.clone(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    env: &OpenClEnvironment,
+    kernel: &Kernel,
+    bufs: &ResidentBufs,
+    ws: &[usize],
+    gs: &[usize],
+    scalars: &[VmVal],
+    profile: &ProfileSink,
+) -> Result<(), VmError> {
+    let mut arg = 0usize;
+    for (b, _) in &bufs.bufs {
+        kernel
+            .set_arg_buffer(arg, b)
+            .map_err(|e| VmError(format!("set buffer arg: {e}")))?;
+        arg += 1;
+    }
+    for d in &bufs.dims {
+        kernel
+            .set_arg_i32(arg, *d)
+            .map_err(|e| VmError(format!("set dim arg: {e}")))?;
+        arg += 1;
+    }
+    for s in scalars {
+        kernel
+            .set_arg_i32(arg, s.as_i()? as i32)
+            .map_err(|e| VmError(format!("set scalar arg: {e}")))?;
+        arg += 1;
+    }
+    let nd = nd_from(ws, gs).map_err(|e| VmError(format!("bad worksizes: {e}")))?;
+    let ev = env
+        .queue
+        .enqueue_nd_range(kernel, &nd)
+        .map_err(|e| VmError(format!("dispatch failed: {e}")))?;
+    profile.add_kernel(ev.duration_ns());
+    Ok(())
+}
+
+fn usize_array(v: &VmVal) -> Result<Vec<usize>, VmError> {
+    let VmVal::Arr(a) = v else {
+        return Err(VmError("worksize is not an array".into()));
+    };
+    let guard = a.lock();
+    match &*guard {
+        crate::value::VmArr::I(vals) => Ok(vals.iter().map(|&x| x as usize).collect()),
+        other => Err(VmError(format!("worksize must be integer[], got {other:?}"))),
+    }
+}
+
+fn kernel_actor(
+    shared: &Arc<Shared>,
+    plan: &KernelPlan,
+    port_slots: Vec<VmVal>,
+) -> Result<(), VmError> {
+    let VmVal::ChanIn(requests) = &port_slots[plan.requests_port] else {
+        return Err(VmError("kernel actor port is not an in channel".into()));
+    };
+    let env = OpenClEnvironment::resolve(parse_device(plan))
+        .map_err(|e| VmError(format!("device selection failed: {e}")))?;
+    let program = Program::build(&env.context, &plan.source)
+        .map_err(|e| VmError(format!("kernel build failed: {e}\n{}", plan.source)))?;
+    let kernel = program
+        .create_kernel(&plan.kernel_name)
+        .map_err(|e| VmError(format!("{e}")))?;
+    let profile = shared.profile.clone();
+
+    loop {
+        // 1. receive the settings struct.
+        let settings = match requests.receive() {
+            Ok(v) => v,
+            Err(_) => return Ok(()),
+        };
+        let VmVal::Struct(_, sfields) = &settings else {
+            return Err(VmError("settings must be an opencl struct value".into()));
+        };
+        let (ws, gs, input, output, scalars) = {
+            let f = sfields.lock();
+            let ws = usize_array(&f[0])?;
+            let gs = usize_array(&f[1])?;
+            let VmVal::ChanIn(input) = f[2].clone() else {
+                return Err(VmError("settings input is not an in channel".into()));
+            };
+            let VmVal::ChanOut(output) = f[3].clone() else {
+                return Err(VmError("settings output is not an out channel".into()));
+            };
+            (ws, gs, input, output, f[4..].to_vec())
+        };
+
+        // 2. receive the data.
+        let data = match input.receive() {
+            Ok(v) => v,
+            Err(_) => return Ok(()),
+        };
+
+        // 3. prepare buffers (§6.2.3 residency rules), 4. dispatch.
+        let result: VmVal = if plan.mov {
+            let VmVal::MovStruct(type_id, state) = &data else {
+                return Err(VmError(
+                    "kernel data of a mov type must be a mov struct value".into(),
+                ));
+            };
+            {
+                let mut guard = state.lock();
+                // Cross-context residency: read back first (the paper's
+                // "different context" rule).
+                let cross = matches!(&*guard, MovState::Device { bufs, .. }
+                    if bufs.context.id() != env.context.id());
+                if cross {
+                    drop(guard);
+                    crate::value::force_host(state, Some(&profile))?;
+                    guard = state.lock();
+                }
+                if let MovState::Host(fields) = &*guard {
+                    let flat = flatten_fields(fields, &plan.data_fields)?;
+                    let bufs = upload(&env, flat, &profile)?;
+                    *guard = MovState::Device {
+                        bufs,
+                        fields: plan.data_fields.clone(),
+                    };
+                }
+                let MovState::Device { bufs, .. } = &*guard else {
+                    unreachable!("uploaded above");
+                };
+                dispatch(&env, &kernel, bufs, &ws, &gs, &scalars, &profile)?;
+            }
+            VmVal::MovStruct(*type_id, Arc::clone(state))
+        } else {
+            // Plain channels: copy up, dispatch, copy the output back.
+            let field_vals: Vec<VmVal> = match (&plan.data_shape, &data) {
+                (DataShape::Struct { .. }, VmVal::Struct(_, fields)) => fields.lock().clone(),
+                (DataShape::Array { .. }, v @ VmVal::Arr(_)) => vec![v.clone()],
+                (shape, got) => {
+                    return Err(VmError(format!(
+                        "kernel data mismatch: expected {shape:?}, got {got:?}"
+                    )))
+                }
+            };
+            let flat = flatten_fields(&field_vals, &plan.data_fields)?;
+            let bufs = upload(&env, flat, &profile)?;
+            dispatch(&env, &kernel, &bufs, &ws, &gs, &scalars, &profile)?;
+            let result = match plan.out {
+                KernelOut::Whole => {
+                    let mut segs = Vec::new();
+                    for (b, ty) in &bufs.bufs {
+                        let mut bytes = vec![0u8; b.len()];
+                        let ev = env
+                            .queue
+                            .enqueue_read_buffer(b, &mut bytes)
+                            .map_err(|e| VmError(format!("read failed: {e}")))?;
+                        profile.add_from_device(ev.duration_ns());
+                        segs.push(FlatSeg::from_bytes(*ty, &bytes));
+                    }
+                    let flat = FlatData {
+                        segs,
+                        dims: bufs.dims.clone(),
+                    };
+                    let vals = unflatten_fields(&flat, &plan.data_fields)?;
+                    match (&plan.data_shape, &data) {
+                        (DataShape::Struct { type_id }, _) => {
+                            VmVal::Struct(*type_id, Arc::new(Mutex::new(vals)))
+                        }
+                        (DataShape::Array { .. }, _) => vals.into_iter().next().unwrap(),
+                    }
+                }
+                KernelOut::Field(fidx) => {
+                    let (b, ty) = &bufs.bufs[fidx];
+                    let mut bytes = vec![0u8; b.len()];
+                    let ev = env
+                        .queue
+                        .enqueue_read_buffer(b, &mut bytes)
+                        .map_err(|e| VmError(format!("read failed: {e}")))?;
+                    profile.add_from_device(ev.duration_ns());
+                    let seg = FlatSeg::from_bytes(*ty, &bytes);
+                    // The field's dims within the overall dims vector.
+                    let offset: usize = plan.data_fields[..fidx].iter().map(|f| f.ndims).sum();
+                    let field = &plan.data_fields[fidx];
+                    let dims: Vec<usize> = bufs.dims[offset..offset + field.ndims]
+                        .iter()
+                        .map(|&d| d as usize)
+                        .collect();
+                    crate::value::build_array(&seg, &dims, field)?
+                }
+            };
+            let released = bufs.bufs.iter().map(|(b, _)| b.len()).sum();
+            env.context.release_bytes(released);
+            result
+        };
+
+        // 5. send onward.
+        if output.send_moved(result).is_err() {
+            return Ok(());
+        }
+    }
+}

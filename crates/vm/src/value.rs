@@ -1,0 +1,430 @@
+//! Runtime values of the Ensemble VM.
+//!
+//! Arrays and structs are heap objects with reference semantics *within*
+//! an actor (as in the Ensemble VM, which is a modified JVM); crossing a
+//! channel deep-copies them (shared-nothing), unless the type is `mov`, in
+//! which case the reference itself travels — including references to data
+//! that currently lives **on an OpenCL device** (§6.2.3).
+
+use ensemble_actors::{In, Out};
+use ensemble_lang::vmops::{DataField, ElemKind};
+use ensemble_ocl::{FlatData, FlatSeg, ProfileSink, ResidentBufs};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A VM runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmError(pub String);
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm error: {}", self.0)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Array storage: typed leaves, nested cells for multi-dimensional arrays.
+#[derive(Debug, Clone)]
+pub enum VmArr {
+    /// `integer []`.
+    I(Vec<i64>),
+    /// `real []`.
+    R(Vec<f64>),
+    /// `boolean []`.
+    B(Vec<bool>),
+    /// Arrays of arrays (outer dimensions) or of structs.
+    Cells(Vec<VmVal>),
+}
+
+impl PartialEq for VmArr {
+    fn eq(&self, other: &VmArr) -> bool {
+        match (self, other) {
+            (VmArr::I(a), VmArr::I(b)) => a == b,
+            (VmArr::R(a), VmArr::R(b)) => a == b,
+            (VmArr::B(a), VmArr::B(b)) => a == b,
+            // Nested arrays compare shallowly by identity of the cells;
+            // tests only compare leaf arrays.
+            (VmArr::Cells(a), VmArr::Cells(b)) => a.len() == b.len(),
+            _ => false,
+        }
+    }
+}
+
+impl VmArr {
+    /// First-dimension length.
+    pub fn len(&self) -> usize {
+        match self {
+            VmArr::I(v) => v.len(),
+            VmArr::R(v) => v.len(),
+            VmArr::B(v) => v.len(),
+            VmArr::Cells(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The state of a `mov` struct: on the host or resident on a device.
+#[derive(Debug)]
+pub enum MovState {
+    /// Field values live on the host.
+    Host(Vec<VmVal>),
+    /// Field data lives in device buffers (flattening order = field order).
+    Device {
+        /// The buffers plus dims.
+        bufs: ResidentBufs,
+        /// Field descriptors for rebuilding host values.
+        fields: Vec<DataField>,
+    },
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum VmVal {
+    /// No value.
+    Unit,
+    /// `integer`.
+    I(i64),
+    /// `real`.
+    R(f64),
+    /// `boolean`.
+    B(bool),
+    /// `string`.
+    S(Arc<str>),
+    /// Array object.
+    Arr(Arc<Mutex<VmArr>>),
+    /// Plain struct object: type id + fields.
+    Struct(u16, Arc<Mutex<Vec<VmVal>>>),
+    /// A `mov` struct: may be device-resident.
+    MovStruct(u16, Arc<Mutex<MovState>>),
+    /// Input endpoint (shared so it can be stored and received from).
+    ChanIn(Arc<In<VmVal>>),
+    /// Output endpoint.
+    ChanOut(Out<VmVal>),
+    /// Actor handle: port name → endpoint (boot only).
+    ActorRef(Arc<HashMap<String, VmVal>>),
+}
+
+impl VmVal {
+    /// Wrap a new array.
+    pub fn arr(a: VmArr) -> VmVal {
+        VmVal::Arr(Arc::new(Mutex::new(a)))
+    }
+
+    /// Numeric view as f64.
+    pub fn as_f(&self) -> Result<f64, VmError> {
+        match self {
+            VmVal::I(v) => Ok(*v as f64),
+            VmVal::R(v) => Ok(*v),
+            other => Err(VmError(format!("expected a number, found {other:?}"))),
+        }
+    }
+
+    /// Numeric view as i64.
+    pub fn as_i(&self) -> Result<i64, VmError> {
+        match self {
+            VmVal::I(v) => Ok(*v),
+            VmVal::R(v) => Ok(*v as i64),
+            VmVal::B(b) => Ok(*b as i64),
+            other => Err(VmError(format!("expected an integer, found {other:?}"))),
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_b(&self) -> Result<bool, VmError> {
+        match self {
+            VmVal::B(b) => Ok(*b),
+            VmVal::I(v) => Ok(*v != 0),
+            other => Err(VmError(format!("expected a boolean, found {other:?}"))),
+        }
+    }
+
+    /// Deep copy for shared-nothing channel sends. Channels and actor
+    /// handles are runtime identities, not data — they are shared.
+    /// Device-resident `mov` structs are forced back to the host first
+    /// (a non-mov send of mov data re-establishes isolation).
+    pub fn deep_copy(&self, profile: Option<&ProfileSink>) -> Result<VmVal, VmError> {
+        Ok(match self {
+            VmVal::Unit => VmVal::Unit,
+            VmVal::I(v) => VmVal::I(*v),
+            VmVal::R(v) => VmVal::R(*v),
+            VmVal::B(v) => VmVal::B(*v),
+            VmVal::S(s) => VmVal::S(Arc::clone(s)),
+            VmVal::Arr(a) => {
+                let inner = a.lock();
+                let copied = match &*inner {
+                    VmArr::I(v) => VmArr::I(v.clone()),
+                    VmArr::R(v) => VmArr::R(v.clone()),
+                    VmArr::B(v) => VmArr::B(v.clone()),
+                    VmArr::Cells(v) => VmArr::Cells(
+                        v.iter()
+                            .map(|x| x.deep_copy(profile))
+                            .collect::<Result<_, _>>()?,
+                    ),
+                };
+                VmVal::arr(copied)
+            }
+            VmVal::Struct(id, fields) => {
+                let inner = fields.lock();
+                let copied = inner
+                    .iter()
+                    .map(|x| x.deep_copy(profile))
+                    .collect::<Result<_, _>>()?;
+                VmVal::Struct(*id, Arc::new(Mutex::new(copied)))
+            }
+            VmVal::MovStruct(id, state) => {
+                force_host(state, profile)?;
+                let inner = state.lock();
+                let MovState::Host(fields) = &*inner else {
+                    unreachable!("forced to host above");
+                };
+                let copied = fields
+                    .iter()
+                    .map(|x| x.deep_copy(profile))
+                    .collect::<Result<_, _>>()?;
+                VmVal::MovStruct(*id, Arc::new(Mutex::new(MovState::Host(copied))))
+            }
+            VmVal::ChanIn(c) => VmVal::ChanIn(Arc::clone(c)),
+            VmVal::ChanOut(c) => VmVal::ChanOut(c.clone()),
+            VmVal::ActorRef(r) => VmVal::ActorRef(Arc::clone(r)),
+        })
+    }
+}
+
+/// Force a `mov` struct's data back to the host (the §6.2.3 rule for host
+/// access), charging the transfer to `profile`.
+///
+/// Returns the still-held lock guard so callers can read the host fields
+/// without a release/re-acquire window (another thread — e.g. a kernel
+/// actor — could otherwise move the value back onto a device in between).
+pub fn force_host_locked<'m>(
+    state: &'m Mutex<MovState>,
+    profile: Option<&ProfileSink>,
+) -> Result<parking_lot::MutexGuard<'m, MovState>, VmError> {
+    let mut guard = state.lock();
+    if let MovState::Device { .. } = &*guard {
+        let old = std::mem::replace(&mut *guard, MovState::Host(Vec::new()));
+        let MovState::Device { bufs, fields } = old else {
+            unreachable!("matched above");
+        };
+        let flat = bufs
+            .read_back(profile)
+            .map_err(|e| VmError(format!("device read-back failed: {e}")))?;
+        let vals = unflatten_fields(&flat, &fields)?;
+        *guard = MovState::Host(vals);
+    }
+    Ok(guard)
+}
+
+/// [`force_host_locked`] for callers that do not need the guard.
+pub fn force_host(state: &Mutex<MovState>, profile: Option<&ProfileSink>) -> Result<(), VmError> {
+    force_host_locked(state, profile).map(|_| ())
+}
+
+/// Flatten a list of field values (each an array) following the fields'
+/// declared shapes.
+pub fn flatten_fields(vals: &[VmVal], fields: &[DataField]) -> Result<FlatData, VmError> {
+    let mut out = FlatData::default();
+    for (val, field) in vals.iter().zip(fields) {
+        let (seg, dims) = flatten_array(val, field)?;
+        out.segs.push(seg);
+        out.dims.extend(dims);
+    }
+    Ok(out)
+}
+
+fn flatten_array(val: &VmVal, field: &DataField) -> Result<(FlatSeg, Vec<i32>), VmError> {
+    // Walk the nested structure, collecting dims and leaf data.
+    let mut dims = Vec::new();
+    let mut f32s: Vec<f32> = Vec::new();
+    let mut i32s: Vec<i32> = Vec::new();
+    walk(val, field, 0, &mut dims, &mut f32s, &mut i32s)?;
+    fn walk(
+        v: &VmVal,
+        field: &DataField,
+        depth: usize,
+        dims: &mut Vec<i32>,
+        f32s: &mut Vec<f32>,
+        i32s: &mut Vec<i32>,
+    ) -> Result<(), VmError> {
+        let VmVal::Arr(a) = v else {
+            return Err(VmError(format!(
+                "field `{}` is not an array at depth {depth}",
+                field.name
+            )));
+        };
+        let inner = a.lock();
+        if dims.len() <= depth {
+            dims.push(inner.len() as i32);
+        } else if dims[depth] != inner.len() as i32 {
+            return Err(VmError(format!(
+                "field `{}` is ragged at depth {depth}",
+                field.name
+            )));
+        }
+        match &*inner {
+            VmArr::Cells(cells) => {
+                for c in cells {
+                    walk(c, field, depth + 1, dims, f32s, i32s)?;
+                }
+            }
+            VmArr::R(v) => f32s.extend(v.iter().map(|&x| x as f32)),
+            VmArr::I(v) => i32s.extend(v.iter().map(|&x| x as i32)),
+            VmArr::B(v) => i32s.extend(v.iter().map(|&x| x as i32)),
+        }
+        Ok(())
+    }
+    if dims.len() != field.ndims {
+        return Err(VmError(format!(
+            "field `{}` has {} dims, declared {}",
+            field.name,
+            dims.len(),
+            field.ndims
+        )));
+    }
+    let seg = match field.elem {
+        ElemKind::Real => FlatSeg::F32(f32s),
+        _ => FlatSeg::I32(i32s),
+    };
+    Ok((seg, dims))
+}
+
+/// Rebuild field values from flattened data.
+pub fn unflatten_fields(flat: &FlatData, fields: &[DataField]) -> Result<Vec<VmVal>, VmError> {
+    let mut out = Vec::with_capacity(fields.len());
+    let mut dim_cursor = 0usize;
+    for (seg, field) in flat.segs.iter().zip(fields) {
+        let dims: Vec<usize> = flat.dims[dim_cursor..dim_cursor + field.ndims]
+            .iter()
+            .map(|&d| d as usize)
+            .collect();
+        dim_cursor += field.ndims;
+        out.push(build_array(seg, &dims, field)?);
+    }
+    Ok(out)
+}
+
+/// Build one (possibly nested) array value from a segment.
+pub fn build_array(seg: &FlatSeg, dims: &[usize], field: &DataField) -> Result<VmVal, VmError> {
+    fn slice_to_val(seg: &FlatSeg, range: std::ops::Range<usize>, elem: ElemKind) -> VmVal {
+        match (seg, elem) {
+            (FlatSeg::F32(v), _) => {
+                VmVal::arr(VmArr::R(v[range].iter().map(|&x| x as f64).collect()))
+            }
+            (FlatSeg::I32(v), ElemKind::Bool) => {
+                VmVal::arr(VmArr::B(v[range].iter().map(|&x| x != 0).collect()))
+            }
+            (FlatSeg::I32(v), _) => {
+                VmVal::arr(VmArr::I(v[range].iter().map(|&x| x as i64).collect()))
+            }
+        }
+    }
+    fn build(
+        seg: &FlatSeg,
+        dims: &[usize],
+        offset: usize,
+        elem: ElemKind,
+    ) -> VmVal {
+        if dims.len() == 1 {
+            slice_to_val(seg, offset..offset + dims[0], elem)
+        } else {
+            let inner_size: usize = dims[1..].iter().product();
+            let cells = (0..dims[0])
+                .map(|k| build(seg, &dims[1..], offset + k * inner_size, elem))
+                .collect();
+            VmVal::arr(VmArr::Cells(cells))
+        }
+    }
+    let total: usize = dims.iter().product();
+    if seg.len() != total {
+        return Err(VmError(format!(
+            "field `{}`: segment of {} elements does not match dims {dims:?}",
+            field.name,
+            seg.len()
+        )));
+    }
+    if dims.is_empty() {
+        return Err(VmError(format!("field `{}` has no dimensions", field.name)));
+    }
+    Ok(build(seg, dims, 0, field.elem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(name: &str, elem: ElemKind, ndims: usize) -> DataField {
+        DataField {
+            name: name.into(),
+            elem,
+            ndims,
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip_2d_real() {
+        let rows = VmVal::arr(VmArr::Cells(vec![
+            VmVal::arr(VmArr::R(vec![1.0, 2.0, 3.0])),
+            VmVal::arr(VmArr::R(vec![4.0, 5.0, 6.0])),
+        ]));
+        let f = field("m", ElemKind::Real, 2);
+        let flat = flatten_fields(std::slice::from_ref(&rows), std::slice::from_ref(&f)).unwrap();
+        assert_eq!(flat.dims, vec![2, 3]);
+        assert_eq!(flat.segs[0], FlatSeg::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let back = unflatten_fields(&flat, std::slice::from_ref(&f)).unwrap();
+        let VmVal::Arr(a) = &back[0] else { panic!() };
+        let VmArr::Cells(cells) = &*a.lock() else {
+            panic!()
+        };
+        let VmVal::Arr(row1) = &cells[1] else { panic!() };
+        assert_eq!(*row1.lock(), VmArr::R(vec![4.0, 5.0, 6.0]));
+    }
+
+    #[test]
+    fn ragged_arrays_are_rejected() {
+        let rows = VmVal::arr(VmArr::Cells(vec![
+            VmVal::arr(VmArr::R(vec![1.0, 2.0])),
+            VmVal::arr(VmArr::R(vec![3.0])),
+        ]));
+        let f = field("m", ElemKind::Real, 2);
+        assert!(flatten_fields(std::slice::from_ref(&rows), std::slice::from_ref(&f)).is_err());
+    }
+
+    #[test]
+    fn deep_copy_isolates_arrays() {
+        let original = VmVal::arr(VmArr::I(vec![1, 2, 3]));
+        let copy = original.deep_copy(None).unwrap();
+        if let (VmVal::Arr(a), VmVal::Arr(b)) = (&original, &copy) {
+            *a.lock() = VmArr::I(vec![9]);
+            assert_eq!(*b.lock(), VmArr::I(vec![1, 2, 3]));
+        } else {
+            panic!("expected arrays");
+        }
+    }
+
+    #[test]
+    fn deep_copy_shares_channels() {
+        let (o, i) = ensemble_actors::buffered_channel::<VmVal>(1);
+        let v = VmVal::ChanOut(o);
+        let c = v.deep_copy(None).unwrap();
+        let VmVal::ChanOut(o2) = c else { panic!() };
+        o2.send_moved(VmVal::I(7)).unwrap();
+        assert!(matches!(i.receive().unwrap(), VmVal::I(7)));
+    }
+
+    #[test]
+    fn int_and_bool_arrays_flatten_to_i32() {
+        let b = VmVal::arr(VmArr::B(vec![true, false, true]));
+        let f = field("flags", ElemKind::Bool, 1);
+        let flat = flatten_fields(std::slice::from_ref(&b), std::slice::from_ref(&f)).unwrap();
+        assert_eq!(flat.segs[0], FlatSeg::I32(vec![1, 0, 1]));
+        let back = unflatten_fields(&flat, std::slice::from_ref(&f)).unwrap();
+        let VmVal::Arr(a) = &back[0] else { panic!() };
+        assert_eq!(*a.lock(), VmArr::B(vec![true, false, true]));
+    }
+}

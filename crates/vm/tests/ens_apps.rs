@@ -1,0 +1,167 @@
+//! End-to-end tests: the five evaluation applications written in
+//! mini-Ensemble, compiled and executed on the VM, with each OpenCL
+//! version's printed result compared against its single-threaded Ensemble
+//! version (the paper's "all implementations were functionally
+//! equivalent" check, at reduced sizes).
+
+use ensemble_lang::compile_source;
+use ensemble_vm::VmRuntime;
+
+/// Run a source and return its printed output.
+fn run(src: &str) -> Vec<String> {
+    let module = compile_source(src).unwrap_or_else(|e| panic!("{e}"));
+    VmRuntime::new(module)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .output
+}
+
+/// Shrink the paper-scale constants embedded in an asset for test speed.
+fn shrink(src: &str, subs: &[(&str, &str)]) -> String {
+    let mut out = src.to_string();
+    for (from, to) in subs {
+        assert!(out.contains(from), "substitution `{from}` not found");
+        out = out.replace(from, to);
+    }
+    out
+}
+
+#[test]
+fn matmul_ocl_matches_seq() {
+    let subs = [("1024", "8")];
+    let gsubs = [("1024", "8"), ("of 16", "of 2")];
+    let seq = run(&shrink(
+        include_str!("../../apps/src/assets/matmul/seq.ens"),
+        &subs,
+    ));
+    let ocl = run(&shrink(
+        include_str!("../../apps/src/assets/matmul/ocl.ens"),
+        &gsubs,
+    ));
+    // a=1, b=2 → every result element is 2n → checksum 2n³ = 1024.
+    assert_eq!(seq, vec!["checksum: ".to_string(), "1024".to_string()]);
+    assert_eq!(ocl, seq);
+}
+
+#[test]
+fn mandelbrot_ocl_matches_seq() {
+    let subs = [("1024", "16"), ("1000", "60")];
+    let gsubs = [("1024", "16"), ("1000", "60"), ("of 16", "of 4")];
+    let seq = run(&shrink(
+        include_str!("../../apps/src/assets/mandelbrot/seq.ens"),
+        &subs,
+    ));
+    let ocl = run(&shrink(
+        include_str!("../../apps/src/assets/mandelbrot/ocl.ens"),
+        &gsubs,
+    ));
+    assert_eq!(seq[0], "total: ");
+    assert_eq!(ocl, seq);
+    // The total must be meaningful (some pixels escaped, some did not).
+    let total: i64 = seq[1].parse().unwrap();
+    assert!(total > 16 * 16, "suspicious total {total}");
+}
+
+#[test]
+fn reduction_ocl_matches_seq() {
+    let subs = [("33554432", "4096")];
+    let seq = run(&shrink(
+        include_str!("../../apps/src/assets/reduction/seq.ens"),
+        &subs,
+    ));
+    let ocl = run(&shrink(
+        include_str!("../../apps/src/assets/reduction/ocl.ens"),
+        &subs,
+    ));
+    assert_eq!(seq, vec!["min: ".to_string(), "-123.5".to_string()]);
+    assert_eq!(ocl, seq);
+}
+
+#[test]
+fn lud_ocl_matches_seq() {
+    let subs = [("2048", "16")];
+    let gsubs = [("2048", "16"), ("group = 16", "group = 4")];
+    let seq = run(&shrink(
+        include_str!("../../apps/src/assets/lud/seq.ens"),
+        &subs,
+    ));
+    let ocl = run(&shrink(
+        include_str!("../../apps/src/assets/lud/ocl.ens"),
+        &gsubs,
+    ));
+    assert_eq!(seq[0], "U trace: ");
+    // Compare traces numerically (interpreted f32 kernels vs f64 host).
+    let a: f64 = seq[1].parse().unwrap();
+    let b: f64 = ocl[1].parse().unwrap();
+    assert!(
+        (a - b).abs() < 1e-2 * a.abs().max(1.0),
+        "seq trace {a} vs ocl trace {b}"
+    );
+}
+
+#[test]
+fn docrank_ocl_matches_seq() {
+    let subs = [("65536", "128"), ("rounds = 10", "rounds = 3")];
+    let seq = run(&shrink(
+        include_str!("../../apps/src/assets/docrank/seq.ens"),
+        &subs,
+    ));
+    let ocl = run(&shrink(
+        include_str!("../../apps/src/assets/docrank/ocl.ens"),
+        &subs,
+    ));
+    assert_eq!(seq[0], "wanted: ");
+    assert_eq!(ocl, seq);
+}
+
+#[test]
+fn lud_vm_keeps_matrix_on_device_between_kernels() {
+    // The VM-level movability check: 16×16 LUD does 16 steps × 3 kernels =
+    // 48 dispatches, but the matrix crosses the bus only twice (up at the
+    // first dispatch, down when the controller reads the trace).
+    let gsubs = [("2048", "16"), ("group = 16", "group = 4")];
+    let module = compile_source(&shrink(
+        include_str!("../../apps/src/assets/lud/ocl.ens"),
+        &gsubs,
+    ))
+    .unwrap();
+    let report = VmRuntime::new(module).run().unwrap();
+    assert_eq!(report.profile.dispatches, 48);
+    let gpu = ensemble_ocl::device_matrix()
+        .select(ensemble_ocl::DeviceSel::gpu())
+        .unwrap();
+    let matrix_bytes = 16 * 16 * 4;
+    let one_up = gpu.device.cost_model().transfer_ns(matrix_bytes)
+        + gpu.device.cost_model().transfer_ns(4); // piv
+    assert!(
+        report.profile.to_device_ns <= one_up + 1.0,
+        "expected one upload, got {} (one = {one_up})",
+        report.profile.to_device_ns
+    );
+    assert!(report.vm_ops > 0, "VM overhead must be accounted");
+}
+
+#[test]
+fn docrank_vm_residency_skips_reupload_between_rounds() {
+    let subs = [("65536", "128"), ("rounds = 10", "rounds = 3")];
+    let module = compile_source(&shrink(
+        include_str!("../../apps/src/assets/docrank/ocl.ens"),
+        &subs,
+    ))
+    .unwrap();
+    let report = VmRuntime::new(module).run().unwrap();
+    assert_eq!(report.profile.dispatches, 3);
+    // Three uploads (docs, tpl, flags) for round one; rounds 2-3 reuse.
+    let gpu = ensemble_ocl::device_matrix()
+        .select(ensemble_ocl::DeviceSel::gpu())
+        .unwrap();
+    let cost = gpu.device.cost_model();
+    let one_round_up = cost.transfer_ns(128 * 64 * 4)
+        + cost.transfer_ns(64 * 4)
+        + cost.transfer_ns(128 * 4);
+    assert!(
+        (report.profile.to_device_ns - one_round_up).abs() < 1.0,
+        "expected a single round of uploads: {} vs {one_round_up}",
+        report.profile.to_device_ns
+    );
+}

@@ -1,0 +1,51 @@
+//! Enumerate the simulated OpenCL platforms and devices — the `clinfo`
+//! of this repository — and show the runtime device matrix the Ensemble
+//! runtime builds over them (§6.2.1: one context + one queue per device).
+//!
+//! ```text
+//! cargo run --example device_query
+//! ```
+
+use ensemble_repro::ensemble_ocl::device_matrix;
+use ensemble_repro::oclsim::Platform;
+
+fn main() {
+    for (pi, platform) in Platform::all().iter().enumerate() {
+        println!("Platform #{pi}: {} ({})", platform.name(), platform.vendor());
+        for device in platform.devices(None) {
+            println!(
+                "  Device #{}: {} [{}]",
+                device.id(),
+                device.name(),
+                device.device_type()
+            );
+            println!(
+                "    {} CUs x {} lanes = {} total lanes, {} MiB global, {} KiB local, wg <= {}",
+                device.compute_units(),
+                device.simd_width(),
+                device.lanes(),
+                device.global_mem_size() >> 20,
+                device.local_mem_size() >> 10,
+                device.max_work_group_size()
+            );
+            let c = device.cost_model();
+            println!(
+                "    timing model: {:.0} ns/transfer + {:.3} ns/B, launch {:.0} ns, {:.2} ns/op at {:.0}% efficiency",
+                c.transfer_latency_ns,
+                c.transfer_ns_per_byte,
+                c.launch_overhead_ns,
+                c.ns_per_op,
+                c.efficiency * 100.0
+            );
+        }
+    }
+    println!("\nEnsemble runtime device matrix (one context + one queue per device):");
+    for entry in device_matrix().entries() {
+        println!(
+            "  [{}] {} → context #{}",
+            entry.device.device_type(),
+            entry.device.name(),
+            entry.context.id()
+        );
+    }
+}

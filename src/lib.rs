@@ -1,0 +1,29 @@
+//! # ensemble-repro — actor-based OpenCL, reproduced in Rust
+//!
+//! The facade crate of the reproduction of *Parallel Programming in
+//! Actor-Based Applications via OpenCL* (Harvey, Hentschel, Sventek —
+//! MIDDLEWARE 2015). It re-exports every subsystem and hosts the
+//! repository-level examples and integration tests.
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`oclsim`] | OpenCL framework simulator + mini OpenCL-C compiler/interpreter |
+//! | [`ensemble_actors`] | the actor runtime: stages, behaviours, typed channels, `mov` |
+//! | [`ensemble_ocl`] | **the paper's contribution**: kernel actors, device matrix, flattening, lazy residency |
+//! | [`ensemble_lang`] | the mini-Ensemble compiler (Listings 2 & 3 and the five apps) |
+//! | [`ensemble_vm`] | the Ensemble VM: bytecode interpretation + native kernel-actor protocol |
+//! | [`baselines`] | C-OpenCL API style + the OpenACC pragma engine |
+//! | [`ensemble_apps`] | the five evaluation applications in all three forms |
+//! | [`code_metrics`] | Table 1 analyzers (LoC, cyclomatic, ABC) |
+//!
+//! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use baselines;
+pub use code_metrics;
+pub use ensemble_actors;
+pub use ensemble_apps;
+pub use ensemble_lang;
+pub use ensemble_ocl;
+pub use ensemble_vm;
+pub use oclsim;

@@ -1,0 +1,128 @@
+//! The paper's listings, end to end: Listing 1 (the OpenCL square kernel)
+//! through the simulator, Listings 2 and 3 through the Ensemble compiler
+//! and VM.
+
+use ensemble_repro::ensemble_lang::{compile_source, ActorCode};
+use ensemble_repro::ensemble_vm::VmRuntime;
+use ensemble_repro::oclsim::{
+    CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, Program,
+};
+
+#[test]
+fn listing1_square_kernel_runs_on_the_simulator() {
+    // Listing 1 of the paper, verbatim.
+    let src = r#"
+        __kernel void square(__global float* input,
+                             __global float* output,
+                             const int count) {
+            int i = get_global_id(0);
+            if (i < count) {
+                output[i] = input[i] * input[i];
+            }
+        }
+    "#;
+    let device = Platform::default_device(DeviceType::Gpu).unwrap();
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
+    let queue = CommandQueue::new(&ctx, &device).unwrap();
+    let program = Program::build(&ctx, src).unwrap();
+    let kernel = program.create_kernel("square").unwrap();
+    let input = ctx.create_buffer(MemFlags::ReadOnly, 8 * 4).unwrap();
+    let output = ctx.create_buffer(MemFlags::ReadWrite, 8 * 4).unwrap();
+    queue
+        .write_f32(&input, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        .unwrap();
+    kernel.set_arg_buffer(0, &input).unwrap();
+    kernel.set_arg_buffer(1, &output).unwrap();
+    kernel.set_arg_i32(2, 8).unwrap();
+    queue.enqueue_nd_range(&kernel, &NdRange::d1(8, 4)).unwrap();
+    let (result, _) = queue.read_f32(&output).unwrap();
+    assert_eq!(result, vec![1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0]);
+}
+
+#[test]
+fn listing2_compiles_and_runs() {
+    let src = r#"
+        type Isnd is interface(out integer output)
+        type Ircv is interface(in integer input)
+        stage home {
+            actor snd presents Isnd {
+                value = 1;
+                constructor() {}
+                behaviour {
+                    send value on output;
+                    value := value + 1;
+                    if value > 4 then { stop; }
+                }
+            }
+            actor rcv presents Ircv {
+                constructor() {}
+                behaviour {
+                    receive data from input;
+                    printString("received: ");
+                    printInt(data);
+                }
+            }
+            boot {
+                s = new snd();
+                r = new rcv();
+                connect s.output to r.input;
+            }
+        }
+    "#;
+    let module = compile_source(src).unwrap();
+    let report = VmRuntime::new(module).run().unwrap();
+    assert_eq!(
+        report.output,
+        vec!["received: ", "1", "received: ", "2", "received: ", "3", "received: ", "4"]
+    );
+}
+
+#[test]
+fn listing3_matmul_compiles_and_produces_opencl_c() {
+    let src = include_str!("../crates/apps/src/assets/matmul/ocl.ens").replace("1024", "16");
+    let module = compile_source(&src).unwrap();
+    let plan = module
+        .actors
+        .iter()
+        .find_map(|a| match &a.code {
+            ActorCode::Kernel(p) => Some(p),
+            _ => None,
+        })
+        .expect("Multiply is a kernel actor");
+    // The generated string is real OpenCL C: flattened indexing, dims as
+    // trailing int args, the standard work-item builtins.
+    assert!(plan.source.contains("__kernel void Multiply"));
+    assert!(plan.source.contains("get_global_id(0)"));
+    assert!(plan.source.contains("a_dim1"));
+    // And the whole program runs, producing the expected checksum 2n³.
+    let report = VmRuntime::new(module).run().unwrap();
+    assert_eq!(report.output, vec!["checksum: ", "8192"]);
+}
+
+#[test]
+fn compile_time_kernel_errors_carry_positions() {
+    // The paper: errors at Ensemble compile time, not at runtime kernel
+    // build. An unknown variable inside the kernel region must be caught.
+    let src = r#"
+        type s is opencl struct (
+            integer [] worksize; integer [] groupsize;
+            in real [] input; out real [] output
+        )
+        type i is interface(in s requests)
+        stage home {
+            opencl actor K presents i {
+                constructor() {}
+                behaviour {
+                    receive req from requests;
+                    receive d from req.input;
+                    d[0] := bogus_variable;
+                    send d on req.output;
+                }
+            }
+            boot {}
+        }
+    "#;
+    let err = compile_source(src).unwrap_err();
+    assert!(err.message.contains("bogus_variable"), "{err}");
+    assert!(err.pos.line > 1);
+}

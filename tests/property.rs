@@ -1,0 +1,149 @@
+//! Property-based tests across the crates: the simulator computes what the
+//! reference computes, channels deliver what was sent, flattening is
+//! lossless — for *arbitrary* inputs, not just the fixtures.
+
+use ensemble_repro::baselines::acc::AccTarget;
+use ensemble_repro::ensemble_actors::{buffered_channel, In, Out};
+use ensemble_repro::ensemble_apps::{matmul, reduction};
+use ensemble_repro::ensemble_ocl::{Array2, DeviceSel, FlatData, Flatten, ProfileSink};
+use ensemble_repro::oclsim::DeviceType;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The interpreted matmul kernel agrees with the sequential reference
+    /// for arbitrary matrices, through all three implementations.
+    #[test]
+    fn matmul_all_paths_agree(
+        seed in 0u64..1000,
+        n_pow in 2u32..5, // 4..16
+    ) {
+        let n = 1usize << n_pow;
+        let a = Array2::from_vec(n, n,
+            ensemble_repro::ensemble_apps::generate::deterministic_f32(n * n, seed));
+        let b = Array2::from_vec(n, n,
+            ensemble_repro::ensemble_apps::generate::deterministic_f32(n * n, seed + 1));
+        let expected = matmul::reference(&a, &b);
+        let close = |got: &Array2| {
+            got.as_slice()
+                .iter()
+                .zip(expected.as_slice())
+                .all(|(x, y)| (x - y).abs() <= 1e-3 * x.abs().max(1.0))
+        };
+        let ens = matmul::run_ensemble(a.clone(), b.clone(), DeviceSel::gpu(), ProfileSink::new());
+        prop_assert!(close(&ens), "ensemble path diverged");
+        let c = matmul::run_copencl(a.clone(), b.clone(), DeviceType::Cpu, ProfileSink::new());
+        prop_assert!(close(&c), "copencl path diverged");
+        let acc = matmul::run_openacc(a, b, AccTarget::gpu(), ProfileSink::new()).unwrap();
+        prop_assert!(close(&acc), "openacc path diverged");
+    }
+
+    /// Tree reduction finds the exact minimum of arbitrary data, at sizes
+    /// that are deliberately not multiples of the work-group size.
+    #[test]
+    fn reduction_finds_the_minimum(
+        seed in 0u64..1000,
+        n in 1usize..5000,
+        plant_at_end in proptest::bool::ANY,
+    ) {
+        let mut data = ensemble_repro::ensemble_apps::generate::deterministic_f32(n, seed);
+        if plant_at_end {
+            let last = data.len() - 1;
+            data[last] = -999.0;
+        }
+        let expected = reduction::reference(&data);
+        let got = reduction::run_copencl(data, DeviceType::Gpu, ProfileSink::new());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Channels preserve order and content for arbitrary message sequences.
+    #[test]
+    fn channels_are_fifo(msgs in proptest::collection::vec(any::<i32>(), 0..64)) {
+        let (o, i) = buffered_channel::<i32>(msgs.len().max(1));
+        for m in &msgs {
+            o.send(m).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(Some(v)) = i.try_receive() {
+            got.push(v);
+        }
+        prop_assert_eq!(got, msgs);
+    }
+
+    /// Round-robin fan-out delivers every message exactly once.
+    #[test]
+    fn fan_out_partitions_messages(count in 1usize..50, receivers in 1usize..5) {
+        let ins: Vec<In<i32>> = (0..receivers).map(|_| In::with_buffer(count)).collect();
+        let o = Out::new();
+        for i in &ins {
+            o.connect(i);
+        }
+        for k in 0..count {
+            o.send(&(k as i32)).unwrap();
+        }
+        let mut got = Vec::new();
+        for i in &ins {
+            while let Ok(Some(v)) = i.try_receive() {
+                got.push(v);
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..count as i32).collect::<Vec<_>>());
+    }
+
+    /// Flattening arbitrary 2-D arrays and rebuilding them is lossless,
+    /// including through the byte representation a device buffer uses.
+    #[test]
+    fn flatten_roundtrips(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let data = ensemble_repro::ensemble_apps::generate::deterministic_f32(rows * cols, seed);
+        let a = Array2::from_vec(rows, cols, data);
+        let flat = a.clone().flatten();
+        // Through bytes, as a dispatch would do.
+        let bytes = flat.segs[0].to_bytes();
+        let seg = ensemble_repro::ensemble_ocl::FlatSeg::from_bytes(
+            ensemble_repro::ensemble_ocl::SegTy::F32,
+            &bytes,
+        );
+        let rebuilt = Array2::unflatten(FlatData { segs: vec![seg], dims: flat.dims }).unwrap();
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    /// Struct-like tuples flatten field-wise and rebuild exactly.
+    #[test]
+    fn tuple_flatten_roundtrips(
+        n in 1usize..32,
+        seed in 0u64..1000,
+        scalar in any::<i32>(),
+    ) {
+        let v = ensemble_repro::ensemble_apps::generate::deterministic_f32(n, seed);
+        let value = (v.clone(), scalar, Array2::from_vec(1, n, v));
+        let flat = value.clone().flatten();
+        let back = <(Vec<f32>, i32, Array2)>::unflatten(flat).unwrap();
+        prop_assert_eq!(back, value);
+    }
+}
+
+/// The mini OpenCL-C pretty-printer is a fixpoint over all kernel sources
+/// in the repository (emit ∘ parse ∘ emit = emit).
+#[test]
+fn pretty_printer_fixpoint_over_all_kernels() {
+    use ensemble_repro::oclsim::minicl::{emit_unit, parse};
+    for src in [
+        ensemble_repro::ensemble_apps::matmul::KERNEL_SRC,
+        ensemble_repro::ensemble_apps::mandelbrot::KERNEL_SRC,
+        ensemble_repro::ensemble_apps::lud::KERNEL_SRC,
+        ensemble_repro::ensemble_apps::reduction::KERNEL_SRC,
+        ensemble_repro::ensemble_apps::docrank::ENSEMBLE_KERNEL_SRC,
+        ensemble_repro::ensemble_apps::docrank::C_KERNEL_SRC,
+    ] {
+        let unit = parse(src).unwrap();
+        let emitted = emit_unit(&unit);
+        let reparsed = parse(&emitted).unwrap();
+        assert_eq!(emitted, emit_unit(&reparsed));
+    }
+}
