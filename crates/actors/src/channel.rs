@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use trace::{SpanKind, TraceEvent, TraceSink};
 
 /// Error returned when a channel operation cannot complete because the
 /// other side is gone.
@@ -96,6 +97,8 @@ pub struct In<T> {
     receiver: Receiver<T>,
     state: Arc<InState>,
     capacity: usize,
+    trace: TraceSink,
+    label: String,
 }
 
 impl<T> In<T> {
@@ -114,7 +117,17 @@ impl<T> In<T> {
             receiver,
             state: Arc::new(InState::default()),
             capacity,
+            trace: TraceSink::disabled(),
+            label: String::new(),
         }
+    }
+
+    /// Attach a trace sink: every blocked [`In::receive`] on this endpoint
+    /// then emits a wall-clock [`SpanKind::ChannelWait`] span on the
+    /// `label` track, making actor blocking time visible on a timeline.
+    pub fn set_trace(&mut self, sink: TraceSink, label: impl Into<String>) {
+        self.trace = sink;
+        self.label = label.into();
     }
 
     /// Buffer capacity (0 = rendezvous).
@@ -133,24 +146,42 @@ impl<T> In<T> {
     /// and the buffer is drained. An endpoint that was *never* connected
     /// blocks (it may be connected dynamically at any time).
     pub fn receive(&self) -> Result<T, ChannelError> {
-        loop {
+        let wait_start = if self.trace.is_enabled() {
+            Some(self.trace.wall_ns())
+        } else {
+            None
+        };
+        let result = loop {
             match self.receiver.recv_timeout(DISCONNECT_POLL) {
-                Ok(v) => return Ok(v),
-                Err(RecvTimeoutError::Disconnected) => return Err(ChannelError::Closed),
+                Ok(v) => break Ok(v),
+                Err(RecvTimeoutError::Disconnected) => break Err(ChannelError::Closed),
                 Err(RecvTimeoutError::Timeout) => {
                     if self.state.ever_connected.load(Ordering::Acquire)
                         && self.state.connected.load(Ordering::Acquire) == 0
                     {
                         // Final drain: a value may have landed between the
                         // timeout and the check.
-                        return match self.receiver.try_recv() {
+                        break match self.receiver.try_recv() {
                             Ok(v) => Ok(v),
                             Err(_) => Err(ChannelError::Closed),
                         };
                     }
                 }
             }
+        };
+        if let Some(t0) = wait_start {
+            self.trace.record(
+                TraceEvent::span(
+                    SpanKind::ChannelWait,
+                    "recv_wait",
+                    &self.label,
+                    t0,
+                    self.trace.wall_ns() - t0,
+                )
+                .with_arg("clock", "wall"),
+            );
         }
+        result
     }
 
     /// Non-blocking receive; `Ok(None)` when no message is waiting.
@@ -219,6 +250,7 @@ impl<T> Default for In<T> {
 #[derive(Debug, Clone)]
 pub struct Out<T> {
     targets: Arc<Mutex<Targets<T>>>,
+    trace: Arc<Mutex<Option<(TraceSink, String)>>>,
 }
 
 #[derive(Debug)]
@@ -235,6 +267,24 @@ impl<T> Out<T> {
                 connections: Vec::new(),
                 next: 0,
             })),
+            trace: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Attach a trace sink: every delivery through this endpoint then
+    /// emits a wall-clock instant on the `label` track —
+    /// [`SpanKind::Duplicate`] for copying sends ([`Out::send`],
+    /// [`Out::broadcast`]) and [`SpanKind::MovTransfer`] for ownership
+    /// transfers ([`Out::send_moved`]). Shared by every clone.
+    pub fn set_trace(&self, sink: TraceSink, label: impl Into<String>) {
+        *self.trace.lock() = Some((sink, label.into()));
+    }
+
+    fn trace_send(&self, kind: SpanKind, name: &str) {
+        if let Some((sink, label)) = &*self.trace.lock() {
+            sink.record(
+                TraceEvent::instant(kind, name, label, sink.wall_ns()).with_arg("clock", "wall"),
+            );
         }
     }
 
@@ -303,7 +353,9 @@ impl<T> Out<T> {
     where
         T: Clone,
     {
-        self.send_inner(value.clone())
+        self.send_inner(value.clone())?;
+        self.trace_send(SpanKind::Duplicate, "send_dup");
+        Ok(())
     }
 
     /// Send `value` by **moving** it — Ensemble's `mov` channels. No copy
@@ -311,7 +363,9 @@ impl<T> Out<T> {
     /// sender never touches the value again (the paper implements the same
     /// guarantee with inter-procedural analysis in the Ensemble compiler).
     pub fn send_moved(&self, value: T) -> Result<(), ChannelError> {
-        self.send_inner(value)
+        self.send_inner(value)?;
+        self.trace_send(SpanKind::MovTransfer, "send_mov");
+        Ok(())
     }
 
     /// Deliver a duplicate to *every* connected receiver.
@@ -342,6 +396,7 @@ impl<T> Out<T> {
         if delivered == 0 {
             Err(ChannelError::NoReceivers)
         } else {
+            self.trace_send(SpanKind::Duplicate, "broadcast");
             Ok(())
         }
     }

@@ -9,12 +9,14 @@
 
 use crate::actor::{Actor, ActorCtx, Control, FnActor};
 use std::thread::{self, JoinHandle};
+use trace::{SpanKind, TraceEvent, TraceSink};
 
 /// A stage: spawn scope and join point for a set of actors.
 #[derive(Debug)]
 pub struct Stage {
     name: String,
     handles: Vec<(String, JoinHandle<u64>)>,
+    trace: TraceSink,
 }
 
 /// Result of joining a stage: per-actor behaviour-iteration counts.
@@ -31,7 +33,14 @@ impl Stage {
         Stage {
             name: name.into(),
             handles: Vec::new(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attach a trace sink: every subsequent [`Stage::spawn`] emits a
+    /// wall-clock [`SpanKind::Spawn`] instant on the stage's track.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Stage name.
@@ -48,6 +57,12 @@ impl Stage {
     /// until it returns [`Control::Stop`].
     pub fn spawn<A: Actor>(&mut self, name: impl Into<String>, mut actor: A) {
         let name = name.into();
+        if self.trace.is_enabled() {
+            self.trace.record(
+                TraceEvent::instant(SpanKind::Spawn, &name, &self.name, self.trace.wall_ns())
+                    .with_arg("clock", "wall"),
+            );
+        }
         let stage_name = self.name.clone();
         let thread_name = format!("{stage_name}/{name}");
         let ctx_name = name.clone();

@@ -212,9 +212,9 @@ pub fn run_copencl(
     let mut result = vec![0i32; ndocs];
     for _round in 0..ROUNDS {
         let ev = queue.write_f32(&buf_docs, &docs).expect("write docs");
-        profile.add_to_device(ev.duration_ns());
+        profile.record_command(&ev, queue.device().name());
         let ev = queue.write_f32(&buf_tpl, &tpl).expect("write tpl");
-        profile.add_to_device(ev.duration_ns());
+        profile.record_command(&ev, queue.device().name());
         kernel.set_arg_buffer(0, &buf_docs).expect("arg");
         kernel.set_arg_buffer(1, &buf_tpl).expect("arg");
         kernel.set_arg_buffer(2, &buf_out).expect("arg");
@@ -225,9 +225,9 @@ pub fn run_copencl(
         let ev = queue
             .enqueue_nd_range(&kernel, &NdRange::d1(global, GROUP))
             .expect("dispatch");
-        profile.add_kernel(ev.duration_ns());
+        profile.record_command(&ev, queue.device().name());
         let (out, ev) = queue.read_i32(&buf_out).expect("read");
-        profile.add_from_device(ev.duration_ns());
+        profile.record_command(&ev, queue.device().name());
         result = out;
     }
     context.release_bytes(docs.len() * 4 + tpl.len() * 4 + ndocs * 4);

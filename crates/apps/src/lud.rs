@@ -218,7 +218,7 @@ pub fn run_copencl(m: Array2, device_type: DeviceType, profile: Sink) -> Array2 
     let buf_m = context.create_buffer(MemFlags::ReadWrite, bytes).expect("buf");
     let buf_piv = context.create_buffer(MemFlags::ReadWrite, 4).expect("buf");
     let ev = queue.write_f32(&buf_m, m.as_slice()).expect("write");
-    profile.add_to_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
 
     for step in 0..n {
         let (s_diag, s_col, s_sub) = shapes(n, step);
@@ -234,11 +234,11 @@ pub fn run_copencl(m: Array2, device_type: DeviceType, profile: Sink) -> Array2 
                 _ => NdRange::d2([ws[0][0], ws[0][1]], [ws[1][0], ws[1][1]]),
             };
             let ev = queue.enqueue_nd_range(kernel, &nd).expect("dispatch");
-            profile.add_kernel(ev.duration_ns());
+            profile.record_command(&ev, queue.device().name());
         }
     }
     let (result, ev) = queue.read_f32(&buf_m).expect("read");
-    profile.add_from_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     context.release_bytes(bytes + 4);
     Array2::from_vec(n, n, result)
 }

@@ -137,9 +137,9 @@ pub fn run_copencl(
     let ev = queue
         .enqueue_nd_range(&kernel, &NdRange::d2([width, height], [g, g]))
         .expect("dispatch");
-    profile.add_kernel(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     let (result, ev) = queue.read_i32(&buf).expect("read");
-    profile.add_from_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     context.release_bytes(n * 4);
     result
 }

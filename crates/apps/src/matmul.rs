@@ -123,9 +123,9 @@ pub fn run_copencl(a: Array2, b: Array2, device_type: DeviceType, profile: Sink)
     let buf_c = context.create_buffer(MemFlags::ReadWrite, bytes).expect("buf c");
     // Host → device.
     let ev = queue.write_f32(&buf_a, a.as_slice()).expect("write a");
-    profile.add_to_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     let ev = queue.write_f32(&buf_b, b.as_slice()).expect("write b");
-    profile.add_to_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     // Arguments: buffers then the flattened dimensions.
     kernel.set_arg_buffer(0, &buf_a).expect("arg 0");
     kernel.set_arg_buffer(1, &buf_b).expect("arg 1");
@@ -138,10 +138,10 @@ pub fn run_copencl(a: Array2, b: Array2, device_type: DeviceType, profile: Sink)
     let ev = queue
         .enqueue_nd_range(&kernel, &NdRange::d2([n, n], [g, g]))
         .expect("dispatch");
-    profile.add_kernel(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     // Device → host.
     let (result, ev) = queue.read_f32(&buf_c).expect("read c");
-    profile.add_from_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     // Release.
     context.release_bytes(3 * bytes);
     Array2::from_vec(n, n, result)

@@ -141,7 +141,7 @@ pub fn run_copencl(data: Vec<f32>, device_type: DeviceType, profile: Sink) -> f3
         .create_buffer(MemFlags::ReadWrite, max_groups * 4)
         .expect("buf");
     let ev = queue.write_f32(&buf_data, &data).expect("write");
-    profile.add_to_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
 
     let mut src = buf_data.clone();
     let mut dst = buf_partial.clone();
@@ -153,13 +153,13 @@ pub fn run_copencl(data: Vec<f32>, device_type: DeviceType, profile: Sink) -> f3
         let ev = queue
             .enqueue_nd_range(&kernel, &NdRange::d1(groups * GROUP, GROUP))
             .expect("dispatch");
-        profile.add_kernel(ev.duration_ns());
+        profile.record_command(&ev, queue.device().name());
         std::mem::swap(&mut src, &mut dst);
     }
     // After the final swap, `src` holds the single result at index 0.
     let mut bytes = vec![0u8; src.len()];
     let ev = queue.enqueue_read_buffer(&src, &mut bytes).expect("read");
-    profile.add_from_device(ev.duration_ns());
+    profile.record_command(&ev, queue.device().name());
     let result = oclsim::hostmem::bytes_to_f32(&bytes)[0];
     context.release_bytes(n * 4 + max_groups * 4);
     result

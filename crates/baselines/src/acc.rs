@@ -427,7 +427,7 @@ impl<'r> Hook<'r> {
             .context
             .create_buffer(MemFlags::ReadWrite, bytes.len())?;
         let ev = self.runner.queue.enqueue_write_buffer(&buf, &bytes)?;
-        self.runner.profile.add_to_device(ev.duration_ns());
+        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
         Ok(DevArray {
             buf,
             host: ArrRef::clone(host),
@@ -437,7 +437,7 @@ impl<'r> Hook<'r> {
     fn download(&self, d: &DevArray) -> Result<(), AccError> {
         let mut bytes = vec![0u8; d.buf.len()];
         let ev = self.runner.queue.enqueue_read_buffer(&d.buf, &mut bytes)?;
-        self.runner.profile.add_from_device(ev.duration_ns());
+        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
         let mut host = d.host.borrow_mut();
         match &mut *host {
             HostArray::F32(v) => *v = oclsim::hostmem::bytes_to_f32(&bytes),
@@ -591,7 +591,7 @@ impl<'r> Hook<'r> {
             .runner
             .queue
             .enqueue_nd_range(k, &NdRange::d1(global, local))?;
-        self.runner.profile.add_kernel(ev.duration_ns());
+        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
         self.dispatches += 1;
 
         // Downloads + cleanup.
@@ -1019,14 +1019,14 @@ impl<'r> Hook<'r> {
             .runner
             .queue
             .enqueue_nd_range(&kernel, &NdRange::d1(TEAMS, local))?;
-        self.runner.profile.add_kernel(ev.duration_ns());
+        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
         self.dispatches += 1;
 
         // Stage 2: the naive part — download partials, combine serially on
         // the host (extra transfer + serial work = the paper's Figure 3d
         // penalty).
         let (partials, ev) = self.runner.queue.read_f32(&partial)?;
-        self.runner.profile.add_from_device(ev.duration_ns());
+        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
         let current = scope
             .scalar(red_var)
             .ok_or_else(|| AccError::Eval(format!("unknown reduction variable `{red_var}`")))?;

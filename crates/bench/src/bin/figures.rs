@@ -5,13 +5,37 @@
 //! cargo run --release -p bench --bin figures -- fig3b   # one figure
 //! cargo run --release -p bench --bin figures -- --paper-scale
 //! cargo run --release -p bench --bin figures -- --json  # machine-readable
+//! cargo run --release -p bench --bin figures -- fig3c --trace lud.json
 //! ```
+//!
+//! `--trace <path>` records every run of the selected figures into one
+//! Chrome `trace_event` JSON file — open it in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing` to see the device
+//! queues, VM actor timelines, and channel waits of each run. The raw
+//! (unnormalised) per-run segment totals are printed to stderr; the bars
+//! of each figure are those same totals, normalised.
 
 use bench::figures::{self, ALL};
-use bench::Sizes;
+use bench::{Sizes, TraceSink};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            match it.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("error: --trace requires an output file path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     let paper = args.iter().any(|a| a == "--paper-scale");
     let json = args.iter().any(|a| a == "--json");
     let wanted: Vec<&str> = args
@@ -28,12 +52,17 @@ fn main() {
     if paper {
         eprintln!("note: paper-scale inputs run every work-item through an interpreter; expect long runtimes");
     }
+    let export = if trace_path.is_some() {
+        TraceSink::new()
+    } else {
+        TraceSink::disabled()
+    };
     let mut out = Vec::new();
     for (name, f) in ALL {
         if !wanted.is_empty() && !wanted.contains(&name) {
             continue;
         }
-        let fig = f(&sizes);
+        let fig = f(&sizes, &export);
         if json {
             out.push(fig);
         } else {
@@ -41,7 +70,7 @@ fn main() {
         }
     }
     if wanted.is_empty() || wanted.contains(&"ablation") {
-        let fig = figures::ablation_mov(&sizes);
+        let fig = figures::ablation_mov(&sizes, &export);
         if json {
             out.push(fig);
         } else {
@@ -49,6 +78,37 @@ fn main() {
         }
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&out).expect("serialise"));
+        let figs: Vec<String> = out.iter().map(bench::Figure::to_json).collect();
+        println!("[{}]", figs.join(","));
+    }
+    if let Some(path) = trace_path {
+        let events = export.events();
+        if let Err(e) = std::fs::write(&path, trace::chrome_json(&events)) {
+            eprintln!("error: writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trace: {} events written to {path} (open in Perfetto)", events.len());
+        // Raw per-run totals, straight from the exported spans — the same
+        // aggregation the figure bars are normalised from.
+        let mut runs: Vec<String> = Vec::new();
+        for e in &events {
+            if let Some((_, v)) = e.args.iter().find(|(k, _)| k == "run") {
+                if !runs.contains(v) {
+                    runs.push(v.clone());
+                }
+            }
+        }
+        for r in &runs {
+            let evs: Vec<trace::TraceEvent> = events
+                .iter()
+                .filter(|e| e.args.iter().any(|(k, v)| k == "run" && v == r))
+                .cloned()
+                .collect();
+            let s = trace::Segments::from_events(&evs);
+            eprintln!(
+                "  {r}: to-dev {} from-dev {} kernel {} vm {} total {} (virtual ns)",
+                s.to_device_ns, s.from_device_ns, s.kernel_ns, s.vm_ns, s.total_ns()
+            );
+        }
     }
 }

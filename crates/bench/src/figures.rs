@@ -2,17 +2,23 @@
 //!
 //! Bar order matches the paper's grouping: Ensemble GPU (the normalisation
 //! reference), C-OpenCL GPU, C-OpenACC GPU, then the CPU triple.
+//!
+//! Every builder takes a shared `export` [`TraceSink`]: when it is enabled
+//! (the `figures` binary's `--trace` flag), each run inside the figure
+//! records into a private sink and its spans are re-exported with the
+//! run's bar label as track prefix — one Chrome trace then holds every
+//! run of the figure, separable by the `run` arg.
 
 use crate::apps_ens;
 use crate::apps_ens::Sizes;
-use crate::{c_bar, ens_bar, Bar, Figure};
+use crate::{c_bar, ens_bar, export_run, Bar, Figure, TraceSink};
 use baselines::acc::AccTarget;
 use ensemble_apps::{docrank, lud, mandelbrot, matmul, reduction};
 use ensemble_ocl::ProfileSink;
 use oclsim::DeviceType;
 
 /// Convenient alias so binaries can iterate all figures.
-pub type FigureFn = fn(&Sizes) -> Figure;
+pub type FigureFn = fn(&Sizes, &TraceSink) -> Figure;
 
 /// All five figures in paper order.
 pub const ALL: [(&str, FigureFn); 5] = [
@@ -25,6 +31,17 @@ pub const ALL: [(&str, FigureFn); 5] = [
 
 /// The reference bar label (the paper normalises to Ensemble GPU).
 pub const REFERENCE: &str = "Ensemble GPU";
+
+/// A profile sink for one native run, carrying a private trace when the
+/// shared export sink is enabled (so the run can be re-exported).
+fn traced_profile(export: &TraceSink) -> (ProfileSink, TraceSink) {
+    let t = if export.is_enabled() {
+        TraceSink::new()
+    } else {
+        TraceSink::disabled()
+    };
+    (ProfileSink::new().with_trace(t.clone()), t)
+}
 
 fn acc_bar_or_note(
     label: &str,
@@ -41,7 +58,7 @@ fn acc_bar_or_note(
 }
 
 /// Figure 3a: matrix multiplication.
-pub fn fig3a(sizes: &Sizes) -> Figure {
+pub fn fig3a(sizes: &Sizes, export: &TraceSink) -> Figure {
     let n = sizes.matmul_n;
     let mut bars = Vec::new();
     let mut notes = Vec::new();
@@ -50,18 +67,20 @@ pub fn fig3a(sizes: &Sizes) -> Figure {
         ("CPU", DeviceType::Cpu, AccTarget::cpu()),
     ] {
         bars.push(
-            ens_bar(&format!("Ensemble {dev}"), &apps_ens::matmul(n, dev))
+            ens_bar(&format!("Ensemble {dev}"), &apps_ens::matmul(n, dev), export)
                 .expect("ensemble matmul"),
         );
-        let p = ProfileSink::new();
+        let (p, t) = traced_profile(export);
         let (a, b) = matmul::generate(n);
         matmul::run_copencl(a, b, ocl_ty, p.clone());
+        export_run(&format!("C-OpenCL {dev}"), &t, export);
         bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 3));
-        let p = ProfileSink::new();
+        let (p, t) = traced_profile(export);
         let (a, b) = matmul::generate(n);
         let r = matmul::run_openacc(a, b, acc_ty, p.clone())
             .map(|_| p)
             .map_err(|e| e.to_string());
+        export_run(&format!("C-OpenACC {dev}"), &t, export);
         if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
             bars.push(bar);
         }
@@ -77,7 +96,7 @@ pub fn fig3a(sizes: &Sizes) -> Figure {
 }
 
 /// Figure 3b: Mandelbrot.
-pub fn fig3b(sizes: &Sizes) -> Figure {
+pub fn fig3b(sizes: &Sizes, export: &TraceSink) -> Figure {
     let n = sizes.mandel_n;
     let iters = sizes.mandel_iters as u32;
     let mut bars = Vec::new();
@@ -90,16 +109,19 @@ pub fn fig3b(sizes: &Sizes) -> Figure {
             ens_bar(
                 &format!("Ensemble {dev}"),
                 &apps_ens::mandelbrot(n, iters as usize, dev),
+                export,
             )
             .expect("ensemble mandelbrot"),
         );
-        let p = ProfileSink::new();
+        let (p, t) = traced_profile(export);
         mandelbrot::run_copencl(n, n, iters, ocl_ty, p.clone());
+        export_run(&format!("C-OpenCL {dev}"), &t, export);
         bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 1));
-        let p = ProfileSink::new();
+        let (p, t) = traced_profile(export);
         let r = mandelbrot::run_openacc(n, n, iters, acc_ty, p.clone())
             .map(|_| p)
             .map_err(|e| e.to_string());
+        export_run(&format!("C-OpenACC {dev}"), &t, export);
         if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
             bars.push(bar);
         }
@@ -115,7 +137,7 @@ pub fn fig3b(sizes: &Sizes) -> Figure {
 }
 
 /// Figure 3c: LUD — three kernels in series, movability on.
-pub fn fig3c(sizes: &Sizes) -> Figure {
+pub fn fig3c(sizes: &Sizes, export: &TraceSink) -> Figure {
     let n = sizes.lud_n;
     let mut bars = Vec::new();
     let mut notes = Vec::new();
@@ -123,14 +145,19 @@ pub fn fig3c(sizes: &Sizes) -> Figure {
         ("GPU", DeviceType::Gpu, AccTarget::gpu()),
         ("CPU", DeviceType::Cpu, AccTarget::cpu()),
     ] {
-        bars.push(ens_bar(&format!("Ensemble {dev}"), &apps_ens::lud(n, dev)).expect("ensemble lud"));
-        let p = ProfileSink::new();
+        bars.push(
+            ens_bar(&format!("Ensemble {dev}"), &apps_ens::lud(n, dev), export)
+                .expect("ensemble lud"),
+        );
+        let (p, t) = traced_profile(export);
         lud::run_copencl(lud::generate(n), ocl_ty, p.clone());
+        export_run(&format!("C-OpenCL {dev}"), &t, export);
         bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 1));
-        let p = ProfileSink::new();
+        let (p, t) = traced_profile(export);
         let r = lud::run_openacc(lud::generate(n), acc_ty, p.clone())
             .map(|_| p)
             .map_err(|e| e.to_string());
+        export_run(&format!("C-OpenACC {dev}"), &t, export);
         if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
             bars.push(bar);
         }
@@ -146,7 +173,7 @@ pub fn fig3c(sizes: &Sizes) -> Figure {
 }
 
 /// Figure 3d: parallel reduction.
-pub fn fig3d(sizes: &Sizes) -> Figure {
+pub fn fig3d(sizes: &Sizes, export: &TraceSink) -> Figure {
     let n = sizes.reduction_n;
     let mut bars = Vec::new();
     let mut notes = Vec::new();
@@ -155,16 +182,18 @@ pub fn fig3d(sizes: &Sizes) -> Figure {
         ("CPU", DeviceType::Cpu, AccTarget::cpu()),
     ] {
         bars.push(
-            ens_bar(&format!("Ensemble {dev}"), &apps_ens::reduction(n, dev))
+            ens_bar(&format!("Ensemble {dev}"), &apps_ens::reduction(n, dev), export)
                 .expect("ensemble reduction"),
         );
-        let p = ProfileSink::new();
+        let (p, t) = traced_profile(export);
         reduction::run_copencl(reduction::generate(n), ocl_ty, p.clone());
+        export_run(&format!("C-OpenCL {dev}"), &t, export);
         bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 1));
-        let p = ProfileSink::new();
+        let (p, t) = traced_profile(export);
         let r = reduction::run_openacc(reduction::generate(n), acc_ty, p.clone())
             .map(|_| p)
             .map_err(|e| e.to_string());
+        export_run(&format!("C-OpenACC {dev}"), &t, export);
         if let Some(bar) = acc_bar_or_note(&format!("C-OpenACC {dev}"), r, &mut notes) {
             bars.push(bar);
         }
@@ -180,7 +209,7 @@ pub fn fig3d(sizes: &Sizes) -> Figure {
 }
 
 /// Figure 3e: document ranking — the real-world example.
-pub fn fig3e(sizes: &Sizes) -> Figure {
+pub fn fig3e(sizes: &Sizes, export: &TraceSink) -> Figure {
     let docs = sizes.docrank_docs;
     let rounds = sizes.docrank_rounds;
     let mut bars = Vec::new();
@@ -191,12 +220,14 @@ pub fn fig3e(sizes: &Sizes) -> Figure {
             ens_bar(
                 &format!("Ensemble {dev}"),
                 &apps_ens::docrank(docs, rounds, dev),
+                export,
             )
             .expect("ensemble docrank"),
         );
-        let p = ProfileSink::new();
-        let (d, t) = docrank::generate(docs);
-        docrank::run_copencl(d, t, threshold, ocl_ty, p.clone());
+        let (p, t) = traced_profile(export);
+        let (d, tpl) = docrank::generate(docs);
+        docrank::run_copencl(d, tpl, threshold, ocl_ty, p.clone());
+        export_run(&format!("C-OpenCL {dev}"), &t, export);
         bars.push(c_bar(&format!("C-OpenCL {dev}"), &p, 3));
     }
     // C-OpenACC: the GPU build fails (PGI could not compile this code);
@@ -209,9 +240,10 @@ pub fn fig3e(sizes: &Sizes) -> Figure {
             "C-OpenACC GPU/CPU absent: compile failure, as with PGI in the paper ({e})"
         )),
     }
-    let p = ProfileSink::new();
-    let (d, t) = docrank::generate(docs);
-    docrank::run_openmp_cpu(d, t, threshold, p.clone()).expect("openmp fallback");
+    let (p, t) = traced_profile(export);
+    let (d, tpl) = docrank::generate(docs);
+    docrank::run_openmp_cpu(d, tpl, threshold, p.clone()).expect("openmp fallback");
+    export_run("OpenMP-gcc CPU", &t, export);
     bars.push(c_bar("OpenMP-gcc CPU", &p, 3));
     let mut f = Figure {
         id: "3e".into(),
@@ -225,12 +257,14 @@ pub fn fig3e(sizes: &Sizes) -> Figure {
 
 /// The Figure 3c movability ablation (paper: ≈3 min without mov vs ≈5 s
 /// with, on the GPU at 2048²).
-pub fn ablation_mov(sizes: &Sizes) -> Figure {
+pub fn ablation_mov(sizes: &Sizes, export: &TraceSink) -> Figure {
     let n = sizes.lud_n;
-    let p_mov = ProfileSink::new();
+    let (p_mov, t_mov) = traced_profile(export);
     lud::run_ensemble(lud::generate(n), ensemble_ocl::DeviceSel::gpu(), p_mov.clone());
-    let p_nomov = ProfileSink::new();
+    export_run("mov channels", &t_mov, export);
+    let (p_nomov, t_nomov) = traced_profile(export);
     lud::run_ensemble_nomov(lud::generate(n), ensemble_ocl::DeviceSel::gpu(), p_nomov.clone());
+    export_run("copying channels", &t_nomov, export);
     let mut f = Figure {
         id: "3c-ablation".into(),
         title: format!("LUD movability ablation ({n}x{n}, GPU)"),

@@ -20,7 +20,7 @@
 use ensemble_lang::compile_source;
 use ensemble_vm::VmRuntime;
 use oclsim::ProfileSink;
-use serde::Serialize;
+pub use trace::TraceSink;
 
 pub mod apps_ens;
 pub mod figures;
@@ -29,7 +29,7 @@ pub mod table1;
 pub use apps_ens::Sizes;
 
 /// One stacked bar of a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Bar {
     /// e.g. `"Ensemble GPU"`.
     pub label: String,
@@ -56,10 +56,23 @@ impl Bar {
         self.kernel /= by;
         self.overhead /= by;
     }
+
+    /// Serialise as a JSON object (the workspace has no JSON library;
+    /// [`trace::json::validate`] checks this format in tests).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"to_device\":{},\"from_device\":{},\"kernel\":{},\"overhead\":{}}}",
+            trace::escape_json(&self.label),
+            self.to_device,
+            self.from_device,
+            self.kernel,
+            self.overhead
+        )
+    }
 }
 
 /// A complete figure: bars + caveats.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure id, e.g. `"3a"`.
     pub id: String,
@@ -91,6 +104,23 @@ impl Figure {
     /// Find a bar by label.
     pub fn bar(&self, label: &str) -> Option<&Bar> {
         self.bars.iter().find(|b| b.label == label)
+    }
+
+    /// Serialise as a JSON object.
+    pub fn to_json(&self) -> String {
+        let bars: Vec<String> = self.bars.iter().map(Bar::to_json).collect();
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", trace::escape_json(n)))
+            .collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"bars\":[{}],\"notes\":[{}]}}",
+            trace::escape_json(&self.id),
+            trace::escape_json(&self.title),
+            bars.join(","),
+            notes.join(",")
+        )
     }
 
     /// Render the figure as a text table plus ASCII stacked bars.
@@ -139,19 +169,54 @@ pub fn c_host_overhead_ns(dispatches: u64, transfers: u64) -> f64 {
 }
 
 /// Run an Ensemble source through the compiler + VM and produce a bar.
-pub fn ens_bar(label: &str, src: &str) -> Result<Bar, String> {
+///
+/// The run records into a **private** [`TraceSink`] (the process-wide
+/// simulated devices are shared by concurrent runs, so events are captured
+/// at the profile level, never by attaching to the global queues), and the
+/// bar is the trace's per-segment aggregation — so a printed breakdown and
+/// an exported timeline of the same run agree by construction.
+///
+/// When `export` is enabled, the run's events are appended to it with the
+/// track prefixed by `label` and a `run` arg added, so several runs
+/// coexist in one exported Chrome trace.
+pub fn ens_bar(label: &str, src: &str, export: &TraceSink) -> Result<Bar, String> {
     let module = compile_source(src).map_err(|e| e.to_string())?;
-    let profile = ProfileSink::new();
+    let sink = TraceSink::new();
+    let profile = ProfileSink::new().with_trace(sink.clone());
     let report = VmRuntime::with_profile(module, profile)
         .run()
         .map_err(|e| e.to_string())?;
+    let segs = sink.segments();
+    // The VM segment must agree exactly with the shared op counter: both
+    // are (Σ retired ops) × the per-op cost, summed over exact integers.
+    debug_assert_eq!(segs.vm_ns, report.overhead_ns());
+    export_run(label, &sink, export);
     Ok(Bar {
         label: label.to_string(),
-        to_device: report.profile.to_device_ns,
-        from_device: report.profile.from_device_ns,
-        kernel: report.profile.kernel_ns,
-        overhead: report.overhead_ns(),
+        to_device: segs.to_device_ns,
+        from_device: segs.from_device_ns,
+        kernel: segs.kernel_ns,
+        overhead: segs.vm_ns,
     })
+}
+
+/// Append one run's events to a shared export sink, prefixing every track
+/// with the run's `label` and adding a `run` arg — so several runs coexist
+/// (and stay separable) in a single exported Chrome trace.
+pub fn export_run(label: &str, run: &TraceSink, export: &TraceSink) {
+    if !export.is_enabled() {
+        return;
+    }
+    export.extend(
+        run.events()
+            .into_iter()
+            .map(|mut e| {
+                e.track = format!("{label} \u{00b7} {}", e.track);
+                e.args.push(("run".to_string(), label.to_string()));
+                e
+            })
+            .collect(),
+    );
 }
 
 /// Build a bar from a profile sink filled by a native (C-style) run.

@@ -82,7 +82,7 @@ pub(crate) fn upload_flat(
             .context
             .create_buffer(MemFlags::ReadWrite, seg.byte_len())?;
         let ev = env.queue.enqueue_write_buffer(&buf, &seg.to_bytes())?;
-        profile.add_to_device(ev.duration_ns());
+        profile.record_command(&ev, env.device.name());
         bufs.push((buf, seg.ty()));
     }
     Ok(ResidentBufs {
@@ -122,8 +122,26 @@ fn bind_and_dispatch(
     }
     let nd = crate::settings::nd_from(worksize, groupsize)?;
     let ev = env.queue.enqueue_nd_range(kernel, &nd)?;
-    profile.add_kernel(ev.duration_ns());
+    profile.record_command(&ev, env.device.name());
     Ok(())
+}
+
+/// Mark the `invokenative` boundary: the instant (on the device's virtual
+/// clock) at which a kernel actor accepted a request and entered native
+/// dispatch code. No-op when the spec's profile carries no trace.
+fn trace_invoke(spec: &KernelSpec, env: &OpenClEnvironment, actor: &str) {
+    let t = spec.profile.trace();
+    if t.is_enabled() {
+        t.record(
+            trace::TraceEvent::instant(
+                trace::SpanKind::InvokeNative,
+                &spec.kernel_name,
+                env.device.name(),
+                env.queue.now_ns(),
+            )
+            .with_arg("actor", actor),
+        );
+    }
 }
 
 struct Compiled {
@@ -183,6 +201,7 @@ impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
             Ok(d) => d,
             Err(_) => return Control::Stop,
         };
+        trace_invoke(&self.spec, &c.env, ctx.name());
         let flat = data.flatten();
         let rb = upload_flat(&c.env, flat, &self.spec.profile)
             .unwrap_or_else(|e| panic!("kernel actor `{}`: upload failed: {e}", ctx.name()));
@@ -208,7 +227,7 @@ impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
                 .queue
                 .enqueue_read_buffer(buf, &mut bytes)
                 .unwrap_or_else(|e| panic!("kernel actor `{}`: read failed: {e}", ctx.name()));
-            self.spec.profile.add_from_device(ev.duration_ns());
+            self.spec.profile.record_command(&ev, c.env.device.name());
             out_segs.push(FlatSeg::from_bytes(*ty, &bytes));
         }
         let out_dims = self.spec.out_dims.iter().map(|&i| rb.dims[i]).collect();
@@ -269,6 +288,7 @@ impl<T: Flatten> Actor for ResidentKernelActor<T> {
             Ok(d) => d,
             Err(_) => return Control::Stop,
         };
+        trace_invoke(&self.spec, &c.env, ctx.name());
         // §6.2.3: same context → reuse buffers; host or foreign context →
         // (read back and) upload.
         let rb = match data

@@ -9,7 +9,7 @@
 //!
 //! ## The pieces (paper section in parentheses)
 //!
-//! * [`env`] (§6.2.1–6.2.2) — the process-wide platforms × devices
+//! * [`mod@env`] (§6.2.1–6.2.2) — the process-wide platforms × devices
 //!   [`env::DeviceMatrix`] with **one context and one command queue per
 //!   device** (the paper's fix for multi-queue read races), and the
 //!   [`env::OpenClEnvironment`] resolved from an actor's

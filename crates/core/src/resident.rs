@@ -49,7 +49,7 @@ impl ResidentBufs {
             let mut bytes = vec![0u8; buf.len()];
             let ev = self.queue.enqueue_read_buffer(buf, &mut bytes)?;
             if let Some(p) = profile {
-                p.add_from_device(ev.duration_ns());
+                p.record_command(&ev, self.queue.device().name());
             }
             segs.push(FlatSeg::from_bytes(*ty, &bytes));
             released += buf.len();
@@ -151,7 +151,25 @@ impl<T: Flatten> DeviceData<T> {
         profile: Option<&ProfileSink>,
     ) -> ClResult<Dispatchable> {
         match self.state {
-            State::Device(r) if r.context.id() == target_ctx.id() => Ok(Dispatchable::Resident(r)),
+            State::Device(r) if r.context.id() == target_ctx.id() => {
+                // The mov win made visible: record the moment a dispatch
+                // reused resident buffers with zero transfer cost.
+                if let Some(p) = profile {
+                    let t = p.trace();
+                    if t.is_enabled() {
+                        t.record(
+                            trace::TraceEvent::instant(
+                                trace::SpanKind::ResidentReuse,
+                                "resident_reuse",
+                                r.queue.device().name(),
+                                r.queue.now_ns(),
+                            )
+                            .with_arg("bytes", r.device_bytes()),
+                        );
+                    }
+                }
+                Ok(Dispatchable::Resident(r))
+            }
             State::Device(r) => Ok(Dispatchable::Host(r.read_back(profile)?)),
             State::Host(flat) => Ok(Dispatchable::Host(flat)),
         }

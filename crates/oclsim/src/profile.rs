@@ -5,9 +5,16 @@
 //! the other three). Kernel actors and the baselines both record into a
 //! [`Profile`], so the harness can produce identical splits for every
 //! approach.
+//!
+//! A sink can also carry a [`TraceSink`]: [`ProfileSink::record_command`]
+//! then both accumulates the scalar totals *and* emits a structured span
+//! for the same [`Event`], so a run's trace timeline and its profile
+//! numbers cannot diverge — they are two views of the same events.
 
+use crate::event::{CommandKind, Event};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use trace::{SpanKind, TraceEvent, TraceSink};
 
 /// Accumulated virtual-time costs of one application run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -41,12 +48,62 @@ impl Profile {
 #[derive(Debug, Clone, Default)]
 pub struct ProfileSink {
     inner: Arc<Mutex<Profile>>,
+    trace: TraceSink,
 }
 
 impl ProfileSink {
     /// Fresh, zeroed sink.
     pub fn new() -> ProfileSink {
         ProfileSink::default()
+    }
+
+    /// Attach a trace sink: [`ProfileSink::record_command`] and the
+    /// runtime layers that carry this profile will emit structured spans
+    /// into it alongside the scalar totals.
+    pub fn with_trace(mut self, trace: TraceSink) -> ProfileSink {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached trace sink (disabled by default). Runtime layers use
+    /// this to emit spans that have no scalar-profile counterpart, e.g.
+    /// VM interpretation chunks and resident-buffer reuse instants.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Record a completed device command: accumulate its duration into
+    /// the matching profile segment *and*, when a trace is attached, emit
+    /// a span on `device`'s track carrying the command's virtual
+    /// queued/submit/start/end timestamps.
+    pub fn record_command(&self, ev: &Event, device: &str) {
+        let (kind, name) = match ev.kind() {
+            CommandKind::WriteBuffer => {
+                self.add_to_device(ev.duration_ns());
+                (SpanKind::ToDevice, "write_buffer".to_string())
+            }
+            CommandKind::ReadBuffer => {
+                self.add_from_device(ev.duration_ns());
+                (SpanKind::FromDevice, "read_buffer".to_string())
+            }
+            CommandKind::NdRange(k) => {
+                self.add_kernel(ev.duration_ns());
+                (SpanKind::Kernel, k.clone())
+            }
+            CommandKind::Marker => return,
+        };
+        if self.trace.is_enabled() {
+            let mut te = TraceEvent::span(kind, &name, device, ev.start_ns(), ev.duration_ns())
+                .with_arg("queued_ns", ev.queued_ns())
+                .with_arg("submit_ns", ev.submit_ns());
+            if ev.bytes() > 0 {
+                te = te.with_arg("bytes", ev.bytes());
+            }
+            if ev.items() > 0 {
+                te = te.with_arg("items", ev.items());
+            }
+            self.trace.record(te);
+        }
     }
 
     /// Add host→device transfer time.
@@ -117,5 +174,43 @@ mod tests {
         let clone = sink.clone();
         clone.add_kernel(7.0);
         assert_eq!(sink.snapshot().kernel_ns, 7.0);
+    }
+
+    #[test]
+    fn record_command_keeps_profile_and_trace_in_lockstep() {
+        let sink = ProfileSink::new().with_trace(TraceSink::new());
+        sink.record_command(
+            &Event::new(CommandKind::WriteBuffer, 0.0, 0.0, 10.0, 64, 0),
+            "dev",
+        );
+        sink.record_command(
+            &Event::new(CommandKind::NdRange("k".into()), 10.0, 10.0, 110.0, 0, 16),
+            "dev",
+        );
+        sink.record_command(
+            &Event::new(CommandKind::ReadBuffer, 110.0, 110.0, 115.0, 64, 0),
+            "dev",
+        );
+        let p = sink.snapshot();
+        let s = sink.trace().segments();
+        assert_eq!(p.to_device_ns, s.to_device_ns);
+        assert_eq!(p.from_device_ns, s.from_device_ns);
+        assert_eq!(p.kernel_ns, s.kernel_ns);
+        assert_eq!(p.dispatches, 1);
+        let events = sink.trace().events();
+        assert_eq!(events[1].name, "k");
+        assert_eq!(events[1].track, "dev");
+    }
+
+    #[test]
+    fn record_command_without_trace_only_accumulates() {
+        let sink = ProfileSink::new();
+        sink.record_command(
+            &Event::new(CommandKind::ReadBuffer, 0.0, 0.0, 5.0, 8, 0),
+            "dev",
+        );
+        assert_eq!(sink.snapshot().from_device_ns, 5.0);
+        assert!(sink.trace().is_empty());
+        assert!(!sink.trace().is_enabled());
     }
 }

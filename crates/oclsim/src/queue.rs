@@ -11,6 +11,7 @@ use crate::ndrange::NdRange;
 use crate::program::{ArgSpec, Kernel};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use trace::{SpanKind, TraceEvent, TraceSink};
 
 /// An in-order command queue bound to one device of a context (§2.1).
 ///
@@ -29,6 +30,9 @@ struct QueueInner {
     ctx: Context,
     device: Device,
     clock_ns: Mutex<f64>,
+    /// Optional recorder: when attached, every command this queue executes
+    /// becomes a virtual-clock span on the device's trace track.
+    trace: Mutex<TraceSink>,
 }
 
 impl CommandQueue {
@@ -45,8 +49,49 @@ impl CommandQueue {
                 ctx: ctx.clone(),
                 device: device.clone(),
                 clock_ns: Mutex::new(0.0),
+                trace: Mutex::new(TraceSink::disabled()),
             }),
         })
+    }
+
+    /// Attach a trace sink: from now on every enqueued command is also
+    /// recorded as a [`trace`] span (kind, queued/submit/start/end virtual
+    /// timestamps, bytes or items) on this queue's device track. All
+    /// clones of the queue share the attachment. Pass
+    /// [`TraceSink::disabled`] to detach.
+    pub fn attach_trace(&self, sink: TraceSink) {
+        *self.inner.trace.lock() = sink;
+    }
+
+    /// Record a completed command into the attached sink (no-op when no
+    /// sink is attached).
+    fn trace_command(&self, ev: &Event) {
+        let sink = self.inner.trace.lock();
+        if !sink.is_enabled() {
+            return;
+        }
+        let (kind, name) = match ev.kind() {
+            CommandKind::WriteBuffer => (SpanKind::ToDevice, "write_buffer".to_string()),
+            CommandKind::ReadBuffer => (SpanKind::FromDevice, "read_buffer".to_string()),
+            CommandKind::NdRange(k) => (SpanKind::Kernel, k.clone()),
+            CommandKind::Marker => (SpanKind::Marker, "marker".to_string()),
+        };
+        let mut te = TraceEvent::span(
+            kind,
+            &name,
+            self.inner.device.name(),
+            ev.start_ns(),
+            ev.duration_ns(),
+        )
+        .with_arg("queued_ns", ev.queued_ns())
+        .with_arg("submit_ns", ev.submit_ns());
+        if ev.bytes() > 0 {
+            te = te.with_arg("bytes", ev.bytes());
+        }
+        if ev.items() > 0 {
+            te = te.with_arg("items", ev.items());
+        }
+        sink.record(te);
     }
 
     /// The device this queue feeds.
@@ -84,7 +129,9 @@ impl CommandQueue {
         buf.overwrite(0, data)?;
         let cost = self.inner.device.cost_model().transfer_ns(data.len());
         let (start, end) = self.advance(cost);
-        Ok(Event::new(CommandKind::WriteBuffer, start, start, end, data.len(), 0))
+        let ev = Event::new(CommandKind::WriteBuffer, start, start, end, data.len(), 0);
+        self.trace_command(&ev);
+        Ok(ev)
     }
 
     /// Copy `buf` into `out` (device → host), mirroring
@@ -102,7 +149,9 @@ impl CommandQueue {
         out.copy_from_slice(&snapshot);
         let cost = self.inner.device.cost_model().transfer_ns(out.len());
         let (start, end) = self.advance(cost);
-        Ok(Event::new(CommandKind::ReadBuffer, start, start, end, out.len(), 0))
+        let ev = Event::new(CommandKind::ReadBuffer, start, start, end, out.len(), 0);
+        self.trace_command(&ev);
+        Ok(ev)
     }
 
     /// Convenience: write an `f32` slice.
@@ -246,14 +295,16 @@ impl CommandQueue {
             self.inner.device.simd_width(),
         );
         let (start, end) = self.advance(cost);
-        Ok(Event::new(
+        let ev = Event::new(
             CommandKind::NdRange(kernel.name().to_string()),
             start,
             start,
             end,
             0,
             stats.items,
-        ))
+        );
+        self.trace_command(&ev);
+        Ok(ev)
     }
 }
 
@@ -385,6 +436,44 @@ mod tests {
         k.set_arg_buffer(0, &buf).unwrap();
         k.set_arg_local(1, 1 << 30).unwrap();
         assert!(q.enqueue_nd_range(&k, &NdRange::d1(16, 4)).is_err());
+    }
+
+    #[test]
+    fn attached_trace_sees_every_command_with_queue_timestamps() {
+        let (ctx, q) = setup(DeviceType::Gpu);
+        let sink = TraceSink::new();
+        q.attach_trace(sink.clone());
+        let src = "__kernel void sq(__global float* a) {
+            int i = get_global_id(0);
+            a[i] = a[i] * a[i];
+        }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("sq").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        q.write_f32(&buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        let (_, read_ev) = q.read_f32(&buf).unwrap();
+
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![SpanKind::ToDevice, SpanKind::Kernel, SpanKind::FromDevice]
+        );
+        assert_eq!(events[1].name, "sq");
+        // Spans sit end-to-end on the queue's virtual clock.
+        assert_eq!(events[0].ts_ns, 0.0);
+        assert_eq!(events[1].ts_ns, events[0].ts_ns + events[0].dur_ns);
+        assert_eq!(events[2].ts_ns + events[2].dur_ns, read_ev.end_ns());
+        assert_eq!(events[2].ts_ns + events[2].dur_ns, q.now_ns());
+        // Segment aggregation covers the whole clock.
+        assert_eq!(sink.segments().total_ns(), q.now_ns());
+
+        // Detach: later commands are not recorded.
+        q.attach_trace(TraceSink::disabled());
+        q.write_f32(&buf, &[0.0; 4]).unwrap();
+        assert_eq!(sink.len(), 3);
     }
 
     #[test]

@@ -36,13 +36,18 @@ pub trait RuntimeHooks {
 }
 
 /// Interpret `chunk` against `slots`.
+///
+/// Returns how the chunk exited plus the number of ops it retired — the
+/// caller (the runtime) turns that count into a [`trace`] `VmChunk` span
+/// on the actor's timeline track. The count is also added to the shared
+/// `ops` counter, so the two views stay equal by construction.
 pub fn run_chunk(
     chunk: &Chunk,
     module: &CompiledModule,
     slots: &mut [VmVal],
     ops: &Arc<AtomicU64>,
     hooks: &dyn RuntimeHooks,
-) -> Result<Exit, VmError> {
+) -> Result<(Exit, u64), VmError> {
     let strings = &module.strings;
     let mut stack: Vec<VmVal> = Vec::with_capacity(16);
     let mut ip = 0usize;
@@ -234,7 +239,11 @@ pub fn run_chunk(
                 stack.push(VmVal::I(len as i64));
             }
             VOp::NewChanIn => {
-                stack.push(VmVal::ChanIn(Arc::new(ensemble_actors::In::with_buffer(4))));
+                let mut input = ensemble_actors::In::with_buffer(4);
+                if let Some(p) = hooks.profile() {
+                    input.set_trace(p.trace().clone(), "chan");
+                }
+                stack.push(VmVal::ChanIn(Arc::new(input)));
             }
             VOp::NewChanOut => {
                 stack.push(VmVal::ChanOut(ensemble_actors::Out::new()));
@@ -263,6 +272,24 @@ pub fn run_chunk(
                 } else {
                     value.deep_copy(hooks.profile())?
                 };
+                // The interpreter, not the channel, knows whether this
+                // send is a mov (ownership transfer) or a duplicate — the
+                // runtime always delivers via `send_moved` because a
+                // non-mov payload was already deep-copied above.
+                if let Some(p) = hooks.profile() {
+                    let t = p.trace();
+                    if t.is_enabled() {
+                        let (kind, name) = if *mov {
+                            (trace::SpanKind::MovTransfer, "send_mov")
+                        } else {
+                            (trace::SpanKind::Duplicate, "send_dup")
+                        };
+                        t.record(
+                            trace::TraceEvent::instant(kind, name, "vm", t.wall_ns())
+                                .with_arg("clock", "wall"),
+                        );
+                    }
+                }
                 if o.send_moved(payload).is_err() {
                     break Exit::ChannelClosed;
                 }
@@ -311,7 +338,7 @@ pub fn run_chunk(
         }
     };
     ops.fetch_add(local_ops, Ordering::Relaxed);
-    Ok(result)
+    Ok((result, local_ops))
 }
 
 /// Deterministic xorshift64* generator shared by the native data

@@ -17,6 +17,7 @@ use ensemble_ocl::{
 use oclsim::{DeviceType, Kernel, MemFlags, Program};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use trace::{SpanKind, TraceEvent};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -108,7 +109,9 @@ impl VmRuntime {
         let shared = Arc::clone(&self.shared);
         let boot = &shared.module.boot;
         let mut slots = vec![VmVal::Unit; boot.nslots as usize];
-        run_chunk(boot, &shared.module, &mut slots, &shared.ops, &shared)?;
+        let (_, boot_ops) = run_chunk(boot, &shared.module, &mut slots, &shared.ops, &shared)?;
+        let mut boot_clock = 0.0;
+        trace_chunk(&shared.profile, "vm/boot", "boot", &mut boot_clock, boot_ops);
         // Drop the boot frame before starting the actors: the actor
         // handles it holds keep clones of the actors' out endpoints alive,
         // and receivers only observe closure once every clone is gone.
@@ -123,7 +126,9 @@ impl VmRuntime {
                 .spawn(move || -> Result<(), VmError> {
                     let r = match &actor.code {
                         ActorCode::Host { .. } => host_actor(&shared2, &actor, port_slots),
-                        ActorCode::Kernel(plan) => kernel_actor(&shared2, plan, port_slots),
+                        ActorCode::Kernel(plan) => {
+                            kernel_actor(&shared2, &actor.name, plan, port_slots)
+                        }
                     };
                     if let Err(e) = &r {
                         // Surface failures immediately: a dead actor can
@@ -162,6 +167,13 @@ fn spawn(shared: &Arc<Shared>, idx: u16) -> Result<VmVal, VmError> {
         .get(idx as usize)
         .ok_or_else(|| VmError(format!("no actor #{idx}")))?
         .clone();
+    let trace = shared.profile.trace();
+    if trace.is_enabled() {
+        trace.record(
+            TraceEvent::instant(SpanKind::Spawn, &actor.name, "vm", trace.wall_ns())
+                .with_arg("clock", "wall"),
+        );
+    }
     // Create the interface endpoints; the actor thread and the returned
     // handle share them.
     let mut port_map: HashMap<String, VmVal> = HashMap::new();
@@ -169,7 +181,11 @@ fn spawn(shared: &Arc<Shared>, idx: u16) -> Result<VmVal, VmError> {
     for p in &actor.ports {
         let v = match p.dir {
             ensemble_lang::ast::Dir::In => {
-                VmVal::ChanIn(Arc::new(ensemble_actors::In::with_buffer(p.capacity)))
+                let mut input = ensemble_actors::In::with_buffer(p.capacity);
+                if trace.is_enabled() {
+                    input.set_trace(trace.clone(), format!("{}.{}", actor.name, p.name));
+                }
+                VmVal::ChanIn(Arc::new(input))
             }
             ensemble_lang::ast::Dir::Out => VmVal::ChanOut(ensemble_actors::Out::new()),
         };
@@ -202,14 +218,36 @@ fn host_actor(
         slots[i] = p;
     }
     let module = &shared.module;
-    run_chunk(&actor.field_init, module, &mut slots, &shared.ops, shared)?;
-    run_chunk(constructor, module, &mut slots, &shared.ops, shared)?;
+    // Per-actor virtual clock: each interpreted chunk advances it by
+    // retired-ops × VM_NS_PER_OP, so the actor's timeline track shows
+    // where its interpreter time went.
+    let track = format!("vm/{}", actor.name);
+    let mut clock = 0.0;
+    let (_, n) = run_chunk(&actor.field_init, module, &mut slots, &shared.ops, shared)?;
+    trace_chunk(&shared.profile, &track, "field_init", &mut clock, n);
+    let (_, n) = run_chunk(constructor, module, &mut slots, &shared.ops, shared)?;
+    trace_chunk(&shared.profile, &track, "constructor", &mut clock, n);
     loop {
-        match run_chunk(behaviour, module, &mut slots, &shared.ops, shared)? {
+        let (exit, n) = run_chunk(behaviour, module, &mut slots, &shared.ops, shared)?;
+        trace_chunk(&shared.profile, &track, "behaviour", &mut clock, n);
+        match exit {
             Exit::Done => continue,
             Exit::Stopped | Exit::ChannelClosed => return Ok(()),
         }
     }
+}
+
+/// Emit a `VmChunk` span for `ops` retired ops on `track`, advancing the
+/// actor's virtual clock. Every `run_chunk` call site must route through
+/// here: the trace's VM segment then sums to exactly
+/// `VmReport::vm_ops × VM_NS_PER_OP`, the figures' overhead bar.
+fn trace_chunk(profile: &ProfileSink, track: &str, name: &str, clock: &mut f64, ops: u64) {
+    let dur = ops as f64 * VM_NS_PER_OP;
+    let t = profile.trace();
+    if ops > 0 && t.is_enabled() {
+        t.record(TraceEvent::span(SpanKind::VmChunk, name, track, *clock, dur).with_arg("ops", ops));
+    }
+    *clock += dur;
 }
 
 fn parse_device(plan: &KernelPlan) -> DeviceSel {
@@ -239,7 +277,7 @@ fn upload(
             .queue
             .enqueue_write_buffer(&buf, &seg.to_bytes())
             .map_err(|e| VmError(format!("upload failed: {e}")))?;
-        profile.add_to_device(ev.duration_ns());
+        profile.record_command(&ev, env.device.name());
         bufs.push((buf, seg.ty()));
     }
     Ok(ResidentBufs {
@@ -284,7 +322,7 @@ fn dispatch(
         .queue
         .enqueue_nd_range(kernel, &nd)
         .map_err(|e| VmError(format!("dispatch failed: {e}")))?;
-    profile.add_kernel(ev.duration_ns());
+    profile.record_command(&ev, env.device.name());
     Ok(())
 }
 
@@ -301,6 +339,7 @@ fn usize_array(v: &VmVal) -> Result<Vec<usize>, VmError> {
 
 fn kernel_actor(
     shared: &Arc<Shared>,
+    name: &str,
     plan: &KernelPlan,
     port_slots: Vec<VmVal>,
 ) -> Result<(), VmError> {
@@ -343,6 +382,20 @@ fn kernel_actor(
             Ok(v) => v,
             Err(_) => return Ok(()),
         };
+        // The `invokenative` boundary: the actor leaves interpreted code
+        // and enters the native OpenCL host protocol for this request.
+        let trace = profile.trace();
+        if trace.is_enabled() {
+            trace.record(
+                TraceEvent::instant(
+                    SpanKind::InvokeNative,
+                    &plan.kernel_name,
+                    env.device.name(),
+                    env.queue.now_ns(),
+                )
+                .with_arg("actor", name),
+            );
+        }
 
         // 3. prepare buffers (§6.2.3 residency rules), 4. dispatch.
         let result: VmVal = if plan.mov {
@@ -399,7 +452,7 @@ fn kernel_actor(
                             .queue
                             .enqueue_read_buffer(b, &mut bytes)
                             .map_err(|e| VmError(format!("read failed: {e}")))?;
-                        profile.add_from_device(ev.duration_ns());
+                        profile.record_command(&ev, env.device.name());
                         segs.push(FlatSeg::from_bytes(*ty, &bytes));
                     }
                     let flat = FlatData {
@@ -421,7 +474,7 @@ fn kernel_actor(
                         .queue
                         .enqueue_read_buffer(b, &mut bytes)
                         .map_err(|e| VmError(format!("read failed: {e}")))?;
-                    profile.add_from_device(ev.duration_ns());
+                    profile.record_command(&ev, env.device.name());
                     let seg = FlatSeg::from_bytes(*ty, &bytes);
                     // The field's dims within the overall dims vector.
                     let offset: usize = plan.data_fields[..fidx].iter().map(|f| f.ndims).sum();

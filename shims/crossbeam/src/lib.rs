@@ -1,0 +1,281 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace patches `crossbeam` to this local shim. Only the
+//! [`channel`] module is provided, and only the subset the actor runtime
+//! uses: [`channel::bounded`] MPMC channels with rendezvous semantics at
+//! capacity 0, timeouts, and disconnect detection. The implementation is
+//! a `VecDeque` under a `Mutex` with two `Condvar`s — not lock-free like
+//! the real crate, but semantically equivalent for the channel sizes the
+//! actor runtime creates (the paper's pipelines move a handful of large
+//! messages, not millions of small ones).
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels (`crossbeam::channel` subset).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        /// Receivers currently blocked inside `recv_timeout` — the signal a
+        /// rendezvous (capacity 0) sender waits for.
+        recv_waiting: usize,
+    }
+
+    struct Chan<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        /// Signalled when space frees up, a receiver starts waiting, or the
+        /// receiver side disconnects.
+        send_cv: Condvar,
+        /// Signalled when a message arrives or the sender side disconnects.
+        recv_cv: Condvar,
+    }
+
+    /// The sending half of a channel. Cloneable; the channel disconnects
+    /// for receivers when the last clone is dropped.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable; the channel disconnects
+    /// for senders when the last clone is dropped.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Create a bounded MPMC channel. Capacity 0 makes a rendezvous
+    /// channel: `send` blocks until a receiver is actively waiting.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            cap,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                recv_waiting: 0,
+            }),
+            send_cv: Condvar::new(),
+            recv_cv: Condvar::new(),
+        });
+        (
+            Sender { chan: chan.clone() },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is handed to the channel, or return it
+        /// in `Err` if every receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                // Rendezvous channels admit a message only once a receiver
+                // is parked waiting for it; buffered channels admit up to
+                // `cap` messages.
+                let admit = if self.chan.cap == 0 {
+                    st.queue.len() < st.recv_waiting
+                } else {
+                    st.queue.len() < self.chan.cap
+                };
+                if admit {
+                    st.queue.push_back(value);
+                    self.chan.recv_cv.notify_one();
+                    return Ok(());
+                }
+                st = self.chan.send_cv.wait(st).unwrap();
+            }
+        }
+
+        /// Whether `other` sends into the same underlying channel.
+        pub fn same_channel(&self, other: &Sender<T>) -> bool {
+            Arc::ptr_eq(&self.chan, &other.chan)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Wait up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    // A slot freed (buffered) or the handoff completed
+                    // (rendezvous): wake one blocked sender.
+                    self.chan.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                st.recv_waiting += 1;
+                // A receiver is now parked: rendezvous senders may proceed.
+                self.chan.send_cv.notify_all();
+                let (guard, _) = self
+                    .chan
+                    .recv_cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
+                st.recv_waiting -= 1;
+            }
+        }
+
+        /// Take a message if one is already queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => {
+                    self.chan.send_cv.notify_one();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.chan.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.chan.send_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+        use std::time::Duration;
+
+        #[test]
+        fn buffered_fifo() {
+            let (tx, rx) = bounded(8);
+            for i in 0..8 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..8 {
+                assert_eq!(rx.try_recv(), Ok(i));
+            }
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = bounded(1);
+            tx.send(5i32).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Ok(5));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            let (tx2, rx2) = bounded::<i32>(1);
+            drop(rx2);
+            assert!(tx2.send(1).is_err());
+        }
+
+        #[test]
+        fn rendezvous_blocks_sender_until_receiver_waits() {
+            let (tx, rx) = bounded(0);
+            let start = Instant::now();
+            let h = thread::spawn(move || {
+                tx.send(7u32).unwrap();
+                start.elapsed()
+            });
+            thread::sleep(Duration::from_millis(50));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+            let sent_after = h.join().unwrap();
+            assert!(sent_after >= Duration::from_millis(45), "{sent_after:?}");
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = bounded::<u32>(1);
+            let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+    }
+}

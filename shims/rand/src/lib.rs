@@ -1,0 +1,125 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace patches `rand` to this local shim. The workload
+//! generators only need *seeded, deterministic* streams — every
+//! experiment input derives from a fixed seed — so this implements
+//! [`rngs::StdRng`] as a splitmix64 generator behind the same
+//! [`SeedableRng`] / [`Rng`] trait surface. The streams differ from the
+//! real `StdRng` (ChaCha12), which is fine: nothing in the repository
+//! asserts specific values, only determinism per seed.
+
+/// Types producible by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draw one value from the generator's next output(s).
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)`, from the top 24 bits.
+    fn from_u64(bits: u64) -> f32 {
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)`, from the top 53 bits.
+    fn from_u64(bits: u64) -> f64 {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value extraction, generic over the output type.
+pub trait Rng {
+    /// The next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value of type `T` (uniform over `T`'s standard range).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+/// Generator types.
+pub mod rngs {
+    /// The standard seeded generator: splitmix64. Deterministic per seed,
+    /// passes-through the [`crate::Rng`] / [`crate::SeedableRng`] traits.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (public-domain reference constants).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<f32> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..64).map(|_| r.random::<f32>()).collect()
+        };
+        let b: Vec<f32> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..64).map(|_| r.random::<f32>()).collect()
+        };
+        let c: Vec<f32> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..64).map(|_| r.random::<f32>()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.random::<f32>();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+}

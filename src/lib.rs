@@ -8,6 +8,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`oclsim`] | OpenCL framework simulator + mini OpenCL-C compiler/interpreter |
+//! | [`trace`] | unified tracing: spans from every layer, figure segments, Chrome JSON export |
 //! | [`ensemble_actors`] | the actor runtime: stages, behaviours, typed channels, `mov` |
 //! | [`ensemble_ocl`] | **the paper's contribution**: kernel actors, device matrix, flattening, lazy residency |
 //! | [`ensemble_lang`] | the mini-Ensemble compiler (Listings 2 & 3 and the five apps) |
@@ -27,3 +28,4 @@ pub use ensemble_lang;
 pub use ensemble_ocl;
 pub use ensemble_vm;
 pub use oclsim;
+pub use trace;

@@ -6,7 +6,7 @@
 //! not asserted — the substrate is a simulator, not the 2015 testbed.
 
 use bench::figures;
-use bench::Sizes;
+use bench::{Sizes, TraceSink};
 
 fn sizes() -> Sizes {
     // Slightly smaller than the bench defaults: these run in debug CI.
@@ -25,7 +25,7 @@ fn sizes() -> Sizes {
 
 #[test]
 fn fig3a_ensemble_is_commensurate_with_c_opencl() {
-    let f = figures::fig3a(&sizes());
+    let f = figures::fig3a(&sizes(), &TraceSink::disabled());
     let ens = f.bar("Ensemble GPU").unwrap();
     let c = f.bar("C-OpenCL GPU").unwrap();
     // "commensurate performance": within 2x, same kernel time.
@@ -40,7 +40,7 @@ fn fig3a_ensemble_is_commensurate_with_c_opencl() {
 
 #[test]
 fn fig3b_openacc_is_much_worse_on_gpu() {
-    let f = figures::fig3b(&sizes());
+    let f = figures::fig3b(&sizes(), &TraceSink::disabled());
     let ens = f.bar("Ensemble GPU").unwrap();
     let acc = f.bar("C-OpenACC GPU").unwrap();
     // The pragma abstraction cannot use the 2-D layout: row-mapped items
@@ -55,7 +55,7 @@ fn fig3b_openacc_is_much_worse_on_gpu() {
 
 #[test]
 fn fig3c_pipeline_with_mov_matches_handwritten_c() {
-    let f = figures::fig3c(&sizes());
+    let f = figures::fig3c(&sizes(), &TraceSink::disabled());
     let ens = f.bar("Ensemble GPU").unwrap();
     let c = f.bar("C-OpenCL GPU").unwrap();
     // Kernel and transfer segments match the hand-optimised C host;
@@ -67,7 +67,7 @@ fn fig3c_pipeline_with_mov_matches_handwritten_c() {
 
 #[test]
 fn fig3c_movability_ablation_matches_the_papers_story() {
-    let f = figures::ablation_mov(&sizes());
+    let f = figures::ablation_mov(&sizes(), &TraceSink::disabled());
     let mov = f.bar("mov channels").unwrap();
     let nomov = f.bar("copying channels").unwrap();
     // Same kernels; transfers explode without movability.
@@ -83,7 +83,7 @@ fn fig3c_movability_ablation_matches_the_papers_story() {
 
 #[test]
 fn fig3d_openacc_reduction_loses_on_the_gpu() {
-    let f = figures::fig3d(&sizes());
+    let f = figures::fig3d(&sizes(), &TraceSink::disabled());
     let acc = f.bar("C-OpenACC GPU").unwrap();
     let c = f.bar("C-OpenCL GPU").unwrap();
     assert!(
@@ -98,7 +98,7 @@ fn fig3d_openacc_reduction_loses_on_the_gpu() {
 
 #[test]
 fn fig3e_kernel_and_transfer_inversions_hold() {
-    let f = figures::fig3e(&sizes());
+    let f = figures::fig3e(&sizes(), &TraceSink::disabled());
     let ens = f.bar("Ensemble GPU").unwrap();
     let c = f.bar("C-OpenCL GPU").unwrap();
     // Ensemble kernel slower (scalar + init + bool/int split vs float4)…
@@ -128,7 +128,7 @@ fn fig3e_kernel_and_transfer_inversions_hold() {
 fn every_figure_normalises_to_ensemble_gpu() {
     let s = sizes();
     for (name, f) in figures::ALL {
-        let fig = f(&s);
+        let fig = f(&s, &TraceSink::disabled());
         let reference = fig.bar(figures::REFERENCE).unwrap_or_else(|| {
             panic!("{name}: missing reference bar");
         });
