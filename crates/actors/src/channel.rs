@@ -27,15 +27,15 @@
 //! blocked receives poll at a coarse interval while also waiting on the
 //! underlying channel.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError as XSendError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use trace::{SpanKind, TraceEvent, TraceSink};
 
 /// Error returned when a channel operation cannot complete because the
-/// other side is gone.
+/// other side is gone, poisoned, or too slow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelError {
     /// Every connected receiver has been dropped (send side).
@@ -45,6 +45,12 @@ pub enum ChannelError {
     Closed,
     /// The `Out` endpoint has no connections yet.
     NotConnected,
+    /// The peer poisoned the channel because it failed: the pipeline is
+    /// being torn down. Distinguishable from [`ChannelError::Closed`]
+    /// (orderly completion) so supervisors can report the difference.
+    Poisoned,
+    /// [`In::recv_timeout`]'s deadline passed with no message.
+    TimedOut,
 }
 
 impl std::fmt::Display for ChannelError {
@@ -53,6 +59,8 @@ impl std::fmt::Display for ChannelError {
             ChannelError::NoReceivers => write!(f, "all receivers disconnected"),
             ChannelError::Closed => write!(f, "channel closed"),
             ChannelError::NotConnected => write!(f, "out endpoint is not connected"),
+            ChannelError::Poisoned => write!(f, "channel poisoned by a failed peer"),
+            ChannelError::TimedOut => write!(f, "receive timed out"),
         }
     }
 }
@@ -67,6 +75,10 @@ struct InState {
     /// Whether any connection was ever made (an unconnected endpoint blocks
     /// rather than reporting `Closed` — it may be connected later).
     ever_connected: AtomicBool,
+    /// Set by a failed peer: receives fail fast (after draining buffered
+    /// messages) and blocked senders into this endpoint give up, instead
+    /// of both sides deadlocking on a rendezvous that will never happen.
+    poisoned: AtomicBool,
 }
 
 /// One live `Out` → `In` connection. Dropping the guard (when the owning
@@ -140,18 +152,54 @@ impl<T> In<T> {
         self.state.connected.load(Ordering::Acquire)
     }
 
+    /// Poison this endpoint: subsequent receives drain any buffered
+    /// messages and then fail with [`ChannelError::Poisoned`]; blocked
+    /// senders into it give up instead of waiting for a rendezvous that
+    /// will never happen. Used by a failed stage to tear down its
+    /// pipeline.
+    pub fn poison(&self) {
+        self.state.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether this endpoint has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.poisoned.load(Ordering::Acquire)
+    }
+
     /// Block until a value arrives: `receive data from input`.
     ///
     /// Returns [`ChannelError::Closed`] once every connection has dropped
-    /// and the buffer is drained. An endpoint that was *never* connected
-    /// blocks (it may be connected dynamically at any time).
+    /// and the buffer is drained, and [`ChannelError::Poisoned`] once the
+    /// endpoint is poisoned and drained. An endpoint that was *never*
+    /// connected blocks (it may be connected dynamically at any time).
     pub fn receive(&self) -> Result<T, ChannelError> {
+        self.recv_deadline(None)
+    }
+
+    /// Like [`In::receive`], but give up with [`ChannelError::TimedOut`]
+    /// if no message arrives within `timeout`. The timeout is wall-clock
+    /// (it guards against a *hung* peer, which is a wall-clock phenomenon,
+    /// not a simulated-cost one).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, ChannelError> {
+        self.recv_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, ChannelError> {
         let wait_start = if self.trace.is_enabled() {
             Some(self.trace.wall_ns())
         } else {
             None
         };
         let result = loop {
+            // Deliver in-flight messages even after poisoning — only fail
+            // once the buffer is drained, so data already produced by an
+            // upstream stage is not silently dropped during teardown.
+            if self.state.poisoned.load(Ordering::Acquire) {
+                break match self.receiver.try_recv() {
+                    Ok(v) => Ok(v),
+                    Err(_) => Err(ChannelError::Poisoned),
+                };
+            }
             match self.receiver.recv_timeout(DISCONNECT_POLL) {
                 Ok(v) => break Ok(v),
                 Err(RecvTimeoutError::Disconnected) => break Err(ChannelError::Closed),
@@ -165,6 +213,14 @@ impl<T> In<T> {
                             Ok(v) => Ok(v),
                             Err(_) => Err(ChannelError::Closed),
                         };
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            break match self.receiver.try_recv() {
+                                Ok(v) => Ok(v),
+                                Err(_) => Err(ChannelError::TimedOut),
+                            };
+                        }
                     }
                 }
             }
@@ -237,6 +293,14 @@ pub struct InConnector<T> {
     state: Arc<InState>,
 }
 
+impl<T> InConnector<T> {
+    /// Poison the referred-to endpoint (see [`In::poison`]) — usable even
+    /// after the endpoint itself moved into its owning actor.
+    pub fn poison(&self) {
+        self.state.poisoned.store(true, Ordering::Release);
+    }
+}
+
 impl<T> Default for In<T> {
     fn default() -> Self {
         In::new()
@@ -298,7 +362,10 @@ impl<T> Out<T> {
     /// live inside another actor).
     pub fn connect_via(&self, connector: &InConnector<T>) {
         connector.state.connected.fetch_add(1, Ordering::AcqRel);
-        connector.state.ever_connected.store(true, Ordering::Release);
+        connector
+            .state
+            .ever_connected
+            .store(true, Ordering::Release);
         let conn = Arc::new(Connection {
             sender: connector.sender.clone(),
             state: Arc::clone(&connector.state),
@@ -318,6 +385,15 @@ impl<T> Out<T> {
         self.targets.lock().connections.len()
     }
 
+    /// Poison every connected receiver (see [`In::poison`]): the failure
+    /// notification a dying stage sends downstream so the rest of the
+    /// pipeline unwinds instead of deadlocking on a rendezvous.
+    pub fn poison_receivers(&self) {
+        for c in self.targets.lock().connections.iter() {
+            c.state.poisoned.store(true, Ordering::Release);
+        }
+    }
+
     fn send_inner(&self, mut value: T) -> Result<(), ChannelError> {
         loop {
             // Pick the next live target round-robin without holding the lock
@@ -331,9 +407,28 @@ impl<T> Out<T> {
                 t.next = t.next.wrapping_add(1);
                 Arc::clone(&t.connections[idx])
             };
-            match target.sender.send(value) {
+            if target.state.poisoned.load(Ordering::Acquire) {
+                // The receiver's stage failed: don't rendezvous with a peer
+                // that will never pick the message up. Forget the target and
+                // retry with the rest, reporting `Poisoned` once none remain.
+                let mut t = self.targets.lock();
+                t.connections
+                    .retain(|c| !c.sender.same_channel(&target.sender));
+                if t.connections.is_empty() {
+                    return Err(ChannelError::Poisoned);
+                }
+                continue;
+            }
+            // Bounded waits (instead of one indefinitely blocking send) so a
+            // sender parked on a rendezvous observes poisoning that happens
+            // *after* it blocked.
+            match target.sender.send_timeout(value, DISCONNECT_POLL) {
                 Ok(()) => return Ok(()),
-                Err(XSendError(v)) => {
+                Err(SendTimeoutError::Timeout(v)) => {
+                    // Re-run the poison/liveness checks, then wait again.
+                    value = v;
+                }
+                Err(SendTimeoutError::Disconnected(v)) => {
                     // Receiver vanished: forget it and retry with the rest.
                     value = v;
                     let mut t = self.targets.lock();
@@ -380,10 +475,23 @@ impl<T> Out<T> {
         let mut delivered = 0;
         let mut dead: Vec<Sender<T>> = Vec::new();
         for c in connections {
-            if c.sender.send(value.clone()).is_ok() {
-                delivered += 1;
-            } else {
-                dead.push(c.sender.clone());
+            let mut payload = value.clone();
+            loop {
+                if c.state.poisoned.load(Ordering::Acquire) {
+                    dead.push(c.sender.clone());
+                    break;
+                }
+                match c.sender.send_timeout(payload, DISCONNECT_POLL) {
+                    Ok(()) => {
+                        delivered += 1;
+                        break;
+                    }
+                    Err(SendTimeoutError::Timeout(v)) => payload = v,
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        dead.push(c.sender.clone());
+                        break;
+                    }
+                }
             }
         }
         if !dead.is_empty() {
@@ -615,5 +723,107 @@ mod tests {
         assert_eq!(i.try_receive().unwrap(), None);
         o.send(&1).unwrap();
         assert_eq!(i.try_receive().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_without_sender() {
+        let (_o, i) = channel::<i32>();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            i.recv_timeout(Duration::from_millis(20)),
+            Err(ChannelError::TimedOut)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn recv_timeout_delivers_when_message_arrives_in_time() {
+        let (o, i) = channel::<i32>();
+        let t = thread::spawn(move || i.recv_timeout(Duration::from_secs(5)));
+        o.send(&11).unwrap();
+        assert_eq!(t.join().unwrap(), Ok(11));
+    }
+
+    // Regression test for the rendezvous-channel hang: a receiver parked on
+    // `receive` whose peer dies (drops its Out mid-protocol) must observe a
+    // typed `Closed` error rather than blocking forever — `blocked_receive_
+    // unblocks_when_sender_drops` covers the drop half; these cover poison.
+
+    #[test]
+    fn poisoned_receive_drains_then_errors() {
+        let (o, i) = buffered_channel::<i32>(2);
+        o.send(&1).unwrap();
+        i.poison();
+        // In-flight data is still delivered; only then does the error show.
+        assert_eq!(i.receive(), Ok(1));
+        assert_eq!(i.receive(), Err(ChannelError::Poisoned));
+        assert_eq!(
+            i.recv_timeout(Duration::from_secs(5)),
+            Err(ChannelError::Poisoned)
+        );
+    }
+
+    #[test]
+    fn poison_wakes_blocked_receiver() {
+        let (_o, i) = channel::<i32>();
+        let connector = i.connector();
+        let t = thread::spawn(move || i.receive());
+        thread::sleep(Duration::from_millis(20));
+        connector.poison();
+        assert_eq!(t.join().unwrap(), Err(ChannelError::Poisoned));
+    }
+
+    #[test]
+    fn poison_unblocks_rendezvous_sender() {
+        // The deadlock this PR removes: a sender parked on a rendezvous
+        // whose receiver's stage has failed. Poisoning the receiver must
+        // wake the sender with a typed error, not leave it parked forever.
+        let (o, i) = channel::<i32>();
+        let t = thread::spawn(move || o.send(&7));
+        thread::sleep(Duration::from_millis(20));
+        i.poison();
+        assert_eq!(t.join().unwrap(), Err(ChannelError::Poisoned));
+    }
+
+    #[test]
+    fn poison_receivers_reaches_every_target() {
+        let a = In::<i32>::with_buffer(1);
+        let b = In::<i32>::with_buffer(1);
+        let o = Out::new();
+        o.connect(&a);
+        o.connect(&b);
+        o.poison_receivers();
+        assert!(a.is_poisoned());
+        assert!(b.is_poisoned());
+        assert_eq!(a.receive(), Err(ChannelError::Poisoned));
+        assert_eq!(b.receive(), Err(ChannelError::Poisoned));
+    }
+
+    #[test]
+    fn send_skips_poisoned_target_in_fan_out() {
+        let a = In::<i32>::new(); // rendezvous, nobody will receive
+        let b = In::with_buffer(2);
+        let o = Out::new();
+        o.connect(&a);
+        o.connect(&b);
+        a.poison();
+        // Both sends must land in `b` even though `a` heads the rotation.
+        o.send(&1).unwrap();
+        o.send(&2).unwrap();
+        assert_eq!(b.receive(), Ok(1));
+        assert_eq!(b.receive(), Ok(2));
+        assert_eq!(o.fan_out(), 1);
+    }
+
+    #[test]
+    fn broadcast_skips_poisoned_rendezvous_target() {
+        let a = In::<i32>::new(); // rendezvous, poisoned: would block forever
+        let b = In::with_buffer(1);
+        let o = Out::new();
+        o.connect(&a);
+        o.connect(&b);
+        a.poison();
+        o.broadcast(&4).unwrap();
+        assert_eq!(b.receive(), Ok(4));
     }
 }

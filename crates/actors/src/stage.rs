@@ -187,7 +187,13 @@ mod tests {
         }
         let (out, input) = buffered_channel(1);
         let mut stage = Stage::new("s");
-        stage.spawn("c", C { constructed: 0, out });
+        stage.spawn(
+            "c",
+            C {
+                constructed: 0,
+                out,
+            },
+        );
         assert_eq!(input.receive().unwrap(), 1);
         stage.join();
     }
@@ -202,7 +208,10 @@ mod tests {
         let report = stage.join();
         assert_eq!(input.receive().unwrap(), 7);
         // The actor (and its Out endpoint) is gone: no second message.
-        assert_eq!(input.try_receive(), Err(crate::channel::ChannelError::Closed));
+        assert_eq!(
+            input.try_receive(),
+            Err(crate::channel::ChannelError::Closed)
+        );
         assert_eq!(report.actors[0].1, 1);
     }
 

@@ -27,7 +27,9 @@
 use baselines::acc::{AccError, AccRunner, AccTarget};
 use baselines::host_eval::{array_f32, array_i32, HArg, HVal, HostArray};
 use ensemble_actors::{buffered_channel, Stage};
-use ensemble_ocl::{DeviceData, DeviceSel, KernelSpec, ProfileSink, ResidentKernelActor, Settings};
+use ensemble_ocl::{
+    DeviceData, DeviceSel, KernelSpec, ProfileSink, RecoveryPolicy, ResidentKernelActor, Settings,
+};
 use oclsim::{
     CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, ProfileSink as Sink, Program,
 };
@@ -150,8 +152,10 @@ pub fn run_ensemble(
         out_segs: vec![],
         out_dims: vec![],
         profile: profile.clone(),
+        recovery: RecoveryPolicy::default(),
     };
-    let (req_out, req_in) = buffered_channel::<Settings<DeviceData<RankData>, DeviceData<RankData>>>(4);
+    let (req_out, req_in) =
+        buffered_channel::<Settings<DeviceData<RankData>, DeviceData<RankData>>>(4);
     let mut stage = Stage::new("home");
     stage.spawn("Rank", ResidentKernelActor::<RankData>::new(spec, req_in));
     let (result_out, result_in) = buffered_channel::<DeviceData<RankData>>(1);
@@ -339,7 +343,13 @@ mod tests {
         // Ensemble transfers smaller (mov keeps the corpus on the device).
         let (docs, tpl) = generate(DOCS);
         let p_ens = ProfileSink::new();
-        run_ensemble(docs.clone(), tpl.clone(), threshold(), DeviceSel::gpu(), p_ens.clone());
+        run_ensemble(
+            docs.clone(),
+            tpl.clone(),
+            threshold(),
+            DeviceSel::gpu(),
+            p_ens.clone(),
+        );
         let p_c = Sink::new();
         run_copencl(docs, tpl, threshold(), DeviceType::Gpu, p_c.clone());
         let ens = p_ens.snapshot();

@@ -85,9 +85,7 @@ mod tests {
         let terms = 64;
         let m = document_matrix(docs, terms, 9);
         let tpl = document_template(terms);
-        let score = |d: usize| -> f32 {
-            (0..terms).map(|t| m[d * terms + t] * tpl[t]).sum()
-        };
+        let score = |d: usize| -> f32 { (0..terms).map(|t| m[d * terms + t] * tpl[t]).sum() };
         // Boosted documents outrank their unboosted neighbours.
         assert!(score(0) > score(1));
         assert!(score(5) > score(6));

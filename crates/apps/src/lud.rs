@@ -12,8 +12,8 @@ use baselines::acc::{AccError, AccRunner, AccTarget};
 use baselines::host_eval::{array_f32, HArg, HVal, HostArray};
 use ensemble_actors::{buffered_channel, Stage};
 use ensemble_ocl::{
-    Array2, DeviceData, DeviceSel, KernelActor, KernelSpec, ProfileSink, ResidentKernelActor,
-    Settings,
+    Array2, DeviceData, DeviceSel, KernelActor, KernelSpec, ProfileSink, RecoveryPolicy,
+    ResidentKernelActor, Settings,
 };
 use oclsim::{
     CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, ProfileSink as Sink, Program,
@@ -87,8 +87,11 @@ fn round_up(v: usize, to: usize) -> usize {
     v.div_ceil(to).max(1) * to
 }
 
+/// A `[worksize, groupsize]` launch shape for one kernel.
+type Shape = [Vec<usize>; 2];
+
 /// Per-step launch shapes for the three kernels.
-fn shapes(n: usize, step: usize) -> ([Vec<usize>; 2], [Vec<usize>; 2], [Vec<usize>; 2]) {
+fn shapes(n: usize, step: usize) -> (Shape, Shape, Shape) {
     let rem = n - step - 1;
     let g1 = round_up(rem.max(1), GROUP);
     (
@@ -111,9 +114,14 @@ pub fn run_ensemble(m: Array2, device: DeviceSel, profile: ProfileSink) -> Array
             out_segs: vec![],
             out_dims: vec![],
             profile: profile.clone(),
+            recovery: RecoveryPolicy::default(),
         };
-        let (req_out, req_in) = buffered_channel::<Settings<DeviceData<LudData>, DeviceData<LudData>>>(4);
-        stage.spawn(kernel_name, ResidentKernelActor::<LudData>::new(spec, req_in));
+        let (req_out, req_in) =
+            buffered_channel::<Settings<DeviceData<LudData>, DeviceData<LudData>>>(4);
+        stage.spawn(
+            kernel_name,
+            ResidentKernelActor::<LudData>::new(spec, req_in),
+        );
         req_outs.push(req_out);
     }
     let (result_out, result_in) = buffered_channel::<DeviceData<LudData>>(1);
@@ -164,9 +172,13 @@ pub fn run_ensemble_nomov(m: Array2, device: DeviceSel, profile: ProfileSink) ->
             out_segs: vec![0, 1],
             out_dims: vec![0, 1, 2],
             profile: profile.clone(),
+            recovery: RecoveryPolicy::default(),
         };
         let (req_out, req_in) = buffered_channel::<Settings<LudData, LudData>>(4);
-        stage.spawn(kernel_name, KernelActor::<LudData, LudData>::new(spec, req_in));
+        stage.spawn(
+            kernel_name,
+            KernelActor::<LudData, LudData>::new(spec, req_in),
+        );
         req_outs.push(req_out);
     }
     let (result_out, result_in) = buffered_channel::<LudData>(1);
@@ -215,7 +227,9 @@ pub fn run_copencl(m: Array2, device_type: DeviceType, profile: Sink) -> Array2 
     let k_sub = program.create_kernel("lud_sub").expect("kernel");
 
     let bytes = n * n * 4;
-    let buf_m = context.create_buffer(MemFlags::ReadWrite, bytes).expect("buf");
+    let buf_m = context
+        .create_buffer(MemFlags::ReadWrite, bytes)
+        .expect("buf");
     let buf_piv = context.create_buffer(MemFlags::ReadWrite, 4).expect("buf");
     let ev = queue.write_f32(&buf_m, m.as_slice()).expect("write");
     profile.record_command(&ev, queue.device().name());

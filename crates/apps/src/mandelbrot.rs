@@ -10,7 +10,7 @@
 use baselines::acc::{AccError, AccRunner, AccTarget};
 use baselines::host_eval::{array_i32, HArg, HVal, HostArray};
 use ensemble_actors::{buffered_channel, In, Out, Stage};
-use ensemble_ocl::{DeviceSel, KernelActor, KernelSpec, ProfileSink, Settings};
+use ensemble_ocl::{DeviceSel, KernelActor, KernelSpec, ProfileSink, RecoveryPolicy, Settings};
 use oclsim::{
     CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, ProfileSink as Sink, Program,
 };
@@ -81,10 +81,14 @@ pub fn run_ensemble(
         out_segs: vec![0],
         out_dims: vec![0],
         profile,
+        recovery: RecoveryPolicy::default(),
     };
     let (req_out, req_in) = buffered_channel::<Settings<Vec<i32>, Vec<i32>>>(1);
     let mut stage = Stage::new("home");
-    stage.spawn("Mandelbrot", KernelActor::<Vec<i32>, Vec<i32>>::new(spec, req_in));
+    stage.spawn(
+        "Mandelbrot",
+        KernelActor::<Vec<i32>, Vec<i32>>::new(spec, req_in),
+    );
     let (result_out, result_in) = buffered_channel::<Vec<i32>>(1);
     stage.spawn_once("Dispatch", move |_| {
         let i = In::with_buffer(1);
@@ -124,7 +128,9 @@ pub fn run_copencl(
     let program = Program::build(&context, KERNEL_SRC).expect("program build");
     let kernel = program.create_kernel("mandelbrot").expect("kernel");
     let n = width * height;
-    let buf = context.create_buffer(MemFlags::ReadWrite, n * 4).expect("buf");
+    let buf = context
+        .create_buffer(MemFlags::ReadWrite, n * 4)
+        .expect("buf");
     // No input upload: the kernel writes every element. (The Ensemble
     // version pays an upload here — the settings protocol moves the
     // receive buffer too; that lands in its to-device bar.)
@@ -210,9 +216,6 @@ mod tests {
         run_openacc(W, H, IT, AccTarget::gpu(), p_acc.clone()).unwrap();
         let ocl = p_ocl.snapshot().kernel_ns;
         let acc = p_acc.snapshot().kernel_ns;
-        assert!(
-            acc > 2.0 * ocl,
-            "ACC GPU kernel {acc} not ≫ explicit {ocl}"
-        );
+        assert!(acc > 2.0 * ocl, "ACC GPU kernel {acc} not ≫ explicit {ocl}");
     }
 }

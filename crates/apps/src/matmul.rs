@@ -13,7 +13,9 @@ use crate::generate::deterministic_f32;
 use baselines::acc::{AccError, AccRunner, AccTarget};
 use baselines::host_eval::{array_f32, HArg, HVal};
 use ensemble_actors::{buffered_channel, In, Out, Stage};
-use ensemble_ocl::{Array2, DeviceSel, KernelActor, KernelSpec, ProfileSink, Settings};
+use ensemble_ocl::{
+    Array2, DeviceSel, KernelActor, KernelSpec, ProfileSink, RecoveryPolicy, Settings,
+};
 use oclsim::{
     CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, ProfileSink as Sink, Program,
 };
@@ -79,6 +81,7 @@ pub fn run_ensemble(a: Array2, b: Array2, device: DeviceSel, profile: ProfileSin
         out_segs: vec![2],
         out_dims: vec![4, 5],
         profile,
+        recovery: RecoveryPolicy::default(),
     };
     let (req_out, req_in) = buffered_channel::<Settings<MmIn, Array2>>(1);
     let mut stage = Stage::new("home");
@@ -118,9 +121,15 @@ pub fn run_copencl(a: Array2, b: Array2, device_type: DeviceType, profile: Sink)
     let kernel = program.create_kernel("multiply").expect("kernel");
     // Device buffers.
     let bytes = n * n * 4;
-    let buf_a = context.create_buffer(MemFlags::ReadOnly, bytes).expect("buf a");
-    let buf_b = context.create_buffer(MemFlags::ReadOnly, bytes).expect("buf b");
-    let buf_c = context.create_buffer(MemFlags::ReadWrite, bytes).expect("buf c");
+    let buf_a = context
+        .create_buffer(MemFlags::ReadOnly, bytes)
+        .expect("buf a");
+    let buf_b = context
+        .create_buffer(MemFlags::ReadOnly, bytes)
+        .expect("buf b");
+    let buf_c = context
+        .create_buffer(MemFlags::ReadWrite, bytes)
+        .expect("buf c");
     // Host → device.
     let ev = queue.write_f32(&buf_a, a.as_slice()).expect("write a");
     profile.record_command(&ev, queue.device().name());

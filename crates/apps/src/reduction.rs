@@ -11,7 +11,7 @@
 use baselines::acc::{AccError, AccRunner, AccTarget};
 use baselines::host_eval::{array_f32, HArg, HVal, HostArray};
 use ensemble_actors::{buffered_channel, In, Out, Stage};
-use ensemble_ocl::{DeviceSel, KernelActor, KernelSpec, ProfileSink, Settings};
+use ensemble_ocl::{DeviceSel, KernelActor, KernelSpec, ProfileSink, RecoveryPolicy, Settings};
 use oclsim::{
     CommandQueue, Context, DeviceType, MemFlags, NdRange, Platform, ProfileSink as Sink, Program,
 };
@@ -90,6 +90,7 @@ pub fn run_ensemble(data: Vec<f32>, device: DeviceSel, profile: ProfileSink) -> 
         out_segs: vec![1],
         out_dims: vec![1],
         profile,
+        recovery: RecoveryPolicy::default(),
     };
     let (req_out, req_in) = buffered_channel::<Settings<RIn, Vec<f32>>>(4);
     let mut stage = Stage::new("home");
@@ -135,7 +136,9 @@ pub fn run_copencl(data: Vec<f32>, device_type: DeviceType, profile: Sink) -> f3
     let kernel = program.create_kernel("reduce_min").expect("kernel");
 
     let n = data.len();
-    let buf_data = context.create_buffer(MemFlags::ReadWrite, n * 4).expect("buf");
+    let buf_data = context
+        .create_buffer(MemFlags::ReadWrite, n * 4)
+        .expect("buf");
     let max_groups = n.div_ceil(GROUP);
     let buf_partial = context
         .create_buffer(MemFlags::ReadWrite, max_groups * 4)
@@ -220,7 +223,10 @@ mod tests {
     #[test]
     fn round_plan_reaches_one_group() {
         assert_eq!(rounds(GROUP), vec![(GROUP, 1)]);
-        assert_eq!(rounds(GROUP * GROUP), vec![(GROUP * GROUP, GROUP), (GROUP, 1)]);
+        assert_eq!(
+            rounds(GROUP * GROUP),
+            vec![(GROUP * GROUP, GROUP), (GROUP, 1)]
+        );
         let r = rounds(33_554_432);
         assert_eq!(r.len(), 4); // 33.5M -> 131072 -> 512 -> 2 -> 1
         assert_eq!(r.last().unwrap().1, 1);

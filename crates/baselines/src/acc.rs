@@ -40,7 +40,7 @@ use oclsim::minicl::pretty::{emit_expr, emit_unit};
 use oclsim::minicl::token::Pos;
 use oclsim::{
     Buffer, ClError, CommandQueue, Context, Device, DeviceType, Kernel, MemFlags, NdRange,
-    Platform, Program, ProfileSink,
+    Platform, ProfileSink, Program,
 };
 use std::collections::HashMap;
 
@@ -212,10 +212,14 @@ fn parse_clauses(text: &str) -> Option<Clauses> {
 /// First source position inside a statement (used to associate pragmas).
 fn stmt_pos(s: &Stmt) -> Option<Pos> {
     match s {
-        Stmt::Decl { pos, .. } | Stmt::Assign { pos, .. } | Stmt::Return { pos, .. }
+        Stmt::Decl { pos, .. }
+        | Stmt::Assign { pos, .. }
+        | Stmt::Return { pos, .. }
         | Stmt::Barrier { pos } => Some(*pos),
         Stmt::If { cond, .. } | Stmt::While { cond, .. } => Some(cond.pos()),
-        Stmt::For { init, cond, body, .. } => init
+        Stmt::For {
+            init, cond, body, ..
+        } => init
             .as_deref()
             .and_then(stmt_pos)
             .or_else(|| cond.as_ref().map(|c| c.pos()))
@@ -261,13 +265,12 @@ impl AccRunner {
     /// Parse `src` and prepare an engine for `target`.
     pub fn new(src: &str, target: AccTarget, profile: ProfileSink) -> Result<AccRunner, AccError> {
         let unit = oclsim::minicl::parse(src).map_err(|e| AccError::Parse(e.to_string()))?;
-        let device = Platform::default_device(target.device_type).ok_or_else(|| {
-            AccError::Device(format!("no {} device", target.device_type))
-        })?;
+        let device = Platform::default_device(target.device_type)
+            .ok_or_else(|| AccError::Device(format!("no {} device", target.device_type)))?;
         let context = Context::new(std::slice::from_ref(&device))
             .map_err(|e| AccError::Device(e.to_string()))?;
-        let queue = CommandQueue::new(&context, &device)
-            .map_err(|e| AccError::Device(e.to_string()))?;
+        let queue =
+            CommandQueue::new(&context, &device).map_err(|e| AccError::Device(e.to_string()))?;
         Ok(AccRunner {
             unit,
             device,
@@ -427,7 +430,9 @@ impl<'r> Hook<'r> {
             .context
             .create_buffer(MemFlags::ReadWrite, bytes.len())?;
         let ev = self.runner.queue.enqueue_write_buffer(&buf, &bytes)?;
-        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
+        self.runner
+            .profile
+            .record_command(&ev, self.runner.queue.device().name());
         Ok(DevArray {
             buf,
             host: ArrRef::clone(host),
@@ -437,7 +442,9 @@ impl<'r> Hook<'r> {
     fn download(&self, d: &DevArray) -> Result<(), AccError> {
         let mut bytes = vec![0u8; d.buf.len()];
         let ev = self.runner.queue.enqueue_read_buffer(&d.buf, &mut bytes)?;
-        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
+        self.runner
+            .profile
+            .record_command(&ev, self.runner.queue.device().name());
         let mut host = d.host.borrow_mut();
         match &mut *host {
             HostArray::F32(v) => *v = oclsim::hostmem::bytes_to_f32(&bytes),
@@ -453,8 +460,11 @@ impl<'r> Hook<'r> {
         scope: &mut Scope,
         pos: Pos,
     ) -> Result<(), AccError> {
-        let (var, lo_expr, hi_expr, body) = canonical_loop(stmt)
-            .ok_or_else(|| AccError::CompileFail(format!("{pos}: loop is not in canonical `for (int i = lo; i < hi; i++)` form")))?;
+        let (var, lo_expr, hi_expr, body) = canonical_loop(stmt).ok_or_else(|| {
+            AccError::CompileFail(format!(
+                "{pos}: loop is not in canonical `for (int i = lo; i < hi; i++)` form"
+            ))
+        })?;
 
         // The modeled PGI limitation: calls to user functions inside a
         // compute region abort compilation (the document-ranking case).
@@ -505,8 +515,14 @@ impl<'r> Hook<'r> {
         }
 
         let (kernel, k_arrays, k_scalars, k_sequential) = {
-            let c = self.compile_loop(pos.line, &var, &body, &arrays, &scalars, scope, sequential)?;
-            (c.kernel.clone(), c.arrays.clone(), c.scalars.clone(), c.sequential)
+            let c =
+                self.compile_loop(pos.line, &var, &body, &arrays, &scalars, scope, sequential)?;
+            (
+                c.kernel.clone(),
+                c.arrays.clone(),
+                c.scalars.clone(),
+                c.sequential,
+            )
         };
 
         // Data movement (per region, unless resident): copy semantics by
@@ -525,16 +541,21 @@ impl<'r> Hook<'r> {
             let host = scope
                 .array(name)
                 .ok_or_else(|| AccError::Eval(format!("unknown array `{name}`")))?;
-            let upload_needed =
-                !explicit.iter().any(|e| *e == name) || clauses.copy.contains(name) || clauses.copyin.contains(name);
-            let download_needed =
-                !explicit.iter().any(|e| *e == name) || clauses.copy.contains(name) || clauses.copyout.contains(name);
+            let upload_needed = !explicit.contains(&name)
+                || clauses.copy.contains(name)
+                || clauses.copyin.contains(name);
+            let download_needed = !explicit.contains(&name)
+                || clauses.copy.contains(name)
+                || clauses.copyout.contains(name);
             let dev = if upload_needed {
                 self.upload(name, &host)?
             } else {
                 // copyout-only: allocate without meaningful upload.
                 let bytes = host.borrow().len() * 4;
-                let buf = self.runner.context.create_buffer(MemFlags::ReadWrite, bytes)?;
+                let buf = self
+                    .runner
+                    .context
+                    .create_buffer(MemFlags::ReadWrite, bytes)?;
                 DevArray {
                     buf,
                     host: ArrRef::clone(&host),
@@ -591,7 +612,9 @@ impl<'r> Hook<'r> {
             .runner
             .queue
             .enqueue_nd_range(k, &NdRange::d1(global, local))?;
-        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
+        self.runner
+            .profile
+            .record_command(&ev, self.runner.queue.device().name());
         self.dispatches += 1;
 
         // Downloads + cleanup.
@@ -625,12 +648,16 @@ impl<'r> Hook<'r> {
         let mut reads: Vec<(String, String)> = Vec::new();
         collect_reads(body, &mut reads);
         for a in arrays {
-            let w: Vec<&String> = writes.iter().filter(|(n, _)| n == a).map(|(_, i)| i).collect();
+            let w: Vec<&String> = writes
+                .iter()
+                .filter(|(n, _)| n == a)
+                .map(|(_, i)| i)
+                .collect();
             if w.is_empty() {
                 continue;
             }
             for (rn, ri) in &reads {
-                if rn == a && !w.iter().any(|wi| *wi == ri) {
+                if rn == a && !w.contains(&ri) {
                     return false;
                 }
             }
@@ -727,7 +754,11 @@ impl<'r> Hook<'r> {
                         array_len: None,
                         init: Some(Expr::Binary(
                             BinOp::Add,
-                            Box::new(Expr::Call("get_global_id".into(), vec![Expr::IntLit(0, pos)], pos)),
+                            Box::new(Expr::Call(
+                                "get_global_id".into(),
+                                vec![Expr::IntLit(0, pos)],
+                                pos,
+                            )),
                             Box::new(Expr::Var("__acc_lo".into(), pos)),
                             pos,
                         )),
@@ -867,7 +898,11 @@ impl<'r> Hook<'r> {
                     ty: Type::Int,
                     space: Space::Private,
                     array_len: None,
-                    init: Some(Expr::Call("get_global_id".into(), vec![Expr::IntLit(0, pos)], pos)),
+                    init: Some(Expr::Call(
+                        "get_global_id".into(),
+                        vec![Expr::IntLit(0, pos)],
+                        pos,
+                    )),
                     pos,
                 },
                 Stmt::Decl {
@@ -920,7 +955,12 @@ impl<'r> Hook<'r> {
                             )),
                             pos,
                         )),
-                        Box::new(Expr::Binary(BinOp::Lt, Box::new(v(var)), Box::new(v("__acc_hi")), pos)),
+                        Box::new(Expr::Binary(
+                            BinOp::Lt,
+                            Box::new(v(var)),
+                            Box::new(v("__acc_hi")),
+                            pos,
+                        )),
                         pos,
                     )),
                     step: Some(Box::new(Stmt::Assign {
@@ -1012,21 +1052,25 @@ impl<'r> Hook<'r> {
         // The group size must divide TEAMS exactly — otherwise the rounded
         // global range would spawn items past the partial buffer.
         let mut local = clauses.worker.unwrap_or(1).clamp(1, TEAMS);
-        while TEAMS % local != 0 {
+        while !TEAMS.is_multiple_of(local) {
             local -= 1;
         }
         let ev = self
             .runner
             .queue
             .enqueue_nd_range(&kernel, &NdRange::d1(TEAMS, local))?;
-        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
+        self.runner
+            .profile
+            .record_command(&ev, self.runner.queue.device().name());
         self.dispatches += 1;
 
         // Stage 2: the naive part — download partials, combine serially on
         // the host (extra transfer + serial work = the paper's Figure 3d
         // penalty).
         let (partials, ev) = self.runner.queue.read_f32(&partial)?;
-        self.runner.profile.record_command(&ev, self.runner.queue.device().name());
+        self.runner
+            .profile
+            .record_command(&ev, self.runner.queue.device().name());
         let current = scope
             .scalar(red_var)
             .ok_or_else(|| AccError::Eval(format!("unknown reduction variable `{red_var}`")))?;
@@ -1109,9 +1153,7 @@ fn collect_names(body: &[Stmt], out: &mut Vec<String>) {
     fn expr_names(e: &Expr, out: &mut Vec<String>) {
         match e {
             Expr::Var(n, _) => out.push(n.clone()),
-            Expr::Unary(_, a, _) | Expr::Cast(_, a, _) | Expr::Comp(a, _, _) => {
-                expr_names(a, out)
-            }
+            Expr::Unary(_, a, _) | Expr::Cast(_, a, _) | Expr::Comp(a, _, _) => expr_names(a, out),
             Expr::Binary(_, a, b, _) | Expr::Index(a, b, _) => {
                 expr_names(a, out);
                 expr_names(b, out);
@@ -1256,7 +1298,9 @@ fn collect_writes_inner(
                 collect_writes_inner(else_blk, out, nonlinear, var, declared);
             }
             Stmt::While { body, .. } => collect_writes_inner(body, out, nonlinear, var, declared),
-            Stmt::For { init, body, step, .. } => {
+            Stmt::For {
+                init, body, step, ..
+            } => {
                 if let Some(i) = init {
                     if let Stmt::Decl { name, .. } = i.as_ref() {
                         declared.push(name.clone());
@@ -1321,7 +1365,10 @@ fn collect_reads(body: &[Stmt], out: &mut Vec<(String, String)>) {
                 collect_reads(body, out);
             }
             Stmt::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => {
                 if let Some(i) = init {
                     collect_reads(std::slice::from_ref(i), out);
@@ -1348,15 +1395,9 @@ fn is_linear_in(e: &Expr, var: &str) -> bool {
         match e {
             Expr::Var(n, _) => n == var,
             Expr::Unary(_, a, _) | Expr::Cast(_, a, _) | Expr::Comp(a, _, _) => contains(a, var),
-            Expr::Binary(_, a, b, _) | Expr::Index(a, b, _) => {
-                contains(a, var) || contains(b, var)
-            }
-            Expr::Ternary(a, b, c, _) => {
-                contains(a, var) || contains(b, var) || contains(c, var)
-            }
-            Expr::Call(_, args, _) | Expr::MakeF4(args, _) => {
-                args.iter().any(|a| contains(a, var))
-            }
+            Expr::Binary(_, a, b, _) | Expr::Index(a, b, _) => contains(a, var) || contains(b, var),
+            Expr::Ternary(a, b, c, _) => contains(a, var) || contains(b, var) || contains(c, var),
+            Expr::Call(_, args, _) | Expr::MakeF4(args, _) => args.iter().any(|a| contains(a, var)),
             _ => false,
         }
     }
@@ -1433,7 +1474,10 @@ fn find_user_call(body: &[Stmt], unit: &Unit) -> Option<String> {
                     walk(body, user, found);
                 }
                 Stmt::For {
-                    init, cond, step, body,
+                    init,
+                    cond,
+                    step,
+                    body,
                 } => {
                     if let Some(i) = init {
                         walk(std::slice::from_ref(i), user, found);
@@ -1465,7 +1509,13 @@ fn extract_reduction_expr(body: &[Stmt], red_var: &str, op: RedOp) -> Option<Exp
     if body.len() != 1 {
         return None;
     }
-    let Stmt::Assign { target, op: aop, value, .. } = &body[0] else {
+    let Stmt::Assign {
+        target,
+        op: aop,
+        value,
+        ..
+    } = &body[0]
+    else {
         return None;
     };
     let LValue::Var(name, _) = target else {

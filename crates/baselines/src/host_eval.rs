@@ -654,8 +654,21 @@ impl<'u> HostEval<'u> {
         let mut vals = Vec::with_capacity(args.len());
         let builtin = matches!(
             name,
-            "sqrt" | "fabs" | "floor" | "ceil" | "exp" | "log" | "pow" | "sin" | "cos"
-                | "fmin" | "fmax" | "min" | "max" | "abs" | "rsqrt"
+            "sqrt"
+                | "fabs"
+                | "floor"
+                | "ceil"
+                | "exp"
+                | "log"
+                | "pow"
+                | "sin"
+                | "cos"
+                | "fmin"
+                | "fmax"
+                | "min"
+                | "max"
+                | "abs"
+                | "rsqrt"
         );
         if builtin {
             for a in args {
@@ -894,7 +907,10 @@ mod tests {
     fn scalar_arithmetic_and_return() {
         let src = "float quad(float x) { return x * x * x * x; }
                    __kernel void unused(__global float* a) { a[0] = 0.0f; }";
-        assert_eq!(eval(src, "quad", &[HArg::Scalar(HVal::F(2.0))]), Some(HVal::F(16.0)));
+        assert_eq!(
+            eval(src, "quad", &[HArg::Scalar(HVal::F(2.0))]),
+            Some(HVal::F(16.0))
+        );
     }
 
     #[test]
@@ -924,10 +940,7 @@ mod tests {
                 HArg::Scalar(HVal::I(2)),
             ],
         );
-        assert_eq!(
-            *c.borrow(),
-            HostArray::F32(vec![19.0, 22.0, 43.0, 50.0])
-        );
+        assert_eq!(*c.borrow(), HostArray::F32(vec![19.0, 22.0, 43.0, 50.0]));
     }
 
     #[test]
@@ -941,7 +954,10 @@ mod tests {
             return steps;
         }
         __kernel void unused(__global float* a) { a[0] = 0.0f; }";
-        assert_eq!(eval(src, "collatz", &[HArg::Scalar(HVal::I(6))]), Some(HVal::I(8)));
+        assert_eq!(
+            eval(src, "collatz", &[HArg::Scalar(HVal::I(6))]),
+            Some(HVal::I(8))
+        );
     }
 
     #[test]
@@ -990,7 +1006,10 @@ mod tests {
     fn builtins_match_std() {
         let src = "float h(float x) { return fmax(sqrt(x), fabs(-3.0f)); }
                    __kernel void unused(__global float* a) { a[0] = 0.0f; }";
-        assert_eq!(eval(src, "h", &[HArg::Scalar(HVal::F(4.0))]), Some(HVal::F(3.0)));
+        assert_eq!(
+            eval(src, "h", &[HArg::Scalar(HVal::F(4.0))]),
+            Some(HVal::F(3.0))
+        );
     }
 
     #[test]

@@ -302,7 +302,10 @@ fn un_annotated_code_runs_sequentially_on_host() {
     let runner = AccRunner::new(src, AccTarget::gpu(), profile.clone()).unwrap();
     let data = array_f32(vec![0.0; 4]);
     let report = runner
-        .run("plain", &[HArg::Array(Rc::clone(&data)), HArg::Scalar(HVal::I(4))])
+        .run(
+            "plain",
+            &[HArg::Array(Rc::clone(&data)), HArg::Scalar(HVal::I(4))],
+        )
         .unwrap();
     assert_eq!(report.dispatches, 0);
     assert_eq!(f32s(&data), vec![0.0, 1.0, 2.0, 3.0]);
@@ -336,5 +339,10 @@ fn gang_worker_clauses_shape_the_launch() {
         times.push(profile.snapshot().kernel_ns);
     }
     // One-item groups waste the 64-wide SIMD units: must be slower.
-    assert!(times[0] > times[1], "worker(1) {} !> worker(64) {}", times[0], times[1]);
+    assert!(
+        times[0] > times[1],
+        "worker(1) {} !> worker(64) {}",
+        times[0],
+        times[1]
+    );
 }

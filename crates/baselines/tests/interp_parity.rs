@@ -80,7 +80,10 @@ fn run_host(src: &str, data: &[f32]) -> Vec<f32> {
     let arr = array_f32(data.to_vec());
     eval.call(
         "f",
-        &[HArg::Array(Rc::clone(&arr)), HArg::Scalar(HVal::I(data.len() as i64))],
+        &[
+            HArg::Array(Rc::clone(&arr)),
+            HArg::Scalar(HVal::I(data.len() as i64)),
+        ],
     )
     .unwrap();
     let out = match &*arr.borrow() {
@@ -92,9 +95,8 @@ fn run_host(src: &str, data: &[f32]) -> Vec<f32> {
 
 /// Run the same function as a one-work-item kernel on the simulator.
 fn run_device(src: &str, data: &[f32]) -> Vec<f32> {
-    let wrapped = format!(
-        "{src}\n__kernel void main_k(__global float* data, const int n) {{ f(data, n); }}"
-    );
+    let wrapped =
+        format!("{src}\n__kernel void main_k(__global float* data, const int n) {{ f(data, n); }}");
     let device = Platform::default_device(DeviceType::Cpu).unwrap();
     let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
     let queue = CommandQueue::new(&ctx, &device).unwrap();

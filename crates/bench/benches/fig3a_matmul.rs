@@ -30,8 +30,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("c_openacc_gpu", |b| {
         b.iter(|| {
             let (a, m) = matmul::generate(N);
-            matmul::run_openacc(a, m, baselines::acc::AccTarget::gpu(), ProfileSink::new())
-                .unwrap()
+            matmul::run_openacc(a, m, baselines::acc::AccTarget::gpu(), ProfileSink::new()).unwrap()
         })
     });
     g.finish();

@@ -23,8 +23,14 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("c_openacc_gpu", |b| {
         b.iter(|| {
-            mandelbrot::run_openacc(N, N, ITERS, baselines::acc::AccTarget::gpu(), ProfileSink::new())
-                .unwrap()
+            mandelbrot::run_openacc(
+                N,
+                N,
+                ITERS,
+                baselines::acc::AccTarget::gpu(),
+                ProfileSink::new(),
+            )
+            .unwrap()
         })
     });
     g.finish();

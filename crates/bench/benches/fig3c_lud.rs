@@ -22,8 +22,12 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("c_openacc_gpu", |b| {
         b.iter(|| {
-            lud::run_openacc(lud::generate(N), baselines::acc::AccTarget::gpu(), ProfileSink::new())
-                .unwrap()
+            lud::run_openacc(
+                lud::generate(N),
+                baselines::acc::AccTarget::gpu(),
+                ProfileSink::new(),
+            )
+            .unwrap()
         })
     });
     g.finish();

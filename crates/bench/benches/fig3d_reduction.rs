@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| VmRuntime::new(module.clone()).run().unwrap())
     });
     g.bench_function("c_opencl_gpu", |b| {
-        b.iter(|| reduction::run_copencl(reduction::generate(N), DeviceType::Gpu, ProfileSink::new()))
+        b.iter(|| {
+            reduction::run_copencl(reduction::generate(N), DeviceType::Gpu, ProfileSink::new())
+        })
     });
     g.bench_function("c_openacc_gpu", |b| {
         b.iter(|| {

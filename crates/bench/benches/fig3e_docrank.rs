@@ -22,7 +22,13 @@ fn bench(c: &mut Criterion) {
     g.bench_function("c_opencl_gpu", |b| {
         b.iter(|| {
             let (d, t) = docrank::generate(DOCS);
-            docrank::run_copencl(d, t, docrank::threshold(), DeviceType::Gpu, ProfileSink::new())
+            docrank::run_copencl(
+                d,
+                t,
+                docrank::threshold(),
+                DeviceType::Gpu,
+                ProfileSink::new(),
+            )
         })
     });
     g.bench_function("openmp_cpu", |b| {

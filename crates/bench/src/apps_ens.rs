@@ -114,10 +114,16 @@ mod tests {
         let sizes = Sizes::bench();
         for (name, src) in [
             ("matmul", matmul(sizes.matmul_n, "CPU")),
-            ("mandelbrot", mandelbrot(sizes.mandel_n, sizes.mandel_iters, "CPU")),
+            (
+                "mandelbrot",
+                mandelbrot(sizes.mandel_n, sizes.mandel_iters, "CPU"),
+            ),
             ("lud", lud(sizes.lud_n, "CPU")),
             ("reduction", reduction(sizes.reduction_n, "CPU")),
-            ("docrank", docrank(sizes.docrank_docs, sizes.docrank_rounds, "CPU")),
+            (
+                "docrank",
+                docrank(sizes.docrank_docs, sizes.docrank_rounds, "CPU"),
+            ),
         ] {
             ensemble_lang::compile_source(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
         }

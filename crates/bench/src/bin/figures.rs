@@ -14,14 +14,48 @@
 //! queues, VM actor timelines, and channel waits of each run. The raw
 //! (unnormalised) per-run segment totals are printed to stderr; the bars
 //! of each figure are those same totals, normalised.
+//!
+//! `--chaos-seed <N>` runs chaos mode instead of the figures: the five
+//! applications under the seed-`N` deterministic fault schedule plus a
+//! permanent device-loss failover scenario. Exits non-zero if any run
+//! fails or diverges from its fault-free reference.
 
 use bench::figures::{self, ALL};
-use bench::{Sizes, TraceSink};
+use bench::{chaos, Sizes, TraceSink};
+
+fn run_chaos_mode(seed: u64, sizes: &Sizes) -> ! {
+    eprintln!("chaos mode: seed {seed}");
+    let mut failed = false;
+    match chaos::run_chaos(seed, sizes) {
+        Ok(outcomes) => {
+            for o in outcomes {
+                println!("{}", o.render());
+                failed |= !o.matches_reference;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    match chaos::run_failover_chaos(sizes.matmul_n) {
+        Ok(o) => {
+            println!("{}", o.render());
+            failed |= !o.matches_reference || o.failovers == 0;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--trace" {
@@ -29,6 +63,14 @@ fn main() {
                 Some(p) => trace_path = Some(p),
                 None => {
                     eprintln!("error: --trace requires an output file path");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--chaos-seed" {
+            match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => chaos_seed = Some(s),
+                None => {
+                    eprintln!("error: --chaos-seed requires an integer seed");
                     std::process::exit(2);
                 }
             }
@@ -45,10 +87,20 @@ fn main() {
         .collect();
     let known: Vec<&str> = ALL.iter().map(|(n, _)| *n).chain(["ablation"]).collect();
     if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
-        eprintln!("error: unknown figure `{bad}`; valid names: {}", known.join(", "));
+        eprintln!(
+            "error: unknown figure `{bad}`; valid names: {}",
+            known.join(", ")
+        );
         std::process::exit(2);
     }
-    let sizes = if paper { Sizes::paper() } else { Sizes::bench() };
+    let sizes = if paper {
+        Sizes::paper()
+    } else {
+        Sizes::bench()
+    };
+    if let Some(seed) = chaos_seed {
+        run_chaos_mode(seed, &sizes);
+    }
     if paper {
         eprintln!("note: paper-scale inputs run every work-item through an interpreter; expect long runtimes");
     }
@@ -87,7 +139,10 @@ fn main() {
             eprintln!("error: writing trace to {path}: {e}");
             std::process::exit(1);
         }
-        eprintln!("trace: {} events written to {path} (open in Perfetto)", events.len());
+        eprintln!(
+            "trace: {} events written to {path} (open in Perfetto)",
+            events.len()
+        );
         // Raw per-run totals, straight from the exported spans — the same
         // aggregation the figure bars are normalised from.
         let mut runs: Vec<String> = Vec::new();
@@ -107,7 +162,11 @@ fn main() {
             let s = trace::Segments::from_events(&evs);
             eprintln!(
                 "  {r}: to-dev {} from-dev {} kernel {} vm {} total {} (virtual ns)",
-                s.to_device_ns, s.from_device_ns, s.kernel_ns, s.vm_ns, s.total_ns()
+                s.to_device_ns,
+                s.from_device_ns,
+                s.kernel_ns,
+                s.vm_ns,
+                s.total_ns()
             );
         }
     }

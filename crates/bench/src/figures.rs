@@ -67,8 +67,12 @@ pub fn fig3a(sizes: &Sizes, export: &TraceSink) -> Figure {
         ("CPU", DeviceType::Cpu, AccTarget::cpu()),
     ] {
         bars.push(
-            ens_bar(&format!("Ensemble {dev}"), &apps_ens::matmul(n, dev), export)
-                .expect("ensemble matmul"),
+            ens_bar(
+                &format!("Ensemble {dev}"),
+                &apps_ens::matmul(n, dev),
+                export,
+            )
+            .expect("ensemble matmul"),
         );
         let (p, t) = traced_profile(export);
         let (a, b) = matmul::generate(n);
@@ -182,8 +186,12 @@ pub fn fig3d(sizes: &Sizes, export: &TraceSink) -> Figure {
         ("CPU", DeviceType::Cpu, AccTarget::cpu()),
     ] {
         bars.push(
-            ens_bar(&format!("Ensemble {dev}"), &apps_ens::reduction(n, dev), export)
-                .expect("ensemble reduction"),
+            ens_bar(
+                &format!("Ensemble {dev}"),
+                &apps_ens::reduction(n, dev),
+                export,
+            )
+            .expect("ensemble reduction"),
         );
         let (p, t) = traced_profile(export);
         reduction::run_copencl(reduction::generate(n), ocl_ty, p.clone());
@@ -260,10 +268,18 @@ pub fn fig3e(sizes: &Sizes, export: &TraceSink) -> Figure {
 pub fn ablation_mov(sizes: &Sizes, export: &TraceSink) -> Figure {
     let n = sizes.lud_n;
     let (p_mov, t_mov) = traced_profile(export);
-    lud::run_ensemble(lud::generate(n), ensemble_ocl::DeviceSel::gpu(), p_mov.clone());
+    lud::run_ensemble(
+        lud::generate(n),
+        ensemble_ocl::DeviceSel::gpu(),
+        p_mov.clone(),
+    );
     export_run("mov channels", &t_mov, export);
     let (p_nomov, t_nomov) = traced_profile(export);
-    lud::run_ensemble_nomov(lud::generate(n), ensemble_ocl::DeviceSel::gpu(), p_nomov.clone());
+    lud::run_ensemble_nomov(
+        lud::generate(n),
+        ensemble_ocl::DeviceSel::gpu(),
+        p_nomov.clone(),
+    );
     export_run("copying channels", &t_nomov, export);
     let mut f = Figure {
         id: "3c-ablation".into(),
@@ -272,9 +288,7 @@ pub fn ablation_mov(sizes: &Sizes, export: &TraceSink) -> Figure {
             c_bar("mov channels", &p_mov, 0),
             c_bar("copying channels", &p_nomov, 0),
         ],
-        notes: vec![
-            "paper: without movability LUD took ~3 minutes; with it ~5 seconds".into(),
-        ],
+        notes: vec!["paper: without movability LUD took ~3 minutes; with it ~5 seconds".into()],
     };
     f.normalise("mov channels");
     f

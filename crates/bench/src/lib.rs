@@ -14,6 +14,12 @@
 //! every figure is exactly reproducible. Bench-scale sizes default to
 //! reduced inputs (the kernels are interpreted); `--paper-scale` selects
 //! the paper's original sizes.
+//!
+//! The `figures` binary also has a **chaos mode** (`--chaos-seed N`): all
+//! five applications run under a seeded deterministic fault schedule on
+//! the simulated GPU — plus a permanent device-loss scenario — and the
+//! harness asserts every run still matches its fault-free reference (see
+//! [`chaos`]).
 
 #![warn(missing_docs)]
 
@@ -23,6 +29,7 @@ use oclsim::ProfileSink;
 pub use trace::TraceSink;
 
 pub mod apps_ens;
+pub mod chaos;
 pub mod figures;
 pub mod table1;
 
@@ -143,9 +150,7 @@ impl Figure {
             ));
             // 1.0 (the reference bar) = 40 characters.
             let seg = |v: f64, c: char| -> String {
-                std::iter::repeat(c)
-                    .take((v * 40.0).round() as usize)
-                    .collect()
+                std::iter::repeat_n(c, (v * 40.0).round() as usize).collect()
             };
             out.push_str(&seg(b.to_device, '>'));
             out.push_str(&seg(b.kernel, '#'));

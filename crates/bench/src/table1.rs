@@ -96,7 +96,12 @@ pub fn measurements() -> Vec<AppMeasurement> {
 pub fn rows() -> Vec<Table1Row> {
     let mut out = Vec::new();
     for m in measurements() {
-        out.push(Table1Row::from_metrics(m.name, "C", &m.c_single, &m.c_concurrent));
+        out.push(Table1Row::from_metrics(
+            m.name,
+            "C",
+            &m.c_single,
+            &m.c_concurrent,
+        ));
         out.push(Table1Row::from_metrics(
             m.name,
             "Ensemble",
@@ -159,8 +164,7 @@ mod tests {
     fn ensemble_deltas_are_small_and_sometimes_negative() {
         let ms = measurements();
         let pct = |m: &AppMeasurement| {
-            (m.ens_concurrent.loc as i64 - m.ens_single.loc as i64) as f64
-                / m.ens_single.loc as f64
+            (m.ens_concurrent.loc as i64 - m.ens_single.loc as i64) as f64 / m.ens_single.loc as f64
                 * 100.0
         };
         for m in &ms {

@@ -95,11 +95,12 @@ impl DeviceMatrix {
     /// Resolve a device selection to its matrix entry.
     pub fn select(&self, sel: DeviceSel) -> ClResult<&MatrixEntry> {
         match sel.device_type {
-            None => self.entries.get(sel.device_index).ok_or_else(|| {
-                ClError::DeviceNotFound {
+            None => self
+                .entries
+                .get(sel.device_index)
+                .ok_or_else(|| ClError::DeviceNotFound {
                     requested: format!("device #{}", sel.device_index),
-                }
-            }),
+                }),
             Some(ty) => self
                 .entries
                 .iter()
@@ -109,6 +110,29 @@ impl DeviceMatrix {
                     requested: format!("{ty} #{}", sel.device_index),
                 }),
         }
+    }
+
+    /// The entry the recovery layer fails over to when `device_id` becomes
+    /// unusable: the *next* matrix row, non-wrapping. The matrix is ordered
+    /// platform-major with the GPU first, so failover walks the degradation
+    /// chain GPU → CPU → accelerator and reports [`ClError::DeviceNotFound`]
+    /// once every device has been exhausted.
+    pub fn failover_from(&self, device_id: usize) -> ClResult<&MatrixEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.device.id() == device_id)
+            .ok_or_else(|| ClError::DeviceNotFound {
+                requested: format!("matrix entry for device id {device_id}"),
+            })?;
+        self.entries
+            .get(pos + 1)
+            .ok_or_else(|| ClError::DeviceNotFound {
+                requested: format!(
+                    "failover target after `{}` (device matrix exhausted)",
+                    self.entries[pos].device.name()
+                ),
+            })
     }
 }
 
@@ -132,12 +156,23 @@ impl OpenClEnvironment {
     /// Resolve a device selection through the global matrix.
     pub fn resolve(sel: DeviceSel) -> ClResult<OpenClEnvironment> {
         let entry = device_matrix().select(sel)?;
-        Ok(OpenClEnvironment {
+        Ok(OpenClEnvironment::from_entry(entry))
+    }
+
+    fn from_entry(entry: &MatrixEntry) -> OpenClEnvironment {
+        OpenClEnvironment {
             platform: entry.platform.clone(),
             device: entry.device.clone(),
             context: entry.context.clone(),
             queue: entry.queue.clone(),
-        })
+        }
+    }
+
+    /// The environment the recovery layer degrades to when this one's
+    /// device fails permanently (see [`DeviceMatrix::failover_from`]).
+    pub fn failover(&self) -> ClResult<OpenClEnvironment> {
+        let entry = device_matrix().failover_from(self.device.id())?;
+        Ok(OpenClEnvironment::from_entry(entry))
     }
 }
 
@@ -160,7 +195,10 @@ mod tests {
         let b = OpenClEnvironment::resolve(DeviceSel::gpu()).unwrap();
         assert_eq!(a.context.id(), b.context.id());
         let before = a.queue.now_ns();
-        let buf = a.context.create_buffer(oclsim::MemFlags::ReadWrite, 64).unwrap();
+        let buf = a
+            .context
+            .create_buffer(oclsim::MemFlags::ReadWrite, 64)
+            .unwrap();
         a.queue.write_f32(&buf, &[0.0; 16]).unwrap();
         assert!(b.queue.now_ns() > before, "queues are distinct clocks");
         a.context.release_bytes(64);
@@ -181,5 +219,17 @@ mod tests {
         let m = device_matrix();
         let e = m.select(DeviceSel::default()).unwrap();
         assert_eq!(e.device.id(), m.entries()[0].device.id());
+    }
+
+    #[test]
+    fn failover_walks_the_matrix_without_wrapping() {
+        let m = device_matrix();
+        let gpu = m.select(DeviceSel::gpu()).unwrap();
+        let second = m.failover_from(gpu.device.id()).unwrap();
+        assert_eq!(second.device.id(), m.entries()[1].device.id());
+        let last = m.entries().last().unwrap();
+        assert!(m.failover_from(last.device.id()).is_err(), "must not wrap");
+        let env = OpenClEnvironment::resolve(DeviceSel::gpu()).unwrap();
+        assert_eq!(env.failover().unwrap().device.id(), second.device.id());
     }
 }

@@ -385,7 +385,12 @@ impl Flatten for Array3 {
         );
         let seg = take1(flat.segs, "segment")?;
         match seg {
-            FlatSeg::F32(v) if v.len() == d0 * d1 * d2 => Ok(Array3 { d0, d1, d2, data: v }),
+            FlatSeg::F32(v) if v.len() == d0 * d1 * d2 => Ok(Array3 {
+                d0,
+                d1,
+                d2,
+                data: v,
+            }),
             other => Err(FlattenError(format!(
                 "Array3 {d0}x{d1}x{d2} does not match segment {other:?}"
             ))),
@@ -458,7 +463,10 @@ mod tests {
         let flat = a.clone().flatten();
         assert_eq!(flat.dims, vec![2, 3]);
         // Row-major: element (1,2) is at 1*3+2 = 5.
-        assert_eq!(flat.segs[0], FlatSeg::F32(vec![1.0, 0.0, 0.0, 0.0, 0.0, 7.0]));
+        assert_eq!(
+            flat.segs[0],
+            FlatSeg::F32(vec![1.0, 0.0, 0.0, 0.0, 0.0, 7.0])
+        );
         assert_eq!(Array2::unflatten(flat).unwrap(), a);
     }
 

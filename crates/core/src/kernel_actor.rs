@@ -25,10 +25,11 @@
 use crate::env::{DeviceSel, OpenClEnvironment};
 use crate::flatten::{FlatData, FlatSeg, Flatten};
 use crate::profile::ProfileSink;
+use crate::recovery::{record_failover, with_retry, RecoveryPolicy};
 use crate::resident::{DeviceData, Dispatchable, ResidentBufs};
 use crate::settings::Settings;
 use ensemble_actors::{Actor, ActorCtx, Control, In};
-use oclsim::{ClResult, Kernel, MemFlags, Program};
+use oclsim::{ClError, ClResult, Kernel, MemFlags, Program};
 use std::marker::PhantomData;
 
 /// Static description of a kernel actor: what to compile, where to run it,
@@ -49,6 +50,10 @@ pub struct KernelSpec {
     pub out_dims: Vec<usize>,
     /// Where transfer/kernel times are recorded.
     pub profile: ProfileSink,
+    /// How the actor responds to simulator errors: bounded retry with
+    /// virtual-clock backoff for transient faults, device failover for
+    /// permanent ones (see [`crate::recovery`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl KernelSpec {
@@ -65,34 +70,53 @@ impl KernelSpec {
             out_segs: Vec::new(),
             out_dims: Vec::new(),
             profile: ProfileSink::new(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
 
 /// Upload a flattened value into fresh device buffers, charging the
-/// transfers to `profile`.
+/// transfers to `profile`. On failure, the memory accounting for any
+/// buffers already created is released, so a retried or failed-over upload
+/// does not leak simulated device memory.
 pub(crate) fn upload_flat(
     env: &OpenClEnvironment,
-    flat: FlatData,
+    flat: &FlatData,
     profile: &ProfileSink,
 ) -> ClResult<ResidentBufs> {
     let mut bufs = Vec::with_capacity(flat.segs.len());
+    let mut held = 0usize;
     for seg in &flat.segs {
-        let buf = env
+        let step = env
             .context
-            .create_buffer(MemFlags::ReadWrite, seg.byte_len())?;
-        let ev = env.queue.enqueue_write_buffer(&buf, &seg.to_bytes())?;
-        profile.record_command(&ev, env.device.name());
-        bufs.push((buf, seg.ty()));
+            .create_buffer(MemFlags::ReadWrite, seg.byte_len())
+            .and_then(|buf| {
+                env.queue
+                    .enqueue_write_buffer(&buf, &seg.to_bytes())
+                    .map(|ev| (buf, ev))
+                    .inspect_err(|_| env.context.release_bytes(seg.byte_len()))
+            });
+        match step {
+            Ok((buf, ev)) => {
+                profile.record_command(&ev, env.device.name());
+                held += buf.len();
+                bufs.push((buf, seg.ty()));
+            }
+            Err(e) => {
+                env.context.release_bytes(held);
+                return Err(e);
+            }
+        }
     }
     Ok(ResidentBufs {
         bufs,
-        dims: flat.dims,
+        dims: flat.dims.clone(),
         context: env.context.clone(),
         queue: env.queue.clone(),
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bind_and_dispatch(
     env: &OpenClEnvironment,
     kernel: &Kernel,
@@ -149,15 +173,157 @@ struct Compiled {
     kernel: Kernel,
 }
 
-fn compile(spec: &KernelSpec, who: &str) -> Compiled {
-    let env = OpenClEnvironment::resolve(spec.device)
-        .unwrap_or_else(|e| panic!("kernel actor `{who}`: device selection failed: {e}"));
-    let program = Program::build(&env.context, &spec.source)
-        .unwrap_or_else(|e| panic!("kernel actor `{who}`: kernel build failed: {e}"));
-    let kernel = program
-        .create_kernel(&spec.kernel_name)
-        .unwrap_or_else(|e| panic!("kernel actor `{who}`: {e}"));
-    Compiled { env, kernel }
+/// Build the spec's program for one specific environment, retrying
+/// transient build refusals.
+fn compile_on(env: &OpenClEnvironment, spec: &KernelSpec) -> ClResult<Kernel> {
+    let program = with_retry(
+        &spec.recovery,
+        &env.queue,
+        env.device.name(),
+        &spec.profile,
+        "build",
+        || Program::build(&env.context, &spec.source),
+    )?;
+    program.create_kernel(&spec.kernel_name)
+}
+
+/// Resolve the declared device and compile, walking the failover chain if
+/// the declared device refuses permanently.
+fn compile(spec: &KernelSpec) -> ClResult<Compiled> {
+    let mut env = OpenClEnvironment::resolve(spec.device)?;
+    loop {
+        match compile_on(&env, spec) {
+            Ok(kernel) => return Ok(Compiled { env, kernel }),
+            Err(e) if spec.recovery.should_fail_over(&e) => {
+                let next = env.failover()?;
+                record_failover(&spec.profile, &env, &next, &spec.kernel_name, &e);
+                env = next;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Abandon `c.env`'s device: record the failover instant, move to the next
+/// device-matrix entry, and recompile the kernel there.
+fn fail_over(c: &mut Compiled, spec: &KernelSpec, error: &ClError) -> ClResult<()> {
+    let next = c.env.failover()?;
+    record_failover(&spec.profile, &c.env, &next, &spec.kernel_name, error);
+    let kernel = compile_on(&next, spec)?;
+    *c = Compiled { env: next, kernel };
+    Ok(())
+}
+
+/// Evacuate `rb` off a (possibly failing) device through the read-back
+/// rescue path — [`oclsim`] keeps read-backs working after `DeviceLost`
+/// precisely so this can succeed — and release its memory accounting.
+fn rescue_read_back(spec: &KernelSpec, rb: &ResidentBufs) -> ClResult<FlatData> {
+    let device = rb.queue.device().name().to_string();
+    let mut segs = Vec::with_capacity(rb.bufs.len());
+    let mut result = Ok(());
+    for (buf, ty) in &rb.bufs {
+        let mut bytes = vec![0u8; buf.len()];
+        let read = with_retry(
+            &spec.recovery,
+            &rb.queue,
+            &device,
+            &spec.profile,
+            "rescue",
+            || rb.queue.enqueue_read_buffer(buf, &mut bytes),
+        );
+        match read {
+            Ok(ev) => {
+                spec.profile.record_command(&ev, &device);
+                segs.push(FlatSeg::from_bytes(*ty, &bytes));
+            }
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    rb.context.release_bytes(rb.device_bytes());
+    result?;
+    Ok(FlatData {
+        segs,
+        dims: rb.dims.clone(),
+    })
+}
+
+/// Upload (when the input is host-side) and dispatch under the spec's
+/// recovery policy: transient errors are retried with backoff; permanent
+/// device errors evacuate the data, fail over to the next matrix entry
+/// (recompiling there), and re-dispatch. On success the returned buffers
+/// are resident on `c.env`'s — possibly migrated — device.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_with_recovery(
+    c: &mut Compiled,
+    spec: &KernelSpec,
+    worksize: &[usize],
+    groupsize: &[usize],
+    extra_args: &[i32],
+    extra_f32: &[f32],
+    input: Dispatchable,
+) -> ClResult<ResidentBufs> {
+    let mut input = input;
+    loop {
+        let rb = match input {
+            Dispatchable::Resident(rb) => rb,
+            Dispatchable::Host(flat) => {
+                let uploaded = with_retry(
+                    &spec.recovery,
+                    &c.env.queue,
+                    c.env.device.name(),
+                    &spec.profile,
+                    "upload",
+                    || upload_flat(&c.env, &flat, &spec.profile),
+                );
+                match uploaded {
+                    Ok(rb) => rb,
+                    Err(e) if spec.recovery.should_fail_over(&e) => {
+                        fail_over(c, spec, &e)?;
+                        input = Dispatchable::Host(flat);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        let dispatched = with_retry(
+            &spec.recovery,
+            &c.env.queue,
+            c.env.device.name(),
+            &spec.profile,
+            &spec.kernel_name,
+            || {
+                bind_and_dispatch(
+                    &c.env,
+                    &c.kernel,
+                    &rb,
+                    worksize,
+                    groupsize,
+                    extra_args,
+                    extra_f32,
+                    &spec.profile,
+                )
+            },
+        );
+        match dispatched {
+            Ok(()) => return Ok(rb),
+            Err(e) if spec.recovery.should_fail_over(&e) => {
+                // The input (and any partial output) lives on the failing
+                // device: evacuate it, then migrate and re-dispatch.
+                let flat = rescue_read_back(spec, &rb)?;
+                drop(rb);
+                fail_over(c, spec, &e)?;
+                input = Dispatchable::Host(flat);
+            }
+            Err(e) => {
+                rb.context.release_bytes(rb.device_bytes());
+                return Err(e);
+            }
+        }
+    }
 }
 
 /// A kernel actor with plain (copying) channels.
@@ -170,7 +336,7 @@ fn compile(spec: &KernelSpec, who: &str) -> Compiled {
 pub struct KernelActor<TIn: Flatten, TOut: Flatten> {
     spec: KernelSpec,
     requests: In<Settings<TIn, TOut>>,
-    compiled: Option<Compiled>,
+    compiled: Option<ClResult<Compiled>>,
     _marker: PhantomData<fn(TIn) -> TOut>,
 }
 
@@ -186,66 +352,101 @@ impl<TIn: Flatten, TOut: Flatten> KernelActor<TIn, TOut> {
     }
 }
 
-impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
-    fn constructor(&mut self, ctx: &mut ActorCtx) {
-        self.compiled = Some(compile(&self.spec, ctx.name()));
-    }
-
-    fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control {
-        let c = self.compiled.as_ref().expect("constructor ran");
-        let settings = match self.requests.receive() {
-            Ok(s) => s,
-            Err(_) => return Control::Stop,
-        };
-        let data = match settings.input.receive() {
-            Ok(d) => d,
-            Err(_) => return Control::Stop,
-        };
-        trace_invoke(&self.spec, &c.env, ctx.name());
-        let flat = data.flatten();
-        let rb = upload_flat(&c.env, flat, &self.spec.profile)
-            .unwrap_or_else(|e| panic!("kernel actor `{}`: upload failed: {e}", ctx.name()));
-        bind_and_dispatch(
-            &c.env,
-            &c.kernel,
-            &rb,
+impl<TIn: Flatten, TOut: Flatten> KernelActor<TIn, TOut> {
+    /// One request under the recovery policy: upload, dispatch, read back,
+    /// rebuild the output value. Every step retries transients; upload and
+    /// dispatch additionally fail over on permanent device errors.
+    fn process(
+        c: &mut Compiled,
+        spec: &KernelSpec,
+        settings: &Settings<TIn, TOut>,
+        flat: FlatData,
+    ) -> ClResult<TOut> {
+        let rb = dispatch_with_recovery(
+            c,
+            spec,
             &settings.worksize,
             &settings.groupsize,
             &settings.extra_args,
             &settings.extra_f32,
-            &self.spec.profile,
-        )
-        .unwrap_or_else(|e| panic!("kernel actor `{}`: dispatch failed: {e}", ctx.name()));
-
-        // Read back the output segments.
-        let mut out_segs = Vec::with_capacity(self.spec.out_segs.len());
-        for &idx in &self.spec.out_segs {
-            let (buf, ty) = &rb.bufs[idx];
-            let mut bytes = vec![0u8; buf.len()];
-            let ev = c
-                .env
-                .queue
-                .enqueue_read_buffer(buf, &mut bytes)
-                .unwrap_or_else(|e| panic!("kernel actor `{}`: read failed: {e}", ctx.name()));
-            self.spec.profile.record_command(&ev, c.env.device.name());
-            out_segs.push(FlatSeg::from_bytes(*ty, &bytes));
-        }
-        let out_dims = self.spec.out_dims.iter().map(|&i| rb.dims[i]).collect();
-        let out = TOut::unflatten(FlatData {
-            segs: out_segs,
+            Dispatchable::Host(flat),
+        )?;
+        // Read back the output segments. Plain channels: nothing stays on
+        // the device, so accounting is released whether reads succeed or
+        // not.
+        let read = (|| {
+            let mut out_segs = Vec::with_capacity(spec.out_segs.len());
+            for &idx in &spec.out_segs {
+                let (buf, ty) = &rb.bufs[idx];
+                let mut bytes = vec![0u8; buf.len()];
+                let ev = with_retry(
+                    &spec.recovery,
+                    &c.env.queue,
+                    c.env.device.name(),
+                    &spec.profile,
+                    "readback",
+                    || c.env.queue.enqueue_read_buffer(buf, &mut bytes),
+                )?;
+                spec.profile.record_command(&ev, c.env.device.name());
+                out_segs.push(FlatSeg::from_bytes(*ty, &bytes));
+            }
+            Ok(out_segs)
+        })();
+        let out_dims = spec.out_dims.iter().map(|&i| rb.dims[i]).collect();
+        rb.context.release_bytes(rb.device_bytes());
+        drop(rb);
+        TOut::unflatten(FlatData {
+            segs: read?,
             dims: out_dims,
         })
-        .unwrap_or_else(|e| panic!("kernel actor `{}`: {e}", ctx.name()));
+        .map_err(|e| ClError::Internal(e.to_string()))
+    }
+}
 
-        // Plain channels: nothing stays on the device.
-        let released = rb.device_bytes();
-        c.env.context.release_bytes(released);
-        drop(rb);
+impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
+    fn constructor(&mut self, _ctx: &mut ActorCtx) {
+        self.compiled = Some(compile(&self.spec));
+    }
 
-        if settings.output.send_moved(out).is_err() {
-            return Control::Stop;
+    fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control {
+        let settings = match self.requests.receive() {
+            Ok(s) => s,
+            Err(_) => return Control::Stop,
+        };
+        let c = match self.compiled.as_mut().expect("constructor ran") {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("kernel actor `{}`: compile failed: {e}", ctx.name());
+                settings.output.poison_receivers();
+                return Control::Stop;
+            }
+        };
+        // Settings arrived but the data never will: the upstream stage
+        // died mid-request, so propagate the teardown downstream.
+        let data = match settings.input.receive() {
+            Ok(d) => d,
+            Err(_) => {
+                settings.output.poison_receivers();
+                return Control::Stop;
+            }
+        };
+        trace_invoke(&self.spec, &c.env, ctx.name());
+        match Self::process(c, &self.spec, &settings, data.flatten()) {
+            Ok(out) => {
+                if settings.output.send_moved(out).is_err() {
+                    return Control::Stop;
+                }
+                Control::Continue
+            }
+            Err(e) => {
+                eprintln!(
+                    "kernel actor `{}`: unrecoverable error: {e}; tearing down pipeline",
+                    ctx.name()
+                );
+                settings.output.poison_receivers();
+                Control::Stop
+            }
         }
-        Control::Continue
     }
 }
 
@@ -259,7 +460,7 @@ impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
 pub struct ResidentKernelActor<T: Flatten> {
     spec: KernelSpec,
     requests: In<Settings<DeviceData<T>, DeviceData<T>>>,
-    compiled: Option<Compiled>,
+    compiled: Option<ClResult<Compiled>>,
 }
 
 impl<T: Flatten> ResidentKernelActor<T> {
@@ -274,47 +475,68 @@ impl<T: Flatten> ResidentKernelActor<T> {
 }
 
 impl<T: Flatten> Actor for ResidentKernelActor<T> {
-    fn constructor(&mut self, ctx: &mut ActorCtx) {
-        self.compiled = Some(compile(&self.spec, ctx.name()));
+    fn constructor(&mut self, _ctx: &mut ActorCtx) {
+        self.compiled = Some(compile(&self.spec));
     }
 
     fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control {
-        let c = self.compiled.as_ref().expect("constructor ran");
         let settings = match self.requests.receive() {
             Ok(s) => s,
             Err(_) => return Control::Stop,
         };
+        let c = match self.compiled.as_mut().expect("constructor ran") {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("kernel actor `{}`: compile failed: {e}", ctx.name());
+                settings.output.poison_receivers();
+                return Control::Stop;
+            }
+        };
         let data = match settings.input.receive() {
             Ok(d) => d,
-            Err(_) => return Control::Stop,
+            Err(_) => {
+                settings.output.poison_receivers();
+                return Control::Stop;
+            }
         };
         trace_invoke(&self.spec, &c.env, ctx.name());
         // §6.2.3: same context → reuse buffers; host or foreign context →
-        // (read back and) upload.
-        let rb = match data
+        // (read back and) upload. `dispatch_with_recovery` handles the
+        // upload, retries, and any failover (a migrated value stays
+        // resident on the *new* device going forward).
+        let result = data
             .for_dispatch(&c.env.context, Some(&self.spec.profile))
-            .unwrap_or_else(|e| panic!("kernel actor `{}`: {e}", ctx.name()))
-        {
-            Dispatchable::Resident(rb) => rb,
-            Dispatchable::Host(flat) => upload_flat(&c.env, flat, &self.spec.profile)
-                .unwrap_or_else(|e| panic!("kernel actor `{}`: upload failed: {e}", ctx.name())),
-        };
-        bind_and_dispatch(
-            &c.env,
-            &c.kernel,
-            &rb,
-            &settings.worksize,
-            &settings.groupsize,
-            &settings.extra_args,
-            &settings.extra_f32,
-            &self.spec.profile,
-        )
-        .unwrap_or_else(|e| panic!("kernel actor `{}`: dispatch failed: {e}", ctx.name()));
-
-        if settings.output.send_moved(DeviceData::resident(rb)).is_err() {
-            return Control::Stop;
+            .and_then(|input| {
+                dispatch_with_recovery(
+                    c,
+                    &self.spec,
+                    &settings.worksize,
+                    &settings.groupsize,
+                    &settings.extra_args,
+                    &settings.extra_f32,
+                    input,
+                )
+            });
+        match result {
+            Ok(rb) => {
+                if settings
+                    .output
+                    .send_moved(DeviceData::resident(rb))
+                    .is_err()
+                {
+                    return Control::Stop;
+                }
+                Control::Continue
+            }
+            Err(e) => {
+                eprintln!(
+                    "kernel actor `{}`: unrecoverable error: {e}; tearing down pipeline",
+                    ctx.name()
+                );
+                settings.output.poison_receivers();
+                Control::Stop
+            }
         }
-        Control::Continue
     }
 }
 
@@ -337,6 +559,7 @@ mod tests {
             out_segs: vec![0],
             out_dims: vec![0],
             profile,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -348,7 +571,10 @@ mod tests {
         let profile = ProfileSink::new();
         let (req_out, req_in) = buffered_channel::<Settings<Vec<f32>, Vec<f32>>>(1);
         let mut stage = Stage::new("home");
-        stage.spawn("Multiply", KernelActor::new(scale_spec(profile.clone()), req_in));
+        stage.spawn(
+            "Multiply",
+            KernelActor::new(scale_spec(profile.clone()), req_in),
+        );
         let (result_out, result_in) = buffered_channel::<Vec<f32>>(1);
         stage.spawn_once("Dispatch", move |_| {
             let data_in = In::with_buffer(1);
@@ -430,7 +656,9 @@ mod tests {
         // One upload (16 bytes) and one final download — no transfer
         // between the two kernels. Transfer cost is affine, so a second
         // hop would have doubled these figures.
-        let gpu = crate::env::device_matrix().select(DeviceSel::gpu()).unwrap();
+        let gpu = crate::env::device_matrix()
+            .select(DeviceSel::gpu())
+            .unwrap();
         let one_way = gpu.device.cost_model().transfer_ns(16);
         assert!((p.to_device_ns - one_way).abs() < 1e-6);
         assert!((p.from_device_ns - one_way).abs() < 1e-6);

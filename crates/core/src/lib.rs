@@ -33,13 +33,19 @@
 //!   at compile time.
 //! * [`profile`] — per-run accounting of to-device / from-device / kernel
 //!   time, feeding the Figure 3a–3e harness.
+//! * [`recovery`] — the robustness layer the paper leaves to future work:
+//!   a per-actor [`recovery::RecoveryPolicy`] retries transient simulator
+//!   faults with virtual-clock backoff and *fails over* to the next
+//!   device-matrix entry (GPU → CPU degradation) on permanent device
+//!   errors, evacuating resident data through the read-back rescue path.
 //!
 //! ## Example: the matrix-multiply choreography of Listing 3
 //!
 //! ```
 //! use ensemble_ocl::{
 //!     flatten::Array2, kernel_actor::{KernelActor, KernelSpec},
-//!     env::DeviceSel, profile::ProfileSink, settings::Settings,
+//!     env::DeviceSel, profile::ProfileSink, recovery::RecoveryPolicy,
+//!     settings::Settings,
 //! };
 //! use ensemble_actors::{buffered_channel, In, Out, Stage};
 //!
@@ -68,6 +74,7 @@
 //!     out_segs: vec![2],              // send `result` onward
 //!     out_dims: vec![4, 5],           // with its (rows, cols)
 //!     profile: profile.clone(),
+//!     recovery: RecoveryPolicy::default(),
 //! };
 //!
 //! type MmIn = (Array2, Array2, Array2);
@@ -102,6 +109,7 @@ pub mod env;
 pub mod flatten;
 pub mod kernel_actor;
 pub mod profile;
+pub mod recovery;
 pub mod resident;
 pub mod settings;
 
@@ -109,5 +117,6 @@ pub use env::{device_matrix, DeviceSel, OpenClEnvironment};
 pub use flatten::{Array2, Array3, FlatData, FlatSeg, Flatten, FlattenError, SegTy};
 pub use kernel_actor::{KernelActor, KernelSpec, ResidentKernelActor};
 pub use profile::{Profile, ProfileSink};
+pub use recovery::RecoveryPolicy;
 pub use resident::{DeviceData, Dispatchable, ResidentBufs};
 pub use settings::{nd_from, Settings};

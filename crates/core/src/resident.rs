@@ -18,6 +18,7 @@
 
 use crate::flatten::{FlatData, FlatSeg, Flatten, FlattenError, SegTy};
 use crate::profile::ProfileSink;
+use crate::recovery::{with_retry, RecoveryPolicy};
 use oclsim::{Buffer, ClResult, CommandQueue, Context};
 use std::marker::PhantomData;
 
@@ -41,13 +42,26 @@ impl ResidentBufs {
     }
 
     /// Read every segment back to the host, charging the transfer to
-    /// `profile`, and release the device memory accounting.
+    /// `profile`, and release the device memory accounting. Transient
+    /// device faults are retried with the default [`RecoveryPolicy`]
+    /// (read-backs stay available even on a lost device, so this is also
+    /// the rescue path the recovery layer evacuates data through).
     pub fn read_back(self, profile: Option<&ProfileSink>) -> ClResult<FlatData> {
+        let policy = RecoveryPolicy::default();
+        let quiet = ProfileSink::new();
+        let p = profile.unwrap_or(&quiet);
         let mut segs = Vec::with_capacity(self.bufs.len());
         let mut released = 0usize;
         for (buf, ty) in &self.bufs {
             let mut bytes = vec![0u8; buf.len()];
-            let ev = self.queue.enqueue_read_buffer(buf, &mut bytes)?;
+            let ev = with_retry(
+                &policy,
+                &self.queue,
+                self.queue.device().name(),
+                p,
+                "readback",
+                || self.queue.enqueue_read_buffer(buf, &mut bytes),
+            )?;
             if let Some(p) = profile {
                 p.record_command(&ev, self.queue.device().name());
             }

@@ -8,13 +8,13 @@
 //! the exact ratio.
 
 use ensemble_actors::{buffered_channel, In, Out, Stage};
-use ensemble_ocl::{device_matrix, DeviceSel, Flatten, KernelActor, KernelSpec, ProfileSink, Settings};
+use ensemble_ocl::{
+    device_matrix, DeviceSel, Flatten, KernelActor, KernelSpec, ProfileSink, RecoveryPolicy,
+    Settings,
+};
 
 /// Eight scalars the paper's rule sends as eight one-element arrays.
-type Unpacked = (
-    (f32, f32, f32, f32),
-    (f32, f32, f32, f32),
-);
+type Unpacked = ((f32, f32, f32, f32), (f32, f32, f32, f32));
 
 const SUM8_UNPACKED: &str = "__kernel void sum8(
     __global float* a, __global float* b, __global float* c, __global float* d,
@@ -36,6 +36,7 @@ fn run_unpacked(profile: ProfileSink) -> f32 {
         out_segs: vec![0],
         out_dims: vec![],
         profile,
+        recovery: RecoveryPolicy::default(),
     };
     let (req_out, req_in) = buffered_channel::<Settings<Unpacked, f32>>(1);
     let mut stage = Stage::new("home");
@@ -48,7 +49,8 @@ fn run_unpacked(profile: ProfileSink) -> f32 {
         req_out
             .send_moved(Settings::new(vec![1], vec![1], i, result_out))
             .unwrap();
-        o.send(&((1.0, 2.0, 3.0, 4.0), (5.0, 6.0, 7.0, 8.0))).unwrap();
+        o.send(&((1.0, 2.0, 3.0, 4.0), (5.0, 6.0, 7.0, 8.0)))
+            .unwrap();
     });
     let r = result_in.receive().unwrap();
     stage.join();
@@ -63,6 +65,7 @@ fn run_packed(profile: ProfileSink) -> f32 {
         out_segs: vec![0],
         out_dims: vec![0],
         profile,
+        recovery: RecoveryPolicy::default(),
     };
     let (req_out, req_in) = buffered_channel::<Settings<Vec<f32>, Vec<f32>>>(1);
     let mut stage = Stage::new("home");
@@ -75,7 +78,8 @@ fn run_packed(profile: ProfileSink) -> f32 {
         req_out
             .send_moved(Settings::new(vec![1], vec![1], i, result_out))
             .unwrap();
-        o.send(&vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        o.send(&vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .unwrap();
     });
     let r = result_in.receive().unwrap();
     stage.join();
@@ -84,7 +88,11 @@ fn run_packed(profile: ProfileSink) -> f32 {
 
 #[test]
 fn eight_scalars_flatten_to_eight_segments() {
-    let flat = ((1.0f32, 2.0f32, 3.0f32, 4.0f32), (5.0f32, 6.0f32, 7.0f32, 8.0f32)).flatten();
+    let flat = (
+        (1.0f32, 2.0f32, 3.0f32, 4.0f32),
+        (5.0f32, 6.0f32, 7.0f32, 8.0f32),
+    )
+        .flatten();
     assert_eq!(flat.segs.len(), 8);
     assert!(flat.segs.iter().all(|s| s.len() == 1));
 }

@@ -346,10 +346,7 @@ fn elem_kind_of(ty: &TypeExpr) -> Option<(ElemKind, usize)> {
     }
 }
 
-fn compile_kernel_actor(
-    cx: &mut Cx<'_>,
-    actor: &ActorDecl,
-) -> Result<CompiledActor, CompileError> {
+fn compile_kernel_actor(cx: &mut Cx<'_>, actor: &ActorDecl) -> Result<CompiledActor, CompileError> {
     let attrs = actor.opencl.clone().expect("kernel actor");
     let ports = resolve_ports(cx, actor)?;
     // §6.1.1: "the actor's interface should only contain a single channel".
@@ -375,10 +372,7 @@ fn compile_kernel_actor(
     let sinfo = &cx.structs[settings_id as usize];
     if !sinfo.opencl {
         return Err(CompileError {
-            message: format!(
-                "`{}` is not declared `opencl struct`",
-                sinfo.meta.name
-            ),
+            message: format!("`{}` is not declared `opencl struct`", sinfo.meta.name),
             pos: actor.pos,
         });
     }
@@ -392,8 +386,7 @@ fn compile_kernel_actor(
     let b = &actor.behaviour;
     if b.len() < 3 {
         return Err(CompileError {
-            message: "kernel behaviour must be: receive settings; receive data; ...; send"
-                .into(),
+            message: "kernel behaviour must be: receive settings; receive data; ...; send".into(),
             pos: actor.pos,
         });
     }
@@ -404,8 +397,7 @@ fn compile_kernel_actor(
     } = &b[0]
     else {
         return Err(CompileError {
-            message: "the first statement of a kernel behaviour must receive the settings"
-                .into(),
+            message: "the first statement of a kernel behaviour must receive the settings".into(),
             pos: actor.pos,
         });
     };
@@ -430,7 +422,10 @@ fn compile_kernel_actor(
         && matches!(p2.as_slice(), [PathSeg::Field(f)] if f == &sinfo.meta.fields[2]);
     if !input_ok {
         return Err(CompileError {
-            message: format!("the data must be received from `{req_name}.{}`", sinfo.meta.fields[2]),
+            message: format!(
+                "the data must be received from `{req_name}.{}`",
+                sinfo.meta.fields[2]
+            ),
             pos: *rpos,
         });
     }
@@ -449,7 +444,10 @@ fn compile_kernel_actor(
         && matches!(sp.as_slice(), [PathSeg::Field(f)] if f == &sinfo.meta.fields[3]);
     if !output_ok {
         return Err(CompileError {
-            message: format!("the result must be sent on `{req_name}.{}`", sinfo.meta.fields[3]),
+            message: format!(
+                "the result must be sent on `{req_name}.{}`",
+                sinfo.meta.fields[3]
+            ),
             pos: *spos,
         });
     }
@@ -465,9 +463,7 @@ fn compile_kernel_actor(
             let mut fields = Vec::new();
             for (fname, fty) in info.meta.fields.iter().zip(&info.field_types) {
                 let (elem, ndims) = elem_kind_of(fty).ok_or(CompileError {
-                    message: format!(
-                        "kernel data field `{fname}` must be an integer/real array"
-                    ),
+                    message: format!("kernel data field `{fname}` must be an integer/real array"),
                     pos: actor.pos,
                 })?;
                 fields.push(DataField {
@@ -476,11 +472,7 @@ fn compile_kernel_actor(
                     ndims,
                 });
             }
-            (
-                DataShape::Struct { type_id: id },
-                fields,
-                info.meta.any_mov,
-            )
+            (DataShape::Struct { type_id: id }, fields, info.meta.any_mov)
         }
         arr @ TypeExpr::Array(..) => {
             let (elem, ndims) = elem_kind_of(arr).expect("array type");
@@ -731,9 +723,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
                             format!("cannot resolve `.{f}` on a value of unknown type"),
                         )
                     }
-                    other => {
-                        return self.err(pos, format!("`.{f}` on non-struct value {other:?}"))
-                    }
+                    other => return self.err(pos, format!("`.{f}` on non-struct value {other:?}")),
                 },
                 PathSeg::Index(ie) => {
                     self.expr(ie)?;
@@ -838,7 +828,10 @@ impl<'c, 'a> FnCx<'c, 'a> {
                 ),
             },
             Expr::NewArray {
-                elem, dims, fill, pos: _,
+                elem,
+                dims,
+                fill,
+                pos: _,
             } => {
                 if let Some(f) = fill {
                     self.expr(f)?;
@@ -914,7 +907,13 @@ impl<'c, 'a> FnCx<'c, 'a> {
         self.n_args(args, 1, pos, name)
     }
 
-    fn n_args(&mut self, args: &[Expr], n: usize, pos: Pos, name: &str) -> Result<(), CompileError> {
+    fn n_args(
+        &mut self,
+        args: &[Expr],
+        n: usize,
+        pos: Pos,
+        name: &str,
+    ) -> Result<(), CompileError> {
         if args.len() != n {
             return self.err(pos, format!("`{name}` takes {n} argument(s)"));
         }
@@ -1020,9 +1019,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
             Stmt::Receive { name, chan, pos } => {
                 let chan_kind = match chan {
                     Expr::Path(root, segs, cpos) => self.path(root, segs, *cpos)?,
-                    other => {
-                        return self.err(other.pos(), "receive source must be a channel path")
-                    }
+                    other => return self.err(other.pos(), "receive source must be a channel path"),
                 };
                 let elem = match chan_kind {
                     K::Chan(Dir::In, elem) => *elem,
@@ -1130,9 +1127,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
                 self.emit(VOp::Print(*kind));
                 Ok(())
             }
-            Stmt::Barrier { pos } => {
-                self.err(*pos, "barrier() is only valid inside kernel actors")
-            }
+            Stmt::Barrier { pos } => self.err(*pos, "barrier() is only valid inside kernel actors"),
             Stmt::Stop { .. } => {
                 self.emit(VOp::StopOp);
                 Ok(())
@@ -1189,7 +1184,10 @@ mod tests {
     #[test]
     fn compiles_all_ocl_assets() {
         for (name, src) in [
-            ("matmul", include_str!("../../apps/src/assets/matmul/ocl.ens")),
+            (
+                "matmul",
+                include_str!("../../apps/src/assets/matmul/ocl.ens"),
+            ),
             (
                 "mandelbrot",
                 include_str!("../../apps/src/assets/mandelbrot/ocl.ens"),
@@ -1209,9 +1207,8 @@ mod tests {
                 if let ActorCode::Kernel(plan) = &a.code {
                     let unit = oclsim::minicl::parse(&plan.source)
                         .unwrap_or_else(|e| panic!("{name}/{}: {e}\n{}", a.name, plan.source));
-                    oclsim::minicl::compile(&unit).unwrap_or_else(|e| {
-                        panic!("{name}/{}: {e:?}\n{}", a.name, plan.source)
-                    });
+                    oclsim::minicl::compile(&unit)
+                        .unwrap_or_else(|e| panic!("{name}/{}: {e:?}\n{}", a.name, plan.source));
                 }
             }
         }
@@ -1220,7 +1217,10 @@ mod tests {
     #[test]
     fn compiles_all_seq_assets() {
         for (name, src) in [
-            ("matmul", include_str!("../../apps/src/assets/matmul/seq.ens")),
+            (
+                "matmul",
+                include_str!("../../apps/src/assets/matmul/seq.ens"),
+            ),
             (
                 "mandelbrot",
                 include_str!("../../apps/src/assets/mandelbrot/seq.ens"),
@@ -1243,12 +1243,7 @@ mod tests {
     fn lud_kernel_is_mov_and_has_settings_scalar() {
         let src = include_str!("../../apps/src/assets/lud/ocl.ens");
         let m = compile_source(src).unwrap();
-        let ActorCode::Kernel(plan) = &m
-            .actors
-            .iter()
-            .find(|a| a.name == "Sub")
-            .unwrap()
-            .code
+        let ActorCode::Kernel(plan) = &m.actors.iter().find(|a| a.name == "Sub").unwrap().code
         else {
             panic!("Sub should be a kernel");
         };

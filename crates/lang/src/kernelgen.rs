@@ -291,11 +291,7 @@ impl<'a> Lower<'a> {
                 }
                 if let Some((buf, idx, elem)) = self.buffer_access(root, segs, *pos)? {
                     return Ok((
-                        cl::Expr::Index(
-                            Box::new(cl::Expr::Var(buf, cpos)),
-                            Box::new(idx),
-                            cpos,
-                        ),
+                        cl::Expr::Index(Box::new(cl::Expr::Var(buf, cpos)), Box::new(idx), cpos),
                         elem,
                     ));
                 }
@@ -359,22 +355,22 @@ impl<'a> Lower<'a> {
                     | ens::BinOp::Sub
                     | ens::BinOp::Mul
                     | ens::BinOp::Div
-                    | ens::BinOp::Rem =>
-
+                    | ens::BinOp::Rem => {
                         if lt == cl::Type::Float || rt == cl::Type::Float {
                             cl::Type::Float
                         } else {
                             cl::Type::Int
                         }
-                    ,
+                    }
                     _ => cl::Type::Bool,
                 };
                 Ok((cl::Expr::Binary(cop, Box::new(le), Box::new(re), cpos), ty))
             }
             ens::Expr::Call(name, args, pos) => self.call(name, args, *pos),
-            ens::Expr::NewArray { pos, .. } => {
-                self.err(*pos, "`new` arrays in kernels must be bound by a declaration")
-            }
+            ens::Expr::NewArray { pos, .. } => self.err(
+                *pos,
+                "`new` arrays in kernels must be bound by a declaration",
+            ),
             other => self.err(
                 other.pos(),
                 "this expression form is not allowed inside a kernel",
@@ -403,11 +399,17 @@ impl<'a> Lower<'a> {
             }
             "toReal" => {
                 let (a, _) = self.expr(&args[0])?;
-                Ok((cl::Expr::Cast(cl::Type::Float, Box::new(a), cpos), cl::Type::Float))
+                Ok((
+                    cl::Expr::Cast(cl::Type::Float, Box::new(a), cpos),
+                    cl::Type::Float,
+                ))
             }
             "toInt" => {
                 let (a, _) = self.expr(&args[0])?;
-                Ok((cl::Expr::Cast(cl::Type::Int, Box::new(a), cpos), cl::Type::Int))
+                Ok((
+                    cl::Expr::Cast(cl::Type::Int, Box::new(a), cpos),
+                    cl::Type::Int,
+                ))
             }
             "lengthof" => {
                 // lengthof(d.field) → the field's first dimension.
@@ -429,16 +431,13 @@ impl<'a> Lower<'a> {
                 }
                 Ok((cl::Expr::Var(dim_param(&fname, 0), cpos), cl::Type::Int))
             }
-            "fmin" | "fmax" | "sqrt" | "fabs" | "exp" | "log" | "pow" | "sin" | "cos"
-            | "floor" | "ceil" => {
+            "fmin" | "fmax" | "sqrt" | "fabs" | "exp" | "log" | "pow" | "sin" | "cos" | "floor"
+            | "ceil" => {
                 let mut out = Vec::new();
                 for a in args {
                     out.push(self.expr(a)?.0);
                 }
-                Ok((
-                    cl::Expr::Call(name.to_string(), out, cpos),
-                    cl::Type::Float,
-                ))
+                Ok((cl::Expr::Call(name.to_string(), out, cpos), cl::Type::Float))
             }
             "min" | "max" | "abs" => {
                 let mut out = Vec::new();
@@ -478,7 +477,10 @@ impl<'a> Lower<'a> {
             ens::Stmt::Declare { name, value, pos } => {
                 let cpos = cl_pos(*pos);
                 if let ens::Expr::NewArray {
-                    elem, dims, pos: apos, ..
+                    elem,
+                    dims,
+                    pos: apos,
+                    ..
                 } = value
                 {
                     // Private per-item array: dimensions must be constant.
@@ -496,7 +498,10 @@ impl<'a> Lower<'a> {
                             return self.err(*apos, format!("unsupported element type {other}"))
                         }
                     };
-                    self.bind(name, cl::Type::Ptr(cl::Space::Private, Box::new(ety.clone())));
+                    self.bind(
+                        name,
+                        cl::Type::Ptr(cl::Space::Private, Box::new(ety.clone())),
+                    );
                     return Ok(cl::Stmt::Decl {
                         name: name.clone(),
                         ty: ety,
@@ -632,7 +637,10 @@ impl<'a> Lower<'a> {
                     cbody.push(self.stmt(s)?);
                 }
                 self.vars.pop();
-                Ok(cl::Stmt::While { cond: ce, body: cbody })
+                Ok(cl::Stmt::While {
+                    cond: ce,
+                    body: cbody,
+                })
             }
             ens::Stmt::If {
                 cond,
@@ -728,8 +736,7 @@ mod tests {
     fn generated_matmul_kernel_compiles_and_runs() {
         let src = matmul_kernel_source();
         let unit = oclsim::minicl::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
-        let compiled = oclsim::minicl::compile(&unit)
-            .unwrap_or_else(|e| panic!("{e:?}\n{src}"));
+        let compiled = oclsim::minicl::compile(&unit).unwrap_or_else(|e| panic!("{e:?}\n{src}"));
         assert!(compiled.kernels.contains_key("Multiply"));
     }
 

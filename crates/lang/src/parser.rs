@@ -32,10 +32,7 @@ pub fn parse(src: &str) -> Result<Module, ParseError> {
         } else if p.peek_kw("stage") {
             module.stages.push(p.stage()?);
         } else {
-            return Err(p.err(format!(
-                "expected `type` or `stage`, found {}",
-                p.peek()
-            )));
+            return Err(p.err(format!("expected `type` or `stage`, found {}", p.peek())));
         }
     }
     Ok(module)

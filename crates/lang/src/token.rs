@@ -49,9 +49,9 @@ pub enum Tok {
     Star,
     Slash,
     Percent,
-    Declare,  // =
-    Assign,   // :=
-    Eq,       // ==
+    Declare, // =
+    Assign,  // :=
+    Eq,      // ==
     Ne,
     Lt,
     Le,

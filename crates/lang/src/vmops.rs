@@ -308,11 +308,14 @@ mod tests {
     #[test]
     fn op_costs_reflect_weight() {
         assert!(VOp::SendOp { mov: false }.cost() > VOp::Add.cost());
-        assert!(VOp::SpawnActor(0).cost() > VOp::NewArr {
-            ndims: 1,
-            elem: ElemKind::Real,
-            has_fill: false
-        }
-        .cost());
+        assert!(
+            VOp::SpawnActor(0).cost()
+                > VOp::NewArr {
+                    ndims: 1,
+                    elem: ElemKind::Real,
+                    has_fill: false
+                }
+                .cost()
+        );
     }
 }

@@ -130,23 +130,26 @@ fn analyze_c(tokens: &[CodeToken]) -> (usize, usize, usize, usize) {
             "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "<<=" | ">>=" | "++" | "--" => {
                 assignments += 1
             }
-            "(" => {
-                // A call or a function definition: `ident (`.
-                if i > 0
-                    && tokens[i - 1].is_word
-                    && !C_FUNC_BLACKLIST.contains(&tokens[i - 1].text.as_str())
-                {
-                    if is_c_definition(tokens, i) {
-                        functions += 1;
-                    } else {
-                        branches += 1;
-                    }
+            // A call or a function definition: `ident (`.
+            "(" if i > 0
+                && tokens[i - 1].is_word
+                && !C_FUNC_BLACKLIST.contains(&tokens[i - 1].text.as_str()) =>
+            {
+                if is_c_definition(tokens, i) {
+                    functions += 1;
+                } else {
+                    branches += 1;
                 }
             }
             _ => {}
         }
     }
-    (decisions + functions.max(1), assignments, branches, conditions)
+    (
+        decisions + functions.max(1),
+        assignments,
+        branches,
+        conditions,
+    )
 }
 
 fn is_c_definition(tokens: &[CodeToken], open: usize) -> bool {
@@ -192,20 +195,23 @@ fn analyze_ensemble(tokens: &[CodeToken]) -> (usize, usize, usize, usize) {
             ":=" | "=" | "+=" | "-=" => assignments += 1,
             "new" => branches += 1,
             "send" | "receive" | "connect" => branches += 1,
-            "(" => {
-                if i > 0
-                    && tokens[i - 1].is_word
-                    && !ENS_BODY_KEYWORDS.contains(&tokens[i - 1].text.as_str())
-                    && !ENS_DECISION_KEYWORDS.contains(&tokens[i - 1].text.as_str())
-                    && tokens[i - 1].text != "new"
-                {
-                    branches += 1;
-                }
+            "(" if i > 0
+                && tokens[i - 1].is_word
+                && !ENS_BODY_KEYWORDS.contains(&tokens[i - 1].text.as_str())
+                && !ENS_DECISION_KEYWORDS.contains(&tokens[i - 1].text.as_str())
+                && tokens[i - 1].text != "new" =>
+            {
+                branches += 1;
             }
             _ => {}
         }
     }
-    (decisions + functions.max(1), assignments, branches, conditions)
+    (
+        decisions + functions.max(1),
+        assignments,
+        branches,
+        conditions,
+    )
 }
 
 #[cfg(test)]

@@ -105,7 +105,8 @@ pub fn tokenize(src: &str) -> Vec<CodeToken> {
             let start_line = line;
             let mut text = String::new();
             let is_word = c.is_alphabetic() || c == '_';
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
             {
                 // Allow `1.5f` style numbers but stop words at `.`.
                 if chars[i] == '.' && is_word {

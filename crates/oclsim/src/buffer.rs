@@ -88,11 +88,7 @@ impl Buffer {
     /// Take the bytes out for a dispatch. Fails when another queue already
     /// holds them — the multi-queue race from §6.2.1 of the paper.
     pub(crate) fn check_out(&self) -> ClResult<Vec<u8>> {
-        if self
-            .inner
-            .checked_out
-            .swap(true, Ordering::AcqRel)
-        {
+        if self.inner.checked_out.swap(true, Ordering::AcqRel) {
             return Err(ClError::InvalidBufferAccess(format!(
                 "buffer {} is busy on another command queue",
                 self.inner.id

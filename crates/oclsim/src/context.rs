@@ -3,6 +3,7 @@
 use crate::buffer::{Buffer, MemFlags};
 use crate::device::Device;
 use crate::error::{ClError, ClResult};
+use crate::fault::{FaultInjector, FaultOp};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,6 +16,9 @@ struct ContextInner {
     devices: Vec<Device>,
     mem_budget: usize,
     allocated: Mutex<usize>,
+    /// Optional fault source consulted by `Program::build` (see
+    /// [`crate::fault`]).
+    faults: Mutex<FaultInjector>,
 }
 
 /// An umbrella structure holding the devices in use plus the runtime
@@ -48,8 +52,31 @@ impl Context {
                 devices: devices.to_vec(),
                 mem_budget,
                 allocated: Mutex::new(0),
+                faults: Mutex::new(FaultInjector::disabled()),
             }),
         })
+    }
+
+    /// Attach a fault injector: every subsequent [`crate::Program::build`]
+    /// against this context first consults the injector and may fail with
+    /// a scheduled [`ClError`] (see [`crate::fault`]). All clones of the
+    /// context share the attachment. Pass [`FaultInjector::disabled`] to
+    /// detach.
+    pub fn attach_faults(&self, injector: FaultInjector) {
+        *self.inner.faults.lock() = injector;
+    }
+
+    /// Consult the attached injector for a build-time fault (no-op when
+    /// none is attached). Called by [`crate::Program::build`].
+    pub(crate) fn build_fault_check(&self) -> ClResult<()> {
+        let injector = self.inner.faults.lock().clone();
+        let device = self
+            .inner
+            .devices
+            .first()
+            .map(|d| d.name().to_string())
+            .unwrap_or_default();
+        injector.check(FaultOp::Build, &device, 0.0)
     }
 
     /// Process-unique context id.
@@ -131,7 +158,9 @@ mod tests {
     fn over_allocation_fails_like_opencl() {
         let p = &Platform::all()[0];
         let ctx = Context::new(&p.devices(None)).unwrap();
-        let err = ctx.create_buffer(MemFlags::ReadWrite, usize::MAX / 2).unwrap_err();
+        let err = ctx
+            .create_buffer(MemFlags::ReadWrite, usize::MAX / 2)
+            .unwrap_err();
         assert!(matches!(err, ClError::OutOfDeviceMemory { .. }));
     }
 

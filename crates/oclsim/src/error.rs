@@ -59,8 +59,43 @@ pub enum ClError {
     },
     /// Operation attempted on a released object.
     ObjectReleased(String),
+    /// The device momentarily refused the command (mirrors
+    /// `CL_OUT_OF_RESOURCES` on real hardware — a queue-full / resource
+    /// contention condition that a backed-off retry is expected to clear).
+    /// Only produced by the fault-injection layer ([`crate::fault`]).
+    DeviceBusy {
+        /// Device that refused the command.
+        device: String,
+    },
+    /// The device dropped off the platform mid-run (mirrors
+    /// `CL_DEVICE_NOT_AVAILABLE` / the `cl_khr_device_uuid` lost-device
+    /// class). Permanent: every subsequent upload or dispatch on the
+    /// device fails with this error, and recovery requires re-dispatching
+    /// on another device. Read-backs are still permitted as a best-effort
+    /// *rescue* path so resident data can be evacuated — mirroring
+    /// runtimes that keep already-mapped memory readable while the device
+    /// is being torn down.
+    DeviceLost {
+        /// Device that was lost.
+        device: String,
+    },
     /// Catch-all for violated simulator invariants.
     Internal(String),
+}
+
+impl ClError {
+    /// Whether a bounded retry (with backoff) is a sensible response.
+    ///
+    /// Only [`ClError::DeviceBusy`] is transient: every other variant is
+    /// either a programming error (bad args, bad worksizes), a permanent
+    /// device condition ([`ClError::DeviceLost`], out-of-memory), or a
+    /// deterministic kernel bug, where retrying the identical command
+    /// would fail identically. The supervised recovery layer in
+    /// `ensemble-ocl` retries transient errors and *fails over* to the
+    /// next device on everything else.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ClError::DeviceBusy { .. })
+    }
 }
 
 impl fmt::Display for ClError {
@@ -92,6 +127,13 @@ impl fmt::Display for ClError {
                 "out of device memory: requested {requested} bytes, {available} available"
             ),
             ClError::ObjectReleased(what) => write!(f, "use after release: {what}"),
+            ClError::DeviceBusy { device } => {
+                write!(
+                    f,
+                    "device `{device}` is busy (transient; retry may succeed)"
+                )
+            }
+            ClError::DeviceLost { device } => write!(f, "device `{device}` was lost"),
             ClError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
         }
     }

@@ -1,0 +1,444 @@
+//! Deterministic fault injection.
+//!
+//! Real heterogeneous runtimes treat device failure as a schedulable
+//! event: queues fill up, drivers reset, accelerators fall off the bus.
+//! This module lets a test (or the bench harness's *chaos mode*) schedule
+//! exactly such events inside the simulator — **deterministically**. A
+//! [`FaultPlan`] names which operations fail and how; a [`FaultInjector`]
+//! built from the plan attaches to a [`crate::CommandQueue`] (and/or a
+//! [`crate::Context`] for build faults) and fires them as the run reaches
+//! the scheduled operation indices. Because the simulator executes on a
+//! virtual clock and queue operations happen in program order, the same
+//! plan against the same workload injects the same faults at the same
+//! virtual instants on every machine.
+//!
+//! Two fault classes exist, matching the two recovery strategies above
+//! the simulator:
+//!
+//! * **Transient** ([`InjectedFault::Transient`]): the operation fails
+//!   once with [`ClError::DeviceBusy`]; the *re-issued* operation
+//!   consumes the next operation index and (normally) succeeds. The
+//!   recovery layer answers with bounded retries and virtual-clock
+//!   backoff.
+//! * **Permanent** ([`InjectedFault::DeviceLost`]): the device is gone.
+//!   Every subsequent upload, dispatch, or build through this injector
+//!   fails with [`ClError::DeviceLost`] — except **read-backs**, which
+//!   stay available as a rescue path so device-resident data can be
+//!   evacuated before failing over to another device.
+//!
+//! An injector with no plan (or a detached/disabled injector) is
+//! completely inert: checks are a branch on an `Option`, no fault is
+//! recorded, and a traced run produces byte-identical output to a run
+//! without any injector.
+
+use crate::error::{ClError, ClResult};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use trace::{SpanKind, TraceEvent, TraceSink};
+
+/// The operation classes a fault can be scheduled on. Each class has its
+/// own monotonically increasing operation counter inside the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Host→device buffer write (`enqueue_write_buffer`).
+    Upload,
+    /// Device→host buffer read (`enqueue_read_buffer`).
+    Readback,
+    /// ND-range kernel dispatch (`enqueue_nd_range`).
+    Enqueue,
+    /// Program compilation (`Program::build`).
+    Build,
+}
+
+impl FaultOp {
+    /// Stable lowercase name (used as the trace-event label).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Upload => "upload",
+            FaultOp::Readback => "readback",
+            FaultOp::Enqueue => "enqueue",
+            FaultOp::Build => "build",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            FaultOp::Upload => 0,
+            FaultOp::Readback => 1,
+            FaultOp::Enqueue => 2,
+            FaultOp::Build => 3,
+        }
+    }
+}
+
+/// What happens when a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Fail this one operation with [`ClError::DeviceBusy`]; later
+    /// operations are unaffected.
+    Transient,
+    /// Mark the device lost: this and every later non-readback operation
+    /// fails with [`ClError::DeviceLost`].
+    DeviceLost,
+}
+
+/// One scheduled fault: the `index`-th operation of class `op` (counting
+/// from 0, per injector) fails with `fault`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Operation class the fault is scheduled on.
+    pub op: FaultOp,
+    /// Zero-based index into that class's operation sequence.
+    pub index: u64,
+    /// Fault class to inject.
+    pub fault: InjectedFault,
+}
+
+/// Seeded pseudo-random transient faults: operation `(op, index)` fails
+/// when a hash of `(seed, op, index)` lands in the 1-in-`period` window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Seeded {
+    seed: u64,
+    period: u64,
+}
+
+/// A deterministic schedule of faults.
+///
+/// Plans combine explicitly scheduled faults ([`FaultPlan::fail`]) with
+/// an optional seeded transient schedule
+/// ([`FaultPlan::seeded_transient`]); explicit entries take precedence at
+/// indices where both would fire. An empty plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    explicit: Vec<FaultSpec>,
+    seeded: Option<Seeded>,
+}
+
+/// SplitMix64 — the classic 64-bit finaliser; good avalanche, no state,
+/// no dependency. Identical on every platform.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule `fault` on the `index`-th operation of class `op`
+    /// (builder style).
+    pub fn fail(mut self, op: FaultOp, index: u64, fault: InjectedFault) -> FaultPlan {
+        self.explicit.push(FaultSpec { op, index, fault });
+        self
+    }
+
+    /// A plan of seeded transient faults: roughly one in `period`
+    /// upload/readback/enqueue operations fails with
+    /// [`ClError::DeviceBusy`], chosen by a deterministic hash of
+    /// `(seed, op, index)`. Build operations are never hit (a kernel
+    /// compiles once per actor, so a seeded build fault would dominate
+    /// small schedules). `period` is clamped to at least 2.
+    pub fn seeded_transient(seed: u64, period: u64) -> FaultPlan {
+        FaultPlan {
+            explicit: Vec::new(),
+            seeded: Some(Seeded {
+                seed,
+                period: period.max(2),
+            }),
+        }
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.explicit.is_empty() && self.seeded.is_none()
+    }
+
+    fn lookup(&self, op: FaultOp, index: u64) -> Option<InjectedFault> {
+        if let Some(s) = self
+            .explicit
+            .iter()
+            .find(|s| s.op == op && s.index == index)
+        {
+            return Some(s.fault);
+        }
+        let seeded = self.seeded?;
+        if op == FaultOp::Build {
+            return None;
+        }
+        let h = splitmix64(
+            seeded
+                .seed
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add((op.slot() as u64) << 32)
+                .wrapping_add(index),
+        );
+        h.is_multiple_of(seeded.period)
+            .then_some(InjectedFault::Transient)
+    }
+}
+
+/// A fault that actually fired, as recorded by the injector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Operation class the fault fired on.
+    pub op: FaultOp,
+    /// Operation index it fired at.
+    pub index: u64,
+    /// Whether the fault was transient (retryable).
+    pub transient: bool,
+    /// The error the operation returned.
+    pub error: ClError,
+}
+
+#[derive(Debug)]
+struct InjectorInner {
+    plan: FaultPlan,
+    /// Per-[`FaultOp`] operation counters (see [`FaultOp::slot`]).
+    counters: [AtomicU64; 4],
+    /// Latched by a fired [`InjectedFault::DeviceLost`].
+    device_lost: AtomicBool,
+    records: Mutex<Vec<InjectionRecord>>,
+    trace: Mutex<TraceSink>,
+}
+
+/// A shared, cloneable fault source built from a [`FaultPlan`].
+///
+/// Attach it to a queue with [`crate::CommandQueue::attach_faults`]
+/// and/or a context with [`crate::Context::attach_faults`]; all clones
+/// share the same counters, so one injector attached to both sees one
+/// consistent operation sequence. [`FaultInjector::disabled`] (the
+/// default attachment everywhere) is inert and free.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<InjectorInner>>,
+}
+
+impl FaultInjector {
+    /// An injector that fires `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            inner: Some(Arc::new(InjectorInner {
+                plan,
+                counters: [
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                ],
+                device_lost: AtomicBool::new(false),
+                records: Mutex::new(Vec::new()),
+                trace: Mutex::new(TraceSink::disabled()),
+            })),
+        }
+    }
+
+    /// An inert injector (never fires; checks cost one `Option` branch).
+    pub fn disabled() -> FaultInjector {
+        FaultInjector { inner: None }
+    }
+
+    /// Whether this injector can fire faults.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a trace sink: every fired fault is then also recorded as a
+    /// [`SpanKind::FaultInjected`] instant on the device's track at the
+    /// queue's virtual timestamp. Shared by all clones.
+    pub fn attach_trace(&self, sink: TraceSink) {
+        if let Some(inner) = &self.inner {
+            *inner.trace.lock() = sink;
+        }
+    }
+
+    /// Consume one operation index of class `op` and fail if the plan
+    /// scheduled a fault there (or the device is already lost).
+    ///
+    /// `device` names the track for trace instants; `now_ns` is the
+    /// issuing queue's current virtual time. Called by the simulator at
+    /// the top of each instrumented entry point — user code does not
+    /// normally call this.
+    pub fn check(&self, op: FaultOp, device: &str, now_ns: f64) -> ClResult<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        // A lost device refuses everything except rescue read-backs.
+        if inner.device_lost.load(Ordering::Acquire) && op != FaultOp::Readback {
+            return Err(ClError::DeviceLost {
+                device: device.to_string(),
+            });
+        }
+        let index = inner.counters[op.slot()].fetch_add(1, Ordering::AcqRel);
+        let Some(fault) = inner.plan.lookup(op, index) else {
+            return Ok(());
+        };
+        let (transient, error) = match fault {
+            InjectedFault::Transient => (
+                true,
+                ClError::DeviceBusy {
+                    device: device.to_string(),
+                },
+            ),
+            InjectedFault::DeviceLost => {
+                inner.device_lost.store(true, Ordering::Release);
+                (
+                    false,
+                    ClError::DeviceLost {
+                        device: device.to_string(),
+                    },
+                )
+            }
+        };
+        inner.records.lock().push(InjectionRecord {
+            op,
+            index,
+            transient,
+            error: error.clone(),
+        });
+        let trace = inner.trace.lock();
+        if trace.is_enabled() {
+            trace.record(
+                TraceEvent::instant(SpanKind::FaultInjected, op.name(), device, now_ns)
+                    .with_arg("index", index)
+                    .with_arg("transient", transient)
+                    .with_arg("error", &error),
+            );
+        }
+        Err(error)
+    }
+
+    /// Every fault fired so far, in firing order.
+    pub fn records(&self) -> Vec<InjectionRecord> {
+        match &self.inner {
+            Some(inner) => inner.records.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of faults fired so far.
+    pub fn injected_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.records.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// Whether a [`InjectedFault::DeviceLost`] has fired.
+    pub fn device_is_lost(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.device_lost.load(Ordering::Acquire),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::new());
+        for i in 0..100 {
+            assert!(inj.check(FaultOp::Upload, "gpu", i as f64).is_ok());
+        }
+        assert_eq!(inj.injected_count(), 0);
+    }
+
+    #[test]
+    fn disabled_injector_is_inert() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        assert!(inj.check(FaultOp::Enqueue, "gpu", 0.0).is_ok());
+        assert!(inj.records().is_empty());
+    }
+
+    #[test]
+    fn explicit_transient_fires_once_at_its_index() {
+        let inj =
+            FaultInjector::new(FaultPlan::new().fail(FaultOp::Upload, 2, InjectedFault::Transient));
+        assert!(inj.check(FaultOp::Upload, "gpu", 0.0).is_ok()); // 0
+        assert!(inj.check(FaultOp::Upload, "gpu", 0.0).is_ok()); // 1
+        let err = inj.check(FaultOp::Upload, "gpu", 0.0).unwrap_err(); // 2
+        assert!(err.is_transient());
+        assert!(inj.check(FaultOp::Upload, "gpu", 0.0).is_ok()); // 3 (the retry)
+        assert_eq!(inj.injected_count(), 1);
+        // Other op classes have independent counters.
+        assert!(inj.check(FaultOp::Enqueue, "gpu", 0.0).is_ok());
+    }
+
+    #[test]
+    fn device_lost_latches_but_readback_survives() {
+        let inj = FaultInjector::new(FaultPlan::new().fail(
+            FaultOp::Enqueue,
+            0,
+            InjectedFault::DeviceLost,
+        ));
+        let err = inj.check(FaultOp::Enqueue, "gpu", 0.0).unwrap_err();
+        assert!(matches!(err, ClError::DeviceLost { .. }));
+        assert!(!err.is_transient());
+        assert!(inj.device_is_lost());
+        // Everything but readback now fails…
+        assert!(inj.check(FaultOp::Upload, "gpu", 0.0).is_err());
+        assert!(inj.check(FaultOp::Enqueue, "gpu", 0.0).is_err());
+        assert!(inj.check(FaultOp::Build, "gpu", 0.0).is_err());
+        // …but the rescue path stays open.
+        assert!(inj.check(FaultOp::Readback, "gpu", 0.0).is_ok());
+        // Only the scheduled fault is recorded, not its aftermath.
+        assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_fire() {
+        let plan = FaultPlan::seeded_transient(42, 5);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for _ in 0..200 {
+            let ra = a.check(FaultOp::Upload, "gpu", 0.0);
+            let rb = b.check(FaultOp::Upload, "gpu", 0.0);
+            assert_eq!(ra.is_ok(), rb.is_ok());
+        }
+        assert_eq!(a.records(), b.records());
+        let n = a.injected_count();
+        assert!(n > 0, "a 1-in-5 schedule must fire within 200 ops");
+        assert!(n < 200, "must not fire on every op");
+        // Different seeds give different schedules.
+        let c = FaultInjector::new(FaultPlan::seeded_transient(43, 5));
+        for _ in 0..200 {
+            let _ = c.check(FaultOp::Upload, "gpu", 0.0);
+        }
+        let idx =
+            |inj: &FaultInjector| -> Vec<u64> { inj.records().iter().map(|r| r.index).collect() };
+        assert_ne!(idx(&a), idx(&c));
+    }
+
+    #[test]
+    fn seeded_plans_never_hit_build() {
+        let inj = FaultInjector::new(FaultPlan::seeded_transient(7, 2));
+        for i in 0..500 {
+            assert!(inj.check(FaultOp::Build, "gpu", i as f64).is_ok());
+        }
+    }
+
+    #[test]
+    fn fired_faults_are_traced_as_instants() {
+        let sink = TraceSink::new();
+        let inj =
+            FaultInjector::new(FaultPlan::new().fail(FaultOp::Upload, 0, InjectedFault::Transient));
+        inj.attach_trace(sink.clone());
+        inj.check(FaultOp::Upload, "Virtual GPU", 123.0)
+            .unwrap_err();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SpanKind::FaultInjected);
+        assert_eq!(events[0].track, "Virtual GPU");
+        assert_eq!(events[0].ts_ns, 123.0);
+        // Fault instants never contribute to figure segments.
+        assert_eq!(sink.segments().total_ns(), 0.0);
+    }
+}

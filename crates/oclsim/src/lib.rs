@@ -21,6 +21,11 @@
 //!   that captures under-utilisation and load imbalance. [`Event`]
 //!   profiling exposes these times, which is what the paper's Figures 3a–3e
 //!   are built from.
+//! * **Fault injection** — a deterministic, seeded [`fault::FaultPlan`]
+//!   can make scheduled uploads, read-backs, dispatches, or builds fail
+//!   with transient ([`ClError::DeviceBusy`]) or permanent
+//!   ([`ClError::DeviceLost`]) errors, on the same virtual clock, so the
+//!   recovery layers above the simulator can be tested reproducibly.
 //!
 //! ## Why simulate instead of binding real OpenCL?
 //!
@@ -77,6 +82,7 @@ pub mod context;
 pub mod device;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod hostmem;
 pub mod minicl;
 pub mod ndrange;
@@ -91,6 +97,7 @@ pub use context::Context;
 pub use device::{Device, DeviceType};
 pub use error::{ClError, ClResult};
 pub use event::{CommandKind, Event};
+pub use fault::{FaultInjector, FaultOp, FaultPlan, InjectedFault};
 pub use ndrange::NdRange;
 pub use platform::Platform;
 pub use profile::{Profile, ProfileSink};

@@ -174,7 +174,10 @@ impl<'a> Compiler<'a> {
         for p in &f.params {
             if let Type::Ptr(Space::Local, _) = &p.ty {
                 if !f.is_kernel {
-                    self.err(p.pos, "__local pointer parameters are only allowed on kernels");
+                    self.err(
+                        p.pos,
+                        "__local pointer parameters are only allowed on kernels",
+                    );
                 }
                 self.n_local_param_regions += 1;
             }
@@ -519,10 +522,7 @@ impl<'a> Compiler<'a> {
                         // A device function would index the calling
                         // kernel's private region with offsets the kernel
                         // never reserved.
-                        self.err(
-                            pos,
-                            "private arrays may only be declared in kernel bodies",
-                        );
+                        self.err(pos, "private arrays may only be declared in kernel bodies");
                         return;
                     }
                     // 16-byte align so float4 arrays are well-formed.
@@ -941,7 +941,10 @@ impl<'a> Compiler<'a> {
             }
             BinOp::BAnd | BinOp::BOr | BinOp::BXor | BinOp::Shl | BinOp::Shr => {
                 if !merged.is_integer() {
-                    self.err(pos, format!("bitwise operator requires integers, got `{merged}`"));
+                    self.err(
+                        pos,
+                        format!("bitwise operator requires integers, got `{merged}`"),
+                    );
                 }
                 let o = match op {
                     BinOp::BAnd => Op::BAnd,
@@ -970,7 +973,10 @@ impl<'a> Compiler<'a> {
             }
         };
         if sig.is_kernel {
-            self.err(pos, format!("kernel `{name}` cannot be called from device code"));
+            self.err(
+                pos,
+                format!("kernel `{name}` cannot be called from device code"),
+            );
             self.emit(Op::PushI(0));
             return Type::Int;
         }
@@ -1082,7 +1088,11 @@ impl<'a> Compiler<'a> {
         if args.len() != params.len() {
             self.err(
                 pos,
-                format!("`{name}` expects {} arguments, got {}", params.len(), args.len()),
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    params.len(),
+                    args.len()
+                ),
             );
         }
         for (i, a) in args.iter().enumerate() {
@@ -1137,10 +1147,7 @@ mod tests {
 
     #[test]
     fn rejects_write_through_const_pointer() {
-        let err = build(
-            "__kernel void k(__constant float* a) { a[0] = 1.0f; }",
-        )
-        .unwrap_err();
+        let err = build("__kernel void k(__constant float* a) { a[0] = 1.0f; }").unwrap_err();
         assert!(err[0].message.contains("const"));
     }
 

@@ -141,7 +141,10 @@ pub fn run_ndrange(
                 RtArg::Local { bytes } => region_bytes.push(*bytes),
                 _ => {
                     return Err(Trap {
-                        message: format!("__local param `{}` not set via set_arg_local", param.name),
+                        message: format!(
+                            "__local param `{}` not set via set_arg_local",
+                            param.name
+                        ),
                         global_id: [0; 3],
                     })
                 }
@@ -319,7 +322,11 @@ fn run_group_lockstep(
             continue;
         }
         if at_barrier != running {
-            let culprit = items.iter().find(|i| !i.done).map(|i| i.gid).unwrap_or([0; 3]);
+            let culprit = items
+                .iter()
+                .find(|i| !i.done)
+                .map(|i| i.gid)
+                .unwrap_or([0; 3]);
             return Err(Trap {
                 message: format!(
                     "divergent barrier: {at_barrier} of {running} running items reached barrier"
@@ -525,26 +532,42 @@ fn step_until_stop(item: &mut Item, ctx: &mut GroupCtx<'_>) -> Result<StopReason
             Op::AddF4 => {
                 let b = pop_f4!(item);
                 let a = pop_f4!(item);
-                item.stack
-                    .push(Val::F4([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]));
+                item.stack.push(Val::F4([
+                    a[0] + b[0],
+                    a[1] + b[1],
+                    a[2] + b[2],
+                    a[3] + b[3],
+                ]));
             }
             Op::SubF4 => {
                 let b = pop_f4!(item);
                 let a = pop_f4!(item);
-                item.stack
-                    .push(Val::F4([a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]]));
+                item.stack.push(Val::F4([
+                    a[0] - b[0],
+                    a[1] - b[1],
+                    a[2] - b[2],
+                    a[3] - b[3],
+                ]));
             }
             Op::MulF4 => {
                 let b = pop_f4!(item);
                 let a = pop_f4!(item);
-                item.stack
-                    .push(Val::F4([a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]]));
+                item.stack.push(Val::F4([
+                    a[0] * b[0],
+                    a[1] * b[1],
+                    a[2] * b[2],
+                    a[3] * b[3],
+                ]));
             }
             Op::DivF4 => {
                 let b = pop_f4!(item);
                 let a = pop_f4!(item);
-                item.stack
-                    .push(Val::F4([a[0] / b[0], a[1] / b[1], a[2] / b[2], a[3] / b[3]]));
+                item.stack.push(Val::F4([
+                    a[0] / b[0],
+                    a[1] / b[1],
+                    a[2] / b[2],
+                    a[3] / b[3],
+                ]));
             }
             Op::SplatF4 => {
                 let a = pop_f!(item) as f32;
@@ -669,8 +692,7 @@ fn step_until_stop(item: &mut Item, ctx: &mut GroupCtx<'_>) -> Result<StopReason
                     });
                 }
                 let base = item.locals.len();
-                item.locals
-                    .resize(base + f.nlocals as usize, Val::I(0));
+                item.locals.resize(base + f.nlocals as usize, Val::I(0));
                 for k in (0..*nargs as usize).rev() {
                     item.locals[base + k] = pop!(item);
                 }
@@ -808,7 +830,10 @@ fn checked_offset(gid: [usize; 3], base: u32, idx: i64, size: usize) -> Result<u
 
 fn oob(gid: [usize; 3], byte: usize, size: usize, len: usize) -> Trap {
     Trap {
-        message: format!("out-of-bounds access: bytes {byte}..{} of {len}", byte + size),
+        message: format!(
+            "out-of-bounds access: bytes {byte}..{} of {len}",
+            byte + size
+        ),
         global_id: gid,
     }
 }
@@ -988,7 +1013,8 @@ mod tests {
 
     #[test]
     fn barrier_reduction_finds_minimum() {
-        let src = "__kernel void rmin(__global float* data, __global float* out, __local float* s) {
+        let src =
+            "__kernel void rmin(__global float* data, __global float* out, __local float* s) {
             int l = get_local_id(0);
             int g = get_global_id(0);
             s[l] = data[g];
@@ -1135,7 +1161,10 @@ mod tests {
             a[1] = x * y;
         }";
         let mut pool = MemPool {
-            bufs: vec![f32_buf(&[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]), vec![0u8; 4]],
+            bufs: vec![
+                f32_buf(&[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]),
+                vec![0u8; 4],
+            ],
             read_only: vec![false, false],
         };
         run(

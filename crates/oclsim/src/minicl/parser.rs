@@ -769,8 +769,8 @@ mod tests {
 
     #[test]
     fn keeps_pragmas() {
-        let unit = parse("#pragma acc parallel loop\n__kernel void k(__global float* a) { }")
-            .unwrap();
+        let unit =
+            parse("#pragma acc parallel loop\n__kernel void k(__global float* a) { }").unwrap();
         assert_eq!(unit.pragmas.len(), 1);
     }
 

@@ -157,12 +157,16 @@ impl fmt::Display for LexError {
     }
 }
 
+/// Tokens plus the `(line, text)` pairs of any `#pragma` lines, which are
+/// lifted out of the token stream rather than lexed.
+pub type Lexed = (Vec<Spanned>, Vec<(u32, String)>);
+
 /// Tokenize `src`, handling `//` and `/* */` comments and `#pragma` lines.
 ///
 /// `#pragma` lines are returned to the caller via `pragmas` as
 /// `(line, text)` pairs rather than as tokens — the OpenACC-style baseline
 /// consumes them, and plain kernel compilation ignores them.
-pub fn lex(src: &str) -> Result<(Vec<Spanned>, Vec<(u32, String)>), LexError> {
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
     let bytes: Vec<char> = src.chars().collect();
     let mut out = Vec::new();
     let mut pragmas = Vec::new();
@@ -441,8 +445,7 @@ mod tests {
 
     #[test]
     fn comments_and_pragmas() {
-        let (t, pragmas) =
-            lex("// line\n#pragma acc parallel loop\n/* block */ int x;").unwrap();
+        let (t, pragmas) = lex("// line\n#pragma acc parallel loop\n/* block */ int x;").unwrap();
         assert_eq!(pragmas.len(), 1);
         assert_eq!(pragmas[0].1, "acc parallel loop");
         assert_eq!(t[0].tok, Tok::Ident("int".into()));

@@ -69,7 +69,7 @@ impl NdRange {
                     self.global, self.local
                 )));
             }
-            if self.global[d] % self.local[d] != 0 {
+            if !self.global[d].is_multiple_of(self.local[d]) {
                 return Err(ClError::InvalidWorkGroupSize(format!(
                     "local size {} does not divide global size {} in dimension {d}",
                     self.local[d], self.global[d]

@@ -49,7 +49,7 @@ impl Platform {
     pub fn devices(&self, ty: Option<DeviceType>) -> Vec<Device> {
         self.devices
             .iter()
-            .filter(|d| ty.map_or(true, |t| d.device_type() == t))
+            .filter(|d| ty.is_none_or(|t| d.device_type() == t))
             .cloned()
             .collect()
     }
@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn default_device_lookup() {
         assert_eq!(
-            Platform::default_device(DeviceType::Gpu).unwrap().device_type(),
+            Platform::default_device(DeviceType::Gpu)
+                .unwrap()
+                .device_type(),
             DeviceType::Gpu
         );
         assert_eq!(

@@ -32,9 +32,9 @@ impl Program {
     /// Compile `source` for the given context. On failure, the error carries
     /// the full build log (every diagnostic, with line/column positions).
     pub fn build(ctx: &Context, source: &str) -> ClResult<Program> {
-        let unit = minicl::parse(source).map_err(|e| ClError::BuildFailure {
-            log: e.to_string(),
-        })?;
+        ctx.build_fault_check()?;
+        let unit =
+            minicl::parse(source).map_err(|e| ClError::BuildFailure { log: e.to_string() })?;
         let compiled = minicl::compile(&unit).map_err(|diags| ClError::BuildFailure {
             log: diags
                 .iter()
@@ -233,8 +233,8 @@ mod tests {
     #[test]
     fn build_failure_carries_log() {
         let c = ctx();
-        let err = Program::build(&c, "__kernel void k(__global float* a) { a[0] = nope; }")
-            .unwrap_err();
+        let err =
+            Program::build(&c, "__kernel void k(__global float* a) { a[0] = nope; }").unwrap_err();
         match err {
             ClError::BuildFailure { log } => assert!(log.contains("nope")),
             other => panic!("expected BuildFailure, got {other:?}"),

@@ -5,6 +5,7 @@ use crate::context::Context;
 use crate::device::Device;
 use crate::error::{ClError, ClResult};
 use crate::event::{CommandKind, Event};
+use crate::fault::{FaultInjector, FaultOp};
 use crate::minicl::ast::{Space, Type};
 use crate::minicl::interp::{run_ndrange, MemPool, RtArg};
 use crate::ndrange::NdRange;
@@ -33,6 +34,9 @@ struct QueueInner {
     /// Optional recorder: when attached, every command this queue executes
     /// becomes a virtual-clock span on the device's trace track.
     trace: Mutex<TraceSink>,
+    /// Optional fault source: when attached, every command consults it
+    /// first and may fail with an injected error (see [`crate::fault`]).
+    faults: Mutex<FaultInjector>,
 }
 
 impl CommandQueue {
@@ -50,8 +54,25 @@ impl CommandQueue {
                 device: device.clone(),
                 clock_ns: Mutex::new(0.0),
                 trace: Mutex::new(TraceSink::disabled()),
+                faults: Mutex::new(FaultInjector::disabled()),
             }),
         })
+    }
+
+    /// Attach a fault injector: every subsequent upload, read-back, and
+    /// kernel dispatch on this queue first consults the injector and may
+    /// fail with a scheduled [`ClError`] (see [`crate::fault`]). All
+    /// clones of the queue share the attachment. Pass
+    /// [`FaultInjector::disabled`] to detach.
+    pub fn attach_faults(&self, injector: FaultInjector) {
+        *self.inner.faults.lock() = injector;
+    }
+
+    fn fault_check(&self, op: FaultOp) -> ClResult<()> {
+        // Clone the (cheap, Arc-backed) handle so the lock is not held
+        // across the check — check() may lock the injector's own state.
+        let injector = self.inner.faults.lock().clone();
+        injector.check(op, self.inner.device.name(), self.now_ns())
     }
 
     /// Attach a trace sink: from now on every enqueued command is also
@@ -122,9 +143,18 @@ impl CommandQueue {
         (start, *clock)
     }
 
+    /// Charge `cost_ns` of host-side time to this queue's virtual clock
+    /// and return the `(start, end)` window. This is how layers above the
+    /// simulator keep host work (e.g. retry backoff in the recovery
+    /// layer) on the same deterministic timeline as device commands.
+    pub fn charge_ns(&self, cost_ns: f64) -> (f64, f64) {
+        self.advance(cost_ns)
+    }
+
     /// Copy `data` into `buf` (host → device), mirroring
     /// `clEnqueueWriteBuffer`.
     pub fn enqueue_write_buffer(&self, buf: &Buffer, data: &[u8]) -> ClResult<Event> {
+        self.fault_check(FaultOp::Upload)?;
         self.check_buffer(buf)?;
         buf.overwrite(0, data)?;
         let cost = self.inner.device.cost_model().transfer_ns(data.len());
@@ -137,6 +167,7 @@ impl CommandQueue {
     /// Copy `buf` into `out` (device → host), mirroring
     /// `clEnqueueReadBuffer`. `out` must be exactly the buffer's size.
     pub fn enqueue_read_buffer(&self, buf: &Buffer, out: &mut [u8]) -> ClResult<Event> {
+        self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
         let snapshot = buf.snapshot()?;
         if out.len() != snapshot.len() {
@@ -194,6 +225,7 @@ impl CommandQueue {
     /// device's analytic cost to the queue's virtual clock. The returned
     /// event's profiling timestamps expose that cost.
     pub fn enqueue_nd_range(&self, kernel: &Kernel, nd: &NdRange) -> ClResult<Event> {
+        self.fault_check(FaultOp::Enqueue)?;
         if kernel.ctx_id != self.inner.ctx.id() {
             return Err(ClError::InvalidContext(format!(
                 "kernel `{}` was built for a different context",
@@ -225,8 +257,7 @@ impl CommandQueue {
         let mut writable_ids: Vec<u64> = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
             if let ArgSpec::Buf(b) = spec {
-                let via_const =
-                    matches!(kernel.info.params[i].ty, Type::Ptr(Space::Constant, _));
+                let via_const = matches!(kernel.info.params[i].ty, Type::Ptr(Space::Constant, _));
                 if !via_const && !matches!(b.flags(), MemFlags::ReadOnly) {
                     writable_ids.push(b.id());
                 }

@@ -74,7 +74,11 @@ impl Parser<'_> {
             Some(b'f') => self.literal("false"),
             Some(b'n') => self.literal("null"),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            c => Err(format!("unexpected {:?} at byte {}", c.map(|x| x as char), self.pos)),
+            c => Err(format!(
+                "unexpected {:?} at byte {}",
+                c.map(|x| x as char),
+                self.pos
+            )),
         }
     }
 

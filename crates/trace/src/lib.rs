@@ -73,6 +73,18 @@ pub enum SpanKind {
     /// An actor (or stage worker) thread was spawned. Instant, wall
     /// clock.
     Spawn,
+    /// A scheduled fault fired inside the simulator (see
+    /// `oclsim::fault`). Instant, virtual queue clock. Never part of a
+    /// figure segment: an undisturbed run and a run with an empty fault
+    /// plan produce identical segment aggregations.
+    FaultInjected,
+    /// The recovery layer re-attempted a failed operation after a
+    /// virtual-clock backoff. Instant, virtual queue clock.
+    Retry,
+    /// The recovery layer abandoned a device and re-dispatched on the
+    /// next device-matrix entry (e.g. GPU → CPU degradation). Instant,
+    /// virtual clock of the abandoned device's queue.
+    Failover,
 }
 
 impl SpanKind {
@@ -90,6 +102,9 @@ impl SpanKind {
             SpanKind::Duplicate => "duplicate",
             SpanKind::ChannelWait => "channel_wait",
             SpanKind::Spawn => "spawn",
+            SpanKind::FaultInjected => "fault_injected",
+            SpanKind::Retry => "retry",
+            SpanKind::Failover => "failover",
         }
     }
 
@@ -413,9 +428,21 @@ mod tests {
     #[test]
     fn only_segment_kinds_aggregate() {
         let t = TraceSink::new();
-        t.record(TraceEvent::span(SpanKind::ChannelWait, "recv", "a", 0.0, 1e6));
+        t.record(TraceEvent::span(
+            SpanKind::ChannelWait,
+            "recv",
+            "a",
+            0.0,
+            1e6,
+        ));
         t.record(TraceEvent::instant(SpanKind::Spawn, "a", "stage", 0.0));
-        t.record(TraceEvent::span(SpanKind::VmChunk, "boot", "main", 0.0, 80.0));
+        t.record(TraceEvent::span(
+            SpanKind::VmChunk,
+            "boot",
+            "main",
+            0.0,
+            80.0,
+        ));
         let s = t.segments();
         assert_eq!(s.total_ns(), 80.0);
         assert_eq!(s.vm_ns, 80.0);
@@ -428,7 +455,12 @@ mod tests {
             TraceEvent::span(SpanKind::Kernel, "mm_kernel", "Virtual GPU", 100.0, 400.0)
                 .with_arg("items", 1024),
         );
-        t.record(TraceEvent::instant(SpanKind::MovTransfer, "a->b", "actor a", 500.0));
+        t.record(TraceEvent::instant(
+            SpanKind::MovTransfer,
+            "a->b",
+            "actor a",
+            500.0,
+        ));
         let j = chrome_json(&t.events());
         json::validate(&j).expect("valid JSON");
         assert!(j.contains("\"thread_name\""));

@@ -8,6 +8,7 @@
 //! is what makes Ensemble slower than C there).
 
 use crate::value::{force_host_locked, MovState, VmArr, VmError, VmVal};
+use ensemble_actors::ChannelError;
 use ensemble_lang::ast::PrintKind;
 use ensemble_lang::vmops::{Chunk, CompiledModule, ElemKind, NativeFn, VOp};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -290,8 +291,14 @@ pub fn run_chunk(
                         );
                     }
                 }
-                if o.send_moved(payload).is_err() {
-                    break Exit::ChannelClosed;
+                match o.send_moved(payload) {
+                    Ok(()) => {}
+                    Err(ChannelError::Poisoned) => {
+                        return Err(VmError(
+                            "send on a channel poisoned by a failed peer".into(),
+                        ))
+                    }
+                    Err(_) => break Exit::ChannelClosed,
                 }
             }
             VOp::RecvOp => {
@@ -301,6 +308,15 @@ pub fn run_chunk(
                 };
                 match i.receive() {
                     Ok(v) => stack.push(v),
+                    // A poisoned channel is a failed peer, not an orderly
+                    // shutdown: surface it as an error so the failure
+                    // propagates out of `run()` instead of looking like a
+                    // clean exit.
+                    Err(ChannelError::Poisoned) => {
+                        return Err(VmError(
+                            "receive on a channel poisoned by a failed peer".into(),
+                        ))
+                    }
                     Err(_) => break Exit::ChannelClosed,
                 }
             }
@@ -373,11 +389,7 @@ fn native_call(f: NativeFn, stack: &mut Vec<VmVal>) -> Result<VmVal, VmError> {
             let rows = pop()?.as_i()? as usize;
             let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
             let cells = (0..rows)
-                .map(|_| {
-                    VmVal::arr(VmArr::R(
-                        (0..cols).map(|_| xorshift(&mut state)).collect(),
-                    ))
-                })
+                .map(|_| VmVal::arr(VmArr::R((0..cols).map(|_| xorshift(&mut state)).collect())))
                 .collect();
             Ok(VmVal::arr(VmArr::Cells(cells)))
         }
@@ -387,8 +399,7 @@ fn native_call(f: NativeFn, stack: &mut Vec<VmVal>) -> Result<VmVal, VmError> {
             let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
             let cells = (0..n)
                 .map(|i| {
-                    let mut row: Vec<f64> =
-                        (0..n).map(|_| 0.5 * xorshift(&mut state)).collect();
+                    let mut row: Vec<f64> = (0..n).map(|_| 0.5 * xorshift(&mut state)).collect();
                     let sum: f64 = row
                         .iter()
                         .enumerate()
@@ -433,11 +444,12 @@ fn alloc_array(dims: &[usize], elem: ElemKind, fill: Option<&VmVal>) -> Result<V
         let n = dims[0];
         let arr = match elem {
             ElemKind::Int => VmArr::I(vec![fill.map(|f| f.as_i()).transpose()?.unwrap_or(0); n]),
-            ElemKind::Real => {
-                VmArr::R(vec![fill.map(|f| f.as_f()).transpose()?.unwrap_or(0.0); n])
-            }
+            ElemKind::Real => VmArr::R(vec![fill.map(|f| f.as_f()).transpose()?.unwrap_or(0.0); n]),
             ElemKind::Bool | ElemKind::Cell => {
-                VmArr::B(vec![fill.map(|f| f.as_b()).transpose()?.unwrap_or(false); n])
+                VmArr::B(vec![
+                    fill.map(|f| f.as_b()).transpose()?.unwrap_or(false);
+                    n
+                ])
             }
         };
         return Ok(VmVal::arr(arr));

@@ -10,17 +10,20 @@
 
 use crate::interp::{run_chunk, Exit, RuntimeHooks};
 use crate::value::{flatten_fields, unflatten_fields, MovState, VmError, VmVal};
+use ensemble_actors::ChannelError;
 use ensemble_lang::vmops::*;
+use ensemble_ocl::recovery::with_retry;
 use ensemble_ocl::{
-    nd_from, DeviceSel, FlatData, FlatSeg, OpenClEnvironment, Profile, ProfileSink, ResidentBufs,
+    nd_from, DeviceSel, FlatData, FlatSeg, OpenClEnvironment, Profile, ProfileSink, RecoveryPolicy,
+    ResidentBufs,
 };
 use oclsim::{DeviceType, Kernel, MemFlags, Program};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use trace::{SpanKind, TraceEvent};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use trace::{SpanKind, TraceEvent};
 
 /// Modeled interpreter cost per abstract VM op, in virtual nanoseconds.
 ///
@@ -53,6 +56,9 @@ impl VmReport {
     }
 }
 
+/// One spawned actor: its name plus the join handle supervising its run.
+type ActorHandle = (String, JoinHandle<Result<(), VmError>>);
+
 struct Shared {
     module: CompiledModule,
     ops: Arc<AtomicU64>,
@@ -62,7 +68,7 @@ struct Shared {
     /// finishes wiring the topology (otherwise an eager sender could see a
     /// not-yet-connected channel).
     pending: Mutex<Vec<(CompiledActor, Vec<VmVal>)>>,
-    handles: Mutex<Vec<(String, JoinHandle<Result<(), VmError>>)>>,
+    handles: Mutex<Vec<ActorHandle>>,
 }
 
 impl RuntimeHooks for Arc<Shared> {
@@ -111,7 +117,13 @@ impl VmRuntime {
         let mut slots = vec![VmVal::Unit; boot.nslots as usize];
         let (_, boot_ops) = run_chunk(boot, &shared.module, &mut slots, &shared.ops, &shared)?;
         let mut boot_clock = 0.0;
-        trace_chunk(&shared.profile, "vm/boot", "boot", &mut boot_clock, boot_ops);
+        trace_chunk(
+            &shared.profile,
+            "vm/boot",
+            "boot",
+            &mut boot_clock,
+            boot_ops,
+        );
         // Drop the boot frame before starting the actors: the actor
         // handles it holds keep clones of the actors' out endpoints alive,
         // and receivers only observe closure once every clone is gone.
@@ -245,7 +257,9 @@ fn trace_chunk(profile: &ProfileSink, track: &str, name: &str, clock: &mut f64, 
     let dur = ops as f64 * VM_NS_PER_OP;
     let t = profile.trace();
     if ops > 0 && t.is_enabled() {
-        t.record(TraceEvent::span(SpanKind::VmChunk, name, track, *clock, dur).with_arg("ops", ops));
+        t.record(
+            TraceEvent::span(SpanKind::VmChunk, name, track, *clock, dur).with_arg("ops", ops),
+        );
     }
     *clock += dur;
 }
@@ -264,25 +278,45 @@ fn parse_device(plan: &KernelPlan) -> DeviceSel {
 
 fn upload(
     env: &OpenClEnvironment,
-    flat: FlatData,
+    policy: &RecoveryPolicy,
+    flat: &FlatData,
     profile: &ProfileSink,
 ) -> Result<ResidentBufs, VmError> {
     let mut bufs = Vec::with_capacity(flat.segs.len());
-    for seg in &flat.segs {
-        let buf = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, seg.byte_len())
-            .map_err(|e| VmError(format!("buffer allocation failed: {e}")))?;
-        let ev = env
-            .queue
-            .enqueue_write_buffer(&buf, &seg.to_bytes())
-            .map_err(|e| VmError(format!("upload failed: {e}")))?;
-        profile.record_command(&ev, env.device.name());
-        bufs.push((buf, seg.ty()));
+    let mut held = 0usize;
+    let filled = (|| {
+        for seg in &flat.segs {
+            let buf = env
+                .context
+                .create_buffer(MemFlags::ReadWrite, seg.byte_len())
+                .map_err(|e| VmError(format!("buffer allocation failed: {e}")))?;
+            let ev = with_retry(
+                policy,
+                &env.queue,
+                env.device.name(),
+                profile,
+                "upload",
+                || env.queue.enqueue_write_buffer(&buf, &seg.to_bytes()),
+            )
+            .map_err(|e| {
+                env.context.release_bytes(seg.byte_len());
+                VmError(format!("upload failed: {e}"))
+            })?;
+            profile.record_command(&ev, env.device.name());
+            held += seg.byte_len();
+            bufs.push((buf, seg.ty()));
+        }
+        Ok(())
+    })();
+    if let Err(e) = filled {
+        // Give back the accounting for every buffer uploaded before the
+        // failing one; the failed buffer released its own bytes above.
+        env.context.release_bytes(held);
+        return Err(e);
     }
     Ok(ResidentBufs {
         bufs,
-        dims: flat.dims,
+        dims: flat.dims.clone(),
         context: env.context.clone(),
         queue: env.queue.clone(),
     })
@@ -291,6 +325,7 @@ fn upload(
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     env: &OpenClEnvironment,
+    policy: &RecoveryPolicy,
     kernel: &Kernel,
     bufs: &ResidentBufs,
     ws: &[usize],
@@ -318,10 +353,15 @@ fn dispatch(
         arg += 1;
     }
     let nd = nd_from(ws, gs).map_err(|e| VmError(format!("bad worksizes: {e}")))?;
-    let ev = env
-        .queue
-        .enqueue_nd_range(kernel, &nd)
-        .map_err(|e| VmError(format!("dispatch failed: {e}")))?;
+    let ev = with_retry(
+        policy,
+        &env.queue,
+        env.device.name(),
+        profile,
+        "dispatch",
+        || env.queue.enqueue_nd_range(kernel, &nd),
+    )
+    .map_err(|e| VmError(format!("dispatch failed: {e}")))?;
     profile.record_command(&ev, env.device.name());
     Ok(())
 }
@@ -333,7 +373,9 @@ fn usize_array(v: &VmVal) -> Result<Vec<usize>, VmError> {
     let guard = a.lock();
     match &*guard {
         crate::value::VmArr::I(vals) => Ok(vals.iter().map(|&x| x as usize).collect()),
-        other => Err(VmError(format!("worksize must be integer[], got {other:?}"))),
+        other => Err(VmError(format!(
+            "worksize must be integer[], got {other:?}"
+        ))),
     }
 }
 
@@ -354,11 +396,17 @@ fn kernel_actor(
         .create_kernel(&plan.kernel_name)
         .map_err(|e| VmError(format!("{e}")))?;
     let profile = shared.profile.clone();
+    let policy = RecoveryPolicy::default();
 
     loop {
         // 1. receive the settings struct.
         let settings = match requests.receive() {
             Ok(v) => v,
+            Err(ChannelError::Poisoned) => {
+                return Err(VmError(format!(
+                    "kernel actor `{name}`: requests channel poisoned by a failed peer"
+                )))
+            }
             Err(_) => return Ok(()),
         };
         let VmVal::Struct(_, sfields) = &settings else {
@@ -377,9 +425,17 @@ fn kernel_actor(
             (ws, gs, input, output, f[4..].to_vec())
         };
 
-        // 2. receive the data.
+        // 2. receive the data. A poisoned input means the upstream stage
+        // died mid-pipeline: propagate the poison downstream so the whole
+        // pipeline tears down instead of deadlocking on a rendezvous.
         let data = match input.receive() {
             Ok(v) => v,
+            Err(ChannelError::Poisoned) => {
+                output.poison_receivers();
+                return Err(VmError(format!(
+                    "kernel actor `{name}`: input channel poisoned by a failed peer"
+                )));
+            }
             Err(_) => return Ok(()),
         };
         // The `invokenative` boundary: the actor leaves interpreted code
@@ -397,98 +453,127 @@ fn kernel_actor(
             );
         }
 
-        // 3. prepare buffers (§6.2.3 residency rules), 4. dispatch.
-        let result: VmVal = if plan.mov {
-            let VmVal::MovStruct(type_id, state) = &data else {
-                return Err(VmError(
-                    "kernel data of a mov type must be a mov struct value".into(),
-                ));
-            };
-            {
-                let mut guard = state.lock();
-                // Cross-context residency: read back first (the paper's
-                // "different context" rule).
-                let cross = matches!(&*guard, MovState::Device { bufs, .. }
-                    if bufs.context.id() != env.context.id());
-                if cross {
-                    drop(guard);
-                    crate::value::force_host(state, Some(&profile))?;
-                    guard = state.lock();
-                }
-                if let MovState::Host(fields) = &*guard {
-                    let flat = flatten_fields(fields, &plan.data_fields)?;
-                    let bufs = upload(&env, flat, &profile)?;
-                    *guard = MovState::Device {
-                        bufs,
-                        fields: plan.data_fields.clone(),
-                    };
-                }
-                let MovState::Device { bufs, .. } = &*guard else {
-                    unreachable!("uploaded above");
+        // 3. prepare buffers (§6.2.3 residency rules), 4. dispatch. Any
+        // device error that survives the retry layer poisons the output
+        // channel before this actor exits, so downstream receivers observe
+        // a typed failure instead of blocking forever.
+        let attempt: Result<VmVal, VmError> = (|| {
+            if plan.mov {
+                let VmVal::MovStruct(type_id, state) = &data else {
+                    return Err(VmError(
+                        "kernel data of a mov type must be a mov struct value".into(),
+                    ));
                 };
-                dispatch(&env, &kernel, bufs, &ws, &gs, &scalars, &profile)?;
-            }
-            VmVal::MovStruct(*type_id, Arc::clone(state))
-        } else {
-            // Plain channels: copy up, dispatch, copy the output back.
-            let field_vals: Vec<VmVal> = match (&plan.data_shape, &data) {
-                (DataShape::Struct { .. }, VmVal::Struct(_, fields)) => fields.lock().clone(),
-                (DataShape::Array { .. }, v @ VmVal::Arr(_)) => vec![v.clone()],
-                (shape, got) => {
-                    return Err(VmError(format!(
-                        "kernel data mismatch: expected {shape:?}, got {got:?}"
-                    )))
-                }
-            };
-            let flat = flatten_fields(&field_vals, &plan.data_fields)?;
-            let bufs = upload(&env, flat, &profile)?;
-            dispatch(&env, &kernel, &bufs, &ws, &gs, &scalars, &profile)?;
-            let result = match plan.out {
-                KernelOut::Whole => {
-                    let mut segs = Vec::new();
-                    for (b, ty) in &bufs.bufs {
-                        let mut bytes = vec![0u8; b.len()];
-                        let ev = env
-                            .queue
-                            .enqueue_read_buffer(b, &mut bytes)
-                            .map_err(|e| VmError(format!("read failed: {e}")))?;
-                        profile.record_command(&ev, env.device.name());
-                        segs.push(FlatSeg::from_bytes(*ty, &bytes));
+                {
+                    let mut guard = state.lock();
+                    // Cross-context residency: read back first (the paper's
+                    // "different context" rule).
+                    let cross = matches!(&*guard, MovState::Device { bufs, .. }
+                    if bufs.context.id() != env.context.id());
+                    if cross {
+                        drop(guard);
+                        crate::value::force_host(state, Some(&profile))?;
+                        guard = state.lock();
                     }
-                    let flat = FlatData {
-                        segs,
-                        dims: bufs.dims.clone(),
+                    if let MovState::Host(fields) = &*guard {
+                        let flat = flatten_fields(fields, &plan.data_fields)?;
+                        let bufs = upload(&env, &policy, &flat, &profile)?;
+                        *guard = MovState::Device {
+                            bufs,
+                            fields: plan.data_fields.clone(),
+                        };
+                    }
+                    let MovState::Device { bufs, .. } = &*guard else {
+                        unreachable!("uploaded above");
                     };
-                    let vals = unflatten_fields(&flat, &plan.data_fields)?;
-                    match (&plan.data_shape, &data) {
-                        (DataShape::Struct { type_id }, _) => {
-                            VmVal::Struct(*type_id, Arc::new(Mutex::new(vals)))
-                        }
-                        (DataShape::Array { .. }, _) => vals.into_iter().next().unwrap(),
+                    dispatch(&env, &policy, &kernel, bufs, &ws, &gs, &scalars, &profile)?;
+                }
+                Ok(VmVal::MovStruct(*type_id, Arc::clone(state)))
+            } else {
+                // Plain channels: copy up, dispatch, copy the output back.
+                let field_vals: Vec<VmVal> = match (&plan.data_shape, &data) {
+                    (DataShape::Struct { .. }, VmVal::Struct(_, fields)) => fields.lock().clone(),
+                    (DataShape::Array { .. }, v @ VmVal::Arr(_)) => vec![v.clone()],
+                    (shape, got) => {
+                        return Err(VmError(format!(
+                            "kernel data mismatch: expected {shape:?}, got {got:?}"
+                        )))
                     }
-                }
-                KernelOut::Field(fidx) => {
-                    let (b, ty) = &bufs.bufs[fidx];
-                    let mut bytes = vec![0u8; b.len()];
-                    let ev = env
-                        .queue
-                        .enqueue_read_buffer(b, &mut bytes)
-                        .map_err(|e| VmError(format!("read failed: {e}")))?;
-                    profile.record_command(&ev, env.device.name());
-                    let seg = FlatSeg::from_bytes(*ty, &bytes);
-                    // The field's dims within the overall dims vector.
-                    let offset: usize = plan.data_fields[..fidx].iter().map(|f| f.ndims).sum();
-                    let field = &plan.data_fields[fidx];
-                    let dims: Vec<usize> = bufs.dims[offset..offset + field.ndims]
-                        .iter()
-                        .map(|&d| d as usize)
-                        .collect();
-                    crate::value::build_array(&seg, &dims, field)?
-                }
-            };
-            let released = bufs.bufs.iter().map(|(b, _)| b.len()).sum();
-            env.context.release_bytes(released);
-            result
+                };
+                let flat = flatten_fields(&field_vals, &plan.data_fields)?;
+                let bufs = upload(&env, &policy, &flat, &profile)?;
+                // The buffer accounting is released whether or not the dispatch
+                // and readbacks succeed; on error the buffers are abandoned.
+                let read = (|| {
+                    dispatch(&env, &policy, &kernel, &bufs, &ws, &gs, &scalars, &profile)?;
+                    let result = match plan.out {
+                        KernelOut::Whole => {
+                            let mut segs = Vec::new();
+                            for (b, ty) in &bufs.bufs {
+                                let mut bytes = vec![0u8; b.len()];
+                                let ev = with_retry(
+                                    &policy,
+                                    &env.queue,
+                                    env.device.name(),
+                                    &profile,
+                                    "readback",
+                                    || env.queue.enqueue_read_buffer(b, &mut bytes),
+                                )
+                                .map_err(|e| VmError(format!("read failed: {e}")))?;
+                                profile.record_command(&ev, env.device.name());
+                                segs.push(FlatSeg::from_bytes(*ty, &bytes));
+                            }
+                            let flat = FlatData {
+                                segs,
+                                dims: bufs.dims.clone(),
+                            };
+                            let vals = unflatten_fields(&flat, &plan.data_fields)?;
+                            match (&plan.data_shape, &data) {
+                                (DataShape::Struct { type_id }, _) => {
+                                    VmVal::Struct(*type_id, Arc::new(Mutex::new(vals)))
+                                }
+                                (DataShape::Array { .. }, _) => vals.into_iter().next().unwrap(),
+                            }
+                        }
+                        KernelOut::Field(fidx) => {
+                            let (b, ty) = &bufs.bufs[fidx];
+                            let mut bytes = vec![0u8; b.len()];
+                            let ev = with_retry(
+                                &policy,
+                                &env.queue,
+                                env.device.name(),
+                                &profile,
+                                "readback",
+                                || env.queue.enqueue_read_buffer(b, &mut bytes),
+                            )
+                            .map_err(|e| VmError(format!("read failed: {e}")))?;
+                            profile.record_command(&ev, env.device.name());
+                            let seg = FlatSeg::from_bytes(*ty, &bytes);
+                            // The field's dims within the overall dims vector.
+                            let offset: usize =
+                                plan.data_fields[..fidx].iter().map(|f| f.ndims).sum();
+                            let field = &plan.data_fields[fidx];
+                            let dims: Vec<usize> = bufs.dims[offset..offset + field.ndims]
+                                .iter()
+                                .map(|&d| d as usize)
+                                .collect();
+                            crate::value::build_array(&seg, &dims, field)?
+                        }
+                    };
+                    Ok(result)
+                })();
+                let released: usize = bufs.bufs.iter().map(|(b, _)| b.len()).sum();
+                env.context.release_bytes(released);
+                read
+            }
+        })();
+        let result = match attempt {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("[vm/{name}] unrecoverable error: {e}; tearing down pipeline");
+                output.poison_receivers();
+                return Err(e);
+            }
         };
 
         // 5. send onward.

@@ -324,12 +324,7 @@ pub fn build_array(seg: &FlatSeg, dims: &[usize], field: &DataField) -> Result<V
             }
         }
     }
-    fn build(
-        seg: &FlatSeg,
-        dims: &[usize],
-        offset: usize,
-        elem: ElemKind,
-    ) -> VmVal {
+    fn build(seg: &FlatSeg, dims: &[usize], offset: usize, elem: ElemKind) -> VmVal {
         if dims.len() == 1 {
             slice_to_val(seg, offset..offset + dims[0], elem)
         } else {
@@ -375,13 +370,18 @@ mod tests {
         let f = field("m", ElemKind::Real, 2);
         let flat = flatten_fields(std::slice::from_ref(&rows), std::slice::from_ref(&f)).unwrap();
         assert_eq!(flat.dims, vec![2, 3]);
-        assert_eq!(flat.segs[0], FlatSeg::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        assert_eq!(
+            flat.segs[0],
+            FlatSeg::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        );
         let back = unflatten_fields(&flat, std::slice::from_ref(&f)).unwrap();
         let VmVal::Arr(a) = &back[0] else { panic!() };
         let VmArr::Cells(cells) = &*a.lock() else {
             panic!()
         };
-        let VmVal::Arr(row1) = &cells[1] else { panic!() };
+        let VmVal::Arr(row1) = &cells[1] else {
+            panic!()
+        };
         assert_eq!(*row1.lock(), VmArr::R(vec![4.0, 5.0, 6.0]));
     }
 

@@ -131,8 +131,8 @@ fn lud_vm_keeps_matrix_on_device_between_kernels() {
         .select(ensemble_ocl::DeviceSel::gpu())
         .unwrap();
     let matrix_bytes = 16 * 16 * 4;
-    let one_up = gpu.device.cost_model().transfer_ns(matrix_bytes)
-        + gpu.device.cost_model().transfer_ns(4); // piv
+    let one_up =
+        gpu.device.cost_model().transfer_ns(matrix_bytes) + gpu.device.cost_model().transfer_ns(4); // piv
     assert!(
         report.profile.to_device_ns <= one_up + 1.0,
         "expected one upload, got {} (one = {one_up})",
@@ -156,9 +156,8 @@ fn docrank_vm_residency_skips_reupload_between_rounds() {
         .select(ensemble_ocl::DeviceSel::gpu())
         .unwrap();
     let cost = gpu.device.cost_model();
-    let one_round_up = cost.transfer_ns(128 * 64 * 4)
-        + cost.transfer_ns(64 * 4)
-        + cost.transfer_ns(128 * 4);
+    let one_round_up =
+        cost.transfer_ns(128 * 64 * 4) + cost.transfer_ns(64 * 4) + cost.transfer_ns(128 * 4);
     assert!(
         (report.profile.to_device_ns - one_round_up).abs() < 1.0,
         "expected a single round of uploads: {} vs {one_round_up}",

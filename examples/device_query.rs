@@ -11,7 +11,11 @@ use ensemble_repro::oclsim::Platform;
 
 fn main() {
     for (pi, platform) in Platform::all().iter().enumerate() {
-        println!("Platform #{pi}: {} ({})", platform.name(), platform.vendor());
+        println!(
+            "Platform #{pi}: {} ({})",
+            platform.name(),
+            platform.vendor()
+        );
         for device in platform.devices(None) {
             println!(
                 "  Device #{}: {} [{}]",

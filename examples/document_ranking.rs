@@ -18,12 +18,24 @@ fn main() {
     let threshold = docrank::threshold();
     let expected = docrank::reference(&corpus, &tpl, threshold);
     let wanted: i32 = expected.iter().sum();
-    println!("{docs} documents, {} terms each; {wanted} match the template", docrank::TERMS);
-    println!("each approach runs the ranking kernel {} times\n", docrank::ROUNDS);
+    println!(
+        "{docs} documents, {} terms each; {wanted} match the template",
+        docrank::TERMS
+    );
+    println!(
+        "each approach runs the ranking kernel {} times\n",
+        docrank::ROUNDS
+    );
 
     // Ensemble: mov channels keep the corpus on the device across rounds.
     let p = ProfileSink::new();
-    let got = docrank::run_ensemble(corpus.clone(), tpl.clone(), threshold, DeviceSel::gpu(), p.clone());
+    let got = docrank::run_ensemble(
+        corpus.clone(),
+        tpl.clone(),
+        threshold,
+        DeviceSel::gpu(),
+        p.clone(),
+    );
     assert_eq!(got, expected);
     let ens = p.snapshot();
     println!(
@@ -34,7 +46,13 @@ fn main() {
 
     // C-OpenCL: float4 kernel, but copies the corpus every round.
     let p = ProfileSink::new();
-    let got = docrank::run_copencl(corpus.clone(), tpl.clone(), threshold, DeviceType::Gpu, p.clone());
+    let got = docrank::run_copencl(
+        corpus.clone(),
+        tpl.clone(),
+        threshold,
+        DeviceType::Gpu,
+        p.clone(),
+    );
     assert_eq!(got, expected);
     let c = p.snapshot();
     println!(
@@ -55,7 +73,13 @@ fn main() {
     );
 
     // OpenACC: fails to compile, exactly like PGI did in the paper.
-    match docrank::run_openacc(corpus.clone(), tpl.clone(), threshold, AccTarget::gpu(), ProfileSink::new()) {
+    match docrank::run_openacc(
+        corpus.clone(),
+        tpl.clone(),
+        threshold,
+        AccTarget::gpu(),
+        ProfileSink::new(),
+    ) {
         Err(e) => println!("\nC-OpenACC          : {e}"),
         Ok(_) => println!("\nC-OpenACC          : unexpectedly compiled"),
     }

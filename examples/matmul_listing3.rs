@@ -14,7 +14,7 @@ use ensemble_repro::ensemble_actors::{buffered_channel, In, Out, Stage};
 use ensemble_repro::ensemble_apps::matmul;
 use ensemble_repro::ensemble_lang::compile_source;
 use ensemble_repro::ensemble_ocl::{
-    Array2, DeviceSel, KernelActor, KernelSpec, ProfileSink, Settings,
+    Array2, DeviceSel, KernelActor, KernelSpec, ProfileSink, RecoveryPolicy, Settings,
 };
 use ensemble_repro::ensemble_vm::VmRuntime;
 
@@ -30,6 +30,7 @@ fn programmatic(n: usize) {
         out_segs: vec![2],        // send `result` onward
         out_dims: vec![4, 5],
         profile: profile.clone(),
+        recovery: RecoveryPolicy::default(),
     };
     let (req_out, req_in) = buffered_channel::<Settings<MmIn, Array2>>(1);
     let mut stage = Stage::new("home");
@@ -57,7 +58,10 @@ fn programmatic(n: usize) {
         .map(|(x, y)| (x - y).abs())
         .fold(0.0f32, f32::max);
     let p = profile.snapshot();
-    println!("  result[0][0] = {:.4}, max |err| vs reference = {max_err:.2e}", result[(0, 0)]);
+    println!(
+        "  result[0][0] = {:.4}, max |err| vs reference = {max_err:.2e}",
+        result[(0, 0)]
+    );
     println!(
         "  virtual time: to-device {:.1} µs, kernel {:.1} µs, from-device {:.1} µs",
         p.to_device_ns / 1000.0,
@@ -68,9 +72,9 @@ fn programmatic(n: usize) {
 
 fn through_the_compiler(n: usize) {
     println!("— the .ens source through compiler + VM (n = {n}) —");
-    let src = include_str!("../crates/apps/src/assets/matmul/ocl.ens")
-        .replace("1024", &n.to_string())
-        .replace("of 16", "of 16"); // groupsize 16 divides n
+    // Only the problem size changes; the `of 16` group size already divides n.
+    let src =
+        include_str!("../crates/apps/src/assets/matmul/ocl.ens").replace("1024", &n.to_string());
     let module = compile_source(&src).expect("Listing 3 compiles");
     // The compiler generated real OpenCL C for the kernel actor:
     for actor in &module.actors {

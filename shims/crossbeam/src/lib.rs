@@ -34,6 +34,37 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent
+    /// message.
+    pub enum SendTimeoutError<T> {
+        /// The deadline passed before the channel accepted the message.
+        Timeout(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("SendTimeoutError::Disconnected(..)")
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("send timed out"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -97,10 +128,7 @@ pub mod channel {
             send_cv: Condvar::new(),
             recv_cv: Condvar::new(),
         });
-        (
-            Sender { chan: chan.clone() },
-            Receiver { chan },
-        )
+        (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
     impl<T> Sender<T> {
@@ -126,6 +154,35 @@ pub mod channel {
                     return Ok(());
                 }
                 st = self.chan.send_cv.wait(st).unwrap();
+            }
+        }
+
+        /// Like [`Sender::send`], but give up (returning the message in
+        /// [`SendTimeoutError::Timeout`]) if the channel has not accepted
+        /// it by the deadline.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                let admit = if self.chan.cap == 0 {
+                    st.queue.len() < st.recv_waiting
+                } else {
+                    st.queue.len() < self.chan.cap
+                };
+                if admit {
+                    st.queue.push_back(value);
+                    self.chan.recv_cv.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                let (guard, _) = self.chan.send_cv.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
             }
         }
 
@@ -157,11 +214,7 @@ pub mod channel {
                 st.recv_waiting += 1;
                 // A receiver is now parked: rendezvous senders may proceed.
                 self.chan.send_cv.notify_all();
-                let (guard, _) = self
-                    .chan
-                    .recv_cv
-                    .wait_timeout(st, deadline - now)
-                    .unwrap();
+                let (guard, _) = self.chan.recv_cv.wait_timeout(st, deadline - now).unwrap();
                 st = guard;
                 st.recv_waiting -= 1;
             }
@@ -184,14 +237,18 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
             self.chan.state.lock().unwrap().senders += 1;
-            Sender { chan: self.chan.clone() }
+            Sender {
+                chan: self.chan.clone(),
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
             self.chan.state.lock().unwrap().receivers += 1;
-            Receiver { chan: self.chan.clone() }
+            Receiver {
+                chan: self.chan.clone(),
+            }
         }
     }
 

@@ -1,0 +1,79 @@
+//! Fault injection and supervised recovery, asserted end to end.
+//!
+//! These drive the bench harness's chaos mode (the same code behind
+//! `cargo run -p bench --bin figures -- --chaos-seed N`) as a fast smoke
+//! test, plus the specific recovery claims: seeded transient faults are
+//! absorbed by retries (one retry per injected fault, reference-correct
+//! output), a permanently lost GPU fails over to the CPU matrix entry and
+//! still completes, and an *empty* fault plan is byte-for-byte inert.
+
+use bench::apps_ens::{self, Sizes};
+use bench::chaos;
+use proptest::prelude::*;
+
+fn smoke_sizes() -> Sizes {
+    Sizes {
+        matmul_n: 16,
+        mandel_n: 16,
+        mandel_iters: 20,
+        lud_n: 16,
+        reduction_n: 1 << 10,
+        docrank_docs: 128,
+        docrank_rounds: 3,
+    }
+}
+
+/// The `--chaos-seed` run the harness exposes, at smoke sizes: all five
+/// applications absorb at least one injected transient each and match
+/// their fault-free references.
+#[test]
+fn chaos_smoke_all_five_apps_recover() {
+    let outcomes = chaos::run_chaos(7, &smoke_sizes()).unwrap();
+    assert_eq!(outcomes.len(), 5);
+    for o in outcomes {
+        assert!(o.matches_reference, "{}", o.render());
+        assert!(o.injected >= 1, "{}", o.render());
+    }
+}
+
+/// A permanent `DeviceLost` on the GPU's first dispatch: the kernel actor
+/// evacuates its buffers through the rescue read-back, fails over to the
+/// CPU, and produces the reference product — with the failover recorded
+/// as a trace instant.
+#[test]
+fn device_lost_mid_pipeline_fails_over_to_cpu() {
+    let o = chaos::run_failover_chaos(32).unwrap();
+    assert!(o.matches_reference, "{}", o.render());
+    assert!(o.failovers >= 1, "{}", o.render());
+    assert!(o.injected >= 1, "{}", o.render());
+}
+
+/// An empty `FaultPlan` is inert at the byte level: the same command
+/// sequence on a pinned-clock queue produces an identical Chrome trace
+/// with and without the (empty) injector attached.
+#[test]
+fn empty_fault_plan_is_byte_identical() {
+    let without = chaos::empty_plan_trace(false).unwrap();
+    let with = chaos::empty_plan_trace(true).unwrap();
+    assert_eq!(without, with);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seeded transient schedule, matmul and reduction complete
+    /// with reference-correct output, and the trace records exactly one
+    /// retry per injected fault.
+    #[test]
+    fn seeded_transients_are_retried_exactly_once_each(seed in 0u64..10_000) {
+        for (app, src) in [
+            ("matmul", apps_ens::matmul(16, "GPU")),
+            ("reduction", apps_ens::reduction(1 << 10, "GPU")),
+        ] {
+            let o = chaos::run_app_chaos(app, &src, chaos::chaos_plan(seed, 11)).unwrap();
+            prop_assert!(o.matches_reference, "{}", o.render());
+            prop_assert!(o.injected >= 1, "{}", o.render());
+            prop_assert_eq!(o.retries, o.injected, "{}", o.render());
+        }
+    }
+}

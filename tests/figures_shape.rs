@@ -29,7 +29,12 @@ fn fig3a_ensemble_is_commensurate_with_c_opencl() {
     let ens = f.bar("Ensemble GPU").unwrap();
     let c = f.bar("C-OpenCL GPU").unwrap();
     // "commensurate performance": within 2x, same kernel time.
-    assert!(ens.total() < 2.0 * c.total(), "{} vs {}", ens.total(), c.total());
+    assert!(
+        ens.total() < 2.0 * c.total(),
+        "{} vs {}",
+        ens.total(),
+        c.total()
+    );
     assert!((ens.kernel - c.kernel).abs() < 0.2 * c.kernel);
     // The Ensemble overhead (VM interpretation) exceeds C's host overhead.
     assert!(ens.overhead > c.overhead);

@@ -73,7 +73,16 @@ fn listing2_compiles_and_runs() {
     let report = VmRuntime::new(module).run().unwrap();
     assert_eq!(
         report.output,
-        vec!["received: ", "1", "received: ", "2", "received: ", "3", "received: ", "4"]
+        vec![
+            "received: ",
+            "1",
+            "received: ",
+            "2",
+            "received: ",
+            "3",
+            "received: ",
+            "4"
+        ]
     );
 }
 

@@ -5,7 +5,7 @@
 
 use ensemble_repro::ensemble_actors::{buffered_channel, In, Out, Stage};
 use ensemble_repro::ensemble_ocl::{
-    device_matrix, DeviceSel, KernelActor, KernelSpec, ProfileSink, Settings,
+    device_matrix, DeviceSel, KernelActor, KernelSpec, ProfileSink, RecoveryPolicy, Settings,
 };
 use ensemble_repro::oclsim::{CommandQueue, MemFlags, NdRange, Program};
 use std::time::Duration;
@@ -27,6 +27,7 @@ fn scale_spec(device: DeviceSel) -> KernelSpec {
         out_segs: vec![0],
         out_dims: vec![0],
         profile: ProfileSink::new(),
+        recovery: RecoveryPolicy::default(),
     }
 }
 
@@ -70,8 +71,20 @@ fn reconnecting_the_requests_channel_retargets_at_runtime() {
         KernelActor::<Vec<f32>, Vec<f32>>::new(scale_spec(DeviceSel::cpu()), cpu_requests),
     );
 
-    let gpu_clock = || device_matrix().select(DeviceSel::gpu()).unwrap().queue.now_ns();
-    let cpu_clock = || device_matrix().select(DeviceSel::cpu()).unwrap().queue.now_ns();
+    let gpu_clock = || {
+        device_matrix()
+            .select(DeviceSel::gpu())
+            .unwrap()
+            .queue
+            .now_ns()
+    };
+    let cpu_clock = || {
+        device_matrix()
+            .select(DeviceSel::cpu())
+            .unwrap()
+            .queue
+            .now_ns()
+    };
 
     let g0 = gpu_clock();
     assert_eq!(drive(&requests_out, vec![1.0, 2.0]), vec![2.0, 4.0]);

@@ -15,8 +15,8 @@ const LUD_N: usize = 32;
 /// One traced Ensemble-GPU LUD run: the bar plus the exported events.
 fn lud_run() -> (Bar, Vec<TraceEvent>) {
     let export = TraceSink::new();
-    let bar = ens_bar("Ensemble GPU", &apps_ens::lud(LUD_N, "GPU"), &export)
-        .expect("ensemble lud run");
+    let bar =
+        ens_bar("Ensemble GPU", &apps_ens::lud(LUD_N, "GPU"), &export).expect("ensemble lud run");
     (bar, export.events())
 }
 
