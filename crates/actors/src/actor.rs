@@ -9,6 +9,13 @@ pub enum Control {
     /// Stop the actor; its thread exits and its state is dropped
     /// (the garbage-collection step in the Ensemble VM).
     Stop,
+    /// Stop the actor **abnormally**: the behaviour hit an unrecoverable
+    /// condition (e.g. an injected kill) and exits without completing its
+    /// protocol. Under a [`crate::supervisor::Supervisor`] this is a
+    /// supervised failure (the child is restarted or the failure
+    /// escalates); an unsupervised [`crate::Stage`] treats it like
+    /// [`Control::Stop`].
+    Fail,
 }
 
 /// Per-actor context handed to each behaviour execution.

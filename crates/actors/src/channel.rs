@@ -166,6 +166,17 @@ impl<T> In<T> {
         self.state.poisoned.load(Ordering::Acquire)
     }
 
+    /// Clear a previous poison so the endpoint can receive again.
+    ///
+    /// Poison is otherwise latching — needed because teardown is a
+    /// one-way street for an *unsupervised* pipeline. A supervisor that
+    /// poisoned a doomed sibling's input (its `on_stop` hook) calls this
+    /// from the matching `on_restart` hook before the fresh incarnation
+    /// starts receiving.
+    pub fn clear_poison(&self) {
+        self.state.poisoned.store(false, Ordering::Release);
+    }
+
     /// Block until a value arrives: `receive data from input`.
     ///
     /// Returns [`ChannelError::Closed`] once every connection has dropped
@@ -298,6 +309,12 @@ impl<T> InConnector<T> {
     /// after the endpoint itself moved into its owning actor.
     pub fn poison(&self) {
         self.state.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Clear a previous poison (see [`In::clear_poison`]) — the
+    /// supervisor-side revive used when a stopped child is restarted.
+    pub fn clear_poison(&self) {
+        self.state.poisoned.store(false, Ordering::Release);
     }
 }
 

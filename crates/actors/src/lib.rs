@@ -60,7 +60,12 @@
 pub mod actor;
 pub mod channel;
 pub mod stage;
+pub mod supervisor;
 
 pub use actor::{Actor, ActorCtx, Control, FnActor};
 pub use channel::{buffered_channel, channel, ChannelError, In, InConnector, Out};
 pub use stage::{Stage, StageReport};
+pub use supervisor::{
+    ChildSpec, IntensityClock, RestartBudget, Strategy, Supervisor, SupervisorError,
+    SupervisorReport,
+};

@@ -74,7 +74,10 @@ impl Stage {
                 loop {
                     let control = actor.behaviour(&mut ctx);
                     ctx.bump();
-                    if control == Control::Stop {
+                    // An unsupervised stage has nobody to report a `Fail`
+                    // to, so both exits end the thread; a Supervisor wraps
+                    // the loop itself and distinguishes them.
+                    if control != Control::Continue {
                         break;
                     }
                 }
@@ -110,14 +113,18 @@ impl Stage {
     /// Wait for every actor in the stage to stop.
     ///
     /// Panics propagate: if an actor thread panicked, `join` panics with a
-    /// message naming the actor — silently swallowing actor failures would
-    /// make every test in the workspace unreliable.
+    /// message naming the actor **and carrying the original panic
+    /// payload's message** — silently swallowing actor failures (or their
+    /// reasons) would make every test in the workspace unreliable.
     pub fn join(self) -> StageReport {
         let mut actors = Vec::with_capacity(self.handles.len());
         for (name, h) in self.handles {
             match h.join() {
                 Ok(iterations) => actors.push((name, iterations)),
-                Err(_) => panic!("actor `{name}` panicked"),
+                Err(payload) => panic!(
+                    "actor `{name}` panicked: {}",
+                    crate::supervisor::panic_message(payload.as_ref())
+                ),
             }
         }
         StageReport { actors }
@@ -216,11 +223,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "actor `bad` panicked")]
-    fn actor_panic_is_reported_at_join() {
+    #[should_panic(expected = "actor `bad` panicked: boom")]
+    fn actor_panic_is_reported_at_join_with_payload() {
         let mut stage = Stage::new("s");
         stage.spawn_fn("bad", |_ctx| panic!("boom"));
         stage.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "actor `bad` panicked: fell over at step 3")]
+    fn actor_panic_preserves_formatted_string_payloads() {
+        let mut stage = Stage::new("s");
+        let step = 3;
+        stage.spawn_fn("bad", move |_ctx| panic!("fell over at step {step}"));
+        stage.join();
+    }
+
+    #[test]
+    fn control_fail_stops_an_unsupervised_actor() {
+        let mut stage = Stage::new("s");
+        stage.spawn_fn("f", |_ctx| Control::Fail);
+        let report = stage.join();
+        assert_eq!(report.actors[0].1, 1);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Supervision-tree properties that hold for *any* budget and failure
+//! sequence, plus the budget-exhaustion teardown guarantee.
+
+use ensemble_actors::{
+    buffered_channel, ActorCtx, ChannelError, ChildSpec, Control, FnActor, In, IntensityClock,
+    RestartBudget, Strategy, Supervisor,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    /// The restart-intensity invariant: at every instant, the number of
+    /// grants inside the trailing window never exceeds `max_restarts`,
+    /// whatever interleaving of restart attempts and quiet-time credits
+    /// the supervisor sees. Denials happen exactly when the window is
+    /// full.
+    #[test]
+    fn restart_window_never_exceeds_budget(
+        max_restarts in 1u32..6,
+        window in 1u64..2_000,
+        backoff in 0u64..600,
+        ops in proptest::collection::vec(0u64..1_000, 1..120),
+    ) {
+        let budget = RestartBudget {
+            max_restarts,
+            window_ns: window as f64,
+            backoff_ns: backoff as f64,
+        };
+        let mut clock = IntensityClock::new(budget);
+        let mut last_now = clock.now_ns();
+        for op in ops {
+            // The op stream encodes the embedder's two moves: even values
+            // attempt a restart, odd values credit `op` ns of quiet time.
+            let denied = if op % 2 == 0 {
+                clock.try_restart().is_none()
+            } else {
+                clock.advance_ns(op as f64);
+                false
+            };
+            let now = clock.now_ns();
+            prop_assert!(now >= last_now, "clock went backwards: {last_now} -> {now}");
+            last_now = now;
+            let in_window = clock
+                .grants_in_window()
+                .iter()
+                .filter(|&&t| t > now - budget.window_ns)
+                .count();
+            prop_assert!(
+                in_window <= max_restarts as usize,
+                "{in_window} grants in a window budgeted for {max_restarts}"
+            );
+            if denied {
+                prop_assert_eq!(
+                    in_window,
+                    max_restarts as usize,
+                    "restart denied while the window had headroom"
+                );
+            }
+        }
+    }
+}
+
+/// Budget exhaustion must tear the whole tree down *cleanly*: a sibling
+/// parked on a receive that will never be satisfied is woken by its
+/// teardown hook, `run` returns the escalation error (instead of
+/// deadlocking), and a receiver outside the tree observes closure rather
+/// than hanging.
+#[test]
+fn budget_exhaustion_tears_down_without_deadlocked_receives() {
+    // One restart only: the crashlooper's second failure exhausts it.
+    let budget = RestartBudget {
+        max_restarts: 1,
+        window_ns: 1e9,
+        backoff_ns: 1.0,
+    };
+    let mut sup = Supervisor::new("t", Strategy::OneForOne, budget);
+
+    // A sibling blocked forever on a channel nothing sends to. Its own
+    // out endpoint lets the test observe (from outside the tree) that
+    // teardown really reached it.
+    let never_in = In::<u32>::with_buffer(1);
+    let connector = never_in.connector();
+    let (done_out, done_in) = buffered_channel::<&'static str>(1);
+    let mut slot = Some(never_in);
+    sup.supervise(
+        ChildSpec::new("parked", move || {
+            let input = slot.take().expect("parked child restarted unexpectedly");
+            let done = done_out.clone();
+            FnActor(move |_ctx: &mut ActorCtx| match input.receive() {
+                Ok(_) => Control::Continue,
+                Err(ChannelError::Poisoned) => {
+                    let _ = done.send(&"woken");
+                    Control::Stop
+                }
+                Err(_) => Control::Fail,
+            })
+        })
+        .on_stop(move || connector.poison()),
+    );
+    let attempts = Arc::new(AtomicU32::new(0));
+    let attempts2 = Arc::clone(&attempts);
+    sup.supervise(ChildSpec::new("crashloop", move || {
+        let attempts = Arc::clone(&attempts2);
+        FnActor(move |_ctx: &mut ActorCtx| {
+            attempts.fetch_add(1, Ordering::AcqRel);
+            // Give the parked sibling time to actually block.
+            std::thread::sleep(Duration::from_millis(5));
+            Control::Fail
+        })
+    }));
+
+    let err = sup.run().expect_err("exhausted budget must escalate");
+    assert_eq!(err.child, "crashloop");
+    // Original start + the single budgeted restart.
+    assert_eq!(attempts.load(Ordering::Acquire), 2);
+    // The parked sibling was woken by the teardown hook...
+    assert_eq!(
+        done_in.recv_timeout(Duration::from_secs(5)),
+        Ok("woken"),
+        "parked sibling never woke during escalation"
+    );
+    // ...and after `run` returns, the tree's endpoints are gone: an
+    // outside receiver sees closure, not a hang.
+    assert!(matches!(
+        done_in.recv_timeout(Duration::from_secs(5)),
+        Err(ChannelError::Closed) | Err(ChannelError::NotConnected)
+    ));
+}

@@ -19,6 +19,13 @@
 //! applications under the seed-`N` deterministic fault schedule plus a
 //! permanent device-loss failover scenario. Exits non-zero if any run
 //! fails or diverges from its fault-free reference.
+//!
+//! `--kill-seed <N>` runs kill-chaos mode: the five applications under
+//! the seed-`N` deterministic actor-kill schedule. Killed actors are
+//! restarted by the VM's supervisor from their checkpoints; the run
+//! exits non-zero if any output diverges from its fault-free reference
+//! or any kill is not matched by an `ActorExit`/`Restart` pair in the
+//! trace.
 
 use bench::figures::{self, ALL};
 use bench::{chaos, Sizes, TraceSink};
@@ -51,11 +58,33 @@ fn run_chaos_mode(seed: u64, sizes: &Sizes) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+fn run_kill_chaos_mode(seed: u64, sizes: &Sizes) -> ! {
+    eprintln!("kill-chaos mode: seed {seed}");
+    let mut failed = false;
+    match chaos::run_kill_chaos(seed, sizes) {
+        Ok(outcomes) => {
+            for o in outcomes {
+                println!("{}", o.render());
+                failed |= !o.matches_reference
+                    || o.kills == 0
+                    || o.exits != o.kills
+                    || o.restarts != o.kills;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
+    let mut kill_seed: Option<u64> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--trace" {
@@ -71,6 +100,14 @@ fn main() {
                 Some(s) => chaos_seed = Some(s),
                 None => {
                     eprintln!("error: --chaos-seed requires an integer seed");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--kill-seed" {
+            match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => kill_seed = Some(s),
+                None => {
+                    eprintln!("error: --kill-seed requires an integer seed");
                     std::process::exit(2);
                 }
             }
@@ -100,6 +137,9 @@ fn main() {
     };
     if let Some(seed) = chaos_seed {
         run_chaos_mode(seed, &sizes);
+    }
+    if let Some(seed) = kill_seed {
+        run_kill_chaos_mode(seed, &sizes);
     }
     if paper {
         eprintln!("note: paper-scale inputs run every work-item through an interpreter; expect long runtimes");

@@ -20,6 +20,12 @@
 //!   the kernel actor must evacuate its buffers through the rescue
 //!   read-back path, fail over to the CPU matrix entry, and still produce
 //!   the reference product.
+//! * [`run_kill_chaos`] — all five apps with a seeded **kill** schedule
+//!   ([`InjectedFault::Kill`]): actors die mid-protocol (by panic or
+//!   abrupt exit) and the VM's supervisor restarts each one from its
+//!   checkpoint. Outputs must match the fault-free reference, and every
+//!   kill must surface in the trace as an [`SpanKind::ActorExit`] /
+//!   [`SpanKind::Restart`] pair.
 //!
 //! The simulated devices are process-global, so chaos runs serialise on an
 //! internal lock and always detach their injector afterwards — even when
@@ -30,7 +36,7 @@ use crate::TraceSink;
 use ensemble_lang::compile_source;
 use ensemble_ocl::{device_matrix, DeviceSel, ProfileSink};
 use ensemble_vm::VmRuntime;
-use oclsim::fault::{FaultInjector, FaultOp, FaultPlan, InjectedFault};
+use oclsim::fault::{FaultInjector, FaultOp, FaultPlan, InjectedFault, KillMode};
 use trace::SpanKind;
 
 /// Serialises chaos runs: injectors attach to the process-global device
@@ -49,6 +55,13 @@ pub struct ChaosOutcome {
     pub retries: usize,
     /// [`SpanKind::Failover`] instants the recovery layer recorded.
     pub failovers: usize,
+    /// [`InjectedFault::Kill`] faults the injector fired.
+    pub kills: usize,
+    /// [`SpanKind::ActorExit`] instants the supervisor recorded (abnormal
+    /// child exits).
+    pub exits: usize,
+    /// [`SpanKind::Restart`] instants the supervisor recorded.
+    pub restarts: usize,
     /// Whether the run's output matched the fault-free reference.
     pub matches_reference: bool,
 }
@@ -57,11 +70,14 @@ impl ChaosOutcome {
     /// One-line summary for the harness output.
     pub fn render(&self) -> String {
         format!(
-            "{:<12} injected {:>3}  retries {:>3}  failovers {:>2}  output {}",
+            "{:<12} injected {:>3}  retries {:>3}  failovers {:>2}  kills {:>2}  exits {:>2}  restarts {:>2}  output {}",
             self.app,
             self.injected,
             self.retries,
             self.failovers,
+            self.kills,
+            self.exits,
+            self.restarts,
             if self.matches_reference {
                 "ok"
             } else {
@@ -77,6 +93,18 @@ impl ChaosOutcome {
 /// at least one.
 pub fn chaos_plan(seed: u64, period: u64) -> FaultPlan {
     FaultPlan::seeded_transient(seed, period).fail(FaultOp::Upload, 0, InjectedFault::Transient)
+}
+
+/// The kill schedule for one app: the very first dispatch dies by panic
+/// (so every app exercises at least one supervised restart — and the
+/// panic flavour, the harder of the two kill modes), plus seeded kills on
+/// roughly one in `period` eligible operations. `max_kills` caps the
+/// total (explicit kill included) so long schedules stay within the
+/// supervisor's restart budget.
+pub fn kill_plan(seed: u64, period: u64, max_kills: u64) -> FaultPlan {
+    FaultPlan::new()
+        .fail(FaultOp::Enqueue, 0, InjectedFault::Kill(KillMode::Panic))
+        .seeded_kills(seed, period, max_kills)
 }
 
 fn count(events: &[trace::TraceEvent], kind: SpanKind) -> usize {
@@ -123,6 +151,9 @@ pub fn run_app_chaos(app: &str, src: &str, plan: FaultPlan) -> Result<ChaosOutco
         injected: injector.injected_count(),
         retries: count(&events, SpanKind::Retry),
         failovers: count(&events, SpanKind::Failover),
+        kills: injector.kill_count(),
+        exits: count(&events, SpanKind::ActorExit),
+        restarts: count(&events, SpanKind::Restart),
         matches_reference: output == reference,
     })
 }
@@ -149,6 +180,37 @@ pub fn run_chaos(seed: u64, sizes: &Sizes) -> Result<Vec<ChaosOutcome>, String> 
     let mut outcomes = Vec::with_capacity(apps.len());
     for (i, (app, src)) in apps.iter().enumerate() {
         let plan = chaos_plan(seed.wrapping_add(i as u64), 13);
+        outcomes.push(run_app_chaos(app, src, plan)?);
+    }
+    Ok(outcomes)
+}
+
+/// All five applications under a seeded **kill** schedule on the GPU.
+///
+/// Each app's schedule is derived from `seed` (per-app offset, as in
+/// [`run_chaos`]): the first dispatch dies by panic, and roughly one in
+/// 17 further upload/dispatch operations kills the issuing actor, capped
+/// at 3 kills per app. The VM's supervisor restarts every killed actor
+/// from its checkpoint, so the output must be byte-identical to the
+/// fault-free reference and every kill must appear in the trace as an
+/// `ActorExit`/`Restart` pair.
+pub fn run_kill_chaos(seed: u64, sizes: &Sizes) -> Result<Vec<ChaosOutcome>, String> {
+    let apps: [(&str, String); 5] = [
+        ("matmul", apps_ens::matmul(sizes.matmul_n, "GPU")),
+        (
+            "mandelbrot",
+            apps_ens::mandelbrot(sizes.mandel_n, sizes.mandel_iters, "GPU"),
+        ),
+        ("lud", apps_ens::lud(sizes.lud_n, "GPU")),
+        ("reduction", apps_ens::reduction(sizes.reduction_n, "GPU")),
+        (
+            "docrank",
+            apps_ens::docrank(sizes.docrank_docs, sizes.docrank_rounds, "GPU"),
+        ),
+    ];
+    let mut outcomes = Vec::with_capacity(apps.len());
+    for (i, (app, src)) in apps.iter().enumerate() {
+        let plan = kill_plan(seed.wrapping_add(i as u64), 17, 3);
         outcomes.push(run_app_chaos(app, src, plan)?);
     }
     Ok(outcomes)
@@ -249,6 +311,9 @@ pub fn run_failover_chaos(n: usize) -> Result<ChaosOutcome, String> {
         injected: injector.injected_count(),
         retries: count(&events, SpanKind::Retry),
         failovers: count(&events, SpanKind::Failover),
+        kills: injector.kill_count(),
+        exits: count(&events, SpanKind::ActorExit),
+        restarts: count(&events, SpanKind::Restart),
         matches_reference: close,
     })
 }
@@ -276,6 +341,23 @@ mod tests {
             assert!(o.injected >= 1, "{}", o.render());
             assert_eq!(o.retries, o.injected, "{}", o.render());
             assert_eq!(o.failovers, 0, "{}", o.render());
+        }
+    }
+
+    #[test]
+    fn seeded_kills_are_survived_byte_identically_across_seeds() {
+        // The acceptance bar for kill-chaos: for several seeds, every app
+        // finishes with output byte-identical to the fault-free
+        // reference, and every injected kill shows up in the trace as an
+        // ActorExit/Restart pair (no silent kill, no spurious restart).
+        for seed in [1u64, 2, 3] {
+            for o in run_kill_chaos(seed, &small()).unwrap() {
+                assert!(o.matches_reference, "seed {seed}: {}", o.render());
+                assert!(o.kills >= 1, "seed {seed}: {}", o.render());
+                assert_eq!(o.exits, o.kills, "seed {seed}: {}", o.render());
+                assert_eq!(o.restarts, o.kills, "seed {seed}: {}", o.render());
+                assert_eq!(o.failovers, 0, "seed {seed}: {}", o.render());
+            }
         }
     }
 

@@ -22,6 +22,7 @@
 //!   [`DeviceData`] values; outputs stay on the device and inputs already
 //!   resident in the actor's context are used in place (§6.2.3).
 
+use crate::checkpoint::{Checkpoint, InFlight, MemGuard};
 use crate::env::{DeviceSel, OpenClEnvironment};
 use crate::flatten::{FlatData, FlatSeg, Flatten};
 use crate::profile::ProfileSink;
@@ -31,6 +32,7 @@ use crate::settings::Settings;
 use ensemble_actors::{Actor, ActorCtx, Control, In};
 use oclsim::{ClError, ClResult, Kernel, MemFlags, Program};
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// Static description of a kernel actor: what to compile, where to run it,
 /// and how its output maps back onto the input's flattened form.
@@ -76,38 +78,25 @@ impl KernelSpec {
 }
 
 /// Upload a flattened value into fresh device buffers, charging the
-/// transfers to `profile`. On failure, the memory accounting for any
-/// buffers already created is released, so a retried or failed-over upload
-/// does not leak simulated device memory.
+/// transfers to `profile`. A [`MemGuard`] holds the memory accounting
+/// until every segment has landed, so a failed — or *killed*, i.e.
+/// panicked mid-upload — attempt releases whatever it had already
+/// charged instead of leaking simulated device memory.
 pub(crate) fn upload_flat(
     env: &OpenClEnvironment,
     flat: &FlatData,
     profile: &ProfileSink,
 ) -> ClResult<ResidentBufs> {
     let mut bufs = Vec::with_capacity(flat.segs.len());
-    let mut held = 0usize;
+    let mut guard = MemGuard::new(env.context.clone());
     for seg in &flat.segs {
-        let step = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, seg.byte_len())
-            .and_then(|buf| {
-                env.queue
-                    .enqueue_write_buffer(&buf, &seg.to_bytes())
-                    .map(|ev| (buf, ev))
-                    .inspect_err(|_| env.context.release_bytes(seg.byte_len()))
-            });
-        match step {
-            Ok((buf, ev)) => {
-                profile.record_command(&ev, env.device.name());
-                held += buf.len();
-                bufs.push((buf, seg.ty()));
-            }
-            Err(e) => {
-                env.context.release_bytes(held);
-                return Err(e);
-            }
-        }
+        let buf = env.context.create_buffer(MemFlags::ReadWrite, seg.byte_len())?;
+        guard.add(buf.len());
+        let ev = env.queue.enqueue_write_buffer(&buf, &seg.to_bytes())?;
+        profile.record_command(&ev, env.device.name());
+        bufs.push((buf, seg.ty()));
     }
+    guard.disarm();
     Ok(ResidentBufs {
         bufs,
         dims: flat.dims.clone(),
@@ -335,7 +324,13 @@ fn dispatch_with_recovery(
 /// as `TOut`, and sent on the output channel.
 pub struct KernelActor<TIn: Flatten, TOut: Flatten> {
     spec: KernelSpec,
-    requests: In<Settings<TIn, TOut>>,
+    /// Shared so a supervisor's factory can hand the *same* endpoint to
+    /// each restarted incarnation (`In` is single-consumer but the
+    /// incarnations are sequential, never concurrent).
+    requests: Arc<In<Settings<TIn, TOut>>>,
+    /// When present, every accepted request is parked here until its
+    /// result is sent — the restart checkpoint (see [`crate::checkpoint`]).
+    checkpoint: Option<Checkpoint<TIn, TOut>>,
     compiled: Option<ClResult<Compiled>>,
     _marker: PhantomData<fn(TIn) -> TOut>,
 }
@@ -343,12 +338,30 @@ pub struct KernelActor<TIn: Flatten, TOut: Flatten> {
 impl<TIn: Flatten, TOut: Flatten> KernelActor<TIn, TOut> {
     /// Create the actor; `requests` is its single (interface) channel.
     pub fn new(spec: KernelSpec, requests: In<Settings<TIn, TOut>>) -> Self {
+        Self::shared(spec, Arc::new(requests))
+    }
+
+    /// Like [`KernelActor::new`], but with a shared request endpoint — the
+    /// form a supervisor's child factory uses so the channel survives the
+    /// actor being killed and rebuilt.
+    pub fn shared(spec: KernelSpec, requests: Arc<In<Settings<TIn, TOut>>>) -> Self {
         KernelActor {
             spec,
             requests,
+            checkpoint: None,
             compiled: None,
             _marker: PhantomData,
         }
+    }
+
+    /// Attach a checkpoint slot: requests are then processed with
+    /// at-least-once redelivery across restarts and duplicate-send
+    /// suppression (see [`crate::checkpoint`]). Unrecoverable *kill*
+    /// errors make the behaviour return [`Control::Fail`] instead of
+    /// poisoning the pipeline, so a supervisor can restart the actor.
+    pub fn with_checkpoint(mut self, checkpoint: Checkpoint<TIn, TOut>) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
     }
 }
 
@@ -403,16 +416,150 @@ impl<TIn: Flatten, TOut: Flatten> KernelActor<TIn, TOut> {
     }
 }
 
+/// Whether `e` is an injected kill: the actor must exit abruptly (for a
+/// supervisor to observe) rather than retry, fail over, or poison.
+fn is_kill(e: &ClError) -> bool {
+    matches!(e, ClError::ActorKilled { .. })
+}
+
+/// Emit the [`trace::SpanKind::CheckpointRestore`] instant: a restarted
+/// actor picked its parked item back up and is redelivering it.
+fn trace_restore(spec: &KernelSpec, env: &OpenClEnvironment, actor: &str, seq: u64) {
+    let t = spec.profile.trace();
+    if t.is_enabled() {
+        t.record(
+            trace::TraceEvent::instant(
+                trace::SpanKind::CheckpointRestore,
+                &spec.kernel_name,
+                env.device.name(),
+                env.queue.now_ns(),
+            )
+            .with_arg("actor", actor)
+            .with_arg("seq", seq.to_string()),
+        );
+    }
+}
+
+impl<TIn: Flatten, TOut: Flatten> KernelActor<TIn, TOut> {
+    /// Process the parked in-flight item — the single processing path for
+    /// a checkpointed actor, whether the item was just accepted or is
+    /// being redelivered after a restart. The item stays parked in the
+    /// slot throughout, so a kill (error *or* panic) mid-processing
+    /// leaves it intact for the next incarnation.
+    fn drive_in_flight(&mut self, ckpt: &Checkpoint<TIn, TOut>, ctx: &ActorCtx) -> Control {
+        enum Done {
+            Acked,
+            Kill,
+            Fatal,
+            DownstreamGone,
+        }
+        let c = match self.compiled.as_mut().expect("constructor ran") {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("kernel actor `{}`: compile failed: {e}", ctx.name());
+                let mut state = ckpt.lock();
+                if let Some(item) = state.in_flight.take() {
+                    item.settings.output.poison_receivers();
+                }
+                return Control::Stop;
+            }
+        };
+        let spec = &self.spec;
+        let mut state = ckpt.lock();
+        let done = {
+            let item = state
+                .in_flight
+                .as_mut()
+                .expect("caller checked has_in_flight");
+            if item.sent {
+                // Died between send and ack: the result is already
+                // downstream, so just acknowledge — re-sending here is
+                // the duplicate that would break byte-identity.
+                Done::Acked
+            } else {
+                if item.attempted {
+                    trace_restore(spec, &c.env, ctx.name(), item.seq);
+                }
+                item.attempted = true;
+                trace_invoke(spec, &c.env, ctx.name());
+                match Self::process(c, spec, &item.settings, item.flat.clone()) {
+                    Ok(out) => {
+                        if item.settings.output.send_moved(out).is_err() {
+                            Done::DownstreamGone
+                        } else {
+                            item.sent = true;
+                            Done::Acked
+                        }
+                    }
+                    Err(e) if is_kill(&e) => Done::Kill,
+                    Err(e) => {
+                        eprintln!(
+                            "kernel actor `{}`: unrecoverable error: {e}; tearing down pipeline",
+                            ctx.name()
+                        );
+                        item.settings.output.poison_receivers();
+                        Done::Fatal
+                    }
+                }
+            }
+        };
+        match done {
+            Done::Acked => {
+                let seq = state.in_flight.as_ref().map(|i| i.seq);
+                state.acked = seq;
+                state.in_flight = None;
+                Control::Continue
+            }
+            // The item stays parked for the next incarnation.
+            Done::Kill => Control::Fail,
+            Done::Fatal | Done::DownstreamGone => {
+                state.in_flight = None;
+                Control::Stop
+            }
+        }
+    }
+}
+
 impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
     fn constructor(&mut self, _ctx: &mut ActorCtx) {
         self.compiled = Some(compile(&self.spec));
     }
 
     fn behaviour(&mut self, ctx: &mut ActorCtx) -> Control {
+        // A restarted incarnation finds its predecessor's unacknowledged
+        // item and finishes it before accepting anything new.
+        if let Some(ckpt) = self.checkpoint.clone() {
+            if ckpt.has_in_flight() {
+                return self.drive_in_flight(&ckpt, ctx);
+            }
+        }
         let settings = match self.requests.receive() {
             Ok(s) => s,
             Err(_) => return Control::Stop,
         };
+        if let Some(ckpt) = self.checkpoint.clone() {
+            // Checkpointed accept: receive the data, park the item, then
+            // process it through the same path a redelivery takes.
+            let data = match settings.input.receive() {
+                Ok(d) => d,
+                Err(_) => {
+                    settings.output.poison_receivers();
+                    return Control::Stop;
+                }
+            };
+            let mut state = ckpt.lock();
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.in_flight = Some(InFlight {
+                seq,
+                settings,
+                flat: data.flatten(),
+                sent: false,
+                attempted: false,
+            });
+            drop(state);
+            return self.drive_in_flight(&ckpt, ctx);
+        }
         let c = match self.compiled.as_mut().expect("constructor ran") {
             Ok(c) => c,
             Err(e) => {
@@ -438,6 +585,11 @@ impl<TIn: Flatten, TOut: Flatten> Actor for KernelActor<TIn, TOut> {
                 }
                 Control::Continue
             }
+            // An injected kill without a checkpoint: exit abruptly (no
+            // poison) so a supervisor can still observe and restart; the
+            // in-flight request is lost, which is exactly what the
+            // checkpointed path above exists to prevent.
+            Err(e) if is_kill(&e) => Control::Fail,
             Err(e) => {
                 eprintln!(
                     "kernel actor `{}`: unrecoverable error: {e}; tearing down pipeline",
@@ -528,6 +680,8 @@ impl<T: Flatten> Actor for ResidentKernelActor<T> {
                 }
                 Control::Continue
             }
+            // Injected kill: abrupt exit for the supervisor, no poison.
+            Err(e) if is_kill(&e) => Control::Fail,
             Err(e) => {
                 eprintln!(
                     "kernel actor `{}`: unrecoverable error: {e}; tearing down pipeline",

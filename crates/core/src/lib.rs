@@ -105,6 +105,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod env;
 pub mod flatten;
 pub mod kernel_actor;
@@ -113,6 +114,7 @@ pub mod recovery;
 pub mod resident;
 pub mod settings;
 
+pub use checkpoint::{Checkpoint, MemGuard};
 pub use env::{device_matrix, DeviceSel, OpenClEnvironment};
 pub use flatten::{Array2, Array3, FlatData, FlatSeg, Flatten, FlattenError, SegTy};
 pub use kernel_actor::{KernelActor, KernelSpec, ResidentKernelActor};

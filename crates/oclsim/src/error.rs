@@ -79,6 +79,17 @@ pub enum ClError {
         /// Device that was lost.
         device: String,
     },
+    /// The calling actor was killed by the fault-injection layer
+    /// ([`crate::fault::InjectedFault::Kill`] in
+    /// [`crate::fault::KillMode::Exit`] mode): the operation did not
+    /// execute and the actor is expected to exit *abruptly* — without
+    /// retrying, without failing over, and without poisoning its
+    /// channels — so a supervisor can observe the exit and restart it
+    /// from a checkpoint. Neither transient nor a failover condition.
+    ActorKilled {
+        /// Device whose operation the kill was scheduled on.
+        device: String,
+    },
     /// Catch-all for violated simulator invariants.
     Internal(String),
 }
@@ -134,6 +145,9 @@ impl fmt::Display for ClError {
                 )
             }
             ClError::DeviceLost { device } => write!(f, "device `{device}` was lost"),
+            ClError::ActorKilled { device } => {
+                write!(f, "actor killed by injected fault on device `{device}`")
+            }
             ClError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
         }
     }

@@ -81,6 +81,83 @@ pub enum InjectedFault {
     /// Mark the device lost: this and every later non-readback operation
     /// fails with [`ClError::DeviceLost`].
     DeviceLost,
+    /// Kill the *actor* issuing the operation (not the device): the
+    /// operation never executes and the calling thread dies — by panic or
+    /// by abrupt error exit, per [`KillMode`]. The device itself stays
+    /// healthy, so a supervisor can restart the actor against the same
+    /// device and resume from a checkpoint.
+    Kill(KillMode),
+}
+
+/// How an [`InjectedFault::Kill`] terminates the issuing actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// The fault check panics with a downcastable [`KillPanic`] payload —
+    /// modelling an actor whose thread dies unwinding (a bug, an
+    /// assertion). Supervisors recognise the payload via
+    /// [`std::panic::catch_unwind`].
+    Panic,
+    /// The fault check returns [`ClError::ActorKilled`] — modelling an
+    /// actor that exits abruptly without unwinding. The actor is expected
+    /// to propagate the error straight out of its behaviour (no retry,
+    /// no failover, no channel poisoning) so its supervisor observes a
+    /// plain abnormal exit.
+    Exit,
+}
+
+impl KillMode {
+    /// Stable lowercase name (used as a trace-event argument).
+    pub fn name(self) -> &'static str {
+        match self {
+            KillMode::Panic => "panic",
+            KillMode::Exit => "exit",
+        }
+    }
+}
+
+/// The panic payload carried by an [`InjectedFault::Kill`] in
+/// [`KillMode::Panic`] mode. Supervisors downcast the payload of a caught
+/// unwind to this type to distinguish an injected kill from a genuine
+/// actor bug.
+#[derive(Debug, Clone)]
+pub struct KillPanic {
+    /// Device whose operation the kill was scheduled on.
+    pub device: String,
+    /// Operation class the kill fired on.
+    pub op: FaultOp,
+    /// Operation index it fired at.
+    pub index: u64,
+}
+
+impl std::fmt::Display for KillPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected kill at {} #{} on device `{}`",
+            self.op.name(),
+            self.index,
+            self.device
+        )
+    }
+}
+
+/// Install a process-wide panic hook that suppresses the default
+/// "thread panicked" stderr report for [`KillPanic`] payloads only; every
+/// other panic is reported exactly as before. Idempotent — the hook is
+/// installed once per process. Kill-chaos runs call this so hundreds of
+/// *scheduled* actor deaths don't flood stderr while genuine panics stay
+/// loud.
+pub fn silence_kill_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<KillPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// One scheduled fault: the `index`-th operation of class `op` (counting
@@ -103,6 +180,14 @@ struct Seeded {
     period: u64,
 }
 
+/// Seeded pseudo-random actor kills (see [`FaultPlan::seeded_kills`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SeededKills {
+    seed: u64,
+    period: u64,
+    max_kills: u64,
+}
+
 /// A deterministic schedule of faults.
 ///
 /// Plans combine explicitly scheduled faults ([`FaultPlan::fail`]) with
@@ -113,6 +198,7 @@ struct Seeded {
 pub struct FaultPlan {
     explicit: Vec<FaultSpec>,
     seeded: Option<Seeded>,
+    kills: Option<SeededKills>,
 }
 
 /// SplitMix64 — the classic 64-bit finaliser; good avalanche, no state,
@@ -150,12 +236,34 @@ impl FaultPlan {
                 seed,
                 period: period.max(2),
             }),
+            kills: None,
         }
+    }
+
+    /// Add a seeded actor-kill schedule (builder style): roughly one in
+    /// `period` upload/enqueue operations kills the issuing actor, the
+    /// mode (panic vs abrupt exit) chosen by the same deterministic hash.
+    /// At most `max_kills` kills fire per injector (counting explicit
+    /// [`InjectedFault::Kill`] entries too), bounding how much restart
+    /// budget a long schedule can consume.
+    ///
+    /// Only [`FaultOp::Upload`] and [`FaultOp::Enqueue`] are eligible:
+    /// read-backs are the rescue/evacuation path (and run on host-side
+    /// actors during `mov` force-host, where an injected death has no
+    /// supervised kernel actor to restart), and builds happen once per
+    /// actor, exactly as for [`FaultPlan::seeded_transient`].
+    pub fn seeded_kills(mut self, seed: u64, period: u64, max_kills: u64) -> FaultPlan {
+        self.kills = Some(SeededKills {
+            seed,
+            period: period.max(2),
+            max_kills,
+        });
+        self
     }
 
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.explicit.is_empty() && self.seeded.is_none()
+        self.explicit.is_empty() && self.seeded.is_none() && self.kills.is_none()
     }
 
     fn lookup(&self, op: FaultOp, index: u64) -> Option<InjectedFault> {
@@ -180,6 +288,31 @@ impl FaultPlan {
         h.is_multiple_of(seeded.period)
             .then_some(InjectedFault::Transient)
     }
+
+    /// The seeded-kill schedule's verdict for `(op, index)`, ignoring the
+    /// `max_kills` cap (the injector enforces that statefully).
+    fn lookup_kill(&self, op: FaultOp, index: u64) -> Option<KillMode> {
+        let kills = self.kills?;
+        if !matches!(op, FaultOp::Upload | FaultOp::Enqueue) {
+            return None;
+        }
+        let h = splitmix64(
+            kills
+                .seed
+                .wrapping_mul(0x9e6c_5860_6ee3_14a5)
+                .wrapping_add((op.slot() as u64) << 40)
+                .wrapping_add(index),
+        );
+        h.is_multiple_of(kills.period).then_some(if (h >> 17) & 1 == 0 {
+            KillMode::Panic
+        } else {
+            KillMode::Exit
+        })
+    }
+
+    fn max_kills(&self) -> u64 {
+        self.kills.map(|k| k.max_kills).unwrap_or(u64::MAX)
+    }
 }
 
 /// A fault that actually fired, as recorded by the injector.
@@ -202,6 +335,8 @@ struct InjectorInner {
     counters: [AtomicU64; 4],
     /// Latched by a fired [`InjectedFault::DeviceLost`].
     device_lost: AtomicBool,
+    /// Kills fired so far (seeded kills stop once the plan's cap is hit).
+    kills_fired: AtomicU64,
     records: Mutex<Vec<InjectionRecord>>,
     trace: Mutex<TraceSink>,
 }
@@ -231,6 +366,7 @@ impl FaultInjector {
                     AtomicU64::new(0),
                 ],
                 device_lost: AtomicBool::new(false),
+                kills_fired: AtomicU64::new(0),
                 records: Mutex::new(Vec::new()),
                 trace: Mutex::new(TraceSink::disabled()),
             })),
@@ -274,9 +410,20 @@ impl FaultInjector {
             });
         }
         let index = inner.counters[op.slot()].fetch_add(1, Ordering::AcqRel);
-        let Some(fault) = inner.plan.lookup(op, index) else {
-            return Ok(());
+        let fault = match inner.plan.lookup(op, index) {
+            Some(f) => f,
+            None => {
+                // Seeded kills respect the plan's cap: once `max_kills`
+                // have fired (from any source), the schedule goes quiet.
+                let under_cap =
+                    inner.kills_fired.load(Ordering::Acquire) < inner.plan.max_kills();
+                match inner.plan.lookup_kill(op, index).filter(|_| under_cap) {
+                    Some(mode) => InjectedFault::Kill(mode),
+                    None => return Ok(()),
+                }
+            }
         };
+        let mut kill_mode = None;
         let (transient, error) = match fault {
             InjectedFault::Transient => (
                 true,
@@ -293,6 +440,16 @@ impl FaultInjector {
                     },
                 )
             }
+            InjectedFault::Kill(mode) => {
+                inner.kills_fired.fetch_add(1, Ordering::AcqRel);
+                kill_mode = Some(mode);
+                (
+                    false,
+                    ClError::ActorKilled {
+                        device: device.to_string(),
+                    },
+                )
+            }
         };
         inner.records.lock().push(InjectionRecord {
             op,
@@ -300,14 +457,29 @@ impl FaultInjector {
             transient,
             error: error.clone(),
         });
-        let trace = inner.trace.lock();
-        if trace.is_enabled() {
-            trace.record(
-                TraceEvent::instant(SpanKind::FaultInjected, op.name(), device, now_ns)
-                    .with_arg("index", index)
-                    .with_arg("transient", transient)
-                    .with_arg("error", &error),
-            );
+        {
+            let trace = inner.trace.lock();
+            if trace.is_enabled() {
+                let mut ev =
+                    TraceEvent::instant(SpanKind::FaultInjected, op.name(), device, now_ns)
+                        .with_arg("index", index)
+                        .with_arg("transient", transient)
+                        .with_arg("error", &error);
+                if let Some(mode) = kill_mode {
+                    ev = ev.with_arg("kill", mode.name());
+                }
+                trace.record(ev);
+            }
+        }
+        if let Some(KillMode::Panic) = kill_mode {
+            // The actor dies unwinding; the supervisor downcasts this
+            // payload out of `catch_unwind` to recognise the injected
+            // kill. Locks above are scoped so nothing is held here.
+            std::panic::panic_any(KillPanic {
+                device: device.to_string(),
+                op,
+                index,
+            });
         }
         Err(error)
     }
@@ -324,6 +496,14 @@ impl FaultInjector {
     pub fn injected_count(&self) -> usize {
         match &self.inner {
             Some(inner) => inner.records.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// Number of [`InjectedFault::Kill`] faults fired so far.
+    pub fn kill_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.kills_fired.load(Ordering::Acquire) as usize,
             None => 0,
         }
     }

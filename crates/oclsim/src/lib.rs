@@ -97,7 +97,9 @@ pub use context::Context;
 pub use device::{Device, DeviceType};
 pub use error::{ClError, ClResult};
 pub use event::{CommandKind, Event};
-pub use fault::{FaultInjector, FaultOp, FaultPlan, InjectedFault};
+pub use fault::{
+    silence_kill_panics, FaultInjector, FaultOp, FaultPlan, InjectedFault, KillMode, KillPanic,
+};
 pub use ndrange::NdRange;
 pub use platform::Platform;
 pub use profile::{Profile, ProfileSink};

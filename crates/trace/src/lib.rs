@@ -34,7 +34,8 @@
 
 #![warn(missing_docs)]
 
-use std::sync::{Arc, Mutex};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a recorded event represents. The first four kinds are
@@ -85,6 +86,22 @@ pub enum SpanKind {
     /// next device-matrix entry (e.g. GPU → CPU degradation). Instant,
     /// virtual clock of the abandoned device's queue.
     Failover,
+    /// A supervised actor exited abnormally — it panicked or was killed
+    /// by an injected fault — and its supervisor observed the exit.
+    /// Instant, supervisor virtual clock.
+    ActorExit,
+    /// A supervisor restarted a child actor within its restart-intensity
+    /// budget. Instant, supervisor virtual clock (after the restart's
+    /// backoff charge).
+    Restart,
+    /// A supervisor exhausted its restart budget (or its strategy is
+    /// escalate-only) and tore the pipeline down instead of restarting.
+    /// Instant, supervisor virtual clock.
+    Escalated,
+    /// A restarted actor resumed from its checkpoint and redelivered the
+    /// in-flight work item. Instant, virtual queue clock of the device
+    /// the actor re-derived its state on.
+    CheckpointRestore,
 }
 
 impl SpanKind {
@@ -105,6 +122,10 @@ impl SpanKind {
             SpanKind::FaultInjected => "fault_injected",
             SpanKind::Retry => "retry",
             SpanKind::Failover => "failover",
+            SpanKind::ActorExit => "actor_exit",
+            SpanKind::Restart => "restart",
+            SpanKind::Escalated => "escalated",
+            SpanKind::CheckpointRestore => "checkpoint_restore",
         }
     }
 
@@ -200,14 +221,14 @@ impl TraceSink {
     /// Record one event (no-op when disabled).
     pub fn record(&self, event: TraceEvent) {
         if let Some(inner) = &self.inner {
-            inner.events.lock().unwrap().push(event);
+            inner.events.lock().push(event);
         }
     }
 
     /// Append a batch of already-built events (no-op when disabled).
     pub fn extend(&self, events: Vec<TraceEvent>) {
         if let Some(inner) = &self.inner {
-            inner.events.lock().unwrap().extend(events);
+            inner.events.lock().extend(events);
         }
     }
 
@@ -223,7 +244,7 @@ impl TraceSink {
     /// Snapshot of every event recorded so far (recording order).
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.inner {
-            Some(inner) => inner.events.lock().unwrap().clone(),
+            Some(inner) => inner.events.lock().clone(),
             None => Vec::new(),
         }
     }
@@ -231,7 +252,7 @@ impl TraceSink {
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
         match &self.inner {
-            Some(inner) => inner.events.lock().unwrap().len(),
+            Some(inner) => inner.events.lock().len(),
             None => 0,
         }
     }
@@ -244,7 +265,7 @@ impl TraceSink {
     /// Drop all recorded events, keeping the sink enabled.
     pub fn clear(&self) {
         if let Some(inner) = &self.inner {
-            inner.events.lock().unwrap().clear();
+            inner.events.lock().clear();
         }
     }
 

@@ -7,22 +7,40 @@
 //! building their kernel once at actor creation from the source string the
 //! compiler stored, then receive-settings / receive-data / dispatch / send
 //! until their channel closes.
+//!
+//! ## Supervision
+//!
+//! The VM runs its actors under an [`ensemble_actors::Supervisor`]
+//! (one-for-one): an actor killed by the fault-injection layer
+//! ([`oclsim::fault::InjectedFault::Kill`]) exits abruptly and is
+//! restarted within a [`RestartBudget`]. Kernel actors park each accepted
+//! request (settings + data values) in a per-actor checkpoint slot until
+//! its result has been sent, so a restarted incarnation *redelivers* the
+//! in-flight request: because fault checks fire before any device
+//! mutation, re-running the native protocol from the parked values
+//! reproduces the fault-free result exactly, and end-to-end output stays
+//! byte-identical to an unkilled run. Genuine errors (not kills) retire
+//! the actor and fail the run as before; budget exhaustion escalates,
+//! tearing every actor down via channel poisoning.
 
 use crate::interp::{run_chunk, Exit, RuntimeHooks};
 use crate::value::{flatten_fields, unflatten_fields, MovState, VmError, VmVal};
-use ensemble_actors::ChannelError;
+use ensemble_actors::supervisor::panic_message;
+use ensemble_actors::{
+    ActorCtx, ChannelError, ChildSpec, Control, FnActor, RestartBudget, Strategy, Supervisor,
+};
 use ensemble_lang::vmops::*;
 use ensemble_ocl::recovery::with_retry;
 use ensemble_ocl::{
-    nd_from, DeviceSel, FlatData, FlatSeg, OpenClEnvironment, Profile, ProfileSink, RecoveryPolicy,
-    ResidentBufs,
+    nd_from, DeviceSel, FlatData, FlatSeg, MemGuard, OpenClEnvironment, Profile, ProfileSink,
+    RecoveryPolicy, ResidentBufs,
 };
-use oclsim::{DeviceType, Kernel, MemFlags, Program};
+use oclsim::{DeviceType, Kernel, KillPanic, MemFlags, Program};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use trace::{SpanKind, TraceEvent};
 
 /// Modeled interpreter cost per abstract VM op, in virtual nanoseconds.
@@ -56,8 +74,49 @@ impl VmReport {
     }
 }
 
-/// One spawned actor: its name plus the join handle supervising its run.
-type ActorHandle = (String, JoinHandle<Result<(), VmError>>);
+/// Marker prefix carried by a [`VmError`] produced from an injected kill
+/// ([`oclsim::ClError::ActorKilled`]). The kernel-actor protocol maps
+/// every simulator error into a stringly `VmError`, so the kill class —
+/// which the supervisor must treat differently from a genuine failure —
+/// travels as a recognisable prefix.
+const KILL_MARK: &str = "[killed] ";
+
+/// Wrap a simulator error as a `VmError`, preserving the kill class via
+/// the [`KILL_MARK`] prefix.
+fn vm_cl_err(what: &str, e: oclsim::ClError) -> VmError {
+    if matches!(e, oclsim::ClError::ActorKilled { .. }) {
+        VmError(format!("{KILL_MARK}{what}: {e}"))
+    } else {
+        VmError(format!("{what}: {e}"))
+    }
+}
+
+/// Whether `e` records an injected kill (see [`KILL_MARK`]).
+fn is_kill_err(e: &VmError) -> bool {
+    e.0.contains(KILL_MARK)
+}
+
+/// Per-kernel-actor checkpoint: the accepted-but-unacknowledged request.
+///
+/// The slot outlives any single incarnation (it is shared with the
+/// supervisor's child factory); the item stays parked while it is
+/// processed, so a kill — error or panic — mid-processing leaves it
+/// intact for the restarted incarnation to redeliver. `VmVal`s are
+/// `Arc`-backed, making the parked copies cheap.
+#[derive(Default)]
+struct VmCheckpoint {
+    next_seq: u64,
+    in_flight: Option<VmInFlight>,
+}
+
+struct VmInFlight {
+    seq: u64,
+    settings: VmVal,
+    data: VmVal,
+    /// Whether any incarnation already started processing this item — a
+    /// redelivery is `attempted == true`.
+    attempted: bool,
+}
 
 struct Shared {
     module: CompiledModule,
@@ -68,7 +127,6 @@ struct Shared {
     /// finishes wiring the topology (otherwise an eager sender could see a
     /// not-yet-connected channel).
     pending: Mutex<Vec<(CompiledActor, Vec<VmVal>)>>,
-    handles: Mutex<Vec<ActorHandle>>,
 }
 
 impl RuntimeHooks for Arc<Shared> {
@@ -88,6 +146,7 @@ impl RuntimeHooks for Arc<Shared> {
 /// The VM: owns a compiled module and runs it.
 pub struct VmRuntime {
     shared: Arc<Shared>,
+    budget: RestartBudget,
 }
 
 impl VmRuntime {
@@ -105,13 +164,28 @@ impl VmRuntime {
                 profile,
                 output: Mutex::new(Vec::new()),
                 pending: Mutex::new(Vec::new()),
-                handles: Mutex::new(Vec::new()),
             }),
+            budget: RestartBudget::default(),
         }
     }
 
-    /// Run boot, wait for every actor to stop, and report.
+    /// Override the restart-intensity budget the VM's supervisor enforces
+    /// (the default allows 8 restarts per 1 ms virtual window).
+    pub fn set_restart_budget(&mut self, budget: RestartBudget) {
+        self.budget = budget;
+    }
+
+    /// Run boot, supervise every actor until it stops, and report.
+    ///
+    /// Actors killed by injected faults are restarted (one-for-one) within
+    /// the restart budget, resuming from their checkpoint; genuine
+    /// failures retire the actor and fail the run; budget exhaustion
+    /// escalates, tearing down the remaining actors before returning the
+    /// error.
     pub fn run(&self) -> Result<VmReport, VmError> {
+        // Injected kill-panics are supervised control flow here — keep
+        // them off stderr (genuine panics still print).
+        oclsim::silence_kill_panics();
         let shared = Arc::clone(&self.shared);
         let boot = &shared.module.boot;
         let mut slots = vec![VmVal::Unit; boot.nslots as usize];
@@ -128,47 +202,117 @@ impl VmRuntime {
         // handles it holds keep clones of the actors' out endpoints alive,
         // and receivers only observe closure once every clone is gone.
         drop(slots);
-        // Start every actor now that the topology is wired.
+        // Start every actor under a one-for-one supervisor now that the
+        // topology is wired. Each child's factory retains a clone of the
+        // actor's port endpoints, keeping its channels open across a
+        // restart gap; the supervisor drops the factory when the child
+        // retires, so closure still propagates on orderly completion.
         let pending: Vec<_> = std::mem::take(&mut *self.shared.pending.lock());
+        let first_error: Arc<Mutex<Option<VmError>>> = Arc::new(Mutex::new(None));
+        let mut sup = Supervisor::new("vm", Strategy::OneForOne, self.budget);
+        let trace = self.shared.profile.trace();
+        if trace.is_enabled() {
+            sup.set_trace(trace.clone());
+        }
         for (actor, port_slots) in pending {
             let name = actor.name.clone();
             let shared2 = Arc::clone(&self.shared);
-            let handle = std::thread::Builder::new()
-                .name(format!("vm/{}", actor.name))
-                .spawn(move || -> Result<(), VmError> {
-                    let r = match &actor.code {
-                        ActorCode::Host { .. } => host_actor(&shared2, &actor, port_slots),
-                        ActorCode::Kernel(plan) => {
-                            kernel_actor(&shared2, &actor.name, plan, port_slots)
-                        }
-                    };
-                    if let Err(e) = &r {
-                        // Surface failures immediately: a dead actor can
-                        // leave peers blocked, so don't wait for join.
-                        eprintln!("[vm] actor `{}` failed: {e}", actor.name);
-                    }
-                    r
+            let err_slot = Arc::clone(&first_error);
+            let ckpt: Arc<Mutex<VmCheckpoint>> = Arc::new(Mutex::new(VmCheckpoint::default()));
+            // The actor's own In endpoints: poisoned by the supervisor's
+            // escalation teardown so a blocked receive wakes, un-poisoned
+            // if the child is ever revived.
+            let ins: Vec<Arc<ensemble_actors::In<VmVal>>> = port_slots
+                .iter()
+                .filter_map(|v| match v {
+                    VmVal::ChanIn(i) => Some(Arc::clone(i)),
+                    _ => None,
                 })
-                .map_err(|e| VmError(format!("failed to spawn actor thread: {e}")))?;
-            self.shared.handles.lock().push((name, handle));
+                .collect();
+            let ins_revive = ins.clone();
+            sup.supervise(
+                ChildSpec::new(&name, move || {
+                    let shared2 = Arc::clone(&shared2);
+                    let actor = actor.clone();
+                    let port_slots = port_slots.clone();
+                    let ckpt = Arc::clone(&ckpt);
+                    let err_slot = Arc::clone(&err_slot);
+                    FnActor(move |_ctx: &mut ActorCtx| {
+                        let r = std::panic::catch_unwind(AssertUnwindSafe(|| match &actor.code {
+                            ActorCode::Host { .. } => {
+                                host_actor(&shared2, &actor, port_slots.clone())
+                            }
+                            ActorCode::Kernel(plan) => {
+                                kernel_actor(&shared2, &actor.name, plan, port_slots.clone(), &ckpt)
+                            }
+                        }));
+                        match r {
+                            Ok(Ok(())) => Control::Stop,
+                            // Injected kill (error form): abrupt exit, the
+                            // supervisor restarts from the checkpoint.
+                            Ok(Err(e)) if is_kill_err(&e) => Control::Fail,
+                            Ok(Err(e)) => {
+                                eprintln!("[vm] actor `{}` failed: {e}", actor.name);
+                                record_first(
+                                    &err_slot,
+                                    VmError(format!("actor `{}`: {e}", actor.name)),
+                                );
+                                Control::Stop
+                            }
+                            // Injected kill (panic form).
+                            Err(p) if p.downcast_ref::<KillPanic>().is_some() => Control::Fail,
+                            Err(p) => {
+                                record_first(
+                                    &err_slot,
+                                    VmError(format!(
+                                        "actor `{}` panicked: {}",
+                                        actor.name,
+                                        panic_message(p.as_ref())
+                                    )),
+                                );
+                                Control::Stop
+                            }
+                        }
+                    })
+                })
+                .on_stop(move || {
+                    for i in &ins {
+                        i.poison();
+                    }
+                })
+                .on_restart(move || {
+                    for i in &ins_revive {
+                        i.clear_poison();
+                    }
+                }),
+            );
         }
-        // Join every actor (actors may only be spawned from boot).
-        loop {
-            let next = self.shared.handles.lock().pop();
-            match next {
-                Some((name, h)) => match h.join() {
-                    Ok(Ok(())) => {}
-                    Ok(Err(e)) => return Err(VmError(format!("actor `{name}`: {e}"))),
-                    Err(_) => return Err(VmError(format!("actor `{name}` panicked"))),
-                },
-                None => break,
-            }
+        if let Err(e) = sup.run() {
+            record_first(
+                &first_error,
+                VmError(format!(
+                    "restart budget exhausted: child `{}`: {}",
+                    e.child, e.reason
+                )),
+            );
+        }
+        if let Some(e) = first_error.lock().take() {
+            return Err(e);
         }
         Ok(VmReport {
             vm_ops: self.shared.ops.load(Ordering::Relaxed),
             output: self.shared.output.lock().clone(),
             profile: self.shared.profile.snapshot(),
         })
+    }
+}
+
+/// Record `e` into the run's first-error slot unless one is already there
+/// (the first failure is the one reported; later ones are cascade).
+fn record_first(slot: &Arc<Mutex<Option<VmError>>>, e: VmError) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(e);
     }
 }
 
@@ -283,37 +427,29 @@ fn upload(
     profile: &ProfileSink,
 ) -> Result<ResidentBufs, VmError> {
     let mut bufs = Vec::with_capacity(flat.segs.len());
-    let mut held = 0usize;
-    let filled = (|| {
-        for seg in &flat.segs {
-            let buf = env
-                .context
-                .create_buffer(MemFlags::ReadWrite, seg.byte_len())
-                .map_err(|e| VmError(format!("buffer allocation failed: {e}")))?;
-            let ev = with_retry(
-                policy,
-                &env.queue,
-                env.device.name(),
-                profile,
-                "upload",
-                || env.queue.enqueue_write_buffer(&buf, &seg.to_bytes()),
-            )
-            .map_err(|e| {
-                env.context.release_bytes(seg.byte_len());
-                VmError(format!("upload failed: {e}"))
-            })?;
-            profile.record_command(&ev, env.device.name());
-            held += seg.byte_len();
-            bufs.push((buf, seg.ty()));
-        }
-        Ok(())
-    })();
-    if let Err(e) = filled {
-        // Give back the accounting for every buffer uploaded before the
-        // failing one; the failed buffer released its own bytes above.
-        env.context.release_bytes(held);
-        return Err(e);
+    // The guard gives every charged byte back if any step fails — or if a
+    // kill-panic unwinds out of the write below. On success, ownership of
+    // the accounting passes to the returned `ResidentBufs`.
+    let mut guard = MemGuard::new(env.context.clone());
+    for seg in &flat.segs {
+        let buf = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, seg.byte_len())
+            .map_err(|e| vm_cl_err("buffer allocation failed", e))?;
+        guard.add(buf.len());
+        let ev = with_retry(
+            policy,
+            &env.queue,
+            env.device.name(),
+            profile,
+            "upload",
+            || env.queue.enqueue_write_buffer(&buf, &seg.to_bytes()),
+        )
+        .map_err(|e| vm_cl_err("upload failed", e))?;
+        profile.record_command(&ev, env.device.name());
+        bufs.push((buf, seg.ty()));
     }
+    guard.disarm();
     Ok(ResidentBufs {
         bufs,
         dims: flat.dims.clone(),
@@ -361,7 +497,7 @@ fn dispatch(
         "dispatch",
         || env.queue.enqueue_nd_range(kernel, &nd),
     )
-    .map_err(|e| VmError(format!("dispatch failed: {e}")))?;
+    .map_err(|e| vm_cl_err("dispatch failed", e))?;
     profile.record_command(&ev, env.device.name());
     Ok(())
 }
@@ -384,10 +520,13 @@ fn kernel_actor(
     name: &str,
     plan: &KernelPlan,
     port_slots: Vec<VmVal>,
+    ckpt: &Arc<Mutex<VmCheckpoint>>,
 ) -> Result<(), VmError> {
     let VmVal::ChanIn(requests) = &port_slots[plan.requests_port] else {
         return Err(VmError("kernel actor port is not an in channel".into()));
     };
+    // Rebuilt per incarnation: the program/kernel hold no request state,
+    // so a restarted actor re-deriving them is free of the kill's effects.
     let env = OpenClEnvironment::resolve(parse_device(plan))
         .map_err(|e| VmError(format!("device selection failed: {e}")))?;
     let program = Program::build(&env.context, &plan.source)
@@ -399,15 +538,33 @@ fn kernel_actor(
     let policy = RecoveryPolicy::default();
 
     loop {
-        // 1. receive the settings struct.
-        let settings = match requests.receive() {
-            Ok(v) => v,
-            Err(ChannelError::Poisoned) => {
-                return Err(VmError(format!(
-                    "kernel actor `{name}`: requests channel poisoned by a failed peer"
-                )))
+        // Redelivery-first: an item parked in the checkpoint means a
+        // previous incarnation was killed before acknowledging it —
+        // process it again instead of receiving (the channels already
+        // delivered it once and will not again).
+        let parked = {
+            let mut c = ckpt.lock();
+            c.in_flight.as_mut().map(|item| {
+                let redelivered = item.attempted;
+                item.attempted = true;
+                (item.seq, item.settings.clone(), item.data.clone(), redelivered)
+            })
+        };
+        let (seq, settings, parked_data, redelivered) = match parked {
+            Some((seq, s, d, r)) => (seq, s, Some(d), r),
+            None => {
+                // 1. receive the settings struct.
+                let settings = match requests.receive() {
+                    Ok(v) => v,
+                    Err(ChannelError::Poisoned) => {
+                        return Err(VmError(format!(
+                            "kernel actor `{name}`: requests channel poisoned by a failed peer"
+                        )))
+                    }
+                    Err(_) => return Ok(()),
+                };
+                (0, settings, None, false)
             }
-            Err(_) => return Ok(()),
         };
         let VmVal::Struct(_, sfields) = &settings else {
             return Err(VmError("settings must be an opencl struct value".into()));
@@ -425,22 +582,54 @@ fn kernel_actor(
             (ws, gs, input, output, f[4..].to_vec())
         };
 
-        // 2. receive the data. A poisoned input means the upstream stage
-        // died mid-pipeline: propagate the poison downstream so the whole
-        // pipeline tears down instead of deadlocking on a rendezvous.
-        let data = match input.receive() {
-            Ok(v) => v,
-            Err(ChannelError::Poisoned) => {
-                output.poison_receivers();
-                return Err(VmError(format!(
-                    "kernel actor `{name}`: input channel poisoned by a failed peer"
-                )));
+        // 2. receive the data (fresh items only). A poisoned input means
+        // the upstream stage died mid-pipeline: propagate the poison
+        // downstream so the whole pipeline tears down instead of
+        // deadlocking on a rendezvous. Once both values are in hand, park
+        // them: from here to the acknowledgement the checkpoint owns the
+        // request, and a kill anywhere in between leaves it intact for
+        // the next incarnation.
+        let data = match parked_data {
+            Some(d) => d,
+            None => {
+                let data = match input.receive() {
+                    Ok(v) => v,
+                    Err(ChannelError::Poisoned) => {
+                        output.poison_receivers();
+                        return Err(VmError(format!(
+                            "kernel actor `{name}`: input channel poisoned by a failed peer"
+                        )));
+                    }
+                    Err(_) => return Ok(()),
+                };
+                let mut c = ckpt.lock();
+                let seq = c.next_seq;
+                c.next_seq += 1;
+                c.in_flight = Some(VmInFlight {
+                    seq,
+                    settings: settings.clone(),
+                    data: data.clone(),
+                    attempted: true,
+                });
+                data
             }
-            Err(_) => return Ok(()),
         };
-        // The `invokenative` boundary: the actor leaves interpreted code
-        // and enters the native OpenCL host protocol for this request.
         let trace = profile.trace();
+        if redelivered && trace.is_enabled() {
+            trace.record(
+                TraceEvent::instant(
+                    SpanKind::CheckpointRestore,
+                    &plan.kernel_name,
+                    env.device.name(),
+                    env.queue.now_ns(),
+                )
+                .with_arg("actor", name)
+                .with_arg("seq", seq),
+            );
+        }
+        // The `invokenative` boundary: the actor leaves interpreted code
+        // and enters the native OpenCL host protocol for this request
+        // (once per attempt — a redelivery re-crosses it).
         if trace.is_enabled() {
             trace.record(
                 TraceEvent::instant(
@@ -502,41 +691,16 @@ fn kernel_actor(
                 };
                 let flat = flatten_fields(&field_vals, &plan.data_fields)?;
                 let bufs = upload(&env, &policy, &flat, &profile)?;
-                // The buffer accounting is released whether or not the dispatch
-                // and readbacks succeed; on error the buffers are abandoned.
-                let read = (|| {
-                    dispatch(&env, &policy, &kernel, &bufs, &ws, &gs, &scalars, &profile)?;
-                    let result = match plan.out {
-                        KernelOut::Whole => {
-                            let mut segs = Vec::new();
-                            for (b, ty) in &bufs.bufs {
-                                let mut bytes = vec![0u8; b.len()];
-                                let ev = with_retry(
-                                    &policy,
-                                    &env.queue,
-                                    env.device.name(),
-                                    &profile,
-                                    "readback",
-                                    || env.queue.enqueue_read_buffer(b, &mut bytes),
-                                )
-                                .map_err(|e| VmError(format!("read failed: {e}")))?;
-                                profile.record_command(&ev, env.device.name());
-                                segs.push(FlatSeg::from_bytes(*ty, &bytes));
-                            }
-                            let flat = FlatData {
-                                segs,
-                                dims: bufs.dims.clone(),
-                            };
-                            let vals = unflatten_fields(&flat, &plan.data_fields)?;
-                            match (&plan.data_shape, &data) {
-                                (DataShape::Struct { type_id }, _) => {
-                                    VmVal::Struct(*type_id, Arc::new(Mutex::new(vals)))
-                                }
-                                (DataShape::Array { .. }, _) => vals.into_iter().next().unwrap(),
-                            }
-                        }
-                        KernelOut::Field(fidx) => {
-                            let (b, ty) = &bufs.bufs[fidx];
+                // The buffers do not outlive this request: the guard gives
+                // the accounting back on every exit — success, error, or a
+                // kill-panic unwinding out of the dispatch/read-back.
+                let mut release = MemGuard::new(env.context.clone());
+                release.add(bufs.bufs.iter().map(|(b, _)| b.len()).sum());
+                dispatch(&env, &policy, &kernel, &bufs, &ws, &gs, &scalars, &profile)?;
+                let result = match plan.out {
+                    KernelOut::Whole => {
+                        let mut segs = Vec::new();
+                        for (b, ty) in &bufs.bufs {
                             let mut bytes = vec![0u8; b.len()];
                             let ev = with_retry(
                                 &policy,
@@ -546,38 +710,71 @@ fn kernel_actor(
                                 "readback",
                                 || env.queue.enqueue_read_buffer(b, &mut bytes),
                             )
-                            .map_err(|e| VmError(format!("read failed: {e}")))?;
+                            .map_err(|e| vm_cl_err("read failed", e))?;
                             profile.record_command(&ev, env.device.name());
-                            let seg = FlatSeg::from_bytes(*ty, &bytes);
-                            // The field's dims within the overall dims vector.
-                            let offset: usize =
-                                plan.data_fields[..fidx].iter().map(|f| f.ndims).sum();
-                            let field = &plan.data_fields[fidx];
-                            let dims: Vec<usize> = bufs.dims[offset..offset + field.ndims]
-                                .iter()
-                                .map(|&d| d as usize)
-                                .collect();
-                            crate::value::build_array(&seg, &dims, field)?
+                            segs.push(FlatSeg::from_bytes(*ty, &bytes));
                         }
-                    };
-                    Ok(result)
-                })();
-                let released: usize = bufs.bufs.iter().map(|(b, _)| b.len()).sum();
-                env.context.release_bytes(released);
-                read
+                        let flat = FlatData {
+                            segs,
+                            dims: bufs.dims.clone(),
+                        };
+                        let vals = unflatten_fields(&flat, &plan.data_fields)?;
+                        match (&plan.data_shape, &data) {
+                            (DataShape::Struct { type_id }, _) => {
+                                VmVal::Struct(*type_id, Arc::new(Mutex::new(vals)))
+                            }
+                            (DataShape::Array { .. }, _) => vals.into_iter().next().unwrap(),
+                        }
+                    }
+                    KernelOut::Field(fidx) => {
+                        let (b, ty) = &bufs.bufs[fidx];
+                        let mut bytes = vec![0u8; b.len()];
+                        let ev = with_retry(
+                            &policy,
+                            &env.queue,
+                            env.device.name(),
+                            &profile,
+                            "readback",
+                            || env.queue.enqueue_read_buffer(b, &mut bytes),
+                        )
+                        .map_err(|e| vm_cl_err("read failed", e))?;
+                        profile.record_command(&ev, env.device.name());
+                        let seg = FlatSeg::from_bytes(*ty, &bytes);
+                        // The field's dims within the overall dims vector.
+                        let offset: usize =
+                            plan.data_fields[..fidx].iter().map(|f| f.ndims).sum();
+                        let field = &plan.data_fields[fidx];
+                        let dims: Vec<usize> = bufs.dims[offset..offset + field.ndims]
+                            .iter()
+                            .map(|&d| d as usize)
+                            .collect();
+                        crate::value::build_array(&seg, &dims, field)?
+                    }
+                };
+                Ok(result)
             }
         })();
         let result = match attempt {
             Ok(v) => v,
+            // An injected kill: exit abruptly with the item still parked —
+            // the supervisor restarts this actor and the next incarnation
+            // redelivers. No poison: downstream just waits out the gap.
+            Err(e) if is_kill_err(&e) => return Err(e),
             Err(e) => {
                 eprintln!("[vm/{name}] unrecoverable error: {e}; tearing down pipeline");
                 output.poison_receivers();
+                ckpt.lock().in_flight = None;
                 return Err(e);
             }
         };
 
-        // 5. send onward.
-        if output.send_moved(result).is_err() {
+        // 5. send onward, then acknowledge: the request is done, nothing
+        // to redeliver. (No oclsim call separates the send from the ack,
+        // so a kill cannot land between them — downstream never sees a
+        // duplicate.)
+        let sent = output.send_moved(result).is_ok();
+        ckpt.lock().in_flight = None;
+        if !sent {
             return Ok(());
         }
     }
