@@ -1,0 +1,102 @@
+//! `ens-lint` — run the static analysis suite over `.ens` sources.
+//!
+//! ```text
+//! ens-lint [--allow CODE]... FILE.ens [FILE.ens ...]
+//! ```
+//!
+//! Renders rustc-style diagnostics and exits non-zero when any
+//! error-severity finding remains after `--allow` filtering. Warnings
+//! are reported but do not fail the run.
+
+use ensemble_analysis::{analyze_source, Options};
+use ensemble_lang::Severity;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allow" => match args.next() {
+                Some(code) => {
+                    opts.allow.insert(code);
+                }
+                None => {
+                    eprintln!("error: --allow needs a diagnostic code (e.g. --allow E001)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ens-lint [--allow CODE]... FILE.ens [FILE.ens ...]");
+                println!();
+                println!("Statically checks mini-Ensemble programs: kernel races (E001/E002),");
+                println!("bounds (E003), mov use-after-send (E004), topology (E005-E007),");
+                println!("and residency/unused-port warnings (W001/W002).");
+                return ExitCode::SUCCESS;
+            }
+            "--" => {
+                files.extend(args.by_ref());
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: ens-lint [--allow CODE]... FILE.ens [FILE.ens ...]");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match analyze_source(&src, &opts) {
+            Err(parse) => {
+                eprintln!("{file}: {parse}");
+                failed = true;
+            }
+            Ok(report) => {
+                let mut errors = 0usize;
+                let mut warnings = 0usize;
+                for d in &report.diagnostics {
+                    eprint!("{}", d.render(&src, Some(file)));
+                    eprintln!();
+                    match d.severity {
+                        Severity::Error => errors += 1,
+                        Severity::Warning => warnings += 1,
+                    }
+                }
+                if errors > 0 {
+                    eprintln!("{file}: {errors} error(s), {warnings} warning(s)");
+                    failed = true;
+                } else if warnings > 0 {
+                    eprintln!("{file}: ok ({warnings} warning(s))");
+                } else {
+                    println!("{file}: ok");
+                }
+                if !report.residency_proven.is_empty() {
+                    let names: Vec<&str> = report
+                        .residency_proven
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect();
+                    println!(
+                        "{file}: residency proven for kernel(s): {}",
+                        names.join(", ")
+                    );
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,842 @@
+//! Host-side abstract interpretation: `mov` linearity (E004), channel
+//! wiring (E005/E007/W001), rendezvous deadlock cycles (E006), and the
+//! routing of `settings` constructions and data dimensions to kernel
+//! actors so the kernel checks know worksizes and buffer extents.
+//!
+//! The walk mirrors `compile.rs` semantics where they matter for
+//! correctness of the `mov` check (branches are walked in sequence, a
+//! reassignment revives a moved variable) and is conservative
+//! everywhere else: loop bodies are walked after invalidating every
+//! variable they assign, and walked *twice* so a `send` in iteration
+//! `n` is seen by a use in iteration `n+1` (diagnostics are deduplicated
+//! globally, so the second pass adds no noise).
+
+use ensemble_lang::ast::{ActorDecl, Dir, Expr, PathSeg, Port, Stmt, TypeExpr};
+use ensemble_lang::diag::{codes, Diagnostic};
+use ensemble_lang::token::Span;
+use std::collections::HashMap;
+
+use crate::model::Model;
+
+/// Abstract value of a host variable.
+#[derive(Debug, Clone)]
+pub enum Abs {
+    /// A known integer constant.
+    Int(i64),
+    /// An array with (possibly) known dims and integer fill value.
+    Arr {
+        /// Extent per dimension (`None` = unknown).
+        dims: Vec<Option<i64>>,
+        /// Constant integer fill, for `new integer[n] of v`.
+        fill: Option<i64>,
+    },
+    /// A struct construction of the named type.
+    StructV(String),
+    /// A kernel `settings` construction.
+    Settings(SettingsCon),
+    /// A dynamic channel endpoint (id into the walker's endpoint table).
+    Endpoint(usize),
+    /// A boot-block actor instance of the named actor type.
+    Instance(String),
+    /// Anything else.
+    Unknown,
+}
+
+/// What we saw flow into a `new <opencl-struct>(...)` construction.
+#[derive(Debug, Clone)]
+pub struct SettingsCon {
+    /// Worksize `(declared len, fill extent)` when visible.
+    pub ws: (Option<i64>, Option<i64>),
+    /// Groupsize `(declared len, fill extent)` when visible.
+    pub gs: (Option<i64>, Option<i64>),
+    /// Endpoint id passed as the `in` channel field, when it was a
+    /// dynamic endpoint variable.
+    pub in_ep: Option<usize>,
+}
+
+/// A dynamic channel endpoint created by `new in T` / `new out T`.
+pub struct Endpoint {
+    /// Variable the endpoint was first bound to (for messages).
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Element type.
+    pub elem: TypeExpr,
+    /// Declaration site.
+    pub span: Span,
+    /// Appeared in a `connect`.
+    pub connected: bool,
+    /// Appeared in a `send`/`receive` or as a settings channel field.
+    pub used: bool,
+    /// Static `out` ports wired into this endpoint (`connect port to ep`).
+    pub fed_by_ports: Vec<String>,
+}
+
+/// Which channel a send targeted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChanRef {
+    /// A static interface port of the walking actor.
+    Port(String),
+    /// A dynamic endpoint (id into the summary's endpoint table).
+    Ep(usize),
+}
+
+/// Everything one actor walk produced.
+#[derive(Default)]
+pub struct ActorSummary {
+    /// Dynamic endpoints created during the walk.
+    pub endpoints: Vec<Endpoint>,
+    /// Settings constructions sent on static out ports: `(port, con)`.
+    pub settings_sent: Vec<(String, SettingsCon)>,
+    /// Bare arrays sent on channels: `(chan, dims)`.
+    pub array_sends: Vec<(ChanRef, Vec<Option<i64>>)>,
+    /// Static ports this actor sends/receives on.
+    pub ports_used: Vec<String>,
+    /// Static ports appearing in an intra-actor `connect`.
+    pub ports_connected: Vec<String>,
+    /// First static-port channel operation: `(is_receive, port, span)`.
+    pub first_op: Option<(bool, String, Span)>,
+}
+
+/// Struct constructions observed anywhere: type → per-construction
+/// per-field dims (`None` = field is not an array / dims unknown).
+pub type StructCons = HashMap<String, Vec<Vec<Option<Vec<Option<i64>>>>>>;
+
+/// A boot-block `connect a.p to b.q` edge: `((a, p), (b, q), span)`.
+pub type BootEdge = ((String, String), (String, String), Span);
+
+/// Boot-block facts.
+#[derive(Default)]
+pub struct BootInfo {
+    /// Instance variable → actor type.
+    pub instances: Vec<(String, String)>,
+    /// `connect a.p to b.q` edges.
+    pub edges: Vec<BootEdge>,
+    /// Instance ports wired to a boot-created dynamic endpoint
+    /// (`connect k to m.start`): `(instance, port)`.
+    pub wired_ports: Vec<(String, String)>,
+}
+
+struct VarInfo {
+    abs: Abs,
+    /// `Some(ty)` when the value is (a handle to) a `mov` struct.
+    mov_ty: Option<String>,
+    /// `Some(send span)` while the value is moved away.
+    moved: Option<Span>,
+}
+
+/// The per-actor abstract interpreter.
+pub struct HostWalk<'m> {
+    model: &'m Model<'m>,
+    ports: &'m [Port],
+    in_boot: bool,
+    scopes: Vec<HashMap<String, VarInfo>>,
+    pub summary: ActorSummary,
+    pub boot: BootInfo,
+    pub struct_cons: StructCons,
+    pub diags: Vec<Diagnostic>,
+}
+
+impl<'m> HostWalk<'m> {
+    /// Walker for an actor body (`ports` = its interface).
+    pub fn new(model: &'m Model<'m>, ports: &'m [Port], in_boot: bool) -> HostWalk<'m> {
+        HostWalk {
+            model,
+            ports,
+            in_boot,
+            scopes: vec![HashMap::new()],
+            summary: ActorSummary::default(),
+            boot: BootInfo::default(),
+            struct_cons: StructCons::new(),
+            diags: Vec::new(),
+        }
+    }
+
+    /// Walk a whole body (constructor + behaviour, in order).
+    pub fn walk(&mut self, actor: &ActorDecl) {
+        for (name, value) in &actor.fields {
+            let v = self.eval(value);
+            self.bind(name, v);
+        }
+        for s in &actor.constructor {
+            self.stmt(s);
+        }
+        for s in &actor.behaviour {
+            self.stmt(s);
+        }
+    }
+
+    /// Walk the boot block.
+    pub fn walk_boot(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn bind(&mut self, name: &str, abs: Abs) {
+        let mov_ty = self.mov_ty_of(&abs);
+        self.scopes.last_mut().expect("scope stack").insert(
+            name.to_string(),
+            VarInfo {
+                abs,
+                mov_ty,
+                moved: None,
+            },
+        );
+    }
+
+    fn mov_ty_of(&self, abs: &Abs) -> Option<String> {
+        if let Abs::StructV(ty) = abs {
+            if self.model.structs.get(ty.as_str()).is_some_and(|s| s.any_mov) {
+                return Some(ty.clone());
+            }
+        }
+        None
+    }
+
+    fn var_mut(&mut self, name: &str) -> Option<&mut VarInfo> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+
+    fn var(&self, name: &str) -> Option<&VarInfo> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn port(&self, name: &str) -> Option<&'m Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    fn push_diag(&mut self, d: Diagnostic) {
+        // Loop bodies are walked twice; keep one copy of each finding.
+        if !self
+            .diags
+            .iter()
+            .any(|x| x.code == d.code && x.span == d.span && x.message == d.message)
+        {
+            self.diags.push(d);
+        }
+    }
+
+    /// Flag a use of `name` if it is currently moved away (E004).
+    fn check_moved(&mut self, name: &str, span: Span) {
+        if let Some(v) = self.var(name) {
+            if let (Some(sent), Some(ty)) = (v.moved, v.mov_ty.clone()) {
+                self.push_diag(
+                    Diagnostic::error(
+                        codes::USE_AFTER_MOV,
+                        span,
+                        format!("`{name}` (mov `{ty}`) is used after being sent away"),
+                    )
+                    .with_note(sent, format!("`{name}` was moved by this send"))
+                    .with_help(format!(
+                        "receive a fresh value into `{name}` (or reassign it) before \
+                         using it again (§6.2.3)"
+                    )),
+                );
+            }
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> Abs {
+        match e {
+            Expr::Int(v, _) => Abs::Int(*v),
+            Expr::Neg(inner, _) => match self.eval(inner) {
+                Abs::Int(v) => Abs::Int(-v),
+                _ => Abs::Unknown,
+            },
+            Expr::Not(inner, _) => {
+                self.eval(inner);
+                Abs::Unknown
+            }
+            Expr::Binary(op, l, r, _) => {
+                let (a, b) = (self.eval(l), self.eval(r));
+                if let (Abs::Int(x), Abs::Int(y)) = (a, b) {
+                    use ensemble_lang::ast::BinOp::*;
+                    let v = match op {
+                        Add => Some(x + y),
+                        Sub => Some(x - y),
+                        Mul => Some(x * y),
+                        Div if y != 0 => Some(x / y),
+                        Rem if y != 0 => Some(x % y),
+                        _ => None,
+                    };
+                    return v.map_or(Abs::Unknown, Abs::Int);
+                }
+                Abs::Unknown
+            }
+            Expr::Path(root, segs, span) => {
+                self.check_moved(root, *span);
+                for s in segs {
+                    if let PathSeg::Index(ix) = s {
+                        self.eval(ix);
+                    }
+                }
+                if segs.is_empty() {
+                    return self.var(root).map_or(Abs::Unknown, |v| v.abs.clone());
+                }
+                Abs::Unknown
+            }
+            Expr::Call(name, args, _) => {
+                let consts: Vec<Abs> = args.iter().map(|a| self.eval(a)).collect();
+                let as_int = |i: usize| match consts.get(i) {
+                    Some(Abs::Int(v)) => Some(*v),
+                    _ => None,
+                };
+                match name.as_str() {
+                    "generate_vector" => Abs::Arr {
+                        dims: vec![as_int(0)],
+                        fill: None,
+                    },
+                    "generate_matrix" => Abs::Arr {
+                        dims: vec![as_int(0), as_int(1)],
+                        fill: None,
+                    },
+                    "generate_dominant" => Abs::Arr {
+                        dims: vec![as_int(0), as_int(0)],
+                        fill: None,
+                    },
+                    _ => Abs::Unknown,
+                }
+            }
+            Expr::NewArray { dims, fill, .. } => {
+                let ds: Vec<Option<i64>> = dims
+                    .iter()
+                    .map(|d| match self.eval(d) {
+                        Abs::Int(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                let f = match fill {
+                    Some(f) => match self.eval(f) {
+                        Abs::Int(v) => Some(v),
+                        _ => None,
+                    },
+                    None => Some(0),
+                };
+                Abs::Arr { dims: ds, fill: f }
+            }
+            Expr::NewStruct { name, args, .. } => {
+                let vals: Vec<Abs> = args.iter().map(|a| self.eval(a)).collect();
+                let is_opencl = self
+                    .model
+                    .structs
+                    .get(name.as_str())
+                    .is_some_and(|s| s.opencl);
+                if is_opencl && vals.len() >= 4 {
+                    let arr_info = |a: &Abs| match a {
+                        Abs::Arr { dims, fill } => {
+                            (dims.first().copied().flatten(), *fill)
+                        }
+                        _ => (None, None),
+                    };
+                    let in_ep = match &vals[2] {
+                        Abs::Endpoint(id) => Some(*id),
+                        _ => None,
+                    };
+                    // Channel fields count as uses of their endpoints.
+                    for v in &vals[2..4] {
+                        if let Abs::Endpoint(id) = v {
+                            self.summary.endpoints[*id].used = true;
+                        }
+                    }
+                    return Abs::Settings(SettingsCon {
+                        ws: arr_info(&vals[0]),
+                        gs: arr_info(&vals[1]),
+                        in_ep,
+                    });
+                }
+                // Plain struct: remember per-field dims for the kernel
+                // bounds checker.
+                let fields: Vec<Option<Vec<Option<i64>>>> = vals
+                    .iter()
+                    .map(|v| match v {
+                        Abs::Arr { dims, .. } => Some(dims.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                self.struct_cons.entry(name.clone()).or_default().push(fields);
+                Abs::StructV(name.clone())
+            }
+            Expr::NewActor { name, .. } => Abs::Instance(name.clone()),
+            Expr::NewChanIn(ty, span) | Expr::NewChanOut(ty, span) => {
+                let dir = match e {
+                    Expr::NewChanIn(..) => Dir::In,
+                    _ => Dir::Out,
+                };
+                let id = self.summary.endpoints.len();
+                self.summary.endpoints.push(Endpoint {
+                    name: String::new(),
+                    dir,
+                    elem: ty.clone(),
+                    span: *span,
+                    connected: false,
+                    used: false,
+                    fed_by_ports: Vec::new(),
+                });
+                Abs::Endpoint(id)
+            }
+            _ => Abs::Unknown,
+        }
+    }
+
+    // ---- channel resolution ------------------------------------------
+
+    /// Resolve a channel expression to a port or endpoint; `None` for
+    /// dynamic paths (`req.output`) we do not reason about.
+    fn chan_ref(&mut self, chan: &Expr) -> Option<(ChanRef, Dir, TypeExpr)> {
+        let Expr::Path(root, segs, span) = chan else {
+            return None;
+        };
+        if !segs.is_empty() {
+            return None;
+        }
+        if let Some(p) = self.port(root) {
+            return Some((ChanRef::Port(root.clone()), p.dir, p.ty.clone()));
+        }
+        self.check_moved(root, *span);
+        let ep_id = match self.var(root).map(|v| &v.abs) {
+            Some(Abs::Endpoint(id)) => Some(*id),
+            _ => None,
+        };
+        if let Some(id) = ep_id {
+            let ep = &mut self.summary.endpoints[id];
+            if ep.name.is_empty() {
+                root.clone_into(&mut ep.name);
+            }
+            return Some((ChanRef::Ep(id), ep.dir, ep.elem.clone()));
+        }
+        None
+    }
+
+    fn note_op(&mut self, is_receive: bool, chan: &ChanRef, span: Span) {
+        match chan {
+            ChanRef::Port(p) => {
+                if !self.summary.ports_used.contains(p) {
+                    self.summary.ports_used.push(p.clone());
+                }
+                if self.summary.first_op.is_none() {
+                    self.summary.first_op = Some((is_receive, p.clone(), span));
+                }
+            }
+            ChanRef::Ep(id) => self.summary.endpoints[*id].used = true,
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Declare { name, value, .. } | Stmt::DeclareLocal { name, value, .. } => {
+                let v = self.eval(value);
+                self.bind(name, v);
+            }
+            Stmt::Assign {
+                name, path, value, ..
+            } => {
+                let v = self.eval(value);
+                if path.is_empty() {
+                    let mov_ty = self.mov_ty_of(&v).or_else(|| {
+                        // `d := dnext` — a handle to a mov struct flows over.
+                        if let Expr::Path(src, segs, _) = value {
+                            if segs.is_empty() {
+                                return self.var(src).and_then(|x| x.mov_ty.clone());
+                            }
+                        }
+                        None
+                    });
+                    if let Some(var) = self.var_mut(name) {
+                        var.abs = v;
+                        var.mov_ty = mov_ty;
+                        var.moved = None; // reassignment revives the binding
+                    }
+                } else {
+                    // Writing into `d.field[...]` still uses `d`.
+                    let span = stmt_span(s);
+                    self.check_moved(name, span);
+                    for seg in path {
+                        if let PathSeg::Index(ix) = seg {
+                            self.eval(ix);
+                        }
+                    }
+                }
+            }
+            Stmt::Send { value, chan, pos } => {
+                let v = self.eval(value);
+                let cref = self.chan_ref(chan);
+                if let Some((cref, _, _)) = &cref {
+                    self.note_op(false, cref, *pos);
+                    match (&v, cref) {
+                        (Abs::Settings(con), ChanRef::Port(p)) => {
+                            self.summary.settings_sent.push((p.clone(), con.clone()));
+                        }
+                        (Abs::Arr { dims, .. }, cref) => {
+                            self.summary.array_sends.push((cref.clone(), dims.clone()));
+                        }
+                        _ => {}
+                    }
+                }
+                // Sending a whole mov struct moves it (compile.rs moves
+                // exactly when the sent value's static kind is a mov
+                // struct — i.e. a bare path to one).
+                if let Expr::Path(root, segs, _) = value {
+                    if segs.is_empty() {
+                        if let Some(var) = self.var_mut(root) {
+                            if var.mov_ty.is_some() {
+                                var.moved = Some(*pos);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::Receive { name, chan, pos } => {
+                let cref = self.chan_ref(chan);
+                let mut abs = Abs::Unknown;
+                let mut mov_ty = None;
+                if let Some((cref, _, elem)) = &cref {
+                    self.note_op(true, cref, *pos);
+                    if let TypeExpr::Named(ty) = elem {
+                        if self
+                            .model
+                            .structs
+                            .get(ty.as_str())
+                            .is_some_and(|s| s.any_mov)
+                        {
+                            mov_ty = Some(ty.clone());
+                        }
+                        abs = Abs::StructV(ty.clone());
+                    }
+                }
+                self.scopes.last_mut().expect("scope stack").insert(
+                    name.clone(),
+                    VarInfo {
+                        abs,
+                        mov_ty,
+                        moved: None,
+                    },
+                );
+            }
+            Stmt::Connect { from, to, pos } => self.connect(from, to, *pos),
+            Stmt::For { var, from, to, body, .. } => {
+                self.eval(from);
+                self.eval(to);
+                self.invalidate_assigned(body);
+                self.scopes.push(HashMap::new());
+                self.bind(var, Abs::Unknown);
+                for _ in 0..2 {
+                    for st in body {
+                        self.stmt(st);
+                    }
+                }
+                self.scopes.pop();
+            }
+            Stmt::While { cond, body } => {
+                self.invalidate_assigned(body);
+                self.scopes.push(HashMap::new());
+                for _ in 0..2 {
+                    self.eval(cond);
+                    for st in body {
+                        self.stmt(st);
+                    }
+                }
+                self.scopes.pop();
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.eval(cond);
+                // Mirror compile.rs: branches in sequence, no merge.
+                self.scopes.push(HashMap::new());
+                for st in then_blk {
+                    self.stmt(st);
+                }
+                self.scopes.pop();
+                self.scopes.push(HashMap::new());
+                for st in else_blk {
+                    self.stmt(st);
+                }
+                self.scopes.pop();
+                // Values written in a branch are unknown afterwards.
+                self.invalidate_assigned(then_blk);
+                self.invalidate_assigned(else_blk);
+            }
+            Stmt::Print { value, .. } => {
+                self.eval(value);
+            }
+            Stmt::Barrier { .. } | Stmt::Stop { .. } => {}
+        }
+    }
+
+    fn connect(&mut self, from: &Expr, to: &Expr, span: Span) {
+        if self.in_boot {
+            self.connect_boot(from, to, span);
+            return;
+        }
+        let f = self.side(from);
+        let t = self.side(to);
+        let (Some(f), Some(t)) = (f, t) else { return };
+        if f.1 != Dir::Out || t.1 != Dir::In {
+            self.push_diag(
+                Diagnostic::error(
+                    codes::PROTOCOL_MISMATCH,
+                    span,
+                    "`connect` must wire an `out` channel to an `in` channel".to_string(),
+                )
+                .with_help("swap the operands: `connect <out> to <in>`".to_string()),
+            );
+            return;
+        }
+        if f.2 != t.2 {
+            self.push_diag(Diagnostic::error(
+                codes::PROTOCOL_MISMATCH,
+                span,
+                format!(
+                    "`connect` element types differ: `{}` flows into `{}`",
+                    f.2, t.2
+                ),
+            ));
+            return;
+        }
+        // Track which out-ports feed which in-endpoints (data routing).
+        if let (ChanRef::Port(p), ChanRef::Ep(id)) = (&f.0, &t.0) {
+            let ep = &mut self.summary.endpoints[*id];
+            if !ep.fed_by_ports.contains(p) {
+                ep.fed_by_ports.push(p.clone());
+            }
+        }
+    }
+
+    /// One side of an intra-actor connect, marking it connected.
+    fn side(&mut self, e: &Expr) -> Option<(ChanRef, Dir, TypeExpr)> {
+        let r = self.chan_ref(e)?;
+        match &r.0 {
+            ChanRef::Port(p) => {
+                if !self.summary.ports_connected.contains(p) {
+                    self.summary.ports_connected.push(p.clone());
+                }
+                if !self.summary.ports_used.contains(p) {
+                    self.summary.ports_used.push(p.clone());
+                }
+            }
+            ChanRef::Ep(id) => self.summary.endpoints[*id].connected = true,
+        }
+        Some(r)
+    }
+
+    fn connect_boot(&mut self, from: &Expr, to: &Expr, span: Span) {
+        let inst_port = |walk: &Self, e: &Expr| -> Option<(String, String)> {
+            if let Expr::Path(root, segs, _) = e {
+                if let [PathSeg::Field(port)] = segs.as_slice() {
+                    if let Some(Abs::Instance(_)) = walk.var(root).map(|v| &v.abs) {
+                        return Some((root.clone(), port.clone()));
+                    }
+                }
+            }
+            None
+        };
+        let (fi, ti) = (inst_port(self, from), inst_port(self, to));
+        // Mixed sides: a boot-created endpoint wired into an instance
+        // port (`connect k to m.start`) or out of one.
+        if fi.is_none() || ti.is_none() {
+            for (side, inst) in [(from, &fi), (to, &ti)] {
+                if let Some((i, p)) = inst {
+                    self.boot.wired_ports.push((i.clone(), p.clone()));
+                } else if let Some((ChanRef::Ep(id), _, _)) = self.chan_ref(side) {
+                    self.summary.endpoints[id].connected = true;
+                }
+            }
+            return;
+        }
+        let (Some(f), Some(t)) = (fi, ti) else { return };
+        // Direction / element type check across the two interfaces.
+        let port_of = |walk: &Self, inst: &str, port: &str| -> Option<Port> {
+            let ty = walk.var(inst).and_then(|v| match &v.abs {
+                Abs::Instance(t) => Some(t.clone()),
+                _ => None,
+            })?;
+            walk.model
+                .actor_ports(&ty)?
+                .iter()
+                .find(|p| p.name == port)
+                .cloned()
+        };
+        if let (Some(fp), Some(tp)) = (port_of(self, &f.0, &f.1), port_of(self, &t.0, &t.1)) {
+            if fp.dir != Dir::Out || tp.dir != Dir::In {
+                self.push_diag(
+                    Diagnostic::error(
+                        codes::PROTOCOL_MISMATCH,
+                        span,
+                        format!(
+                            "`connect {}.{} to {}.{}` must wire an `out` port to an `in` port",
+                            f.0, f.1, t.0, t.1
+                        ),
+                    )
+                    .with_help("swap the operands: `connect <out> to <in>`".to_string()),
+                );
+            } else if fp.ty != tp.ty {
+                self.push_diag(Diagnostic::error(
+                    codes::PROTOCOL_MISMATCH,
+                    span,
+                    format!(
+                        "`connect {}.{} to {}.{}` element types differ: `{}` flows into `{}`",
+                        f.0, f.1, t.0, t.1, fp.ty, tp.ty
+                    ),
+                ));
+            }
+        }
+        self.boot.edges.push((f, t, span));
+    }
+
+    fn invalidate_assigned(&mut self, body: &[Stmt]) {
+        let mut names = Vec::new();
+        collect_assigned(body, &mut names);
+        for n in names {
+            if let Some(v) = self.var_mut(&n) {
+                v.abs = Abs::Unknown;
+            }
+        }
+    }
+
+    /// Record boot instances after the walk (from the final scope).
+    pub fn harvest_instances(&mut self) {
+        for scope in &self.scopes {
+            for (name, v) in scope {
+                if let Abs::Instance(ty) = &v.abs {
+                    self.boot.instances.push((name.clone(), ty.clone()));
+                }
+            }
+        }
+        self.boot.instances.sort();
+    }
+}
+
+/// Scalar/whole-variable names assigned anywhere under `stmts`.
+fn collect_assigned(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { name, path, .. } if path.is_empty() && !out.contains(name) => {
+                out.push(name.clone());
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => collect_assigned(body, out),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_assigned(then_blk, out);
+                collect_assigned(else_blk, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// First static-port channel operation in an actor, scanning the
+/// constructor then the behaviour in program order (used for the
+/// rendezvous-deadlock lint on kernel actors too, whose bodies the
+/// abstract interpreter does not walk).
+pub fn first_port_op(actor: &ActorDecl, ports: &[Port]) -> Option<(bool, String, Span)> {
+    fn scan(stmts: &[Stmt], ports: &[Port]) -> Option<(bool, String, Span)> {
+        for s in stmts {
+            let hit = match s {
+                Stmt::Send { chan, pos, .. } => chan_port(chan, ports).map(|p| (false, p, *pos)),
+                Stmt::Receive { chan, pos, .. } => {
+                    chan_port(chan, ports).map(|p| (true, p, *pos))
+                }
+                Stmt::For { body, .. } | Stmt::While { body, .. } => scan(body, ports),
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => scan(then_blk, ports).or_else(|| scan(else_blk, ports)),
+                _ => None,
+            };
+            if hit.is_some() {
+                return hit;
+            }
+        }
+        None
+    }
+    fn chan_port(chan: &Expr, ports: &[Port]) -> Option<String> {
+        if let Expr::Path(root, segs, _) = chan {
+            if segs.is_empty() && ports.iter().any(|p| &p.name == root) {
+                return Some(root.clone());
+            }
+        }
+        None
+    }
+    scan(&actor.constructor, ports).or_else(|| scan(&actor.behaviour, ports))
+}
+
+/// Whole-module port usage: does any statement of `actor` mention
+/// static port `port` as a channel (send/receive/connect)?
+pub fn actor_uses_port(actor: &ActorDecl, port: &str) -> bool {
+    fn expr_is(e: &Expr, port: &str) -> bool {
+        matches!(e, Expr::Path(root, segs, _) if segs.is_empty() && root == port)
+    }
+    fn scan(stmts: &[Stmt], port: &str) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Send { chan, .. } | Stmt::Receive { chan, .. } => expr_is(chan, port),
+            Stmt::Connect { from, to, .. } => expr_is(from, port) || expr_is(to, port),
+            Stmt::For { body, .. } | Stmt::While { body, .. } => scan(body, port),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => scan(then_blk, port) || scan(else_blk, port),
+            _ => false,
+        })
+    }
+    scan(&actor.constructor, port) || scan(&actor.behaviour, port)
+}
+
+/// Does any send/receive in `actor` target static port `port`?
+/// (Connect-only references do not count: a port can legitimately be
+/// wired by the boot block and only ever used from the other side.)
+pub fn actor_sends_or_receives(actor: &ActorDecl, port: &str) -> bool {
+    fn expr_is(e: &Expr, port: &str) -> bool {
+        matches!(e, Expr::Path(root, segs, _) if segs.is_empty() && root == port)
+    }
+    fn scan(stmts: &[Stmt], port: &str) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Send { chan, .. } | Stmt::Receive { chan, .. } => expr_is(chan, port),
+            Stmt::For { body, .. } | Stmt::While { body, .. } => scan(body, port),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => scan(then_blk, port) || scan(else_blk, port),
+            _ => false,
+        })
+    }
+    scan(&actor.constructor, port) || scan(&actor.behaviour, port)
+}
+
+/// Does `actor` mention static port `port` in a `connect`?
+pub fn actor_connects_port(actor: &ActorDecl, port: &str) -> bool {
+    fn expr_is(e: &Expr, port: &str) -> bool {
+        matches!(e, Expr::Path(root, segs, _) if segs.is_empty() && root == port)
+    }
+    fn scan(stmts: &[Stmt], port: &str) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Connect { from, to, .. } => expr_is(from, port) || expr_is(to, port),
+            Stmt::For { body, .. } | Stmt::While { body, .. } => scan(body, port),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => scan(then_blk, port) || scan(else_blk, port),
+            _ => false,
+        })
+    }
+    scan(&actor.constructor, port) || scan(&actor.behaviour, port)
+}
+
+fn stmt_span(s: &Stmt) -> Span {
+    match s {
+        Stmt::Declare { pos, .. }
+        | Stmt::DeclareLocal { pos, .. }
+        | Stmt::Assign { pos, .. }
+        | Stmt::Send { pos, .. }
+        | Stmt::Receive { pos, .. }
+        | Stmt::Connect { pos, .. }
+        | Stmt::For { pos, .. }
+        | Stmt::Print { pos, .. }
+        | Stmt::Barrier { pos }
+        | Stmt::Stop { pos } => *pos,
+        Stmt::While { cond, .. } | Stmt::If { cond, .. } => cond.pos(),
+    }
+}

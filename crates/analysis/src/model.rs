@@ -1,0 +1,190 @@
+//! A queryable view of a parsed module: structs, interfaces, and the
+//! kernel actors whose protocol shape we could recognise.
+//!
+//! Model building is deliberately *tolerant*: an actor that does not
+//! match the kernel protocol (receive settings; receive data; body;
+//! send result) is simply skipped here — the compiler proper reports
+//! shape errors with better messages, and analysis only reasons about
+//! what it can model.
+
+use ensemble_lang::ast::{
+    ActorDecl, Dir, Field, Module, Port, StageDecl, Stmt, TypeDecl, TypeExpr,
+};
+use ensemble_lang::token::Span;
+use std::collections::HashMap;
+
+/// A struct declaration plus derived facts.
+pub struct StructModel<'m> {
+    /// Fields in declaration order.
+    pub fields: &'m [Field],
+    /// Declared `opencl struct` (kernel settings shape).
+    pub opencl: bool,
+    /// Any field is `mov` (the struct moves between devices by handle).
+    pub any_mov: bool,
+    /// Declaration span (for residency warnings).
+    pub span: Span,
+}
+
+/// What a kernel receives on its data channel.
+pub enum DataModel<'m> {
+    /// A named struct of arrays (`lud_t`, `rank_t`, ...).
+    Struct(&'m str),
+    /// A bare array (`integer [][]` in mandelbrot).
+    Array {
+        /// Dimension count of the array type.
+        ndims: usize,
+    },
+}
+
+/// A kernel actor whose protocol shape was recognised.
+pub struct KernelModel<'m> {
+    /// The actor declaration.
+    pub actor: &'m ActorDecl,
+    /// Names of the trailing `integer` scalar fields of the settings.
+    pub scalars: Vec<&'m str>,
+    /// Variable bound by the first receive (the settings value).
+    pub req_name: &'m str,
+    /// Variable bound by the second receive (the data value).
+    pub data_name: &'m str,
+    /// Shape of the data.
+    pub data: DataModel<'m>,
+    /// Statements between the data receive and the result send.
+    pub body: &'m [Stmt],
+    /// `(device_index, device_type)` from the `opencl <...>` header.
+    pub device: (usize, Option<String>),
+    /// Name of the interface port the settings arrive on.
+    pub req_port: &'m str,
+}
+
+/// The whole-module view the passes run over.
+pub struct Model<'m> {
+    /// Structs by name.
+    pub structs: HashMap<&'m str, StructModel<'m>>,
+    /// Interfaces by name: ports plus declaration span.
+    pub interfaces: HashMap<&'m str, &'m [Port]>,
+    /// The first stage (analysis targets single-stage modules).
+    pub stage: Option<&'m StageDecl>,
+    /// Recognised kernel actors.
+    pub kernels: Vec<KernelModel<'m>>,
+}
+
+impl<'m> Model<'m> {
+    /// Interface ports of an actor type, if both exist.
+    pub fn actor_ports(&self, actor_ty: &str) -> Option<&'m [Port]> {
+        let stage = self.stage?;
+        let a = stage.actors.iter().find(|a| a.name == actor_ty)?;
+        self.interfaces.get(a.interface.as_str()).copied()
+    }
+}
+
+/// Build the model for a module.
+pub fn build(module: &Module) -> Model<'_> {
+    let mut structs = HashMap::new();
+    let mut interfaces = HashMap::new();
+    for t in &module.types {
+        match t {
+            TypeDecl::Struct {
+                name,
+                fields,
+                opencl,
+                pos,
+            } => {
+                structs.insert(
+                    name.as_str(),
+                    StructModel {
+                        fields,
+                        opencl: *opencl,
+                        any_mov: fields.iter().any(|f| f.mov),
+                        span: *pos,
+                    },
+                );
+            }
+            TypeDecl::Interface { name, ports, .. } => {
+                interfaces.insert(name.as_str(), ports.as_slice());
+            }
+        }
+    }
+    let stage = module.stages.first();
+    let mut kernels = Vec::new();
+    if let Some(stage) = stage {
+        for actor in &stage.actors {
+            if let Some(k) = kernel_model(actor, &structs, &interfaces) {
+                kernels.push(k);
+            }
+        }
+    }
+    Model {
+        structs,
+        interfaces,
+        stage,
+        kernels,
+    }
+}
+
+/// Try to recognise `actor` as a kernel actor. `None` means "not a
+/// kernel, or a shape the compiler will reject anyway".
+fn kernel_model<'m>(
+    actor: &'m ActorDecl,
+    structs: &HashMap<&'m str, StructModel<'m>>,
+    interfaces: &HashMap<&'m str, &'m [Port]>,
+) -> Option<KernelModel<'m>> {
+    let attrs = actor.opencl.as_ref()?;
+    let ports = interfaces.get(actor.interface.as_str())?;
+    // Exactly one `in` port carrying a named opencl struct.
+    let req_port = ports
+        .iter()
+        .find(|p| p.dir == Dir::In && matches!(&p.ty, TypeExpr::Named(_)))?;
+    let settings_name = match &req_port.ty {
+        TypeExpr::Named(n) => n.as_str(),
+        _ => return None,
+    };
+    let settings = structs.get(settings_name)?;
+    if !settings.opencl || settings.fields.len() < 4 {
+        return None;
+    }
+    let b = &actor.behaviour;
+    if b.len() < 3 {
+        return None;
+    }
+    let req_name = match &b[0] {
+        Stmt::Receive { name, .. } => name.as_str(),
+        _ => return None,
+    };
+    let data_name = match &b[1] {
+        Stmt::Receive { name, .. } => name.as_str(),
+        _ => return None,
+    };
+    if !matches!(b.last(), Some(Stmt::Send { .. })) {
+        return None;
+    }
+    // Data shape from the settings' `in` channel field.
+    let data = match &settings.fields[2].ty {
+        TypeExpr::ChanIn(inner) => match inner.as_ref() {
+            TypeExpr::Named(n) => {
+                let s = structs.get(n.as_str())?;
+                // All fields must be arrays for the struct-of-arrays shape.
+                if !s.fields.iter().all(|f| matches!(f.ty, TypeExpr::Array(..))) {
+                    return None;
+                }
+                DataModel::Struct(n.as_str())
+            }
+            TypeExpr::Array(_, nd) => DataModel::Array { ndims: *nd },
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let scalars = settings.fields[4..]
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    Some(KernelModel {
+        actor,
+        scalars,
+        req_name,
+        data_name,
+        data,
+        body: &b[2..b.len() - 1], // strip both receives and the final send
+        device: (attrs.device_index, attrs.device_type.clone()),
+        req_port: req_port.name.as_str(),
+    })
+}

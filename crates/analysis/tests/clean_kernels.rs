@@ -1,0 +1,108 @@
+//! Property: a generated kernel that the static analysis accepts never
+//! trips the simulator's runtime checks when it actually runs.
+//!
+//! The generator varies the array length, the worksize, and a scalar
+//! offset; the kernel indexes by `get_global_id(0)` so every generated
+//! program is race-free and in bounds by construction, and the analysis
+//! must agree — then the VM (backed by oclsim's checked simulator) must
+//! run it to completion.
+
+use ensemble_analysis::{analyze_source, compile_source, Options};
+use ensemble_vm::VmRuntime;
+use proptest::prelude::*;
+
+fn kernel_source(len: u32, ws: u32, bias: u32) -> String {
+    format!(
+        r#"
+type data_t is struct (
+    real [] inp;
+    real [] out
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output;
+    integer bias
+)
+type dI is interface (
+    out settings_t requests;
+    out data_t dout;
+    in data_t din
+)
+type kI is interface(
+    in settings_t requests
+)
+
+stage home {{
+
+    opencl <device_index=0, device_type=GPU>
+    actor Scale presents kI {{
+        constructor() {{}}
+        behaviour {{
+            receive req from requests;
+            receive d from req.input;
+            gid = get_global_id(0);
+            d.out[gid] := d.inp[gid] * 2.0 + req.bias;
+            send d on req.output;
+        }}
+    }}
+
+    actor Run presents dI {{
+        constructor() {{}}
+        behaviour {{
+            ws = new integer[1] of {ws};
+            gs = new integer[1] of {ws};
+            i = new in data_t;
+            o = new out data_t;
+            connect dout to i;
+            connect o to din;
+            send new settings_t(ws, gs, i, o, {bias}) on requests;
+            d = new data_t(new real[{len}] of 1.0, new real[{len}]);
+            send d on dout;
+            receive r from din;
+            printReal(checksum(r.out));
+            stop;
+        }}
+    }}
+
+    boot {{
+        k = new Scale();
+        r = new Run();
+        connect r.requests to k.requests;
+    }}
+}}
+"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn analysis_clean_kernels_run_clean(
+        len in 1u32..32,
+        ws_slack in 0u32..8,
+        bias in 0u32..5,
+    ) {
+        // Worksize never exceeds the array length, so the program is
+        // in bounds by construction.
+        let ws = (len - ws_slack % len).max(1);
+        let src = kernel_source(len, ws, bias);
+
+        let report = analyze_source(&src, &Options::default()).unwrap();
+        prop_assert!(
+            report.diagnostics.is_empty(),
+            "generated kernel flagged: {:?}",
+            report.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+
+        let module = compile_source(&src, &Options::default())
+            .unwrap_or_else(|e| panic!("gate rejected a clean kernel: {e}"));
+        let out = VmRuntime::new(module)
+            .run()
+            .unwrap_or_else(|e| panic!("runtime tripped: {e}"));
+        // Each touched element is 1*2 + bias; untouched ones stay 0.
+        let expect = f64::from(ws) * (2.0 + f64::from(bias));
+        prop_assert_eq!(&out.output[0], &format!("{expect}"));
+    }
+}

@@ -33,7 +33,6 @@
 
 use crate::apps_ens::{self, Sizes};
 use crate::TraceSink;
-use ensemble_lang::compile_source;
 use ensemble_ocl::{device_matrix, DeviceSel, ProfileSink};
 use ensemble_vm::VmRuntime;
 use oclsim::fault::{FaultInjector, FaultOp, FaultPlan, InjectedFault, KillMode};
@@ -122,7 +121,8 @@ fn traced_gpu_run(
     src: &str,
     injector: &FaultInjector,
 ) -> Result<(Vec<String>, Vec<trace::TraceEvent>), String> {
-    let module = compile_source(src).map_err(|e| e.to_string())?;
+    let module = ensemble_analysis::compile_source(src, &ensemble_analysis::Options::default())
+        .map_err(|e| e.to_string())?;
     let sink = TraceSink::new();
     let profile = ProfileSink::new().with_trace(sink.clone());
     injector.attach_trace(sink.clone());

@@ -23,7 +23,6 @@
 
 #![warn(missing_docs)]
 
-use ensemble_lang::compile_source;
 use ensemble_vm::VmRuntime;
 use oclsim::ProfileSink;
 pub use trace::TraceSink;
@@ -185,7 +184,8 @@ pub fn c_host_overhead_ns(dispatches: u64, transfers: u64) -> f64 {
 /// track prefixed by `label` and a `run` arg added, so several runs
 /// coexist in one exported Chrome trace.
 pub fn ens_bar(label: &str, src: &str, export: &TraceSink) -> Result<Bar, String> {
-    let module = compile_source(src).map_err(|e| e.to_string())?;
+    let module = ensemble_analysis::compile_source(src, &ensemble_analysis::Options::default())
+        .map_err(|e| e.to_string())?;
     let sink = TraceSink::new();
     let profile = ProfileSink::new().with_trace(sink.clone());
     let report = VmRuntime::with_profile(module, profile)

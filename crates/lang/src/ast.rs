@@ -1,6 +1,6 @@
 //! Abstract syntax tree for mini-Ensemble.
 
-use crate::token::Pos;
+use crate::token::Span;
 
 /// Type expressions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +54,7 @@ pub struct Field {
     /// Declared `mov` (movable — §6.2.3 of the paper).
     pub mov: bool,
     /// Source position.
-    pub pos: Pos,
+    pub pos: Span,
 }
 
 /// Direction of an interface port.
@@ -76,7 +76,7 @@ pub struct Port {
     /// Port name.
     pub name: String,
     /// Source position.
-    pub pos: Pos,
+    pub pos: Span,
 }
 
 /// A type declaration.
@@ -92,7 +92,7 @@ pub enum TypeDecl {
         /// then validated by semantic analysis).
         opencl: bool,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `type name is interface ( ports )`.
     Interface {
@@ -101,7 +101,7 @@ pub enum TypeDecl {
         /// Ports.
         ports: Vec<Port>,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
 }
 
@@ -139,7 +139,7 @@ pub struct ActorDecl {
     /// Behaviour body (repeated until stop).
     pub behaviour: Vec<Stmt>,
     /// Source position.
-    pub pos: Pos,
+    pub pos: Span,
 }
 
 /// A stage: actors plus the boot block.
@@ -152,7 +152,7 @@ pub struct StageDecl {
     /// The boot block.
     pub boot: Vec<Stmt>,
     /// Source position.
-    pub pos: Pos,
+    pub pos: Span,
 }
 
 /// A whole compilation unit.
@@ -196,23 +196,23 @@ pub enum BinOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Integer literal.
-    Int(i64, Pos),
+    Int(i64, Span),
     /// Real literal.
-    Real(f64, Pos),
+    Real(f64, Span),
     /// Boolean literal.
-    Bool(bool, Pos),
+    Bool(bool, Span),
     /// String literal.
-    Str(String, Pos),
+    Str(String, Span),
     /// Variable access with optional field/index path.
-    Path(String, Vec<PathSeg>, Pos),
+    Path(String, Vec<PathSeg>, Span),
     /// Unary negation.
-    Neg(Box<Expr>, Pos),
+    Neg(Box<Expr>, Span),
     /// Logical not.
-    Not(Box<Expr>, Pos),
+    Not(Box<Expr>, Span),
     /// Binary operation.
-    Binary(BinOp, Box<Expr>, Box<Expr>, Pos),
+    Binary(BinOp, Box<Expr>, Box<Expr>, Span),
     /// Builtin call: `get_global_id(0)`, `toReal(x)`, `lengthof(a)`, ...
-    Call(String, Vec<Expr>, Pos),
+    Call(String, Vec<Expr>, Span),
     /// `new real[n][m]` / `new integer[2] of s`.
     NewArray {
         /// Element type.
@@ -222,7 +222,7 @@ pub enum Expr {
         /// `of <expr>` fill value (default zero).
         fill: Option<Box<Expr>>,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `new settings_t(a, b, c, d)` — struct construction.
     NewStruct {
@@ -231,24 +231,24 @@ pub enum Expr {
         /// Field values in declaration order.
         args: Vec<Expr>,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `new snd()` — actor instantiation (boot only).
     NewActor {
         /// Actor type name.
         name: String,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `new in T` — dynamic input endpoint.
-    NewChanIn(TypeExpr, Pos),
+    NewChanIn(TypeExpr, Span),
     /// `new out T` — dynamic output endpoint.
-    NewChanOut(TypeExpr, Pos),
+    NewChanOut(TypeExpr, Span),
 }
 
 impl Expr {
-    /// Source position.
-    pub fn pos(&self) -> Pos {
+    /// Source range.
+    pub fn pos(&self) -> Span {
         match self {
             Expr::Int(_, p)
             | Expr::Real(_, p)
@@ -278,7 +278,7 @@ pub enum Stmt {
         /// Initial value.
         value: Expr,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `local x = new real[k];` — kernel-local (work-group shared) array.
     DeclareLocal {
@@ -287,7 +287,7 @@ pub enum Stmt {
         /// Initial value (must be a NewArray inside kernels).
         value: Expr,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `path := expr;` — assignment to an existing location.
     Assign {
@@ -298,7 +298,7 @@ pub enum Stmt {
         /// New value.
         value: Expr,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `send expr on chan;`
     Send {
@@ -307,7 +307,7 @@ pub enum Stmt {
         /// Channel expression (a path).
         chan: Expr,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `receive name from chan;` — declares `name`.
     Receive {
@@ -316,7 +316,7 @@ pub enum Stmt {
         /// Channel expression (a path).
         chan: Expr,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `connect a.x to b.y;`
     Connect {
@@ -325,7 +325,7 @@ pub enum Stmt {
         /// The in endpoint.
         to: Expr,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `for i = lo .. hi do { ... }` (inclusive bounds, as in Listing 3).
     For {
@@ -338,7 +338,7 @@ pub enum Stmt {
         /// Body.
         body: Vec<Stmt>,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `while (cond) { ... }`.
     While {
@@ -363,17 +363,17 @@ pub enum Stmt {
         /// Value printed.
         value: Expr,
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `barrier();` — kernel actors only.
     Barrier {
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
     /// `stop;` — stop this actor.
     Stop {
         /// Source position.
-        pos: Pos,
+        pos: Span,
     },
 }
 

@@ -15,11 +15,12 @@
 //!   until it is reassigned (the use-after-send check of §4).
 
 use crate::ast::*;
+use crate::diag::Diagnostic;
 use crate::kernelgen::{self, KernelGenInput};
 use crate::parser;
-use crate::token::Pos;
+use crate::token::{Pos, Span};
 use crate::vmops::*;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A compile failure with position.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +28,7 @@ pub struct CompileError {
     /// Description.
     pub message: String,
     /// Location in the `.ens` source.
-    pub pos: Pos,
+    pub pos: Span,
 }
 
 impl std::fmt::Display for CompileError {
@@ -39,17 +40,72 @@ impl std::fmt::Display for CompileError {
 impl From<kernelgen::KernelGenError> for CompileError {
     fn from(e: kernelgen::KernelGenError) -> CompileError {
         CompileError {
-            message: e.message,
-            pos: e.pos,
+            message: e.diag.message,
+            pos: e.diag.span,
         }
     }
+}
+
+/// Facts an external analysis pass (see `crates/analysis`) may prove
+/// about a module and thread into compilation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Kernel-actor names whose `mov` data provably never crosses an
+    /// OpenCL context (every consumer of the data type runs on one
+    /// device). Their [`KernelPlan`]s get `residency_proven = true` and
+    /// the VM skips the runtime cross-context residency check (§6.2.3).
+    pub residency_proven: BTreeSet<String>,
+}
+
+/// Failure of the analysis-gated compilation pipeline
+/// ([`compile_source_gated`]).
+#[derive(Debug, Clone)]
+pub enum GateError {
+    /// The source did not parse.
+    Parse(parser::ParseError),
+    /// The analysis gate rejected the program (deny-by-default).
+    Rejected(Vec<Diagnostic>),
+    /// Analysis passed but compilation failed.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::Parse(e) => write!(f, "{e}"),
+            GateError::Compile(e) => write!(f, "{e}"),
+            GateError::Rejected(diags) => {
+                write!(f, "rejected by static analysis:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// Parse `src`, run `gate` over the AST, and compile with whatever
+/// facts the gate proved. This is the deny-by-default hook the static
+/// analysis suite (`crates/analysis`) wires into: the gate returns
+/// `Err(diagnostics)` to reject the program before codegen, or
+/// `Ok(options)` carrying proofs (e.g. residency) into [`KernelPlan`]s.
+pub fn compile_source_gated<F>(src: &str, gate: F) -> Result<CompiledModule, GateError>
+where
+    F: FnOnce(&Module) -> Result<CompileOptions, Vec<Diagnostic>>,
+{
+    let module = parser::parse(src).map_err(GateError::Parse)?;
+    let opts = gate(&module).map_err(GateError::Rejected)?;
+    compile_module_with(&module, &opts).map_err(GateError::Compile)
 }
 
 /// Parse and compile an Ensemble source to a [`CompiledModule`].
 pub fn compile_source(src: &str) -> Result<CompiledModule, CompileError> {
     let module = parser::parse(src).map_err(|e| CompileError {
         message: e.message,
-        pos: e.pos,
+        pos: Span::point(e.pos),
     })?;
     compile_module(&module)
 }
@@ -87,14 +143,22 @@ struct StructInfo {
     opencl: bool,
 }
 
-/// Compile a parsed module.
+/// Compile a parsed module (no analysis facts).
 pub fn compile_module(module: &Module) -> Result<CompiledModule, CompileError> {
+    compile_module_with(module, &CompileOptions::default())
+}
+
+/// Compile a parsed module with facts proven by an analysis pass.
+pub fn compile_module_with(
+    module: &Module,
+    opts: &CompileOptions,
+) -> Result<CompiledModule, CompileError> {
     if module.stages.len() != 1 {
         let pos = module
             .stages
             .first()
             .map(|s| s.pos)
-            .unwrap_or(Pos { line: 1, col: 1 });
+            .unwrap_or(Span::point(Pos { line: 1, col: 1 }));
         return Err(CompileError {
             message: format!("expected exactly one stage, found {}", module.stages.len()),
             pos,
@@ -177,7 +241,7 @@ pub fn compile_module(module: &Module) -> Result<CompiledModule, CompileError> {
 
     for actor in &stage.actors {
         let compiled = if actor.opencl.is_some() {
-            compile_kernel_actor(&mut cx, actor)?
+            compile_kernel_actor(&mut cx, actor, opts)?
         } else {
             compile_host_actor(&mut cx, actor)?
         };
@@ -199,7 +263,7 @@ pub fn compile_module(module: &Module) -> Result<CompiledModule, CompileError> {
 }
 
 fn validate_opencl_struct(s: &StructInfo) -> Result<(), CompileError> {
-    let pos = Pos { line: 1, col: 1 };
+    let pos = Span::point(Pos { line: 1, col: 1 });
     let fail = |msg: String| {
         Err(CompileError {
             message: format!("opencl struct `{}`: {msg}", s.meta.name),
@@ -346,7 +410,11 @@ fn elem_kind_of(ty: &TypeExpr) -> Option<(ElemKind, usize)> {
     }
 }
 
-fn compile_kernel_actor(cx: &mut Cx<'_>, actor: &ActorDecl) -> Result<CompiledActor, CompileError> {
+fn compile_kernel_actor(
+    cx: &mut Cx<'_>,
+    actor: &ActorDecl,
+    opts: &CompileOptions,
+) -> Result<CompiledActor, CompileError> {
     let attrs = actor.opencl.clone().expect("kernel actor");
     let ports = resolve_ports(cx, actor)?;
     // §6.1.1: "the actor's interface should only contain a single channel".
@@ -563,6 +631,7 @@ fn compile_kernel_actor(cx: &mut Cx<'_>, actor: &ActorDecl) -> Result<CompiledAc
             settings_scalars,
             mov,
             out,
+            residency_proven: mov && opts.residency_proven.contains(&actor.name),
         })),
     })
 }
@@ -611,7 +680,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
         }
     }
 
-    fn err<T>(&self, pos: Pos, message: impl Into<String>) -> Result<T, CompileError> {
+    fn err<T>(&self, pos: Span, message: impl Into<String>) -> Result<T, CompileError> {
         Err(CompileError {
             message: message.into(),
             pos,
@@ -677,7 +746,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
         }
     }
 
-    fn field_index(&self, struct_id: u16, name: &str, pos: Pos) -> Result<(u8, K), CompileError> {
+    fn field_index(&self, struct_id: u16, name: &str, pos: Span) -> Result<(u8, K), CompileError> {
         let info = &self.cx.structs[struct_id as usize];
         match info.meta.fields.iter().position(|f| f == name) {
             Some(i) => {
@@ -692,7 +761,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
     }
 
     /// Compile a path READ. Returns the resulting kind.
-    fn path(&mut self, root: &str, segs: &[PathSeg], pos: Pos) -> Result<K, CompileError> {
+    fn path(&mut self, root: &str, segs: &[PathSeg], pos: Span) -> Result<K, CompileError> {
         let (slot, mut kind, moved) = match self.lookup(root) {
             Some(v) => v,
             None => return self.err(pos, format!("unknown variable `{root}`")),
@@ -903,7 +972,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
         }
     }
 
-    fn one_arg(&mut self, args: &[Expr], pos: Pos, name: &str) -> Result<(), CompileError> {
+    fn one_arg(&mut self, args: &[Expr], pos: Span, name: &str) -> Result<(), CompileError> {
         self.n_args(args, 1, pos, name)
     }
 
@@ -911,7 +980,7 @@ impl<'c, 'a> FnCx<'c, 'a> {
         &mut self,
         args: &[Expr],
         n: usize,
-        pos: Pos,
+        pos: Span,
         name: &str,
     ) -> Result<(), CompileError> {
         if args.len() != n {

@@ -1,0 +1,225 @@
+//! Shared diagnostic type for the compiler and the static analysis
+//! suite (`crates/analysis`).
+//!
+//! Every analysis pass — and kernel lowering itself — reports through
+//! [`Diagnostic`]: a stable error code, a [`Span`] into the source, a
+//! severity, and optional help text plus secondary notes. The
+//! [`Diagnostic::render`] method produces the rustc-style report used
+//! by `ens-lint` and the golden-snapshot fixtures:
+//!
+//! ```text
+//! error[E003]: index 15 is out of bounds for `out` (len 8)
+//!   --> racy.ens:12:9
+//!    |
+//! 12 |         d.out[gid] := 2.0 * d.inp[gid];
+//!    |         ^^^^^^^^^^
+//!    = help: grow the array or shrink the worksize
+//! ```
+
+use crate::token::Span;
+use std::fmt;
+
+/// Stable diagnostic codes emitted by the analysis passes.
+///
+/// | code | pass | meaning |
+/// |------|------|---------|
+/// | `E001` | race | two work-items may write the same output location |
+/// | `E002` | race | a work-item reads another work-item's output slot |
+/// | `E003` | bounds | an index provably exceeds the array's declared extent |
+/// | `E004` | mov | a `mov` value is used after being sent away |
+/// | `E005` | topology | a channel is sent/received on but never connected |
+/// | `E006` | topology | a rendezvous cycle in which every actor receives first |
+/// | `E007` | topology | `connect` direction or element-type mismatch |
+/// | `E008` | kernelgen | a statement cannot be lowered to OpenCL C |
+/// | `W001` | topology | an interface port no actor uses |
+/// | `W002` | mov | residency not provable (consumers on different devices) |
+pub mod codes {
+    /// Write-write race between work-items.
+    pub const KERNEL_RACE: &str = "E001";
+    /// Read of another work-item's output slot.
+    pub const KERNEL_READ_RACE: &str = "E002";
+    /// Provable out-of-bounds index.
+    pub const KERNEL_BOUNDS: &str = "E003";
+    /// Use of a `mov` value after it was sent away.
+    pub const USE_AFTER_MOV: &str = "E004";
+    /// Channel used for send/receive but never connected.
+    pub const ORPHAN_CHANNEL: &str = "E005";
+    /// Rendezvous deadlock cycle (every actor's first channel op receives).
+    pub const DEADLOCK_CYCLE: &str = "E006";
+    /// `connect` direction or element-type mismatch.
+    pub const PROTOCOL_MISMATCH: &str = "E007";
+    /// Kernel lowering failure (the old `KernelGenError`).
+    pub const KERNEL_LOWERING: &str = "E008";
+    /// Interface port that no presenting actor ever uses.
+    pub const UNUSED_PORT: &str = "W001";
+    /// `mov` residency could not be proven device-stable.
+    pub const RESIDENCY_UNPROVEN: &str = "W002";
+}
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; does not fail the deny-by-default gate.
+    Warning,
+    /// Rejects the program unless explicitly allowed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding from a compiler or analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`E001`…, `W001`…); see [`codes`].
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// One-line description of the problem.
+    pub message: String,
+    /// Primary source range the finding points at.
+    pub span: Span,
+    /// Optional suggested fix, rendered as `= help: …`.
+    pub help: Option<String>,
+    /// Secondary locations with their own captions (e.g. the `send`
+    /// that moved a value away), rendered as `= note: …`.
+    pub notes: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            help: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Attach a suggested fix (builder style).
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Attach a secondary location with a caption (builder style).
+    pub fn with_note(mut self, span: Span, caption: impl Into<String>) -> Diagnostic {
+        self.notes.push((span, caption.into()));
+        self
+    }
+
+    /// Render the rustc-style multi-line report against `src`. `file`
+    /// (when given) prefixes the `-->` location line.
+    pub fn render(&self, src: &str, file: Option<&str>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}[{}]: {}\n",
+            self.severity, self.code, self.message
+        ));
+        let loc = match file {
+            Some(f) => format!("{f}:{}", self.span.start),
+            None => self.span.start.to_string(),
+        };
+        let gutter = digits(self.span.start.line);
+        out.push_str(&format!("{:gw$}--> {loc}\n", "", gw = gutter + 1));
+        if let Some(line_text) = src.lines().nth(self.span.start.line as usize - 1) {
+            out.push_str(&format!("{:gw$} |\n", "", gw = gutter));
+            out.push_str(&format!(
+                "{:gw$} | {line_text}\n",
+                self.span.start.line,
+                gw = gutter
+            ));
+            let start = self.span.start.col as usize;
+            let end = if self.span.end.line == self.span.start.line
+                && self.span.end.col > self.span.start.col
+            {
+                self.span.end.col as usize
+            } else {
+                start + 1
+            };
+            let carets = "^".repeat(end - start);
+            out.push_str(&format!(
+                "{:gw$} | {:pad$}{carets}\n",
+                "",
+                "",
+                gw = gutter,
+                pad = start - 1
+            ));
+        }
+        for (span, caption) in &self.notes {
+            out.push_str(&format!(
+                "{:gw$} = note: {caption} (at {})\n",
+                "",
+                span.start,
+                gw = gutter
+            ));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("{:gw$} = help: {help}\n", "", gw = gutter));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}[{}]: {}",
+            self.span.start, self.severity, self.code, self.message
+        )
+    }
+}
+
+fn digits(n: u32) -> usize {
+    n.to_string().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Pos;
+
+    fn sp(line: u32, c0: u32, c1: u32) -> Span {
+        Span {
+            start: Pos { line, col: c0 },
+            end: Pos { line, col: c1 },
+        }
+    }
+
+    #[test]
+    fn renders_caret_underline_over_full_span() {
+        let src = "a = 1;\nsend d on out;\n";
+        let d = Diagnostic::error(codes::USE_AFTER_MOV, sp(2, 6, 7), "`d` moved")
+            .with_help("reassign `d` before using it");
+        let r = d.render(src, Some("t.ens"));
+        assert!(r.contains("error[E004]: `d` moved"));
+        assert!(r.contains("--> t.ens:2:6"));
+        assert!(r.contains("2 | send d on out;"));
+        assert!(r.contains("|      ^\n"));
+        assert!(r.contains("= help: reassign `d` before using it"));
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let d = Diagnostic::warning(codes::UNUSED_PORT, sp(3, 1, 4), "port unused");
+        assert_eq!(d.to_string(), "3:1: warning[W001]: port unused");
+    }
+}

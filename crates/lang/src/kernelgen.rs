@@ -9,24 +9,39 @@
 //! trailing `int` arguments — all invisible to the Ensemble programmer.
 
 use crate::ast as ens;
-use crate::token::Pos;
+use crate::diag::{codes, Diagnostic};
+use crate::token::{Pos, Span};
 use crate::vmops::{DataField, ElemKind};
 use oclsim::minicl::ast as cl;
 use std::collections::HashMap;
 
 /// A kernel lowering failure (reported at Ensemble compile time — one of
 /// the paper's selling points over runtime kernel compilation).
+///
+/// Carried as a [`Diagnostic`] with code `E008` so kernel lowering and
+/// the `crates/analysis` passes share one renderer; `Display` keeps the
+/// historical `line:col: kernel error: …` single-line shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelGenError {
-    /// Description.
-    pub message: String,
-    /// Source position in the `.ens` file.
-    pub pos: Pos,
+    /// The underlying diagnostic (code `E008`, error severity).
+    pub diag: Diagnostic,
+}
+
+impl KernelGenError {
+    fn new(message: impl Into<String>, span: Span) -> KernelGenError {
+        KernelGenError {
+            diag: Diagnostic::error(codes::KERNEL_LOWERING, span, message),
+        }
+    }
 }
 
 impl std::fmt::Display for KernelGenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: kernel error: {}", self.pos, self.message)
+        write!(
+            f,
+            "{}: kernel error: {}",
+            self.diag.span.start, self.diag.message
+        )
     }
 }
 
@@ -61,7 +76,7 @@ pub fn scalar_param(name: &str) -> String {
 
 /// Generate the kernel source for one opencl actor.
 pub fn generate(input: &KernelGenInput<'_>) -> Result<String, KernelGenError> {
-    let pos = Pos { line: 1, col: 1 };
+    let pos = Span::point(Pos { line: 1, col: 1 });
     let cpos = cl_pos(pos);
     let mut params = Vec::new();
     for f in input.data_fields {
@@ -69,10 +84,10 @@ pub fn generate(input: &KernelGenInput<'_>) -> Result<String, KernelGenError> {
             ElemKind::Int => cl::Type::Int,
             ElemKind::Real => cl::Type::Float,
             other => {
-                return Err(KernelGenError {
-                    message: format!("field `{}` has unsupported element kind {other:?}", f.name),
+                return Err(KernelGenError::new(
+                    format!("field `{}` has unsupported element kind {other:?}", f.name),
                     pos,
-                })
+                ))
             }
         };
         params.push(cl::Param {
@@ -125,10 +140,10 @@ pub fn generate(input: &KernelGenInput<'_>) -> Result<String, KernelGenError> {
     Ok(oclsim::minicl::pretty::emit_unit(&unit))
 }
 
-fn cl_pos(p: Pos) -> oclsim::minicl::token::Pos {
+fn cl_pos(p: Span) -> oclsim::minicl::token::Pos {
     oclsim::minicl::token::Pos {
-        line: p.line,
-        col: p.col,
+        line: p.start.line,
+        col: p.start.col,
     }
 }
 
@@ -138,11 +153,8 @@ struct Lower<'a> {
 }
 
 impl<'a> Lower<'a> {
-    fn err<T>(&self, pos: Pos, message: impl Into<String>) -> Result<T, KernelGenError> {
-        Err(KernelGenError {
-            message: message.into(),
-            pos,
-        })
+    fn err<T>(&self, pos: Span, message: impl Into<String>) -> Result<T, KernelGenError> {
+        Err(KernelGenError::new(message, pos))
     }
 
     fn bind(&mut self, name: &str, ty: cl::Type) {
@@ -170,7 +182,7 @@ impl<'a> Lower<'a> {
         &mut self,
         field: &DataField,
         idxs: &[&ens::Expr],
-        pos: Pos,
+        pos: Span,
     ) -> Result<cl::Expr, KernelGenError> {
         if idxs.len() != field.ndims {
             return self.err(
@@ -210,7 +222,7 @@ impl<'a> Lower<'a> {
         &mut self,
         root: &str,
         segs: &[ens::PathSeg],
-        pos: Pos,
+        pos: Span,
     ) -> Result<Option<(String, cl::Expr, cl::Type)>, KernelGenError> {
         // Struct data: d.field[i]([j])
         if self.input.data_is_struct && root == self.input.data_name {
@@ -228,9 +240,8 @@ impl<'a> Lower<'a> {
                     ens::PathSeg::Field(f) => Err(f.clone()),
                 })
                 .collect::<Result<_, _>>()
-                .map_err(|f| KernelGenError {
-                    message: format!("unexpected `.{f}` after array field"),
-                    pos,
+                .map_err(|f| {
+                    KernelGenError::new(format!("unexpected `.{f}` after array field"), pos)
                 })?;
             if idxs.is_empty() {
                 return self.err(
@@ -255,9 +266,8 @@ impl<'a> Lower<'a> {
                     ens::PathSeg::Field(f) => Err(f.clone()),
                 })
                 .collect::<Result<_, _>>()
-                .map_err(|f| KernelGenError {
-                    message: format!("unexpected `.{f}` on an array value"),
-                    pos,
+                .map_err(|f| {
+                    KernelGenError::new(format!("unexpected `.{f}` on an array value"), pos)
                 })?;
             let idx = self.flat_index(&field, &idxs, pos)?;
             let elem = match field.elem {
@@ -382,7 +392,7 @@ impl<'a> Lower<'a> {
         &mut self,
         name: &str,
         args: &[ens::Expr],
-        pos: Pos,
+        pos: Span,
     ) -> Result<(cl::Expr, cl::Type), KernelGenError> {
         let cpos = cl_pos(pos);
         match name {
@@ -487,9 +497,11 @@ impl<'a> Lower<'a> {
                     if dims.len() != 1 {
                         return self.err(*apos, "kernel-private arrays must be 1-D");
                     }
-                    let len = self.const_eval(&dims[0]).ok_or_else(|| KernelGenError {
-                        message: "kernel array lengths must be compile-time constants".into(),
-                        pos: *apos,
+                    let len = self.const_eval(&dims[0]).ok_or_else(|| {
+                        KernelGenError::new(
+                            "kernel array lengths must be compile-time constants",
+                            *apos,
+                        )
                     })? as usize;
                     let ety = match elem {
                         ens::TypeExpr::Integer => cl::Type::Int,
@@ -530,9 +542,8 @@ impl<'a> Lower<'a> {
                 if dims.len() != 1 {
                     return self.err(*pos, "local arrays must be 1-D");
                 }
-                let len = self.const_eval(&dims[0]).ok_or_else(|| KernelGenError {
-                    message: "local array lengths must be compile-time constants".into(),
-                    pos: *pos,
+                let len = self.const_eval(&dims[0]).ok_or_else(|| {
+                    KernelGenError::new("local array lengths must be compile-time constants", *pos)
                 })? as usize;
                 let ety = match elem {
                     ens::TypeExpr::Integer => cl::Type::Int,
@@ -775,6 +786,6 @@ mod tests {
             body,
         };
         let err = generate(&input).unwrap_err();
-        assert!(err.message.contains("print"));
+        assert!(err.diag.message.contains("print"));
     }
 }

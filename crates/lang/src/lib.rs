@@ -25,11 +25,17 @@
 
 pub mod ast;
 pub mod compile;
+pub mod diag;
 pub mod kernelgen;
 pub mod parser;
 pub mod token;
 pub mod vmops;
 
-pub use compile::{compile_module, compile_source, CompileError};
+pub use compile::{
+    compile_module, compile_module_with, compile_source, compile_source_gated, CompileError,
+    CompileOptions, GateError,
+};
+pub use diag::{Diagnostic, Severity};
 pub use parser::{parse, ParseError};
+pub use token::{Pos, Span};
 pub use vmops::{ActorCode, Chunk, CompiledActor, CompiledModule, KernelPlan, VOp};

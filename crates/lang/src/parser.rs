@@ -1,7 +1,7 @@
 //! Recursive-descent parser for mini-Ensemble.
 
 use crate::ast::*;
-use crate::token::{lex, Pos, Spanned, Tok};
+use crate::token::{lex, Pos, Span, Spanned, Tok};
 
 /// A parse failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,23 @@ impl Parser {
 
     fn pos(&self) -> Pos {
         self.tokens[self.i].pos
+    }
+
+    /// End of the most recently consumed token (start of input if none).
+    fn prev_end(&self) -> Pos {
+        if self.i == 0 {
+            self.tokens[0].pos
+        } else {
+            self.tokens[self.i - 1].end
+        }
+    }
+
+    /// Span from `start` to the end of the last consumed token.
+    fn span_from(&self, start: Pos) -> Span {
+        Span {
+            start,
+            end: self.prev_end(),
+        }
     }
 
     fn at_eof(&self) -> bool {
@@ -152,6 +169,7 @@ impl Parser {
         let pos = self.pos();
         self.expect_kw("type")?;
         let name = self.ident()?;
+        let hspan = self.span_from(pos); // `type name` header
         self.expect_kw("is")?;
         if self.eat_kw("interface") {
             self.expect(Tok::LParen)?;
@@ -167,18 +185,23 @@ impl Parser {
                 };
                 let ty = self.type_expr()?;
                 let pname = self.ident()?;
+                let pspan = self.span_from(ppos);
                 ports.push(Port {
                     dir,
                     ty,
                     name: pname,
-                    pos: ppos,
+                    pos: pspan,
                 });
                 if *self.peek() == Tok::Semi || *self.peek() == Tok::Comma {
                     self.bump();
                 }
             }
             self.expect(Tok::RParen)?;
-            return Ok(TypeDecl::Interface { name, ports, pos });
+            return Ok(TypeDecl::Interface {
+                name,
+                ports,
+                pos: hspan,
+            });
         }
         let opencl = self.eat_kw("opencl");
         self.expect_kw("struct")?;
@@ -189,11 +212,12 @@ impl Parser {
             let mov = self.eat_kw("mov");
             let ty = self.type_expr()?;
             let fname = self.ident()?;
+            let fspan = self.span_from(fpos);
             fields.push(Field {
                 name: fname,
                 ty,
                 mov,
-                pos: fpos,
+                pos: fspan,
             });
             if *self.peek() == Tok::Semi || *self.peek() == Tok::Comma {
                 self.bump();
@@ -204,7 +228,7 @@ impl Parser {
             name,
             fields,
             opencl,
-            pos,
+            pos: hspan,
         })
     }
 
@@ -214,6 +238,7 @@ impl Parser {
         let pos = self.pos();
         self.expect_kw("stage")?;
         let name = self.ident()?;
+        let hspan = self.span_from(pos); // `stage name` header
         self.expect(Tok::LBrace)?;
         let mut actors = Vec::new();
         let mut boot = Vec::new();
@@ -231,7 +256,7 @@ impl Parser {
             name,
             actors,
             boot,
-            pos,
+            pos: hspan,
         })
     }
 
@@ -274,6 +299,7 @@ impl Parser {
         let name = self.ident()?;
         self.expect_kw("presents")?;
         let interface = self.ident()?;
+        let hspan = self.span_from(pos); // header up to the interface name
         self.expect(Tok::LBrace)?;
         let mut fields = Vec::new();
         let mut constructor = Vec::new();
@@ -311,7 +337,7 @@ impl Parser {
             fields,
             constructor,
             behaviour,
-            pos,
+            pos: hspan,
         })
     }
 
@@ -342,24 +368,35 @@ impl Parser {
             let value = self.expr()?;
             self.expect_kw("on")?;
             let chan = self.expr()?;
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Send { value, chan, pos });
+            return Ok(Stmt::Send {
+                value,
+                chan,
+                pos: span,
+            });
         }
         if self.peek_kw("receive") {
             self.bump();
             let name = self.ident()?;
             self.expect_kw("from")?;
             let chan = self.expr()?;
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Receive { name, chan, pos });
+            return Ok(Stmt::Receive {
+                name,
+                chan,
+                pos: span,
+            });
         }
         if self.peek_kw("connect") {
             self.bump();
             let from = self.expr()?;
             self.expect_kw("to")?;
             let to = self.expr()?;
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Connect { from, to, pos });
+            return Ok(Stmt::Connect { from, to, pos: span });
         }
         if self.peek_kw("for") {
             self.bump();
@@ -368,6 +405,7 @@ impl Parser {
             let from = self.expr()?;
             self.expect(Tok::DotDot)?;
             let to = self.expr()?;
+            let span = self.span_from(pos); // `for v = lo .. hi` header
             self.expect_kw("do")?;
             let body = self.block_after_brace()?;
             return Ok(Stmt::For {
@@ -375,7 +413,7 @@ impl Parser {
                 from,
                 to,
                 body,
-                pos,
+                pos: span,
             });
         }
         if self.peek_kw("while") {
@@ -409,20 +447,27 @@ impl Parser {
             self.expect(Tok::LParen)?;
             let value = self.expr()?;
             self.expect(Tok::RParen)?;
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Print { kind, value, pos });
+            return Ok(Stmt::Print {
+                kind,
+                value,
+                pos: span,
+            });
         }
         if self.peek_kw("barrier") {
             self.bump();
             self.expect(Tok::LParen)?;
             self.expect(Tok::RParen)?;
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Barrier { pos });
+            return Ok(Stmt::Barrier { pos: span });
         }
         if self.peek_kw("stop") {
             self.bump();
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Stop { pos });
+            return Ok(Stmt::Stop { pos: span });
         }
         if self.peek_kw("local") {
             // `local x = new real[k];`
@@ -430,16 +475,26 @@ impl Parser {
             let name = self.ident()?;
             self.expect(Tok::Declare)?;
             let value = self.expr()?;
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::DeclareLocal { name, value, pos });
+            return Ok(Stmt::DeclareLocal {
+                name,
+                value,
+                pos: span,
+            });
         }
         // Declaration or assignment: starts with an identifier path.
         let name = self.ident()?;
         if *self.peek() == Tok::Declare {
             self.bump();
             let value = self.expr()?;
+            let span = self.span_from(pos);
             self.expect(Tok::Semi)?;
-            return Ok(Stmt::Declare { name, value, pos });
+            return Ok(Stmt::Declare {
+                name,
+                value,
+                pos: span,
+            });
         }
         let mut path = Vec::new();
         loop {
@@ -459,12 +514,13 @@ impl Parser {
         }
         self.expect(Tok::Assign)?;
         let value = self.expr()?;
+        let span = self.span_from(pos);
         self.expect(Tok::Semi)?;
         Ok(Stmt::Assign {
             name,
             path,
             value,
-            pos,
+            pos: span,
         })
     }
 
@@ -477,10 +533,10 @@ impl Parser {
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.and_expr()?;
         while self.peek_kw("or") {
-            let pos = self.pos();
             self.bump();
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), pos);
+            let span = lhs.pos().to(rhs.pos());
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
     }
@@ -488,10 +544,10 @@ impl Parser {
     fn and_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.cmp_expr()?;
         while self.peek_kw("and") {
-            let pos = self.pos();
             self.bump();
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), pos);
+            let span = lhs.pos().to(rhs.pos());
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
     }
@@ -508,10 +564,10 @@ impl Parser {
             _ => None,
         };
         if let Some(op) = op {
-            let pos = self.pos();
             self.bump();
             let rhs = self.add_expr()?;
-            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos))
+            let span = lhs.pos().to(rhs.pos());
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), span))
         } else {
             Ok(lhs)
         }
@@ -525,10 +581,10 @@ impl Parser {
                 Tok::Minus => BinOp::Sub,
                 _ => break,
             };
-            let pos = self.pos();
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+            let span = lhs.pos().to(rhs.pos());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
     }
@@ -542,10 +598,10 @@ impl Parser {
                 Tok::Percent => BinOp::Rem,
                 _ => break,
             };
-            let pos = self.pos();
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+            let span = lhs.pos().to(rhs.pos());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
     }
@@ -554,11 +610,15 @@ impl Parser {
         let pos = self.pos();
         if *self.peek() == Tok::Minus {
             self.bump();
-            return Ok(Expr::Neg(Box::new(self.unary_expr()?), pos));
+            let inner = self.unary_expr()?;
+            let span = Span::new(pos, inner.pos().end);
+            return Ok(Expr::Neg(Box::new(inner), span));
         }
         if self.peek_kw("not") {
             self.bump();
-            return Ok(Expr::Not(Box::new(self.unary_expr()?), pos));
+            let inner = self.unary_expr()?;
+            let span = Span::new(pos, inner.pos().end);
+            return Ok(Expr::Not(Box::new(inner), span));
         }
         self.postfix_expr()
     }
@@ -568,15 +628,15 @@ impl Parser {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
-                Ok(Expr::Int(v, pos))
+                Ok(Expr::Int(v, self.span_from(pos)))
             }
             Tok::Real(v) => {
                 self.bump();
-                Ok(Expr::Real(v, pos))
+                Ok(Expr::Real(v, self.span_from(pos)))
             }
             Tok::Str(s) => {
                 self.bump();
-                Ok(Expr::Str(s, pos))
+                Ok(Expr::Str(s, self.span_from(pos)))
             }
             Tok::LParen => {
                 self.bump();
@@ -587,8 +647,8 @@ impl Parser {
             Tok::Ident(name) => {
                 self.bump();
                 match name.as_str() {
-                    "true" => return Ok(Expr::Bool(true, pos)),
-                    "false" => return Ok(Expr::Bool(false, pos)),
+                    "true" => return Ok(Expr::Bool(true, self.span_from(pos))),
+                    "false" => return Ok(Expr::Bool(false, self.span_from(pos))),
                     "new" => return self.new_expr(pos),
                     _ => {}
                 }
@@ -606,7 +666,7 @@ impl Parser {
                         }
                     }
                     self.expect(Tok::RParen)?;
-                    return Ok(Expr::Call(name, args, pos));
+                    return Ok(Expr::Call(name, args, self.span_from(pos)));
                 }
                 let mut path = Vec::new();
                 loop {
@@ -624,7 +684,7 @@ impl Parser {
                         _ => break,
                     }
                 }
-                Ok(Expr::Path(name, path, pos))
+                Ok(Expr::Path(name, path, self.span_from(pos)))
             }
             other => Err(self.err(format!("expected expression, found {other}"))),
         }
@@ -634,11 +694,11 @@ impl Parser {
     fn new_expr(&mut self, pos: Pos) -> Result<Expr, ParseError> {
         if self.eat_kw("in") {
             let ty = self.type_expr()?;
-            return Ok(Expr::NewChanIn(ty, pos));
+            return Ok(Expr::NewChanIn(ty, self.span_from(pos)));
         }
         if self.eat_kw("out") {
             let ty = self.type_expr()?;
-            return Ok(Expr::NewChanOut(ty, pos));
+            return Ok(Expr::NewChanOut(ty, self.span_from(pos)));
         }
         let name = self.ident()?;
         let elem = match name.as_str() {
@@ -667,7 +727,7 @@ impl Parser {
                 elem,
                 dims,
                 fill,
-                pos,
+                pos: self.span_from(pos),
             });
         }
         // Struct or actor: `new name(...)`.
@@ -688,9 +748,16 @@ impl Parser {
             // Ambiguous without type info: `new snd()` (actor) vs a
             // zero-field struct. Structs with zero fields are useless;
             // treat as actor instantiation. Semantic analysis re-checks.
-            Ok(Expr::NewActor { name, pos })
+            Ok(Expr::NewActor {
+                name,
+                pos: self.span_from(pos),
+            })
         } else {
-            Ok(Expr::NewStruct { name, args, pos })
+            Ok(Expr::NewStruct {
+                name,
+                args,
+                pos: self.span_from(pos),
+            })
         }
     }
 }

@@ -22,6 +22,45 @@ impl fmt::Display for Pos {
     }
 }
 
+/// Source range: `start` is the first character, `end` is one past the
+/// last character (both 1-based line/column).
+///
+/// `Display` prints only the start position so error messages that embed
+/// a span keep the historical `line:col` shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First character of the range.
+    pub start: Pos,
+    /// One past the last character of the range.
+    pub end: Pos,
+}
+
+impl Span {
+    /// Span covering `start..end`.
+    pub fn new(start: Pos, end: Pos) -> Span {
+        Span { start, end }
+    }
+
+    /// Zero-width span at `p` (for synthesized nodes with no source text).
+    pub fn point(p: Pos) -> Span {
+        Span { start: p, end: p }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start,
+            end: other.end,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
 /// Token kinds.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // punctuation variants are self-describing
@@ -109,6 +148,18 @@ pub struct Spanned {
     pub tok: Tok,
     /// Where it starts.
     pub pos: Pos,
+    /// One past where it ends.
+    pub end: Pos,
+}
+
+impl Spanned {
+    /// The token's full source range.
+    pub fn span(&self) -> Span {
+        Span {
+            start: self.pos,
+            end: self.end,
+        }
+    }
 }
 
 /// A lexing failure.
@@ -187,6 +238,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             out.push(Spanned {
                 tok: Tok::Str(s),
                 pos,
+                end: Pos { line, col },
             });
             continue;
         }
@@ -199,6 +251,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             out.push(Spanned {
                 tok: Tok::Ident(s),
                 pos,
+                end: Pos { line, col },
             });
             continue;
         }
@@ -250,7 +303,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     pos,
                 })?)
             };
-            out.push(Spanned { tok, pos });
+            out.push(Spanned {
+                tok,
+                pos,
+                end: Pos { line, col },
+            });
             continue;
         }
         let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
@@ -290,11 +347,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         for _ in 0..len {
             bump!();
         }
-        out.push(Spanned { tok, pos });
+        out.push(Spanned {
+            tok,
+            pos,
+            end: Pos { line, col },
+        });
     }
     out.push(Spanned {
         tok: Tok::Eof,
         pos: Pos { line, col },
+        end: Pos { line, col },
     });
     Ok(out)
 }

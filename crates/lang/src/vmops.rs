@@ -255,6 +255,10 @@ pub struct KernelPlan {
     pub mov: bool,
     /// What goes out on the output channel.
     pub out: KernelOut,
+    /// Proven by static analysis (`crates/analysis`): every consumer of
+    /// this kernel's `mov` data type runs on the same device, so the VM
+    /// may skip its runtime cross-context residency bookkeeping.
+    pub residency_proven: bool,
 }
 
 /// A compiled actor.

@@ -102,6 +102,10 @@ pub enum SpanKind {
     /// in-flight work item. Instant, virtual queue clock of the device
     /// the actor re-derived its state on.
     CheckpointRestore,
+    /// The VM skipped its runtime cross-context residency check because
+    /// static analysis proved the `mov` data never leaves this device
+    /// (see `crates/analysis`, §6.2.3). Instant, virtual queue clock.
+    ResidencyProven,
 }
 
 impl SpanKind {
@@ -126,6 +130,7 @@ impl SpanKind {
             SpanKind::Restart => "restart",
             SpanKind::Escalated => "escalated",
             SpanKind::CheckpointRestore => "checkpoint_restore",
+            SpanKind::ResidencyProven => "residency_proven",
         }
     }
 

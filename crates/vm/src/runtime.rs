@@ -656,9 +656,27 @@ fn kernel_actor(
                 {
                     let mut guard = state.lock();
                     // Cross-context residency: read back first (the paper's
-                    // "different context" rule).
-                    let cross = matches!(&*guard, MovState::Device { bufs, .. }
-                    if bufs.context.id() != env.context.id());
+                    // "different context" rule). When static analysis proved
+                    // every consumer of this data type lives on one device
+                    // (`residency_proven`), the comparison is skipped
+                    // entirely — the proof is the bookkeeping.
+                    let cross = if plan.residency_proven {
+                        if trace.is_enabled() && matches!(&*guard, MovState::Device { .. }) {
+                            trace.record(
+                                TraceEvent::instant(
+                                    SpanKind::ResidencyProven,
+                                    &plan.kernel_name,
+                                    env.device.name(),
+                                    env.queue.now_ns(),
+                                )
+                                .with_arg("actor", name),
+                            );
+                        }
+                        false
+                    } else {
+                        matches!(&*guard, MovState::Device { bufs, .. }
+                        if bufs.context.id() != env.context.id())
+                    };
                     if cross {
                         drop(guard);
                         crate::value::force_host(state, Some(&profile))?;

@@ -4,13 +4,19 @@
 //! version (the paper's "all implementations were functionally
 //! equivalent" check, at reduced sizes).
 
-use ensemble_lang::compile_source;
 use ensemble_vm::VmRuntime;
+
+/// Compile through the static-analysis gate, so every app exercised here
+/// is also certified race-free, in-bounds, and deadlock-lint clean on
+/// each run — and carries the mov residency proofs into its bytecode.
+fn gated(src: &str) -> ensemble_lang::CompiledModule {
+    ensemble_analysis::compile_source(src, &ensemble_analysis::Options::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
 
 /// Run a source and return its printed output.
 fn run(src: &str) -> Vec<String> {
-    let module = compile_source(src).unwrap_or_else(|e| panic!("{e}"));
-    VmRuntime::new(module)
+    VmRuntime::new(gated(src))
         .run()
         .unwrap_or_else(|e| panic!("{e}"))
         .output
@@ -120,11 +126,10 @@ fn lud_vm_keeps_matrix_on_device_between_kernels() {
     // 48 dispatches, but the matrix crosses the bus only twice (up at the
     // first dispatch, down when the controller reads the trace).
     let gsubs = [("2048", "16"), ("group = 16", "group = 4")];
-    let module = compile_source(&shrink(
+    let module = gated(&shrink(
         include_str!("../../apps/src/assets/lud/ocl.ens"),
         &gsubs,
-    ))
-    .unwrap();
+    ));
     let report = VmRuntime::new(module).run().unwrap();
     assert_eq!(report.profile.dispatches, 48);
     let gpu = ensemble_ocl::device_matrix()
@@ -144,11 +149,10 @@ fn lud_vm_keeps_matrix_on_device_between_kernels() {
 #[test]
 fn docrank_vm_residency_skips_reupload_between_rounds() {
     let subs = [("65536", "128"), ("rounds = 10", "rounds = 3")];
-    let module = compile_source(&shrink(
+    let module = gated(&shrink(
         include_str!("../../apps/src/assets/docrank/ocl.ens"),
         &subs,
-    ))
-    .unwrap();
+    ));
     let report = VmRuntime::new(module).run().unwrap();
     assert_eq!(report.profile.dispatches, 3);
     // Three uploads (docs, tpl, flags) for round one; rounds 2-3 reuse.
@@ -163,4 +167,40 @@ fn docrank_vm_residency_skips_reupload_between_rounds() {
         "expected a single round of uploads: {} vs {one_round_up}",
         report.profile.to_device_ns
     );
+}
+
+#[test]
+fn lud_residency_proof_skips_runtime_bookkeeping() {
+    // The analysis proves every consumer of `lud_t` lives on one device,
+    // so the VM's mov path skips the cross-context residency comparison.
+    // Each device-resident dispatch after the first upload records a
+    // `residency_proven` instant instead of doing the bookkeeping.
+    let gsubs = [("2048", "8"), ("group = 16", "group = 4")];
+    let module = gated(&shrink(
+        include_str!("../../apps/src/assets/lud/ocl.ens"),
+        &gsubs,
+    ));
+    let mut kernels = 0;
+    for actor in &module.actors {
+        if let ensemble_lang::ActorCode::Kernel(plan) = &actor.code {
+            assert!(
+                plan.residency_proven,
+                "kernel `{}` should carry the residency proof",
+                plan.kernel_name
+            );
+            kernels += 1;
+        }
+    }
+    assert_eq!(kernels, 3, "Diag, Col and Sub must all be kernel actors");
+    let sink = trace::TraceSink::new();
+    let profile = ensemble_ocl::ProfileSink::new().with_trace(sink.clone());
+    VmRuntime::with_profile(module, profile).run().unwrap();
+    let proven = sink
+        .events()
+        .iter()
+        .filter(|e| e.kind == trace::SpanKind::ResidencyProven)
+        .count();
+    // 8 steps × 3 kernels = 24 dispatches; all but the very first find the
+    // matrix already device-resident and skip the check under the proof.
+    assert_eq!(proven, 23, "expected a proof instant per resident dispatch");
 }

@@ -133,5 +133,5 @@ fn compile_time_kernel_errors_carry_positions() {
     "#;
     let err = compile_source(src).unwrap_err();
     assert!(err.message.contains("bogus_variable"), "{err}");
-    assert!(err.pos.line > 1);
+    assert!(err.pos.start.line > 1);
 }
