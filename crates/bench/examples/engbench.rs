@@ -1,0 +1,37 @@
+use oclsim::{Platform, Context, CommandQueue, Program, NdRange, MemFlags, DeviceType, Engine};
+use std::time::Instant;
+
+fn main() {
+    let device = Platform::default_device(DeviceType::Gpu).unwrap();
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
+    let queue = CommandQueue::new(&ctx, &device).unwrap();
+    let src = r#"
+    __kernel void mm(__global float* a, __global float* b, __global float* c, const int n) {
+        int row = get_global_id(1);
+        int col = get_global_id(0);
+        float acc = 0.0f;
+        for (int k = 0; k < n; k++) { acc += a[row * n + k] * b[k * n + col]; }
+        c[row * n + col] = acc;
+    }"#;
+    let program = Program::build(&ctx, src).unwrap();
+    let kernel = program.create_kernel("mm").unwrap();
+    let n = 128usize;
+    let bytes = n * n * 4;
+    let a = ctx.create_buffer(MemFlags::ReadWrite, bytes).unwrap();
+    let b = ctx.create_buffer(MemFlags::ReadWrite, bytes).unwrap();
+    let c = ctx.create_buffer(MemFlags::ReadWrite, bytes).unwrap();
+    queue.write_f32(&a, &vec![1.0f32; n*n]).unwrap();
+    queue.write_f32(&b, &vec![2.0f32; n*n]).unwrap();
+    kernel.set_arg_buffer(0, &a).unwrap();
+    kernel.set_arg_buffer(1, &b).unwrap();
+    kernel.set_arg_buffer(2, &c).unwrap();
+    kernel.set_arg_i32(3, n as i32).unwrap();
+    for engine in [Engine::Stack, Engine::Register, Engine::Stack, Engine::Register] {
+        kernel.set_engine(Some(engine));
+        let t = Instant::now();
+        let ev = queue.enqueue_nd_range(&kernel, &NdRange::d2([n, n], [16, 16])).unwrap();
+        let dt = t.elapsed();
+        let ops = ev.ops();
+        println!("{:>8}: {:?}  ops {}  {:.0}M ops/s", engine.label(), dt, ops, ops as f64 / dt.as_secs_f64() / 1e6);
+    }
+}

@@ -26,9 +26,40 @@
 //! exits non-zero if any output diverges from its fault-free reference
 //! or any kill is not matched by an `ActorExit`/`Restart` pair in the
 //! trace.
+//!
+//! `--wallclock` runs the wall-clock engine comparison instead of the
+//! figures: all five applications on the stack and register execution
+//! engines, reporting real host time, interpreted kernel ops/sec and the
+//! register-over-stack speedup, and writing the machine-readable result
+//! to `BENCH_5.json` (`--wallclock-out <path>` overrides; `--repeats <N>`
+//! sets runs per engine, default 3). Exits non-zero when any app's
+//! engines disagree on output or virtual clock.
 
 use bench::figures::{self, ALL};
-use bench::{chaos, Sizes, TraceSink};
+use bench::{chaos, wallclock, Sizes, TraceSink};
+
+fn run_wallclock_mode(sizes: &Sizes, sizes_label: &str, repeats: usize, out_path: &str) -> ! {
+    eprintln!("wall-clock mode: {sizes_label} sizes, {repeats} runs per engine");
+    match wallclock::run_wallclock(sizes, sizes_label, repeats) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if let Err(e) = std::fs::write(out_path, report.to_json()) {
+                eprintln!("error: writing {out_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wallclock: results written to {out_path}");
+            if !report.all_consistent() {
+                eprintln!("error: engines disagreed on output or virtual clock");
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn run_chaos_mode(seed: u64, sizes: &Sizes) -> ! {
     eprintln!("chaos mode: seed {seed}");
@@ -85,9 +116,30 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut kill_seed: Option<u64> = None;
+    let mut wallclock_mode = false;
+    let mut wallclock_out = "BENCH_5.json".to_string();
+    let mut repeats = 3usize;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
-        if a == "--trace" {
+        if a == "--wallclock" {
+            wallclock_mode = true;
+        } else if a == "--wallclock-out" {
+            match it.next() {
+                Some(p) => wallclock_out = p,
+                None => {
+                    eprintln!("error: --wallclock-out requires an output file path");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--repeats" {
+            match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => repeats = n,
+                _ => {
+                    eprintln!("error: --repeats requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--trace" {
             match it.next() {
                 Some(p) => trace_path = Some(p),
                 None => {
@@ -140,6 +192,10 @@ fn main() {
     }
     if let Some(seed) = kill_seed {
         run_kill_chaos_mode(seed, &sizes);
+    }
+    if wallclock_mode {
+        let label = if paper { "paper" } else { "bench" };
+        run_wallclock_mode(&sizes, label, repeats, &wallclock_out);
     }
     if paper {
         eprintln!("note: paper-scale inputs run every work-item through an interpreter; expect long runtimes");

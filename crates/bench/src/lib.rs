@@ -31,6 +31,7 @@ pub mod apps_ens;
 pub mod chaos;
 pub mod figures;
 pub mod table1;
+pub mod wallclock;
 
 pub use apps_ens::Sizes;
 

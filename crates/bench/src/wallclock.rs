@@ -1,0 +1,343 @@
+//! Wall-clock benchmark trajectory: the five applications on both
+//! execution engines.
+//!
+//! Everything else in this harness is measured in *virtual* nanoseconds,
+//! which by design cannot see how fast the simulator itself runs. This
+//! module measures the other axis: real host time for the same five
+//! Ensemble applications, once per execution engine (the reference stack
+//! interpreter and the register-IR engine, see [`oclsim::engine`]).
+//!
+//! Each app is compiled once; the compiled module is then run to
+//! completion `repeats` times per engine and the **minimum** wall time is
+//! reported (the usual wall-clock benchmarking convention — the minimum is
+//! the run least disturbed by the host). The first run per engine also
+//! captures the program's print output, its virtual-clock segment totals,
+//! and the retired abstract kernel ops, and the harness asserts the two
+//! engines agree on all of them: the engines may only differ in host
+//! speed, never in results or virtual time.
+//!
+//! Timing uses [`std::time::Instant`] with [`criterion::black_box`] on the
+//! run reports, matching the workspace's criterion shim.
+
+use crate::apps_ens::{self, Sizes};
+use criterion::black_box;
+use ensemble_vm::VmRuntime;
+use oclsim::{set_default_engine, Engine, ProfileSink};
+use std::time::Instant;
+use trace::TraceSink;
+
+/// What one engine measured for one application.
+#[derive(Debug, Clone)]
+pub struct EngineMeasure {
+    /// Engine label (`"stack"` / `"register"`).
+    pub engine: &'static str,
+    /// Best (minimum) wall-clock time over the repeats, in host ns.
+    pub wall_ns: u128,
+    /// Abstract kernel ops per *host* second at the best wall time.
+    pub ops_per_sec: f64,
+    /// Captured print output of the first run.
+    pub output: Vec<String>,
+    /// Virtual-clock totals of the first run:
+    /// `(to_device, from_device, kernel, vm)` ns.
+    pub virtual_ns: (f64, f64, f64, f64),
+    /// Abstract kernel ops retired by the first run.
+    pub ops: u64,
+    /// Interpreted VM ops of the first run.
+    pub vm_ops: u64,
+}
+
+/// Both engines' measurements for one application.
+#[derive(Debug, Clone)]
+pub struct AppWallclock {
+    /// Application name (e.g. `"matmul"`).
+    pub app: String,
+    /// Stack-engine measurement.
+    pub stack: EngineMeasure,
+    /// Register-engine measurement.
+    pub register: EngineMeasure,
+}
+
+impl AppWallclock {
+    /// Wall-clock speedup of the register engine over the stack engine.
+    pub fn speedup(&self) -> f64 {
+        self.stack.wall_ns as f64 / self.register.wall_ns.max(1) as f64
+    }
+
+    /// True when both engines printed identical output.
+    pub fn outputs_match(&self) -> bool {
+        self.stack.output == self.register.output
+    }
+
+    /// True when both engines agree on every virtual-clock figure and on
+    /// the retired op counts. Op counts are exact integers and must match
+    /// exactly; the per-segment ns totals are sums of identical per-event
+    /// floats whose summation *order* follows actor-thread interleaving,
+    /// so they are compared to within float re-association noise.
+    pub fn virtual_clock_match(&self) -> bool {
+        fn close(a: f64, b: f64) -> bool {
+            a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+        }
+        let (s, r) = (self.stack.virtual_ns, self.register.virtual_ns);
+        close(s.0, r.0)
+            && close(s.1, r.1)
+            && close(s.2, r.2)
+            && close(s.3, r.3)
+            && self.stack.ops == self.register.ops
+            && self.stack.vm_ops == self.register.vm_ops
+    }
+
+    fn to_json(&self) -> String {
+        let eng = |m: &EngineMeasure| {
+            format!(
+                "{{\"wall_ns\":{},\"ops_per_sec\":{:.1}}}",
+                m.wall_ns, m.ops_per_sec
+            )
+        };
+        format!(
+            "{{\"app\":\"{}\",\"ops\":{},\"engines\":{{\"stack\":{},\"register\":{}}},\
+             \"speedup\":{:.4},\"outputs_match\":{},\"virtual_clock_match\":{}}}",
+            trace::escape_json(&self.app),
+            self.stack.ops,
+            eng(&self.stack),
+            eng(&self.register),
+            self.speedup(),
+            self.outputs_match(),
+            self.virtual_clock_match()
+        )
+    }
+}
+
+/// The full wall-clock report: all five applications, both engines.
+#[derive(Debug, Clone)]
+pub struct WallclockReport {
+    /// Per-application results, in paper figure order.
+    pub apps: Vec<AppWallclock>,
+    /// Repeats each (app, engine) pair was run for.
+    pub repeats: usize,
+    /// `"bench"` or `"paper"`, matching the sizes used.
+    pub sizes_label: String,
+}
+
+impl WallclockReport {
+    /// Geometric mean of the per-app register-over-stack speedups.
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.apps.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.apps.iter().map(|a| a.speedup().ln()).sum();
+        (log_sum / self.apps.len() as f64).exp()
+    }
+
+    /// True when every app's engines agreed on output and virtual clock.
+    pub fn all_consistent(&self) -> bool {
+        self.apps
+            .iter()
+            .all(|a| a.outputs_match() && a.virtual_clock_match())
+    }
+
+    /// Serialise as the `BENCH_*.json` schema (documented in the README).
+    pub fn to_json(&self) -> String {
+        let apps: Vec<String> = self.apps.iter().map(AppWallclock::to_json).collect();
+        format!(
+            "{{\"schema\":\"bench-wallclock-v1\",\"sizes\":\"{}\",\"repeats\":{},\
+             \"geomean_speedup\":{:.4},\"all_consistent\":{},\"apps\":[{}]}}",
+            trace::escape_json(&self.sizes_label),
+            self.repeats,
+            self.geomean_speedup(),
+            self.all_consistent(),
+            apps.join(",")
+        )
+    }
+
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Wall-clock engine comparison ({} sizes, best of {} runs)\n",
+            self.sizes_label, self.repeats
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>8} {:>14} {:>14}  consistency\n",
+            "app", "stack ms", "register ms", "speedup", "stack ops/s", "register ops/s"
+        ));
+        for a in &self.apps {
+            out.push_str(&format!(
+                "{:<12} {:>12.3} {:>12.3} {:>7.2}x {:>14.0} {:>14.0}  {}\n",
+                a.app,
+                a.stack.wall_ns as f64 / 1e6,
+                a.register.wall_ns as f64 / 1e6,
+                a.speedup(),
+                a.stack.ops_per_sec,
+                a.register.ops_per_sec,
+                if a.outputs_match() && a.virtual_clock_match() {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "geometric-mean speedup: {:.2}x\n",
+            self.geomean_speedup()
+        ));
+        out
+    }
+}
+
+/// One timed run of an already-compiled module under the current default
+/// engine.
+struct RunMeasure {
+    wall_ns: u128,
+    output: Vec<String>,
+    virtual_ns: (f64, f64, f64, f64),
+    ops: u64,
+    vm_ops: u64,
+}
+
+fn run_once(module: ensemble_lang::CompiledModule) -> Result<RunMeasure, String> {
+    let sink = TraceSink::new();
+    let profile = ProfileSink::new().with_trace(sink.clone());
+    let start = Instant::now();
+    let report = VmRuntime::with_profile(module, profile.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let wall_ns = start.elapsed().as_nanos();
+    black_box(&report);
+    let segs = sink.segments();
+    Ok(RunMeasure {
+        wall_ns,
+        output: report.output,
+        virtual_ns: (
+            segs.to_device_ns,
+            segs.from_device_ns,
+            segs.kernel_ns,
+            segs.vm_ns,
+        ),
+        ops: profile.snapshot().ops,
+        vm_ops: report.vm_ops,
+    })
+}
+
+fn measure_engine(
+    app: &str,
+    module: &ensemble_lang::CompiledModule,
+    engine: Engine,
+    repeats: usize,
+) -> Result<EngineMeasure, String> {
+    set_default_engine(engine);
+    let mut first: Option<RunMeasure> = None;
+    let mut wall_ns = u128::MAX;
+    for _ in 0..repeats.max(1) {
+        let m = run_once(module.clone()).map_err(|e| format!("{app} ({}): {e}", engine.label()))?;
+        wall_ns = wall_ns.min(m.wall_ns);
+        if first.is_none() {
+            first = Some(m);
+        }
+    }
+    let first = first.expect("repeats >= 1");
+    Ok(EngineMeasure {
+        engine: engine.label(),
+        wall_ns,
+        ops_per_sec: first.ops as f64 * 1e9 / wall_ns.max(1) as f64,
+        output: first.output,
+        virtual_ns: first.virtual_ns,
+        ops: first.ops,
+        vm_ops: first.vm_ops,
+    })
+}
+
+/// The five applications' Ensemble sources at `sizes`, GPU-targeted,
+/// in paper figure order.
+fn app_sources(sizes: &Sizes) -> Vec<(&'static str, String)> {
+    vec![
+        ("matmul", apps_ens::matmul(sizes.matmul_n, "GPU")),
+        (
+            "mandelbrot",
+            apps_ens::mandelbrot(sizes.mandel_n, sizes.mandel_iters, "GPU"),
+        ),
+        ("lud", apps_ens::lud(sizes.lud_n, "GPU")),
+        ("reduction", apps_ens::reduction(sizes.reduction_n, "GPU")),
+        (
+            "docrank",
+            apps_ens::docrank(sizes.docrank_docs, sizes.docrank_rounds, "GPU"),
+        ),
+    ]
+}
+
+/// Run the full wall-clock comparison: every app, stack engine first,
+/// then register, `repeats` runs each. Restores the process default
+/// engine (register) before returning, on success and on error alike.
+pub fn run_wallclock(
+    sizes: &Sizes,
+    sizes_label: &str,
+    repeats: usize,
+) -> Result<WallclockReport, String> {
+    let result = run_wallclock_inner(sizes, sizes_label, repeats);
+    set_default_engine(Engine::Register);
+    result
+}
+
+fn run_wallclock_inner(
+    sizes: &Sizes,
+    sizes_label: &str,
+    repeats: usize,
+) -> Result<WallclockReport, String> {
+    let mut apps = Vec::new();
+    for (app, src) in app_sources(sizes) {
+        let module =
+            ensemble_analysis::compile_source(&src, &ensemble_analysis::Options::default())
+                .map_err(|e| format!("{app}: {e}"))?;
+        let stack = measure_engine(app, &module, Engine::Stack, repeats)?;
+        let register = measure_engine(app, &module, Engine::Register, repeats)?;
+        apps.push(AppWallclock {
+            app: app.to_string(),
+            stack,
+            register,
+        });
+    }
+    Ok(WallclockReport {
+        apps,
+        repeats,
+        sizes_label: sizes_label.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_report_serialises() {
+        // Tiny sizes: this is a consistency test, not a benchmark.
+        let sizes = Sizes {
+            matmul_n: 8,
+            mandel_n: 8,
+            mandel_iters: 10,
+            lud_n: 8,
+            reduction_n: 256,
+            docrank_docs: 64,
+            docrank_rounds: 2,
+        };
+        let report = run_wallclock(&sizes, "tiny", 1).unwrap();
+        assert_eq!(report.apps.len(), 5);
+        for a in &report.apps {
+            assert_eq!(a.stack.output, a.register.output, "{}: output", a.app);
+            assert_eq!(a.stack.ops, a.register.ops, "{}: kernel ops", a.app);
+            assert_eq!(a.stack.vm_ops, a.register.vm_ops, "{}: vm ops", a.app);
+            assert!(
+                a.virtual_clock_match(),
+                "{}: clock {:?} vs {:?}",
+                a.app,
+                a.stack.virtual_ns,
+                a.register.virtual_ns
+            );
+            assert!(a.stack.ops > 0, "{}: no kernel ops recorded", a.app);
+        }
+        assert!(report.all_consistent());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"bench-wallclock-v1\""));
+        assert!(json.contains("\"app\":\"docrank\""));
+        trace::json::validate(&json).unwrap();
+        assert!(report.render().contains("geometric-mean"));
+    }
+}

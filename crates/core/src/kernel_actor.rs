@@ -24,7 +24,7 @@
 
 use crate::checkpoint::{Checkpoint, InFlight, MemGuard};
 use crate::env::{DeviceSel, OpenClEnvironment};
-use crate::flatten::{FlatData, FlatSeg, Flatten};
+use crate::flatten::{FlatData, Flatten};
 use crate::profile::ProfileSink;
 use crate::recovery::{record_failover, with_retry, RecoveryPolicy};
 use crate::resident::{DeviceData, Dispatchable, ResidentBufs};
@@ -211,19 +211,18 @@ fn rescue_read_back(spec: &KernelSpec, rb: &ResidentBufs) -> ClResult<FlatData> 
     let mut segs = Vec::with_capacity(rb.bufs.len());
     let mut result = Ok(());
     for (buf, ty) in &rb.bufs {
-        let mut bytes = vec![0u8; buf.len()];
         let read = with_retry(
             &spec.recovery,
             &rb.queue,
             &device,
             &spec.profile,
             "rescue",
-            || rb.queue.enqueue_read_buffer(buf, &mut bytes),
+            || crate::resident::read_seg(&rb.queue, buf, *ty),
         );
         match read {
-            Ok(ev) => {
+            Ok((seg, ev)) => {
                 spec.profile.record_command(&ev, &device);
-                segs.push(FlatSeg::from_bytes(*ty, &bytes));
+                segs.push(seg);
             }
             Err(e) => {
                 result = Err(e);
@@ -391,17 +390,16 @@ impl<TIn: Flatten, TOut: Flatten> KernelActor<TIn, TOut> {
             let mut out_segs = Vec::with_capacity(spec.out_segs.len());
             for &idx in &spec.out_segs {
                 let (buf, ty) = &rb.bufs[idx];
-                let mut bytes = vec![0u8; buf.len()];
-                let ev = with_retry(
+                let (seg, ev) = with_retry(
                     &spec.recovery,
                     &c.env.queue,
                     c.env.device.name(),
                     &spec.profile,
                     "readback",
-                    || c.env.queue.enqueue_read_buffer(buf, &mut bytes),
+                    || crate::resident::read_seg(&c.env.queue, buf, *ty),
                 )?;
                 spec.profile.record_command(&ev, c.env.device.name());
-                out_segs.push(FlatSeg::from_bytes(*ty, &bytes));
+                out_segs.push(seg);
             }
             Ok(out_segs)
         })();

@@ -19,8 +19,18 @@
 use crate::flatten::{FlatData, FlatSeg, Flatten, FlattenError, SegTy};
 use crate::profile::ProfileSink;
 use crate::recovery::{with_retry, RecoveryPolicy};
-use oclsim::{Buffer, ClResult, CommandQueue, Context};
+use oclsim::{Buffer, ClResult, CommandQueue, Context, Event};
 use std::marker::PhantomData;
+
+/// Read one typed segment back from `buf`: the queue converts device bytes
+/// to elements in a single pass under the buffer lock, so no intermediate
+/// byte vector is allocated or copied.
+pub(crate) fn read_seg(queue: &CommandQueue, buf: &Buffer, ty: SegTy) -> ClResult<(FlatSeg, Event)> {
+    match ty {
+        SegTy::F32 => queue.read_f32(buf).map(|(v, ev)| (FlatSeg::F32(v), ev)),
+        SegTy::I32 => queue.read_i32(buf).map(|(v, ev)| (FlatSeg::I32(v), ev)),
+    }
+}
 
 /// Buffers holding a value's flattened segments on one device.
 #[derive(Debug)]
@@ -53,19 +63,20 @@ impl ResidentBufs {
         let mut segs = Vec::with_capacity(self.bufs.len());
         let mut released = 0usize;
         for (buf, ty) in &self.bufs {
-            let mut bytes = vec![0u8; buf.len()];
-            let ev = with_retry(
+            // Typed reads convert device bytes to elements in one pass
+            // under the buffer lock — no intermediate byte vector.
+            let (seg, ev) = with_retry(
                 &policy,
                 &self.queue,
                 self.queue.device().name(),
                 p,
                 "readback",
-                || self.queue.enqueue_read_buffer(buf, &mut bytes),
+                || read_seg(&self.queue, buf, *ty),
             )?;
             if let Some(p) = profile {
                 p.record_command(&ev, self.queue.device().name());
             }
-            segs.push(FlatSeg::from_bytes(*ty, &bytes));
+            segs.push(seg);
             released += buf.len();
         }
         self.context.release_bytes(released);

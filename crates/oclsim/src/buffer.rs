@@ -7,6 +7,29 @@ use std::sync::Arc;
 
 static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
 
+// Test-only accounting of host-visible byte copies made by buffer reads,
+// so the copy-elimination in the read hot path stays eliminated.
+// Thread-local: each test thread observes only its own copies.
+#[cfg(test)]
+thread_local! {
+    static BYTES_COPIED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Bytes copied out of buffers on this thread since process start
+/// (test-only; used to assert the single-copy property of reads).
+#[cfg(test)]
+pub(crate) fn bytes_copied() -> u64 {
+    BYTES_COPIED.with(|c| c.get())
+}
+
+#[cfg(test)]
+fn count_copied(n: usize) {
+    BYTES_COPIED.with(|c| c.set(c.get() + n as u64));
+}
+
+#[cfg(not(test))]
+fn count_copied(_n: usize) {}
+
 /// Buffer access flags, mirroring `CL_MEM_READ_WRITE` and friends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemFlags {
@@ -103,7 +126,10 @@ impl Buffer {
         self.inner.checked_out.store(false, Ordering::Release);
     }
 
-    /// Host-side copy of the buffer contents (used by queue reads).
+    /// Host-side copy of the buffer contents. The queue read paths use
+    /// [`Buffer::read_into`] / [`Buffer::with_bytes`] instead — this
+    /// allocating form survives only as a test convenience.
+    #[cfg(test)]
     pub(crate) fn snapshot(&self) -> ClResult<Vec<u8>> {
         if self.is_busy() {
             return Err(ClError::InvalidBufferAccess(format!(
@@ -111,7 +137,43 @@ impl Buffer {
                 self.inner.id
             )));
         }
-        Ok(self.inner.data.lock().clone())
+        let data = self.inner.data.lock();
+        count_copied(data.len());
+        Ok(data.clone())
+    }
+
+    /// Copy the buffer contents directly into `out` under the data lock —
+    /// exactly one copy, no intermediate allocation. `out` must be exactly
+    /// the buffer's size.
+    pub(crate) fn read_into(&self, out: &mut [u8]) -> ClResult<()> {
+        if self.is_busy() {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "read of buffer {} raced a dispatch on another queue",
+                self.inner.id
+            )));
+        }
+        if out.len() != self.inner.len {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "read of {} bytes from a buffer of {} bytes",
+                out.len(),
+                self.inner.len
+            )));
+        }
+        out.copy_from_slice(&self.inner.data.lock());
+        count_copied(out.len());
+        Ok(())
+    }
+
+    /// Run `f` over the buffer contents under the data lock — zero byte
+    /// copies; conversions (e.g. bytes → `f32`s) happen in place.
+    pub(crate) fn with_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> ClResult<R> {
+        if self.is_busy() {
+            return Err(ClError::InvalidBufferAccess(format!(
+                "read of buffer {} raced a dispatch on another queue",
+                self.inner.id
+            )));
+        }
+        Ok(f(&self.inner.data.lock()))
     }
 
     /// Host-side overwrite (used by queue writes).

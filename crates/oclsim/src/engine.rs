@@ -1,0 +1,85 @@
+//! Execution-engine selection for kernel dispatches.
+//!
+//! Every dispatch runs on one of two engines:
+//!
+//! * [`Engine::Register`] — the register-IR engine
+//!   ([`crate::minicl::regir`]): stack bytecode lowered once per kernel to
+//!   typed register code with fused compare-branches and block-level op
+//!   accounting. This is the default.
+//! * [`Engine::Stack`] — the reference stack interpreter
+//!   ([`crate::minicl::interp`]). Also the automatic fallback whenever the
+//!   register lowering declines a kernel (depth-inconsistent hand-built
+//!   bytecode, ambiguous device-function returns).
+//!
+//! Both engines are deterministic and produce byte-identical buffers,
+//! identical `group_ops` and identical traps — the engine choice changes
+//! *host wall-clock* only, never virtual time. The process-wide default can
+//! be overridden per kernel via [`crate::Kernel::set_engine`]; the wall-clock
+//! benchmark harness uses [`set_default_engine`] to time both sides.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which interpreter executes a kernel dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Reference stack-bytecode interpreter (and fallback path).
+    Stack,
+    /// Register-IR engine compiled from the stack bytecode.
+    Register,
+}
+
+impl Engine {
+    /// Stable lower-case label used in traces and benchmark JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Stack => "stack",
+            Engine::Register => "register",
+        }
+    }
+}
+
+/// Process-wide default engine; 0 = register, 1 = stack.
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide default engine for new dispatches (register unless
+/// changed). Kernels without a per-kernel override use this.
+pub fn default_engine() -> Engine {
+    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
+        1 => Engine::Stack,
+        _ => Engine::Register,
+    }
+}
+
+/// Set the process-wide default engine. Affects subsequent dispatches of
+/// every kernel without a per-kernel override; used by the wall-clock
+/// benchmark harness to time both engines on identical workloads.
+pub fn set_default_engine(engine: Engine) {
+    DEFAULT_ENGINE.store(
+        match engine {
+            Engine::Register => 0,
+            Engine::Stack => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Engine::Stack.label(), "stack");
+        assert_eq!(Engine::Register.label(), "register");
+    }
+
+    #[test]
+    fn default_roundtrip() {
+        let orig = default_engine();
+        set_default_engine(Engine::Stack);
+        assert_eq!(default_engine(), Engine::Stack);
+        set_default_engine(Engine::Register);
+        assert_eq!(default_engine(), Engine::Register);
+        set_default_engine(orig);
+    }
+}

@@ -29,6 +29,8 @@ struct EventInner {
     end_ns: f64,
     bytes: usize,
     items: u64,
+    ops: u64,
+    engine: Option<&'static str>,
 }
 
 /// A completed command. The simulator executes commands eagerly, so events
@@ -56,6 +58,34 @@ impl Event {
                 end_ns,
                 bytes,
                 items,
+                ops: 0,
+                engine: None,
+            }),
+        }
+    }
+
+    /// A kernel-launch event carrying execution statistics: retired
+    /// abstract ops and the engine that ran the dispatch.
+    pub(crate) fn new_kernel(
+        name: String,
+        queued_ns: f64,
+        start_ns: f64,
+        end_ns: f64,
+        items: u64,
+        ops: u64,
+        engine: &'static str,
+    ) -> Event {
+        Event {
+            inner: Arc::new(EventInner {
+                kind: CommandKind::NdRange(name),
+                queued_ns,
+                submit_ns: queued_ns,
+                start_ns,
+                end_ns,
+                bytes: 0,
+                items,
+                ops,
+                engine: Some(engine),
             }),
         }
     }
@@ -98,6 +128,18 @@ impl Event {
     /// Work-items executed (kernels) — 0 for transfers.
     pub fn items(&self) -> u64 {
         self.inner.items
+    }
+
+    /// Abstract ops retired by the dispatch (kernels) — 0 for transfers.
+    /// Identical on both execution engines for the same dispatch.
+    pub fn ops(&self) -> u64 {
+        self.inner.ops
+    }
+
+    /// Label of the engine that executed the dispatch (`"stack"` /
+    /// `"register"`), or `None` for non-kernel commands.
+    pub fn engine(&self) -> Option<&'static str> {
+        self.inner.engine
     }
 
     /// Block until the command completes. Commands execute eagerly in the

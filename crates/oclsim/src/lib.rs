@@ -80,6 +80,7 @@
 pub mod buffer;
 pub mod context;
 pub mod device;
+pub mod engine;
 pub mod error;
 pub mod event;
 pub mod fault;
@@ -95,6 +96,7 @@ pub mod timing;
 pub use buffer::{Buffer, MemFlags};
 pub use context::Context;
 pub use device::{Device, DeviceType};
+pub use engine::{default_engine, set_default_engine, Engine};
 pub use error::{ClError, ClResult};
 pub use event::{CommandKind, Event};
 pub use fault::{

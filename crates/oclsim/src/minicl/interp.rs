@@ -82,7 +82,8 @@ pub struct NdStats {
 
 /// Abort threshold: a single work-item retiring this many ops is assumed to
 /// be stuck in an infinite loop (no paper kernel comes within 10⁴× of it).
-const MAX_ITEM_OPS: u64 = 2_000_000_000;
+/// Shared with the register engine so both trap identically.
+pub(super) const MAX_ITEM_OPS: u64 = 2_000_000_000;
 
 struct Frame {
     ret_ip: usize,
@@ -133,7 +134,55 @@ pub fn run_ndrange(
         global[1] / local[1].max(1),
         global[2] / local[2].max(1),
     ];
-    // Region sizes: __local params (in param order) then in-body decls.
+    let region_bytes = local_region_sizes(kernel, args)?;
+
+    let mut stats = NdStats::default();
+    let items_per_group = local[0] * local[1] * local[2];
+    // The parameter-binding part of a work-item's locals frame is the same
+    // for every item of the dispatch: build it once and memcpy per item.
+    let locals_template = locals_template(kernel, args);
+    let mut ctx = GroupCtx {
+        code: &unit.code,
+        funcs: &unit.funcs,
+        pool,
+        local_regions: region_bytes.iter().map(|&b| vec![0u8; b]).collect(),
+        group_id: [0; 3],
+        global_size: global,
+        local_size: local,
+        num_groups,
+    };
+
+    let mut first_group = true;
+    for gz in 0..num_groups[2] {
+        for gy in 0..num_groups[1] {
+            for gx in 0..num_groups[0] {
+                ctx.group_id = [gx, gy, gz];
+                // Zero local memory between groups for determinism. The
+                // first group sees freshly allocated (zeroed) regions, and
+                // kernels with no local memory skip the pass entirely.
+                if !first_group {
+                    for r in &mut ctx.local_regions {
+                        r.fill(0);
+                    }
+                }
+                first_group = false;
+                let ops = if kernel.has_barrier {
+                    run_group_lockstep(&mut ctx, kernel, &locals_template, items_per_group)?
+                } else {
+                    run_group_fast(&mut ctx, kernel, &locals_template)?
+                };
+                stats.group_ops.push(ops);
+                stats.items += items_per_group as u64;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Byte sizes of the dispatch's `__local` regions: host-set `__local`
+/// params (in param order) then in-body declarations. Shared by both
+/// execution engines so the missing-arg trap is identical.
+pub(super) fn local_region_sizes(kernel: &KernelInfo, args: &[RtArg]) -> Result<Vec<usize>, Trap> {
     let mut region_bytes: Vec<usize> = Vec::new();
     for (param, arg) in kernel.params.iter().zip(args) {
         if matches!(param.ty, Type::Ptr(Space::Local, _)) {
@@ -152,50 +201,14 @@ pub fn run_ndrange(
         }
     }
     region_bytes.extend_from_slice(&kernel.local_decl_bytes);
-
-    let mut stats = NdStats::default();
-    let items_per_group = local[0] * local[1] * local[2];
-    let mut ctx = GroupCtx {
-        code: &unit.code,
-        funcs: &unit.funcs,
-        pool,
-        local_regions: region_bytes.iter().map(|&b| vec![0u8; b]).collect(),
-        group_id: [0; 3],
-        global_size: global,
-        local_size: local,
-        num_groups,
-    };
-
-    for gz in 0..num_groups[2] {
-        for gy in 0..num_groups[1] {
-            for gx in 0..num_groups[0] {
-                ctx.group_id = [gx, gy, gz];
-                // Zero local memory between groups for determinism.
-                for r in &mut ctx.local_regions {
-                    r.fill(0);
-                }
-                let ops = if kernel.has_barrier {
-                    run_group_lockstep(&mut ctx, kernel, args, items_per_group)?
-                } else {
-                    run_group_fast(&mut ctx, kernel, args)?
-                };
-                stats.group_ops.push(ops);
-                stats.items += items_per_group as u64;
-            }
-        }
-    }
-    Ok(stats)
+    Ok(region_bytes)
 }
 
-fn init_item(item: &mut Item, ctx: &GroupCtx<'_>, kernel: &KernelInfo, args: &[RtArg]) {
-    item.ip = kernel.entry as usize;
-    item.stack.clear();
-    item.frames.clear();
-    item.locals.clear();
-    item.locals.resize(kernel.nlocals as usize, Val::I(0));
-    item.priv_mem.clear();
-    item.priv_mem.resize(kernel.priv_bytes, 0);
-    item.done = false;
+/// The dispatch-invariant initial locals frame: parameters bound, every
+/// other slot `I(0)`. Shared by both execution engines (the register
+/// engine converts each [`Val`] to its raw register form).
+pub(super) fn locals_template(kernel: &KernelInfo, args: &[RtArg]) -> Vec<Val> {
+    let mut locals = vec![Val::I(0); kernel.nlocals as usize];
     let mut local_region = 0u16;
     for (i, (param, arg)) in kernel.params.iter().zip(args).enumerate() {
         let v = match (&param.ty, arg) {
@@ -217,15 +230,26 @@ fn init_item(item: &mut Item, ctx: &GroupCtx<'_>, kernel: &KernelInfo, args: &[R
             // Validated by the host layer; defensive default.
             _ => Val::I(0),
         };
-        item.locals[i] = v;
+        locals[i] = v;
     }
-    let _ = ctx;
+    locals
+}
+
+fn init_item(item: &mut Item, kernel: &KernelInfo, locals_template: &[Val]) {
+    item.ip = kernel.entry as usize;
+    item.stack.clear();
+    item.frames.clear();
+    item.locals.clear();
+    item.locals.extend_from_slice(locals_template);
+    item.priv_mem.clear();
+    item.priv_mem.resize(kernel.priv_bytes, 0);
+    item.done = false;
 }
 
 fn run_group_fast(
     ctx: &mut GroupCtx<'_>,
     kernel: &KernelInfo,
-    args: &[RtArg],
+    locals_template: &[Val],
 ) -> Result<u64, Trap> {
     let mut item = Item {
         ip: 0,
@@ -243,7 +267,7 @@ fn run_group_fast(
     for iz in 0..lz {
         for iy in 0..ly {
             for ix in 0..lx {
-                init_item(&mut item, ctx, kernel, args);
+                init_item(&mut item, kernel, locals_template);
                 item.lid = [ix, iy, iz];
                 item.gid = [
                     ctx.group_id[0] * lx + ix,
@@ -271,7 +295,7 @@ fn run_group_fast(
 fn run_group_lockstep(
     ctx: &mut GroupCtx<'_>,
     kernel: &KernelInfo,
-    args: &[RtArg],
+    locals_template: &[Val],
     items_per_group: usize,
 ) -> Result<u64, Trap> {
     let [lx, ly, lz] = ctx.local_size;
@@ -290,7 +314,7 @@ fn run_group_lockstep(
                     ops: 0,
                     done: false,
                 };
-                init_item(&mut item, ctx, kernel, args);
+                init_item(&mut item, kernel, locals_template);
                 item.lid = [ix, iy, iz];
                 item.gid = [
                     ctx.group_id[0] * lx + ix,
@@ -812,7 +836,12 @@ fn store_elem(
     write_val(bytes, byte, ty, v, gid).ok_or_else(|| oob(gid, byte, size, len))
 }
 
-fn checked_offset(gid: [usize; 3], base: u32, idx: i64, size: usize) -> Result<usize, Trap> {
+pub(super) fn checked_offset(
+    gid: [usize; 3],
+    base: u32,
+    idx: i64,
+    size: usize,
+) -> Result<usize, Trap> {
     if idx < 0 {
         return Err(Trap {
             message: format!("negative array index {idx}"),
@@ -828,7 +857,7 @@ fn checked_offset(gid: [usize; 3], base: u32, idx: i64, size: usize) -> Result<u
         })
 }
 
-fn oob(gid: [usize; 3], byte: usize, size: usize, len: usize) -> Trap {
+pub(super) fn oob(gid: [usize; 3], byte: usize, size: usize, len: usize) -> Trap {
     Trap {
         message: format!(
             "out-of-bounds access: bytes {byte}..{} of {len}",

@@ -18,6 +18,7 @@ pub mod codegen;
 pub mod interp;
 pub mod parser;
 pub mod pretty;
+pub mod regir;
 pub mod token;
 
 pub use ast::{Space, Type as ClType, Unit};
@@ -25,4 +26,5 @@ pub use bytecode::{Builtin, CompiledUnit, ElemTy, KernelInfo, Op};
 pub use codegen::{compile, Diag};
 pub use interp::{MemPool, NdStats, RtArg, Trap, Val};
 pub use parser::{parse, parse_expr, ParseError};
+pub use regir::RegProgram;
 pub use pretty::{emit_expr, emit_unit};

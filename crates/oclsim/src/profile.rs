@@ -27,6 +27,9 @@ pub struct Profile {
     pub kernel_ns: f64,
     /// Number of kernel dispatches.
     pub dispatches: u64,
+    /// Abstract ops retired by kernel dispatches (identical on both
+    /// execution engines; input to interpreted-ops/sec rates).
+    pub ops: u64,
 }
 
 impl Profile {
@@ -41,6 +44,7 @@ impl Profile {
         self.from_device_ns += other.from_device_ns;
         self.kernel_ns += other.kernel_ns;
         self.dispatches += other.dispatches;
+        self.ops += other.ops;
     }
 }
 
@@ -88,6 +92,7 @@ impl ProfileSink {
             }
             CommandKind::NdRange(k) => {
                 self.add_kernel(ev.duration_ns());
+                self.add_ops(ev.ops());
                 (SpanKind::Kernel, k.clone())
             }
             CommandKind::Marker => return,
@@ -101,6 +106,12 @@ impl ProfileSink {
             }
             if ev.items() > 0 {
                 te = te.with_arg("items", ev.items());
+            }
+            if let Some(engine) = ev.engine() {
+                te = te.with_arg("engine", engine);
+            }
+            if ev.ops() > 0 {
+                te = te.with_arg("ops", ev.ops());
             }
             self.trace.record(te);
         }
@@ -121,6 +132,11 @@ impl ProfileSink {
         let mut p = self.inner.lock();
         p.kernel_ns += ns;
         p.dispatches += 1;
+    }
+
+    /// Add abstract ops retired by a kernel dispatch.
+    pub fn add_ops(&self, ops: u64) {
+        self.inner.lock().ops += ops;
     }
 
     /// Snapshot the accumulated profile.
@@ -162,9 +178,11 @@ mod tests {
             from_device_ns: 2.0,
             kernel_ns: 3.0,
             dispatches: 1,
+            ops: 4,
         };
         a.merge(&a.clone());
         assert_eq!(a.dispatches, 2);
+        assert_eq!(a.ops, 8);
         assert_eq!(a.opencl_ns(), 12.0);
     }
 

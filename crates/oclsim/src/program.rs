@@ -1,11 +1,15 @@
 //! Programs and kernels, mirroring `cl_program` / `cl_kernel`.
 
-use crate::buffer::Buffer;
+use crate::buffer::{Buffer, MemFlags};
 use crate::context::Context;
+use crate::engine::{default_engine, Engine};
 use crate::error::{ClError, ClResult};
 use crate::minicl::ast::{Space, Type};
+use crate::minicl::interp::RtArg;
+use crate::minicl::regir::{self, RegProgram};
 use crate::minicl::{self, CompiledUnit, KernelInfo, Val};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An argument bound to a kernel slot.
@@ -77,8 +81,52 @@ impl Program {
             unit: Arc::clone(&self.unit),
             info,
             args: Arc::new(Mutex::new(vec![None; nargs])),
+            cache: Arc::new(KernelCache::default()),
         })
     }
+}
+
+/// The per-dispatch state that only depends on the kernel's bound
+/// arguments: resolved runtime args with deduplicated pool slots, the
+/// unique buffers to check out (in slot order), their effective read-only
+/// flags, and the total local-memory requirement. Built once per argument
+/// binding and reused by every dispatch until an argument changes.
+#[derive(Debug)]
+pub(crate) struct DispatchPlan {
+    /// Argument-binding generation this plan was built from.
+    pub(crate) generation: u64,
+    /// Resolved runtime arguments (pool slots already assigned).
+    pub(crate) rt_args: Vec<RtArg>,
+    /// Unique buffers in pool-slot order.
+    pub(crate) pooled: Vec<Buffer>,
+    /// Per-pool-slot effective read-only flag (const across all bindings).
+    pub(crate) read_only: Vec<bool>,
+    /// Host-set `__local` args + in-body declarations, in bytes.
+    pub(crate) local_bytes: usize,
+}
+
+/// Lazily compiled register program for a kernel.
+#[derive(Debug, Default)]
+enum RegSlot {
+    /// Not attempted yet.
+    #[default]
+    NotCompiled,
+    /// Lowering declined the kernel; always use the stack engine.
+    Unsupported,
+    /// Ready to dispatch.
+    Ready(Arc<RegProgram>),
+}
+
+/// Dispatch-state cache shared by all clones of a kernel: the argument
+/// generation counter, the cached [`DispatchPlan`], the lazily compiled
+/// register program and the per-kernel engine override.
+#[derive(Debug, Default)]
+pub(crate) struct KernelCache {
+    /// Bumped on every argument rebind; invalidates the plan.
+    generation: AtomicU64,
+    plan: Mutex<Option<Arc<DispatchPlan>>>,
+    reg: Mutex<RegSlot>,
+    engine: Mutex<Option<Engine>>,
 }
 
 /// A kernel object: an entry point plus its bound arguments.
@@ -88,6 +136,7 @@ pub struct Kernel {
     pub(crate) unit: Arc<CompiledUnit>,
     pub(crate) info: KernelInfo,
     pub(crate) args: Arc<Mutex<Vec<Option<ArgSpec>>>>,
+    pub(crate) cache: Arc<KernelCache>,
 }
 
 impl Kernel {
@@ -137,6 +186,7 @@ impl Kernel {
             )));
         }
         self.args.lock()[index] = Some(ArgSpec::Buf(buf.clone()));
+        self.cache.generation.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -150,6 +200,7 @@ impl Kernel {
             )));
         }
         self.args.lock()[index] = Some(ArgSpec::LocalBytes(bytes));
+        self.cache.generation.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -167,6 +218,7 @@ impl Kernel {
             )));
         }
         self.args.lock()[index] = Some(ArgSpec::Scalar(v));
+        self.cache.generation.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -183,6 +235,112 @@ impl Kernel {
     /// Bind a `float` scalar.
     pub fn set_arg_f32(&self, index: usize, v: f32) -> ClResult<()> {
         self.set_scalar(index, Val::F(v as f64), false)
+    }
+
+    /// Override the execution engine for this kernel's dispatches, or
+    /// `None` to follow the process-wide default
+    /// ([`crate::engine::default_engine`]). Shared by all clones of the
+    /// kernel. The override selects [`Engine::Register`] only when the
+    /// lowering supports the kernel; otherwise dispatch silently falls
+    /// back to the stack engine (visible in the event's `engine()`).
+    pub fn set_engine(&self, engine: Option<Engine>) {
+        *self.cache.engine.lock() = engine;
+    }
+
+    /// The engine this kernel's next dispatch will *request* (the dispatch
+    /// may still fall back to the stack engine if the register lowering
+    /// declined the kernel).
+    pub fn engine(&self) -> Engine {
+        self.cache.engine.lock().unwrap_or_else(default_engine)
+    }
+
+    /// The lazily compiled register program, or `None` when the lowering
+    /// does not cover this kernel (→ stack fallback). Compiled at most
+    /// once per kernel object; all clones share the result.
+    pub(crate) fn reg_program(&self) -> Option<Arc<RegProgram>> {
+        let mut slot = self.cache.reg.lock();
+        match &*slot {
+            RegSlot::Ready(p) => Some(Arc::clone(p)),
+            RegSlot::Unsupported => None,
+            RegSlot::NotCompiled => match regir::compile_kernel(&self.unit, &self.info) {
+                Some(prog) => {
+                    let prog = Arc::new(prog);
+                    *slot = RegSlot::Ready(Arc::clone(&prog));
+                    Some(prog)
+                }
+                None => {
+                    *slot = RegSlot::Unsupported;
+                    None
+                }
+            },
+        }
+    }
+
+    /// The cached dispatch plan for the current argument binding, building
+    /// it if no plan exists or an argument changed since the last build.
+    pub(crate) fn dispatch_plan(&self) -> ClResult<Arc<DispatchPlan>> {
+        let generation = self.cache.generation.load(Ordering::Acquire);
+        {
+            let plan = self.cache.plan.lock();
+            if let Some(p) = plan.as_ref() {
+                if p.generation == generation {
+                    return Ok(Arc::clone(p));
+                }
+            }
+        }
+        let specs = self.collect_args()?;
+        // Total local memory: host-set __local args + in-body declarations.
+        let local_bytes: usize = specs
+            .iter()
+            .map(|s| match s {
+                ArgSpec::LocalBytes(b) => *b,
+                _ => 0,
+            })
+            .sum::<usize>()
+            + self.info.local_decl_bytes.iter().sum::<usize>();
+        // A buffer bound to several parameters is writable if *any* of
+        // them is writable: decide const-ness across all bindings first.
+        let mut writable_ids: Vec<u64> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            if let ArgSpec::Buf(b) = spec {
+                let via_const = matches!(self.info.params[i].ty, Type::Ptr(Space::Constant, _));
+                if !via_const && !matches!(b.flags(), MemFlags::ReadOnly) {
+                    writable_ids.push(b.id());
+                }
+            }
+        }
+        // Assign pool slots: unique buffers only, so aliased parameters
+        // share one checkout. The linear scan happens once per rebind
+        // here instead of once per dispatch.
+        let mut pooled: Vec<Buffer> = Vec::new();
+        let mut read_only: Vec<bool> = Vec::new();
+        let mut rt_args: Vec<RtArg> = Vec::with_capacity(specs.len());
+        for spec in specs.iter() {
+            match spec {
+                ArgSpec::Buf(b) => {
+                    let slot = match pooled.iter().position(|p| p.id() == b.id()) {
+                        Some(s) => s,
+                        None => {
+                            pooled.push(b.clone());
+                            read_only.push(!writable_ids.contains(&b.id()));
+                            pooled.len() - 1
+                        }
+                    };
+                    rt_args.push(RtArg::Buf { pool_slot: slot });
+                }
+                ArgSpec::Scalar(v) => rt_args.push(RtArg::Scalar(*v)),
+                ArgSpec::LocalBytes(b) => rt_args.push(RtArg::Local { bytes: *b }),
+            }
+        }
+        let plan = Arc::new(DispatchPlan {
+            generation,
+            rt_args,
+            pooled,
+            read_only,
+            local_bytes,
+        });
+        *self.cache.plan.lock() = Some(Arc::clone(&plan));
+        Ok(plan)
     }
 
     /// Validate that every parameter has an argument; returns the specs.

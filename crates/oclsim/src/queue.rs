@@ -1,15 +1,16 @@
 //! In-order command queues, mirroring `cl_command_queue`.
 
-use crate::buffer::{Buffer, MemFlags};
+use crate::buffer::Buffer;
 use crate::context::Context;
 use crate::device::Device;
+use crate::engine::Engine;
 use crate::error::{ClError, ClResult};
 use crate::event::{CommandKind, Event};
 use crate::fault::{FaultInjector, FaultOp};
-use crate::minicl::ast::{Space, Type};
-use crate::minicl::interp::{run_ndrange, MemPool, RtArg};
+use crate::minicl::interp::{run_ndrange, MemPool};
+use crate::minicl::regir;
 use crate::ndrange::NdRange;
-use crate::program::{ArgSpec, Kernel};
+use crate::program::Kernel;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use trace::{SpanKind, TraceEvent, TraceSink};
@@ -112,6 +113,12 @@ impl CommandQueue {
         if ev.items() > 0 {
             te = te.with_arg("items", ev.items());
         }
+        if let Some(engine) = ev.engine() {
+            te = te.with_arg("engine", engine);
+        }
+        if ev.ops() > 0 {
+            te = te.with_arg("ops", ev.ops());
+        }
         sink.record(te);
     }
 
@@ -166,18 +173,13 @@ impl CommandQueue {
 
     /// Copy `buf` into `out` (device → host), mirroring
     /// `clEnqueueReadBuffer`. `out` must be exactly the buffer's size.
+    ///
+    /// The copy happens directly into `out` under the buffer's data lock —
+    /// one copy, no intermediate snapshot allocation.
     pub fn enqueue_read_buffer(&self, buf: &Buffer, out: &mut [u8]) -> ClResult<Event> {
         self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
-        let snapshot = buf.snapshot()?;
-        if out.len() != snapshot.len() {
-            return Err(ClError::InvalidBufferAccess(format!(
-                "read of {} bytes from a buffer of {} bytes",
-                out.len(),
-                snapshot.len()
-            )));
-        }
-        out.copy_from_slice(&snapshot);
+        buf.read_into(out)?;
         let cost = self.inner.device.cost_model().transfer_ns(out.len());
         let (start, end) = self.advance(cost);
         let ev = Event::new(CommandKind::ReadBuffer, start, start, end, out.len(), 0);
@@ -191,10 +193,18 @@ impl CommandQueue {
     }
 
     /// Convenience: read the whole buffer as `f32`s.
+    ///
+    /// Converts bytes → `f32`s directly under the buffer's data lock, with
+    /// no intermediate byte vector.
     pub fn read_f32(&self, buf: &Buffer) -> ClResult<(Vec<f32>, Event)> {
-        let mut bytes = vec![0u8; buf.len()];
-        let ev = self.enqueue_read_buffer(buf, &mut bytes)?;
-        Ok((crate::hostmem::bytes_to_f32(&bytes), ev))
+        self.fault_check(FaultOp::Readback)?;
+        self.check_buffer(buf)?;
+        let vals = buf.with_bytes(crate::hostmem::bytes_to_f32)?;
+        let cost = self.inner.device.cost_model().transfer_ns(buf.len());
+        let (start, end) = self.advance(cost);
+        let ev = Event::new(CommandKind::ReadBuffer, start, start, end, buf.len(), 0);
+        self.trace_command(&ev);
+        Ok((vals, ev))
     }
 
     /// Convenience: write an `i32` slice.
@@ -203,10 +213,18 @@ impl CommandQueue {
     }
 
     /// Convenience: read the whole buffer as `i32`s.
+    ///
+    /// Converts bytes → `i32`s directly under the buffer's data lock, with
+    /// no intermediate byte vector.
     pub fn read_i32(&self, buf: &Buffer) -> ClResult<(Vec<i32>, Event)> {
-        let mut bytes = vec![0u8; buf.len()];
-        let ev = self.enqueue_read_buffer(buf, &mut bytes)?;
-        Ok((crate::hostmem::bytes_to_i32(&bytes), ev))
+        self.fault_check(FaultOp::Readback)?;
+        self.check_buffer(buf)?;
+        let vals = buf.with_bytes(crate::hostmem::bytes_to_i32)?;
+        let cost = self.inner.device.cost_model().transfer_ns(buf.len());
+        let (start, end) = self.advance(cost);
+        let ev = Event::new(CommandKind::ReadBuffer, start, start, end, buf.len(), 0);
+        self.trace_command(&ev);
+        Ok((vals, ev))
     }
 
     fn check_buffer(&self, buf: &Buffer) -> ClResult<()> {
@@ -221,9 +239,13 @@ impl CommandQueue {
 
     /// Launch a kernel over `nd`, mirroring `clEnqueueNDRangeKernel`.
     ///
-    /// Executes the kernel with the work-group interpreter and charges the
-    /// device's analytic cost to the queue's virtual clock. The returned
-    /// event's profiling timestamps expose that cost.
+    /// Executes the kernel with the engine the kernel requests (register by
+    /// default, stack as reference or fallback — see [`crate::engine`]) and
+    /// charges the device's analytic cost to the queue's virtual clock. The
+    /// returned event's profiling timestamps expose that cost; its
+    /// [`Event::engine`] and [`Event::ops`] report what actually ran. The
+    /// resolved arguments come from the kernel's cached dispatch plan, so
+    /// repeat dispatches with unchanged arguments skip re-resolution.
     pub fn enqueue_nd_range(&self, kernel: &Kernel, nd: &NdRange) -> ClResult<Event> {
         self.fault_check(FaultOp::Enqueue)?;
         if kernel.ctx_id != self.inner.ctx.id() {
@@ -233,83 +255,66 @@ impl CommandQueue {
             )));
         }
         nd.validate(self.inner.device.max_work_group_size())?;
-        let specs = kernel.collect_args()?;
-
-        // Total local memory: host-set __local args + in-body declarations.
-        let local_bytes: usize = specs
-            .iter()
-            .map(|s| match s {
-                ArgSpec::LocalBytes(b) => *b,
-                _ => 0,
-            })
-            .sum::<usize>()
-            + kernel.info.local_decl_bytes.iter().sum::<usize>();
-        if local_bytes > self.inner.device.local_mem_size() {
+        let plan = kernel.dispatch_plan()?;
+        if plan.local_bytes > self.inner.device.local_mem_size() {
             return Err(ClError::InvalidWorkGroupSize(format!(
-                "kernel `{}` needs {local_bytes} bytes of local memory; device has {}",
+                "kernel `{}` needs {} bytes of local memory; device has {}",
                 kernel.name(),
+                plan.local_bytes,
                 self.inner.device.local_mem_size()
             )));
         }
 
-        // A buffer bound to several parameters is writable if *any* of
-        // them is writable: decide const-ness across all bindings first.
-        let mut writable_ids: Vec<u64> = Vec::new();
-        for (i, spec) in specs.iter().enumerate() {
-            if let ArgSpec::Buf(b) = spec {
-                let via_const = matches!(kernel.info.params[i].ty, Type::Ptr(Space::Constant, _));
-                if !via_const && !matches!(b.flags(), MemFlags::ReadOnly) {
-                    writable_ids.push(b.id());
+        // Check out the plan's unique buffers, undoing on conflict.
+        let mut pool = MemPool {
+            bufs: Vec::with_capacity(plan.pooled.len()),
+            read_only: plan.read_only.clone(),
+        };
+        for (i, buf) in plan.pooled.iter().enumerate() {
+            match buf.check_out() {
+                Ok(bytes) => pool.bufs.push(bytes),
+                Err(e) => {
+                    for (b, bytes) in plan.pooled[..i].iter().zip(pool.bufs.drain(..)) {
+                        b.check_in(bytes);
+                    }
+                    return Err(e);
                 }
             }
-        }
-        // Build the memory pool: unique buffers checked out once each.
-        let mut pool = MemPool::default();
-        let mut pooled: Vec<Buffer> = Vec::new();
-        let mut rt_args: Vec<RtArg> = Vec::with_capacity(specs.len());
-        let mut checkout_err: Option<ClError> = None;
-        for spec in specs.iter() {
-            match spec {
-                ArgSpec::Buf(b) => {
-                    let slot = match pooled.iter().position(|p| p.id() == b.id()) {
-                        Some(s) => s,
-                        None => match b.check_out() {
-                            Ok(bytes) => {
-                                pooled.push(b.clone());
-                                pool.bufs.push(bytes);
-                                pool.read_only.push(!writable_ids.contains(&b.id()));
-                                pool.bufs.len() - 1
-                            }
-                            Err(e) => {
-                                checkout_err = Some(e);
-                                break;
-                            }
-                        },
-                    };
-                    rt_args.push(RtArg::Buf { pool_slot: slot });
-                }
-                ArgSpec::Scalar(v) => rt_args.push(RtArg::Scalar(*v)),
-                ArgSpec::LocalBytes(b) => rt_args.push(RtArg::Local { bytes: *b }),
-            }
-        }
-        if let Some(e) = checkout_err {
-            for (buf, bytes) in pooled.iter().zip(pool.bufs.drain(..)) {
-                buf.check_in(bytes);
-            }
-            return Err(e);
         }
 
-        let result = run_ndrange(
-            &kernel.unit,
-            &kernel.info,
-            &rt_args,
-            &mut pool,
-            nd.global,
-            nd.local,
-        );
+        // Only touch (and lazily compile) the register program when the
+        // register engine is actually requested.
+        let reg = match kernel.engine() {
+            Engine::Register => kernel.reg_program(),
+            Engine::Stack => None,
+        };
+        let (result, engine_used) = match reg {
+            Some(prog) => (
+                regir::run_ndrange(
+                    &prog,
+                    &kernel.info,
+                    &plan.rt_args,
+                    &mut pool,
+                    nd.global,
+                    nd.local,
+                ),
+                Engine::Register,
+            ),
+            None => (
+                run_ndrange(
+                    &kernel.unit,
+                    &kernel.info,
+                    &plan.rt_args,
+                    &mut pool,
+                    nd.global,
+                    nd.local,
+                ),
+                Engine::Stack,
+            ),
+        };
 
         // Always return bytes to their buffers, even on trap.
-        for (buf, bytes) in pooled.iter().zip(pool.bufs.drain(..)) {
+        for (buf, bytes) in plan.pooled.iter().zip(pool.bufs.drain(..)) {
             buf.check_in(bytes);
         }
 
@@ -326,13 +331,14 @@ impl CommandQueue {
             self.inner.device.simd_width(),
         );
         let (start, end) = self.advance(cost);
-        let ev = Event::new(
-            CommandKind::NdRange(kernel.name().to_string()),
+        let ev = Event::new_kernel(
+            kernel.name().to_string(),
             start,
             start,
             end,
-            0,
             stats.items,
+            stats.group_ops.iter().sum(),
+            engine_used.label(),
         );
         self.trace_command(&ev);
         Ok(ev)
@@ -342,6 +348,7 @@ impl CommandQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::MemFlags;
     use crate::device::DeviceType;
     use crate::platform::Platform;
     use crate::program::Program;
@@ -505,6 +512,102 @@ mod tests {
         q.attach_trace(TraceSink::disabled());
         q.write_f32(&buf, &[0.0; 4]).unwrap();
         assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn read_paths_copy_each_byte_exactly_once() {
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 1024).unwrap();
+        q.enqueue_write_buffer(&buf, &[7u8; 1024]).unwrap();
+
+        // enqueue_read_buffer: exactly one 1024-byte copy, straight into
+        // the caller's slice — no intermediate snapshot.
+        let before = crate::buffer::bytes_copied();
+        let mut out = vec![0u8; 1024];
+        q.enqueue_read_buffer(&buf, &mut out).unwrap();
+        assert_eq!(crate::buffer::bytes_copied() - before, 1024);
+        assert_eq!(out[0], 7);
+
+        // read_f32 converts under the lock: zero byte copies.
+        let before = crate::buffer::bytes_copied();
+        let (vals, _) = q.read_f32(&buf).unwrap();
+        assert_eq!(vals.len(), 256);
+        assert_eq!(crate::buffer::bytes_copied() - before, 0);
+
+        // read_i32 likewise.
+        let before = crate::buffer::bytes_copied();
+        let (vals, _) = q.read_i32(&buf).unwrap();
+        assert_eq!(vals.len(), 256);
+        assert_eq!(crate::buffer::bytes_copied() - before, 0);
+    }
+
+    #[test]
+    fn kernel_events_report_engine_and_ops() {
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let sink = TraceSink::new();
+        q.attach_trace(sink.clone());
+        let src = "__kernel void sq(__global float* a) {
+            int i = get_global_id(0);
+            a[i] = a[i] * a[i];
+        }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("sq").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+
+        k.set_engine(Some(crate::engine::Engine::Register));
+        let ev = q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        assert_eq!(ev.engine(), Some("register"));
+        assert!(ev.ops() > 0);
+        let register_ops = ev.ops();
+
+        k.set_engine(Some(crate::engine::Engine::Stack));
+        let ev = q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        assert_eq!(ev.engine(), Some("stack"));
+        assert_eq!(ev.ops(), register_ops);
+
+        // The trace spans carry the same engine/ops args.
+        let events = sink.events();
+        let kernels: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == SpanKind::Kernel)
+            .collect();
+        assert_eq!(kernels.len(), 2);
+        for (te, engine) in kernels.iter().zip(["register", "stack"]) {
+            assert!(te
+                .args
+                .iter()
+                .any(|(k, v)| k == "engine" && v == engine));
+            assert!(te
+                .args
+                .iter()
+                .any(|(k, v)| k == "ops" && v == &register_ops.to_string()));
+        }
+    }
+
+    #[test]
+    fn dispatch_plan_is_reused_until_args_change() {
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let src = "__kernel void sq(__global float* a) {
+            int i = get_global_id(0);
+            a[i] = a[i] * a[i];
+        }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("sq").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        let p1 = k.dispatch_plan().unwrap();
+        q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        let p2 = k.dispatch_plan().unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "plan must be reused across dispatches");
+
+        // Rebinding an argument invalidates the plan.
+        let other = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        k.set_arg_buffer(0, &other).unwrap();
+        q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        let p3 = k.dispatch_plan().unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3), "rebind must rebuild the plan");
     }
 
     #[test]

@@ -160,8 +160,8 @@ mod tests {
     fn one_item_groups_use_one_lane() {
         let m = CostModel::gpu_pcie();
         // Compare compute time net of the fixed launch overhead.
-        let full = m.kernel_ns(&vec![6400u64; 8], 64, 44, 64) - m.launch_overhead_ns;
-        let single = m.kernel_ns(&vec![6400u64; 8], 1, 44, 64) - m.launch_overhead_ns;
+        let full = m.kernel_ns(&[6400u64; 8], 64, 44, 64) - m.launch_overhead_ns;
+        let single = m.kernel_ns(&[6400u64; 8], 1, 44, 64) - m.launch_overhead_ns;
         assert!(single > 10.0 * full, "single {single} !>> full {full}");
     }
 

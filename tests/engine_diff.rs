@@ -1,0 +1,269 @@
+//! Differential tests pinning the two kernel execution engines together.
+//!
+//! Every kernel the repository can produce — the generated OpenCL C of all
+//! five Ensemble applications on both device targets, hand-written trap
+//! fixtures, and proptest-generated expression kernels — is run through the
+//! full public dispatch path (`Program::build` → `set_arg_*` →
+//! `enqueue_nd_range`) once per engine, and the engines must agree **byte
+//! for byte** on every output buffer, on the retired abstract op count,
+//! and — when a kernel traps — on the exact trap message and work-item.
+//!
+//! The stack interpreter is the reference; the register-IR engine
+//! (`oclsim::minicl` register compiler) is the one under test. See
+//! `ARCHITECTURE.md` §11.
+
+use ensemble_repro::ensemble_lang::{self, ActorCode};
+use ensemble_repro::oclsim::{
+    ClError, CommandQueue, Context, DeviceType, Engine, MemFlags, NdRange, Platform, Program,
+};
+use proptest::prelude::*;
+
+/// Elements per synthesized `__global` buffer argument.
+const BUF_ELEMS: usize = 4096;
+/// Launch geometry used for every harvested kernel.
+const GLOBAL: [usize; 3] = [16, 16, 1];
+const LOCAL: [usize; 3] = [4, 4, 1];
+
+/// Deterministic, engine-independent fill for buffer argument `arg`:
+/// small floats in roughly `[-1.3, 1.3]`, so harvested numeric kernels
+/// exercise real arithmetic rather than NaN propagation.
+fn arg_fill(arg: usize, elems: usize) -> Vec<u8> {
+    (0..elems)
+        .flat_map(|i| {
+            let v = ((i * 7 + arg * 13) % 97) as f32 / 37.0 - 1.3;
+            v.to_le_bytes()
+        })
+        .collect()
+}
+
+/// One engine's observable outcome: every buffer argument's final bytes
+/// plus the retired abstract op count, or the trap rendered as a string.
+type Outcome = Result<(Vec<Vec<u8>>, u64), String>;
+
+/// Run `kernel_name` from `src` on `engine` with synthesized arguments.
+///
+/// Argument kinds are discovered by trial through the public setters:
+/// buffer first (4096 elements, deterministic fill), then `__local`
+/// (16 bytes per work-item in the group), then `int` (16), then
+/// `float` (0.5). Any error other than a kernel trap is a panic — the
+/// fixtures are expected to build and launch.
+fn run_on(engine: Engine, src: &str, kernel_name: &str, global: [usize; 3], local: [usize; 3]) -> Outcome {
+    let device = Platform::default_device(DeviceType::Gpu).expect("device");
+    let ctx = Context::new(std::slice::from_ref(&device)).expect("context");
+    let queue = CommandQueue::new(&ctx, &device).expect("queue");
+    let program = Program::build(&ctx, src)
+        .unwrap_or_else(|e| panic!("build failure for `{kernel_name}`: {e}\n{src}"));
+    let kernel = program.create_kernel(kernel_name).expect("kernel");
+    kernel.set_engine(Some(engine));
+    let local_items: usize = local.iter().product();
+    let mut bufs = Vec::new();
+    for i in 0..kernel.num_args() {
+        let buf = ctx
+            .create_buffer(MemFlags::ReadWrite, BUF_ELEMS * 4)
+            .expect("buffer");
+        if kernel.set_arg_buffer(i, &buf).is_ok() {
+            queue
+                .enqueue_write_buffer(&buf, &arg_fill(i, BUF_ELEMS))
+                .expect("write");
+            bufs.push(buf);
+        } else if kernel.set_arg_local(i, local_items * 16).is_err()
+            && kernel.set_arg_i32(i, 16).is_err()
+        {
+            kernel
+                .set_arg_f32(i, 0.5)
+                .unwrap_or_else(|e| panic!("arg {i} of `{kernel_name}` unbindable: {e}"));
+        }
+    }
+    let ops = match queue.enqueue_nd_range(&kernel, &NdRange::d3(global, local)) {
+        Ok(ev) => ev.ops(),
+        Err(ClError::KernelTrap {
+            message, global_id, ..
+        }) => return Err(format!("{message} @ {global_id:?}")),
+        Err(other) => panic!("`{kernel_name}` failed to launch: {other}"),
+    };
+    let mut out = Vec::new();
+    for buf in &bufs {
+        let mut bytes = vec![0u8; BUF_ELEMS * 4];
+        queue.enqueue_read_buffer(buf, &mut bytes).expect("read");
+        out.push(bytes);
+    }
+    Ok((out, ops))
+}
+
+/// Run on both engines and assert identical outcomes.
+fn assert_engines_agree(src: &str, kernel_name: &str, global: [usize; 3], local: [usize; 3]) {
+    let stack = run_on(Engine::Stack, src, kernel_name, global, local);
+    let register = run_on(Engine::Register, src, kernel_name, global, local);
+    match (&stack, &register) {
+        (Ok((sb, sops)), Ok((rb, rops))) => {
+            assert_eq!(sb, rb, "`{kernel_name}`: output buffers differ");
+            assert_eq!(sops, rops, "`{kernel_name}`: retired op counts differ");
+        }
+        (Err(s), Err(r)) => assert_eq!(s, r, "`{kernel_name}`: traps differ"),
+        _ => panic!("`{kernel_name}`: engines disagree on success: stack={stack:?} register={register:?}"),
+    }
+}
+
+/// Harvest every distinct generated kernel from the five applications'
+/// Ensemble sources, on both device targets.
+fn harvested_kernels() -> Vec<(String, String)> {
+    let mut found: Vec<(String, String)> = Vec::new();
+    for target in ["GPU", "CPU"] {
+        let sources = [
+            bench::apps_ens::matmul(16, target),
+            bench::apps_ens::mandelbrot(16, 8, target),
+            bench::apps_ens::lud(16, target),
+            bench::apps_ens::reduction(256, target),
+            bench::apps_ens::docrank(64, 2, target),
+        ];
+        for ens_src in sources {
+            let module = ensemble_lang::compile_source(&ens_src).expect("compile .ens");
+            for actor in &module.actors {
+                if let ActorCode::Kernel(plan) = &actor.code {
+                    if !found.iter().any(|(_, s)| *s == plan.source) {
+                        found.push((plan.kernel_name.clone(), plan.source.clone()));
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+/// Every kernel the Ensemble compiler generates for the five evaluation
+/// applications runs identically on both engines.
+#[test]
+fn harvested_app_kernels_agree_on_both_engines() {
+    let kernels = harvested_kernels();
+    assert!(
+        kernels.len() >= 5,
+        "expected at least one kernel per application, harvested {}",
+        kernels.len()
+    );
+    for (name, src) in &kernels {
+        assert_engines_agree(src, name, GLOBAL, LOCAL);
+    }
+}
+
+/// Trap fixtures: both engines must fail identically, through the public
+/// dispatch path (not just the minicl unit tests).
+#[test]
+fn trap_fixtures_agree_on_both_engines() {
+    let fixtures: &[(&str, &str)] = &[
+        (
+            "oob",
+            "__kernel void oob(__global float* a) { a[get_global_id(0) + 1000000] = 1.0f; }",
+        ),
+        (
+            "divz",
+            "__kernel void divz(__global int* a) { int z = (int)(get_global_id(0) * 0); a[0] = 1 / z; }",
+        ),
+        (
+            "diverge",
+            "__kernel void diverge(__global float* a) { \
+                if (get_local_id(0) == 0) { barrier(CLK_LOCAL_MEM_FENCE); } \
+                a[get_global_id(0)] = 1.0f; }",
+        ),
+    ];
+    for (name, src) in fixtures {
+        let stack = run_on(Engine::Stack, src, name, GLOBAL, LOCAL);
+        assert!(stack.is_err(), "`{name}` fixture was expected to trap");
+        assert_engines_agree(src, name, GLOBAL, LOCAL);
+    }
+}
+
+/// Build a float expression kernel from a proptest-chosen op/operand
+/// script. Each step folds `v = v <op> <operand>` (or a call), covering
+/// the register compiler's constant pool, mad fusion in both operand
+/// orders, and compare-branch fusion.
+fn float_expr_kernel(script: &[(u8, u8)]) -> String {
+    let mut body = String::from("float v = a[i];\n");
+    for (k, (op, operand)) in script.iter().enumerate() {
+        let rhs = match operand % 4 {
+            0 => "b[i]".to_string(),
+            1 => "x".to_string(),
+            2 => format!("{}.0f", (k % 7) + 1),
+            _ => "v".to_string(),
+        };
+        let step = match op % 8 {
+            0 => format!("v = v + {rhs};"),
+            1 => format!("v = v - {rhs};"),
+            2 => format!("v = v * {rhs};"),
+            3 => format!("v = v * x + {rhs};"),
+            4 => format!("v = {rhs} + v * x;"),
+            5 => format!("v = fmin(v, {rhs});"),
+            6 => format!("v = fmax(v, {rhs});"),
+            _ => format!("if (v > {rhs}) {{ v = v - 0.5f; }}"),
+        };
+        body.push_str("                ");
+        body.push_str(&step);
+        body.push('\n');
+    }
+    format!(
+        "__kernel void e(__global float* a, __global float* b, __global float* out, const float x) {{\n\
+            int i = get_global_id(1) * get_global_size(0) + get_global_id(0);\n\
+            {body}\
+            out[i] = v;\n\
+        }}"
+    )
+}
+
+/// Build an integer loop kernel: a bounded accumulation whose body is
+/// chosen by proptest — exercises MadI, wrapping arithmetic, guarded
+/// division and the fused loop branch.
+fn int_loop_kernel(bound: u8, ops: &[u8]) -> String {
+    let mut body = String::new();
+    for (k, op) in ops.iter().enumerate() {
+        let c = (k % 5) as i64 + 2;
+        let step = match op % 6 {
+            0 => format!("acc = acc + j * {c};"),
+            1 => format!("acc = acc * {c} + j;"),
+            2 => "acc = acc - j;".to_string(),
+            3 => "acc = acc / (j + 1);".to_string(),
+            4 => format!("acc = acc % ({c} + j * 0 + 1);"),
+            _ => format!("if (acc > {c}) {{ acc = acc - {c}; }}"),
+        };
+        body.push_str("                ");
+        body.push_str(&step);
+        body.push('\n');
+    }
+    format!(
+        "__kernel void l(__global int* out) {{\n\
+            int i = get_global_id(1) * get_global_size(0) + get_global_id(0);\n\
+            int acc = i;\n\
+            for (int j = 0; j < {bound}; j++) {{\n\
+            {body}\
+            }}\n\
+            out[i] = acc;\n\
+        }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary float expression kernels agree byte for byte.
+    #[test]
+    fn random_float_kernels_agree(
+        ops in proptest::collection::vec(any::<u8>(), 1..12),
+        operands in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let script: Vec<(u8, u8)> = ops
+            .iter()
+            .zip(operands.iter().chain(std::iter::repeat(&0)))
+            .map(|(&o, &r)| (o, r))
+            .collect();
+        let src = float_expr_kernel(&script);
+        assert_engines_agree(&src, "e", GLOBAL, LOCAL);
+    }
+
+    /// Arbitrary bounded integer loops agree, including op counts.
+    #[test]
+    fn random_int_loop_kernels_agree(
+        bound in 1u8..64,
+        ops in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let src = int_loop_kernel(bound, &ops);
+        assert_engines_agree(&src, "l", GLOBAL, LOCAL);
+    }
+}
