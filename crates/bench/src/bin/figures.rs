@@ -28,12 +28,14 @@
 //! trace.
 //!
 //! `--wallclock` runs the wall-clock engine comparison instead of the
-//! figures: all five applications on the stack and register execution
-//! engines, reporting real host time, interpreted kernel ops/sec and the
-//! register-over-stack speedup, and writing the machine-readable result
-//! to `BENCH_5.json` (`--wallclock-out <path>` overrides; `--repeats <N>`
-//! sets runs per engine, default 3). Exits non-zero when any app's
-//! engines disagree on output or virtual clock.
+//! figures: all five applications on the stack, register and native
+//! execution engines, reporting real host time, interpreted kernel
+//! ops/sec, the register-over-stack and native-over-register speedups,
+//! and which engine actually executed each run (the trace `engine` tag),
+//! writing the machine-readable result to `BENCH_6.json`
+//! (`--wallclock-out <path>` overrides; `--repeats <N>` sets runs per
+//! engine, default 3). Exits non-zero when any app's engines disagree on
+//! output or virtual clock.
 
 use bench::figures::{self, ALL};
 use bench::{chaos, wallclock, Sizes, TraceSink};
@@ -117,7 +119,7 @@ fn main() {
     let mut chaos_seed: Option<u64> = None;
     let mut kill_seed: Option<u64> = None;
     let mut wallclock_mode = false;
-    let mut wallclock_out = "BENCH_5.json".to_string();
+    let mut wallclock_out = "BENCH_6.json".to_string();
     let mut repeats = 3usize;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {

@@ -1,31 +1,45 @@
 //! Execution-engine selection for kernel dispatches.
 //!
-//! Every dispatch runs on one of two engines:
+//! Every dispatch runs on one rung of a three-rung engine ladder:
 //!
+//! * [`Engine::Native`] — the work-group native engine
+//!   ([`crate::minicl::native`]): the validated register IR lowered once
+//!   per kernel to a direct-threaded handler chain with device functions
+//!   inlined, memory accesses pre-resolved per dispatch, and the work-item
+//!   loop hoisted around barrier-free code. This is the default.
 //! * [`Engine::Register`] — the register-IR engine
 //!   ([`crate::minicl::regir`]): stack bytecode lowered once per kernel to
 //!   typed register code with fused compare-branches and block-level op
-//!   accounting. This is the default.
+//!   accounting. Also the automatic fallback whenever the native lowering
+//!   declines a kernel (recursive device functions, frame shapes the
+//!   inliner cannot flatten).
 //! * [`Engine::Stack`] — the reference stack interpreter
-//!   ([`crate::minicl::interp`]). Also the automatic fallback whenever the
-//!   register lowering declines a kernel (depth-inconsistent hand-built
-//!   bytecode, ambiguous device-function returns).
+//!   ([`crate::minicl::interp`]). The bottom of the ladder: the fallback
+//!   whenever the register lowering declines a kernel
+//!   (depth-inconsistent hand-built bytecode, ambiguous device-function
+//!   returns).
 //!
-//! Both engines are deterministic and produce byte-identical buffers,
+//! All three engines are deterministic and produce byte-identical buffers,
 //! identical `group_ops` and identical traps — the engine choice changes
 //! *host wall-clock* only, never virtual time. The process-wide default can
-//! be overridden per kernel via [`crate::Kernel::set_engine`]; the wall-clock
-//! benchmark harness uses [`set_default_engine`] to time both sides.
+//! be overridden per kernel via [`crate::Kernel::set_engine`], process-wide
+//! via [`set_default_engine`], or from outside via the `OCLSIM_ENGINE`
+//! environment variable (`native` / `register` / `stack`), which sets the
+//! initial default before any dispatch runs — handy for A/B-debugging a
+//! binary without recompiling. The wall-clock benchmark harness uses
+//! [`set_default_engine`] to time all three rungs.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Which interpreter executes a kernel dispatch.
+/// Which execution engine runs a kernel dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
-    /// Reference stack-bytecode interpreter (and fallback path).
+    /// Reference stack-bytecode interpreter (bottom of the ladder).
     Stack,
     /// Register-IR engine compiled from the stack bytecode.
     Register,
+    /// Work-group native engine compiled from the register IR.
+    Native,
 }
 
 impl Engine {
@@ -34,33 +48,70 @@ impl Engine {
         match self {
             Engine::Stack => "stack",
             Engine::Register => "register",
+            Engine::Native => "native",
         }
     }
 }
 
-/// Process-wide default engine; 0 = register, 1 = stack.
-static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+/// Encoding for [`DEFAULT_ENGINE`]: 0 = native, 1 = stack, 2 = register.
+/// 255 marks "not initialised yet" — the first read resolves the
+/// `OCLSIM_ENGINE` environment override exactly once.
+const ENC_NATIVE: u8 = 0;
+const ENC_STACK: u8 = 1;
+const ENC_REGISTER: u8 = 2;
+const ENC_UNSET: u8 = 255;
 
-/// The process-wide default engine for new dispatches (register unless
+/// Process-wide default engine (see the encoding constants above).
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(ENC_UNSET);
+
+fn encode(engine: Engine) -> u8 {
+    match engine {
+        Engine::Native => ENC_NATIVE,
+        Engine::Stack => ENC_STACK,
+        Engine::Register => ENC_REGISTER,
+    }
+}
+
+/// Resolve the initial default: the `OCLSIM_ENGINE` environment variable
+/// when set to a known label, the native engine otherwise.
+fn initial_default() -> u8 {
+    match std::env::var("OCLSIM_ENGINE").as_deref() {
+        Ok("stack") => ENC_STACK,
+        Ok("register") => ENC_REGISTER,
+        _ => ENC_NATIVE,
+    }
+}
+
+/// The process-wide default engine for new dispatches (native unless
 /// changed). Kernels without a per-kernel override use this.
 pub fn default_engine() -> Engine {
-    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
-        1 => Engine::Stack,
-        _ => Engine::Register,
+    let mut v = DEFAULT_ENGINE.load(Ordering::Relaxed);
+    if v == ENC_UNSET {
+        v = initial_default();
+        // A concurrent set_default_engine wins: only replace UNSET.
+        v = match DEFAULT_ENGINE.compare_exchange(
+            ENC_UNSET,
+            v,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => v,
+            Err(current) => current,
+        };
+    }
+    match v {
+        ENC_STACK => Engine::Stack,
+        ENC_REGISTER => Engine::Register,
+        _ => Engine::Native,
     }
 }
 
 /// Set the process-wide default engine. Affects subsequent dispatches of
 /// every kernel without a per-kernel override; used by the wall-clock
-/// benchmark harness to time both engines on identical workloads.
+/// benchmark harness to time all three engines on identical workloads.
+/// Overrides any `OCLSIM_ENGINE` environment setting.
 pub fn set_default_engine(engine: Engine) {
-    DEFAULT_ENGINE.store(
-        match engine {
-            Engine::Register => 0,
-            Engine::Stack => 1,
-        },
-        Ordering::Relaxed,
-    );
+    DEFAULT_ENGINE.store(encode(engine), Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -71,6 +122,7 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(Engine::Stack.label(), "stack");
         assert_eq!(Engine::Register.label(), "register");
+        assert_eq!(Engine::Native.label(), "native");
     }
 
     #[test]
@@ -80,6 +132,8 @@ mod tests {
         assert_eq!(default_engine(), Engine::Stack);
         set_default_engine(Engine::Register);
         assert_eq!(default_engine(), Engine::Register);
+        set_default_engine(Engine::Native);
+        assert_eq!(default_engine(), Engine::Native);
         set_default_engine(orig);
     }
 }

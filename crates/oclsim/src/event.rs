@@ -131,13 +131,13 @@ impl Event {
     }
 
     /// Abstract ops retired by the dispatch (kernels) — 0 for transfers.
-    /// Identical on both execution engines for the same dispatch.
+    /// Identical on all three execution engines for the same dispatch.
     pub fn ops(&self) -> u64 {
         self.inner.ops
     }
 
     /// Label of the engine that executed the dispatch (`"stack"` /
-    /// `"register"`), or `None` for non-kernel commands.
+    /// `"register"` / `"native"`), or `None` for non-kernel commands.
     pub fn engine(&self) -> Option<&'static str> {
         self.inner.engine
     }

@@ -836,6 +836,7 @@ fn store_elem(
     write_val(bytes, byte, ty, v, gid).ok_or_else(|| oob(gid, byte, size, len))
 }
 
+#[inline(always)]
 pub(super) fn checked_offset(
     gid: [usize; 3],
     base: u32,

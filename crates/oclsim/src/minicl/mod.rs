@@ -16,6 +16,7 @@ pub mod ast;
 pub mod bytecode;
 pub mod codegen;
 pub mod interp;
+pub mod native;
 pub mod parser;
 pub mod pretty;
 pub mod regir;
@@ -25,6 +26,7 @@ pub use ast::{Space, Type as ClType, Unit};
 pub use bytecode::{Builtin, CompiledUnit, ElemTy, KernelInfo, Op};
 pub use codegen::{compile, Diag};
 pub use interp::{MemPool, NdStats, RtArg, Trap, Val};
+pub use native::NativeProgram;
 pub use parser::{parse, parse_expr, ParseError};
 pub use regir::RegProgram;
 pub use pretty::{emit_expr, emit_unit};

@@ -1,0 +1,3252 @@
+//! Work-group native engine: direct-threaded execution of the register IR.
+//!
+//! [`compile_native`] lowers a *validated* [`RegProgram`] one rung further,
+//! from interpreted register code to a pre-resolved handler chain that is
+//! dispatched with one indirect call per (possibly fused) instruction:
+//!
+//! * **Device-function inlining.** Every `Call` site is expanded in place
+//!   with its own register *window* — a fresh absolute register range that
+//!   plays the role of the callee frame. The PR 4/6 validator proved every
+//!   call shape consistent (arity, frame size, single return convention),
+//!   which is what licenses replacing the dynamic frame stack with
+//!   compile-time window assignment: no frame pushes, no frame pops, no
+//!   return-ip bookkeeping at run time. Recursive or uncompiled device
+//!   functions make the lowering decline and the dispatcher falls back to
+//!   the register engine.
+//! * **Pre-decoded handlers.** Each instruction becomes an `NInstr`: a
+//!   handler function pointer plus absolute register indices — no operand
+//!   decoding, no `match` on the opcode, no frame-base addition in the hot
+//!   loop. Conditional branches are specialised per comparison and
+//!   polarity, builtins per function, loads and stores per element type.
+//! * **Pre-resolved memory sites.** A load/store whose pointer register is
+//!   never written holds its dispatch template value for the whole run, so
+//!   the pointer is decoded *once per dispatch* into a `Site` (buffer
+//!   slot, local region, or private memory, with the read-only bit and any
+//!   unknown-slot trap pre-computed). The hot path keeps only the
+//!   `checked_offset` bounds test the validator could not discharge
+//!   statically.
+//! * **Superinstruction fusion.** Block-entry `Ops` charges fold into the
+//!   following instruction — every handler has a charge slot (`t` for
+//!   straight-line handlers, `imm` for branches), so op accounting costs
+//!   no dispatch of its own. Frequent adjacent pairs (loop increment +
+//!   compare-branch, address compute + load, load + load, load +
+//!   multiply-add, store + increment, …) collapse into one handler, and
+//!   the code is compacted — fused slots disappear and jump targets are
+//!   remapped — roughly halving dispatches on the benchmark hot loops.
+//! * **Work-group specialisation.** Barrier-free kernels run each
+//!   work-item straight through one reused register arena (pocl's
+//!   work-group function transformation, specialised to the no-barrier
+//!   case): per-item set-up is one `memcpy` of the locals/stack region and
+//!   a `fill(0)` of private memory. Kernels with barriers run the same
+//!   lockstep sweep as the register engine, resuming each item at its
+//!   saved instruction pointer.
+//!
+//! The engine is observationally identical to the stack and register
+//! engines: byte-identical buffers, identical `group_ops` (the `Ops`
+//! block-entry charges are kept as-is, fused but never re-associated),
+//! and identical trap messages/global-ids in the same order. The
+//! differential triangle in `tests/engine_diff.rs` pins all three engines
+//! together on every generated app kernel and the proptest corpus.
+
+use super::ast::Space;
+use super::bytecode::{Builtin, Cmp, ElemTy, KernelInfo};
+use super::interp::{
+    checked_offset, local_region_sizes, locals_template, oob, MemPool, NdStats, PtrV, RtArg, Trap,
+    Val, MAX_ITEM_OPS,
+};
+use super::regir::{read_reg, write_reg, RFunc, ROp, RVal, RegProgram};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Instruction format
+// ---------------------------------------------------------------------------
+
+/// Handler function: executes one (possibly fused) instruction and returns
+/// the next instruction index, or a halt sentinel (`>= IP_HALT_MIN`).
+type H = for<'a, 'b, 'c> fn(&'a mut NState<'b>, &'c NInstr, u32) -> u32;
+
+/// Halt sentinels returned in place of a next-instruction index.
+const IP_DONE: u32 = u32::MAX;
+const IP_BARRIER: u32 = u32::MAX - 1;
+const IP_TRAP: u32 = u32::MAX - 2;
+const IP_HALT_MIN: u32 = IP_TRAP;
+
+/// One pre-decoded native instruction: a handler pointer plus flat operand
+/// fields. Register fields (`a`..`g`) are *absolute* indices into the
+/// dispatch register file (windows already applied). `t` is the jump
+/// target for branch handlers and the folded block-entry op charge for
+/// every other handler; branches take their folded charge through `imm`
+/// instead, which otherwise carries a memory-site index, a constant, or a
+/// packed extra operand depending on the handler.
+#[derive(Clone, Copy)]
+struct NInstr {
+    f: H,
+    imm: u64,
+    t: u32,
+    a: u16,
+    b: u16,
+    c: u16,
+    d: u16,
+    e: u16,
+    g: u16,
+}
+
+impl std::fmt::Debug for NInstr {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("NInstr")
+            .field("imm", &self.imm)
+            .field("t", &self.t)
+            .field("a", &self.a)
+            .field("b", &self.b)
+            .field("c", &self.c)
+            .field("d", &self.d)
+            .field("e", &self.e)
+            .field("g", &self.g)
+            .finish()
+    }
+}
+
+/// Where a pre-resolved memory access lands. Resolved once per dispatch
+/// from the (never-written) pointer register's template value — including
+/// the *failure* cases, which must still trap at first execution with the
+/// exact message the register engine produces, not at resolve time.
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    kind: SiteKind,
+    slot: u32,
+    base: u32,
+    ro: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SiteKind {
+    Global,
+    Local,
+    Priv,
+    BadGlobal,
+    BadLocal,
+}
+
+/// Per-item execution state handed to every handler.
+struct NState<'a> {
+    regs: &'a mut [RVal],
+    priv_mem: &'a mut [u8],
+    bufs: &'a mut [Vec<u8>],
+    read_only: &'a [bool],
+    local_regions: &'a mut [Vec<u8>],
+    sites: &'a [Site],
+    gid: [usize; 3],
+    lid: [usize; 3],
+    group_id: [usize; 3],
+    global_size: [usize; 3],
+    local_size: [usize; 3],
+    num_groups: [usize; 3],
+    ops: u64,
+    /// Instruction index to resume at after a barrier.
+    resume: u32,
+    trap: Option<Trap>,
+}
+
+/// A kernel lowered to the native engine, ready to dispatch any number of
+/// times.
+///
+/// Produced by [`compile_native`] from an already-validated
+/// [`RegProgram`], executed by [`run_ndrange`]. Observationally identical
+/// to the register engine (buffers, `group_ops`, traps).
+///
+/// ```
+/// use oclsim::minicl::{self, native, regir};
+/// use oclsim::minicl::interp::{MemPool, RtArg};
+///
+/// // Lower a tiny kernel all the way down the ladder: source -> stack
+/// // bytecode -> register IR -> native, then dispatch over 4 items.
+/// let unit = minicl::parse("__kernel void dbl(__global float* a) {
+///     int i = get_global_id(0);
+///     a[i] = a[i] * 2.0f;
+/// }").unwrap();
+/// let compiled = minicl::compile(&unit).unwrap();
+/// let info = compiled.kernels.get("dbl").unwrap().clone();
+/// let reg = regir::compile_kernel(&compiled, &info).expect("register-lowerable");
+/// let prog = native::compile_native(&reg, &info).expect("native-lowerable");
+/// assert!(!prog.is_empty());
+///
+/// let mut pool = MemPool {
+///     bufs: vec![[1.0f32, 2.0, 3.0, 4.0].iter().flat_map(|v| v.to_le_bytes()).collect()],
+///     read_only: vec![false],
+/// };
+/// let stats = native::run_ndrange(
+///     &prog, &info, &[RtArg::Buf { pool_slot: 0 }], &mut pool, [4, 1, 1], [2, 1, 1],
+/// ).unwrap();
+/// assert_eq!(stats.items, 4);
+/// let out: Vec<f32> = pool.bufs[0].chunks(4)
+///     .map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+/// assert_eq!(out, vec![2.0, 4.0, 6.0, 8.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NativeProgram {
+    code: Vec<NInstr>,
+    entry: u32,
+    /// Total absolute registers: the main frame plus every inline window.
+    total_regs: u32,
+    /// End of the per-item reset span: the main frame's locals + canonical
+    /// stack slots. Everything at or above this is either a constant
+    /// (never written — enforced by the lowering) or an inline window
+    /// (written before read on every activation by the call sequence).
+    main_const_base: u16,
+    /// Static template tail covering `[main_const_base, total_regs)`:
+    /// the main constant pool followed by every window's zeroed locals and
+    /// constant pool.
+    template_static: Vec<RVal>,
+    /// Pointer register feeding each pre-resolved memory [`Site`]; decoded
+    /// per dispatch from the template.
+    site_specs: Vec<u16>,
+}
+
+impl NativeProgram {
+    /// Number of native instructions (fused pairs count once, plus their
+    /// padding slot).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the program has no instructions (never produced by
+    /// [`compile_native`], which emits at least a halt).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handler building blocks
+// ---------------------------------------------------------------------------
+
+// SAFETY argument for the unchecked register accesses in the handlers:
+// `compile_native` checks every register field of every emitted instruction
+// against `total_regs`, and both dispatch paths hand each handler a `regs`
+// slice of exactly `total_regs` elements. Instruction fetch is unchecked
+// too: every jump target is checked against the code length at lowering
+// time, and a fall-through `ip + 1` successor is checked to exist for
+// every non-terminal instruction.
+macro_rules! rg {
+    ($st:expr, $r:expr) => {
+        // SAFETY: see the module invariant above.
+        unsafe { *$st.regs.get_unchecked($r as usize) }
+    };
+}
+macro_rules! sw {
+    ($st:expr, $r:expr, $v:expr) => {{
+        let v = $v;
+        // SAFETY: see the module invariant above.
+        unsafe { *$st.regs.get_unchecked_mut($r as usize) = v };
+    }};
+}
+
+// Folded block-entry op charge. The lowering absorbs each `ROp::Ops(n)`
+// into the *following* instruction: straight-line handlers carry the
+// charge in `i.t` (their jump-target field is otherwise unused), branch
+// handlers carry it in `i.imm`. The charge is applied before the
+// instruction's own effects, so a budget trap fires at exactly the same
+// program point where the register engine charges the block.
+macro_rules! chgt {
+    ($st:expr, $i:expr) => {
+        if $i.t != 0 {
+            $st.ops += $i.t as u64;
+            if $st.ops > MAX_ITEM_OPS {
+                return trap_budget($st);
+            }
+        }
+    };
+}
+macro_rules! chgi {
+    ($st:expr, $i:expr) => {
+        if $i.imm != 0 {
+            $st.ops += $i.imm;
+            if $st.ops > MAX_ITEM_OPS {
+                return trap_budget($st);
+            }
+        }
+    };
+}
+
+#[cold]
+#[inline(never)]
+fn trap(st: &mut NState, message: String) -> u32 {
+    st.trap = Some(Trap {
+        message,
+        global_id: st.gid,
+    });
+    IP_TRAP
+}
+
+#[cold]
+#[inline(never)]
+fn trap_budget(st: &mut NState) -> u32 {
+    trap(
+        st,
+        "work-item exceeded the op budget (infinite loop?)".to_string(),
+    )
+}
+
+/// Load through a pre-resolved site. Trap order mirrors the register
+/// engine's `load`: `checked_offset` first, then the unknown-slot cases,
+/// then the bounds check against the region.
+#[inline(always)]
+fn load_site(st: &mut NState, site: usize, idx: i64, ty: ElemTy) -> Result<RVal, u32> {
+    // SAFETY: site indices are assigned densely at lowering time and the
+    // dispatch builds `sites` with exactly that many entries; `Global` /
+    // `Local` sites are only resolved when the slot was in range (see
+    // `resolve_site`), and neither collection changes during a dispatch.
+    let s = unsafe { *st.sites.get_unchecked(site) };
+    let size = ty.byte_size();
+    let byte = match checked_offset(st.gid, s.base, idx, size) {
+        Ok(b) => b,
+        Err(t) => {
+            st.trap = Some(t);
+            return Err(IP_TRAP);
+        }
+    };
+    let bytes: &[u8] = match s.kind {
+        // SAFETY: see above — slot range was proven at site resolution.
+        SiteKind::Global => unsafe { st.bufs.get_unchecked(s.slot as usize) },
+        SiteKind::Local => unsafe { st.local_regions.get_unchecked(s.slot as usize) },
+        SiteKind::Priv => st.priv_mem,
+        SiteKind::BadGlobal => {
+            return Err(trap(
+                st,
+                format!("pointer to unknown buffer slot {}", s.slot),
+            ))
+        }
+        SiteKind::BadLocal => {
+            return Err(trap(
+                st,
+                format!("pointer to unknown local region {}", s.slot),
+            ))
+        }
+    };
+    match read_reg(bytes, byte, ty) {
+        Some(v) => Ok(v),
+        None => {
+            let len = bytes.len();
+            st.trap = Some(oob(st.gid, byte, size, len));
+            Err(IP_TRAP)
+        }
+    }
+}
+
+/// Store through a pre-resolved site; trap order mirrors the register
+/// engine's `store` (`checked_offset`, unknown slot, read-only, bounds).
+#[inline(always)]
+fn store_site(st: &mut NState, site: usize, idx: i64, ty: ElemTy, v: RVal) -> Result<(), u32> {
+    // SAFETY: same invariants as `load_site`.
+    let s = unsafe { *st.sites.get_unchecked(site) };
+    let size = ty.byte_size();
+    let byte = match checked_offset(st.gid, s.base, idx, size) {
+        Ok(b) => b,
+        Err(t) => {
+            st.trap = Some(t);
+            return Err(IP_TRAP);
+        }
+    };
+    let bytes: &mut [u8] = match s.kind {
+        // SAFETY: see `load_site` — slot range proven at site resolution.
+        SiteKind::Global => unsafe { st.bufs.get_unchecked_mut(s.slot as usize) },
+        SiteKind::Local => unsafe { st.local_regions.get_unchecked_mut(s.slot as usize) },
+        SiteKind::Priv => st.priv_mem,
+        SiteKind::BadGlobal => {
+            return Err(trap(
+                st,
+                format!("pointer to unknown buffer slot {}", s.slot),
+            ))
+        }
+        SiteKind::BadLocal => {
+            return Err(trap(
+                st,
+                format!("pointer to unknown local region {}", s.slot),
+            ))
+        }
+    };
+    if s.ro {
+        return Err(trap(
+            st,
+            "write through const/__constant pointer".to_string(),
+        ));
+    }
+    let len = bytes.len();
+    match write_reg(bytes, byte, ty, v) {
+        Some(()) => Ok(()),
+        None => {
+            st.trap = Some(oob(st.gid, byte, size, len));
+            Err(IP_TRAP)
+        }
+    }
+}
+
+/// Dynamic load: decode the pointer register at run time (only used when
+/// the pointer register is written somewhere, e.g. a pointer passed into
+/// an inlined device function). Mirrors the register engine's `load`.
+fn dyn_load(st: &mut NState, p: PtrV, idx: i64, ty: ElemTy) -> Result<RVal, u32> {
+    let size = ty.byte_size();
+    let byte = match checked_offset(st.gid, p.base, idx, size) {
+        Ok(b) => b,
+        Err(t) => {
+            st.trap = Some(t);
+            return Err(IP_TRAP);
+        }
+    };
+    let bytes: &[u8] = match p.space {
+        Space::Private => st.priv_mem,
+        Space::Global | Space::Constant => {
+            let slot = p.slot as usize;
+            if slot >= st.bufs.len() {
+                return Err(trap(st, format!("pointer to unknown buffer slot {slot}")));
+            }
+            &st.bufs[slot]
+        }
+        Space::Local => {
+            let slot = p.slot as usize;
+            if slot >= st.local_regions.len() {
+                return Err(trap(st, format!("pointer to unknown local region {slot}")));
+            }
+            &st.local_regions[slot]
+        }
+    };
+    match read_reg(bytes, byte, ty) {
+        Some(v) => Ok(v),
+        None => {
+            let len = bytes.len();
+            st.trap = Some(oob(st.gid, byte, size, len));
+            Err(IP_TRAP)
+        }
+    }
+}
+
+/// Dynamic store; mirrors the register engine's `store`.
+fn dyn_store(st: &mut NState, p: PtrV, idx: i64, ty: ElemTy, v: RVal) -> Result<(), u32> {
+    let size = ty.byte_size();
+    let byte = match checked_offset(st.gid, p.base, idx, size) {
+        Ok(b) => b,
+        Err(t) => {
+            st.trap = Some(t);
+            return Err(IP_TRAP);
+        }
+    };
+    let bytes: &mut [u8] = match p.space {
+        Space::Private => st.priv_mem,
+        Space::Global | Space::Constant => {
+            let slot = p.slot as usize;
+            if slot >= st.bufs.len() {
+                return Err(trap(st, format!("pointer to unknown buffer slot {slot}")));
+            }
+            if st.read_only[slot] || p.space == Space::Constant {
+                return Err(trap(
+                    st,
+                    "write through const/__constant pointer".to_string(),
+                ));
+            }
+            &mut st.bufs[slot]
+        }
+        Space::Local => {
+            let slot = p.slot as usize;
+            if slot >= st.local_regions.len() {
+                return Err(trap(st, format!("pointer to unknown local region {slot}")));
+            }
+            &mut st.local_regions[slot]
+        }
+    };
+    let len = bytes.len();
+    match write_reg(bytes, byte, ty, v) {
+        Some(()) => Ok(()),
+        None => {
+            st.trap = Some(oob(st.gid, byte, size, len));
+            Err(IP_TRAP)
+        }
+    }
+}
+
+/// The direct-threaded dispatch loop: fetch, call handler, follow the
+/// returned instruction index until a halt sentinel comes back.
+#[inline(always)]
+fn exec(code: &[NInstr], mut ip: u32, st: &mut NState) -> u32 {
+    loop {
+        // SAFETY: jump targets and fall-through successors were checked
+        // against the code length at lowering time.
+        let i = unsafe { code.get_unchecked(ip as usize) };
+        let next = (i.f)(st, i, ip);
+        if next >= IP_HALT_MIN {
+            return next;
+        }
+        ip = next;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-instruction handlers
+// ---------------------------------------------------------------------------
+
+/// Comparison selected at monomorphisation time (0=Eq 1=Ne 2=Lt 3=Le 4=Gt
+/// 5=Ge) — each conditional branch gets its own specialised handler.
+#[inline(always)]
+fn cmpi_c<const C: u8>(a: i64, b: i64) -> bool {
+    match C {
+        0 => a == b,
+        1 => a != b,
+        2 => a < b,
+        3 => a <= b,
+        4 => a > b,
+        _ => a >= b,
+    }
+}
+
+#[inline(always)]
+fn cmpf_c<const C: u8>(a: f64, b: f64) -> bool {
+    match C {
+        0 => a == b,
+        1 => a != b,
+        2 => a < b,
+        3 => a <= b,
+        4 => a > b,
+        _ => a >= b,
+    }
+}
+
+const fn cmp_code(c: Cmp) -> u8 {
+    match c {
+        Cmp::Eq => 0,
+        Cmp::Ne => 1,
+        Cmp::Lt => 2,
+        Cmp::Le => 3,
+        Cmp::Gt => 4,
+        Cmp::Ge => 5,
+    }
+}
+
+/// Invert an integer comparison; exact for integers (unlike floats, where
+/// `!(a < b)` differs from `a >= b` under NaN — float branches keep both
+/// polarities instead).
+fn cmp_inv(c: Cmp) -> Cmp {
+    match c {
+        Cmp::Eq => Cmp::Ne,
+        Cmp::Ne => Cmp::Eq,
+        Cmp::Lt => Cmp::Ge,
+        Cmp::Ge => Cmp::Lt,
+        Cmp::Gt => Cmp::Le,
+        Cmp::Le => Cmp::Gt,
+    }
+}
+
+fn h_ops(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    st.ops += i.imm;
+    if st.ops > MAX_ITEM_OPS {
+        return trap_budget(st);
+    }
+    ip + 1
+}
+
+fn h_mov(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(st, i.a, rg!(st, i.b));
+    ip + 1
+}
+
+fn h_swap(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    st.regs.swap(i.a as usize, i.b as usize);
+    ip + 1
+}
+
+/// Integer binary op: `a = expr(b, c)`.
+macro_rules! hbi {
+    ($name:ident, $x:ident, $y:ident, $e:expr) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let ($x, $y) = (rg!(st, i.b).i(), rg!(st, i.c).i());
+            sw!(st, i.a, RVal::from_i($e));
+            ip + 1
+        }
+    };
+}
+hbi!(h_addi, x, y, x.wrapping_add(y));
+hbi!(h_subi, x, y, x.wrapping_sub(y));
+hbi!(h_muli, x, y, x.wrapping_mul(y));
+hbi!(h_shl, x, y, x.wrapping_shl(y as u32));
+hbi!(h_shr, x, y, x.wrapping_shr(y as u32));
+hbi!(h_band, x, y, x & y);
+hbi!(h_bor, x, y, x | y);
+hbi!(h_bxor, x, y, x ^ y);
+hbi!(h_mini, x, y, x.min(y));
+hbi!(h_maxi, x, y, x.max(y));
+
+fn h_divi(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (x, y) = (rg!(st, i.b).i(), rg!(st, i.c).i());
+    if y == 0 {
+        return trap(st, "integer division by zero".to_string());
+    }
+    sw!(st, i.a, RVal::from_i(x.wrapping_div(y)));
+    ip + 1
+}
+
+fn h_remi(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (x, y) = (rg!(st, i.b).i(), rg!(st, i.c).i());
+    if y == 0 {
+        return trap(st, "integer remainder by zero".to_string());
+    }
+    sw!(st, i.a, RVal::from_i(x.wrapping_rem(y)));
+    ip + 1
+}
+
+/// Float binary op: `a = expr(b, c)`.
+macro_rules! hbf {
+    ($name:ident, $x:ident, $y:ident, $e:expr) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let ($x, $y) = (rg!(st, i.b).f(), rg!(st, i.c).f());
+            sw!(st, i.a, RVal::from_f($e));
+            ip + 1
+        }
+    };
+}
+hbf!(h_addf, x, y, x + y);
+hbf!(h_subf, x, y, x - y);
+hbf!(h_mulf, x, y, x * y);
+hbf!(h_divf, x, y, x / y);
+hbf!(h_pow, x, y, x.powf(y));
+hbf!(h_fmin, x, y, x.min(y));
+hbf!(h_fmax, x, y, x.max(y));
+hbf!(h_m2f_other, x, _y, x);
+
+/// Unary int op: `a = expr(b)`.
+macro_rules! hui {
+    ($name:ident, $x:ident, $e:expr) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let $x = rg!(st, i.b).i();
+            sw!(st, i.a, RVal::from_i($e));
+            ip + 1
+        }
+    };
+}
+hui!(h_negi, x, x.wrapping_neg());
+hui!(h_bnot, x, !x);
+hui!(h_lnot, x, (x == 0) as i64);
+hui!(h_absi, x, x.abs());
+
+/// Unary float op: `a = expr(b)`.
+macro_rules! huf {
+    ($name:ident, $x:ident, $e:expr) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let $x = rg!(st, i.b).f();
+            sw!(st, i.a, RVal::from_f($e));
+            ip + 1
+        }
+    };
+}
+huf!(h_negf, x, -x);
+huf!(h_sqrt, x, x.sqrt());
+huf!(h_rsqrt, x, 1.0 / x.sqrt());
+huf!(h_fabs, x, x.abs());
+huf!(h_floor, x, x.floor());
+huf!(h_ceil, x, x.ceil());
+huf!(h_exp, x, x.exp());
+huf!(h_log, x, x.ln());
+huf!(h_sin, x, x.sin());
+huf!(h_cos, x, x.cos());
+huf!(h_m1_other, x, x);
+
+fn h_i2f(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(st, i.a, RVal::from_f(rg!(st, i.b).i() as f64));
+    ip + 1
+}
+
+fn h_f2i(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let x = rg!(st, i.b).f();
+    sw!(st, i.a, RVal::from_i(if x.is_nan() { 0 } else { x as i64 }));
+    ip + 1
+}
+
+/// Float4 binary op: `a = expr(b, c)` lane-wise.
+macro_rules! hbf4 {
+    ($name:ident, $x:ident, $y:ident, $e:expr) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let ($x, $y) = (rg!(st, i.b).f4(), rg!(st, i.c).f4());
+            sw!(st, i.a, RVal::from_f4($e));
+            ip + 1
+        }
+    };
+}
+hbf4!(h_addf4, x, y, [x[0] + y[0], x[1] + y[1], x[2] + y[2], x[3] + y[3]]);
+hbf4!(h_subf4, x, y, [x[0] - y[0], x[1] - y[1], x[2] - y[2], x[3] - y[3]]);
+hbf4!(h_mulf4, x, y, [x[0] * y[0], x[1] * y[1], x[2] * y[2], x[3] * y[3]]);
+hbf4!(h_divf4, x, y, [x[0] / y[0], x[1] / y[1], x[2] / y[2], x[3] / y[3]]);
+
+fn h_splatf4(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let x = rg!(st, i.b).f() as f32;
+    sw!(st, i.a, RVal::from_f4([x; 4]));
+    ip + 1
+}
+
+fn h_makef4(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let v = [
+        rg!(st, i.b).f() as f32,
+        rg!(st, i.c).f() as f32,
+        rg!(st, i.d).f() as f32,
+        rg!(st, i.e).f() as f32,
+    ];
+    sw!(st, i.a, RVal::from_f4(v));
+    ip + 1
+}
+
+fn h_getcomp(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(st, i.a, RVal::from_f(rg!(st, i.b).f4()[i.g as usize] as f64));
+    ip + 1
+}
+
+fn h_setcomp(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let mut v = rg!(st, i.b).f4();
+    v[i.g as usize] = rg!(st, i.c).f() as f32;
+    sw!(st, i.a, RVal::from_f4(v));
+    ip + 1
+}
+
+fn h_dot(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (x, y) = (rg!(st, i.b).f4(), rg!(st, i.c).f4());
+    let mut acc = 0f64;
+    for k in 0..4 {
+        acc += x[k] as f64 * y[k] as f64;
+    }
+    sw!(st, i.a, RVal::from_f(acc));
+    ip + 1
+}
+
+fn h_clamp(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (x, l, h) = (rg!(st, i.b).f(), rg!(st, i.c).f(), rg!(st, i.d).f());
+    sw!(st, i.a, RVal::from_f(x.max(l).min(h)));
+    ip + 1
+}
+
+fn h_mad(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_f(rg!(st, i.b).f() * rg!(st, i.c).f() + rg!(st, i.d).f())
+    );
+    ip + 1
+}
+
+/// `dst = c + a * b` — operand order preserved for float identity.
+fn h_madrf(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_f(rg!(st, i.b).f() + rg!(st, i.c).f() * rg!(st, i.d).f())
+    );
+    ip + 1
+}
+
+fn h_madi(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(
+            rg!(st, i.b)
+                .i()
+                .wrapping_mul(rg!(st, i.c).i())
+                .wrapping_add(rg!(st, i.d).i())
+        )
+    );
+    ip + 1
+}
+
+fn h_cmpi_c<const C: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(cmpi_c::<C>(rg!(st, i.b).i(), rg!(st, i.c).i()) as i64)
+    );
+    ip + 1
+}
+
+fn h_cmpf_c<const C: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(cmpf_c::<C>(rg!(st, i.b).f(), rg!(st, i.c).f()) as i64)
+    );
+    ip + 1
+}
+
+fn h_jmp(st: &mut NState, i: &NInstr, _ip: u32) -> u32 {
+    chgi!(st, i);
+    i.t
+}
+
+fn h_jz(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgi!(st, i);
+    if rg!(st, i.a).i() == 0 {
+        i.t
+    } else {
+        ip + 1
+    }
+}
+
+fn h_jnz(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgi!(st, i);
+    if rg!(st, i.a).i() != 0 {
+        i.t
+    } else {
+        ip + 1
+    }
+}
+
+/// Integer compare-and-branch, canonicalised to `when == true` (the
+/// lowering inverts the comparison instead — exact for integers).
+fn h_jci_c<const C: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgi!(st, i);
+    if cmpi_c::<C>(rg!(st, i.a).i(), rg!(st, i.b).i()) {
+        i.t
+    } else {
+        ip + 1
+    }
+}
+
+/// Float compare-and-branch: both polarities kept (NaN makes inversion
+/// inexact for floats).
+fn h_jcf_c<const C: u8, const W: bool>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgi!(st, i);
+    if cmpf_c::<C>(rg!(st, i.a).f(), rg!(st, i.b).f()) == W {
+        i.t
+    } else {
+        ip + 1
+    }
+}
+
+fn jci_h(c: Cmp) -> H {
+    match cmp_code(c) {
+        0 => h_jci_c::<0>,
+        1 => h_jci_c::<1>,
+        2 => h_jci_c::<2>,
+        3 => h_jci_c::<3>,
+        4 => h_jci_c::<4>,
+        _ => h_jci_c::<5>,
+    }
+}
+
+fn jcf_h(c: Cmp, when: bool) -> H {
+    match (cmp_code(c), when) {
+        (0, true) => h_jcf_c::<0, true>,
+        (1, true) => h_jcf_c::<1, true>,
+        (2, true) => h_jcf_c::<2, true>,
+        (3, true) => h_jcf_c::<3, true>,
+        (4, true) => h_jcf_c::<4, true>,
+        (5, true) => h_jcf_c::<5, true>,
+        (0, false) => h_jcf_c::<0, false>,
+        (1, false) => h_jcf_c::<1, false>,
+        (2, false) => h_jcf_c::<2, false>,
+        (3, false) => h_jcf_c::<3, false>,
+        (4, false) => h_jcf_c::<4, false>,
+        _ => h_jcf_c::<5, false>,
+    }
+}
+
+fn cmpi_h(c: Cmp) -> H {
+    match cmp_code(c) {
+        0 => h_cmpi_c::<0>,
+        1 => h_cmpi_c::<1>,
+        2 => h_cmpi_c::<2>,
+        3 => h_cmpi_c::<3>,
+        4 => h_cmpi_c::<4>,
+        _ => h_cmpi_c::<5>,
+    }
+}
+
+fn cmpf_h(c: Cmp) -> H {
+    match cmp_code(c) {
+        0 => h_cmpf_c::<0>,
+        1 => h_cmpf_c::<1>,
+        2 => h_cmpf_c::<2>,
+        3 => h_cmpf_c::<3>,
+        4 => h_cmpf_c::<4>,
+        _ => h_cmpf_c::<5>,
+    }
+}
+
+/// Sited load, element type selected at monomorphisation time
+/// (0=I32 1=I64 2=F32 3=F4). `a`=dst, `b`=idx, `imm`=site.
+fn h_ld_c<const T: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let idx = rg!(st, i.b).i();
+    match load_site(st, i.imm as usize, idx, ty_of::<T>()) {
+        Ok(v) => {
+            sw!(st, i.a, v);
+            ip + 1
+        }
+        Err(h) => h,
+    }
+}
+
+/// Sited store. `b`=idx, `c`=val, `imm`=site.
+fn h_st_c<const T: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (idx, v) = (rg!(st, i.b).i(), rg!(st, i.c));
+    match store_site(st, i.imm as usize, idx, ty_of::<T>(), v) {
+        Ok(()) => ip + 1,
+        Err(h) => h,
+    }
+}
+
+const fn ty_of<const T: u8>() -> ElemTy {
+    match T {
+        0 => ElemTy::I32,
+        1 => ElemTy::I64,
+        2 => ElemTy::F32,
+        _ => ElemTy::F4,
+    }
+}
+
+const fn ty_code(ty: ElemTy) -> u8 {
+    match ty {
+        ElemTy::I32 => 0,
+        ElemTy::I64 => 1,
+        ElemTy::F32 => 2,
+        ElemTy::F4 => 3,
+    }
+}
+
+fn ld_h(ty: ElemTy) -> H {
+    match ty_code(ty) {
+        0 => h_ld_c::<0>,
+        1 => h_ld_c::<1>,
+        2 => h_ld_c::<2>,
+        _ => h_ld_c::<3>,
+    }
+}
+
+fn st_h(ty: ElemTy) -> H {
+    match ty_code(ty) {
+        0 => h_st_c::<0>,
+        1 => h_st_c::<1>,
+        2 => h_st_c::<2>,
+        _ => h_st_c::<3>,
+    }
+}
+
+/// Dynamic load: `a`=dst, `b`=idx, `c`=ptr reg, `g`=element-type code.
+fn h_ld_dyn(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (p, idx) = (rg!(st, i.c).ptr(), rg!(st, i.b).i());
+    let ty = match i.g {
+        0 => ElemTy::I32,
+        1 => ElemTy::I64,
+        2 => ElemTy::F32,
+        _ => ElemTy::F4,
+    };
+    match dyn_load(st, p, idx, ty) {
+        Ok(v) => {
+            sw!(st, i.a, v);
+            ip + 1
+        }
+        Err(h) => h,
+    }
+}
+
+/// Dynamic store: `b`=idx, `c`=val, `d`=ptr reg, `g`=element-type code.
+fn h_st_dyn(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (p, idx, v) = (rg!(st, i.d).ptr(), rg!(st, i.b).i(), rg!(st, i.c));
+    let ty = match i.g {
+        0 => ElemTy::I32,
+        1 => ElemTy::I64,
+        2 => ElemTy::F32,
+        _ => ElemTy::F4,
+    };
+    match dyn_store(st, p, idx, ty, v) {
+        Ok(()) => ip + 1,
+        Err(h) => h,
+    }
+}
+
+/// Work-item id builtin with a compile-time-known dimension (`imm`).
+macro_rules! hid_const {
+    ($name:ident, $field:ident) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            sw!(st, i.a, RVal::from_i(st.$field[i.imm as usize] as i64));
+            ip + 1
+        }
+    };
+}
+hid_const!(h_gid_c, gid);
+hid_const!(h_lid_c, lid);
+hid_const!(h_grp_c, group_id);
+hid_const!(h_gsz_c, global_size);
+hid_const!(h_lsz_c, local_size);
+hid_const!(h_ngr_c, num_groups);
+
+/// Work-item id builtin with a dynamic dimension register (`b`);
+/// out-of-range dimensions read `imm` (0 for ids, 1 for sizes).
+macro_rules! hid_dyn {
+    ($name:ident, $field:ident) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let d = rg!(st, i.b).i();
+            let v = if (0..=2).contains(&d) {
+                st.$field[d as usize] as i64
+            } else {
+                i.imm as i64
+            };
+            sw!(st, i.a, RVal::from_i(v));
+            ip + 1
+        }
+    };
+}
+hid_dyn!(h_gid_d, gid);
+hid_dyn!(h_lid_d, lid);
+hid_dyn!(h_grp_d, group_id);
+hid_dyn!(h_gsz_d, global_size);
+hid_dyn!(h_lsz_d, local_size);
+hid_dyn!(h_ngr_d, num_groups);
+
+/// Constant integer result (out-of-range dim with a known register).
+fn h_const_i(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(st, i.a, RVal::from_i(i.imm as i64));
+    ip + 1
+}
+
+/// Inline-call prologue: copy `c` argument registers from `b..` to `a..`.
+fn h_copyargs(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    st.regs
+        .copy_within(i.b as usize..(i.b + i.c) as usize, i.a as usize);
+    ip + 1
+}
+
+/// Inline-call prologue: zero `b` callee locals starting at `a`.
+fn h_zerolocals(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    st.regs[i.a as usize..(i.a + i.b) as usize].fill(RVal::default());
+    ip + 1
+}
+
+fn h_barrier(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    st.resume = ip + 1;
+    IP_BARRIER
+}
+
+fn h_done(st: &mut NState, i: &NInstr, _ip: u32) -> u32 {
+    chgt!(st, i);
+    IP_DONE
+}
+
+// ---------------------------------------------------------------------------
+// Fused superinstruction handlers
+// ---------------------------------------------------------------------------
+//
+// Each fused handler executes two adjacent instructions in one dispatch.
+// The code stream is *compacted*: a fused pair occupies a single slot and
+// falls through to `ip + 1` like any other instruction (jump targets are
+// remapped by the lowering). Fusion never re-orders or re-associates: the
+// first instruction's effects (including its trap, if any) land before the
+// second's, so the observable behaviour is exactly that of the unfused
+// pair. Like the single handlers, straight-line pairs carry a folded
+// block-entry op charge in `t` and branch pairs carry it in `imm`.
+
+/// Loop increment + compare-and-branch: `a = b + c; if (d cmp e) goto t`.
+fn h_addi_jci_c<const C: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgi!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(rg!(st, i.b).i().wrapping_add(rg!(st, i.c).i()))
+    );
+    if cmpi_c::<C>(rg!(st, i.d).i(), rg!(st, i.e).i()) {
+        i.t
+    } else {
+        ip + 1
+    }
+}
+
+/// Loop decrement + compare-and-branch: `a = b - c; if (d cmp e) goto t`.
+fn h_subi_jci_c<const C: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgi!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(rg!(st, i.b).i().wrapping_sub(rg!(st, i.c).i()))
+    );
+    if cmpi_c::<C>(rg!(st, i.d).i(), rg!(st, i.e).i()) {
+        i.t
+    } else {
+        ip + 1
+    }
+}
+
+/// Two adjacent sited loads of the same element type:
+/// `a = [site1][b]; c = [site2][d]`, `imm = site1 | site2 << 32`.
+fn h_ld_ld_c<const T: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let idx1 = rg!(st, i.b).i();
+    match load_site(st, (i.imm & 0xffff_ffff) as usize, idx1, ty_of::<T>()) {
+        Ok(v) => sw!(st, i.a, v),
+        Err(h) => return h,
+    }
+    let idx2 = rg!(st, i.d).i();
+    match load_site(st, (i.imm >> 32) as usize, idx2, ty_of::<T>()) {
+        Ok(v) => {
+            sw!(st, i.c, v);
+            ip + 1
+        }
+        Err(h) => h,
+    }
+}
+
+/// Integer add + sited load: `a = b + c; d = [site][e]`.
+fn h_addi_ld_c<const T: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(rg!(st, i.b).i().wrapping_add(rg!(st, i.c).i()))
+    );
+    let idx = rg!(st, i.e).i();
+    match load_site(st, i.imm as usize, idx, ty_of::<T>()) {
+        Ok(v) => {
+            sw!(st, i.d, v);
+            ip + 1
+        }
+        Err(h) => h,
+    }
+}
+
+/// Integer multiply-add + sited load: `a = b * c + d; e = [site][g]`
+/// (the matmul row/column address-compute + fetch pair).
+fn h_madi_ld_c<const T: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(
+            rg!(st, i.b)
+                .i()
+                .wrapping_mul(rg!(st, i.c).i())
+                .wrapping_add(rg!(st, i.d).i())
+        )
+    );
+    let idx = rg!(st, i.g).i();
+    match load_site(st, i.imm as usize, idx, ty_of::<T>()) {
+        Ok(v) => {
+            sw!(st, i.e, v);
+            ip + 1
+        }
+        Err(h) => h,
+    }
+}
+
+/// Sited store + integer add: `[site][b] = c; a = d + e`
+/// (store result, bump the index).
+fn h_st_addi_c<const T: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let (idx, v) = (rg!(st, i.b).i(), rg!(st, i.c));
+    if let Err(h) = store_site(st, i.imm as usize, idx, ty_of::<T>(), v) {
+        return h;
+    }
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(rg!(st, i.d).i().wrapping_add(rg!(st, i.e).i()))
+    );
+    ip + 1
+}
+
+/// Sited float load + multiply-add `c + a * b`:
+/// `a = [site][b]; c = d + e * g` (the inner-product hot pair).
+fn h_ld_madrf(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let idx = rg!(st, i.b).i();
+    match load_site(st, i.imm as usize, idx, ElemTy::F32) {
+        Ok(v) => sw!(st, i.a, v),
+        Err(h) => return h,
+    }
+    sw!(
+        st,
+        i.c,
+        RVal::from_f(rg!(st, i.d).f() + rg!(st, i.e).f() * rg!(st, i.g).f())
+    );
+    ip + 1
+}
+
+/// Sited float load + multiply-add `a * b + c`.
+fn h_ld_mad(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let idx = rg!(st, i.b).i();
+    match load_site(st, i.imm as usize, idx, ElemTy::F32) {
+        Ok(v) => sw!(st, i.a, v),
+        Err(h) => return h,
+    }
+    sw!(
+        st,
+        i.c,
+        RVal::from_f(rg!(st, i.d).f() * rg!(st, i.e).f() + rg!(st, i.g).f())
+    );
+    ip + 1
+}
+
+/// Sited float load + float binary op (selected by `B`: 0=add 1=sub
+/// 2=mul): `a = [site][b]; c = d op e`.
+fn h_ld_fbin_c<const B: u8>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let idx = rg!(st, i.b).i();
+    match load_site(st, i.imm as usize, idx, ElemTy::F32) {
+        Ok(v) => sw!(st, i.a, v),
+        Err(h) => return h,
+    }
+    let (x, y) = (rg!(st, i.d).f(), rg!(st, i.e).f());
+    let v = match B {
+        0 => x + y,
+        1 => x - y,
+        _ => x * y,
+    };
+    sw!(st, i.c, RVal::from_f(v));
+    ip + 1
+}
+
+/// Float multiply-add (either operand order, selected by `M`) followed by
+/// an integer add: `a = mad(b, c, d); e = g + imm`.
+fn h_madf_addi_c<const M: bool>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    let v = if M {
+        rg!(st, i.b).f() * rg!(st, i.c).f() + rg!(st, i.d).f()
+    } else {
+        rg!(st, i.b).f() + rg!(st, i.c).f() * rg!(st, i.d).f()
+    };
+    sw!(st, i.a, RVal::from_f(v));
+    sw!(
+        st,
+        i.e,
+        RVal::from_i(rg!(st, i.g).i().wrapping_add(rg!(st, imm_reg(i)).i()))
+    );
+    ip + 1
+}
+
+/// Float multiply + multiply-add (order selected by `M`):
+/// `a = b * c; d = mad(e, g, imm)`.
+fn h_mulf_madf_c<const M: bool>(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(st, i.a, RVal::from_f(rg!(st, i.b).f() * rg!(st, i.c).f()));
+    let v = if M {
+        rg!(st, i.e).f() * rg!(st, i.g).f() + rg!(st, imm_reg(i)).f()
+    } else {
+        rg!(st, i.e).f() + rg!(st, i.g).f() * rg!(st, imm_reg(i)).f()
+    };
+    sw!(st, i.d, RVal::from_f(v));
+    ip + 1
+}
+
+/// Integer multiply-add followed by an integer add.
+fn h_madi_addi(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(
+        st,
+        i.a,
+        RVal::from_i(
+            rg!(st, i.b)
+                .i()
+                .wrapping_mul(rg!(st, i.c).i())
+                .wrapping_add(rg!(st, i.d).i())
+        )
+    );
+    sw!(
+        st,
+        i.e,
+        RVal::from_i(rg!(st, i.g).i().wrapping_add(rg!(st, imm_reg(i)).i()))
+    );
+    ip + 1
+}
+
+/// Register copy + integer add: `a = b; c = d + e`.
+fn h_mov_addi(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+    chgt!(st, i);
+    sw!(st, i.a, rg!(st, i.b));
+    sw!(
+        st,
+        i.c,
+        RVal::from_i(rg!(st, i.d).i().wrapping_add(rg!(st, i.e).i()))
+    );
+    ip + 1
+}
+
+/// Seventh register operand, packed into the low 16 bits of `imm` when
+/// the six named fields are exhausted.
+#[inline(always)]
+fn imm_reg(i: &NInstr) -> u16 {
+    i.imm as u16
+}
+
+/// Two adjacent float binary ops: `a = b op1 c; d = e op2 g`.
+macro_rules! hff {
+    ($name:ident, $x:ident, $y:ident, $e1:expr, $u:ident, $v:ident, $e2:expr) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let ($x, $y) = (rg!(st, i.b).f(), rg!(st, i.c).f());
+            sw!(st, i.a, RVal::from_f($e1));
+            let ($u, $v) = (rg!(st, i.e).f(), rg!(st, i.g).f());
+            sw!(st, i.d, RVal::from_f($e2));
+            ip + 1
+        }
+    };
+}
+hff!(h_ff_aa, x, y, x + y, u, v, u + v);
+hff!(h_ff_as, x, y, x + y, u, v, u - v);
+hff!(h_ff_am, x, y, x + y, u, v, u * v);
+hff!(h_ff_sa, x, y, x - y, u, v, u + v);
+hff!(h_ff_ss, x, y, x - y, u, v, u - v);
+hff!(h_ff_sm, x, y, x - y, u, v, u * v);
+hff!(h_ff_ma, x, y, x * y, u, v, u + v);
+hff!(h_ff_ms, x, y, x * y, u, v, u - v);
+hff!(h_ff_mm, x, y, x * y, u, v, u * v);
+
+/// Two adjacent integer binary ops: `a = b op1 c; d = e op2 g`.
+macro_rules! hii {
+    ($name:ident, $x:ident, $y:ident, $e1:expr, $u:ident, $v:ident, $e2:expr) => {
+        fn $name(st: &mut NState, i: &NInstr, ip: u32) -> u32 {
+            chgt!(st, i);
+            let ($x, $y) = (rg!(st, i.b).i(), rg!(st, i.c).i());
+            sw!(st, i.a, RVal::from_i($e1));
+            let ($u, $v) = (rg!(st, i.e).i(), rg!(st, i.g).i());
+            sw!(st, i.d, RVal::from_i($e2));
+            ip + 1
+        }
+    };
+}
+hii!(h_ii_aa, x, y, x.wrapping_add(y), u, v, u.wrapping_add(v));
+hii!(h_ii_as, x, y, x.wrapping_add(y), u, v, u.wrapping_sub(v));
+hii!(h_ii_am, x, y, x.wrapping_add(y), u, v, u.wrapping_mul(v));
+hii!(h_ii_sa, x, y, x.wrapping_sub(y), u, v, u.wrapping_add(v));
+hii!(h_ii_ss, x, y, x.wrapping_sub(y), u, v, u.wrapping_sub(v));
+hii!(h_ii_sm, x, y, x.wrapping_sub(y), u, v, u.wrapping_mul(v));
+hii!(h_ii_ma, x, y, x.wrapping_mul(y), u, v, u.wrapping_add(v));
+hii!(h_ii_ms, x, y, x.wrapping_mul(y), u, v, u.wrapping_sub(v));
+hii!(h_ii_mm, x, y, x.wrapping_mul(y), u, v, u.wrapping_mul(v));
+
+fn addi_jci_h(c: Cmp) -> H {
+    match cmp_code(c) {
+        0 => h_addi_jci_c::<0>,
+        1 => h_addi_jci_c::<1>,
+        2 => h_addi_jci_c::<2>,
+        3 => h_addi_jci_c::<3>,
+        4 => h_addi_jci_c::<4>,
+        _ => h_addi_jci_c::<5>,
+    }
+}
+
+fn subi_jci_h(c: Cmp) -> H {
+    match cmp_code(c) {
+        0 => h_subi_jci_c::<0>,
+        1 => h_subi_jci_c::<1>,
+        2 => h_subi_jci_c::<2>,
+        3 => h_subi_jci_c::<3>,
+        4 => h_subi_jci_c::<4>,
+        _ => h_subi_jci_c::<5>,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flattening: inline every call, assign absolute register windows
+// ---------------------------------------------------------------------------
+
+/// Flattened op: register IR with absolute registers, calls expanded to
+/// prologue pseudo-ops plus the callee body, returns rewritten to jumps.
+#[derive(Debug, Clone)]
+enum FOp {
+    R(ROp),
+    /// Inline-call prologue: copy `n` argument registers `src.. -> dst..`.
+    CopyArgs { dst: u16, src: u16, n: u16 },
+    /// Inline-call prologue: zero `n` callee locals starting at `at`.
+    ZeroLocals { at: u16, n: u16 },
+    /// Kernel-main return: halt the work item.
+    Done,
+}
+
+#[derive(Clone, Copy)]
+enum RetCtx {
+    /// Returns halt the item.
+    Main,
+    /// Returns jump past the inlined body; `RetV` first moves the value
+    /// into the caller's `args_at` slot (the same absolute register the
+    /// register engine's frame machinery writes).
+    Inline { dst: u16 },
+}
+
+struct Flattener<'p> {
+    prog: &'p RegProgram,
+    out: Vec<FOp>,
+    /// Main frame plus every window allocated so far.
+    total_regs: u32,
+    /// Static register template for `[prog.nregs, total_regs)`: zeroed
+    /// locals/stack then the constant pool, per window in order.
+    tail: Vec<RVal>,
+    /// `(absolute register, value)` of every constant-pool register.
+    known_consts: Vec<(u32, RVal)>,
+    /// Absolute `[lo, hi)` ranges that must never be written.
+    const_regions: Vec<(u32, u32)>,
+}
+
+/// Add `w` to every register operand of a non-control op; returns the
+/// op and its original jump target (to be fixed once the range's layout
+/// is known). `Call`/`Ret`/`RetV` are handled by the flattener itself.
+fn remap(op: ROp, w: u16) -> (ROp, Option<u32>) {
+    use ROp::*;
+    let op = match op {
+        Ops(n) => Ops(n),
+        Mov { dst, src } => Mov { dst: dst + w, src: src + w },
+        Swap { a, b } => Swap { a: a + w, b: b + w },
+        AddI { dst, a, b } => AddI { dst: dst + w, a: a + w, b: b + w },
+        SubI { dst, a, b } => SubI { dst: dst + w, a: a + w, b: b + w },
+        MulI { dst, a, b } => MulI { dst: dst + w, a: a + w, b: b + w },
+        DivI { dst, a, b } => DivI { dst: dst + w, a: a + w, b: b + w },
+        RemI { dst, a, b } => RemI { dst: dst + w, a: a + w, b: b + w },
+        Shl { dst, a, b } => Shl { dst: dst + w, a: a + w, b: b + w },
+        Shr { dst, a, b } => Shr { dst: dst + w, a: a + w, b: b + w },
+        BAnd { dst, a, b } => BAnd { dst: dst + w, a: a + w, b: b + w },
+        BOr { dst, a, b } => BOr { dst: dst + w, a: a + w, b: b + w },
+        BXor { dst, a, b } => BXor { dst: dst + w, a: a + w, b: b + w },
+        NegI { dst, src } => NegI { dst: dst + w, src: src + w },
+        BNot { dst, src } => BNot { dst: dst + w, src: src + w },
+        LNot { dst, src } => LNot { dst: dst + w, src: src + w },
+        AddF { dst, a, b } => AddF { dst: dst + w, a: a + w, b: b + w },
+        SubF { dst, a, b } => SubF { dst: dst + w, a: a + w, b: b + w },
+        MulF { dst, a, b } => MulF { dst: dst + w, a: a + w, b: b + w },
+        DivF { dst, a, b } => DivF { dst: dst + w, a: a + w, b: b + w },
+        NegF { dst, src } => NegF { dst: dst + w, src: src + w },
+        I2F { dst, src } => I2F { dst: dst + w, src: src + w },
+        F2I { dst, src } => F2I { dst: dst + w, src: src + w },
+        AddF4 { dst, a, b } => AddF4 { dst: dst + w, a: a + w, b: b + w },
+        SubF4 { dst, a, b } => SubF4 { dst: dst + w, a: a + w, b: b + w },
+        MulF4 { dst, a, b } => MulF4 { dst: dst + w, a: a + w, b: b + w },
+        DivF4 { dst, a, b } => DivF4 { dst: dst + w, a: a + w, b: b + w },
+        SplatF4 { dst, src } => SplatF4 { dst: dst + w, src: src + w },
+        MakeF4 { dst, src } => MakeF4 {
+            dst: dst + w,
+            src: [src[0] + w, src[1] + w, src[2] + w, src[3] + w],
+        },
+        GetComp { dst, src, c } => GetComp { dst: dst + w, src: src + w, c },
+        SetComp { dst, vec, scl, c } => SetComp {
+            dst: dst + w,
+            vec: vec + w,
+            scl: scl + w,
+            c,
+        },
+        CmpI { cmp, dst, a, b } => CmpI { cmp, dst: dst + w, a: a + w, b: b + w },
+        CmpF { cmp, dst, a, b } => CmpF { cmp, dst: dst + w, a: a + w, b: b + w },
+        Jmp { t } => return (Jmp { t: 0 }, Some(t)),
+        Jz { c, t } => return (Jz { c: c + w, t: 0 }, Some(t)),
+        Jnz { c, t } => return (Jnz { c: c + w, t: 0 }, Some(t)),
+        JcI { cmp, a, b, t, when } => {
+            return (JcI { cmp, a: a + w, b: b + w, t: 0, when }, Some(t))
+        }
+        JcF { cmp, a, b, t, when } => {
+            return (JcF { cmp, a: a + w, b: b + w, t: 0, when }, Some(t))
+        }
+        Load { ty, dst, ptr, idx } => Load {
+            ty,
+            dst: dst + w,
+            ptr: ptr + w,
+            idx: idx + w,
+        },
+        Store { ty, ptr, idx, val } => Store {
+            ty,
+            ptr: ptr + w,
+            idx: idx + w,
+            val: val + w,
+        },
+        Id { b, dst, src } => Id { b, dst: dst + w, src: src + w },
+        Math1 { b, dst, src } => Math1 { b, dst: dst + w, src: src + w },
+        Math2F { b, dst, a, b2 } => Math2F { b, dst: dst + w, a: a + w, b2: b2 + w },
+        Math2I { b, dst, a, b2 } => Math2I { b, dst: dst + w, a: a + w, b2: b2 + w },
+        AbsI { dst, src } => AbsI { dst: dst + w, src: src + w },
+        Clamp { dst, v, lo, hi } => Clamp {
+            dst: dst + w,
+            v: v + w,
+            lo: lo + w,
+            hi: hi + w,
+        },
+        Mad { dst, a, b, c } => Mad { dst: dst + w, a: a + w, b: b + w, c: c + w },
+        MadRF { dst, c, a, b } => MadRF { dst: dst + w, c: c + w, a: a + w, b: b + w },
+        MadI { dst, a, b, c } => MadI { dst: dst + w, a: a + w, b: b + w, c: c + w },
+        Dot { dst, a, b } => Dot { dst: dst + w, a: a + w, b: b + w },
+        Barrier => Barrier,
+        Call { .. } | Ret | RetV { .. } => unreachable!("handled by the flattener"),
+    };
+    (op, None)
+}
+
+/// Rewrite a placeholder jump target.
+fn set_target(op: &mut FOp, t: u32) {
+    match op {
+        FOp::R(ROp::Jmp { t: x })
+        | FOp::R(ROp::Jz { t: x, .. })
+        | FOp::R(ROp::Jnz { t: x, .. })
+        | FOp::R(ROp::JcI { t: x, .. })
+        | FOp::R(ROp::JcF { t: x, .. }) => *x = t,
+        _ => unreachable!("not a jump"),
+    }
+}
+
+fn target_of(op: &FOp) -> Option<u32> {
+    match op {
+        FOp::R(ROp::Jmp { t })
+        | FOp::R(ROp::Jz { t, .. })
+        | FOp::R(ROp::Jnz { t, .. })
+        | FOp::R(ROp::JcI { t, .. })
+        | FOp::R(ROp::JcF { t, .. }) => Some(*t),
+        _ => None,
+    }
+}
+
+impl Flattener<'_> {
+    /// Flatten `prog.code[s..e]` with register window `w`, expanding calls
+    /// recursively. Returns the flat index of every original instruction.
+    fn emit_range(
+        &mut self,
+        s: usize,
+        e: usize,
+        w: u16,
+        ret: RetCtx,
+        stack: &mut Vec<u16>,
+    ) -> Option<Vec<u32>> {
+        let mut map = vec![u32::MAX; e - s];
+        let mut fixups: Vec<(usize, u32)> = Vec::new();
+        let mut ret_jumps: Vec<usize> = Vec::new();
+        for k in s..e {
+            map[k - s] = u32::try_from(self.out.len()).ok()?;
+            if self.out.len() > (1 << 22) {
+                return None; // runaway inline expansion
+            }
+            match self.prog.code.get(k)?.clone() {
+                ROp::Call { func, args_at } => {
+                    if stack.contains(&func) || stack.len() >= 48 {
+                        return None; // recursive or pathologically deep
+                    }
+                    let f: RFunc = self.prog.funcs.get(func as usize)?.clone();
+                    if !f.compiled {
+                        return None;
+                    }
+                    let win = self.total_regs;
+                    if win + f.nregs as u32 > u16::MAX as u32 {
+                        return None; // register file exhausted
+                    }
+                    self.total_regs += f.nregs as u32;
+                    self.tail
+                        .extend(std::iter::repeat_n(RVal::default(), f.const_base as usize));
+                    for (ci, c) in f.consts.iter().enumerate() {
+                        self.known_consts
+                            .push((win + f.const_base as u32 + ci as u32, *c));
+                    }
+                    self.tail.extend_from_slice(&f.consts);
+                    self.const_regions
+                        .push((win + f.const_base as u32, win + f.nregs as u32));
+                    // The caller's `args_at` slot doubles as the return
+                    // destination — the same absolute register the register
+                    // engine's frame machinery uses.
+                    let dst = w.checked_add(args_at)?;
+                    if f.nargs > 0 {
+                        self.out.push(FOp::CopyArgs {
+                            dst: win as u16,
+                            src: dst,
+                            n: f.nargs as u16,
+                        });
+                    }
+                    if f.nlocals > f.nargs as u16 {
+                        self.out.push(FOp::ZeroLocals {
+                            at: (win + f.nargs as u32) as u16,
+                            n: f.nlocals - f.nargs as u16,
+                        });
+                    }
+                    let entry_jmp = if f.entry != f.start {
+                        self.out.push(FOp::R(ROp::Jmp { t: 0 }));
+                        Some(self.out.len() - 1)
+                    } else {
+                        None
+                    };
+                    stack.push(func);
+                    let cmap = self.emit_range(
+                        f.start as usize,
+                        f.end as usize,
+                        win as u16,
+                        RetCtx::Inline { dst },
+                        stack,
+                    )?;
+                    stack.pop();
+                    if let Some(j) = entry_jmp {
+                        let t = *cmap.get((f.entry - f.start) as usize)?;
+                        set_target(&mut self.out[j], t);
+                    }
+                }
+                ROp::Ret => match ret {
+                    RetCtx::Main => self.out.push(FOp::Done),
+                    RetCtx::Inline { .. } => {
+                        self.out.push(FOp::R(ROp::Jmp { t: 0 }));
+                        ret_jumps.push(self.out.len() - 1);
+                    }
+                },
+                ROp::RetV { src } => match ret {
+                    // A top-level `RetV` discards the value, like the
+                    // register engine's frameless return.
+                    RetCtx::Main => self.out.push(FOp::Done),
+                    RetCtx::Inline { dst } => {
+                        self.out.push(FOp::R(ROp::Mov { dst, src: src + w }));
+                        self.out.push(FOp::R(ROp::Jmp { t: 0 }));
+                        ret_jumps.push(self.out.len() - 1);
+                    }
+                },
+                other => {
+                    let (op, target) = remap(other, w);
+                    if let Some(t) = target {
+                        if (t as usize) < s || (t as usize) >= e {
+                            return None; // cross-function jump: malformed
+                        }
+                        fixups.push((self.out.len(), t));
+                    }
+                    self.out.push(FOp::R(op));
+                }
+            }
+        }
+        for (at, t) in fixups {
+            let nt = map[t as usize - s];
+            if nt == u32::MAX {
+                return None;
+            }
+            set_target(&mut self.out[at], nt);
+        }
+        let after = u32::try_from(self.out.len()).ok()?;
+        for j in ret_jumps {
+            set_target(&mut self.out[j], after);
+        }
+        Some(map)
+    }
+}
+
+/// A register range as `(start, len)`.
+type RegRange = (u16, u16);
+
+/// Every register range an op reads and writes; used to bounds-check
+/// operands (licensing the unchecked handler accesses) and to find
+/// never-written registers.
+fn op_regs(op: &FOp) -> (Vec<RegRange>, Vec<RegRange>) {
+    use ROp::*;
+    let one = |r: u16| (r, 1);
+    match op {
+        FOp::R(r) => match *r {
+            Ops(_) | Barrier | Jmp { .. } => (vec![], vec![]),
+            Mov { dst, src } => (vec![one(src)], vec![one(dst)]),
+            Swap { a, b } => (vec![one(a), one(b)], vec![one(a), one(b)]),
+            AddI { dst, a, b }
+            | SubI { dst, a, b }
+            | MulI { dst, a, b }
+            | DivI { dst, a, b }
+            | RemI { dst, a, b }
+            | Shl { dst, a, b }
+            | Shr { dst, a, b }
+            | BAnd { dst, a, b }
+            | BOr { dst, a, b }
+            | BXor { dst, a, b }
+            | AddF { dst, a, b }
+            | SubF { dst, a, b }
+            | MulF { dst, a, b }
+            | DivF { dst, a, b }
+            | AddF4 { dst, a, b }
+            | SubF4 { dst, a, b }
+            | MulF4 { dst, a, b }
+            | DivF4 { dst, a, b }
+            | Dot { dst, a, b } => (vec![one(a), one(b)], vec![one(dst)]),
+            NegI { dst, src }
+            | BNot { dst, src }
+            | LNot { dst, src }
+            | NegF { dst, src }
+            | I2F { dst, src }
+            | F2I { dst, src }
+            | SplatF4 { dst, src }
+            | AbsI { dst, src } => (vec![one(src)], vec![one(dst)]),
+            MakeF4 { dst, src } => (
+                vec![one(src[0]), one(src[1]), one(src[2]), one(src[3])],
+                vec![one(dst)],
+            ),
+            GetComp { dst, src, .. } => (vec![one(src)], vec![one(dst)]),
+            SetComp { dst, vec, scl, .. } => (vec![one(vec), one(scl)], vec![one(dst)]),
+            CmpI { dst, a, b, .. } | CmpF { dst, a, b, .. } => {
+                (vec![one(a), one(b)], vec![one(dst)])
+            }
+            Jz { c, .. } | Jnz { c, .. } => (vec![one(c)], vec![]),
+            JcI { a, b, .. } | JcF { a, b, .. } => (vec![one(a), one(b)], vec![]),
+            Load { dst, ptr, idx, .. } => (vec![one(ptr), one(idx)], vec![one(dst)]),
+            Store { ptr, idx, val, .. } => (vec![one(ptr), one(idx), one(val)], vec![]),
+            Id { dst, src, .. } | Math1 { dst, src, .. } => (vec![one(src)], vec![one(dst)]),
+            Math2F { dst, a, b2, .. } | Math2I { dst, a, b2, .. } => {
+                (vec![one(a), one(b2)], vec![one(dst)])
+            }
+            Clamp { dst, v, lo, hi } => (vec![one(v), one(lo), one(hi)], vec![one(dst)]),
+            Mad { dst, a, b, c } | MadI { dst, a, b, c } => {
+                (vec![one(a), one(b), one(c)], vec![one(dst)])
+            }
+            MadRF { dst, c, a, b } => (vec![one(c), one(a), one(b)], vec![one(dst)]),
+            Call { .. } | Ret | RetV { .. } => (vec![], vec![]),
+        },
+        FOp::CopyArgs { dst, src, n } => (vec![(*src, *n)], vec![(*dst, *n)]),
+        FOp::ZeroLocals { at, n } => (vec![], vec![(*at, *n)]),
+        FOp::Done => (vec![], vec![]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering to native instructions
+// ---------------------------------------------------------------------------
+
+const fn ni(f: H) -> NInstr {
+    NInstr {
+        f,
+        imm: 0,
+        t: 0,
+        a: 0,
+        b: 0,
+        c: 0,
+        d: 0,
+        e: 0,
+        g: 0,
+    }
+}
+
+/// Dedupe memory sites by pointer register; returns the site index.
+fn site_for(ptr: u16, sites: &mut HashMap<u16, u32>, specs: &mut Vec<u16>) -> u32 {
+    *sites.entry(ptr).or_insert_with(|| {
+        specs.push(ptr);
+        (specs.len() - 1) as u32
+    })
+}
+
+struct Lower<'a> {
+    written: &'a [bool],
+    known: &'a [Option<RVal>],
+    sites: HashMap<u16, u32>,
+    specs: Vec<u16>,
+}
+
+impl Lower<'_> {
+    fn stable(&self, ptr: u16) -> bool {
+        !self.written[ptr as usize]
+    }
+
+    /// Lower one flat op to a single native instruction.
+    fn one(&mut self, op: &FOp) -> Option<NInstr> {
+        use ROp::*;
+        Some(match op {
+            FOp::Done => ni(h_done),
+            FOp::CopyArgs { dst, src, n } => NInstr {
+                a: *dst,
+                b: *src,
+                c: *n,
+                ..ni(h_copyargs)
+            },
+            FOp::ZeroLocals { at, n } => NInstr {
+                a: *at,
+                b: *n,
+                ..ni(h_zerolocals)
+            },
+            FOp::R(r) => match *r {
+                Ops(n) => NInstr {
+                    imm: n,
+                    ..ni(h_ops)
+                },
+                Mov { dst, src } => NInstr {
+                    a: dst,
+                    b: src,
+                    ..ni(h_mov)
+                },
+                Swap { a, b } => NInstr {
+                    a,
+                    b,
+                    ..ni(h_swap)
+                },
+                AddI { dst, a, b } => bin3(h_addi, dst, a, b),
+                SubI { dst, a, b } => bin3(h_subi, dst, a, b),
+                MulI { dst, a, b } => bin3(h_muli, dst, a, b),
+                DivI { dst, a, b } => bin3(h_divi, dst, a, b),
+                RemI { dst, a, b } => bin3(h_remi, dst, a, b),
+                Shl { dst, a, b } => bin3(h_shl, dst, a, b),
+                Shr { dst, a, b } => bin3(h_shr, dst, a, b),
+                BAnd { dst, a, b } => bin3(h_band, dst, a, b),
+                BOr { dst, a, b } => bin3(h_bor, dst, a, b),
+                BXor { dst, a, b } => bin3(h_bxor, dst, a, b),
+                NegI { dst, src } => un2(h_negi, dst, src),
+                BNot { dst, src } => un2(h_bnot, dst, src),
+                LNot { dst, src } => un2(h_lnot, dst, src),
+                AbsI { dst, src } => un2(h_absi, dst, src),
+                AddF { dst, a, b } => bin3(h_addf, dst, a, b),
+                SubF { dst, a, b } => bin3(h_subf, dst, a, b),
+                MulF { dst, a, b } => bin3(h_mulf, dst, a, b),
+                DivF { dst, a, b } => bin3(h_divf, dst, a, b),
+                NegF { dst, src } => un2(h_negf, dst, src),
+                I2F { dst, src } => un2(h_i2f, dst, src),
+                F2I { dst, src } => un2(h_f2i, dst, src),
+                AddF4 { dst, a, b } => bin3(h_addf4, dst, a, b),
+                SubF4 { dst, a, b } => bin3(h_subf4, dst, a, b),
+                MulF4 { dst, a, b } => bin3(h_mulf4, dst, a, b),
+                DivF4 { dst, a, b } => bin3(h_divf4, dst, a, b),
+                SplatF4 { dst, src } => un2(h_splatf4, dst, src),
+                MakeF4 { dst, src } => NInstr {
+                    a: dst,
+                    b: src[0],
+                    c: src[1],
+                    d: src[2],
+                    e: src[3],
+                    ..ni(h_makef4)
+                },
+                GetComp { dst, src, c } => NInstr {
+                    a: dst,
+                    b: src,
+                    g: c as u16,
+                    ..ni(h_getcomp)
+                },
+                SetComp { dst, vec, scl, c } => NInstr {
+                    a: dst,
+                    b: vec,
+                    c: scl,
+                    g: c as u16,
+                    ..ni(h_setcomp)
+                },
+                CmpI { cmp, dst, a, b } => bin3(cmpi_h(cmp), dst, a, b),
+                CmpF { cmp, dst, a, b } => bin3(cmpf_h(cmp), dst, a, b),
+                Jmp { t } => NInstr { t, ..ni(h_jmp) },
+                Jz { c, t } => NInstr {
+                    a: c,
+                    t,
+                    ..ni(h_jz)
+                },
+                Jnz { c, t } => NInstr {
+                    a: c,
+                    t,
+                    ..ni(h_jnz)
+                },
+                // `when == true` after canonicalisation.
+                JcI { cmp, a, b, t, .. } => NInstr {
+                    a,
+                    b,
+                    t,
+                    ..ni(jci_h(cmp))
+                },
+                JcF { cmp, a, b, t, when } => NInstr {
+                    a,
+                    b,
+                    t,
+                    ..ni(jcf_h(cmp, when))
+                },
+                Load { ty, dst, ptr, idx } => {
+                    if self.stable(ptr) {
+                        NInstr {
+                            a: dst,
+                            b: idx,
+                            imm: site_for(ptr, &mut self.sites, &mut self.specs) as u64,
+                            ..ni(ld_h(ty))
+                        }
+                    } else {
+                        NInstr {
+                            a: dst,
+                            b: idx,
+                            c: ptr,
+                            g: ty_code(ty) as u16,
+                            ..ni(h_ld_dyn)
+                        }
+                    }
+                }
+                Store { ty, ptr, idx, val } => {
+                    if self.stable(ptr) {
+                        NInstr {
+                            b: idx,
+                            c: val,
+                            imm: site_for(ptr, &mut self.sites, &mut self.specs) as u64,
+                            ..ni(st_h(ty))
+                        }
+                    } else {
+                        NInstr {
+                            b: idx,
+                            c: val,
+                            d: ptr,
+                            g: ty_code(ty) as u16,
+                            ..ni(h_st_dyn)
+                        }
+                    }
+                }
+                Id { b, dst, src } => {
+                    let (fc, fd, default): (H, H, u64) = match b {
+                        Builtin::GetGlobalId => (h_gid_c, h_gid_d, 0),
+                        Builtin::GetLocalId => (h_lid_c, h_lid_d, 0),
+                        Builtin::GetGroupId => (h_grp_c, h_grp_d, 0),
+                        Builtin::GetGlobalSize => (h_gsz_c, h_gsz_d, 1),
+                        Builtin::GetLocalSize => (h_lsz_c, h_lsz_d, 1),
+                        Builtin::GetNumGroups => (h_ngr_c, h_ngr_d, 1),
+                        // The register engine evaluates every other
+                        // builtin in `Id` position to 0 for any dimension.
+                        _ => {
+                            return Some(NInstr {
+                                a: dst,
+                                imm: 0,
+                                ..ni(h_const_i)
+                            })
+                        }
+                    };
+                    match self.known[src as usize] {
+                        Some(v) => {
+                            let d = v.i();
+                            if (0..=2).contains(&d) {
+                                NInstr {
+                                    a: dst,
+                                    imm: d as u64,
+                                    ..ni(fc)
+                                }
+                            } else {
+                                NInstr {
+                                    a: dst,
+                                    imm: default,
+                                    ..ni(h_const_i)
+                                }
+                            }
+                        }
+                        None => NInstr {
+                            a: dst,
+                            b: src,
+                            imm: default,
+                            ..ni(fd)
+                        },
+                    }
+                }
+                Math1 { b, dst, src } => {
+                    let f: H = match b {
+                        Builtin::Sqrt => h_sqrt,
+                        Builtin::Rsqrt => h_rsqrt,
+                        Builtin::Fabs => h_fabs,
+                        Builtin::Floor => h_floor,
+                        Builtin::Ceil => h_ceil,
+                        Builtin::Exp => h_exp,
+                        Builtin::Log => h_log,
+                        Builtin::Sin => h_sin,
+                        Builtin::Cos => h_cos,
+                        _ => h_m1_other,
+                    };
+                    un2(f, dst, src)
+                }
+                Math2F { b, dst, a, b2 } => {
+                    let f: H = match b {
+                        Builtin::Pow => h_pow,
+                        Builtin::Fmin => h_fmin,
+                        Builtin::Fmax => h_fmax,
+                        _ => h_m2f_other,
+                    };
+                    bin3(f, dst, a, b2)
+                }
+                Math2I { b, dst, a, b2 } => {
+                    bin3(if b == Builtin::MinI { h_mini } else { h_maxi }, dst, a, b2)
+                }
+                Clamp { dst, v, lo, hi } => NInstr {
+                    a: dst,
+                    b: v,
+                    c: lo,
+                    d: hi,
+                    ..ni(h_clamp)
+                },
+                Mad { dst, a, b, c } => NInstr {
+                    a: dst,
+                    b: a,
+                    c: b,
+                    d: c,
+                    ..ni(h_mad)
+                },
+                MadRF { dst, c, a, b } => NInstr {
+                    a: dst,
+                    b: c,
+                    c: a,
+                    d: b,
+                    ..ni(h_madrf)
+                },
+                MadI { dst, a, b, c } => NInstr {
+                    a: dst,
+                    b: a,
+                    c: b,
+                    d: c,
+                    ..ni(h_madi)
+                },
+                Dot { dst, a, b } => bin3(h_dot, dst, a, b),
+                Barrier => ni(h_barrier),
+                Call { .. } | Ret | RetV { .. } => return None,
+            },
+        })
+    }
+
+    /// Try to fuse two adjacent flat ops into one superinstruction.
+    /// `x` executes first; the pair occupies a single compacted slot.
+    /// Only attempted when `y`'s slot is not a jump target. Block-entry
+    /// `Ops` charges are not fused here — the unit builder in
+    /// [`compile_native`] folds them into any successor's charge field.
+    fn fuse(&mut self, x: &FOp, y: &FOp) -> Option<NInstr> {
+        use ROp::*;
+        // Loop increment + compare-branch, or + load.
+        if let FOp::R(AddI { dst, a, b }) = x {
+            match y {
+                FOp::R(JcI { cmp, a: a2, b: b2, t, .. }) => {
+                    return Some(NInstr {
+                        a: *dst,
+                        b: *a,
+                        c: *b,
+                        d: *a2,
+                        e: *b2,
+                        t: *t,
+                        ..ni(addi_jci_h(*cmp))
+                    })
+                }
+                FOp::R(Load { ty, dst: d2, ptr, idx })
+                    if matches!(ty, ElemTy::F32 | ElemTy::I32) && self.stable(*ptr) =>
+                {
+                    let site = site_for(*ptr, &mut self.sites, &mut self.specs);
+                    let f: H = if *ty == ElemTy::F32 {
+                        h_addi_ld_c::<2>
+                    } else {
+                        h_addi_ld_c::<0>
+                    };
+                    return Some(NInstr {
+                        a: *dst,
+                        b: *a,
+                        c: *b,
+                        d: *d2,
+                        e: *idx,
+                        imm: site as u64,
+                        ..ni(f)
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Loop decrement + compare-branch (count-down loop headers).
+        if let (FOp::R(SubI { dst, a, b }), FOp::R(JcI { cmp, a: a2, b: b2, t, .. })) = (x, y) {
+            return Some(NInstr {
+                a: *dst,
+                b: *a,
+                c: *b,
+                d: *a2,
+                e: *b2,
+                t: *t,
+                ..ni(subi_jci_h(*cmp))
+            });
+        }
+        // Address compute + fetch (row/column indexing).
+        if let (FOp::R(MadI { dst, a, b, c }), FOp::R(Load { ty, dst: d2, ptr, idx })) = (x, y) {
+            if matches!(ty, ElemTy::F32 | ElemTy::I32) && self.stable(*ptr) {
+                let site = site_for(*ptr, &mut self.sites, &mut self.specs);
+                let f: H = if *ty == ElemTy::F32 {
+                    h_madi_ld_c::<2>
+                } else {
+                    h_madi_ld_c::<0>
+                };
+                return Some(NInstr {
+                    a: *dst,
+                    b: *a,
+                    c: *b,
+                    d: *c,
+                    e: *d2,
+                    g: *idx,
+                    imm: site as u64,
+                    ..ni(f)
+                });
+            }
+        }
+        // Store + index bump.
+        if let (FOp::R(Store { ty, ptr, idx, val }), FOp::R(AddI { dst, a, b })) = (x, y) {
+            if matches!(ty, ElemTy::F32 | ElemTy::I32) && self.stable(*ptr) {
+                let site = site_for(*ptr, &mut self.sites, &mut self.specs);
+                let f: H = if *ty == ElemTy::F32 {
+                    h_st_addi_c::<2>
+                } else {
+                    h_st_addi_c::<0>
+                };
+                return Some(NInstr {
+                    a: *dst,
+                    b: *idx,
+                    c: *val,
+                    d: *a,
+                    e: *b,
+                    imm: site as u64,
+                    ..ni(f)
+                });
+            }
+        }
+        // Register copy + integer add (loop-carried rotation).
+        if let (FOp::R(Mov { dst, src }), FOp::R(AddI { dst: d2, a, b })) = (x, y) {
+            return Some(NInstr {
+                a: *dst,
+                b: *src,
+                c: *d2,
+                d: *a,
+                e: *b,
+                ..ni(h_mov_addi)
+            });
+        }
+        // Load + load / multiply-add / float binary.
+        if let FOp::R(Load { ty, dst, ptr, idx }) = x {
+            if matches!(ty, ElemTy::F32 | ElemTy::I32) && self.stable(*ptr) {
+                match y {
+                    FOp::R(Load { ty: t2, dst: d2, ptr: p2, idx: i2 })
+                        if t2 == ty && self.stable(*p2) =>
+                    {
+                        let s1 = site_for(*ptr, &mut self.sites, &mut self.specs);
+                        let s2 = site_for(*p2, &mut self.sites, &mut self.specs);
+                        let f: H = if *ty == ElemTy::F32 {
+                            h_ld_ld_c::<2>
+                        } else {
+                            h_ld_ld_c::<0>
+                        };
+                        return Some(NInstr {
+                            imm: s1 as u64 | (s2 as u64) << 32,
+                            a: *dst,
+                            b: *idx,
+                            c: *d2,
+                            d: *i2,
+                            ..ni(f)
+                        });
+                    }
+                    FOp::R(MadRF { dst: d2, c, a, b }) if *ty == ElemTy::F32 => {
+                        let site = site_for(*ptr, &mut self.sites, &mut self.specs);
+                        return Some(NInstr {
+                            imm: site as u64,
+                            a: *dst,
+                            b: *idx,
+                            c: *d2,
+                            d: *c,
+                            e: *a,
+                            g: *b,
+                            ..ni(h_ld_madrf)
+                        });
+                    }
+                    FOp::R(Mad { dst: d2, a, b, c }) if *ty == ElemTy::F32 => {
+                        let site = site_for(*ptr, &mut self.sites, &mut self.specs);
+                        return Some(NInstr {
+                            imm: site as u64,
+                            a: *dst,
+                            b: *idx,
+                            c: *d2,
+                            d: *a,
+                            e: *b,
+                            g: *c,
+                            ..ni(h_ld_mad)
+                        });
+                    }
+                    _ => {
+                        if *ty == ElemTy::F32 {
+                            if let Some((o2, d2, a2, b2)) = fbin(y) {
+                                let site = site_for(*ptr, &mut self.sites, &mut self.specs);
+                                let f: H = match o2 {
+                                    0 => h_ld_fbin_c::<0>,
+                                    1 => h_ld_fbin_c::<1>,
+                                    _ => h_ld_fbin_c::<2>,
+                                };
+                                return Some(NInstr {
+                                    imm: site as u64,
+                                    a: *dst,
+                                    b: *idx,
+                                    c: d2,
+                                    d: a2,
+                                    e: b2,
+                                    ..ni(f)
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Float multiply feeding a multiply-add (polynomial / dot chains).
+        if let FOp::R(MulF { dst, a, b }) = x {
+            match y {
+                FOp::R(Mad { dst: d2, a: a2, b: b2, c: c2 }) => {
+                    return Some(NInstr {
+                        a: *dst,
+                        b: *a,
+                        c: *b,
+                        d: *d2,
+                        e: *a2,
+                        g: *b2,
+                        imm: *c2 as u64,
+                        ..ni(h_mulf_madf_c::<true>)
+                    });
+                }
+                FOp::R(MadRF { dst: d2, c: c2, a: a2, b: b2 }) => {
+                    return Some(NInstr {
+                        a: *dst,
+                        b: *a,
+                        c: *b,
+                        d: *d2,
+                        e: *c2,
+                        g: *a2,
+                        imm: *b2 as u64,
+                        ..ni(h_mulf_madf_c::<false>)
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Multiply-add + loop increment.
+        if let FOp::R(AddI { dst: d2, a: a2, b: b2 }) = y {
+            match x {
+                FOp::R(Mad { dst, a, b, c }) => {
+                    return Some(NInstr {
+                        a: *dst,
+                        b: *a,
+                        c: *b,
+                        d: *c,
+                        e: *d2,
+                        g: *a2,
+                        imm: *b2 as u64,
+                        ..ni(h_madf_addi_c::<true>)
+                    })
+                }
+                FOp::R(MadRF { dst, c, a, b }) => {
+                    return Some(NInstr {
+                        a: *dst,
+                        b: *c,
+                        c: *a,
+                        d: *b,
+                        e: *d2,
+                        g: *a2,
+                        imm: *b2 as u64,
+                        ..ni(h_madf_addi_c::<false>)
+                    })
+                }
+                FOp::R(MadI { dst, a, b, c }) => {
+                    return Some(NInstr {
+                        a: *dst,
+                        b: *a,
+                        c: *b,
+                        d: *c,
+                        e: *d2,
+                        g: *a2,
+                        imm: *b2 as u64,
+                        ..ni(h_madi_addi)
+                    })
+                }
+                _ => {}
+            }
+        }
+        // Generic adjacent float / integer binary pairs.
+        if let (Some((o1, d1, a1, b1)), Some((o2, d2, a2, b2))) = (fbin(x), fbin(y)) {
+            const FF: [[H; 3]; 3] = [
+                [h_ff_aa, h_ff_as, h_ff_am],
+                [h_ff_sa, h_ff_ss, h_ff_sm],
+                [h_ff_ma, h_ff_ms, h_ff_mm],
+            ];
+            return Some(NInstr {
+                a: d1,
+                b: a1,
+                c: b1,
+                d: d2,
+                e: a2,
+                g: b2,
+                ..ni(FF[o1 as usize][o2 as usize])
+            });
+        }
+        if let (Some((o1, d1, a1, b1)), Some((o2, d2, a2, b2))) = (ibin(x), ibin(y)) {
+            const II: [[H; 3]; 3] = [
+                [h_ii_aa, h_ii_as, h_ii_am],
+                [h_ii_sa, h_ii_ss, h_ii_sm],
+                [h_ii_ma, h_ii_ms, h_ii_mm],
+            ];
+            return Some(NInstr {
+                a: d1,
+                b: a1,
+                c: b1,
+                d: d2,
+                e: a2,
+                g: b2,
+                ..ni(II[o1 as usize][o2 as usize])
+            });
+        }
+        None
+    }
+}
+
+const fn bin3(f: H, dst: u16, a: u16, b: u16) -> NInstr {
+    NInstr {
+        a: dst,
+        b: a,
+        c: b,
+        ..ni(f)
+    }
+}
+
+const fn un2(f: H, dst: u16, src: u16) -> NInstr {
+    NInstr {
+        a: dst,
+        b: src,
+        ..ni(f)
+    }
+}
+
+/// Classify a float add/sub/mul (0/1/2) as `(op, dst, a, b)`.
+fn fbin(op: &FOp) -> Option<(u8, u16, u16, u16)> {
+    match op {
+        FOp::R(ROp::AddF { dst, a, b }) => Some((0, *dst, *a, *b)),
+        FOp::R(ROp::SubF { dst, a, b }) => Some((1, *dst, *a, *b)),
+        FOp::R(ROp::MulF { dst, a, b }) => Some((2, *dst, *a, *b)),
+        _ => None,
+    }
+}
+
+/// Classify an integer add/sub/mul (0/1/2) as `(op, dst, a, b)`.
+fn ibin(op: &FOp) -> Option<(u8, u16, u16, u16)> {
+    match op {
+        FOp::R(ROp::AddI { dst, a, b }) => Some((0, *dst, *a, *b)),
+        FOp::R(ROp::SubI { dst, a, b }) => Some((1, *dst, *a, *b)),
+        FOp::R(ROp::MulI { dst, a, b }) => Some((2, *dst, *a, *b)),
+        _ => None,
+    }
+}
+
+/// Lower a validated register program to the native engine.
+///
+/// Returns `None` — and the dispatcher falls back to the register engine —
+/// for programs the inliner cannot flatten: recursive or uncompiled device
+/// functions, pathological inline depth or code growth, or a register file
+/// larger than the 16-bit operand encoding. Everything the register
+/// compiler emits for real kernels lowers.
+///
+/// ```
+/// use oclsim::minicl::{self, native, regir};
+/// let unit = minicl::parse(
+///     "__kernel void id(__global float* a) { a[get_global_id(0)] = 1.0f; }",
+/// ).unwrap();
+/// let compiled = minicl::compile(&unit).unwrap();
+/// let info = compiled.kernels.get("id").unwrap();
+/// let reg = regir::compile_kernel(&compiled, info).unwrap();
+/// let native = native::compile_native(&reg, info).expect("lowerable");
+/// assert!(native.len() > 0);
+/// ```
+pub fn compile_native(prog: &RegProgram, kernel: &KernelInfo) -> Option<NativeProgram> {
+    // Defensive: the per-item reset span must cover every kernel local.
+    if kernel.nlocals > prog.const_base {
+        return None;
+    }
+    let mut fl = Flattener {
+        prog,
+        out: Vec::new(),
+        total_regs: prog.nregs as u32,
+        tail: Vec::new(),
+        known_consts: prog
+            .consts
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (prog.const_base as u32 + k as u32, *c))
+            .collect(),
+        const_regions: vec![(prog.const_base as u32, prog.nregs as u32)],
+    };
+    let mut stack = Vec::new();
+    let map = fl.emit_range(0, prog.main_end as usize, 0, RetCtx::Main, &mut stack)?;
+    let entry = *map.get(prog.entry as usize)?;
+    let Flattener {
+        mut out,
+        total_regs,
+        tail,
+        known_consts,
+        const_regions,
+        ..
+    } = fl;
+    if out.is_empty() || out.len() >= IP_TRAP as usize {
+        return None;
+    }
+    // The last instruction must never fall through (it is a `Done` or an
+    // unconditional `Jmp` — `validate` proved every range ends in one).
+    match out.last() {
+        Some(FOp::Done) | Some(FOp::R(ROp::Jmp { .. })) => {}
+        _ => return None,
+    }
+
+    // Canonicalise integer branch polarity: invert the comparison instead
+    // of carrying `when` (exact for integers; floats keep both).
+    for op in &mut out {
+        if let FOp::R(ROp::JcI { cmp, when, .. }) = op {
+            if !*when {
+                *cmp = cmp_inv(*cmp);
+                *when = true;
+            }
+        }
+    }
+
+    // Operand bounds check (licenses the unchecked handler accesses) and
+    // never-written analysis (licenses site pre-resolution and the partial
+    // per-item reset).
+    let mut written = vec![false; total_regs as usize];
+    for op in &out {
+        let (reads, writes) = op_regs(op);
+        for &(r, n) in reads.iter().chain(writes.iter()) {
+            if r as u32 + n as u32 > total_regs {
+                return None;
+            }
+        }
+        for (r, n) in writes {
+            written[r as usize..(r + n) as usize].fill(true);
+        }
+    }
+    // A write into a constant region would break both the known-constant
+    // specialisation and the no-reset-needed invariant; `validate` makes
+    // this impossible, but the lowering re-checks rather than trusts.
+    for &(lo, hi) in &const_regions {
+        if written[lo as usize..hi as usize].iter().any(|&w| w) {
+            return None;
+        }
+    }
+    let mut known: Vec<Option<RVal>> = vec![None; total_regs as usize];
+    for &(r, v) in &known_consts {
+        known[r as usize] = Some(v);
+    }
+
+    // Jump targets, for the fusion barrier and the fetch-safety check.
+    let mut is_target = vec![false; out.len()];
+    for op in &out {
+        if let Some(t) = target_of(op) {
+            if t as usize >= out.len() {
+                return None;
+            }
+            is_target[t as usize] = true;
+        }
+    }
+
+    let mut lo = Lower {
+        written: &written,
+        known: &known,
+        sites: HashMap::new(),
+        specs: Vec::new(),
+    };
+    // The entry must start a unit: mark it like a jump target so the unit
+    // builder below can never absorb it into a preceding charge or pair.
+    is_target[entry as usize] = true;
+
+    // Unit builder: tile the flat op stream with compacted units. Each
+    // unit is one native instruction covering 1-3 flat ops: an optional
+    // leading block-entry `Ops` charge (folded into the charge field, see
+    // `chgt!`/`chgi!`), then either a fused pair or a single op. Every
+    // unit falls through to `ip + 1`, so jump targets — which always land
+    // on unit starts, enforced by the `is_target` barriers — are remapped
+    // through `map` afterwards.
+    let mut code: Vec<NInstr> = Vec::with_capacity(out.len());
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(out.len());
+    let mut old_targets: Vec<Option<u32>> = Vec::with_capacity(out.len());
+    let mut map = vec![u32::MAX; out.len()];
+    let mut i = 0usize;
+    while i < out.len() {
+        let start = i;
+        let mut charge: u64 = 0;
+        if let FOp::R(ROp::Ops(n)) = &out[i] {
+            // `t` is a u32, so only charges that fit are absorbed; larger
+            // (never seen in practice) stay as standalone `h_ops` units.
+            if *n <= u32::MAX as u64 && i + 1 < out.len() && !is_target[i + 1] {
+                charge = *n;
+                i += 1;
+            }
+        }
+        let fused = if i + 1 < out.len() && !is_target[i + 1] {
+            lo.fuse(&out[i], &out[i + 1])
+        } else {
+            None
+        };
+        let (mut instr, last) = match fused {
+            Some(f) => (f, i + 1),
+            None => (lo.one(&out[i])?, i),
+        };
+        // A fused pair falls through to the next unit, which must exist:
+        // `fuse` never takes a terminator (`Done` / `Jmp`) as its second
+        // op, and the final flat op is always a terminator.
+        debug_assert!(fused.is_none() || last + 1 < out.len());
+        let old_t = target_of(&out[last]);
+        if charge > 0 {
+            // Branch handlers read the folded charge from `imm` (their
+            // `t` is the jump target); everything else reads it from `t`.
+            if old_t.is_some() {
+                instr.imm = charge;
+            } else {
+                instr.t = charge as u32;
+            }
+        }
+        map[start] = code.len() as u32;
+        code.push(instr);
+        spans.push((start, last + 1 - start));
+        old_targets.push(old_t);
+        i = last + 1;
+    }
+    // Remap jump targets and the entry from flat-op indices to unit
+    // indices. Every target is marked in `is_target`, so it starts a unit
+    // and has a valid `map` entry.
+    for (u, ot) in old_targets.iter().enumerate() {
+        if let Some(t) = ot {
+            code[u].t = map[*t as usize];
+        }
+    }
+    let entry = map[entry as usize];
+    if std::env::var("OCLSIM_NATIVE_DUMP").is_ok() {
+        for (u, &(start, n)) in spans.iter().enumerate() {
+            let ops: Vec<String> = out[start..start + n]
+                .iter()
+                .map(|o| format!("{o:?}"))
+                .collect();
+            eprintln!("{u:4}: {}", ops.join("  +  "));
+        }
+    }
+
+    let mut template_static = prog.consts.clone();
+    template_static.extend_from_slice(&tail);
+    if prog.const_base as usize + template_static.len() != total_regs as usize {
+        return None;
+    }
+    Some(NativeProgram {
+        code,
+        entry,
+        total_regs,
+        main_const_base: prog.const_base,
+        template_static,
+        site_specs: lo.specs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Decode a pointer register's dispatch-time value into a [`Site`].
+/// Unknown slots become `Bad*` sites that trap on first *execution* —
+/// resolving eagerly here must not change when (or whether) a kernel
+/// traps.
+fn resolve_site(p: PtrV, nbufs: usize, read_only: &[bool], nregions: usize) -> Site {
+    let slot = p.slot as u32;
+    match p.space {
+        Space::Private => Site {
+            kind: SiteKind::Priv,
+            slot: 0,
+            base: p.base,
+            ro: false,
+        },
+        Space::Global | Space::Constant => {
+            if (slot as usize) < nbufs {
+                Site {
+                    kind: SiteKind::Global,
+                    slot,
+                    base: p.base,
+                    ro: read_only[slot as usize] || p.space == Space::Constant,
+                }
+            } else {
+                Site {
+                    kind: SiteKind::BadGlobal,
+                    slot,
+                    base: p.base,
+                    ro: false,
+                }
+            }
+        }
+        Space::Local => {
+            if (slot as usize) < nregions {
+                Site {
+                    kind: SiteKind::Local,
+                    slot,
+                    base: p.base,
+                    ro: false,
+                }
+            } else {
+                Site {
+                    kind: SiteKind::BadLocal,
+                    slot,
+                    base: p.base,
+                    ro: false,
+                }
+            }
+        }
+    }
+}
+
+fn rval_of(v: Val) -> RVal {
+    match v {
+        Val::I(x) => RVal::from_i(x),
+        Val::F(x) => RVal::from_f(x),
+        Val::F4(x) => RVal::from_f4(x),
+        Val::Ptr(p) => RVal::from_ptr(p),
+    }
+}
+
+/// Per-dispatch context shared by every work item of the ND-range.
+struct NCtx<'a> {
+    bufs: &'a mut Vec<Vec<u8>>,
+    read_only: &'a [bool],
+    local_regions: Vec<Vec<u8>>,
+    sites: Vec<Site>,
+    group_id: [usize; 3],
+    global_size: [usize; 3],
+    local_size: [usize; 3],
+    num_groups: [usize; 3],
+}
+
+fn item_gid(ctx: &NCtx<'_>, lid: [usize; 3]) -> [usize; 3] {
+    [
+        ctx.group_id[0] * ctx.local_size[0] + lid[0],
+        ctx.group_id[1] * ctx.local_size[1] + lid[1],
+        ctx.group_id[2] * ctx.local_size[2] + lid[2],
+    ]
+}
+
+/// Barrier-free work-group: every item runs straight through one reused
+/// register arena — per-item set-up is one copy of the locals/stack span
+/// and a `fill(0)` of private memory.
+fn run_group_fast(
+    prog: &NativeProgram,
+    template: &[RVal],
+    ctx: &mut NCtx<'_>,
+    regs: &mut [RVal],
+    priv_mem: &mut [u8],
+) -> Result<u64, Trap> {
+    let reset = prog.main_const_base as usize;
+    let mut group_ops = 0u64;
+    let [lx, ly, lz] = ctx.local_size;
+    for iz in 0..lz {
+        for iy in 0..ly {
+            for ix in 0..lx {
+                let lid = [ix, iy, iz];
+                let gid = item_gid(ctx, lid);
+                regs[..reset].copy_from_slice(&template[..reset]);
+                if !priv_mem.is_empty() {
+                    priv_mem.fill(0);
+                }
+                let mut st = NState {
+                    regs,
+                    priv_mem,
+                    bufs: ctx.bufs,
+                    read_only: ctx.read_only,
+                    local_regions: &mut ctx.local_regions,
+                    sites: &ctx.sites,
+                    gid,
+                    lid,
+                    group_id: ctx.group_id,
+                    global_size: ctx.global_size,
+                    local_size: ctx.local_size,
+                    num_groups: ctx.num_groups,
+                    ops: 0,
+                    resume: 0,
+                    trap: None,
+                };
+                match exec(&prog.code, prog.entry, &mut st) {
+                    IP_DONE => group_ops += st.ops,
+                    IP_TRAP => return Err(st.trap.take().expect("trap halt sets a trap")),
+                    _ => {
+                        return Err(Trap {
+                            message: "barrier reached in kernel compiled without barriers"
+                                .to_string(),
+                            global_id: gid,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(group_ops)
+}
+
+/// One work item of a lockstep (barrier-carrying) group.
+struct NItem {
+    regs: Vec<RVal>,
+    priv_mem: Vec<u8>,
+    ip: u32,
+    gid: [usize; 3],
+    lid: [usize; 3],
+    ops: u64,
+    done: bool,
+}
+
+/// Work-group with barriers: the same lockstep sweep as the register
+/// engine — run every live item to its next barrier (or completion),
+/// trap on divergence, repeat.
+fn run_group_lockstep(
+    prog: &NativeProgram,
+    kernel: &KernelInfo,
+    template: &[RVal],
+    ctx: &mut NCtx<'_>,
+    items_per_group: usize,
+    items: &mut Vec<NItem>,
+) -> Result<u64, Trap> {
+    let reset = prog.main_const_base as usize;
+    let [lx, ly, lz] = ctx.local_size;
+    while items.len() < items_per_group {
+        items.push(NItem {
+            regs: template.to_vec(),
+            priv_mem: vec![0u8; kernel.priv_bytes],
+            ip: 0,
+            gid: [0; 3],
+            lid: [0; 3],
+            ops: 0,
+            done: false,
+        });
+    }
+    let items = &mut items[..items_per_group];
+    let mut at = 0usize;
+    for iz in 0..lz {
+        for iy in 0..ly {
+            for ix in 0..lx {
+                let item = &mut items[at];
+                at += 1;
+                item.regs[..reset].copy_from_slice(&template[..reset]);
+                if !item.priv_mem.is_empty() {
+                    item.priv_mem.fill(0);
+                }
+                item.ip = prog.entry;
+                item.lid = [ix, iy, iz];
+                item.gid = item_gid(ctx, item.lid);
+                item.ops = 0;
+                item.done = false;
+            }
+        }
+    }
+    loop {
+        let mut at_barrier = 0usize;
+        let mut running = 0usize;
+        for item in items.iter_mut() {
+            if item.done {
+                continue;
+            }
+            running += 1;
+            let mut st = NState {
+                regs: &mut item.regs,
+                priv_mem: &mut item.priv_mem,
+                bufs: ctx.bufs,
+                read_only: ctx.read_only,
+                local_regions: &mut ctx.local_regions,
+                sites: &ctx.sites,
+                gid: item.gid,
+                lid: item.lid,
+                group_id: ctx.group_id,
+                global_size: ctx.global_size,
+                local_size: ctx.local_size,
+                num_groups: ctx.num_groups,
+                ops: item.ops,
+                resume: 0,
+                trap: None,
+            };
+            let halt = exec(&prog.code, item.ip, &mut st);
+            item.ops = st.ops;
+            match halt {
+                IP_DONE => item.done = true,
+                IP_BARRIER => {
+                    item.ip = st.resume;
+                    at_barrier += 1;
+                }
+                _ => return Err(st.trap.take().expect("trap halt sets a trap")),
+            }
+        }
+        if running == 0 {
+            break;
+        }
+        if at_barrier == 0 {
+            continue;
+        }
+        if at_barrier != running {
+            let culprit = items
+                .iter()
+                .find(|i| !i.done)
+                .map(|i| i.gid)
+                .unwrap_or([0; 3]);
+            return Err(Trap {
+                message: format!(
+                    "divergent barrier: {at_barrier} of {running} running items reached barrier"
+                ),
+                global_id: culprit,
+            });
+        }
+    }
+    Ok(items.iter().map(|i| i.ops).sum())
+}
+
+/// Execute a full ND-range on the native engine. Same contract, traps and
+/// statistics as [`super::regir::run_ndrange`] and
+/// [`super::interp::run_ndrange`]: byte-identical buffers, identical
+/// `group_ops` (virtual clock) and identical trap messages/global-ids.
+/// See [`NativeProgram`] for a lower-and-dispatch example.
+pub fn run_ndrange(
+    prog: &NativeProgram,
+    kernel: &KernelInfo,
+    args: &[RtArg],
+    pool: &mut MemPool,
+    global: [usize; 3],
+    local: [usize; 3],
+) -> Result<NdStats, Trap> {
+    let num_groups = [
+        global[0] / local[0].max(1),
+        global[1] / local[1].max(1),
+        global[2] / local[2].max(1),
+    ];
+    let region_bytes = local_region_sizes(kernel, args)?;
+    // Dispatch template: bound locals, zeroed canonical stack slots, then
+    // the static tail (main constant pool + every inline window).
+    let mut template: Vec<RVal> = locals_template(kernel, args)
+        .into_iter()
+        .map(rval_of)
+        .collect();
+    template.resize(prog.main_const_base as usize, RVal::default());
+    template.extend_from_slice(&prog.template_static);
+    debug_assert_eq!(template.len(), prog.total_regs as usize);
+
+    let bufs = &mut pool.bufs;
+    let read_only = pool.read_only.as_slice();
+    let local_regions: Vec<Vec<u8>> = region_bytes.iter().map(|&b| vec![0u8; b]).collect();
+    // Pre-resolve every stable memory site from the same template bits the
+    // register engine would decode at run time.
+    let sites: Vec<Site> = prog
+        .site_specs
+        .iter()
+        .map(|&r| {
+            resolve_site(
+                template[r as usize].ptr(),
+                bufs.len(),
+                read_only,
+                local_regions.len(),
+            )
+        })
+        .collect();
+    let mut ctx = NCtx {
+        bufs,
+        read_only,
+        local_regions,
+        sites,
+        group_id: [0; 3],
+        global_size: global,
+        local_size: local,
+        num_groups,
+    };
+
+    let mut stats = NdStats::default();
+    let items_per_group = local[0] * local[1] * local[2];
+    // Work-item arenas, reused across every group of the dispatch.
+    let mut regs: Vec<RVal> = template.clone();
+    let mut priv_mem = vec![0u8; kernel.priv_bytes];
+    let mut items: Vec<NItem> = Vec::new();
+    let mut first_group = true;
+    for gz in 0..num_groups[2] {
+        for gy in 0..num_groups[1] {
+            for gx in 0..num_groups[0] {
+                ctx.group_id = [gx, gy, gz];
+                if !first_group && !ctx.local_regions.is_empty() {
+                    for r in &mut ctx.local_regions {
+                        r.fill(0);
+                    }
+                }
+                first_group = false;
+                let ops = if kernel.has_barrier {
+                    run_group_lockstep(
+                        prog,
+                        kernel,
+                        &template,
+                        &mut ctx,
+                        items_per_group,
+                        &mut items,
+                    )?
+                } else {
+                    run_group_fast(prog, &template, &mut ctx, &mut regs, &mut priv_mem)?
+                };
+                stats.group_ops.push(ops);
+                stats.items += items_per_group as u64;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minicl::codegen::compile;
+    use crate::minicl::interp;
+    use crate::minicl::parser::parse;
+    use crate::minicl::regir;
+
+    type EngineRun = Result<(NdStats, Vec<Vec<u8>>), Trap>;
+
+    /// Run `kernel` from `src` on all three engines with identical pools
+    /// and assert identical outcomes pairwise.
+    fn triangle(
+        src: &str,
+        kernel: &str,
+        args: &[RtArg],
+        pool_init: (Vec<Vec<u8>>, Vec<bool>),
+        global: [usize; 3],
+        local: [usize; 3],
+    ) {
+        let ast = parse(src).expect("parse");
+        let unit = compile(&ast).expect("compile");
+        let info = unit.kernels.get(kernel).expect("kernel").clone();
+        let reg = regir::compile_kernel(&unit, &info).expect("register compile");
+        let nat = compile_native(&reg, &info).expect("native compile");
+
+        let run = |engine: u8| -> EngineRun {
+            let mut pool = MemPool {
+                bufs: pool_init.0.clone(),
+                read_only: pool_init.1.clone(),
+            };
+            match engine {
+                0 => interp::run_ndrange(&unit, &info, args, &mut pool, global, local)
+                    .map(|stats| (stats, pool.bufs)),
+                1 => regir::run_ndrange(&reg, &info, args, &mut pool, global, local)
+                    .map(|stats| (stats, pool.bufs)),
+                _ => run_ndrange(&nat, &info, args, &mut pool, global, local)
+                    .map(|stats| (stats, pool.bufs)),
+            }
+        };
+        let stack = run(0);
+        let register = run(1);
+        let native = run(2);
+        for (label, other) in [("register", &register), ("native", &native)] {
+            match (&stack, other) {
+                (Ok((s_stats, s_bufs)), Ok((o_stats, o_bufs))) => {
+                    assert_eq!(s_bufs, o_bufs, "{label}: buffer contents differ");
+                    assert_eq!(
+                        s_stats.group_ops, o_stats.group_ops,
+                        "{label}: group_ops differ"
+                    );
+                    assert_eq!(s_stats.items, o_stats.items, "{label}: item counts differ");
+                }
+                (Err(s), Err(o)) => {
+                    assert_eq!(s.message, o.message, "{label}: trap messages differ");
+                    assert_eq!(s.global_id, o.global_id, "{label}: trap global ids differ");
+                }
+                (s, o) => panic!("{label} disagrees on success: stack={s:?} other={o:?}"),
+            }
+        }
+    }
+
+    fn f32_buf(vals: &[f32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn square_kernel_triangle() {
+        triangle(
+            r#"
+            __kernel void square(__global float* in, __global float* out, const int n) {
+                int i = get_global_id(0);
+                if (i < n) { out[i] = in[i] * in[i]; }
+            }
+            "#,
+            "square",
+            &[
+                RtArg::Buf { pool_slot: 0 },
+                RtArg::Buf { pool_slot: 1 },
+                RtArg::Scalar(Val::I(4)),
+            ],
+            (
+                vec![f32_buf(&[1.0, 2.0, 3.0, 4.0]), vec![0u8; 16]],
+                vec![false, false],
+            ),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn inner_product_loop_triangle() {
+        triangle(
+            r#"
+            __kernel void dotk(__global float* a, __global float* b, __global float* out, const int n) {
+                int i = get_global_id(0);
+                float acc = 0.0f;
+                for (int k = 0; k < n; k++) {
+                    acc = acc + a[i * n + k] * b[k * n + i];
+                }
+                out[i] = acc;
+            }
+            "#,
+            "dotk",
+            &[
+                RtArg::Buf { pool_slot: 0 },
+                RtArg::Buf { pool_slot: 1 },
+                RtArg::Buf { pool_slot: 2 },
+                RtArg::Scalar(Val::I(4)),
+            ],
+            (
+                vec![
+                    f32_buf(&(0..16).map(|i| i as f32 * 0.25).collect::<Vec<_>>()),
+                    f32_buf(&(0..16).map(|i| (16 - i) as f32 * 0.5).collect::<Vec<_>>()),
+                    vec![0u8; 16],
+                ],
+                vec![false, false, false],
+            ),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn barrier_reduction_triangle() {
+        let data: Vec<f32> = (0..16).map(|i| (16 - i) as f32).collect();
+        triangle(
+            r#"
+            __kernel void rmin(__global float* in, __global float* out, __local float* s) {
+                int l = get_local_id(0);
+                s[l] = in[get_global_id(0)];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                for (int st = get_local_size(0) / 2; st > 0; st = st / 2) {
+                    if (l < st) { s[l] = fmin(s[l], s[l + st]); }
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                if (l == 0) { out[get_group_id(0)] = s[0]; }
+            }
+            "#,
+            "rmin",
+            &[
+                RtArg::Buf { pool_slot: 0 },
+                RtArg::Buf { pool_slot: 1 },
+                RtArg::Local { bytes: 32 },
+            ],
+            (vec![f32_buf(&data), vec![0u8; 8]], vec![false, false]),
+            [16, 1, 1],
+            [8, 1, 1],
+        );
+    }
+
+    #[test]
+    fn nested_device_functions_triangle() {
+        triangle(
+            r#"
+            float g(float x) { return x * 2.0f; }
+            float f(float x) { return g(x) + 1.0f; }
+            __kernel void k(__global float* a) {
+                int i = get_global_id(0);
+                a[i] = f(a[i]) + g(3.0f);
+            }
+            "#,
+            "k",
+            &[RtArg::Buf { pool_slot: 0 }],
+            (vec![f32_buf(&[3.0, 5.0, -1.0, 0.5])], vec![false]),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn call_in_loop_reinitialises_window_locals() {
+        // The callee's window locals must behave as freshly zeroed on
+        // every activation, not inherit the previous iteration's values.
+        triangle(
+            r#"
+            float acc3(float x) {
+                float t = 0.0f;
+                for (int j = 0; j < 3; j++) { t = t + x; }
+                return t;
+            }
+            __kernel void k(__global float* a) {
+                int i = get_global_id(0);
+                float s = 0.0f;
+                for (int r = 0; r < 4; r++) { s = s + acc3(a[i] + (float)r); }
+                a[i] = s;
+            }
+            "#,
+            "k",
+            &[RtArg::Buf { pool_slot: 0 }],
+            (vec![f32_buf(&[1.0, -2.0, 0.25, 8.0])], vec![false]),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn float4_and_private_memory_triangle() {
+        triangle(
+            r#"
+            __kernel void v(__global float4* a, __global float* out) {
+                float4 x = a[0];
+                float4 y = (float4)(2.0f);
+                float tmp[4];
+                int i = get_global_id(0);
+                tmp[i % 4] = dot(x, y);
+                out[i] = tmp[i % 4] + x.y;
+                a[1] = x * y;
+            }
+            "#,
+            "v",
+            &[RtArg::Buf { pool_slot: 0 }, RtArg::Buf { pool_slot: 1 }],
+            (
+                vec![f32_buf(&[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]), vec![0u8; 16]],
+                vec![false, false],
+            ),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn oob_trap_triangle() {
+        triangle(
+            "__kernel void oob(__global float* a) { a[get_global_id(0) + 1000000] = 1.0f; }",
+            "oob",
+            &[RtArg::Buf { pool_slot: 0 }],
+            (vec![vec![0u8; 64]], vec![false]),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn div_zero_trap_triangle() {
+        triangle(
+            "__kernel void divz(__global int* a) { int z = (int)(get_global_id(0) * 0); a[0] = 1 / z; }",
+            "divz",
+            &[RtArg::Buf { pool_slot: 0 }],
+            (vec![vec![0u8; 64]], vec![false]),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn readonly_store_trap_triangle() {
+        triangle(
+            "__kernel void w(__global float* a) { a[get_global_id(0)] = 2.0f; }",
+            "w",
+            &[RtArg::Buf { pool_slot: 0 }],
+            (vec![vec![0u8; 64]], vec![true]),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+
+    #[test]
+    fn divergent_barrier_trap_triangle() {
+        triangle(
+            r#"
+            __kernel void diverge(__global float* a) {
+                if (get_local_id(0) == 0) { barrier(CLK_LOCAL_MEM_FENCE); }
+                a[get_global_id(0)] = 1.0f;
+            }
+            "#,
+            "diverge",
+            &[RtArg::Buf { pool_slot: 0 }],
+            (vec![vec![0u8; 64]], vec![false]),
+            [4, 1, 1],
+            [2, 1, 1],
+        );
+    }
+}
+
+#[cfg(test)]
+mod microbench {
+    use super::*;
+    use crate::minicl::codegen::compile;
+    use crate::minicl::parser::parse;
+    use crate::minicl::regir;
+
+    #[test]
+    #[ignore]
+    fn kernel_micro() {
+        let src = r#"
+            __kernel void mm(__global float* a, __global float* b, __global float* c, const int n) {
+                int i = get_global_id(1); int j = get_global_id(0);
+                float acc = 0.0f;
+                for (int k = 0; k < n; k++) { acc = acc + a[i*n+k]*b[k*n+j]; }
+                c[i*n+j] = acc;
+            }
+        "#;
+        let n = 128usize;
+        let ast = parse(src).unwrap();
+        let unit = compile(&ast).unwrap();
+        let info = unit.kernels.get("mm").unwrap().clone();
+        let reg = regir::compile_kernel(&unit, &info).unwrap();
+        let nat = compile_native(&reg, &info).unwrap();
+        let args = [
+            RtArg::Buf { pool_slot: 0 },
+            RtArg::Buf { pool_slot: 1 },
+            RtArg::Buf { pool_slot: 2 },
+            RtArg::Scalar(Val::I(n as i64)),
+        ];
+        let mk = || MemPool {
+            bufs: vec![vec![1u8; n * n * 4], vec![2u8; n * n * 4], vec![0u8; n * n * 4]],
+            read_only: vec![false, false, false],
+        };
+        let global = [n, n, 1];
+        let local = [8, 8, 1];
+        let mut best_r = u128::MAX;
+        let mut best_n = u128::MAX;
+        for _ in 0..5 {
+            let mut pool = mk();
+            let t = std::time::Instant::now();
+            regir::run_ndrange(&reg, &info, &args, &mut pool, global, local).unwrap();
+            best_r = best_r.min(t.elapsed().as_micros());
+            let mut pool = mk();
+            let t = std::time::Instant::now();
+            run_ndrange(&nat, &info, &args, &mut pool, global, local).unwrap();
+            best_n = best_n.min(t.elapsed().as_micros());
+        }
+        eprintln!("register {best_r}us native {best_n}us speedup {:.2}x", best_r as f64 / best_n as f64);
+    }
+
+    #[test]
+    #[ignore]
+    fn barrier_micro() {
+        let src = r#"
+            __kernel void red(__global float* in, __global float* out, __local float* s, const int n) {
+                int gid = get_global_id(0);
+                int l = get_local_id(0);
+                if (gid < n) { s[l] = in[gid]; } else { s[l] = 3.0e38f; }
+                barrier(CLK_LOCAL_MEM_FENCE);
+                for (int st = get_local_size(0) / 2; st > 0; st = st / 2) {
+                    if (l < st) { if (s[l + st] < s[l]) { s[l] = s[l + st]; } }
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                if (l == 0) { out[get_group_id(0)] = s[0]; }
+            }
+        "#;
+        let n = 1usize << 20;
+        let group = 256usize;
+        let ast = parse(src).unwrap();
+        let unit = compile(&ast).unwrap();
+        let info = unit.kernels.get("red").unwrap().clone();
+        let reg = regir::compile_kernel(&unit, &info).unwrap();
+        let nat = compile_native(&reg, &info).unwrap();
+        let args = [
+            RtArg::Buf { pool_slot: 0 },
+            RtArg::Buf { pool_slot: 1 },
+            RtArg::Local { bytes: group * 4 },
+            RtArg::Scalar(Val::I(n as i64)),
+        ];
+        let mk = || MemPool {
+            bufs: vec![vec![1u8; n * 4], vec![0u8; (n / group) * 4]],
+            read_only: vec![false, false],
+        };
+        let global = [n, 1, 1];
+        let local = [group, 1, 1];
+        let mut best_r = u128::MAX;
+        let mut best_n = u128::MAX;
+        for _ in 0..5 {
+            let mut pool = mk();
+            let t = std::time::Instant::now();
+            regir::run_ndrange(&reg, &info, &args, &mut pool, global, local).unwrap();
+            best_r = best_r.min(t.elapsed().as_micros());
+            let mut pool = mk();
+            let t = std::time::Instant::now();
+            run_ndrange(&nat, &info, &args, &mut pool, global, local).unwrap();
+            best_n = best_n.min(t.elapsed().as_micros());
+        }
+        eprintln!("register {best_r}us native {best_n}us speedup {:.2}x", best_r as f64 / best_n as f64);
+    }
+}

@@ -52,35 +52,37 @@ type R = u16;
 /// A raw 16-byte register. Untyped: the compiler proved the producing and
 /// consuming ops agree on the interpretation, so the accessors just
 /// reinterpret bits (no `unsafe` — everything goes through `to_bits`).
+/// Shared with the native engine (`super::native`), which executes the
+/// same register file layout.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-struct RVal([u64; 2]);
+pub(super) struct RVal(pub(super) [u64; 2]);
 
 impl RVal {
     #[inline(always)]
-    fn from_i(v: i64) -> Self {
+    pub(super) fn from_i(v: i64) -> Self {
         RVal([v as u64, 0])
     }
     #[inline(always)]
-    fn i(self) -> i64 {
+    pub(super) fn i(self) -> i64 {
         self.0[0] as i64
     }
     #[inline(always)]
-    fn from_f(v: f64) -> Self {
+    pub(super) fn from_f(v: f64) -> Self {
         RVal([v.to_bits(), 0])
     }
     #[inline(always)]
-    fn f(self) -> f64 {
+    pub(super) fn f(self) -> f64 {
         f64::from_bits(self.0[0])
     }
     #[inline(always)]
-    fn from_f4(v: [f32; 4]) -> Self {
+    pub(super) fn from_f4(v: [f32; 4]) -> Self {
         RVal([
             (v[0].to_bits() as u64) | ((v[1].to_bits() as u64) << 32),
             (v[2].to_bits() as u64) | ((v[3].to_bits() as u64) << 32),
         ])
     }
     #[inline(always)]
-    fn f4(self) -> [f32; 4] {
+    pub(super) fn f4(self) -> [f32; 4] {
         [
             f32::from_bits(self.0[0] as u32),
             f32::from_bits((self.0[0] >> 32) as u32),
@@ -88,7 +90,7 @@ impl RVal {
             f32::from_bits((self.0[1] >> 32) as u32),
         ]
     }
-    fn from_ptr(p: PtrV) -> Self {
+    pub(super) fn from_ptr(p: PtrV) -> Self {
         let space = match p.space {
             Space::Global => 0u64,
             Space::Local => 1,
@@ -98,7 +100,7 @@ impl RVal {
         RVal([space | ((p.slot as u64) << 8) | ((p.base as u64) << 32), 0])
     }
     #[inline(always)]
-    fn ptr(self) -> PtrV {
+    pub(super) fn ptr(self) -> PtrV {
         let w = self.0[0];
         PtrV {
             space: match w & 0xff {
@@ -122,8 +124,9 @@ impl RVal {
 }
 
 /// One register-IR instruction. Register operands are frame-relative.
+/// Shared with the native engine, which lowers this stream further.
 #[derive(Debug, Clone, PartialEq)]
-enum ROp {
+pub(super) enum ROp {
     /// Charge `n` abstract ops (the block's summed stack-op costs) and
     /// check the per-item budget. Emitted at every basic-block entry.
     Ops(u64),
@@ -192,29 +195,71 @@ enum ROp {
 
 /// A lowered device function.
 #[derive(Debug, Clone)]
-struct RFunc {
-    entry: u32,
-    nargs: u8,
-    nlocals: u16,
+pub(super) struct RFunc {
+    pub(super) entry: u32,
+    pub(super) nargs: u8,
+    pub(super) nlocals: u16,
     /// First constant-pool register; operand stack spans `nlocals..const_base`.
-    const_base: u16,
-    nregs: u16,
+    pub(super) const_base: u16,
+    pub(super) nregs: u16,
     /// Constant pool, written into `const_base..nregs` on frame entry.
-    consts: Vec<RVal>,
-    compiled: bool,
+    pub(super) consts: Vec<RVal>,
+    pub(super) compiled: bool,
+    /// Code range `[start, end)` of this function inside [`RegProgram::code`]
+    /// (zero for uncompiled functions). Retained for the native inliner.
+    pub(super) start: u32,
+    pub(super) end: u32,
 }
 
 /// A kernel lowered to register IR, ready to dispatch any number of times.
+///
+/// Produced by [`compile_kernel`], executed by [`run_ndrange`], and lowered
+/// further by the native engine ([`super::native::compile_native`]). The
+/// program is *validated*: every register operand is inside its frame,
+/// every jump target inside its function, every function ends in an
+/// unconditional terminator — which is what licenses the unchecked
+/// interpreter loop (and the native lowering built on top of it).
+///
+/// ```
+/// use oclsim::minicl::{self, regir};
+/// use oclsim::minicl::interp::{MemPool, RtArg};
+///
+/// // Lower a tiny kernel end-to-end: source -> AST -> stack bytecode ->
+/// // register IR, then dispatch it over a 4-item range.
+/// let unit = minicl::parse("__kernel void dbl(__global float* a) {
+///     int i = get_global_id(0);
+///     a[i] = a[i] * 2.0f;
+/// }").unwrap();
+/// let compiled = minicl::compile(&unit).unwrap();
+/// let info = compiled.kernels.get("dbl").unwrap().clone();
+/// let prog = regir::compile_kernel(&compiled, &info).expect("lowerable");
+/// assert!(!prog.is_empty());
+///
+/// let mut pool = MemPool {
+///     bufs: vec![[1.0f32, 2.0, 3.0, 4.0].iter().flat_map(|v| v.to_le_bytes()).collect()],
+///     read_only: vec![false],
+/// };
+/// let stats = regir::run_ndrange(
+///     &prog, &info, &[RtArg::Buf { pool_slot: 0 }], &mut pool, [4, 1, 1], [2, 1, 1],
+/// ).unwrap();
+/// assert_eq!(stats.items, 4);
+/// let out: Vec<f32> = pool.bufs[0].chunks(4)
+///     .map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+/// assert_eq!(out, vec![2.0, 4.0, 6.0, 8.0]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RegProgram {
-    code: Vec<ROp>,
-    entry: u32,
-    nregs: u16,
+    pub(super) code: Vec<ROp>,
+    pub(super) entry: u32,
+    pub(super) nregs: u16,
     /// First constant-pool register of the kernel frame.
-    const_base: u16,
+    pub(super) const_base: u16,
     /// Kernel-frame constant pool (baked into the dispatch template).
-    consts: Vec<RVal>,
-    funcs: Vec<RFunc>,
+    pub(super) consts: Vec<RVal>,
+    pub(super) funcs: Vec<RFunc>,
+    /// End of the kernel-main code range (`code[..main_end]` is the kernel
+    /// body; device functions follow). Retained for the native inliner.
+    pub(super) main_end: u32,
 }
 
 impl RegProgram {
@@ -1222,6 +1267,22 @@ fn validate(prog: &RegProgram, main_end: usize, franges: &[Option<(usize, usize)
 /// not cover (depth-inconsistent joins, ambiguous function returns, a
 /// malformed hand-built unit); the dispatcher then falls back to the stack
 /// interpreter.
+///
+/// ```
+/// use oclsim::minicl::{self, regir};
+///
+/// let unit = minicl::parse(
+///     "__kernel void id(__global int* a) { a[get_global_id(0)] = get_global_id(0); }",
+/// ).unwrap();
+/// let compiled = minicl::compile(&unit).unwrap();
+/// let info = compiled.kernels.get("id").unwrap();
+/// let prog = regir::compile_kernel(&compiled, info).expect("codegen output always lowers");
+/// // The symbolic-stack lowering folds pushes and moves away, so the
+/// // register program stays close to the stack bytecode in size.
+/// assert!(prog.len() <= compiled.code.len() + 8);
+/// ```
+///
+/// See [`RegProgram`] for a full lower-and-dispatch example.
 pub fn compile_kernel(unit: &CompiledUnit, kernel: &KernelInfo) -> Option<RegProgram> {
     let rets: Vec<Option<bool>> = unit
         .funcs
@@ -1271,6 +1332,8 @@ pub fn compile_kernel(unit: &CompiledUnit, kernel: &KernelInfo) -> Option<RegPro
             nregs: 0,
             consts: Vec::new(),
             compiled: false,
+            start: 0,
+            end: 0,
         })
         .collect();
     let mut franges: Vec<Option<(usize, usize)>> = vec![None; unit.funcs.len()];
@@ -1293,6 +1356,8 @@ pub fn compile_kernel(unit: &CompiledUnit, kernel: &KernelInfo) -> Option<RegPro
             funcs[fi].nregs = u16::try_from(an.nregs as u32 + fconsts.len() as u32).ok()?;
             funcs[fi].consts = fconsts;
             funcs[fi].compiled = true;
+            funcs[fi].start = u32::try_from(start).ok()?;
+            funcs[fi].end = u32::try_from(code.len()).ok()?;
         }
     }
     // Rewrite stack-ip jump targets into register-code indices.
@@ -1323,6 +1388,7 @@ pub fn compile_kernel(unit: &CompiledUnit, kernel: &KernelInfo) -> Option<RegPro
         const_base: kmain.nregs,
         consts: main_consts,
         funcs,
+        main_end: u32::try_from(main_end).ok()?,
     };
     validate(&prog, main_end, &franges)?;
     Some(prog)
@@ -1401,7 +1467,10 @@ struct RCtx<'a> {
 }
 
 /// Execute a full ND-range on the register engine. Same contract, traps and
-/// statistics as [`super::interp::run_ndrange`].
+/// statistics as [`super::interp::run_ndrange`]: byte-identical buffers,
+/// identical `group_ops` (virtual clock) and identical trap
+/// messages/global-ids. See [`RegProgram`] for a lower-and-dispatch
+/// example.
 pub fn run_ndrange(
     prog: &RegProgram,
     kernel: &KernelInfo,
@@ -1565,7 +1634,8 @@ fn run_group_lockstep(
     Ok(items.iter().map(|i| i.ops).sum())
 }
 
-fn cmp_i(cmp: Cmp, a: i64, b: i64) -> bool {
+#[inline(always)]
+pub(super) fn cmp_i(cmp: Cmp, a: i64, b: i64) -> bool {
     match cmp {
         Cmp::Eq => a == b,
         Cmp::Ne => a != b,
@@ -1576,7 +1646,8 @@ fn cmp_i(cmp: Cmp, a: i64, b: i64) -> bool {
     }
 }
 
-fn cmp_f(cmp: Cmp, a: f64, b: f64) -> bool {
+#[inline(always)]
+pub(super) fn cmp_f(cmp: Cmp, a: f64, b: f64) -> bool {
     match cmp {
         Cmp::Eq => a == b,
         Cmp::Ne => a != b,
@@ -1622,7 +1693,7 @@ fn region_mut<'c>(
 }
 
 #[inline(always)]
-fn read_reg(bytes: &[u8], at: usize, ty: ElemTy) -> Option<RVal> {
+pub(super) fn read_reg(bytes: &[u8], at: usize, ty: ElemTy) -> Option<RVal> {
     let slice = bytes.get(at..at + ty.byte_size())?;
     Some(match ty {
         ElemTy::I32 => RVal::from_i(i32::from_le_bytes(slice.try_into().ok()?) as i64),
@@ -1636,7 +1707,7 @@ fn read_reg(bytes: &[u8], at: usize, ty: ElemTy) -> Option<RVal> {
 }
 
 #[inline(always)]
-fn write_reg(bytes: &mut [u8], at: usize, ty: ElemTy, v: RVal) -> Option<()> {
+pub(super) fn write_reg(bytes: &mut [u8], at: usize, ty: ElemTy, v: RVal) -> Option<()> {
     let slice = bytes.get_mut(at..at + ty.byte_size())?;
     match ty {
         ElemTy::I32 => slice.copy_from_slice(&(v.i() as i32).to_le_bytes()),

@@ -8,6 +8,7 @@ use crate::error::{ClError, ClResult};
 use crate::event::{CommandKind, Event};
 use crate::fault::{FaultInjector, FaultOp};
 use crate::minicl::interp::{run_ndrange, MemPool};
+use crate::minicl::native;
 use crate::minicl::regir;
 use crate::ndrange::NdRange;
 use crate::program::Kernel;
@@ -239,8 +240,10 @@ impl CommandQueue {
 
     /// Launch a kernel over `nd`, mirroring `clEnqueueNDRangeKernel`.
     ///
-    /// Executes the kernel with the engine the kernel requests (register by
-    /// default, stack as reference or fallback — see [`crate::engine`]) and
+    /// Executes the kernel with the engine the kernel requests (native by
+    /// default, falling down the ladder to register and then the stack
+    /// reference engine whenever a lowering declines the kernel — see
+    /// [`crate::engine`]) and
     /// charges the device's analytic cost to the queue's virtual clock. The
     /// returned event's profiling timestamps expose that cost; its
     /// [`Event::engine`] and [`Event::ops`] report what actually ran. The
@@ -282,14 +285,33 @@ impl CommandQueue {
             }
         }
 
-        // Only touch (and lazily compile) the register program when the
-        // register engine is actually requested.
-        let reg = match kernel.engine() {
-            Engine::Register => kernel.reg_program(),
-            Engine::Stack => None,
+        // Walk down the engine ladder from the requested rung, lazily
+        // compiling only the programs the chosen rung needs: native →
+        // register → stack, stopping at the first lowering that accepted
+        // the kernel.
+        let requested = kernel.engine();
+        let native = match requested {
+            Engine::Native => kernel.native_program(),
+            Engine::Register | Engine::Stack => None,
         };
-        let (result, engine_used) = match reg {
-            Some(prog) => (
+        let reg = match (&native, requested) {
+            (Some(_), _) | (None, Engine::Stack) => None,
+            (None, Engine::Native | Engine::Register) => kernel.reg_program(),
+        };
+        let (result, engine_used) = if let Some(prog) = native {
+            (
+                native::run_ndrange(
+                    &prog,
+                    &kernel.info,
+                    &plan.rt_args,
+                    &mut pool,
+                    nd.global,
+                    nd.local,
+                ),
+                Engine::Native,
+            )
+        } else if let Some(prog) = reg {
+            (
                 regir::run_ndrange(
                     &prog,
                     &kernel.info,
@@ -299,8 +321,9 @@ impl CommandQueue {
                     nd.local,
                 ),
                 Engine::Register,
-            ),
-            None => (
+            )
+        } else {
+            (
                 run_ndrange(
                     &kernel.unit,
                     &kernel.info,
@@ -310,7 +333,7 @@ impl CommandQueue {
                     nd.local,
                 ),
                 Engine::Stack,
-            ),
+            )
         };
 
         // Always return bytes to their buffers, even on trap.

@@ -1,16 +1,19 @@
-//! Differential tests pinning the two kernel execution engines together.
+//! Differential tests pinning the three kernel execution engines together.
 //!
 //! Every kernel the repository can produce — the generated OpenCL C of all
 //! five Ensemble applications on both device targets, hand-written trap
 //! fixtures, and proptest-generated expression kernels — is run through the
 //! full public dispatch path (`Program::build` → `set_arg_*` →
-//! `enqueue_nd_range`) once per engine, and the engines must agree **byte
-//! for byte** on every output buffer, on the retired abstract op count,
-//! and — when a kernel traps — on the exact trap message and work-item.
+//! `enqueue_nd_range`) once per engine, and all three engines must agree
+//! **byte for byte** on every output buffer, on the retired abstract op
+//! count, and — when a kernel traps — on the exact trap message and
+//! work-item.
 //!
 //! The stack interpreter is the reference; the register-IR engine
-//! (`oclsim::minicl` register compiler) is the one under test. See
-//! `ARCHITECTURE.md` §11.
+//! (`oclsim::minicl::regir`) and the direct-threaded native engine
+//! (`oclsim::minicl::native`) are the ones under test. Each is compared
+//! against the stack reference, closing the triangle
+//! stack ↔ register ↔ native. See `ARCHITECTURE.md` §11–§12.
 
 use ensemble_repro::ensemble_lang::{self, ActorCode};
 use ensemble_repro::oclsim::{
@@ -90,17 +93,22 @@ fn run_on(engine: Engine, src: &str, kernel_name: &str, global: [usize; 3], loca
     Ok((out, ops))
 }
 
-/// Run on both engines and assert identical outcomes.
+/// Run on all three engines and assert identical outcomes pairwise
+/// against the stack reference (closing the triangle transitively).
 fn assert_engines_agree(src: &str, kernel_name: &str, global: [usize; 3], local: [usize; 3]) {
     let stack = run_on(Engine::Stack, src, kernel_name, global, local);
-    let register = run_on(Engine::Register, src, kernel_name, global, local);
-    match (&stack, &register) {
-        (Ok((sb, sops)), Ok((rb, rops))) => {
-            assert_eq!(sb, rb, "`{kernel_name}`: output buffers differ");
-            assert_eq!(sops, rops, "`{kernel_name}`: retired op counts differ");
+    for (label, engine) in [("register", Engine::Register), ("native", Engine::Native)] {
+        let other = run_on(engine, src, kernel_name, global, local);
+        match (&stack, &other) {
+            (Ok((sb, sops)), Ok((ob, oops))) => {
+                assert_eq!(sb, ob, "`{kernel_name}`: {label} output buffers differ from stack");
+                assert_eq!(sops, oops, "`{kernel_name}`: {label} retired op count differs from stack");
+            }
+            (Err(s), Err(o)) => assert_eq!(s, o, "`{kernel_name}`: {label} trap differs from stack"),
+            _ => panic!(
+                "`{kernel_name}`: engines disagree on success: stack={stack:?} {label}={other:?}"
+            ),
         }
-        (Err(s), Err(r)) => assert_eq!(s, r, "`{kernel_name}`: traps differ"),
-        _ => panic!("`{kernel_name}`: engines disagree on success: stack={stack:?} register={register:?}"),
     }
 }
 
@@ -131,9 +139,9 @@ fn harvested_kernels() -> Vec<(String, String)> {
 }
 
 /// Every kernel the Ensemble compiler generates for the five evaluation
-/// applications runs identically on both engines.
+/// applications runs identically on all three engines.
 #[test]
-fn harvested_app_kernels_agree_on_both_engines() {
+fn harvested_app_kernels_agree_on_all_engines() {
     let kernels = harvested_kernels();
     assert!(
         kernels.len() >= 5,
@@ -145,10 +153,10 @@ fn harvested_app_kernels_agree_on_both_engines() {
     }
 }
 
-/// Trap fixtures: both engines must fail identically, through the public
-/// dispatch path (not just the minicl unit tests).
+/// Trap fixtures: all three engines must fail identically, through the
+/// public dispatch path (not just the minicl unit tests).
 #[test]
-fn trap_fixtures_agree_on_both_engines() {
+fn trap_fixtures_agree_on_all_engines() {
     let fixtures: &[(&str, &str)] = &[
         (
             "oob",
@@ -242,7 +250,7 @@ fn int_loop_kernel(bound: u8, ops: &[u8]) -> String {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Arbitrary float expression kernels agree byte for byte.
+    /// Arbitrary float expression kernels agree byte for byte on all engines.
     #[test]
     fn random_float_kernels_agree(
         ops in proptest::collection::vec(any::<u8>(), 1..12),
