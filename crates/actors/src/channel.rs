@@ -195,7 +195,15 @@ impl<T> In<T> {
         self.recv_deadline(Some(Instant::now() + timeout))
     }
 
-    fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, ChannelError> {
+    /// Like [`In::receive`], but give up with [`ChannelError::TimedOut`]
+    /// once the absolute `deadline` passes (`None` blocks indefinitely,
+    /// exactly like [`In::receive`]).
+    ///
+    /// This is the serving-path primitive: a session's per-request
+    /// deadline is one absolute instant, and every blocking receive on
+    /// the session's path checks against it — a timeout on any of them
+    /// sheds the request instead of wedging the shared device pool.
+    pub fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, ChannelError> {
         let wait_start = if self.trace.is_enabled() {
             Some(self.trace.wall_ns())
         } else {

@@ -36,9 +36,18 @@
 //! (`--wallclock-out <path>` overrides; `--repeats <N>` sets runs per
 //! engine, default 3). Exits non-zero when any app's engines disagree on
 //! output or virtual clock.
+//!
+//! `--serve` runs the multi-tenant serving bench instead of the figures:
+//! three mixed-application workloads drive an open-loop load at ~2× the
+//! admission watermark with seeded kill-chaos in half the tenants
+//! (`--tenants <N>` tenants per workload, default 6; `--serve-seed <N>`
+//! kill seed, default 1), writing requests/sec, p50/p99 latency,
+//! eviction counts and outcome tallies to `BENCH_7.json`
+//! (`--serve-out <path>` overrides). Exits non-zero when any chaos-free
+//! tenant's output or virtual clock diverges from its solo reference.
 
 use bench::figures::{self, ALL};
-use bench::{chaos, wallclock, Sizes, TraceSink};
+use bench::{chaos, serve_bench, wallclock, Sizes, TraceSink};
 
 fn run_wallclock_mode(sizes: &Sizes, sizes_label: &str, repeats: usize, out_path: &str) -> ! {
     eprintln!("wall-clock mode: {sizes_label} sizes, {repeats} runs per engine");
@@ -112,6 +121,32 @@ fn run_kill_chaos_mode(seed: u64, sizes: &Sizes) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+fn run_serve_mode(tenants: usize, seed: u64, out_path: &str) -> ! {
+    eprintln!("serving mode: {tenants} tenants per workload, kill seed {seed}");
+    match serve_bench::run_serve(tenants, seed) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if let Err(e) = std::fs::write(out_path, report.to_json()) {
+                eprintln!("error: writing {out_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("serve: results written to {out_path}");
+            if !report.all_consistent() {
+                eprintln!(
+                    "error: a chaos-free tenant diverged from its solo reference \
+                     (or a workload completed nothing)"
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
@@ -121,6 +156,10 @@ fn main() {
     let mut wallclock_mode = false;
     let mut wallclock_out = "BENCH_6.json".to_string();
     let mut repeats = 3usize;
+    let mut serve_mode = false;
+    let mut serve_tenants = 6usize;
+    let mut serve_seed = 1u64;
+    let mut serve_out = "BENCH_7.json".to_string();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--wallclock" {
@@ -138,6 +177,32 @@ fn main() {
                 Some(n) if n >= 1 => repeats = n,
                 _ => {
                     eprintln!("error: --repeats requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--serve" {
+            serve_mode = true;
+        } else if a == "--tenants" {
+            match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 2 => serve_tenants = n,
+                _ => {
+                    eprintln!("error: --tenants requires an integer >= 2");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--serve-seed" {
+            match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => serve_seed = s,
+                None => {
+                    eprintln!("error: --serve-seed requires an integer seed");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--serve-out" {
+            match it.next() {
+                Some(p) => serve_out = p,
+                None => {
+                    eprintln!("error: --serve-out requires an output file path");
                     std::process::exit(2);
                 }
             }
@@ -198,6 +263,9 @@ fn main() {
     if wallclock_mode {
         let label = if paper { "paper" } else { "bench" };
         run_wallclock_mode(&sizes, label, repeats, &wallclock_out);
+    }
+    if serve_mode {
+        run_serve_mode(serve_tenants, serve_seed, &serve_out);
     }
     if paper {
         eprintln!("note: paper-scale inputs run every work-item through an interpreter; expect long runtimes");

@@ -19,7 +19,9 @@
 //! five applications run under a seeded deterministic fault schedule on
 //! the simulated GPU — plus a permanent device-loss scenario — and the
 //! harness asserts every run still matches its fault-free reference (see
-//! [`chaos`]).
+//! [`chaos`]), and a **serving mode** (`--serve`): open-loop multi-tenant
+//! load with kill-chaos in half the tenants, gating cross-tenant
+//! isolation byte-for-byte (see [`serve_bench`]).
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub use trace::TraceSink;
 pub mod apps_ens;
 pub mod chaos;
 pub mod figures;
+pub mod serve_bench;
 pub mod table1;
 pub mod wallclock;
 

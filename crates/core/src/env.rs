@@ -136,6 +136,33 @@ impl DeviceMatrix {
     }
 }
 
+/// Resolves a kernel actor's `<device_index, device_type>` selection to
+/// the [`OpenClEnvironment`] it will dispatch through.
+///
+/// The VM's default resolver ([`MatrixResolver`]) answers from the
+/// process-wide [`DeviceMatrix`] — one shared context + queue per device,
+/// exactly the paper's runtime. A multi-tenant serving layer substitutes
+/// its own resolver so each tenant session dispatches through *private*
+/// per-tenant contexts and queues over the same physical devices: private
+/// contexts give every tenant a deterministic virtual clock starting at
+/// zero (byte-identical solo vs. contended runs) and a fault-isolation
+/// boundary (one tenant's injected chaos can only ever fire on that
+/// tenant's own queues).
+pub trait ResolveEnv: Send + Sync {
+    /// Resolve `sel` to a device environment.
+    fn resolve(&self, sel: DeviceSel) -> ClResult<OpenClEnvironment>;
+}
+
+/// The default resolver: the process-wide device matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatrixResolver;
+
+impl ResolveEnv for MatrixResolver {
+    fn resolve(&self, sel: DeviceSel) -> ClResult<OpenClEnvironment> {
+        OpenClEnvironment::resolve(sel)
+    }
+}
+
 /// The runtime structure attached to every OpenCL actor (§6.2.2): metadata
 /// about the platform, device and device type, plus the relevant command
 /// queue and context, populated from the device matrix when the actor is

@@ -115,7 +115,7 @@ pub mod resident;
 pub mod settings;
 
 pub use checkpoint::{Checkpoint, MemGuard};
-pub use env::{device_matrix, DeviceSel, OpenClEnvironment};
+pub use env::{device_matrix, DeviceSel, MatrixResolver, OpenClEnvironment, ResolveEnv};
 pub use flatten::{Array2, Array3, FlatData, FlatSeg, Flatten, FlattenError, SegTy};
 pub use kernel_actor::{KernelActor, KernelSpec, ResidentKernelActor};
 pub use profile::{Profile, ProfileSink};

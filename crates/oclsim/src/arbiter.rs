@@ -1,0 +1,188 @@
+//! Multi-tenant seams: command-queue arbitration and pool-level memory
+//! observation.
+//!
+//! The simulator itself runs one command at a time per queue; what a
+//! *serving* layer needs on top is a say in **when** each tenant's queue
+//! may touch the underlying device, and **whether** a device allocation
+//! fits the physical pool once every tenant's resident bytes are summed.
+//! Both are expressed here as small trait seams that the queue and
+//! context consult when (and only when) something is attached — an
+//! unattached queue behaves exactly as before, so single-program runs
+//! pay nothing.
+//!
+//! * [`QueueArbiter`] — attached to a [`crate::CommandQueue`] via
+//!   [`crate::CommandQueue::attach_arbiter`] together with a tenant tag.
+//!   Every upload, read-back, and kernel dispatch then brackets its work
+//!   in an `acquire`/`release` pair, letting a fairness policy (e.g.
+//!   `crates/serve`'s round-robin or weighted arbiter) interleave
+//!   tenants' commands on the shared physical device. Arbitration is a
+//!   wall-clock concern: it never touches the queue's deterministic
+//!   virtual clock, so a tenant's virtual timeline is byte-identical
+//!   with or without contention.
+//! * [`MemObserver`] — attached to a [`crate::Context`] via
+//!   [`crate::Context::set_mem_observer`]. Every allocation asks the
+//!   observer first (giving a pool accountant the chance to evict idle
+//!   resident buffers, or to veto past the physical budget), and every
+//!   release is reported back.
+
+use crate::error::ClResult;
+use std::fmt;
+use std::sync::Arc;
+
+/// Fairness policy consulted around every device command of an
+/// arbitrated queue. Implementations must be deadlock-free: `acquire`
+/// may block, but only until the policy grants the slot, and every
+/// `acquire` is matched by exactly one `release` (RAII on the queue
+/// side, panic-safe).
+pub trait QueueArbiter: Send + Sync {
+    /// Block until `tenant` may issue its next command against device
+    /// `device_id`.
+    fn acquire(&self, device_id: usize, tenant: u64);
+    /// Return the slot taken by the matching [`QueueArbiter::acquire`].
+    fn release(&self, device_id: usize, tenant: u64);
+}
+
+/// A queue's arbiter attachment: the policy plus the tenant tag this
+/// queue's commands are issued under. The default (detached) handle
+/// grants everything immediately.
+#[derive(Clone, Default)]
+pub struct ArbiterHandle {
+    arbiter: Option<Arc<dyn QueueArbiter>>,
+    tenant: u64,
+}
+
+impl fmt::Debug for ArbiterHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArbiterHandle")
+            .field("attached", &self.arbiter.is_some())
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}
+
+impl ArbiterHandle {
+    /// A handle routing through `arbiter` under tenant tag `tenant`.
+    pub fn new(arbiter: Arc<dyn QueueArbiter>, tenant: u64) -> ArbiterHandle {
+        ArbiterHandle {
+            arbiter: Some(arbiter),
+            tenant,
+        }
+    }
+
+    /// The no-op handle (no arbitration).
+    pub fn detached() -> ArbiterHandle {
+        ArbiterHandle::default()
+    }
+
+    /// Acquire a command slot on `device_id`, returning a guard that
+    /// releases it on drop (`None` when detached).
+    pub(crate) fn grant(&self, device_id: usize) -> Option<ArbiterGrant> {
+        self.arbiter.as_ref().map(|a| {
+            a.acquire(device_id, self.tenant);
+            ArbiterGrant {
+                arbiter: Arc::clone(a),
+                device_id,
+                tenant: self.tenant,
+            }
+        })
+    }
+}
+
+/// RAII slot held for the duration of one device command; releasing on
+/// drop keeps the accounting right even when the command unwinds (e.g.
+/// an injected kill-panic).
+pub(crate) struct ArbiterGrant {
+    arbiter: Arc<dyn QueueArbiter>,
+    device_id: usize,
+    tenant: u64,
+}
+
+impl Drop for ArbiterGrant {
+    fn drop(&mut self) {
+        self.arbiter.release(self.device_id, self.tenant);
+    }
+}
+
+/// Pool-level memory accounting hooks, consulted by every allocation and
+/// release of an attached [`crate::Context`].
+///
+/// The simulator's per-context budget stays the *hard* limit (a buffer
+/// must fit the device); an observer adds the *cross-tenant* view — many
+/// contexts over one physical device — and may evict idle resident
+/// buffers to make room, or veto with a typed error.
+pub trait MemObserver: Send + Sync {
+    /// Consulted before `bytes` are charged against device `device_id`.
+    /// Returning an error vetoes the allocation (the caller sees it as
+    /// the allocation failure). Implementations may trigger eviction
+    /// here; they must not re-enter the allocating context's own
+    /// accounting locks.
+    fn will_allocate(&self, device_id: usize, bytes: usize) -> ClResult<()>;
+    /// `bytes` previously charged against `device_id` were released.
+    fn did_release(&self, device_id: usize, bytes: usize);
+}
+
+/// Shared observer slot with a readable `Debug` (trait objects have
+/// none).
+#[derive(Default)]
+pub(crate) struct ObserverSlot(parking_lot::Mutex<Option<Arc<dyn MemObserver>>>);
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ObserverSlot")
+            .field(&self.0.lock().is_some())
+            .finish()
+    }
+}
+
+impl ObserverSlot {
+    /// Replace the attached observer (`None` detaches).
+    pub(crate) fn set(&self, observer: Option<Arc<dyn MemObserver>>) {
+        *self.0.lock() = observer;
+    }
+
+    /// Clone the attached observer out (so callers never hold the slot
+    /// lock across observer calls).
+    pub(crate) fn get(&self) -> Option<Arc<dyn MemObserver>> {
+        self.0.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingArbiter {
+        acquires: AtomicUsize,
+        releases: AtomicUsize,
+    }
+
+    impl QueueArbiter for CountingArbiter {
+        fn acquire(&self, _device: usize, _tenant: u64) {
+            self.acquires.fetch_add(1, Ordering::SeqCst);
+        }
+        fn release(&self, _device: usize, _tenant: u64) {
+            self.releases.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn grant_is_raii() {
+        let arb = Arc::new(CountingArbiter {
+            acquires: AtomicUsize::new(0),
+            releases: AtomicUsize::new(0),
+        });
+        let handle = ArbiterHandle::new(arb.clone(), 7);
+        {
+            let _g = handle.grant(0).unwrap();
+            assert_eq!(arb.acquires.load(Ordering::SeqCst), 1);
+            assert_eq!(arb.releases.load(Ordering::SeqCst), 0);
+        }
+        assert_eq!(arb.releases.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn detached_handle_grants_nothing() {
+        assert!(ArbiterHandle::detached().grant(0).is_none());
+    }
+}

@@ -1,5 +1,6 @@
 //! Contexts, mirroring `cl_context`.
 
+use crate::arbiter::{MemObserver, ObserverSlot};
 use crate::buffer::{Buffer, MemFlags};
 use crate::device::Device;
 use crate::error::{ClError, ClResult};
@@ -19,6 +20,9 @@ struct ContextInner {
     /// Optional fault source consulted by `Program::build` (see
     /// [`crate::fault`]).
     faults: Mutex<FaultInjector>,
+    /// Optional pool-level accountant consulted around every allocation
+    /// and release (see [`crate::arbiter::MemObserver`]).
+    observer: ObserverSlot,
 }
 
 /// An umbrella structure holding the devices in use plus the runtime
@@ -53,8 +57,22 @@ impl Context {
                 mem_budget,
                 allocated: Mutex::new(0),
                 faults: Mutex::new(FaultInjector::disabled()),
+                observer: ObserverSlot::default(),
             }),
         })
+    }
+
+    /// Attach a pool-level memory observer: every subsequent
+    /// [`Context::create_buffer`] first consults it (the observer may
+    /// evict idle buffers elsewhere, or veto the allocation), and every
+    /// [`Context::release_bytes`] reports back. All clones share the
+    /// attachment; pass `None` to detach.
+    ///
+    /// The observer sees the context's **first device's** id — the
+    /// serving layer only attaches observers to single-device contexts
+    /// (one context per tenant per device), where that is *the* device.
+    pub fn set_mem_observer(&self, observer: Option<Arc<dyn MemObserver>>) {
+        self.inner.observer.set(observer);
     }
 
     /// Attach a fault injector: every subsequent [`crate::Program::build`]
@@ -102,6 +120,13 @@ impl Context {
     /// Allocate a device buffer of `bytes` bytes, mirroring
     /// `clCreateBuffer`.
     pub fn create_buffer(&self, flags: MemFlags, bytes: usize) -> ClResult<Buffer> {
+        // Consult the pool accountant *before* taking this context's own
+        // allocation lock: the observer may evict (which releases bytes
+        // through other contexts — or even this one), so it must never
+        // run under our lock.
+        if let Some(obs) = self.inner.observer.get() {
+            obs.will_allocate(self.device_id(), bytes)?;
+        }
         let mut allocated = self.inner.allocated.lock();
         if *allocated + bytes > self.inner.mem_budget {
             return Err(ClError::OutOfDeviceMemory {
@@ -122,8 +147,19 @@ impl Context {
     /// buffer is dropped; the simulator keeps this explicit rather than
     /// hooking `Drop` so that accounting stays deterministic under clones.
     pub fn release_bytes(&self, bytes: usize) {
-        let mut allocated = self.inner.allocated.lock();
-        *allocated = allocated.saturating_sub(bytes);
+        {
+            let mut allocated = self.inner.allocated.lock();
+            *allocated = allocated.saturating_sub(bytes);
+        }
+        if let Some(obs) = self.inner.observer.get() {
+            obs.did_release(self.device_id(), bytes);
+        }
+    }
+
+    /// The id of this context's first device (the device the pool
+    /// accountant books against; serving contexts are single-device).
+    fn device_id(&self) -> usize {
+        self.inner.devices.first().map(|d| d.id()).unwrap_or(0)
     }
 }
 

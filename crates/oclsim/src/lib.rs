@@ -77,6 +77,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod buffer;
 pub mod context;
 pub mod device;
@@ -93,6 +94,7 @@ pub mod program;
 pub mod queue;
 pub mod timing;
 
+pub use arbiter::{ArbiterHandle, MemObserver, QueueArbiter};
 pub use buffer::{Buffer, MemFlags};
 pub use context::Context;
 pub use device::{Device, DeviceType};

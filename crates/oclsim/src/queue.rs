@@ -1,5 +1,6 @@
 //! In-order command queues, mirroring `cl_command_queue`.
 
+use crate::arbiter::{ArbiterGrant, ArbiterHandle, QueueArbiter};
 use crate::buffer::Buffer;
 use crate::context::Context;
 use crate::device::Device;
@@ -39,6 +40,10 @@ struct QueueInner {
     /// Optional fault source: when attached, every command consults it
     /// first and may fail with an injected error (see [`crate::fault`]).
     faults: Mutex<FaultInjector>,
+    /// Optional fairness gate: when attached, every command brackets its
+    /// device access in an arbiter acquire/release pair under this
+    /// queue's tenant tag (see [`crate::arbiter`]).
+    arbiter: Mutex<ArbiterHandle>,
 }
 
 impl CommandQueue {
@@ -57,8 +62,36 @@ impl CommandQueue {
                 clock_ns: Mutex::new(0.0),
                 trace: Mutex::new(TraceSink::disabled()),
                 faults: Mutex::new(FaultInjector::disabled()),
+                arbiter: Mutex::new(ArbiterHandle::detached()),
             }),
         })
+    }
+
+    /// Attach a fairness arbiter: every subsequent upload, read-back,
+    /// and kernel dispatch on this queue first acquires a command slot
+    /// from `arbiter` under the tag `tenant`, and releases it when the
+    /// command completes (panic-safe). All clones of the queue share the
+    /// attachment. Pass [`ArbiterHandle::detached`] via
+    /// [`CommandQueue::detach_arbiter`] to detach.
+    ///
+    /// Arbitration is wall-clock only — the queue's virtual clock and
+    /// every event timestamp are unchanged by contention, so a tenant's
+    /// virtual timeline stays byte-identical to an uncontended run.
+    pub fn attach_arbiter(&self, arbiter: std::sync::Arc<dyn QueueArbiter>, tenant: u64) {
+        *self.inner.arbiter.lock() = ArbiterHandle::new(arbiter, tenant);
+    }
+
+    /// Detach any attached arbiter (commands run ungated again).
+    pub fn detach_arbiter(&self) {
+        *self.inner.arbiter.lock() = ArbiterHandle::detached();
+    }
+
+    /// Acquire this queue's arbiter slot for one command (`None` when no
+    /// arbiter is attached). Cloned out of the lock so the slot is never
+    /// held while the handle mutex is.
+    fn arbiter_slot(&self) -> Option<ArbiterGrant> {
+        let handle = self.inner.arbiter.lock().clone();
+        handle.grant(self.inner.device.id())
     }
 
     /// Attach a fault injector: every subsequent upload, read-back, and
@@ -162,6 +195,7 @@ impl CommandQueue {
     /// Copy `data` into `buf` (host → device), mirroring
     /// `clEnqueueWriteBuffer`.
     pub fn enqueue_write_buffer(&self, buf: &Buffer, data: &[u8]) -> ClResult<Event> {
+        let _slot = self.arbiter_slot();
         self.fault_check(FaultOp::Upload)?;
         self.check_buffer(buf)?;
         buf.overwrite(0, data)?;
@@ -178,6 +212,7 @@ impl CommandQueue {
     /// The copy happens directly into `out` under the buffer's data lock —
     /// one copy, no intermediate snapshot allocation.
     pub fn enqueue_read_buffer(&self, buf: &Buffer, out: &mut [u8]) -> ClResult<Event> {
+        let _slot = self.arbiter_slot();
         self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
         buf.read_into(out)?;
@@ -198,6 +233,7 @@ impl CommandQueue {
     /// Converts bytes → `f32`s directly under the buffer's data lock, with
     /// no intermediate byte vector.
     pub fn read_f32(&self, buf: &Buffer) -> ClResult<(Vec<f32>, Event)> {
+        let _slot = self.arbiter_slot();
         self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
         let vals = buf.with_bytes(crate::hostmem::bytes_to_f32)?;
@@ -218,6 +254,7 @@ impl CommandQueue {
     /// Converts bytes → `i32`s directly under the buffer's data lock, with
     /// no intermediate byte vector.
     pub fn read_i32(&self, buf: &Buffer) -> ClResult<(Vec<i32>, Event)> {
+        let _slot = self.arbiter_slot();
         self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
         let vals = buf.with_bytes(crate::hostmem::bytes_to_i32)?;
@@ -250,6 +287,7 @@ impl CommandQueue {
     /// resolved arguments come from the kernel's cached dispatch plan, so
     /// repeat dispatches with unchanged arguments skip re-resolution.
     pub fn enqueue_nd_range(&self, kernel: &Kernel, nd: &NdRange) -> ClResult<Event> {
+        let _slot = self.arbiter_slot();
         self.fault_check(FaultOp::Enqueue)?;
         if kernel.ctx_id != self.inner.ctx.id() {
             return Err(ClError::InvalidContext(format!(

@@ -1,0 +1,86 @@
+//! Typed serving outcomes.
+
+use std::fmt;
+
+/// Why a request did not complete normally. Every submitted request
+/// terminates in exactly one of: a completed [`ensemble_vm::VmReport`],
+/// or one of these — the serving layer never leaves a caller blocked.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Turned away at arrival: the concurrency watermark was reached
+    /// *and* the backpressure queue was already full. The caller should
+    /// retry later (nothing was admitted, nothing ran).
+    Rejected {
+        /// Requests running when this one arrived.
+        active: usize,
+        /// Requests already queued behind the watermark.
+        waiting: usize,
+        /// The configured queue depth that was exhausted.
+        max_waiting: usize,
+    },
+    /// Turned away at admission because device memory is past the hard
+    /// overload limit even after the accountant's eviction pass — running
+    /// one more tenant would thrash the pool.
+    Overloaded {
+        /// Bytes currently resident on the most-loaded device.
+        used_bytes: usize,
+        /// The configured hard admission limit.
+        overload_bytes: usize,
+    },
+    /// The request's deadline passed — while queued for admission, or
+    /// while running (a blocking receive inside the VM gave up). Partial
+    /// work was torn down through the poison protocol.
+    DeadlineExceeded {
+        /// Where the deadline fired.
+        phase: DeadlinePhase,
+        /// Human-readable detail (the VM error for in-flight misses).
+        detail: String,
+    },
+    /// A genuine failure: compile error, actor error, or an exhausted
+    /// restart budget. Not a capacity condition.
+    Failed {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+/// Which stage of a request's life a deadline miss occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlinePhase {
+    /// Waiting in the admission queue.
+    Queued,
+    /// Admitted and executing.
+    Running,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected {
+                active,
+                waiting,
+                max_waiting,
+            } => write!(
+                f,
+                "rejected: {active} active, {waiting}/{max_waiting} queued"
+            ),
+            ServeError::Overloaded {
+                used_bytes,
+                overload_bytes,
+            } => write!(
+                f,
+                "overloaded: {used_bytes} bytes resident, limit {overload_bytes}"
+            ),
+            ServeError::DeadlineExceeded { phase, detail } => {
+                let phase = match phase {
+                    DeadlinePhase::Queued => "queued",
+                    DeadlinePhase::Running => "running",
+                };
+                write!(f, "deadline exceeded while {phase}: {detail}")
+            }
+            ServeError::Failed { detail } => write!(f, "request failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,103 @@
+//! Open-loop load generation and latency aggregation.
+//!
+//! The generator launches requests on a fixed arrival schedule — one
+//! submitter thread per request, started `interval` apart — regardless
+//! of how many are still in flight. That is the *open-loop* discipline:
+//! unlike closed-loop drivers (which wait for a response before sending
+//! the next request, and therefore slow down exactly when the server
+//! does), it keeps offered load constant and exposes queueing delay,
+//! rejection, and deadline behaviour under genuine overload.
+
+use crate::error::ServeError;
+use crate::server::{Request, Server};
+use ensemble_vm::VmReport;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One request's terminal outcome under load.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The tenant that submitted.
+    pub tenant: u64,
+    /// Completion report or typed serving error.
+    pub result: Result<VmReport, ServeError>,
+    /// Wall-clock time from scheduled submission to terminal outcome.
+    pub latency: Duration,
+}
+
+impl Outcome {
+    /// True when the request ran to completion.
+    pub fn is_completed(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Drive `requests` at the open-loop arrival rate of one per `interval`
+/// and wait for every terminal outcome. Outcomes come back in submission
+/// order.
+pub fn open_loop(server: &Arc<Server>, requests: Vec<Request>, interval: Duration) -> Vec<Outcome> {
+    let epoch = Instant::now();
+    let handles: Vec<_> = requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, req)| {
+            let server = Arc::clone(server);
+            std::thread::spawn(move || {
+                let due = epoch + interval * i as u32;
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let start = Instant::now();
+                let tenant = req.tenant;
+                let result = server.submit(req);
+                Outcome {
+                    tenant,
+                    result,
+                    latency: start.elapsed(),
+                }
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("submitter thread panicked"))
+        .collect()
+}
+
+/// The `p`-th percentile (0–100, nearest-rank) of the outcomes'
+/// latencies. Every outcome counts — completions, rejections, deadline
+/// misses — because each is a terminal answer the client waited for.
+/// Returns zero for an empty set.
+pub fn latency_percentile(outcomes: &[Outcome], p: f64) -> Duration {
+    if outcomes.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut lats: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+    lats.sort_unstable();
+    let rank = ((p / 100.0) * lats.len() as f64).ceil() as usize;
+    lats[rank.clamp(1, lats.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(ms: u64) -> Outcome {
+        Outcome {
+            tenant: 0,
+            result: Err(ServeError::Failed {
+                detail: "synthetic".into(),
+            }),
+            latency: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let outs: Vec<Outcome> = (1..=100).map(outcome).collect();
+        assert_eq!(latency_percentile(&outs, 50.0), Duration::from_millis(50));
+        assert_eq!(latency_percentile(&outs, 99.0), Duration::from_millis(99));
+        assert_eq!(latency_percentile(&outs, 100.0), Duration::from_millis(100));
+        assert_eq!(latency_percentile(&[], 50.0), Duration::ZERO);
+    }
+}

@@ -1,0 +1,280 @@
+//! The serving front door: admission control, backpressure, deadlines.
+//!
+//! A [`Server`] admits at most `max_active` concurrent tenant requests
+//! against the shared device pool. Arrivals past the watermark queue up
+//! to `max_waiting` deep (backpressure); beyond that they are turned
+//! away immediately with [`ServeError::Rejected`]. Queued requests that
+//! outwait their deadline fail with [`ServeError::DeadlineExceeded`]
+//! without ever running; admitted requests carry their absolute deadline
+//! into the VM, where every blocking receive honours it. A hard memory
+//! check at admission ([`ServeError::Overloaded`]) keeps a saturated
+//! pool from accreting more resident state than eviction can reclaim.
+
+use crate::arbiter::{ArbiterPolicy, FairArbiter};
+use crate::error::{DeadlinePhase, ServeError};
+use crate::pool::DevicePool;
+use crate::session::TenantSession;
+use ensemble_actors::RestartBudget;
+use ensemble_vm::VmReport;
+use oclsim::FaultPlan;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use trace::{SpanKind, TraceEvent, TraceSink};
+
+/// Serving limits and policy.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrency watermark: requests admitted at once.
+    pub max_active: usize,
+    /// Backpressure queue depth behind the watermark; arrivals past it
+    /// are [`ServeError::Rejected`].
+    pub max_waiting: usize,
+    /// Soft per-device byte watermark: past it the pool accountant
+    /// evicts idle resident buffers to make room.
+    pub mem_watermark_bytes: usize,
+    /// Hard admission limit: when the most-loaded device still holds
+    /// more than this after eviction opportunities, new requests are
+    /// [`ServeError::Overloaded`].
+    pub mem_overload_bytes: usize,
+    /// Dispatch fairness policy of the shared [`FairArbiter`].
+    pub policy: ArbiterPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_active: 2,
+            max_waiting: 8,
+            mem_watermark_bytes: 64 << 10,
+            mem_overload_bytes: 4 << 20,
+            policy: ArbiterPolicy::RoundRobin,
+        }
+    }
+}
+
+/// One unit of serving work: a tenant's program plus its service terms.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Tenant tag: sessions, arbitration grants, and pool registry
+    /// entries are keyed by it.
+    pub tenant: u64,
+    /// Ensemble source to compile and run.
+    pub source: String,
+    /// Relative deadline, measured from submission (`None`: no deadline).
+    pub deadline: Option<Duration>,
+    /// Arbitration weight under [`ArbiterPolicy::Weighted`].
+    pub weight: f64,
+    /// Optional per-tenant fault plan (attaches only to this tenant's
+    /// private queues/contexts).
+    pub chaos: Option<FaultPlan>,
+    /// Restart budget of the session's supervision tree.
+    pub restart_budget: RestartBudget,
+}
+
+impl Request {
+    /// A plain request: no deadline, weight 1, no chaos, default budget.
+    pub fn new(tenant: u64, source: impl Into<String>) -> Request {
+        Request {
+            tenant,
+            source: source.into(),
+            deadline: None,
+            weight: 1.0,
+            chaos: None,
+            restart_budget: RestartBudget::default(),
+        }
+    }
+}
+
+/// Terminal-outcome counters (monotonic; for gating and the bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests turned away with a full queue.
+    pub rejected: u64,
+    /// Requests turned away over the memory limit.
+    pub overloaded: u64,
+    /// Requests that missed their deadline (queued or running).
+    pub deadline_exceeded: u64,
+    /// Requests that failed for a non-capacity reason.
+    pub failed: u64,
+}
+
+#[derive(Default)]
+struct Gate {
+    active: usize,
+    waiting: usize,
+}
+
+/// The multi-tenant server (see module docs). Share it across submitter
+/// threads via `Arc`.
+pub struct Server {
+    config: ServeConfig,
+    arbiter: Arc<FairArbiter>,
+    pool: Arc<DevicePool>,
+    gate: Mutex<Gate>,
+    slot_freed: Condvar,
+    stats: Mutex<ServeStats>,
+    trace: Mutex<TraceSink>,
+}
+
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(|p| p.into_inner())
+}
+
+impl Server {
+    /// A server with `config`'s limits, a fresh arbiter, and a fresh
+    /// pool accountant.
+    pub fn new(config: ServeConfig) -> Server {
+        let arbiter = Arc::new(FairArbiter::new(config.policy));
+        let pool = Arc::new(DevicePool::new(config.mem_watermark_bytes));
+        Server {
+            config,
+            arbiter,
+            pool,
+            gate: Mutex::new(Gate::default()),
+            slot_freed: Condvar::new(),
+            stats: Mutex::new(ServeStats::default()),
+            trace: Mutex::new(TraceSink::disabled()),
+        }
+    }
+
+    /// Record `Admit`/`Reject`/`DeadlineExceeded` instants (and the
+    /// pool's `Evict` instants) into `sink`, all on the wall clock.
+    pub fn set_trace(&self, sink: TraceSink) {
+        self.pool.set_trace(sink.clone());
+        *relock(self.trace.lock()) = sink;
+    }
+
+    /// The shared dispatch arbiter (grant counts feed fairness reports).
+    pub fn arbiter(&self) -> &Arc<FairArbiter> {
+        &self.arbiter
+    }
+
+    /// The shared memory accountant.
+    pub fn pool(&self) -> &Arc<DevicePool> {
+        &self.pool
+    }
+
+    /// Terminal-outcome counters so far.
+    pub fn stats(&self) -> ServeStats {
+        *relock(self.stats.lock())
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    fn instant(&self, kind: SpanKind, name: &str, tenant: u64) {
+        let t = relock(self.trace.lock()).clone();
+        if t.is_enabled() {
+            t.record(
+                TraceEvent::instant(kind, name, "serve", t.wall_ns())
+                    .with_arg("tenant", tenant)
+                    .with_arg("clock", "wall"),
+            );
+        }
+    }
+
+    fn count(&self, f: impl FnOnce(&mut ServeStats)) {
+        let mut stats = relock(self.stats.lock());
+        f(&mut stats);
+    }
+
+    /// Submit one request and block until its terminal outcome: a
+    /// completed [`VmReport`] or a typed [`ServeError`]. Never blocks
+    /// past the request's deadline.
+    pub fn submit(&self, req: Request) -> Result<VmReport, ServeError> {
+        let deadline_at = req.deadline.map(|d| Instant::now() + d);
+        self.admit(&req, deadline_at)?;
+        // The slot is held from here; give it back on every exit path.
+        let outcome = self.run_admitted(&req, deadline_at);
+        {
+            let mut gate = relock(self.gate.lock());
+            gate.active -= 1;
+        }
+        self.slot_freed.notify_all();
+        match &outcome {
+            Ok(_) => self.count(|s| s.completed += 1),
+            Err(ServeError::DeadlineExceeded { .. }) => self.count(|s| s.deadline_exceeded += 1),
+            Err(ServeError::Overloaded { .. }) => self.count(|s| s.overloaded += 1),
+            Err(ServeError::Rejected { .. }) => self.count(|s| s.rejected += 1),
+            Err(ServeError::Failed { .. }) => self.count(|s| s.failed += 1),
+        }
+        outcome
+    }
+
+    /// The admission gate: take an active slot, queueing behind the
+    /// concurrency watermark up to `max_waiting` deep.
+    fn admit(&self, req: &Request, deadline_at: Option<Instant>) -> Result<(), ServeError> {
+        let mut gate = relock(self.gate.lock());
+        if gate.active >= self.config.max_active {
+            if gate.waiting >= self.config.max_waiting {
+                let err = ServeError::Rejected {
+                    active: gate.active,
+                    waiting: gate.waiting,
+                    max_waiting: self.config.max_waiting,
+                };
+                drop(gate);
+                self.instant(SpanKind::Reject, "queue_full", req.tenant);
+                self.count(|s| s.rejected += 1);
+                return Err(err);
+            }
+            gate.waiting += 1;
+            while gate.active >= self.config.max_active {
+                match deadline_at {
+                    None => gate = relock(self.slot_freed.wait(gate)),
+                    Some(at) => {
+                        let now = Instant::now();
+                        if now >= at {
+                            gate.waiting -= 1;
+                            drop(gate);
+                            self.instant(SpanKind::DeadlineExceeded, "queued", req.tenant);
+                            self.count(|s| s.deadline_exceeded += 1);
+                            return Err(ServeError::DeadlineExceeded {
+                                phase: DeadlinePhase::Queued,
+                                detail: "deadline passed in the admission queue".into(),
+                            });
+                        }
+                        let (g, _) = relock(self.slot_freed.wait_timeout(gate, at - now));
+                        gate = g;
+                    }
+                }
+            }
+            gate.waiting -= 1;
+        }
+        gate.active += 1;
+        Ok(())
+    }
+
+    /// Memory check, session build, run, teardown — with the active slot
+    /// already held.
+    fn run_admitted(
+        &self,
+        req: &Request,
+        deadline_at: Option<Instant>,
+    ) -> Result<VmReport, ServeError> {
+        let used = self.pool.max_device_used();
+        if used > self.config.mem_overload_bytes {
+            self.instant(SpanKind::Reject, "overloaded", req.tenant);
+            return Err(ServeError::Overloaded {
+                used_bytes: used,
+                overload_bytes: self.config.mem_overload_bytes,
+            });
+        }
+        if self.config.policy == ArbiterPolicy::Weighted {
+            self.arbiter.set_weight(req.tenant, req.weight);
+        }
+        self.instant(SpanKind::Admit, "admit", req.tenant);
+        let session = TenantSession::new(
+            req.tenant,
+            Arc::clone(&self.arbiter) as _,
+            Arc::clone(&self.pool),
+            req.chaos.clone(),
+        )?;
+        let result = session.run(&req.source, deadline_at, req.restart_budget);
+        session.teardown();
+        result
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-tenant sessions: private device environments over the shared
+//! physical pool.
+//!
+//! A [`TenantSession`] materialises, for every device of the process-wide
+//! matrix, a **private** context and command queue. That single decision
+//! carries the tentpole guarantees:
+//!
+//! * **Determinism under contention** — each private queue's virtual
+//!   clock starts at zero, so a tenant's virtual timeline (and therefore
+//!   its outputs *and* its `total_ns`) is byte-identical whether it runs
+//!   alone or alongside N neighbours. Sharing is re-introduced where it
+//!   is semantically safe: the wall-clock [`FairArbiter`] in front of
+//!   each physical device, and the [`DevicePool`] accountant across the
+//!   tenant contexts.
+//! * **Fault isolation** — a session's [`FaultInjector`] attaches to its
+//!   own queues and contexts only, so seeded kill-chaos in one tenant
+//!   can only ever fire on that tenant's actor threads, and is absorbed
+//!   by that tenant's own supervision tree (the VM's one-for-one
+//!   supervisor with a per-session [`RestartBudget`]).
+//!
+//! [`FairArbiter`]: crate::FairArbiter
+//! [`DevicePool`]: crate::DevicePool
+
+use crate::error::{DeadlinePhase, ServeError};
+use crate::pool::DevicePool;
+use ensemble_actors::RestartBudget;
+use ensemble_ocl::{device_matrix, DeviceSel, OpenClEnvironment, ResolveEnv};
+use ensemble_vm::{EvictableMov, VmReport, VmRuntime};
+use oclsim::{ClError, ClResult, CommandQueue, Context, FaultInjector, FaultPlan, QueueArbiter};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One private device lane of a session: the shared physical device,
+/// wrapped in this tenant's own context and queue.
+struct SessionEntry {
+    context: Context,
+    queue: CommandQueue,
+    platform: String,
+}
+
+/// The session's environment table; implements [`ResolveEnv`] with the
+/// same selection rules as the global [`ensemble_ocl::DeviceMatrix`], so
+/// programs resolve identically — just onto private lanes.
+struct SessionEnvs {
+    entries: Vec<SessionEntry>,
+}
+
+impl ResolveEnv for SessionEnvs {
+    fn resolve(&self, sel: DeviceSel) -> ClResult<OpenClEnvironment> {
+        let entry = match sel.device_type {
+            None => self.entries.get(sel.device_index).ok_or_else(|| {
+                ClError::DeviceNotFound {
+                    requested: format!("device #{}", sel.device_index),
+                }
+            })?,
+            Some(ty) => self
+                .entries
+                .iter()
+                .filter(|e| e.queue.device().device_type() == ty)
+                .nth(sel.device_index)
+                .ok_or_else(|| ClError::DeviceNotFound {
+                    requested: format!("{ty} #{}", sel.device_index),
+                })?,
+        };
+        Ok(OpenClEnvironment {
+            platform: entry.platform.clone(),
+            device: entry.queue.device().clone(),
+            context: entry.context.clone(),
+            queue: entry.queue.clone(),
+        })
+    }
+}
+
+/// A tenant's serving session (see module docs). Tear-down is automatic
+/// on drop: registry entries evicted, observers and arbiter detached.
+pub struct TenantSession {
+    tenant: u64,
+    envs: Arc<SessionEnvs>,
+    pool: Arc<DevicePool>,
+    chaotic: bool,
+    /// Resident values of a *chaotic* session. They stay out of the
+    /// pool's shared eviction registry (an eviction read-back on a
+    /// chaotic queue could fire an injected kill on the evictor's
+    /// thread) but must still be forced home at teardown so the pool's
+    /// byte counter returns to zero.
+    local_resident: Arc<Mutex<Vec<EvictableMov>>>,
+}
+
+impl TenantSession {
+    /// Build the session's private lanes over every device of the global
+    /// matrix, attaching `arbiter` (tagged with `tenant`) and the pool
+    /// accountant. A `chaos` plan attaches a [`FaultInjector`] to the
+    /// private lanes only — neighbours never see it.
+    pub fn new(
+        tenant: u64,
+        arbiter: Arc<dyn QueueArbiter>,
+        pool: Arc<DevicePool>,
+        chaos: Option<FaultPlan>,
+    ) -> Result<TenantSession, ServeError> {
+        let injector = chaos.map(FaultInjector::new);
+        let mut entries = Vec::new();
+        for m in device_matrix().entries() {
+            let context = Context::new(std::slice::from_ref(&m.device)).map_err(|e| {
+                ServeError::Failed {
+                    detail: format!("session context: {e}"),
+                }
+            })?;
+            let queue =
+                CommandQueue::new(&context, &m.device).map_err(|e| ServeError::Failed {
+                    detail: format!("session queue: {e}"),
+                })?;
+            queue.attach_arbiter(Arc::clone(&arbiter), tenant);
+            context.set_mem_observer(Some(Arc::clone(&pool) as _));
+            if let Some(inj) = &injector {
+                queue.attach_faults(inj.clone());
+                context.attach_faults(inj.clone());
+            }
+            entries.push(SessionEntry {
+                context,
+                queue,
+                platform: m.platform.clone(),
+            });
+        }
+        Ok(TenantSession {
+            tenant,
+            envs: Arc::new(SessionEnvs { entries }),
+            pool,
+            chaotic: injector.is_some(),
+            local_resident: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The tenant tag.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Whether this session runs under fault injection.
+    pub fn is_chaotic(&self) -> bool {
+        self.chaotic
+    }
+
+    /// Compile and run `source` inside this session: kernel actors
+    /// resolve onto the private lanes, every blocking receive honours
+    /// `deadline`, and (for chaos-free sessions) resident `mov` values
+    /// are registered with the pool's eviction registry.
+    pub fn run(
+        &self,
+        source: &str,
+        deadline: Option<Instant>,
+        budget: RestartBudget,
+    ) -> Result<VmReport, ServeError> {
+        // The analysis-gated front-end (deny-by-default static checks +
+        // residency proofs) — the same pipeline every other runner uses.
+        let module = ensemble_analysis::compile_source(
+            source,
+            &ensemble_analysis::Options::default(),
+        )
+        .map_err(|e| ServeError::Failed {
+            detail: format!("compile: {e}"),
+        })?;
+        let mut vm = VmRuntime::new(module);
+        vm.set_restart_budget(budget);
+        vm.set_env_resolver(Arc::clone(&self.envs) as _);
+        vm.set_deadline(deadline);
+        if self.chaotic {
+            // Chaotic tenants never feed the shared eviction registry:
+            // an eviction read-back runs on the *evictor's* thread, and
+            // a chaotic queue could fire an injected kill there —
+            // outside the victim tenant's supervision tree. Track them
+            // session-locally for teardown instead.
+            let local = Arc::clone(&self.local_resident);
+            vm.set_resident_hook(Some(Arc::new(move |m| {
+                let mut l = local.lock();
+                if !l.iter().any(|x| x.same_value(&m)) {
+                    l.push(m);
+                }
+            })));
+        } else {
+            let pool = Arc::clone(&self.pool);
+            let tenant = self.tenant;
+            vm.set_resident_hook(Some(Arc::new(move |m| pool.register(tenant, m))));
+        }
+        vm.run().map_err(|e| {
+            if e.is_deadline() {
+                ServeError::DeadlineExceeded {
+                    phase: DeadlinePhase::Running,
+                    detail: e.0,
+                }
+            } else {
+                ServeError::Failed { detail: e.0 }
+            }
+        })
+    }
+
+    /// Detach everything and return the tenant's device bytes to the
+    /// pool. Idempotent; also runs on drop.
+    pub fn teardown(&self) {
+        // Disarm fault injection first: the local-registry evictions
+        // below read back on this session's queues, and must not trip
+        // leftover scheduled kills on the teardown thread.
+        if self.chaotic {
+            for e in &self.envs.entries {
+                e.queue.attach_faults(FaultInjector::disabled());
+                e.context.attach_faults(FaultInjector::disabled());
+            }
+        }
+        for h in self.local_resident.lock().drain(..) {
+            let _ = h.try_evict();
+        }
+        self.pool.release_tenant(self.tenant);
+        for e in &self.envs.entries {
+            e.context.set_mem_observer(None);
+            e.queue.detach_arbiter();
+        }
+    }
+}
+
+impl Drop for TenantSession {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}

@@ -106,6 +106,20 @@ pub enum SpanKind {
     /// static analysis proved the `mov` data never leaves this device
     /// (see `crates/analysis`, §6.2.3). Instant, virtual queue clock.
     ResidencyProven,
+    /// The serving layer admitted a tenant session past admission
+    /// control (`crates/serve`). Instant, wall clock.
+    Admit,
+    /// The serving layer shed a session at admission — the waiting queue
+    /// or memory watermark was full. Instant, wall clock.
+    Reject,
+    /// The device-memory accountant evicted an idle resident `mov`
+    /// buffer back to the host under memory pressure; the next touch
+    /// re-uploads it transparently. Instant, wall clock.
+    Evict,
+    /// A per-request deadline expired on the serving path: a blocking
+    /// receive gave up and the session shed its load instead of wedging
+    /// the pool. Instant, wall clock.
+    DeadlineExceeded,
 }
 
 impl SpanKind {
@@ -131,6 +145,10 @@ impl SpanKind {
             SpanKind::Escalated => "escalated",
             SpanKind::CheckpointRestore => "checkpoint_restore",
             SpanKind::ResidencyProven => "residency_proven",
+            SpanKind::Admit => "admit",
+            SpanKind::Reject => "reject",
+            SpanKind::Evict => "evict",
+            SpanKind::DeadlineExceeded => "deadline_exceeded",
         }
     }
 

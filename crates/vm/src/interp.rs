@@ -34,6 +34,13 @@ pub trait RuntimeHooks {
     fn print(&self, text: String);
     /// Profile sink for forced device read-backs.
     fn profile(&self) -> Option<&ensemble_ocl::ProfileSink>;
+    /// Absolute wall-clock deadline for this run, if any: every blocking
+    /// receive the interpreter performs gives up with a
+    /// [`crate::value::DEADLINE_MARK`] error once it passes. `None` (the
+    /// default) blocks indefinitely — the paper's standalone semantics.
+    fn deadline(&self) -> Option<std::time::Instant> {
+        None
+    }
 }
 
 /// Interpret `chunk` against `slots`.
@@ -306,7 +313,7 @@ pub fn run_chunk(
                 let VmVal::ChanIn(i) = chan else {
                     return Err(VmError("receive on a non-in endpoint".into()));
                 };
-                match i.receive() {
+                match i.recv_deadline(hooks.deadline()) {
                     Ok(v) => stack.push(v),
                     // A poisoned channel is a failed peer, not an orderly
                     // shutdown: surface it as an error so the failure
@@ -316,6 +323,12 @@ pub fn run_chunk(
                         return Err(VmError(
                             "receive on a channel poisoned by a failed peer".into(),
                         ))
+                    }
+                    // The run's deadline passed while blocked: a serving
+                    // outcome, not a program error — marked so the layer
+                    // above can classify it.
+                    Err(ChannelError::TimedOut) => {
+                        return Err(VmError::deadline("receive passed the run deadline"))
                     }
                     Err(_) => break Exit::ChannelClosed,
                 }

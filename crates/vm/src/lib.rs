@@ -65,5 +65,5 @@ pub mod runtime;
 pub mod value;
 
 pub use interp::{run_chunk, Exit, RuntimeHooks};
-pub use runtime::{VmReport, VmRuntime, VM_NS_PER_OP};
-pub use value::{VmArr, VmError, VmVal};
+pub use runtime::{ResidentHook, VmReport, VmRuntime, VM_NS_PER_OP};
+pub use value::{EvictableMov, VmArr, VmError, VmVal, DEADLINE_MARK};

@@ -24,7 +24,7 @@
 //! tearing every actor down via channel poisoning.
 
 use crate::interp::{run_chunk, Exit, RuntimeHooks};
-use crate::value::{flatten_fields, unflatten_fields, MovState, VmError, VmVal};
+use crate::value::{flatten_fields, unflatten_fields, EvictableMov, MovState, VmError, VmVal};
 use ensemble_actors::supervisor::panic_message;
 use ensemble_actors::{
     ActorCtx, ChannelError, ChildSpec, Control, FnActor, RestartBudget, Strategy, Supervisor,
@@ -32,8 +32,8 @@ use ensemble_actors::{
 use ensemble_lang::vmops::*;
 use ensemble_ocl::recovery::with_retry;
 use ensemble_ocl::{
-    nd_from, DeviceSel, FlatData, FlatSeg, MemGuard, OpenClEnvironment, Profile, ProfileSink,
-    RecoveryPolicy, ResidentBufs,
+    nd_from, DeviceSel, FlatData, FlatSeg, MatrixResolver, MemGuard, OpenClEnvironment, Profile,
+    ProfileSink, RecoveryPolicy, ResidentBufs, ResolveEnv,
 };
 use oclsim::{DeviceType, Kernel, KillPanic, MemFlags, Program};
 use parking_lot::Mutex;
@@ -41,7 +41,13 @@ use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use trace::{SpanKind, TraceEvent};
+
+/// Callback the serving layer registers to learn about every `mov` value
+/// that becomes device-resident, so its memory accountant can evict idle
+/// buffers under pool pressure (see [`EvictableMov`]).
+pub type ResidentHook = Arc<dyn Fn(EvictableMov) + Send + Sync>;
 
 /// Modeled interpreter cost per abstract VM op, in virtual nanoseconds.
 ///
@@ -96,6 +102,23 @@ fn is_kill_err(e: &VmError) -> bool {
     e.0.contains(KILL_MARK)
 }
 
+/// Build the deadline-miss error for operation `what` in actor `name`,
+/// recording a `DeadlineExceeded` trace instant (wall clock) when tracing
+/// is enabled.
+fn deadline_exceeded(profile: &ProfileSink, name: &str, what: &str) -> VmError {
+    let t = profile.trace();
+    if t.is_enabled() {
+        t.record(
+            TraceEvent::instant(SpanKind::DeadlineExceeded, what, "vm", t.wall_ns())
+                .with_arg("actor", name)
+                .with_arg("clock", "wall"),
+        );
+    }
+    VmError::deadline(&format!(
+        "kernel actor `{name}`: {what} passed the run deadline"
+    ))
+}
+
 /// Per-kernel-actor checkpoint: the accepted-but-unacknowledged request.
 ///
 /// The slot outlives any single incarnation (it is shared with the
@@ -127,6 +150,19 @@ struct Shared {
     /// finishes wiring the topology (otherwise an eager sender could see a
     /// not-yet-connected channel).
     pending: Mutex<Vec<(CompiledActor, Vec<VmVal>)>>,
+    /// How kernel actors resolve device selections to environments. The
+    /// default ([`MatrixResolver`]) is the process-wide device matrix; a
+    /// serving layer substitutes per-tenant private contexts/queues.
+    env: Mutex<Arc<dyn ResolveEnv>>,
+    /// Absolute wall-clock deadline for the whole run: every blocking
+    /// receive on the serving path gives up with a [`DEADLINE_MARK`]ed
+    /// error once it passes. `None` (default) blocks indefinitely.
+    ///
+    /// [`DEADLINE_MARK`]: crate::value::DEADLINE_MARK
+    deadline: Mutex<Option<Instant>>,
+    /// Registered by the serving layer's memory accountant; called for
+    /// every `mov` value the moment it becomes device-resident.
+    resident_hook: Mutex<Option<ResidentHook>>,
 }
 
 impl RuntimeHooks for Arc<Shared> {
@@ -140,6 +176,10 @@ impl RuntimeHooks for Arc<Shared> {
 
     fn profile(&self) -> Option<&ProfileSink> {
         Some(&self.profile)
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        *self.deadline.lock()
     }
 }
 
@@ -164,9 +204,36 @@ impl VmRuntime {
                 profile,
                 output: Mutex::new(Vec::new()),
                 pending: Mutex::new(Vec::new()),
+                env: Mutex::new(Arc::new(MatrixResolver)),
+                deadline: Mutex::new(None),
+                resident_hook: Mutex::new(None),
             }),
             budget: RestartBudget::default(),
         }
+    }
+
+    /// Substitute the environment resolver kernel actors use (default:
+    /// the process-wide device matrix). A multi-tenant serving layer
+    /// installs a per-session resolver here so every kernel actor of this
+    /// VM dispatches through that tenant's private contexts and queues.
+    pub fn set_env_resolver(&self, resolver: Arc<dyn ResolveEnv>) {
+        *self.shared.env.lock() = resolver;
+    }
+
+    /// Set (or clear) the absolute deadline for the next [`VmRuntime::run`]:
+    /// once it passes, every blocking receive inside the VM — interpreted
+    /// `receive` expressions and the kernel actors' native protocol alike —
+    /// gives up with an error marked [`crate::value::DEADLINE_MARK`], and
+    /// the run fails with that error instead of blocking forever.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.shared.deadline.lock() = deadline;
+    }
+
+    /// Register a callback observing every `mov` value that becomes
+    /// device-resident (`None` clears it). The serving layer's memory
+    /// accountant uses this to build its eviction registry.
+    pub fn set_resident_hook(&self, hook: Option<ResidentHook>) {
+        *self.shared.resident_hook.lock() = hook;
     }
 
     /// Override the restart-intensity budget the VM's supervisor enforces
@@ -527,7 +594,9 @@ fn kernel_actor(
     };
     // Rebuilt per incarnation: the program/kernel hold no request state,
     // so a restarted actor re-deriving them is free of the kill's effects.
-    let env = OpenClEnvironment::resolve(parse_device(plan))
+    let resolver = Arc::clone(&*shared.env.lock());
+    let env = resolver
+        .resolve(parse_device(plan))
         .map_err(|e| VmError(format!("device selection failed: {e}")))?;
     let program = Program::build(&env.context, &plan.source)
         .map_err(|e| VmError(format!("kernel build failed: {e}\n{}", plan.source)))?;
@@ -553,13 +622,21 @@ fn kernel_actor(
         let (seq, settings, parked_data, redelivered) = match parked {
             Some((seq, s, d, r)) => (seq, s, Some(d), r),
             None => {
-                // 1. receive the settings struct.
-                let settings = match requests.receive() {
+                // 1. receive the settings struct (bounded by the run's
+                // deadline, if one is set — the serving path must never
+                // block indefinitely). Copy the deadline out first: the
+                // lock must not be held across the blocking receive (the
+                // interpreter reads it on every `RecvOp`).
+                let deadline = *shared.deadline.lock();
+                let settings = match requests.recv_deadline(deadline) {
                     Ok(v) => v,
                     Err(ChannelError::Poisoned) => {
                         return Err(VmError(format!(
                             "kernel actor `{name}`: requests channel poisoned by a failed peer"
                         )))
+                    }
+                    Err(ChannelError::TimedOut) => {
+                        return Err(deadline_exceeded(&profile, name, "settings receive"))
                     }
                     Err(_) => return Ok(()),
                 };
@@ -592,13 +669,21 @@ fn kernel_actor(
         let data = match parked_data {
             Some(d) => d,
             None => {
-                let data = match input.receive() {
+                let deadline = *shared.deadline.lock();
+                let data = match input.recv_deadline(deadline) {
                     Ok(v) => v,
                     Err(ChannelError::Poisoned) => {
                         output.poison_receivers();
                         return Err(VmError(format!(
                             "kernel actor `{name}`: input channel poisoned by a failed peer"
                         )));
+                    }
+                    // Poison downstream so the rest of the pipeline tears
+                    // down promptly instead of each stage waiting out its
+                    // own deadline in sequence.
+                    Err(ChannelError::TimedOut) => {
+                        output.poison_receivers();
+                        return Err(deadline_exceeded(&profile, name, "data receive"));
                     }
                     Err(_) => return Ok(()),
                 };
@@ -694,6 +779,12 @@ fn kernel_actor(
                         unreachable!("uploaded above");
                     };
                     dispatch(&env, &policy, &kernel, bufs, &ws, &gs, &scalars, &profile)?;
+                }
+                // The value is device-resident now: hand the accountant an
+                // eviction handle (after releasing the state lock — the
+                // hook may inspect residency, which uses `try_lock`).
+                if let Some(hook) = shared.resident_hook.lock().clone() {
+                    hook(EvictableMov::new(Arc::clone(state)));
                 }
                 Ok(VmVal::MovStruct(*type_id, Arc::clone(state)))
             } else {

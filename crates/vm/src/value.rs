@@ -25,6 +25,25 @@ impl std::fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+/// Error-class prefix marking a deadline miss, mirroring the supervisor's
+/// `[killed] ` convention: a [`VmError`] whose message starts with this
+/// prefix means a blocking receive gave up because the run's absolute
+/// deadline passed, not that the program is wrong. The serving layer maps
+/// such failures to its `DeadlineExceeded` outcome.
+pub const DEADLINE_MARK: &str = "[deadline] ";
+
+impl VmError {
+    /// Build a deadline-miss error for the operation `what`.
+    pub fn deadline(what: &str) -> VmError {
+        VmError(format!("{DEADLINE_MARK}{what}"))
+    }
+
+    /// True when this error records a deadline miss.
+    pub fn is_deadline(&self) -> bool {
+        self.0.starts_with(DEADLINE_MARK)
+    }
+}
+
 /// Array storage: typed leaves, nested cells for multi-dimensional arrays.
 #[derive(Debug, Clone)]
 pub enum VmArr {
@@ -224,6 +243,89 @@ pub fn force_host_locked<'m>(
 /// [`force_host_locked`] for callers that do not need the guard.
 pub fn force_host(state: &Mutex<MovState>, profile: Option<&ProfileSink>) -> Result<(), VmError> {
     force_host_locked(state, profile).map(|_| ())
+}
+
+/// A weak-ish handle to a `mov` struct's state that a device-memory
+/// accountant can evict under pressure.
+///
+/// Eviction forces the value back to host memory through the same
+/// read-back path host access uses ([`force_host_locked`]), so it is
+/// transparent to the owning program: the kernel actor's dispatch loop
+/// handles `MovState::Host` unconditionally and re-uploads the (byte
+/// -identical) flattened data on the next touch. The accountant holds a
+/// strong `Arc` — a `mov` value's memory is only reclaimable through
+/// either teardown of the owning session (dropping the registry) or this
+/// handle.
+#[derive(Debug, Clone)]
+pub struct EvictableMov {
+    state: Arc<Mutex<MovState>>,
+}
+
+impl EvictableMov {
+    /// Wrap the state cell of a [`VmVal::MovStruct`].
+    pub fn new(state: Arc<Mutex<MovState>>) -> EvictableMov {
+        EvictableMov { state }
+    }
+
+    /// Device bytes currently held by this value, or 0 when host-resident
+    /// **or busy** (the owner holds the lock — counting it as evictable
+    /// would invite the evictor to block on a dispatch in progress).
+    pub fn resident_bytes(&self) -> usize {
+        match self.state.try_lock() {
+            Some(guard) => match &*guard {
+                MovState::Device { bufs, .. } => bufs.device_bytes(),
+                MovState::Host(_) => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// The device currently holding this value's buffers (`None` when
+    /// host-resident or busy).
+    pub fn device_id(&self) -> Option<usize> {
+        match self.state.try_lock() {
+            Some(guard) => match &*guard {
+                MovState::Device { bufs, .. } => Some(bufs.queue.device().id()),
+                MovState::Host(_) => None,
+            },
+            None => None,
+        }
+    }
+
+    /// True when `other` wraps the same underlying `mov` state cell (the
+    /// accountant's registry deduplicates on this).
+    pub fn same_value(&self, other: &EvictableMov) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+
+    /// Try to evict: force the value to host memory, releasing its device
+    /// buffers. Returns `Ok(Some(bytes))` with the bytes freed,
+    /// `Ok(None)` when there was nothing to do (already host-resident, or
+    /// the owner holds the lock — never block an evictor on a running
+    /// dispatch), and `Err` if the device read-back itself failed.
+    ///
+    /// The transfer is *not* charged to any profile: eviction is a pool
+    /// decision, not part of the victim program's execution, so the
+    /// victim's transfer accounting (its `VmReport` sums) is unchanged.
+    pub fn try_evict(&self) -> Result<Option<usize>, VmError> {
+        let Some(mut guard) = self.state.try_lock() else {
+            return Ok(None);
+        };
+        if !matches!(&*guard, MovState::Device { .. }) {
+            return Ok(None);
+        }
+        let old = std::mem::replace(&mut *guard, MovState::Host(Vec::new()));
+        let MovState::Device { bufs, fields } = old else {
+            unreachable!("matched above");
+        };
+        let bytes = bufs.device_bytes();
+        let flat = bufs
+            .read_back(None)
+            .map_err(|e| VmError(format!("eviction read-back failed: {e}")))?;
+        let vals = unflatten_fields(&flat, &fields)?;
+        *guard = MovState::Host(vals);
+        Ok(Some(bytes))
+    }
 }
 
 /// Flatten a list of field values (each an array) following the fields'

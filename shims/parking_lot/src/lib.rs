@@ -50,6 +50,19 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard { inner }
     }
 
+    /// Acquire the lock only if it is free right now, returning `None`
+    /// when another thread holds it (parking_lot's `try_lock`). Like
+    /// [`Mutex::lock`], poison is ignored.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutably borrow the inner value without locking.
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {

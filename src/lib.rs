@@ -13,6 +13,7 @@
 //! | [`ensemble_ocl`] | **the paper's contribution**: kernel actors, device matrix, flattening, lazy residency |
 //! | [`ensemble_lang`] | the mini-Ensemble compiler (Listings 2 & 3 and the five apps) |
 //! | [`ensemble_vm`] | the Ensemble VM: bytecode interpretation + native kernel-actor protocol |
+//! | [`ensemble_serve`] | multi-tenant serving: admission control, fair arbitration, deadlines, eviction |
 //! | [`baselines`] | C-OpenCL API style + the OpenACC pragma engine |
 //! | [`ensemble_apps`] | the five evaluation applications in all three forms |
 //! | [`code_metrics`] | Table 1 analyzers (LoC, cyclomatic, ABC) |
@@ -26,6 +27,7 @@ pub use ensemble_actors;
 pub use ensemble_apps;
 pub use ensemble_lang;
 pub use ensemble_ocl;
+pub use ensemble_serve;
 pub use ensemble_vm;
 pub use oclsim;
 pub use trace;

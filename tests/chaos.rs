@@ -77,3 +77,154 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-tenant serving: cross-tenant fault isolation and eviction
+// transparency (`crates/serve`).
+// ---------------------------------------------------------------------------
+
+use ensemble_serve::{Request, ServeConfig, Server};
+use ensemble_vm::VmRuntime;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One request through a fresh single-tenant server: the serving-path
+/// solo reference (private lanes, no neighbours, no chaos).
+fn serve_solo(src: &str) -> ensemble_vm::VmReport {
+    let server = Server::new(ServeConfig {
+        max_active: 1,
+        max_waiting: 1,
+        ..ServeConfig::default()
+    });
+    server.submit(Request::new(0, src)).expect("solo run")
+}
+
+/// Seeded kill-chaos in tenant A (LUD, its own supervision tree absorbs
+/// the kills) while tenant B runs matmul on the same server: B's output
+/// *and* virtual clock are byte-identical to its solo run — chaos never
+/// leaks across the tenant boundary.
+#[test]
+fn kill_chaos_in_one_tenant_leaves_neighbour_byte_identical() {
+    let matmul_src = apps_ens::matmul(16, "GPU");
+    let lud_src = apps_ens::lud(16, "GPU");
+    let reference = serve_solo(&matmul_src);
+    for seed in [3u64, 11, 29] {
+        let server = Arc::new(Server::new(ServeConfig {
+            max_active: 2,
+            max_waiting: 2,
+            ..ServeConfig::default()
+        }));
+        let a = {
+            let server = Arc::clone(&server);
+            let src = lud_src.clone();
+            std::thread::spawn(move || {
+                let mut req = Request::new(1, src);
+                req.chaos = Some(chaos::kill_plan(seed, 17, 3));
+                server.submit(req)
+            })
+        };
+        let b = {
+            let server = Arc::clone(&server);
+            let src = matmul_src.clone();
+            std::thread::spawn(move || server.submit(Request::new(2, src)))
+        };
+        let b_report = b
+            .join()
+            .unwrap()
+            .expect("clean tenant must complete despite neighbour chaos");
+        let a_result = a.join().unwrap();
+        // The chaotic tenant terminates — recovered by its own
+        // supervision tree, never wedged.
+        assert!(
+            a_result.is_ok(),
+            "seed {seed}: chaotic tenant failed: {:?}",
+            a_result.err()
+        );
+        assert_eq!(b_report.output, reference.output, "seed {seed}");
+        assert_eq!(
+            b_report.total_ns().to_bits(),
+            reference.total_ns().to_bits(),
+            "seed {seed}: neighbour's virtual clock moved"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Forcibly evicting the resident `mov` value after registrations
+    /// (every run re-uploads it lazily, byte-identical, on the next
+    /// dispatch) never changes the application's output.
+    #[test]
+    fn eviction_and_reupload_never_change_outputs(seed in 0u64..1000) {
+        let nth = (seed as usize % 3) + 1;
+        let src = apps_ens::lud(16, "GPU");
+        let opts = ensemble_analysis::Options::default();
+        let reference = VmRuntime::new(
+            ensemble_analysis::compile_source(&src, &opts).unwrap(),
+        )
+        .run()
+        .unwrap();
+        let vm = VmRuntime::new(
+            ensemble_analysis::compile_source(&src, &opts).unwrap(),
+        );
+        let registrations = Arc::new(AtomicUsize::new(0));
+        let evictions = Arc::new(AtomicUsize::new(0));
+        {
+            let registrations = Arc::clone(&registrations);
+            let evictions = Arc::clone(&evictions);
+            vm.set_resident_hook(Some(Arc::new(move |handle| {
+                // The hook runs on the kernel actor's thread with the
+                // value's state lock released, so the evict succeeds.
+                if registrations
+                    .fetch_add(1, Ordering::SeqCst)
+                    .is_multiple_of(nth)
+                    && matches!(handle.try_evict(), Ok(Some(_)))
+                {
+                    evictions.fetch_add(1, Ordering::SeqCst);
+                }
+            })));
+        }
+        let report = vm.run().unwrap();
+        prop_assert!(evictions.load(Ordering::SeqCst) >= 1);
+        prop_assert_eq!(report.output, reference.output);
+    }
+
+    /// After every session of a loaded, chaos-seeded server tears down,
+    /// the pool accountant's resident-byte counter is exactly zero —
+    /// clean and chaotic tenants alike return what they took.
+    #[test]
+    fn pool_counter_returns_to_zero_after_teardown(seed in 0u64..1000) {
+        let server = Arc::new(Server::new(ServeConfig {
+            max_active: 2,
+            max_waiting: 4,
+            // Tight watermark: mid-run evictions happen when the two
+            // tenants overlap.
+            mem_watermark_bytes: 512,
+            ..ServeConfig::default()
+        }));
+        let lud_src = apps_ens::lud(16, "GPU");
+        let reference = serve_solo(&lud_src);
+        let clean = {
+            let server = Arc::clone(&server);
+            let src = lud_src.clone();
+            std::thread::spawn(move || server.submit(Request::new(0, src)))
+        };
+        let chaotic = {
+            let server = Arc::clone(&server);
+            let src = lud_src.clone();
+            std::thread::spawn(move || {
+                let mut req = Request::new(1, src);
+                req.chaos = Some(chaos::kill_plan(seed, 17, 2));
+                server.submit(req)
+            })
+        };
+        let clean_report = clean.join().unwrap().expect("clean tenant completes");
+        let chaotic_result = chaotic.join().unwrap();
+        prop_assert!(chaotic_result.is_ok());
+        // Eviction may move the clean tenant's virtual clock (the lazy
+        // re-upload is charged to its profile); its data never moves.
+        prop_assert_eq!(clean_report.output, reference.output);
+        prop_assert_eq!(server.pool().total_used(), 0);
+    }
+}
