@@ -37,6 +37,15 @@
 //! engine, default 3). Exits non-zero when any app's engines disagree on
 //! output or virtual clock.
 //!
+//! `--sdc-seed <N>` runs SDC mode instead of the figures: the five
+//! applications under a seed-`N` silent-corruption schedule on private
+//! zero-origin device lanes (gating 100% detection, byte-identical
+//! outputs *and* virtual clocks, and positive repair accounting), plus
+//! a straggler workload comparing hedged vs unhedged tail latency
+//! (`--tenants <N>` tenants, default 6). Writes the machine-readable
+//! result to `BENCH_8.json` (`--sdc-out <path>` overrides) and exits
+//! non-zero when any gate fails.
+//!
 //! `--serve` runs the multi-tenant serving bench instead of the figures:
 //! three mixed-application workloads drive an open-loop load at ~2× the
 //! admission watermark with seeded kill-chaos in half the tenants
@@ -47,7 +56,7 @@
 //! tenant's output or virtual clock diverges from its solo reference.
 
 use bench::figures::{self, ALL};
-use bench::{chaos, serve_bench, wallclock, Sizes, TraceSink};
+use bench::{chaos, sdc, serve_bench, wallclock, Sizes, TraceSink};
 
 fn run_wallclock_mode(sizes: &Sizes, sizes_label: &str, repeats: usize, out_path: &str) -> ! {
     eprintln!("wall-clock mode: {sizes_label} sizes, {repeats} runs per engine");
@@ -121,6 +130,33 @@ fn run_kill_chaos_mode(seed: u64, sizes: &Sizes) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+fn run_sdc_mode(seed: u64, sizes: &Sizes, tenants: usize, out_path: &str) -> ! {
+    eprintln!("sdc mode: seed {seed}, {tenants} straggler tenants");
+    match sdc::run_sdc(seed, sizes, tenants) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if let Err(e) = std::fs::write(out_path, report.to_json()) {
+                eprintln!("error: writing {out_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("sdc: results written to {out_path}");
+            if !report.all_consistent() {
+                eprintln!(
+                    "error: an injected corruption went undetected, a recovered run \
+                     diverged from its fault-free reference, or hedging failed to \
+                     improve the straggler p99"
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_serve_mode(tenants: usize, seed: u64, out_path: &str) -> ! {
     eprintln!("serving mode: {tenants} tenants per workload, kill seed {seed}");
     match serve_bench::run_serve(tenants, seed) {
@@ -160,6 +196,8 @@ fn main() {
     let mut serve_tenants = 6usize;
     let mut serve_seed = 1u64;
     let mut serve_out = "BENCH_7.json".to_string();
+    let mut sdc_seed: Option<u64> = None;
+    let mut sdc_out = "BENCH_8.json".to_string();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--wallclock" {
@@ -195,6 +233,22 @@ fn main() {
                 Some(s) => serve_seed = s,
                 None => {
                     eprintln!("error: --serve-seed requires an integer seed");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--sdc-seed" {
+            match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => sdc_seed = Some(s),
+                None => {
+                    eprintln!("error: --sdc-seed requires an integer seed");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--sdc-out" {
+            match it.next() {
+                Some(p) => sdc_out = p,
+                None => {
+                    eprintln!("error: --sdc-out requires an output file path");
                     std::process::exit(2);
                 }
             }
@@ -259,6 +313,9 @@ fn main() {
     }
     if let Some(seed) = kill_seed {
         run_kill_chaos_mode(seed, &sizes);
+    }
+    if let Some(seed) = sdc_seed {
+        run_sdc_mode(seed, &sizes, serve_tenants, &sdc_out);
     }
     if wallclock_mode {
         let label = if paper { "paper" } else { "bench" };

@@ -40,8 +40,10 @@ use trace::SpanKind;
 
 /// Serialises chaos runs: injectors attach to the process-global device
 /// matrix queues, so two concurrent chaos runs would see each other's
-/// faults.
-static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+/// faults. (Shared with the SDC harness in [`crate::sdc`], which uses
+/// private lanes but serialises anyway so chaos-mode wall timings are
+/// never polluted by a concurrent run.)
+pub(crate) static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Outcome of one application run under an injected fault schedule.
 #[derive(Debug, Clone)]
@@ -91,7 +93,9 @@ impl ChaosOutcome {
 /// fault on the very first upload so even the smallest schedule injects
 /// at least one.
 pub fn chaos_plan(seed: u64, period: u64) -> FaultPlan {
-    FaultPlan::seeded_transient(seed, period).fail(FaultOp::Upload, 0, InjectedFault::Transient)
+    FaultPlan::seeded_transient(seed, period)
+        .expect("chaos harness periods are valid")
+        .fail(FaultOp::Upload, 0, InjectedFault::Transient)
 }
 
 /// The kill schedule for one app: the very first dispatch dies by panic
@@ -104,6 +108,7 @@ pub fn kill_plan(seed: u64, period: u64, max_kills: u64) -> FaultPlan {
     FaultPlan::new()
         .fail(FaultOp::Enqueue, 0, InjectedFault::Kill(KillMode::Panic))
         .seeded_kills(seed, period, max_kills)
+        .expect("kill harness periods are valid")
 }
 
 fn count(events: &[trace::TraceEvent], kind: SpanKind) -> usize {

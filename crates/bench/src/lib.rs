@@ -19,9 +19,12 @@
 //! five applications run under a seeded deterministic fault schedule on
 //! the simulated GPU — plus a permanent device-loss scenario — and the
 //! harness asserts every run still matches its fault-free reference (see
-//! [`chaos`]), and a **serving mode** (`--serve`): open-loop multi-tenant
+//! [`chaos`]), a **serving mode** (`--serve`): open-loop multi-tenant
 //! load with kill-chaos in half the tenants, gating cross-tenant
-//! isolation byte-for-byte (see [`serve_bench`]).
+//! isolation byte-for-byte (see [`serve_bench`]), and an **SDC mode**
+//! (`--sdc-seed N`): seeded silent bit flips on all five apps (gating
+//! 100% detection and byte-identical recovery) plus a straggler-hedging
+//! tail-latency comparison (see [`sdc`]).
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub use trace::TraceSink;
 pub mod apps_ens;
 pub mod chaos;
 pub mod figures;
+pub mod sdc;
 pub mod serve_bench;
 pub mod table1;
 pub mod wallclock;

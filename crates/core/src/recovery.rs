@@ -81,6 +81,7 @@ impl RecoveryPolicy {
                 ClError::DeviceLost { .. }
                     | ClError::DeviceBusy { .. }
                     | ClError::OutOfDeviceMemory { .. }
+                    | ClError::Straggler { .. }
             )
     }
 }
@@ -89,6 +90,15 @@ impl RecoveryPolicy {
 /// times with exponential backoff charged to `queue`'s virtual clock.
 /// Each re-attempt leaves a [`SpanKind::Retry`] instant (named `what`) on
 /// the `device` trace track.
+///
+/// Detected-and-repaired silent corruption
+/// ([`oclsim::ClError::is_integrity`]) is also retried — the queue has
+/// already restored the offending buffer from its provenance shadow, so
+/// the re-issue recomputes from the last checkpoint — but its backoff is
+/// charged to the queue's *repair* accounting
+/// ([`oclsim::CommandQueue::charge_repair_ns`]) instead of the main
+/// virtual clock, so a recovered run's clock stays byte-identical to a
+/// fault-free one.
 pub fn with_retry<T>(
     policy: &RecoveryPolicy,
     queue: &oclsim::CommandQueue,
@@ -102,15 +112,21 @@ pub fn with_retry<T>(
     loop {
         match op() {
             Ok(v) => return Ok(v),
-            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+            Err(e) if (e.is_transient() || e.is_integrity()) && attempt < policy.max_retries => {
                 attempt += 1;
-                queue.charge_ns(backoff);
+                let repair = e.is_integrity();
+                if repair {
+                    queue.charge_repair_ns(backoff);
+                } else {
+                    queue.charge_ns(backoff);
+                }
                 let t = profile.trace();
                 if t.is_enabled() {
                     t.record(
                         TraceEvent::instant(SpanKind::Retry, what, device, queue.now_ns())
                             .with_arg("attempt", attempt)
                             .with_arg("backoff_ns", backoff)
+                            .with_arg("repair", repair)
                             .with_arg("error", &e),
                     );
                 }
@@ -238,6 +254,49 @@ mod tests {
     }
 
     #[test]
+    fn integrity_violations_are_retried_on_the_repair_clock() {
+        let env = gpu_env();
+        let sink = TraceSink::new();
+        let profile = ProfileSink::new().with_trace(sink.clone());
+        let before = env.queue.now_ns();
+        let mut failures_left = 2;
+        let r = with_retry(
+            &RecoveryPolicy::default(),
+            &env.queue,
+            env.device.name(),
+            &profile,
+            "op",
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(ClError::IntegrityViolation {
+                        device: "GPU".into(),
+                        buffer: 1,
+                        expected: 2,
+                        actual: 3,
+                    })
+                } else {
+                    Ok(13)
+                }
+            },
+        );
+        assert_eq!(r, Ok(13));
+        // Backoff went to repair accounting; the main virtual clock is
+        // byte-identical to a fault-free run.
+        assert_eq!(env.queue.now_ns().to_bits(), before.to_bits());
+        assert!((env.queue.repair_ns() - 6_000.0).abs() < 1e-6);
+        let repair_retries = sink
+            .events()
+            .iter()
+            .filter(|e| {
+                e.kind == SpanKind::Retry
+                    && e.args.iter().any(|(k, v)| k == "repair" && v == "true")
+            })
+            .count();
+        assert_eq!(repair_retries, 2);
+    }
+
+    #[test]
     fn permanent_errors_are_not_retried() {
         let env = gpu_env();
         let profile = ProfileSink::new();
@@ -267,6 +326,10 @@ mod tests {
         assert!(p.should_fail_over(&ClError::OutOfDeviceMemory {
             requested: 1,
             available: 0
+        }));
+        assert!(p.should_fail_over(&ClError::Straggler {
+            device: "g".into(),
+            budget_ns: 1
         }));
         assert!(!p.should_fail_over(&ClError::BuildFailure { log: "x".into() }));
         assert!(!p.should_fail_over(&ClError::InvalidKernelArgs("x".into())));

@@ -177,6 +177,24 @@ impl<T: Flatten> DeviceData<T> {
     ) -> ClResult<Dispatchable> {
         match self.state {
             State::Device(r) if r.context.id() == target_ctx.id() => {
+                // Resident reuse skips the upload seam, so it carries its
+                // own integrity seam: verify every buffer against its
+                // recorded provenance before handing it to a kernel. On a
+                // mismatch the queue restores the host shadow (the last
+                // checkpoint) and charges the repair clock; the bounded
+                // re-verify then passes against the restored bytes, so
+                // the reuse proceeds with known-good data.
+                let seg_bufs: Vec<Buffer> = r.bufs.iter().map(|(b, _)| b.clone()).collect();
+                let quiet = ProfileSink::new();
+                let p = profile.unwrap_or(&quiet);
+                with_retry(
+                    &RecoveryPolicy::default(),
+                    &r.queue,
+                    r.queue.device().name(),
+                    p,
+                    "resident_verify",
+                    || r.queue.verify_integrity(&seg_bufs),
+                )?;
                 // The mov win made visible: record the moment a dispatch
                 // reused resident buffers with zero transfer cost.
                 if let Some(p) = profile {

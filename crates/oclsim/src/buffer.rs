@@ -30,6 +30,28 @@ fn count_copied(n: usize) {
 #[cfg(not(test))]
 fn count_copied(_n: usize) {}
 
+/// FNV-1a 64-bit checksum — the provenance fingerprint recorded for every
+/// guarded upload and verified at readback / dispatch seams. Cheap, seedless,
+/// and deterministic; a single flipped bit always changes the digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Provenance of a buffer's last known-good contents: the checksum that
+/// verification compares against, plus a host shadow copy — the "last
+/// checkpoint" that integrity recovery restores from before asking the
+/// caller to recompute.
+#[derive(Debug)]
+pub(crate) struct Provenance {
+    pub(crate) checksum: u64,
+    pub(crate) shadow: Vec<u8>,
+}
+
 /// Buffer access flags, mirroring `CL_MEM_READ_WRITE` and friends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemFlags {
@@ -53,6 +75,10 @@ pub(crate) struct BufferInner {
     /// queues per device; the simulator surfaces it as an error instead of
     /// returning garbage.
     pub(crate) checked_out: AtomicBool,
+    /// Last known-good checksum + host shadow. `None` until a queue with an
+    /// armed integrity layer records one; plain runs never touch it, so the
+    /// fault-free hot path stays shadow-free.
+    pub(crate) provenance: Mutex<Option<Provenance>>,
 }
 
 /// A device memory buffer.
@@ -74,6 +100,7 @@ impl Buffer {
                 len,
                 data: Mutex::new(vec![0u8; len]),
                 checked_out: AtomicBool::new(false),
+                provenance: Mutex::new(None),
             }),
         }
     }
@@ -194,6 +221,59 @@ impl Buffer {
         self.inner.data.lock()[offset..offset + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
+
+    // ---------------------------------------------------------------
+    // Provenance (silent-corruption defense). Only queues with an armed
+    // integrity layer call these; plain runs never allocate a shadow.
+    // ---------------------------------------------------------------
+
+    /// Record the current device bytes as the buffer's last known-good
+    /// contents: checksum + host shadow copy.
+    pub(crate) fn record_provenance(&self) {
+        let data = self.inner.data.lock();
+        *self.inner.provenance.lock() = Some(Provenance {
+            checksum: fnv1a64(&data),
+            shadow: data.clone(),
+        });
+    }
+
+    /// Checksum recorded in the provenance, if any.
+    pub(crate) fn provenance_checksum(&self) -> Option<u64> {
+        self.inner.provenance.lock().as_ref().map(|p| p.checksum)
+    }
+
+    /// Verify the device bytes against the recorded provenance. Returns
+    /// `None` when no provenance is recorded or the checksum matches;
+    /// `Some((expected, actual))` on a mismatch.
+    pub(crate) fn verify_provenance(&self) -> Option<(u64, u64)> {
+        let prov = self.inner.provenance.lock();
+        let p = prov.as_ref()?;
+        let actual = fnv1a64(&self.inner.data.lock());
+        (actual != p.checksum).then_some((p.checksum, actual))
+    }
+
+    /// Restore the device bytes from the provenance shadow (invalidate
+    /// and fall back to the last checkpoint). Returns the number of
+    /// bytes restored, or `None` when no provenance is recorded.
+    pub(crate) fn restore_from_provenance(&self) -> Option<usize> {
+        let prov = self.inner.provenance.lock();
+        let p = prov.as_ref()?;
+        let mut data = self.inner.data.lock();
+        data.copy_from_slice(&p.shadow);
+        Some(p.shadow.len())
+    }
+
+    /// Flip one bit of the device bytes (the corruption injector's write
+    /// path — deliberately bypasses provenance so the flip is silent).
+    pub(crate) fn flip_bit(&self, bit: u64) {
+        let mut data = self.inner.data.lock();
+        if data.is_empty() {
+            return;
+        }
+        let nbits = data.len() as u64 * 8;
+        let b = bit % nbits;
+        data[(b / 8) as usize] ^= 1 << (b % 8);
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +305,29 @@ mod tests {
         assert!(b.snapshot().is_err());
         b.check_in(taken);
         assert!(b.snapshot().is_ok());
+    }
+
+    #[test]
+    fn provenance_detects_and_restores_a_flipped_bit() {
+        let b = Buffer::new(1, MemFlags::ReadWrite, 4);
+        b.overwrite(0, &[1, 2, 3, 4]).unwrap();
+        assert!(b.verify_provenance().is_none(), "no provenance yet");
+        b.record_provenance();
+        assert!(b.verify_provenance().is_none(), "clean bytes verify");
+        b.flip_bit(13);
+        let (expected, actual) = b.verify_provenance().expect("flip must be detected");
+        assert_ne!(expected, actual);
+        assert_eq!(b.restore_from_provenance(), Some(4));
+        assert!(b.verify_provenance().is_none(), "restored bytes verify");
+        assert_eq!(b.snapshot().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fnv1a64_is_bit_sensitive() {
+        let a = fnv1a64(&[0u8; 16]);
+        let mut flipped = [0u8; 16];
+        flipped[7] ^= 0x10;
+        assert_ne!(a, fnv1a64(&flipped));
     }
 
     #[test]

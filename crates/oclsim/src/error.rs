@@ -90,6 +90,36 @@ pub enum ClError {
         /// Device whose operation the kill was scheduled on.
         device: String,
     },
+    /// Buffer contents failed checksum verification against the recorded
+    /// provenance of the last known-good write (silent data corruption —
+    /// a bit flip on the wire or in device memory). Real OpenCL has no
+    /// such error: SDC is exactly the failure hardware does *not*
+    /// report, which is why the integrity layer exists. The queue
+    /// restores the buffer from its host shadow before returning this,
+    /// so a retry of the same command recomputes from the last
+    /// checkpoint and succeeds.
+    IntegrityViolation {
+        /// Device whose queue detected the mismatch.
+        device: String,
+        /// Identifier of the offending buffer.
+        buffer: u64,
+        /// Checksum recorded in the buffer's provenance.
+        expected: u64,
+        /// Checksum actually observed.
+        actual: u64,
+    },
+    /// A dispatch exceeded the queue's per-dispatch watchdog budget on
+    /// the virtual clock (a straggling kernel — e.g. an injected
+    /// [`crate::fault::InjectedFault::Slowdown`]). The command's side
+    /// effects were rolled back from provenance shadows and only the
+    /// budget was charged; the recovery layer treats this as a failover
+    /// condition and re-issues the dispatch on the next device.
+    Straggler {
+        /// Device whose dispatch straggled.
+        device: String,
+        /// Watchdog budget that was exceeded, in virtual nanoseconds.
+        budget_ns: u64,
+    },
     /// Catch-all for violated simulator invariants.
     Internal(String),
 }
@@ -104,8 +134,26 @@ impl ClError {
     /// would fail identically. The supervised recovery layer in
     /// `ensemble-ocl` retries transient errors and *fails over* to the
     /// next device on everything else.
+    ///
+    /// [`ClError::IntegrityViolation`] is deliberately *not* transient:
+    /// its retry must charge backoff to the queue's repair accounting
+    /// (not the main virtual clock) so that recovered runs stay
+    /// clock-identical to fault-free ones — see
+    /// [`ClError::is_integrity`] and the recovery layer's dedicated
+    /// branch. [`ClError::Straggler`] is a failover condition, like
+    /// [`ClError::DeviceLost`].
     pub fn is_transient(&self) -> bool {
         matches!(self, ClError::DeviceBusy { .. })
+    }
+
+    /// Whether this error is a detected-and-repaired silent-corruption
+    /// event: the queue already restored the buffer from its provenance
+    /// shadow, so re-issuing the same command recomputes from the last
+    /// checkpoint. The recovery layer retries these like transients but
+    /// diverts the backoff to repair accounting, keeping the main
+    /// virtual clock byte-identical to a fault-free run.
+    pub fn is_integrity(&self) -> bool {
+        matches!(self, ClError::IntegrityViolation { .. })
     }
 }
 
@@ -148,6 +196,22 @@ impl fmt::Display for ClError {
             ClError::ActorKilled { device } => {
                 write!(f, "actor killed by injected fault on device `{device}`")
             }
+            ClError::IntegrityViolation {
+                device,
+                buffer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "integrity violation on device `{device}`: buffer {buffer} checksum \
+                 {actual:#018x} != recorded provenance {expected:#018x} \
+                 (restored from shadow; retry recomputes from last checkpoint)"
+            ),
+            ClError::Straggler { device, budget_ns } => write!(
+                f,
+                "dispatch on device `{device}` exceeded the {budget_ns} ns watchdog \
+                 budget and was abandoned (straggler)"
+            ),
             ClError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
         }
     }

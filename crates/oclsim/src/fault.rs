@@ -12,7 +12,7 @@
 //! plan against the same workload injects the same faults at the same
 //! virtual instants on every machine.
 //!
-//! Two fault classes exist, matching the two recovery strategies above
+//! The fail-stop fault classes match the two recovery strategies above
 //! the simulator:
 //!
 //! * **Transient** ([`InjectedFault::Transient`]): the operation fails
@@ -25,6 +25,26 @@
 //!   fails with [`ClError::DeviceLost`] — except **read-backs**, which
 //!   stay available as a rescue path so device-resident data can be
 //!   evacuated before failing over to another device.
+//!
+//! Beyond fail-stop, three *non-fail-stop* classes model failures that
+//! never raise an error at the point of injection:
+//!
+//! * **Silent corruption** ([`InjectedFault::Corrupt`]): a seeded bit
+//!   flips at an upload/enqueue/readback seam and the operation
+//!   *succeeds*. Defense lives in the queue's integrity layer: uploads
+//!   record provenance checksums, readbacks and dispatches verify them,
+//!   and a mismatch surfaces as [`ClError::IntegrityViolation`] after
+//!   the buffer has been restored from its host shadow.
+//! * **Slowdown** ([`InjectedFault::Slowdown`]): the command completes
+//!   correctly but its virtual-clock cost is multiplied — a straggling
+//!   kernel. The queue's per-dispatch watchdog converts a blown budget
+//!   into [`ClError::Straggler`] for the failover path.
+//! * **Hang** ([`InjectedFault::Hang`]): the command stalls on the
+//!   *wall* clock (bounded by the plan's hang cap, cancellable via
+//!   [`FaultInjector::cancel_hangs`]) and then completes normally; the
+//!   virtual clock never moves, so outputs and virtual timings stay
+//!   byte-identical while serving-path latency balloons — the scenario
+//!   hedged re-dispatch exists for.
 //!
 //! An injector with no plan (or a detached/disabled injector) is
 //! completely inert: checks are a branch on an `Option`, no fault is
@@ -87,6 +107,21 @@ pub enum InjectedFault {
     /// healthy, so a supervisor can restart the actor against the same
     /// device and resume from a checkpoint.
     Kill(KillMode),
+    /// Silently flip one seeded bit of the operation's payload; the
+    /// operation itself *succeeds*. Only the integrity layer's
+    /// provenance checksums can tell. Meaningful on
+    /// [`FaultOp::Upload`]/[`FaultOp::Enqueue`]/[`FaultOp::Readback`];
+    /// ignored on [`FaultOp::Build`].
+    Corrupt,
+    /// Multiply this command's virtual-clock cost by the given factor —
+    /// a straggling kernel that answers correctly but late. Surfaces as
+    /// [`ClError::Straggler`] only if the queue's per-dispatch watchdog
+    /// budget is armed and exceeded.
+    Slowdown(u32),
+    /// Stall the issuing thread on the *wall* clock (up to the plan's
+    /// hang cap, or until [`FaultInjector::cancel_hangs`]), then let the
+    /// operation proceed normally. The virtual clock is untouched.
+    Hang,
 }
 
 /// How an [`InjectedFault::Kill`] terminates the issuing actor.
@@ -188,17 +223,74 @@ struct SeededKills {
     max_kills: u64,
 }
 
+/// Seeded pseudo-random silent corruption (see
+/// [`FaultPlan::seeded_corrupt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SeededCorrupt {
+    seed: u64,
+    period: u64,
+}
+
+/// Seeded pseudo-random straggling dispatches (see
+/// [`FaultPlan::seeded_stragglers`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SeededStragglers {
+    seed: u64,
+    period: u64,
+    factor: u32,
+}
+
+/// A [`FaultPlan`] constructor was given degenerate parameters (e.g. a
+/// seeded schedule with `period == 0`, which could never pick a 1-in-0
+/// window, or a kill schedule capped at zero kills). Returned instead of
+/// silently building a plan that injects nothing — a chaos run that
+/// *thinks* it is testing recovery but isn't is worse than no run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfigError {
+    /// Which constructor rejected its parameters.
+    pub what: &'static str,
+    /// Why the parameters are degenerate.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault plan ({}): {}", self.what, self.reason)
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+fn check_period(what: &'static str, period: u64) -> Result<(), FaultConfigError> {
+    if period < 2 {
+        return Err(FaultConfigError {
+            what,
+            reason: format!(
+                "period must be >= 2, got {period} (0 never fires; 1 faults every \
+                 operation including the recovery retries, so no schedule can complete)"
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// A deterministic schedule of faults.
 ///
 /// Plans combine explicitly scheduled faults ([`FaultPlan::fail`]) with
-/// an optional seeded transient schedule
-/// ([`FaultPlan::seeded_transient`]); explicit entries take precedence at
-/// indices where both would fire. An empty plan injects nothing.
+/// optional seeded schedules ([`FaultPlan::seeded_transient`],
+/// [`FaultPlan::seeded_kills`], [`FaultPlan::seeded_corrupt`],
+/// [`FaultPlan::seeded_stragglers`]); explicit entries take precedence
+/// at indices where both would fire. An empty plan injects nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     explicit: Vec<FaultSpec>,
     seeded: Option<Seeded>,
     kills: Option<SeededKills>,
+    corrupt: Option<SeededCorrupt>,
+    stragglers: Option<SeededStragglers>,
+    /// Wall-clock cap on one [`InjectedFault::Hang`] stall, in
+    /// milliseconds. `None` uses [`FaultPlan::DEFAULT_HANG_CAP_MS`].
+    hang_cap_ms: Option<u64>,
 }
 
 /// SplitMix64 — the classic 64-bit finaliser; good avalanche, no state,
@@ -211,6 +303,9 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 impl FaultPlan {
+    /// Default wall-clock cap on one [`InjectedFault::Hang`] stall.
+    pub const DEFAULT_HANG_CAP_MS: u64 = 2_000;
+
     /// An empty plan (injects nothing).
     pub fn new() -> FaultPlan {
         FaultPlan::default()
@@ -228,16 +323,15 @@ impl FaultPlan {
     /// [`ClError::DeviceBusy`], chosen by a deterministic hash of
     /// `(seed, op, index)`. Build operations are never hit (a kernel
     /// compiles once per actor, so a seeded build fault would dominate
-    /// small schedules). `period` is clamped to at least 2.
-    pub fn seeded_transient(seed: u64, period: u64) -> FaultPlan {
-        FaultPlan {
-            explicit: Vec::new(),
-            seeded: Some(Seeded {
-                seed,
-                period: period.max(2),
-            }),
-            kills: None,
-        }
+    /// small schedules). `period < 2` is a configuration error: 0 never
+    /// fires and 1 faults every operation including the recovery
+    /// retries, so no schedule could complete.
+    pub fn seeded_transient(seed: u64, period: u64) -> Result<FaultPlan, FaultConfigError> {
+        check_period("seeded_transient", period)?;
+        Ok(FaultPlan {
+            seeded: Some(Seeded { seed, period }),
+            ..FaultPlan::default()
+        })
     }
 
     /// Add a seeded actor-kill schedule (builder style): roughly one in
@@ -252,18 +346,106 @@ impl FaultPlan {
     /// actors during `mov` force-host, where an injected death has no
     /// supervised kernel actor to restart), and builds happen once per
     /// actor, exactly as for [`FaultPlan::seeded_transient`].
-    pub fn seeded_kills(mut self, seed: u64, period: u64, max_kills: u64) -> FaultPlan {
+    ///
+    /// `period < 2` or `max_kills == 0` are configuration errors — a
+    /// kill schedule capped at zero kills is a chaos run that tests
+    /// nothing.
+    pub fn seeded_kills(
+        mut self,
+        seed: u64,
+        period: u64,
+        max_kills: u64,
+    ) -> Result<FaultPlan, FaultConfigError> {
+        check_period("seeded_kills", period)?;
+        if max_kills == 0 {
+            return Err(FaultConfigError {
+                what: "seeded_kills",
+                reason: "max_kills must be >= 1 (a schedule capped at zero kills \
+                         injects nothing)"
+                    .to_string(),
+            });
+        }
         self.kills = Some(SeededKills {
             seed,
-            period: period.max(2),
+            period,
             max_kills,
         });
+        Ok(self)
+    }
+
+    /// Add a seeded silent-corruption schedule (builder style): roughly
+    /// one in `period` upload/enqueue/readback operations flips one
+    /// deterministic bit of its payload and *succeeds*. Builds are never
+    /// hit. `period < 2` is a configuration error.
+    pub fn seeded_corrupt(
+        mut self,
+        seed: u64,
+        period: u64,
+    ) -> Result<FaultPlan, FaultConfigError> {
+        check_period("seeded_corrupt", period)?;
+        self.corrupt = Some(SeededCorrupt { seed, period });
+        Ok(self)
+    }
+
+    /// Add a seeded straggler schedule (builder style): roughly one in
+    /// `period` kernel dispatches has its virtual cost multiplied by
+    /// `factor`. Only [`FaultOp::Enqueue`] is eligible (stragglers are
+    /// slow *kernels*; transfers are covered by the corrupt/transient
+    /// schedules). `period < 2` or `factor < 2` are configuration
+    /// errors — a 1x slowdown is not a straggler.
+    pub fn seeded_stragglers(
+        mut self,
+        seed: u64,
+        period: u64,
+        factor: u32,
+    ) -> Result<FaultPlan, FaultConfigError> {
+        check_period("seeded_stragglers", period)?;
+        if factor < 2 {
+            return Err(FaultConfigError {
+                what: "seeded_stragglers",
+                reason: format!("slowdown factor must be >= 2, got {factor}"),
+            });
+        }
+        self.stragglers = Some(SeededStragglers {
+            seed,
+            period,
+            factor,
+        });
+        Ok(self)
+    }
+
+    /// Cap each [`InjectedFault::Hang`] stall at `ms` wall-clock
+    /// milliseconds (builder style). Defaults to
+    /// [`FaultPlan::DEFAULT_HANG_CAP_MS`].
+    pub fn with_hang_cap_ms(mut self, ms: u64) -> FaultPlan {
+        self.hang_cap_ms = Some(ms);
         self
     }
 
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.explicit.is_empty() && self.seeded.is_none() && self.kills.is_none()
+        self.explicit.is_empty()
+            && self.seeded.is_none()
+            && self.kills.is_none()
+            && self.corrupt.is_none()
+            && self.stragglers.is_none()
+    }
+
+    /// Whether any scheduled fault can silently corrupt a payload — the
+    /// signal the queue uses to arm its provenance/integrity layer (so
+    /// corruption-free runs skip checksums, shadows, and the extra trace
+    /// instants entirely).
+    pub fn can_corrupt(&self) -> bool {
+        self.corrupt.is_some()
+            || self
+                .explicit
+                .iter()
+                .any(|s| s.fault == InjectedFault::Corrupt)
+    }
+
+    /// The effective wall-clock hang cap.
+    pub fn hang_cap(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.hang_cap_ms.unwrap_or(Self::DEFAULT_HANG_CAP_MS))
     }
 
     fn lookup(&self, op: FaultOp, index: u64) -> Option<InjectedFault> {
@@ -310,6 +492,36 @@ impl FaultPlan {
         })
     }
 
+    /// The seeded-corruption schedule's verdict for `(op, index)`.
+    fn lookup_corrupt(&self, op: FaultOp, index: u64) -> bool {
+        let Some(c) = self.corrupt else { return false };
+        if op == FaultOp::Build {
+            return false;
+        }
+        let h = splitmix64(
+            c.seed
+                .wrapping_mul(0xd1b5_4a32_d192_ed03)
+                .wrapping_add((op.slot() as u64) << 36)
+                .wrapping_add(index),
+        );
+        h.is_multiple_of(c.period)
+    }
+
+    /// The seeded-straggler schedule's verdict for `(op, index)`.
+    fn lookup_straggler(&self, op: FaultOp, index: u64) -> Option<u32> {
+        let s = self.stragglers?;
+        if op != FaultOp::Enqueue {
+            return None;
+        }
+        let h = splitmix64(
+            s.seed
+                .wrapping_mul(0xaef1_7502_b3a8_87c9)
+                .wrapping_add((op.slot() as u64) << 44)
+                .wrapping_add(index),
+        );
+        h.is_multiple_of(s.period).then_some(s.factor)
+    }
+
     fn max_kills(&self) -> u64 {
         self.kills.map(|k| k.max_kills).unwrap_or(u64::MAX)
     }
@@ -322,10 +534,28 @@ pub struct InjectionRecord {
     pub op: FaultOp,
     /// Operation index it fired at.
     pub index: u64,
+    /// Device whose operation the fault fired on.
+    pub device: String,
+    /// Stable lowercase fault-kind label: `"transient"`,
+    /// `"device_lost"`, `"kill"`, `"corrupt"`, `"slowdown"`, `"hang"`.
+    pub kind: &'static str,
     /// Whether the fault was transient (retryable).
     pub transient: bool,
-    /// The error the operation returned.
-    pub error: ClError,
+    /// The error the operation returned, if the fault is fail-stop.
+    /// `None` for the silent classes (corrupt/slowdown/hang), whose
+    /// operations succeed at the point of injection.
+    pub error: Option<ClError>,
+}
+
+/// The non-fail-stop side effects a fault check asks the caller to
+/// apply. Returned by [`FaultInjector::check_effects`]; a default value
+/// means "proceed untouched".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultEffect {
+    /// Flip this (pre-modulo) bit of the operation's payload.
+    pub corrupt_bit: Option<u64>,
+    /// Multiply the command's virtual-clock cost by this factor.
+    pub slowdown: Option<u32>,
 }
 
 #[derive(Debug)]
@@ -337,6 +567,15 @@ struct InjectorInner {
     device_lost: AtomicBool,
     /// Kills fired so far (seeded kills stop once the plan's cap is hit).
     kills_fired: AtomicU64,
+    /// Corruption detections reported back by queue integrity layers
+    /// (see [`FaultInjector::note_detection`]) — the chaos scoreboard's
+    /// "detections" side.
+    detections: AtomicU64,
+    /// Latch + condvar releasing all current and future
+    /// [`InjectedFault::Hang`] stalls. Uses `std::sync` directly: the
+    /// workspace's `parking_lot` shim has no condition variable.
+    hangs_cancelled: std::sync::Mutex<bool>,
+    hang_cvar: std::sync::Condvar,
     records: Mutex<Vec<InjectionRecord>>,
     trace: Mutex<TraceSink>,
 }
@@ -367,6 +606,9 @@ impl FaultInjector {
                 ],
                 device_lost: AtomicBool::new(false),
                 kills_fired: AtomicU64::new(0),
+                detections: AtomicU64::new(0),
+                hangs_cancelled: std::sync::Mutex::new(false),
+                hang_cvar: std::sync::Condvar::new(),
                 records: Mutex::new(Vec::new()),
                 trace: Mutex::new(TraceSink::disabled()),
             })),
@@ -393,15 +635,28 @@ impl FaultInjector {
     }
 
     /// Consume one operation index of class `op` and fail if the plan
-    /// scheduled a fault there (or the device is already lost).
+    /// scheduled a fail-stop fault there (or the device is already
+    /// lost). Equivalent to [`FaultInjector::check_effects`] with the
+    /// silent side effects dropped — used by seams that have no payload
+    /// a corruption could apply to (program builds).
     ///
     /// `device` names the track for trace instants; `now_ns` is the
     /// issuing queue's current virtual time. Called by the simulator at
     /// the top of each instrumented entry point — user code does not
     /// normally call this.
     pub fn check(&self, op: FaultOp, device: &str, now_ns: f64) -> ClResult<()> {
+        self.check_effects(op, device, now_ns).map(|_| ())
+    }
+
+    /// Consume one operation index of class `op`; fail for fail-stop
+    /// faults, and return the *silent* side effects (bit flip, cost
+    /// multiplier) the caller must apply for the non-fail-stop classes.
+    /// [`InjectedFault::Hang`] is applied right here: the calling thread
+    /// stalls on the wall clock until [`FaultInjector::cancel_hangs`] or
+    /// the plan's hang cap, then proceeds.
+    pub fn check_effects(&self, op: FaultOp, device: &str, now_ns: f64) -> ClResult<FaultEffect> {
         let Some(inner) = &self.inner else {
-            return Ok(());
+            return Ok(FaultEffect::default());
         };
         // A lost device refuses everything except rescue read-backs.
         if inner.device_lost.load(Ordering::Acquire) && op != FaultOp::Readback {
@@ -419,52 +674,96 @@ impl FaultInjector {
                     inner.kills_fired.load(Ordering::Acquire) < inner.plan.max_kills();
                 match inner.plan.lookup_kill(op, index).filter(|_| under_cap) {
                     Some(mode) => InjectedFault::Kill(mode),
-                    None => return Ok(()),
+                    None if inner.plan.lookup_corrupt(op, index) => InjectedFault::Corrupt,
+                    None => match inner.plan.lookup_straggler(op, index) {
+                        Some(factor) => InjectedFault::Slowdown(factor),
+                        None => return Ok(FaultEffect::default()),
+                    },
                 }
             }
         };
         let mut kill_mode = None;
-        let (transient, error) = match fault {
+        let mut effect = FaultEffect::default();
+        let mut hang = false;
+        let (kind, transient, error) = match fault {
             InjectedFault::Transient => (
+                "transient",
                 true,
-                ClError::DeviceBusy {
+                Some(ClError::DeviceBusy {
                     device: device.to_string(),
-                },
+                }),
             ),
             InjectedFault::DeviceLost => {
                 inner.device_lost.store(true, Ordering::Release);
                 (
+                    "device_lost",
                     false,
-                    ClError::DeviceLost {
+                    Some(ClError::DeviceLost {
                         device: device.to_string(),
-                    },
+                    }),
                 )
             }
             InjectedFault::Kill(mode) => {
                 inner.kills_fired.fetch_add(1, Ordering::AcqRel);
                 kill_mode = Some(mode);
                 (
+                    "kill",
                     false,
-                    ClError::ActorKilled {
+                    Some(ClError::ActorKilled {
                         device: device.to_string(),
-                    },
+                    }),
                 )
+            }
+            InjectedFault::Corrupt => {
+                // The bit to flip is itself seeded: same plan, same
+                // workload → same flip on every machine.
+                effect.corrupt_bit = Some(splitmix64(
+                    0x5b1c_e8f0_a3d9_4721_u64
+                        .wrapping_add((op.slot() as u64) << 48)
+                        .wrapping_add(index),
+                ));
+                ("corrupt", false, None)
+            }
+            InjectedFault::Slowdown(factor) => {
+                effect.slowdown = Some(factor);
+                ("slowdown", false, None)
+            }
+            InjectedFault::Hang => {
+                hang = true;
+                ("hang", false, None)
             }
         };
         inner.records.lock().push(InjectionRecord {
             op,
             index,
+            device: device.to_string(),
+            kind,
             transient,
             error: error.clone(),
         });
         {
             let trace = inner.trace.lock();
             if trace.is_enabled() {
-                let mut ev =
-                    TraceEvent::instant(SpanKind::FaultInjected, op.name(), device, now_ns)
-                        .with_arg("index", index)
-                        .with_arg("transient", transient)
-                        .with_arg("error", &error);
+                let span = if kind == "corrupt" {
+                    SpanKind::CorruptionInjected
+                } else {
+                    SpanKind::FaultInjected
+                };
+                let mut ev = TraceEvent::instant(span, op.name(), device, now_ns)
+                    .with_arg("op", op.name())
+                    .with_arg("device", device)
+                    .with_arg("kind", kind)
+                    .with_arg("index", index)
+                    .with_arg("transient", transient);
+                if let Some(e) = &error {
+                    ev = ev.with_arg("error", e);
+                }
+                if let Some(bit) = effect.corrupt_bit {
+                    ev = ev.with_arg("bit", bit);
+                }
+                if let Some(f) = effect.slowdown {
+                    ev = ev.with_arg("factor", f);
+                }
                 if let Some(mode) = kill_mode {
                     ev = ev.with_arg("kill", mode.name());
                 }
@@ -481,7 +780,90 @@ impl FaultInjector {
                 index,
             });
         }
-        Err(error)
+        if hang {
+            // Wall-clock stall: the virtual clock never moves, so the
+            // run's outputs and virtual timings stay byte-identical —
+            // only real latency (what the serving path's hedge watches)
+            // balloons. Bounded by the plan's cap, released early by
+            // `cancel_hangs`.
+            let cap = inner.plan.hang_cap();
+            let deadline = std::time::Instant::now() + cap;
+            let mut cancelled = inner
+                .hangs_cancelled
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            while !*cancelled {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = inner
+                    .hang_cvar
+                    .wait_timeout(cancelled, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                cancelled = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok(effect),
+        }
+    }
+
+    /// Release every current and future [`InjectedFault::Hang`] stall on
+    /// this injector (hedging cancels the loser; teardown drains
+    /// stragglers). Idempotent.
+    pub fn cancel_hangs(&self) {
+        if let Some(inner) = &self.inner {
+            *inner
+                .hangs_cancelled
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) = true;
+            inner.hang_cvar.notify_all();
+        }
+    }
+
+    /// Record one corruption detection (called by a queue's integrity
+    /// layer when a provenance checksum mismatch is caught). The chaos
+    /// harness compares this against [`FaultInjector::corrupt_count`]
+    /// for its detections == injections gate.
+    pub fn note_detection(&self) {
+        if let Some(inner) = &self.inner {
+            inner.detections.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Corruption detections reported so far.
+    pub fn detected_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.detections.load(Ordering::Acquire) as usize,
+            None => 0,
+        }
+    }
+
+    /// Number of [`InjectedFault::Corrupt`] faults fired so far.
+    pub fn corrupt_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner
+                .records
+                .lock()
+                .iter()
+                .filter(|r| r.kind == "corrupt")
+                .count(),
+            None => 0,
+        }
+    }
+
+    /// Whether the plan can silently corrupt payloads (arms the queue's
+    /// provenance/integrity layer).
+    pub fn can_corrupt(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.plan.can_corrupt(),
+            None => false,
+        }
     }
 
     /// Every fault fired so far, in firing order.
@@ -575,7 +957,7 @@ mod tests {
 
     #[test]
     fn seeded_plans_are_deterministic_and_fire() {
-        let plan = FaultPlan::seeded_transient(42, 5);
+        let plan = FaultPlan::seeded_transient(42, 5).unwrap();
         let a = FaultInjector::new(plan.clone());
         let b = FaultInjector::new(plan);
         for _ in 0..200 {
@@ -588,7 +970,7 @@ mod tests {
         assert!(n > 0, "a 1-in-5 schedule must fire within 200 ops");
         assert!(n < 200, "must not fire on every op");
         // Different seeds give different schedules.
-        let c = FaultInjector::new(FaultPlan::seeded_transient(43, 5));
+        let c = FaultInjector::new(FaultPlan::seeded_transient(43, 5).unwrap());
         for _ in 0..200 {
             let _ = c.check(FaultOp::Upload, "gpu", 0.0);
         }
@@ -599,9 +981,168 @@ mod tests {
 
     #[test]
     fn seeded_plans_never_hit_build() {
-        let inj = FaultInjector::new(FaultPlan::seeded_transient(7, 2));
+        let inj = FaultInjector::new(FaultPlan::seeded_transient(7, 2).unwrap());
         for i in 0..500 {
             assert!(inj.check(FaultOp::Build, "gpu", i as f64).is_ok());
+        }
+    }
+
+    #[test]
+    fn degenerate_plan_parameters_are_configuration_errors() {
+        assert!(FaultPlan::seeded_transient(1, 0).is_err());
+        assert!(FaultPlan::seeded_transient(1, 1).is_err());
+        assert!(FaultPlan::new().seeded_kills(1, 0, 3).is_err());
+        assert!(FaultPlan::new().seeded_kills(1, 17, 0).is_err());
+        assert!(FaultPlan::new().seeded_corrupt(1, 1).is_err());
+        assert!(FaultPlan::new().seeded_stragglers(1, 0, 4).is_err());
+        assert!(FaultPlan::new().seeded_stragglers(1, 5, 1).is_err());
+        let err = FaultPlan::seeded_transient(1, 0).unwrap_err();
+        assert!(err.to_string().contains("period"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_fires_silently_with_a_deterministic_bit() {
+        let plan = FaultPlan::new().fail(FaultOp::Upload, 1, InjectedFault::Corrupt);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        assert!(a.can_corrupt());
+        let mut bits = Vec::new();
+        for inj in [&a, &b] {
+            assert_eq!(
+                inj.check_effects(FaultOp::Upload, "gpu", 0.0).unwrap(),
+                FaultEffect::default()
+            );
+            let eff = inj.check_effects(FaultOp::Upload, "gpu", 0.0).unwrap();
+            bits.push(eff.corrupt_bit.expect("corrupt must yield a bit"));
+        }
+        assert_eq!(bits[0], bits[1], "same plan, same flip");
+        assert_eq!(a.corrupt_count(), 1);
+        let rec = &a.records()[0];
+        assert_eq!(rec.kind, "corrupt");
+        assert_eq!(rec.device, "gpu");
+        assert!(rec.error.is_none(), "corruption is silent");
+    }
+
+    #[test]
+    fn seeded_corrupt_never_hits_build_and_is_deterministic() {
+        let plan = FaultPlan::new().seeded_corrupt(9, 3).unwrap();
+        let inj = FaultInjector::new(plan.clone());
+        for i in 0..200 {
+            assert!(inj.check(FaultOp::Build, "gpu", i as f64).is_ok());
+        }
+        assert_eq!(inj.injected_count(), 0);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for _ in 0..200 {
+            let ea = a.check_effects(FaultOp::Readback, "gpu", 0.0).unwrap();
+            let eb = b.check_effects(FaultOp::Readback, "gpu", 0.0).unwrap();
+            assert_eq!(ea, eb);
+        }
+        assert!(a.corrupt_count() > 0, "1-in-3 must fire within 200 ops");
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn slowdown_returns_a_cost_multiplier() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().fail(FaultOp::Enqueue, 0, InjectedFault::Slowdown(16)),
+        );
+        let eff = inj.check_effects(FaultOp::Enqueue, "gpu", 0.0).unwrap();
+        assert_eq!(eff.slowdown, Some(16));
+        assert_eq!(inj.records()[0].kind, "slowdown");
+    }
+
+    #[test]
+    fn seeded_stragglers_only_hit_enqueue() {
+        let inj =
+            FaultInjector::new(FaultPlan::new().seeded_stragglers(5, 2, 8).unwrap());
+        for _ in 0..100 {
+            let up = inj.check_effects(FaultOp::Upload, "gpu", 0.0).unwrap();
+            let rb = inj.check_effects(FaultOp::Readback, "gpu", 0.0).unwrap();
+            assert_eq!(up, FaultEffect::default());
+            assert_eq!(rb, FaultEffect::default());
+        }
+        let mut hit = 0;
+        for _ in 0..100 {
+            if inj
+                .check_effects(FaultOp::Enqueue, "gpu", 0.0)
+                .unwrap()
+                .slowdown
+                .is_some()
+            {
+                hit += 1;
+            }
+        }
+        assert!(hit > 0, "1-in-2 enqueue schedule must fire");
+    }
+
+    #[test]
+    fn hang_stalls_until_cancelled_and_then_proceeds() {
+        let plan = FaultPlan::new()
+            .fail(FaultOp::Enqueue, 0, InjectedFault::Hang)
+            .with_hang_cap_ms(10_000);
+        let inj = FaultInjector::new(plan);
+        let handle = {
+            let inj = inj.clone();
+            std::thread::spawn(move || {
+                let start = std::time::Instant::now();
+                let eff = inj.check_effects(FaultOp::Enqueue, "gpu", 0.0).unwrap();
+                (start.elapsed(), eff)
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        inj.cancel_hangs();
+        let (elapsed, eff) = handle.join().unwrap();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(40),
+            "hang must actually stall ({elapsed:?})"
+        );
+        assert!(
+            elapsed < std::time::Duration::from_secs(5),
+            "cancel must release well before the cap ({elapsed:?})"
+        );
+        assert_eq!(eff, FaultEffect::default(), "the operation proceeds");
+        assert_eq!(inj.records()[0].kind, "hang");
+        // Once cancelled, later hangs don't stall at all.
+        let inj2 = FaultInjector::new(
+            FaultPlan::new()
+                .fail(FaultOp::Enqueue, 0, InjectedFault::Hang)
+                .with_hang_cap_ms(10_000),
+        );
+        inj2.cancel_hangs();
+        let start = std::time::Instant::now();
+        inj2.check_effects(FaultOp::Enqueue, "gpu", 0.0).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn detection_scoreboard_counts() {
+        let inj = FaultInjector::new(FaultPlan::new());
+        assert_eq!(inj.detected_count(), 0);
+        inj.note_detection();
+        inj.note_detection();
+        assert_eq!(inj.detected_count(), 2);
+        assert_eq!(FaultInjector::disabled().detected_count(), 0);
+    }
+
+    #[test]
+    fn corruption_instants_carry_injection_details() {
+        let sink = TraceSink::new();
+        let inj = FaultInjector::new(
+            FaultPlan::new().fail(FaultOp::Readback, 0, InjectedFault::Corrupt),
+        );
+        inj.attach_trace(sink.clone());
+        inj.check_effects(FaultOp::Readback, "Virtual GPU", 7.0)
+            .unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SpanKind::CorruptionInjected);
+        let args = &events[0].args;
+        for key in ["op", "device", "kind", "index", "bit"] {
+            assert!(
+                args.iter().any(|(k, _)| k == key),
+                "missing trace arg `{key}`: {args:?}"
+            );
         }
     }
 

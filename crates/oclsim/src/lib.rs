@@ -26,6 +26,14 @@
 //!   with transient ([`ClError::DeviceBusy`]) or permanent
 //!   ([`ClError::DeviceLost`]) errors, on the same virtual clock, so the
 //!   recovery layers above the simulator can be tested reproducibly.
+//!   Beyond fail-stop, plans can silently flip payload bits
+//!   ([`fault::InjectedFault::Corrupt`] — defended by per-buffer
+//!   provenance checksums that surface as
+//!   [`ClError::IntegrityViolation`]) and stretch or stall command
+//!   durations ([`fault::InjectedFault::Slowdown`] /
+//!   [`fault::InjectedFault::Hang`] — defended by the per-dispatch
+//!   watchdog, [`CommandQueue::set_watchdog_ns`], and the serving
+//!   layer's hedged re-dispatch).
 //!
 //! ## Why simulate instead of binding real OpenCL?
 //!
@@ -95,14 +103,15 @@ pub mod queue;
 pub mod timing;
 
 pub use arbiter::{ArbiterHandle, MemObserver, QueueArbiter};
-pub use buffer::{Buffer, MemFlags};
+pub use buffer::{fnv1a64, Buffer, MemFlags};
 pub use context::Context;
 pub use device::{Device, DeviceType};
 pub use engine::{default_engine, set_default_engine, Engine};
 pub use error::{ClError, ClResult};
 pub use event::{CommandKind, Event};
 pub use fault::{
-    silence_kill_panics, FaultInjector, FaultOp, FaultPlan, InjectedFault, KillMode, KillPanic,
+    silence_kill_panics, FaultConfigError, FaultEffect, FaultInjector, FaultOp, FaultPlan,
+    InjectedFault, InjectionRecord, KillMode, KillPanic,
 };
 pub use ndrange::NdRange;
 pub use platform::Platform;

@@ -7,7 +7,7 @@ use crate::device::Device;
 use crate::engine::Engine;
 use crate::error::{ClError, ClResult};
 use crate::event::{CommandKind, Event};
-use crate::fault::{FaultInjector, FaultOp};
+use crate::fault::{FaultEffect, FaultInjector, FaultOp};
 use crate::minicl::interp::{run_ndrange, MemPool};
 use crate::minicl::native;
 use crate::minicl::regir;
@@ -44,6 +44,17 @@ struct QueueInner {
     /// device access in an arbiter acquire/release pair under this
     /// queue's tenant tag (see [`crate::arbiter`]).
     arbiter: Mutex<ArbiterHandle>,
+    /// Virtual time spent on integrity *repair* — shadow restores and
+    /// integrity-retry backoff. Deliberately kept off the main clock so
+    /// a corrupted-but-recovered run ends with a byte-identical
+    /// `clock_ns`; this is the "recompute overhead" the SDC bench
+    /// reports.
+    repair_ns: Mutex<f64>,
+    /// Per-dispatch watchdog budget in virtual nanoseconds: a dispatch
+    /// whose (possibly slowdown-stretched) cost exceeds it is rolled
+    /// back from provenance shadows, charged only the budget, and fails
+    /// with [`ClError::Straggler`]. `None` (the default) disables it.
+    watchdog_ns: Mutex<Option<f64>>,
 }
 
 impl CommandQueue {
@@ -63,6 +74,8 @@ impl CommandQueue {
                 trace: Mutex::new(TraceSink::disabled()),
                 faults: Mutex::new(FaultInjector::disabled()),
                 arbiter: Mutex::new(ArbiterHandle::detached()),
+                repair_ns: Mutex::new(0.0),
+                watchdog_ns: Mutex::new(None),
             }),
         })
     }
@@ -103,11 +116,158 @@ impl CommandQueue {
         *self.inner.faults.lock() = injector;
     }
 
-    fn fault_check(&self, op: FaultOp) -> ClResult<()> {
+    fn fault_check(&self, op: FaultOp) -> ClResult<FaultEffect> {
         // Clone the (cheap, Arc-backed) handle so the lock is not held
-        // across the check — check() may lock the injector's own state.
+        // across the check — check_effects() may lock the injector's own
+        // state (and an injected Hang stalls inside it).
         let injector = self.inner.faults.lock().clone();
-        injector.check(op, self.inner.device.name(), self.now_ns())
+        injector.check_effects(op, self.inner.device.name(), self.now_ns())
+    }
+
+    /// Whether the integrity layer is armed: the attached fault plan can
+    /// silently corrupt payloads, so uploads record provenance and
+    /// readbacks/dispatches verify it. Corruption-free runs skip all of
+    /// it — no checksums, no shadows, no extra trace instants.
+    fn integrity_armed(&self) -> bool {
+        self.inner.faults.lock().can_corrupt()
+    }
+
+    /// Whether uploads and dispatches should maintain provenance
+    /// shadows: either the integrity layer is armed, or the watchdog is
+    /// (an abandoned straggler rolls its side effects back from the
+    /// shadows).
+    fn provenance_armed(&self) -> bool {
+        self.inner.watchdog_ns.lock().is_some() || self.integrity_armed()
+    }
+
+    /// Arm (or, with `None`, disarm) the per-dispatch watchdog: any
+    /// kernel dispatch whose virtual cost would exceed `budget_ns` is
+    /// abandoned instead — its buffer mutations are rolled back from
+    /// provenance shadows, only the budget is charged to the clock, a
+    /// [`SpanKind::StragglerAbandoned`] instant is recorded, and the
+    /// dispatch fails with [`ClError::Straggler`] so the recovery layer
+    /// re-issues it on the failover device.
+    pub fn set_watchdog_ns(&self, budget_ns: Option<f64>) {
+        *self.inner.watchdog_ns.lock() = budget_ns;
+    }
+
+    /// Virtual time spent repairing detected integrity violations
+    /// (shadow restores + integrity-retry backoff). Accounted separately
+    /// from [`CommandQueue::now_ns`] so recovered runs stay
+    /// clock-identical to fault-free ones.
+    pub fn repair_ns(&self) -> f64 {
+        *self.inner.repair_ns.lock()
+    }
+
+    /// Charge `cost_ns` of repair work (see [`CommandQueue::repair_ns`]).
+    /// Used by the recovery layer for integrity-retry backoff.
+    pub fn charge_repair_ns(&self, cost_ns: f64) {
+        *self.inner.repair_ns.lock() += cost_ns;
+    }
+
+    /// Record an instant of `kind` on this queue's device track at the
+    /// current virtual time (no-op when no sink is attached).
+    fn instant(&self, kind: SpanKind, name: &str, args: &[(&str, String)]) {
+        let sink = self.inner.trace.lock();
+        if !sink.is_enabled() {
+            return;
+        }
+        let mut ev = TraceEvent::instant(kind, name, self.inner.device.name(), self.now_ns());
+        for (k, v) in args {
+            ev = ev.with_arg(k, v);
+        }
+        sink.record(ev);
+    }
+
+    /// Detection seam shared by the readback and dispatch paths: `buf`'s
+    /// delivered/observed checksum `actual` disagreed with its recorded
+    /// provenance `expected`. Restores the device bytes from the shadow
+    /// (the last checkpoint), charges the restore to repair accounting,
+    /// reports the detection to the injector's scoreboard, records the
+    /// [`SpanKind::IntegrityViolation`] instant, and builds the typed
+    /// error for the recovery layer. The main virtual clock is never
+    /// touched.
+    fn integrity_violation(&self, buf: &Buffer, expected: u64, actual: u64) -> ClError {
+        let restored = buf.restore_from_provenance().unwrap_or(0);
+        self.charge_repair_ns(self.inner.device.cost_model().transfer_ns(restored));
+        self.inner.faults.lock().note_detection();
+        self.instant(
+            SpanKind::IntegrityViolation,
+            "checksum_mismatch",
+            &[
+                ("buffer", buf.id().to_string()),
+                ("expected", format!("{expected:#018x}")),
+                ("actual", format!("{actual:#018x}")),
+                ("restored_bytes", restored.to_string()),
+            ],
+        );
+        ClError::IntegrityViolation {
+            device: self.inner.device.name().to_string(),
+            buffer: buf.id(),
+            expected,
+            actual,
+        }
+    }
+
+    /// Verify every provenance-carrying buffer in `bufs` against its
+    /// recorded checksum. No-op unless the integrity layer is armed. On
+    /// the first mismatch the buffer is restored from its shadow and the
+    /// command fails with [`ClError::IntegrityViolation`]; on success a
+    /// single [`SpanKind::IntegrityCheck`] instant is recorded. The
+    /// resident-`mov` reuse path calls this before handing device-
+    /// resident buffers to a dispatch without a fresh upload.
+    pub fn verify_integrity(&self, bufs: &[Buffer]) -> ClResult<()> {
+        if !self.integrity_armed() {
+            return Ok(());
+        }
+        self.preverify(bufs)
+    }
+
+    /// Armed-path body of [`CommandQueue::verify_integrity`].
+    fn preverify(&self, bufs: &[Buffer]) -> ClResult<()> {
+        let mut checked = 0u32;
+        for buf in bufs {
+            if let Some((expected, actual)) = buf.verify_provenance() {
+                return Err(self.integrity_violation(buf, expected, actual));
+            }
+            if buf.provenance_checksum().is_some() {
+                checked += 1;
+            }
+        }
+        if checked > 0 {
+            self.instant(
+                SpanKind::IntegrityCheck,
+                "preverify",
+                &[("buffers", checked.to_string())],
+            );
+        }
+        Ok(())
+    }
+
+    /// Readback-seam verification: compare the checksum of the payload
+    /// *as delivered to the host* (computed by `payload_checksum`, after
+    /// any injected wire flip) against `buf`'s provenance. No-op unless
+    /// the integrity layer is armed and provenance is recorded. A wire
+    /// flip makes the delivered checksum diverge; a device-memory flip
+    /// makes both the delivered and stored bytes diverge — either way
+    /// the shadow restore + typed error lets the caller re-read cleanly.
+    fn verify_delivery(&self, buf: &Buffer, payload_checksum: impl FnOnce() -> u64) -> ClResult<()> {
+        if !self.integrity_armed() {
+            return Ok(());
+        }
+        let Some(expected) = buf.provenance_checksum() else {
+            return Ok(());
+        };
+        let actual = payload_checksum();
+        if actual != expected {
+            return Err(self.integrity_violation(buf, expected, actual));
+        }
+        self.instant(
+            SpanKind::IntegrityCheck,
+            "readback",
+            &[("buffer", buf.id().to_string())],
+        );
+        Ok(())
     }
 
     /// Attach a trace sink: from now on every enqueued command is also
@@ -196,9 +356,18 @@ impl CommandQueue {
     /// `clEnqueueWriteBuffer`.
     pub fn enqueue_write_buffer(&self, buf: &Buffer, data: &[u8]) -> ClResult<Event> {
         let _slot = self.arbiter_slot();
-        self.fault_check(FaultOp::Upload)?;
+        let effect = self.fault_check(FaultOp::Upload)?;
         self.check_buffer(buf)?;
         buf.overwrite(0, data)?;
+        if self.provenance_armed() {
+            // Record the *intended* bytes as the buffer's last known-good
+            // checkpoint, then apply any injected flip to the device copy
+            // only — exactly what a bit flip on the bus would look like.
+            buf.record_provenance();
+        }
+        if let Some(bit) = effect.corrupt_bit {
+            buf.flip_bit(bit);
+        }
         let cost = self.inner.device.cost_model().transfer_ns(data.len());
         let (start, end) = self.advance(cost);
         let ev = Event::new(CommandKind::WriteBuffer, start, start, end, data.len(), 0);
@@ -213,9 +382,13 @@ impl CommandQueue {
     /// one copy, no intermediate snapshot allocation.
     pub fn enqueue_read_buffer(&self, buf: &Buffer, out: &mut [u8]) -> ClResult<Event> {
         let _slot = self.arbiter_slot();
-        self.fault_check(FaultOp::Readback)?;
+        let effect = self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
         buf.read_into(out)?;
+        if let Some(bit) = effect.corrupt_bit {
+            flip_bit_in(out, bit);
+        }
+        self.verify_delivery(buf, || crate::buffer::fnv1a64(out))?;
         let cost = self.inner.device.cost_model().transfer_ns(out.len());
         let (start, end) = self.advance(cost);
         let ev = Event::new(CommandKind::ReadBuffer, start, start, end, out.len(), 0);
@@ -234,9 +407,18 @@ impl CommandQueue {
     /// no intermediate byte vector.
     pub fn read_f32(&self, buf: &Buffer) -> ClResult<(Vec<f32>, Event)> {
         let _slot = self.arbiter_slot();
-        self.fault_check(FaultOp::Readback)?;
+        let effect = self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
-        let vals = buf.with_bytes(crate::hostmem::bytes_to_f32)?;
+        let mut vals = buf.with_bytes(crate::hostmem::bytes_to_f32)?;
+        if let Some(bit) = effect.corrupt_bit {
+            if !vals.is_empty() {
+                let i = ((bit / 32) % vals.len() as u64) as usize;
+                vals[i] = f32::from_bits(vals[i].to_bits() ^ (1u32 << (bit % 32)));
+            }
+        }
+        self.verify_delivery(buf, || {
+            crate::buffer::fnv1a64(&crate::hostmem::f32_to_bytes(&vals))
+        })?;
         let cost = self.inner.device.cost_model().transfer_ns(buf.len());
         let (start, end) = self.advance(cost);
         let ev = Event::new(CommandKind::ReadBuffer, start, start, end, buf.len(), 0);
@@ -255,9 +437,18 @@ impl CommandQueue {
     /// no intermediate byte vector.
     pub fn read_i32(&self, buf: &Buffer) -> ClResult<(Vec<i32>, Event)> {
         let _slot = self.arbiter_slot();
-        self.fault_check(FaultOp::Readback)?;
+        let effect = self.fault_check(FaultOp::Readback)?;
         self.check_buffer(buf)?;
-        let vals = buf.with_bytes(crate::hostmem::bytes_to_i32)?;
+        let mut vals = buf.with_bytes(crate::hostmem::bytes_to_i32)?;
+        if let Some(bit) = effect.corrupt_bit {
+            if !vals.is_empty() {
+                let i = ((bit / 32) % vals.len() as u64) as usize;
+                vals[i] ^= 1i32 << (bit % 32);
+            }
+        }
+        self.verify_delivery(buf, || {
+            crate::buffer::fnv1a64(&crate::hostmem::i32_to_bytes(&vals))
+        })?;
         let cost = self.inner.device.cost_model().transfer_ns(buf.len());
         let (start, end) = self.advance(cost);
         let ev = Event::new(CommandKind::ReadBuffer, start, start, end, buf.len(), 0);
@@ -288,7 +479,7 @@ impl CommandQueue {
     /// repeat dispatches with unchanged arguments skip re-resolution.
     pub fn enqueue_nd_range(&self, kernel: &Kernel, nd: &NdRange) -> ClResult<Event> {
         let _slot = self.arbiter_slot();
-        self.fault_check(FaultOp::Enqueue)?;
+        let effect = self.fault_check(FaultOp::Enqueue)?;
         if kernel.ctx_id != self.inner.ctx.id() {
             return Err(ClError::InvalidContext(format!(
                 "kernel `{}` was built for a different context",
@@ -304,6 +495,22 @@ impl CommandQueue {
                 plan.local_bytes,
                 self.inner.device.local_mem_size()
             )));
+        }
+
+        // Silent-corruption seam: an injected Enqueue flip lands in one
+        // argument buffer *before* the pre-dispatch verification, which
+        // is exactly the seam that catches it (along with any flip left
+        // behind by a corrupted upload).
+        if let Some(bit) = effect.corrupt_bit {
+            if let Some(target) = plan
+                .pooled
+                .get((bit % plan.pooled.len().max(1) as u64) as usize)
+            {
+                target.flip_bit(bit / plan.pooled.len().max(1) as u64);
+            }
+        }
+        if self.integrity_armed() {
+            self.preverify(&plan.pooled)?;
         }
 
         // Check out the plan's unique buffers, undoing on conflict.
@@ -385,12 +592,50 @@ impl CommandQueue {
             global_id: t.global_id,
         })?;
 
-        let cost = self.inner.device.cost_model().kernel_ns(
+        let mut cost = self.inner.device.cost_model().kernel_ns(
             &stats.group_ops,
             nd.group_size(),
             self.inner.device.compute_units(),
             self.inner.device.simd_width(),
         );
+        if let Some(factor) = effect.slowdown {
+            // A straggling kernel: correct results, stretched virtual
+            // duration. Only the watchdog below can turn this into an
+            // error.
+            cost *= factor as f64;
+        }
+        if let Some(budget) = *self.inner.watchdog_ns.lock() {
+            if cost > budget {
+                // Abandon the straggler: roll its buffer mutations back
+                // from the provenance shadows (as if the kernel had been
+                // killed before committing), charge only the budget, and
+                // hand the failover decision to the recovery layer.
+                for buf in plan.pooled.iter() {
+                    buf.restore_from_provenance();
+                }
+                self.advance(budget);
+                self.instant(
+                    SpanKind::StragglerAbandoned,
+                    kernel.name(),
+                    &[
+                        ("budget_ns", format!("{budget}")),
+                        ("cost_ns", format!("{cost}")),
+                    ],
+                );
+                return Err(ClError::Straggler {
+                    device: self.inner.device.name().to_string(),
+                    budget_ns: budget as u64,
+                });
+            }
+        }
+        if self.provenance_armed() {
+            // The kernel legitimately rewrote its buffers: refresh their
+            // provenance so this dispatch's output becomes the new last
+            // known-good checkpoint.
+            for buf in plan.pooled.iter() {
+                buf.record_provenance();
+            }
+        }
         let (start, end) = self.advance(cost);
         let ev = Event::new_kernel(
             kernel.name().to_string(),
@@ -404,6 +649,18 @@ impl CommandQueue {
         self.trace_command(&ev);
         Ok(ev)
     }
+}
+
+/// Flip one (pre-modulo) bit of a delivered host payload — the readback
+/// seam's corruption write path. The device copy is untouched: this is a
+/// flip on the wire.
+fn flip_bit_in(out: &mut [u8], bit: u64) {
+    if out.is_empty() {
+        return;
+    }
+    let nbits = out.len() as u64 * 8;
+    let b = bit % nbits;
+    out[(b / 8) as usize] ^= 1 << (b % 8);
 }
 
 #[cfg(test)]
@@ -669,6 +926,139 @@ mod tests {
         q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
         let p3 = k.dispatch_plan().unwrap();
         assert!(!Arc::ptr_eq(&p1, &p3), "rebind must rebuild the plan");
+    }
+
+    #[test]
+    fn upload_corruption_is_detected_restored_and_clock_neutral() {
+        use crate::fault::{FaultInjector, FaultPlan, InjectedFault};
+        // Clean reference: one write, one read.
+        let (ctx, q) = setup(DeviceType::Gpu);
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        q.write_f32(&buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (clean_vals, _) = q.read_f32(&buf).unwrap();
+        let clean_clock = q.now_ns();
+
+        // Same commands with a corrupted upload: the flip is silent at
+        // write time, caught at readback, repaired from the shadow, and
+        // the re-read both succeeds and lands the clock on the same
+        // virtual instant.
+        let (ctx2, q2) = setup(DeviceType::Gpu);
+        let inj = FaultInjector::new(
+            FaultPlan::new().fail(FaultOp::Upload, 0, InjectedFault::Corrupt),
+        );
+        q2.attach_faults(inj.clone());
+        let buf2 = ctx2.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        q2.write_f32(&buf2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let err = q2.read_f32(&buf2).unwrap_err();
+        assert!(err.is_integrity(), "unexpected error: {err}");
+        assert_eq!(inj.corrupt_count(), 1);
+        assert_eq!(inj.detected_count(), 1);
+        assert!(q2.repair_ns() > 0.0, "restore must be charged to repair");
+        let (vals, _) = q2.read_f32(&buf2).unwrap();
+        assert_eq!(vals, clean_vals, "shadow restore must yield clean bytes");
+        assert_eq!(
+            q2.now_ns().to_bits(),
+            clean_clock.to_bits(),
+            "failed command must charge nothing to the main clock"
+        );
+    }
+
+    #[test]
+    fn wire_corruption_on_readback_is_detected_and_reread_is_clean() {
+        use crate::fault::{FaultInjector, FaultPlan, InjectedFault};
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let inj = FaultInjector::new(
+            FaultPlan::new().fail(FaultOp::Readback, 0, InjectedFault::Corrupt),
+        );
+        q.attach_faults(inj.clone());
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 8).unwrap();
+        q.write_i32(&buf, &[7, 9]).unwrap();
+        // The flip lands on the delivered payload; device bytes stay
+        // good, so the re-read needs no restore to succeed.
+        let err = q.read_i32(&buf).unwrap_err();
+        assert!(matches!(err, ClError::IntegrityViolation { .. }));
+        let (vals, _) = q.read_i32(&buf).unwrap();
+        assert_eq!(vals, vec![7, 9]);
+        assert_eq!(inj.detected_count(), 1);
+
+        // The byte-slice readback path detects too.
+        let inj2 = FaultInjector::new(
+            FaultPlan::new().fail(FaultOp::Readback, 0, InjectedFault::Corrupt),
+        );
+        let (ctx3, q3) = setup(DeviceType::Cpu);
+        q3.attach_faults(inj2.clone());
+        let buf3 = ctx3.create_buffer(MemFlags::ReadWrite, 8).unwrap();
+        q3.enqueue_write_buffer(&buf3, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let mut out = vec![0u8; 8];
+        assert!(q3.enqueue_read_buffer(&buf3, &mut out).is_err());
+        assert!(q3.enqueue_read_buffer(&buf3, &mut out).is_ok());
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn dispatch_preverify_catches_enqueue_corruption_then_retry_succeeds() {
+        use crate::fault::{FaultInjector, FaultPlan, InjectedFault};
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let inj = FaultInjector::new(
+            FaultPlan::new().fail(FaultOp::Enqueue, 0, InjectedFault::Corrupt),
+        );
+        q.attach_faults(inj.clone());
+        let src = "__kernel void sq(__global float* a) {
+            int i = get_global_id(0);
+            a[i] = a[i] * a[i];
+        }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("sq").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        q.write_f32(&buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let err = q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap_err();
+        assert!(err.is_integrity(), "unexpected error: {err}");
+        // The buffer was restored: the re-issued dispatch computes the
+        // right squares from the checkpoint.
+        q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        let (vals, _) = q.read_f32(&buf).unwrap();
+        assert_eq!(vals, vec![1.0, 4.0, 9.0, 16.0]);
+        assert_eq!(inj.detected_count(), 1);
+    }
+
+    #[test]
+    fn watchdog_abandons_slowed_dispatch_and_failover_input_is_intact() {
+        use crate::fault::{FaultInjector, FaultPlan, InjectedFault};
+        let (ctx, q) = setup(DeviceType::Cpu);
+        let inj = FaultInjector::new(FaultPlan::new().fail(
+            FaultOp::Enqueue,
+            0,
+            InjectedFault::Slowdown(1_000_000),
+        ));
+        q.attach_faults(inj);
+        q.set_watchdog_ns(Some(1e8));
+        let src = "__kernel void sq(__global float* a) {
+            int i = get_global_id(0);
+            a[i] = a[i] * a[i];
+        }";
+        let program = Program::build(&ctx, src).unwrap();
+        let k = program.create_kernel("sq").unwrap();
+        let buf = ctx.create_buffer(MemFlags::ReadWrite, 16).unwrap();
+        q.write_f32(&buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let before = q.now_ns();
+        let err = q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap_err();
+        assert!(
+            matches!(err, ClError::Straggler { .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            q.now_ns(),
+            before + 1e8,
+            "abandoned dispatch charges exactly the budget"
+        );
+        // The straggler's partial work was rolled back: inputs are the
+        // checkpoint, so the re-issued dispatch (no fault at index 1)
+        // squares the *original* values once.
+        q.enqueue_nd_range(&k, &NdRange::d1(4, 2)).unwrap();
+        let (vals, _) = q.read_f32(&buf).unwrap();
+        assert_eq!(vals, vec![1.0, 4.0, 9.0, 16.0]);
     }
 
     #[test]

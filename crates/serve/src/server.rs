@@ -38,6 +38,15 @@ pub struct ServeConfig {
     pub mem_overload_bytes: usize,
     /// Dispatch fairness policy of the shared [`FairArbiter`].
     pub policy: ArbiterPolicy,
+    /// Straggler hedging: when an admitted request has not completed
+    /// after this much wall-clock time, speculatively re-issue it in a
+    /// clean secondary session on failover-shifted device lanes and
+    /// return whichever finishes first (the loser's injected hang
+    /// stalls are cancelled, and the result is discarded). `None`
+    /// disables hedging. Trades duplicated work for tail latency:
+    /// choose a value past the workload's normal completion time so
+    /// only genuine stragglers pay the duplication.
+    pub hedge_after: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +57,7 @@ impl Default for ServeConfig {
             mem_watermark_bytes: 64 << 10,
             mem_overload_bytes: 4 << 20,
             policy: ArbiterPolicy::RoundRobin,
+            hedge_after: None,
         }
     }
 }
@@ -121,6 +131,10 @@ pub struct Server {
 fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
     r.unwrap_or_else(|p| p.into_inner())
 }
+
+/// Tenant-tag bit marking a hedge secondary's session, so its pool
+/// registry entries never collide with the straggling primary's.
+const HEDGE_TENANT_BIT: u64 = 1 << 63;
 
 impl Server {
     /// A server with `config`'s limits, a fresh arbiter, and a fresh
@@ -267,14 +281,100 @@ impl Server {
             self.arbiter.set_weight(req.tenant, req.weight);
         }
         self.instant(SpanKind::Admit, "admit", req.tenant);
-        let session = TenantSession::new(
+        match self.config.hedge_after {
+            None => {
+                let session = TenantSession::new(
+                    req.tenant,
+                    Arc::clone(&self.arbiter) as _,
+                    Arc::clone(&self.pool),
+                    req.chaos.clone(),
+                )?;
+                let result = session.run(&req.source, deadline_at, req.restart_budget);
+                session.teardown();
+                result
+            }
+            Some(hedge) => self.run_hedged(req, deadline_at, hedge),
+        }
+    }
+
+    /// Straggler hedging (see [`ServeConfig::hedge_after`]): run the
+    /// primary session on a worker thread; if it has not produced a
+    /// result after `hedge`, speculatively re-issue the request in a
+    /// clean secondary session on failover-shifted lanes and return
+    /// whichever finishes first. The loser's injected hang stalls are
+    /// released ([`TenantSession::cancel_hangs`]) and its result is
+    /// discarded; the primary is always joined and torn down before
+    /// returning, so no session outlives its request.
+    fn run_hedged(
+        &self,
+        req: &Request,
+        deadline_at: Option<Instant>,
+        hedge: Duration,
+    ) -> Result<VmReport, ServeError> {
+        let primary = Arc::new(TenantSession::new(
             req.tenant,
             Arc::clone(&self.arbiter) as _,
             Arc::clone(&self.pool),
             req.chaos.clone(),
-        )?;
-        let result = session.run(&req.source, deadline_at, req.restart_budget);
-        session.teardown();
-        result
+        )?);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker = {
+            let primary = Arc::clone(&primary);
+            let source = req.source.clone();
+            let budget = req.restart_budget;
+            std::thread::spawn(move || {
+                let _ = tx.send(primary.run(&source, deadline_at, budget));
+            })
+        };
+        if let Ok(result) = rx.recv_timeout(hedge) {
+            // Finished inside the hedge budget: no speculation needed.
+            let _ = worker.join();
+            primary.teardown();
+            return result;
+        }
+        // The primary is straggling. Race a clean secondary against it
+        // on failover-shifted lanes, under a distinct tenant tag so the
+        // two sessions' pool-registry entries stay independent.
+        self.instant(SpanKind::Hedge, "hedge", req.tenant);
+        let secondary_outcome = TenantSession::hedge_secondary(
+            req.tenant | HEDGE_TENANT_BIT,
+            Arc::clone(&self.arbiter) as _,
+            Arc::clone(&self.pool),
+        )
+        .map(|session| {
+            let r = session.run(&req.source, deadline_at, req.restart_budget);
+            session.teardown();
+            r
+        });
+        let outcome = match rx.try_recv() {
+            // The primary crossed the line while the secondary ran:
+            // first result wins, the duplicated work is discarded.
+            Ok(Ok(report)) => {
+                self.instant(SpanKind::HedgeWon, "primary", req.tenant);
+                Ok(report)
+            }
+            primary_so_far => match secondary_outcome {
+                Ok(Ok(report)) => {
+                    self.instant(SpanKind::HedgeWon, "secondary", req.tenant);
+                    self.instant(SpanKind::StragglerAbandoned, "primary", req.tenant);
+                    Ok(report)
+                }
+                // The secondary failed (or could not be built): fall
+                // back to waiting the primary out — any injected hang
+                // is bounded by its plan's cap.
+                _ => match primary_so_far {
+                    Ok(result) => result,
+                    Err(_) => rx.recv().unwrap_or_else(|_| {
+                        Err(ServeError::Failed {
+                            detail: "hedged primary worker disappeared".into(),
+                        })
+                    }),
+                },
+            },
+        };
+        primary.cancel_hangs();
+        let _ = worker.join();
+        primary.teardown();
+        outcome
     }
 }

@@ -42,8 +42,15 @@ struct SessionEntry {
 /// The session's environment table; implements [`ResolveEnv`] with the
 /// same selection rules as the global [`ensemble_ocl::DeviceMatrix`], so
 /// programs resolve identically — just onto private lanes.
+///
+/// A *shifted* table (used by hedge secondaries) resolves typed
+/// selections onto the **opposite** device class when one exists — the
+/// speculative re-issue runs on the failover device, away from whatever
+/// is straggling on the primary's preferred class — falling back to the
+/// requested class when there is no other.
 struct SessionEnvs {
     entries: Vec<SessionEntry>,
+    shifted: bool,
 }
 
 impl ResolveEnv for SessionEnvs {
@@ -54,14 +61,27 @@ impl ResolveEnv for SessionEnvs {
                     requested: format!("device #{}", sel.device_index),
                 }
             })?,
-            Some(ty) => self
-                .entries
-                .iter()
-                .filter(|e| e.queue.device().device_type() == ty)
-                .nth(sel.device_index)
-                .ok_or_else(|| ClError::DeviceNotFound {
-                    requested: format!("{ty} #{}", sel.device_index),
-                })?,
+            Some(ty) => {
+                let shifted_pick = if self.shifted {
+                    self.entries
+                        .iter()
+                        .filter(|e| e.queue.device().device_type() != ty)
+                        .nth(sel.device_index)
+                } else {
+                    None
+                };
+                match shifted_pick {
+                    Some(e) => e,
+                    None => self
+                        .entries
+                        .iter()
+                        .filter(|e| e.queue.device().device_type() == ty)
+                        .nth(sel.device_index)
+                        .ok_or_else(|| ClError::DeviceNotFound {
+                            requested: format!("{ty} #{}", sel.device_index),
+                        })?,
+                }
+            }
         };
         Ok(OpenClEnvironment {
             platform: entry.platform.clone(),
@@ -79,6 +99,11 @@ pub struct TenantSession {
     envs: Arc<SessionEnvs>,
     pool: Arc<DevicePool>,
     chaotic: bool,
+    /// The session's injector, kept so a hedging server can release any
+    /// injected [`oclsim::InjectedFault::Hang`] stall
+    /// ([`TenantSession::cancel_hangs`]) when the speculative re-issue
+    /// wins the race. `None` for chaos-free sessions.
+    injector: Option<FaultInjector>,
     /// Resident values of a *chaotic* session. They stay out of the
     /// pool's shared eviction registry (an eviction read-back on a
     /// chaotic queue could fire an injected kill on the evictor's
@@ -97,6 +122,30 @@ impl TenantSession {
         arbiter: Arc<dyn QueueArbiter>,
         pool: Arc<DevicePool>,
         chaos: Option<FaultPlan>,
+    ) -> Result<TenantSession, ServeError> {
+        TenantSession::build(tenant, arbiter, pool, chaos, false)
+    }
+
+    /// A hedge secondary: a chaos-free session whose typed device
+    /// selections resolve onto the *opposite* device class (the failover
+    /// device) when one exists, so the speculative re-issue races the
+    /// straggling primary on different hardware. Use a tenant tag
+    /// distinct from the primary's so the two sessions' pool-registry
+    /// entries stay independent.
+    pub fn hedge_secondary(
+        tenant: u64,
+        arbiter: Arc<dyn QueueArbiter>,
+        pool: Arc<DevicePool>,
+    ) -> Result<TenantSession, ServeError> {
+        TenantSession::build(tenant, arbiter, pool, None, true)
+    }
+
+    fn build(
+        tenant: u64,
+        arbiter: Arc<dyn QueueArbiter>,
+        pool: Arc<DevicePool>,
+        chaos: Option<FaultPlan>,
+        shifted: bool,
     ) -> Result<TenantSession, ServeError> {
         let injector = chaos.map(FaultInjector::new);
         let mut entries = Vec::new();
@@ -124,9 +173,10 @@ impl TenantSession {
         }
         Ok(TenantSession {
             tenant,
-            envs: Arc::new(SessionEnvs { entries }),
+            envs: Arc::new(SessionEnvs { entries, shifted }),
             pool,
             chaotic: injector.is_some(),
+            injector,
             local_resident: Arc::new(Mutex::new(Vec::new())),
         })
     }
@@ -139,6 +189,17 @@ impl TenantSession {
     /// Whether this session runs under fault injection.
     pub fn is_chaotic(&self) -> bool {
         self.chaotic
+    }
+
+    /// Release every injected [`oclsim::InjectedFault::Hang`] stall on
+    /// this session's injector (no-op for chaos-free sessions). A
+    /// hedging server calls this the moment the speculative re-issue
+    /// wins, so the straggling primary drains instead of sleeping out
+    /// its full hang cap. Idempotent.
+    pub fn cancel_hangs(&self) {
+        if let Some(inj) = &self.injector {
+            inj.cancel_hangs();
+        }
     }
 
     /// Compile and run `source` inside this session: kernel actors
@@ -197,6 +258,9 @@ impl TenantSession {
     /// Detach everything and return the tenant's device bytes to the
     /// pool. Idempotent; also runs on drop.
     pub fn teardown(&self) {
+        // Release any injected hang stalls so no actor thread is left
+        // sleeping out its cap while we tear down under it.
+        self.cancel_hangs();
         // Disarm fault injection first: the local-registry evictions
         // below read back on this session's queues, and must not trip
         // leftover scheduled kills on the teardown thread.

@@ -120,6 +120,33 @@ pub enum SpanKind {
     /// receive gave up and the session shed its load instead of wedging
     /// the pool. Instant, wall clock.
     DeadlineExceeded,
+    /// An injected silent-corruption fault flipped a bit at an
+    /// upload/enqueue/readback seam (`oclsim::fault`,
+    /// `InjectedFault::Corrupt`). Instant, virtual queue clock. Like
+    /// `FaultInjected`, never part of a figure segment.
+    CorruptionInjected,
+    /// The integrity layer verified buffer contents against recorded
+    /// provenance checksums and they matched. Emitted only when a
+    /// corruption-capable fault plan is armed, so fault-free traces are
+    /// unchanged. Instant, virtual queue clock.
+    IntegrityCheck,
+    /// A provenance checksum mismatch was detected: the buffer was
+    /// restored from its host shadow (the last checkpoint) and the
+    /// command failed with `ClError::IntegrityViolation` for the
+    /// recovery layer to re-issue. Instant, virtual queue clock.
+    IntegrityViolation,
+    /// The serving layer's hedge timer expired before the primary
+    /// session finished: a speculative duplicate was issued on the
+    /// failover lanes. Instant, wall clock.
+    Hedge,
+    /// One side of a hedged pair delivered the first checksum-valid
+    /// result and was taken as the response. Instant, wall clock.
+    HedgeWon,
+    /// A straggling command or hedged loser was abandoned — either a
+    /// dispatch blew its per-dispatch watchdog budget (virtual queue
+    /// clock) or the serving layer cancelled the slower side of a hedge
+    /// (wall clock). Instant.
+    StragglerAbandoned,
 }
 
 impl SpanKind {
@@ -149,6 +176,12 @@ impl SpanKind {
             SpanKind::Reject => "reject",
             SpanKind::Evict => "evict",
             SpanKind::DeadlineExceeded => "deadline_exceeded",
+            SpanKind::CorruptionInjected => "corruption_injected",
+            SpanKind::IntegrityCheck => "integrity_check",
+            SpanKind::IntegrityViolation => "integrity_violation",
+            SpanKind::Hedge => "hedge",
+            SpanKind::HedgeWon => "hedge_won",
+            SpanKind::StragglerAbandoned => "straggler_abandoned",
         }
     }
 
