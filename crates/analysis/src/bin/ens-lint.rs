@@ -1,20 +1,33 @@
 //! `ens-lint` — run the static analysis suite over `.ens` sources.
 //!
 //! ```text
-//! ens-lint [--allow CODE]... FILE.ens [FILE.ens ...]
+//! ens-lint [--allow CODE]... [--proofs] [--json] FILE.ens [FILE.ens ...]
 //! ```
 //!
 //! Renders rustc-style diagnostics and exits non-zero when any
 //! error-severity finding remains after `--allow` filtering. Warnings
-//! are reported but do not fail the run.
+//! are reported but do not fail the run (exit 0); errors exit 1; usage
+//! problems exit 2.
+//!
+//! `--proofs` switches on the proof engine's findings (W003/W004/W005)
+//! and prints the positive proofs — per-kernel splittability, dispatch
+//! chains, and payload send effects. `--json` emits one JSON object per
+//! file on stdout (diagnostics, counts, residency; plus a `proofs` key
+//! under `--proofs`) for CI to assert against.
 
-use ensemble_analysis::{analyze_source, Options};
+use ensemble_analysis::{analyze_source, Options, Report};
+use ensemble_lang::proof::json_string;
 use ensemble_lang::Severity;
 use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: ens-lint [--allow CODE]... [--proofs] [--json] FILE.ens [FILE.ens ...]");
+}
 
 fn main() -> ExitCode {
     let mut opts = Options::default();
     let mut files: Vec<String> = Vec::new();
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,12 +40,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--proofs" => opts.proofs = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: ens-lint [--allow CODE]... FILE.ens [FILE.ens ...]");
+                usage();
                 println!();
                 println!("Statically checks mini-Ensemble programs: kernel races (E001/E002),");
                 println!("bounds (E003), mov use-after-send (E004), topology (E005-E007),");
                 println!("and residency/unused-port warnings (W001/W002).");
+                println!();
+                println!("--proofs additionally runs the proof engine: splittability per");
+                println!("kernel NDRange dimension, dispatch-chain fusion, and payload send");
+                println!("effects, reporting W003/W004/W005 where a proof is blocked.");
+                println!("--json prints one JSON object per file on stdout.");
                 return ExitCode::SUCCESS;
             }
             "--" => {
@@ -42,7 +62,7 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() {
-        eprintln!("usage: ens-lint [--allow CODE]... FILE.ens [FILE.ens ...]");
+        usage();
         return ExitCode::from(2);
     }
 
@@ -58,38 +78,30 @@ fn main() -> ExitCode {
         };
         match analyze_source(&src, &opts) {
             Err(parse) => {
-                eprintln!("{file}: {parse}");
+                if json {
+                    println!(
+                        "{{\"file\":{},\"parse_error\":{}}}",
+                        json_string(file),
+                        json_string(&parse.to_string())
+                    );
+                } else {
+                    eprintln!("{file}: {parse}");
+                }
                 failed = true;
             }
             Ok(report) => {
-                let mut errors = 0usize;
-                let mut warnings = 0usize;
-                for d in &report.diagnostics {
-                    eprint!("{}", d.render(&src, Some(file)));
-                    eprintln!();
-                    match d.severity {
-                        Severity::Error => errors += 1,
-                        Severity::Warning => warnings += 1,
-                    }
+                let errors = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+                if json {
+                    println!("{}", render_json(file, &report, opts.proofs));
+                } else {
+                    render_human(file, &src, &report, opts.proofs);
                 }
                 if errors > 0 {
-                    eprintln!("{file}: {errors} error(s), {warnings} warning(s)");
                     failed = true;
-                } else if warnings > 0 {
-                    eprintln!("{file}: ok ({warnings} warning(s))");
-                } else {
-                    println!("{file}: ok");
-                }
-                if !report.residency_proven.is_empty() {
-                    let names: Vec<&str> = report
-                        .residency_proven
-                        .iter()
-                        .map(|s| s.as_str())
-                        .collect();
-                    println!(
-                        "{file}: residency proven for kernel(s): {}",
-                        names.join(", ")
-                    );
                 }
             }
         }
@@ -98,5 +110,135 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn render_json(file: &str, report: &Report, proofs: bool) -> String {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut diags = String::from("[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+        if i > 0 {
+            diags.push(',');
+        }
+        diags.push_str(&format!(
+            "{{\"code\":{},\"severity\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            json_string(d.code),
+            json_string(match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            }),
+            d.span.start.line,
+            d.span.start.col,
+            json_string(&d.message),
+        ));
+    }
+    diags.push(']');
+    let residency = report
+        .residency_proven
+        .iter()
+        .map(|s| json_string(s))
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut out = format!(
+        "{{\"file\":{},\"errors\":{errors},\"warnings\":{warnings},\
+         \"diagnostics\":{diags},\"residency_proven\":[{residency}]",
+        json_string(file),
+    );
+    if proofs {
+        out.push_str(",\"proofs\":");
+        out.push_str(&report.proofs.to_json());
+    }
+    out.push('}');
+    out
+}
+
+fn render_human(file: &str, src: &str, report: &Report, proofs: bool) {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in &report.diagnostics {
+        eprint!("{}", d.render(src, Some(file)));
+        eprintln!();
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+    }
+    if errors > 0 {
+        eprintln!("{file}: {errors} error(s), {warnings} warning(s)");
+    } else if warnings > 0 {
+        eprintln!("{file}: ok ({warnings} warning(s))");
+    } else {
+        println!("{file}: ok");
+    }
+    if !report.residency_proven.is_empty() {
+        let names: Vec<&str> = report
+            .residency_proven
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        println!(
+            "{file}: residency proven for kernel(s): {}",
+            names.join(", ")
+        );
+    }
+    if !proofs {
+        return;
+    }
+    for sp in &report.proofs.splits {
+        let dims: Vec<String> = sp
+            .dims
+            .iter()
+            .map(|d| format!("dim {} {}", d.dim, d.class.as_str()))
+            .collect();
+        println!("{file}: split {} ({}D): {}", sp.kernel, sp.ndims, dims.join(", "));
+    }
+    for fp in &report.proofs.fusion {
+        if fp.is_empty() {
+            continue;
+        }
+        let mut line = format!("{file}: chain {}: [{}]", fp.host, fp.sites.join(" -> "));
+        if fp.loops {
+            match fp.iterations {
+                Some(n) => line.push_str(&format!(" looping x{n}")),
+                None => line.push_str(" looping"),
+            }
+        }
+        if let Some(b) = &fp.barrier {
+            line.push_str(&format!(" until {b}"));
+        }
+        println!("{line}");
+        for p in &fp.pairs {
+            if p.mergeable {
+                println!("{file}:   pair {} -> {}: mergeable ({})", p.from, p.to, p.detail);
+            } else if let Some((hz, buf)) = &p.hazard {
+                println!(
+                    "{file}:   pair {} -> {}: {} hazard on `{buf}` ({})",
+                    p.from,
+                    p.to,
+                    hz.as_str(),
+                    p.detail
+                );
+            } else {
+                println!("{file}:   pair {} -> {}: {}", p.from, p.to, p.detail);
+            }
+        }
+    }
+    for s in &report.proofs.sends {
+        println!(
+            "{file}: send {}/{} (line {}): {}",
+            s.actor,
+            s.payload,
+            s.line,
+            if s.unmutated {
+                "payload unmutated after send (CoW-safe)"
+            } else {
+                "payload MUTATED after send"
+            }
+        );
     }
 }

@@ -1,0 +1,158 @@
+//! Send-effect proofs (`SendProof`, W005): the copy-on-write
+//! precondition.
+//!
+//! When a host sends a non-`mov` payload (a struct of arrays or a bare
+//! array) to a kernel, the runtime may transfer it lazily — the device
+//! copy is made when the kernel launches, not when `send` executes. That
+//! is only observationally equal to an eager copy if the host never
+//! mutates the payload between the send and the launch. This pass proves
+//! the stronger, schedule-independent property: the payload is not
+//! mutated *anywhere after the send* (until the variable is rebound to a
+//! fresh value), through **any alias** — the sent variable itself, the
+//! constructor arguments its struct captured, or plain variable copies.
+//!
+//! Sends inside a loop are also checked around the back-edge: the tail
+//! of the body runs, then the head runs again before the next send, so
+//! both segments are scanned (rebinding drops a name from the alias set
+//! as the scan crosses it, exactly as execution would).
+//!
+//! A violated obligation yields W005 at the mutation site; the proof
+//! object records `unmutated: false` so downstream consumers (the lazy
+//! residency machinery) can fall back to an eager copy.
+
+use crate::fusion::{Ev, HostEvents};
+use ensemble_lang::diag::{codes, Diagnostic};
+use ensemble_lang::proof::SendProof;
+use ensemble_lang::token::Span;
+use std::collections::BTreeSet;
+
+/// Compute send proofs and W005 diagnostics for every walked host.
+pub(crate) fn prove(hosts: &[HostEvents]) -> (Vec<SendProof>, Vec<Diagnostic>) {
+    let mut proofs = Vec::new();
+    let mut diags = Vec::new();
+    for host in hosts {
+        let mut path = Vec::new();
+        scan_sends(&host.actor, &host.events, &mut path, &mut proofs, &mut diags);
+    }
+    (proofs, diags)
+}
+
+/// Depth-first over the event tree, remembering the enclosing-loop path
+/// so a send inside a loop can be checked around the back-edge.
+fn scan_sends<'e>(
+    actor: &str,
+    events: &'e [Ev],
+    path: &mut Vec<(&'e [Ev], usize)>,
+    proofs: &mut Vec<SendProof>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Ev::PayloadSend {
+                var,
+                aliases,
+                mov: false,
+                span,
+            } => {
+                let mut alias: BTreeSet<String> = aliases.iter().cloned().collect();
+                alias.insert(var.clone());
+                let hit = scan_after(events, i, path, &mut alias);
+                if let Some((mvar, mspan)) = &hit {
+                    diags.push(
+                        Diagnostic::warning(
+                            codes::PAYLOAD_MUTATED,
+                            *mspan,
+                            format!(
+                                "payload `{var}` sent on line {} is mutated here through \
+                                 `{mvar}` — the device copy may observe the new value",
+                                span.start.line
+                            ),
+                        )
+                        .with_note(*span, format!("`{var}` is sent to the device here"))
+                        .with_help(
+                            "move the mutation before the send, or rebind the variable \
+                             to a fresh buffer instead of mutating in place"
+                                .to_string(),
+                        ),
+                    );
+                }
+                proofs.push(SendProof {
+                    actor: actor.to_string(),
+                    payload: var.clone(),
+                    line: span.start.line,
+                    unmutated: hit.is_none(),
+                });
+            }
+            Ev::Loop { body, .. } => {
+                path.push((events, i));
+                scan_sends(actor, body, path, proofs, diags);
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Scan execution order from just after `events[i]` — the rest of this
+/// level, then (for each enclosing loop, innermost first) the back-edge:
+/// the loop body from its start, then the events after the loop at the
+/// enclosing level. Returns the first mutation of a live alias.
+fn scan_after(
+    events: &[Ev],
+    i: usize,
+    path: &[(&[Ev], usize)],
+    alias: &mut BTreeSet<String>,
+) -> Option<(String, Span)> {
+    if let Some(hit) = scan_seq(&events[i + 1..], alias) {
+        return Some(hit);
+    }
+    // Back-edges, innermost loop first: the body re-runs from its start
+    // up to (and including re-execution of) the send's own level.
+    if let Some(hit) = scan_seq(&events[..=i], alias) {
+        // Only meaningful if some enclosing loop exists; a top-level
+        // send never re-runs.
+        if !path.is_empty() {
+            return Some(hit);
+        }
+    }
+    // Each enclosing level, innermost first: its tail runs after the
+    // inner loop exits, then — if that level is itself a loop body
+    // (every path entry except the outermost, which is the behaviour
+    // top and never re-runs) — its own back-edge re-runs the level from
+    // the start. One tail+head pass per level reaches the fixpoint: the
+    // alias set only shrinks.
+    for (depth, (outer, idx)) in path.iter().enumerate().rev() {
+        if let Some(hit) = scan_seq(&outer[idx + 1..], alias) {
+            return Some(hit);
+        }
+        if depth > 0 {
+            if let Some(hit) = scan_seq(&outer[..=*idx], alias) {
+                return Some(hit);
+            }
+        }
+    }
+    None
+}
+
+/// Scan a flat event sequence (descending into loops — their bodies may
+/// run after the send). Rebinds retire aliases; returns the first
+/// mutation of a live alias.
+fn scan_seq(events: &[Ev], alias: &mut BTreeSet<String>) -> Option<(String, Span)> {
+    for ev in events {
+        match ev {
+            Ev::Mutate { var, span } if alias.contains(var) => {
+                return Some((var.clone(), *span));
+            }
+            Ev::Rebind { var } => {
+                alias.remove(var);
+            }
+            Ev::Loop { body, .. } => {
+                if let Some(hit) = scan_seq(body, alias) {
+                    return Some(hit);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

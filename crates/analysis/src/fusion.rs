@@ -1,0 +1,866 @@
+//! Dispatch-chain fusion proofs (`FusionProof`, W004) and the host
+//! control-flow event walker shared with the effects pass.
+//!
+//! The walker linearises each host actor's behaviour into an event
+//! tree: kernel enqueues (a send of an `opencl` settings struct on a
+//! port boot-wired to a kernel actor), payload sends, readback
+//! receives, payload mutations and rebindings, and loops with their
+//! iteration counts. Chain extraction then finds maximal runs of
+//! enqueues with no intervening *fusion barrier* — a non-`mov` readback
+//! receive (the host blocks on kernel results), a host mutation of a
+//! sent payload, or an un-routable/conditional channel operation. A
+//! `mov` receive returns a device handle without synchronising, so it
+//! does **not** break a chain: that is exactly why LUD's
+//! diag → col → sub ring forms one looping chain per step.
+//!
+//! A chain is *batchable*: its dispatches can be enqueued back-to-back
+//! on one in-order queue, amortising per-launch overhead, regardless of
+//! data hazards (the queue preserves order). Whether two adjacent
+//! dispatches could go further and be *merged* into one kernel is a
+//! separate per-pair verdict: merging interleaves the two work-item
+//! sets, so it needs RAW/WAR/WAW freedom on every shared buffer,
+//! checked with the affine interval model across the two kernels'
+//! symbol spaces (settings scalars unify by field name within one
+//! iteration; `lengthof` lengths unify by buffer; ids stay
+//! per-dispatch). A blocked merge yields W004 naming the offending
+//! subscript pair.
+
+use crate::host::BootInfo;
+use crate::kernel::{Access, KernelCheck, Sym, Target};
+use crate::model::{DataModel, Model};
+use ensemble_lang::ast::{ActorDecl, Dir, Expr, Stmt, TypeExpr};
+use ensemble_lang::diag::{codes, Diagnostic};
+use ensemble_lang::proof::{ChainRole, FusionProof, Hazard, PairProof};
+use ensemble_lang::token::Span;
+use std::collections::{BTreeMap, HashMap};
+
+/// One linearised host-behaviour event.
+#[derive(Debug, Clone)]
+pub(crate) enum Ev {
+    /// A settings send routed to a kernel (`None` = routing unknown —
+    /// conservative chain barrier).
+    Enqueue {
+        /// Target kernel actor, when the port wiring resolved it.
+        kernel: Option<String>,
+        /// Span of the send.
+        span: Span,
+    },
+    /// A (non-settings) payload value sent on a channel.
+    PayloadSend {
+        /// The sent variable.
+        var: String,
+        /// Variables sharing storage with it at the send (transitive).
+        aliases: Vec<String>,
+        /// The payload type carries `mov` fields (handle transfer).
+        mov: bool,
+        /// Span of the send.
+        span: Span,
+    },
+    /// A receive; `mov` handles return without synchronising, anything
+    /// else is a blocking readback (fusion barrier).
+    Readback {
+        /// `mov` handle return (not a barrier) vs. data copy (barrier).
+        mov: bool,
+        /// Span of the receive.
+        span: Span,
+    },
+    /// An element-assignment into a variable (possible payload
+    /// mutation; filtered by alias sets downstream).
+    Mutate {
+        /// The assigned variable.
+        var: String,
+        /// Span of the assignment.
+        span: Span,
+    },
+    /// The variable was bound to a fresh value (declare, whole-variable
+    /// assign, receive) — it no longer aliases what it did.
+    Rebind {
+        /// The rebound variable.
+        var: String,
+    },
+    /// A loop; `iterations` when the trip count is a known constant.
+    Loop {
+        /// Constant trip count, when derivable.
+        iterations: Option<i64>,
+        /// Events of one iteration.
+        body: Vec<Ev>,
+    },
+    /// A channel operation we cannot order (e.g. under a conditional) —
+    /// conservative chain barrier.
+    Opaque {
+        /// Span of the construct.
+        span: Span,
+    },
+}
+
+/// The walked events of one host actor's behaviour.
+pub(crate) struct HostEvents {
+    /// Host actor type name.
+    pub(crate) actor: String,
+    /// Linearised behaviour events.
+    pub(crate) events: Vec<Ev>,
+}
+
+/// Hazard info a fusion pair check needs per kernel.
+pub(crate) struct KernelInfo<'a> {
+    /// Data shape key: `Some(struct_name)` or `None` for a bare array.
+    pub(crate) data_ty: Option<String>,
+    /// The walked checker (accesses + facts + symbol names).
+    pub(crate) check: &'a KernelCheck,
+}
+
+// ---- host walking -----------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum VKind {
+    Settings,
+    Payload { mov: bool },
+    EndpointIn { mov: bool },
+    Other,
+}
+
+struct Walker<'m> {
+    model: &'m Model<'m>,
+    port_to_kernel: HashMap<String, String>,
+    /// In-port name → element-is-mov for interface receives.
+    port_in_mov: HashMap<String, bool>,
+    kinds: HashMap<String, VKind>,
+    consts: HashMap<String, i64>,
+    binds: HashMap<String, Vec<String>>,
+}
+
+/// Walk every non-kernel host actor of the stage.
+pub(crate) fn walk_hosts<'m>(model: &'m Model<'m>, boot: &BootInfo) -> Vec<HostEvents> {
+    let Some(stage) = model.stage else {
+        return Vec::new();
+    };
+    // (host instance port) → kernel actor name, via boot edges.
+    let kernel_req: HashMap<&str, &str> = model
+        .kernels
+        .iter()
+        .map(|k| (k.actor.name.as_str(), k.req_port))
+        .collect();
+    let type_of: HashMap<&str, &str> = boot
+        .instances
+        .iter()
+        .map(|(i, t)| (i.as_str(), t.as_str()))
+        .collect();
+    let mut out = Vec::new();
+    for actor in &stage.actors {
+        if actor.opencl.is_some() {
+            continue;
+        }
+        let mut port_to_kernel: HashMap<String, String> = HashMap::new();
+        let mut ambiguous: Vec<String> = Vec::new();
+        for ((a, p), (b, q), _) in &boot.edges {
+            if type_of.get(a.as_str()) != Some(&actor.name.as_str()) {
+                continue;
+            }
+            let Some(&bt) = type_of.get(b.as_str()) else {
+                continue;
+            };
+            let Some(&req) = kernel_req.get(bt) else {
+                continue;
+            };
+            if req != q {
+                continue;
+            }
+            match port_to_kernel.get(p) {
+                Some(prev) if prev != bt => ambiguous.push(p.clone()),
+                _ => {
+                    port_to_kernel.insert(p.clone(), bt.to_string());
+                }
+            }
+        }
+        for p in ambiguous {
+            port_to_kernel.remove(&p);
+        }
+        let mut port_in_mov = HashMap::new();
+        if let Some(ports) = model.interfaces.get(actor.interface.as_str()) {
+            for port in *ports {
+                if port.dir == Dir::In {
+                    port_in_mov.insert(port.name.clone(), elem_is_mov(model, &port.ty));
+                }
+            }
+        }
+        let mut w = Walker {
+            model,
+            port_to_kernel,
+            port_in_mov,
+            kinds: HashMap::new(),
+            consts: HashMap::new(),
+            binds: HashMap::new(),
+        };
+        let mut events = Vec::new();
+        for s in &actor.constructor {
+            w.stmt(s, &mut events);
+        }
+        for s in &actor.behaviour {
+            w.stmt(s, &mut events);
+        }
+        // A behaviour that never stops repeats forever: the whole event
+        // list is one loop.
+        if behaviour_repeats(actor) {
+            events = vec![Ev::Loop {
+                iterations: None,
+                body: events,
+            }];
+        }
+        out.push(HostEvents {
+            actor: actor.name.clone(),
+            events,
+        });
+    }
+    out
+}
+
+fn behaviour_repeats(actor: &ActorDecl) -> bool {
+    !contains_stop(&actor.behaviour)
+}
+
+fn contains_stop(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Stop { .. } => true,
+        Stmt::For { body, .. } | Stmt::While { body, .. } => contains_stop(body),
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => contains_stop(then_blk) || contains_stop(else_blk),
+        _ => false,
+    })
+}
+
+fn elem_is_mov(model: &Model<'_>, ty: &TypeExpr) -> bool {
+    match ty {
+        TypeExpr::Named(n) => model.structs.get(n.as_str()).is_some_and(|s| s.any_mov),
+        _ => false,
+    }
+}
+
+impl<'m> Walker<'m> {
+    fn stmt(&mut self, s: &Stmt, events: &mut Vec<Ev>) {
+        match s {
+            Stmt::Declare { name, value, .. } | Stmt::DeclareLocal { name, value, .. } => {
+                events.push(Ev::Rebind { var: name.clone() });
+                self.bind_value(name, value);
+            }
+            Stmt::Assign {
+                name, path, value, pos,
+            } => {
+                if path.is_empty() {
+                    events.push(Ev::Rebind { var: name.clone() });
+                    self.bind_value(name, value);
+                } else {
+                    events.push(Ev::Mutate {
+                        var: name.clone(),
+                        span: *pos,
+                    });
+                }
+            }
+            Stmt::Send { value, chan, pos } => self.send(value, chan, *pos, events),
+            Stmt::Receive { name, chan, pos } => {
+                events.push(Ev::Rebind { var: name.clone() });
+                let mov = self.chan_in_mov(chan);
+                events.push(Ev::Readback { mov, span: *pos });
+                self.kinds.insert(name.clone(), VKind::Payload { mov });
+                self.binds.insert(name.clone(), Vec::new());
+                self.consts.remove(name);
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                let iterations = match (self.const_eval(from), self.const_eval(to)) {
+                    (Some(a), Some(b)) if b >= a => Some(b - a + 1),
+                    _ => None,
+                };
+                events.push(Ev::Rebind { var: var.clone() });
+                self.consts.remove(var);
+                self.kinds.insert(var.clone(), VKind::Other);
+                let mut inner = Vec::new();
+                for st in body {
+                    self.stmt(st, &mut inner);
+                }
+                events.push(Ev::Loop {
+                    iterations,
+                    body: inner,
+                });
+            }
+            Stmt::While { body, .. } => {
+                let mut inner = Vec::new();
+                for st in body {
+                    self.stmt(st, &mut inner);
+                }
+                events.push(Ev::Loop {
+                    iterations: None,
+                    body: inner,
+                });
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                // Walk both branches; mutations survive (they *may*
+                // happen), rebinds do not (they may not), and any
+                // channel operation becomes an opaque barrier (we
+                // cannot order conditional dispatches).
+                for blk in [then_blk, else_blk] {
+                    let mut inner = Vec::new();
+                    for st in blk {
+                        self.stmt(st, &mut inner);
+                    }
+                    let mut opaque_at: Option<Span> = None;
+                    for ev in inner {
+                        match ev {
+                            Ev::Mutate { .. } | Ev::Loop { .. } => events.push(ev),
+                            Ev::Rebind { .. } => {}
+                            Ev::Enqueue { span, .. }
+                            | Ev::PayloadSend { span, .. }
+                            | Ev::Readback { span, .. }
+                            | Ev::Opaque { span } => opaque_at = Some(span),
+                        }
+                    }
+                    if let Some(span) = opaque_at {
+                        events.push(Ev::Opaque { span });
+                    }
+                }
+            }
+            Stmt::Connect { .. }
+            | Stmt::Print { .. }
+            | Stmt::Barrier { .. }
+            | Stmt::Stop { .. } => {}
+        }
+    }
+
+    fn send(&mut self, value: &Expr, chan: &Expr, span: Span, events: &mut Vec<Ev>) {
+        let port = match chan {
+            Expr::Path(root, segs, _) if segs.is_empty() => Some(root.as_str()),
+            _ => None,
+        };
+        let is_settings = match value {
+            Expr::NewStruct { name, .. } => self
+                .model
+                .structs
+                .get(name.as_str())
+                .is_some_and(|s| s.opencl),
+            Expr::Path(root, segs, _) if segs.is_empty() => {
+                self.kinds.get(root) == Some(&VKind::Settings)
+            }
+            _ => false,
+        };
+        if is_settings {
+            let kernel = port.and_then(|p| self.port_to_kernel.get(p).cloned());
+            events.push(Ev::Enqueue { kernel, span });
+            return;
+        }
+        if let Expr::Path(root, segs, _) = value {
+            if segs.is_empty() {
+                if let Some(VKind::Payload { mov }) = self.kinds.get(root.as_str()).cloned() {
+                    events.push(Ev::PayloadSend {
+                        var: root.clone(),
+                        aliases: self.alias_closure(root),
+                        mov,
+                        span,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Element-type movability of the channel being received from.
+    fn chan_in_mov(&self, chan: &Expr) -> bool {
+        if let Expr::Path(root, segs, _) = chan {
+            if segs.is_empty() {
+                if let Some(&m) = self.port_in_mov.get(root.as_str()) {
+                    return m;
+                }
+                if let Some(VKind::EndpointIn { mov }) = self.kinds.get(root.as_str()) {
+                    return *mov;
+                }
+            }
+        }
+        false
+    }
+
+    fn bind_value(&mut self, name: &str, value: &Expr) {
+        self.consts.remove(name);
+        self.binds.insert(name.to_string(), Vec::new());
+        let kind = match value {
+            Expr::Int(v, _) => {
+                self.consts.insert(name.to_string(), *v);
+                VKind::Other
+            }
+            Expr::NewStruct { name: ty, args, .. } => {
+                let sm = self.model.structs.get(ty.as_str());
+                let arg_vars: Vec<String> = args
+                    .iter()
+                    .filter_map(|a| match a {
+                        Expr::Path(r, segs, _) if segs.is_empty() => Some(r.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                for v in &arg_vars {
+                    self.binds.entry(v.clone()).or_default().push(name.to_string());
+                }
+                self.binds.insert(name.to_string(), arg_vars);
+                match sm {
+                    Some(s) if s.opencl => VKind::Settings,
+                    Some(s) => VKind::Payload { mov: s.any_mov },
+                    None => VKind::Other,
+                }
+            }
+            Expr::NewArray { .. } | Expr::Call(..) => VKind::Payload { mov: false },
+            Expr::NewChanIn(ty, _) => VKind::EndpointIn {
+                mov: elem_is_mov(self.model, ty),
+            },
+            Expr::NewChanOut(..) | Expr::NewActor { .. } => VKind::Other,
+            Expr::Path(src, segs, _) if segs.is_empty() => {
+                if let Some(v) = self.consts.get(src.as_str()).copied() {
+                    self.consts.insert(name.to_string(), v);
+                }
+                self.binds
+                    .entry(src.clone())
+                    .or_default()
+                    .push(name.to_string());
+                self.binds.insert(name.to_string(), vec![src.clone()]);
+                self.kinds
+                    .get(src.as_str())
+                    .cloned()
+                    .unwrap_or(VKind::Other)
+            }
+            e => {
+                if let Some(v) = self.const_eval(e) {
+                    self.consts.insert(name.to_string(), v);
+                }
+                VKind::Other
+            }
+        };
+        self.kinds.insert(name.to_string(), kind);
+    }
+
+    /// Transitive storage-sharing closure of `var` at this point.
+    fn alias_closure(&self, var: &str) -> Vec<String> {
+        let mut seen: Vec<String> = vec![var.to_string()];
+        let mut stack = vec![var.to_string()];
+        while let Some(v) = stack.pop() {
+            if let Some(next) = self.binds.get(&v) {
+                for n in next {
+                    if !seen.contains(n) {
+                        seen.push(n.clone());
+                        stack.push(n.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    fn const_eval(&self, e: &Expr) -> Option<i64> {
+        use ensemble_lang::ast::BinOp;
+        match e {
+            Expr::Int(v, _) => Some(*v),
+            Expr::Neg(inner, _) => self.const_eval(inner).map(|v| -v),
+            Expr::Path(root, segs, _) if segs.is_empty() => self.consts.get(root.as_str()).copied(),
+            Expr::Binary(op, l, r, _) => {
+                let (a, b) = (self.const_eval(l)?, self.const_eval(r)?);
+                match op {
+                    BinOp::Add => Some(a + b),
+                    BinOp::Sub => Some(a - b),
+                    BinOp::Mul => Some(a * b),
+                    BinOp::Div if b != 0 => Some(a / b),
+                    BinOp::Rem if b != 0 => Some(a % b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+// ---- chain extraction -------------------------------------------------
+
+struct RawChain {
+    sites: Vec<(String, Span)>,
+    loops: bool,
+    iterations: Option<i64>,
+    barrier: Option<String>,
+}
+
+fn extract_chains(events: &[Ev]) -> Vec<RawChain> {
+    let mut chains = Vec::new();
+    let open = scan_level(events, &mut chains);
+    if !open.sites.is_empty() {
+        chains.push(RawChain {
+            barrier: Some("end of behaviour".to_string()),
+            ..open
+        });
+    }
+    chains
+}
+
+fn scan_level(events: &[Ev], chains: &mut Vec<RawChain>) -> RawChain {
+    let mut cur = RawChain {
+        sites: Vec::new(),
+        loops: false,
+        iterations: None,
+        barrier: None,
+    };
+    let mut sent: Vec<String> = Vec::new();
+    let close = |cur: &mut RawChain, chains: &mut Vec<RawChain>, reason: &str| {
+        if !cur.sites.is_empty() {
+            chains.push(RawChain {
+                sites: std::mem::take(&mut cur.sites),
+                loops: false,
+                iterations: None,
+                barrier: Some(reason.to_string()),
+            });
+        }
+    };
+    for ev in events {
+        match ev {
+            Ev::Enqueue {
+                kernel: Some(k),
+                span,
+            } => cur.sites.push((k.clone(), *span)),
+            Ev::Enqueue { kernel: None, .. } => {
+                close(&mut cur, chains, "un-routable dispatch");
+            }
+            Ev::Readback { mov: false, .. } => {
+                close(&mut cur, chains, "readback receive");
+            }
+            Ev::Readback { mov: true, .. } => {}
+            Ev::Opaque { .. } => {
+                close(&mut cur, chains, "conditional channel operation");
+            }
+            Ev::PayloadSend { var, aliases, .. } => {
+                sent.push(var.clone());
+                sent.extend(aliases.iter().cloned());
+            }
+            Ev::Mutate { var, .. } if sent.contains(var) => {
+                close(&mut cur, chains, "host mutation of a sent payload");
+            }
+            Ev::Mutate { .. } | Ev::Rebind { .. } => {}
+            Ev::Loop { iterations, body } => {
+                close(&mut cur, chains, "loop boundary");
+                let inner = scan_level(body, chains);
+                if !inner.sites.is_empty() {
+                    if inner.barrier.is_none() && !chains_from(body) {
+                        // No barrier anywhere in the loop body: the last
+                        // dispatch of iteration n feeds iteration n+1's
+                        // first — one looping chain.
+                        chains.push(RawChain {
+                            sites: inner.sites,
+                            loops: true,
+                            iterations: *iterations,
+                            barrier: None,
+                        });
+                    } else {
+                        chains.push(RawChain {
+                            sites: inner.sites,
+                            loops: false,
+                            iterations: None,
+                            barrier: Some("loop body barrier".to_string()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cur
+}
+
+/// Did this loop body close any chain internally (i.e. contain a
+/// barrier between enqueues)?
+fn chains_from(body: &[Ev]) -> bool {
+    // Re-scan cheaply: any closing event at this level before/after an
+    // enqueue means the loop cannot form a wrap-around chain.
+    body.iter().any(|e| {
+        matches!(
+            e,
+            Ev::Readback { mov: false, .. } | Ev::Opaque { .. } | Ev::Enqueue { kernel: None, .. }
+        )
+    })
+}
+
+// ---- hazard analysis --------------------------------------------------
+
+/// Compute fusion proofs and W004 diagnostics for every walked host.
+pub(crate) fn prove(
+    hosts: &[HostEvents],
+    kernels: &HashMap<String, KernelInfo<'_>>,
+) -> (Vec<FusionProof>, BTreeMap<String, ChainRole>, Vec<Diagnostic>) {
+    let mut proofs = Vec::new();
+    let mut roles: BTreeMap<String, ChainRole> = BTreeMap::new();
+    let mut diags = Vec::new();
+    for host in hosts {
+        for raw in extract_chains(&host.events) {
+            let mut pairs = Vec::new();
+            let n = raw.sites.len();
+            let worth_merging = n >= 2 || raw.loops;
+            if worth_merging {
+                let mut pair_list: Vec<(usize, usize, bool)> = (0..n.saturating_sub(1))
+                    .map(|i| (i, i + 1, false))
+                    .collect();
+                if raw.loops {
+                    pair_list.push((n - 1, 0, true));
+                }
+                for (i, j, wrap) in pair_list {
+                    let (from, _) = &raw.sites[i];
+                    let (to, to_span) = &raw.sites[j];
+                    let p = check_pair(from, to, wrap, kernels);
+                    if !p.mergeable {
+                        let (hz, buf) = match &p.hazard {
+                            Some((h, b)) => (h.as_str(), format!("`{b}`")),
+                            None => ("data", "shared state".to_string()),
+                        };
+                        diags.push(
+                            Diagnostic::warning(
+                                codes::FUSION_HAZARD,
+                                *to_span,
+                                format!(
+                                    "dispatch of `{to}` cannot be merged with the preceding \
+                                     dispatch of `{from}`{}: {hz} hazard on {buf} — {}",
+                                    if wrap { " (next iteration)" } else { "" },
+                                    p.detail
+                                ),
+                            )
+                            .with_help(
+                                "the chain is still batchable in-order; merging would \
+                                 interleave the two work-item sets"
+                                    .to_string(),
+                            ),
+                        );
+                    }
+                    pairs.push(p);
+                }
+                for (idx, (k, _)) in raw.sites.iter().enumerate() {
+                    let mergeable_with_prev = if idx > 0 {
+                        pairs[idx - 1].mergeable
+                    } else if raw.loops {
+                        pairs.last().map(|p| p.mergeable).unwrap_or(true)
+                    } else {
+                        true
+                    };
+                    roles.entry(k.clone()).or_insert_with(|| ChainRole {
+                        host: host.actor.clone(),
+                        len: n,
+                        index: idx,
+                        mergeable_with_prev,
+                    });
+                }
+            }
+            proofs.push(FusionProof {
+                host: host.actor.clone(),
+                sites: raw.sites.iter().map(|(k, _)| k.clone()).collect(),
+                loops: raw.loops,
+                iterations: raw.iterations,
+                barrier: raw.barrier,
+                pairs,
+            });
+        }
+    }
+    (proofs, roles, diags)
+}
+
+fn check_pair(
+    from: &str,
+    to: &str,
+    wrap: bool,
+    kernels: &HashMap<String, KernelInfo<'_>>,
+) -> PairProof {
+    let (Some(a), Some(b)) = (kernels.get(from), kernels.get(to)) else {
+        return PairProof {
+            from: from.to_string(),
+            to: to.to_string(),
+            mergeable: false,
+            hazard: None,
+            detail: "kernel not modelled".to_string(),
+        };
+    };
+    if a.data_ty != b.data_ty {
+        return PairProof {
+            from: from.to_string(),
+            to: to.to_string(),
+            mergeable: false,
+            hazard: None,
+            detail: "distinct data types — aliasing unknown".to_string(),
+        };
+    }
+    // Within one iteration the two dispatches receive the same settings
+    // values, so scalars unify by field name; across the loop back-edge
+    // they are re-sent and unify on nothing (only buffer lengths).
+    let share_scalars = !wrap;
+    let fields: Vec<String> = {
+        let mut f: Vec<String> = Vec::new();
+        for acc in a.check.accesses.iter().chain(&b.check.accesses) {
+            if let Target::Global(name) = &acc.target {
+                if !f.contains(name) {
+                    f.push(name.clone());
+                }
+            }
+        }
+        f
+    };
+    let mut hazard: Option<(Hazard, String, String)> = None;
+    for field in &fields {
+        let t = Target::Global(field.clone());
+        let wa: Vec<&Access> = a
+            .check
+            .accesses
+            .iter()
+            .filter(|x| x.is_write && x.target == t)
+            .collect();
+        let ra: Vec<&Access> = a
+            .check
+            .accesses
+            .iter()
+            .filter(|x| !x.is_write && x.target == t)
+            .collect();
+        let wb: Vec<&Access> = b
+            .check
+            .accesses
+            .iter()
+            .filter(|x| x.is_write && x.target == t)
+            .collect();
+        let rb: Vec<&Access> = b
+            .check
+            .accesses
+            .iter()
+            .filter(|x| !x.is_write && x.target == t)
+            .collect();
+        // Report priority when several hazards coexist: RAW > WAW > WAR.
+        let rank = |h: Hazard| match h {
+            Hazard::Raw => 0u8,
+            Hazard::Waw => 1,
+            Hazard::War => 2,
+        };
+        let consider = |hz: Hazard,
+                            xs: &[&Access],
+                            ys: &[&Access],
+                            hazard: &mut Option<(Hazard, String, String)>| {
+            if hazard.as_ref().is_some_and(|(h, _, _)| rank(*h) <= rank(hz)) {
+                return; // already found an equal-or-higher-priority hazard
+            }
+            for x in xs {
+                for y in ys {
+                    if !cross_disjoint(a.check, x, b.check, y, share_scalars) {
+                        let detail = format!(
+                            "`{}` ({from}) vs `{}` ({to})",
+                            a.check.render_access(x),
+                            b.check.render_access(y)
+                        );
+                        *hazard = Some((hz, field.clone(), detail));
+                        return;
+                    }
+                }
+            }
+        };
+        consider(Hazard::Raw, &wa, &rb, &mut hazard);
+        consider(Hazard::Waw, &wa, &wb, &mut hazard);
+        consider(Hazard::War, &ra, &wb, &mut hazard);
+    }
+    match hazard {
+        Some((hz, field, detail)) => PairProof {
+            from: from.to_string(),
+            to: to.to_string(),
+            mergeable: false,
+            hazard: Some((hz, field)),
+            detail,
+        },
+        None => PairProof {
+            from: from.to_string(),
+            to: to.to_string(),
+            mergeable: true,
+            hazard: None,
+            detail: "no overlapping accesses on any shared buffer".to_string(),
+        },
+    }
+}
+
+/// Cross-dispatch disjointness: are the two accesses' location sets
+/// provably non-overlapping for *every* pair of work-items, one from
+/// each dispatch? Uniform symbols unify when they denote the same
+/// quantity in both dispatches (`lengthof` lengths always; settings
+/// scalars only when `share_scalars`); everything else ranges
+/// independently over its own dispatch's interval.
+fn cross_disjoint(
+    ca: &KernelCheck,
+    a: &Access,
+    cb: &KernelCheck,
+    b: &Access,
+    share_scalars: bool,
+) -> bool {
+    for (x, y) in a.idxs.iter().zip(&b.idxs) {
+        let (Some(x), Some(y)) = (x, y) else { continue };
+        // Difference y − x with shared uniforms cancelling.
+        let shared_key = |check: &KernelCheck, s: Sym| -> Option<String> {
+            match s {
+                Sym::DimLen(id) => check.names.get(id as usize).map(|n| format!("L:{n}")),
+                Sym::Scalar(id) if share_scalars => {
+                    check.names.get(id as usize).map(|n| format!("S:{n}"))
+                }
+                _ => None,
+            }
+        };
+        let mut shared: BTreeMap<String, (i64, Option<i64>, Option<i64>)> = BTreeMap::new();
+        let (mut lo, mut hi) = (Some(y.k - x.k), Some(y.k - x.k));
+        let add = |acc: Option<i64>, v: Option<i64>| -> Option<i64> { Some(acc? + v?) };
+        let side = |check: &KernelCheck,
+                        af: &crate::kernel::Affine,
+                        sign: i64,
+                        shared: &mut BTreeMap<String, (i64, Option<i64>, Option<i64>)>,
+                        lo: &mut Option<i64>,
+                        hi: &mut Option<i64>| {
+            for (&s, &c) in &af.terms {
+                let c = sign * c;
+                if let Some(key) = shared_key(check, s) {
+                    let (slo, shi) = check.sym_range(s);
+                    let e = shared.entry(key).or_insert((0, slo, shi));
+                    e.0 += c;
+                    continue;
+                }
+                let (slo, shi) = check.sym_range(s);
+                let (a1, b1) = if c > 0 { (slo, shi) } else { (shi, slo) };
+                *lo = add(*lo, a1.map(|v| c * v));
+                *hi = add(*hi, b1.map(|v| c * v));
+            }
+        };
+        side(cb, y, 1, &mut shared, &mut lo, &mut hi);
+        side(ca, x, -1, &mut shared, &mut lo, &mut hi);
+        for (_, (c, slo, shi)) in shared {
+            if c == 0 {
+                continue;
+            }
+            let (a1, b1) = if c > 0 { (slo, shi) } else { (shi, slo) };
+            lo = add(lo, a1.map(|v| c * v));
+            hi = add(hi, b1.map(|v| c * v));
+        }
+        if matches!(lo, Some(v) if v > 0) || matches!(hi, Some(v) if v < 0) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Build the per-kernel info map the pair checker consumes.
+pub(crate) fn kernel_infos<'a>(
+    model: &Model<'_>,
+    checks: &'a [KernelCheck],
+) -> HashMap<String, KernelInfo<'a>> {
+    let mut out = HashMap::new();
+    for (k, check) in model.kernels.iter().zip(checks) {
+        let data_ty = match &k.data {
+            DataModel::Struct(s) => Some(s.to_string()),
+            DataModel::Array { .. } => None,
+        };
+        out.insert(
+            k.actor.name.clone(),
+            KernelInfo {
+                data_ty,
+                check,
+            },
+        );
+    }
+    out
+}

@@ -62,7 +62,7 @@ pub enum Sym {
 impl Sym {
     /// Uniform symbols have the same value for every work-item of a
     /// dispatch, so they cancel exactly when comparing two items.
-    fn is_uniform(self) -> bool {
+    pub(crate) fn is_uniform(self) -> bool {
         matches!(
             self,
             Sym::GSize(_) | Sym::LSize(_) | Sym::NGroups(_) | Sym::Scalar(_) | Sym::DimLen(_)
@@ -136,7 +136,7 @@ impl Affine {
 
 /// Where an access lands.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Target {
+pub(crate) enum Target {
     /// A field of the global data (or the bare data array: empty name).
     Global(String),
     /// A `private` or `local` array; payload is (name, declared len).
@@ -144,19 +144,20 @@ enum Target {
 }
 
 /// One recorded array access, guards already substituted/attached.
-struct Access {
-    target: Target,
-    is_write: bool,
+pub(crate) struct Access {
+    pub(crate) target: Target,
+    pub(crate) is_write: bool,
     /// Affine form per subscript position (`None` = non-affine).
-    idxs: Vec<Option<Affine>>,
+    pub(crate) idxs: Vec<Option<Affine>>,
     /// Strict upper bounds `a < b` in force at this point.
-    uppers: Vec<(Affine, Affine)>,
+    pub(crate) uppers: Vec<(Affine, Affine)>,
     /// Dimensions whose `get_global_id` was pinned by an equality guard
-    /// (only one work-item per slice reaches this access).
-    gid_pinned: Vec<usize>,
+    /// (only one work-item per slice reaches this access), with the
+    /// pinned value.
+    pub(crate) gid_pinned: Vec<(usize, i64)>,
     /// Dimensions whose `get_local_id` was pinned (one item per group).
-    lid_pinned: Vec<usize>,
-    span: Span,
+    pub(crate) lid_pinned: Vec<usize>,
+    pub(crate) span: Span,
 }
 
 /// Facts routed in from the host-side abstract interpretation.
@@ -179,7 +180,8 @@ pub struct HostFacts {
 }
 
 impl HostFacts {
-    fn active(&self, d: usize) -> bool {
+    /// Is dimension `d` active (extent possibly > 1)?
+    pub(crate) fn active(&self, d: usize) -> bool {
         if !self.ws_known {
             return true; // conservative: everything may vary
         }
@@ -194,14 +196,14 @@ impl HostFacts {
 /// Strict `a < b` constraints plus `sym == k` equality pins from a guard.
 type Guards = (Vec<(Affine, Affine)>, Vec<(Sym, i64)>);
 
-pub struct KernelCheck<'f> {
-    facts: &'f HostFacts,
-    kernel_name: String,
-    data_name: String,
+pub struct KernelCheck {
+    pub(crate) facts: HostFacts,
+    pub(crate) kernel_name: String,
+    pub(crate) data_name: String,
     data_fields: Vec<String>, // empty => bare-array data
     scalars: Vec<String>,
     req_name: String,
-    names: Vec<String>,
+    pub(crate) names: Vec<String>,
     name_ids: HashMap<String, u32>,
     dimlen_vals: Vec<Option<i64>>,
     loops: Vec<(Option<i64>, Option<i64>)>,
@@ -209,10 +211,10 @@ pub struct KernelCheck<'f> {
     arrays: Vec<HashMap<String, Option<i64>>>,
     pins: Vec<(Sym, i64)>,
     uppers: Vec<(Affine, Affine)>,
-    accesses: Vec<Access>,
+    pub(crate) accesses: Vec<Access>,
 }
 
-impl<'f> KernelCheck<'f> {
+impl KernelCheck {
     /// Build a checker for one kernel.
     pub fn new(
         kernel_name: &str,
@@ -220,8 +222,8 @@ impl<'f> KernelCheck<'f> {
         data_name: &str,
         data_fields: Vec<String>,
         scalars: Vec<String>,
-        facts: &'f HostFacts,
-    ) -> KernelCheck<'f> {
+        facts: HostFacts,
+    ) -> KernelCheck {
         KernelCheck {
             facts,
             kernel_name: kernel_name.to_string(),
@@ -241,9 +243,15 @@ impl<'f> KernelCheck<'f> {
         }
     }
 
-    /// Walk the kernel body, then run the race and bounds checks.
-    pub fn run(mut self, body: &[Stmt]) -> Vec<Diagnostic> {
+    /// Walk the kernel body, recording every array access with its
+    /// guards. Call once; then [`Self::diagnostics`] (and the proof
+    /// passes) read the recorded accesses.
+    pub fn walk(&mut self, body: &[Stmt]) {
         self.block(body);
+    }
+
+    /// The race and bounds findings over the recorded accesses.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
         let mut diags = self.check_bounds();
         diags.extend(self.check_races());
         diags
@@ -434,9 +442,9 @@ impl<'f> KernelCheck<'f> {
             .collect();
         let mut gid_pinned = Vec::new();
         let mut lid_pinned = Vec::new();
-        for &(s, _) in &pins {
+        for &(s, v) in &pins {
             match s {
-                Sym::Gid(d) => gid_pinned.push(d as usize),
+                Sym::Gid(d) => gid_pinned.push((d as usize, v)),
                 Sym::Lid(d) => lid_pinned.push(d as usize),
                 _ => {}
             }
@@ -698,8 +706,8 @@ impl<'f> KernelCheck<'f> {
 
     // ---- ranges -------------------------------------------------------
 
-    fn sym_range(&self, s: Sym) -> (Option<i64>, Option<i64>) {
-        let f = self.facts;
+    pub(crate) fn sym_range(&self, s: Sym) -> (Option<i64>, Option<i64>) {
+        let f = &self.facts;
         let ext = |d: u8| f.extent.get(d as usize).copied().flatten();
         let ls = |d: u8| f.lsize.get(d as usize).copied().flatten();
         match s {
@@ -825,7 +833,91 @@ impl<'f> KernelCheck<'f> {
         out
     }
 
-    fn target_name(&self, t: &Target) -> String {
+    /// Human-readable label for a symbol, using the interned names
+    /// (`step`, `lengthof(d.m)`) where available.
+    pub(crate) fn sym_label(&self, s: Sym) -> String {
+        match s {
+            Sym::Gid(d) => format!("gid{d}"),
+            Sym::Lid(d) => format!("lid{d}"),
+            Sym::Grp(d) => format!("group{d}"),
+            Sym::GSize(d) => format!("gsize{d}"),
+            Sym::LSize(d) => format!("lsize{d}"),
+            Sym::NGroups(d) => format!("ngroups{d}"),
+            Sym::Scalar(id) => match self.names.get(id as usize) {
+                Some(n) => n.strip_prefix("s:").unwrap_or(n).to_string(),
+                None => format!("scalar#{id}"),
+            },
+            Sym::DimLen(id) => {
+                let key = self.names.get(id as usize).cloned().unwrap_or_default();
+                let inner = if let Some(rest) = key.strip_prefix("d:") {
+                    let f = rest.split('#').next().unwrap_or(rest);
+                    if f.is_empty() {
+                        self.data_name.clone()
+                    } else {
+                        format!("{}.{f}", self.data_name)
+                    }
+                } else if let Some(rest) = key.strip_prefix("a:") {
+                    rest.to_string()
+                } else {
+                    key
+                };
+                format!("lengthof({inner})")
+            }
+            Sym::Loop(id) => format!("loop#{id}"),
+        }
+    }
+
+    /// Render an affine form like `gid0 + step + 1`.
+    pub(crate) fn render_affine(&self, a: &Affine) -> String {
+        let mut out = String::new();
+        for (&s, &c) in &a.terms {
+            let label = self.sym_label(s);
+            if out.is_empty() {
+                match c {
+                    1 => out.push_str(&label),
+                    -1 => out.push_str(&format!("-{label}")),
+                    _ => out.push_str(&format!("{c}*{label}")),
+                }
+            } else {
+                match c {
+                    1 => out.push_str(&format!(" + {label}")),
+                    -1 => out.push_str(&format!(" - {label}")),
+                    c if c > 0 => out.push_str(&format!(" + {c}*{label}")),
+                    c => out.push_str(&format!(" - {}*{label}", -c)),
+                }
+            }
+        }
+        if a.k != 0 || out.is_empty() {
+            if out.is_empty() {
+                out.push_str(&a.k.to_string());
+            } else if a.k > 0 {
+                out.push_str(&format!(" + {}", a.k));
+            } else {
+                out.push_str(&format!(" - {}", -a.k));
+            }
+        }
+        out
+    }
+
+    /// Render an access like `d.m[gid0 + step + 1][step]`.
+    pub(crate) fn render_access(&self, acc: &Access) -> String {
+        let name = self.target_name(&acc.target);
+        let subs: Vec<String> = acc
+            .idxs
+            .iter()
+            .map(|i| match i {
+                Some(a) => self.render_affine(a),
+                None => "?".to_string(),
+            })
+            .collect();
+        if subs.is_empty() {
+            name
+        } else {
+            format!("{name}[{}]", subs.join("]["))
+        }
+    }
+
+    pub(crate) fn target_name(&self, t: &Target) -> String {
         match t {
             Target::Global(f) if f.is_empty() => self.data_name.clone(),
             Target::Global(f) => format!("{}.{f}", self.data_name),
@@ -931,7 +1023,7 @@ impl<'f> KernelCheck<'f> {
     /// are exempt (only one slice of work-items reaches the write).
     fn uncovered_dim(&self, w: &Access) -> Option<usize> {
         let needed: Vec<usize> = (0..3)
-            .filter(|&d| self.facts.active(d) && !w.gid_pinned.contains(&d))
+            .filter(|&d| self.facts.active(d) && !w.gid_pinned.iter().any(|&(p, _)| p == d))
             .collect();
         let mut used = vec![false; w.idxs.len()];
         self.match_dims(&needed, w, &mut used)
@@ -961,7 +1053,7 @@ impl<'f> KernelCheck<'f> {
     /// its per-item content is exactly one symbol of dimension `d`
     /// (gid, or grp with the local id pinned), everything else uniform
     /// or provably zero.
-    fn covers_dim(&self, idx: &Affine, d: u8, w: &Access) -> bool {
+    pub(crate) fn covers_dim(&self, idx: &Affine, d: u8, w: &Access) -> bool {
         let mut d_syms = 0usize;
         let mut ok = true;
         for (&s, &c) in &idx.terms {
@@ -979,7 +1071,7 @@ impl<'f> KernelCheck<'f> {
         ok && d_syms == 1
     }
 
-    fn same_slot(&self, a: &Access, b: &Access) -> bool {
+    pub(crate) fn same_slot(&self, a: &Access, b: &Access) -> bool {
         a.idxs.len() == b.idxs.len()
             && a.idxs
                 .iter()
@@ -991,7 +1083,7 @@ impl<'f> KernelCheck<'f> {
     /// position the difference `b − a` — uniform symbols cancelling,
     /// per-item symbols independent between the two items — is strictly
     /// positive or strictly negative.
-    fn disjoint(&self, a: &Access, b: &Access) -> bool {
+    pub(crate) fn disjoint(&self, a: &Access, b: &Access) -> bool {
         for (x, y) in a.idxs.iter().zip(&b.idxs) {
             let (Some(x), Some(y)) = (x, y) else { continue };
             let (mut lo, mut hi) = (Some(0i64), Some(0i64));

@@ -16,11 +16,29 @@
 //! | `E007` | topology | `connect` direction or element-type mismatch |
 //! | `W001` | topology | an interface port no actor uses |
 //! | `W002` | mov | residency not provable (consumers on different devices) |
+//! | `W003` | proofs | an NDRange dimension is not provably splittable |
+//! | `W004` | proofs | a data hazard blocks merging two chained dispatches |
+//! | `W005` | proofs | a sent payload is mutated after the send (CoW unsafe) |
 //!
 //! [`compile_source`] is the deny-by-default gate: errors reject the
 //! program before codegen, warnings pass through. Escapes: pass codes
 //! in [`Options::allow`] (the CLI's `--allow E001`), or annotate the
 //! offending line — or the line above it — with `// allow(E001)`.
+//!
+//! Beyond the lints, the suite is a *proof engine*: every analysis also
+//! produces positive, machine-checkable facts — a
+//! [`ensemble_lang::SplitProof`] per kernel (which NDRange dimensions
+//! can be cut across devices), a [`ensemble_lang::FusionProof`] per
+//! host dispatch chain (which enqueues can batch, which adjacent pairs
+//! could merge), and a [`ensemble_lang::SendProof`] per payload send
+//! (the copy-on-write precondition). The proofs land in
+//! [`Report::proofs`], are threaded into the [`CompiledModule`], and
+//! surface at runtime as `proof_splittable` / `proof_fusable` trace
+//! instants. W003/W004/W005 are the *negative space* of those proofs
+//! and are only emitted when [`Options::proofs`] is set (the CLI's
+//! `--proofs`); the shipped applications legitimately contain, e.g.,
+//! RAW-hazard chains, which are findings about co-execution headroom,
+//! not defects.
 //!
 //! The `mov` pass also *proves* residency: when every kernel consumer
 //! of a `mov` struct type runs on one device, the consumers' names are
@@ -45,12 +63,21 @@
 
 use ensemble_lang::ast::{Module, TypeExpr};
 use ensemble_lang::diag::{codes, Diagnostic, Severity};
-use ensemble_lang::{compile_source_gated, CompileOptions, CompiledModule, GateError, ParseError};
-use std::collections::{BTreeSet, HashMap};
+use ensemble_lang::{
+    compile_source_gated, CompileOptions, CompiledModule, GateError, KernelProof, ParseError,
+    ProofSet,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+mod effects;
+mod fusion;
 mod host;
 mod kernel;
 mod model;
+mod shadow;
+mod split;
+
+pub use shadow::{shadow_validate, DispatchConfig, Refutation, ShadowConfig};
 
 use host::{ActorSummary, ChanRef, HostWalk, SettingsCon};
 use kernel::{HostFacts, KernelCheck};
@@ -61,6 +88,10 @@ use model::DataModel;
 pub struct Options {
     /// Diagnostic codes suppressed globally (the CLI's `--allow E001`).
     pub allow: BTreeSet<String>,
+    /// Emit the proof-engine findings (W003/W004/W005). Proof *objects*
+    /// are always computed; this only controls whether their negative
+    /// space is reported as diagnostics.
+    pub proofs: bool,
 }
 
 /// The result of analysing a module.
@@ -70,6 +101,12 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Kernel-actor names whose `mov` data provably stays on one device.
     pub residency_proven: BTreeSet<String>,
+    /// The proof objects: splittability per kernel, fusion per dispatch
+    /// chain, send effects per payload.
+    pub proofs: ProofSet,
+    /// Per-kernel proof bundle, keyed by kernel-actor name, in the
+    /// shape the compiler embeds into each [`ensemble_lang::KernelPlan`].
+    pub kernel_proofs: BTreeMap<String, KernelProof>,
 }
 
 impl Report {
@@ -107,6 +144,8 @@ pub fn compile_source(src: &str, opts: &Options) -> Result<CompiledModule, GateE
         } else {
             Ok(CompileOptions {
                 residency_proven: report.residency_proven,
+                kernel_proofs: report.kernel_proofs,
+                proofs: report.proofs,
             })
         }
     })
@@ -279,6 +318,7 @@ pub fn analyze(module: &Module, src: &str, opts: &Options) -> Report {
 
     // ---- settings/data routing + kernel checks ------------------------
     let merged_struct_dims = merge_struct_dims(&model, &struct_cons);
+    let mut checks: Vec<KernelCheck> = Vec::new();
     for k in &model.kernels {
         let facts = route_facts(k, &model, &boot, &summaries, &merged_struct_dims);
         let data_fields: Vec<String> = match &k.data {
@@ -289,15 +329,51 @@ pub fn analyze(module: &Module, src: &str, opts: &Options) -> Report {
                 .collect(),
             DataModel::Array { .. } => Vec::new(),
         };
-        let check = KernelCheck::new(
+        let mut check = KernelCheck::new(
             &k.actor.name,
             k.req_name,
             k.data_name,
             data_fields,
             k.scalars.iter().map(|s| s.to_string()).collect(),
-            &facts,
+            facts,
         );
-        diags.extend(check.run(k.body));
+        check.walk(k.body);
+        diags.extend(check.diagnostics());
+        checks.push(check);
+    }
+
+    // ---- proof passes: split (W003), fusion (W004), effects (W005) ----
+    // Proof objects are always computed; their diagnostics only surface
+    // in proofs mode.
+    let mut proofs = ProofSet::default();
+    for check in &checks {
+        let (sp, ds) = split::prove(check);
+        if opts.proofs {
+            diags.extend(ds);
+        }
+        proofs.splits.push(sp);
+    }
+    let hosts = fusion::walk_hosts(&model, &boot);
+    let infos = fusion::kernel_infos(&model, &checks);
+    let (fps, roles, ds) = fusion::prove(&hosts, &infos);
+    if opts.proofs {
+        diags.extend(ds);
+    }
+    proofs.fusion = fps;
+    let (sends, ds) = effects::prove(&hosts);
+    if opts.proofs {
+        diags.extend(ds);
+    }
+    proofs.sends = sends;
+    let mut kernel_proofs = BTreeMap::new();
+    for sp in &proofs.splits {
+        kernel_proofs.insert(
+            sp.kernel.clone(),
+            KernelProof {
+                split: sp.clone(),
+                chain: roles.get(&sp.kernel).cloned(),
+            },
+        );
     }
 
     // ---- mov residency proofs (W002 / CompileOptions) -----------------
@@ -376,6 +452,8 @@ pub fn analyze(module: &Module, src: &str, opts: &Options) -> Report {
     Report {
         diagnostics: diags,
         residency_proven,
+        proofs,
+        kernel_proofs,
     }
 }
 

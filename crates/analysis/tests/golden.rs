@@ -8,10 +8,10 @@
 use ensemble_analysis::{analyze_source, Options};
 use std::path::Path;
 
-fn rendered(fixture: &str) -> String {
+fn rendered_opts(fixture: &str, opts: &Options) -> String {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let src = std::fs::read_to_string(dir.join(fixture)).unwrap();
-    let report = analyze_source(&src, &Options::default()).expect("fixture must parse");
+    let report = analyze_source(&src, opts).expect("fixture must parse");
     let mut out = String::new();
     for d in &report.diagnostics {
         out.push_str(&d.render(&src, Some(fixture)));
@@ -20,8 +20,12 @@ fn rendered(fixture: &str) -> String {
     out
 }
 
-fn check(fixture: &str, code: &str) {
-    let got = rendered(fixture);
+fn rendered(fixture: &str) -> String {
+    rendered_opts(fixture, &Options::default())
+}
+
+fn check_opts(fixture: &str, code: &str, opts: &Options) {
+    let got = rendered_opts(fixture, opts);
     assert!(
         got.contains(&format!("[{code}]")),
         "{fixture}: expected a {code} diagnostic, got:\n{got}"
@@ -35,6 +39,16 @@ fn check(fixture: &str, code: &str) {
     let expected = std::fs::read_to_string(&expected_path)
         .unwrap_or_else(|_| panic!("missing golden {}", expected_path.display()));
     assert_eq!(got, expected, "{fixture}: diagnostics drifted from golden");
+}
+
+fn check(fixture: &str, code: &str) {
+    check_opts(fixture, code, &Options::default());
+}
+
+fn check_proofs(fixture: &str, code: &str) {
+    let mut opts = Options::default();
+    opts.proofs = true;
+    check_opts(fixture, code, &opts);
 }
 
 #[test]
@@ -60,6 +74,32 @@ fn orphan_channel_is_e005() {
 #[test]
 fn deadlock_cycle_is_e006() {
     check("deadlock.ens", "E006");
+}
+
+#[test]
+fn blocked_split_dimension_is_w003() {
+    check_proofs("w003.ens", "W003");
+}
+
+#[test]
+fn hazardous_dispatch_pair_is_w004() {
+    check_proofs("w004.ens", "W004");
+}
+
+#[test]
+fn mutation_after_send_is_w005() {
+    check_proofs("w005.ens", "W005");
+}
+
+#[test]
+fn proof_warnings_are_silent_without_proofs_mode() {
+    // The proof engine always runs (proofs are part of every report),
+    // but its W003/W004/W005 findings only surface as diagnostics under
+    // `--proofs` — shipped apps must stay clean by default.
+    for fixture in ["w003.ens", "w004.ens", "w005.ens"] {
+        let got = rendered(fixture);
+        assert!(got.is_empty(), "{fixture}: unexpected diagnostics:\n{got}");
+    }
 }
 
 #[test]

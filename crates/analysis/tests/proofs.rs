@@ -1,0 +1,486 @@
+//! Proof-engine integration tests: pin the exact proofs the shipped
+//! applications earn, and cross-check every positive claim with the
+//! dynamic shadow validator. A refutation anywhere fails the build —
+//! the prover must never claim more than a concrete execution can
+//! confirm.
+
+use ensemble_analysis::{
+    analyze_source, shadow_validate, DispatchConfig, Options, Report, ShadowConfig,
+};
+use ensemble_lang::proof::{DimClass, Hazard};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn assets() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../apps/src/assets")
+}
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn proofs_opts() -> Options {
+    let mut opts = Options::default();
+    opts.proofs = true;
+    opts
+}
+
+fn app_report(app: &str) -> Report {
+    let src = std::fs::read_to_string(assets().join(app).join("ocl.ens")).unwrap();
+    analyze_source(&src, &proofs_opts()).unwrap()
+}
+
+fn dc(
+    global: &[usize],
+    local: &[usize],
+    scalars: &[(&str, i64)],
+    dims: &[(&str, &[usize])],
+) -> DispatchConfig {
+    DispatchConfig {
+        global: global.to_vec(),
+        local: local.to_vec(),
+        scalars: scalars.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        dims: dims
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_vec()))
+            .collect(),
+    }
+}
+
+fn shadow_cfg(kernels: Vec<(&str, DispatchConfig)>) -> ShadowConfig {
+    ShadowConfig {
+        kernels: kernels
+            .into_iter()
+            .map(|(k, c)| (k.to_string(), c))
+            .collect::<BTreeMap<_, _>>(),
+    }
+}
+
+fn classes(report: &Report, kernel: &str) -> Vec<DimClass> {
+    let sp = report
+        .proofs
+        .splits
+        .iter()
+        .find(|s| s.kernel == kernel)
+        .unwrap_or_else(|| panic!("no split proof for `{kernel}`"));
+    sp.dims.iter().map(|d| d.class).collect()
+}
+
+// ---- per-app proof shapes ---------------------------------------------
+
+#[test]
+fn matmul_is_splittable_on_both_dims() {
+    let r = app_report("matmul");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(
+        classes(&r, "Multiply"),
+        vec![DimClass::Splittable, DimClass::Splittable]
+    );
+    let f = &r.proofs.fusion[0];
+    assert_eq!(f.host, "Dispatch");
+    assert_eq!(f.sites, vec!["Multiply"]);
+    assert_eq!(f.barrier.as_deref(), Some("readback receive"));
+    let s = &r.proofs.sends[0];
+    assert_eq!((s.actor.as_str(), s.payload.as_str()), ("Dispatch", "d"));
+    assert!(s.unmutated, "matmul payload must be provably CoW-safe");
+    // Single-site chain: no chain role recorded.
+    assert!(r.kernel_proofs["Multiply"].chain.is_none());
+}
+
+#[test]
+fn mandelbrot_is_splittable_on_both_dims() {
+    let r = app_report("mandelbrot");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(
+        classes(&r, "Mandelbrot"),
+        vec![DimClass::Splittable, DimClass::Splittable]
+    );
+    let s = &r.proofs.sends[0];
+    assert_eq!(s.payload, "img");
+    assert!(s.unmutated);
+}
+
+#[test]
+fn reduction_tree_dim_is_classified_reduction() {
+    let r = app_report("reduction");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(classes(&r, "Reduce"), vec![DimClass::Reduction]);
+    let sp = &r.proofs.splits[0];
+    assert!(
+        sp.dims[0].evidence.contains("per-group combine slot"),
+        "evidence should name the combine slot: {}",
+        sp.dims[0].evidence
+    );
+    // The host mutates `data` only *before* constructing and sending
+    // the payload, so the send is still CoW-safe.
+    assert!(r.proofs.sends[0].unmutated);
+}
+
+#[test]
+fn docrank_chain_loops_ten_times_with_waw_wraparound() {
+    let r = app_report("docrank");
+    assert_eq!(classes(&r, "Rank"), vec![DimClass::Splittable]);
+    let f = &r.proofs.fusion[0];
+    assert_eq!(f.sites, vec!["Rank"]);
+    assert!(f.loops);
+    assert_eq!(f.iterations, Some(10));
+    // The only pair is Rank against its own next iteration: both write
+    // `flags[gid]`, a WAW hazard across the loop back-edge.
+    assert_eq!(f.pairs.len(), 1);
+    let p = &f.pairs[0];
+    assert!(!p.mergeable);
+    let (hz, buf) = p.hazard.as_ref().expect("hazard recorded");
+    assert_eq!((*hz, buf.as_str()), (Hazard::Waw, "flags"));
+    // In proofs mode that surfaces as exactly one W004.
+    let w004: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "W004").collect();
+    assert_eq!(w004.len(), 1, "{:?}", r.diagnostics);
+}
+
+#[test]
+fn lud_chain_is_diag_col_sub_with_raw_hazards() {
+    let r = app_report("lud");
+    assert_eq!(classes(&r, "Diag"), vec![DimClass::Inactive]);
+    assert_eq!(classes(&r, "Col"), vec![DimClass::Splittable]);
+    assert_eq!(
+        classes(&r, "Sub"),
+        vec![DimClass::Splittable, DimClass::Splittable]
+    );
+
+    let f = &r.proofs.fusion[0];
+    assert_eq!(f.host, "Controller");
+    assert_eq!(f.sites, vec!["Diag", "Col", "Sub"]);
+    assert!(f.loops);
+    assert_eq!(f.iterations, Some(2048));
+    // Every adjacent pair (including the Sub -> Diag wrap-around)
+    // carries a RAW hazard: the factorisation is inherently ordered.
+    let got: Vec<(&str, &str, Hazard, &str)> = f
+        .pairs
+        .iter()
+        .map(|p| {
+            let (hz, buf) = p.hazard.as_ref().expect("hazard");
+            (p.from.as_str(), p.to.as_str(), *hz, buf.as_str())
+        })
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("Diag", "Col", Hazard::Raw, "piv"),
+            ("Col", "Sub", Hazard::Raw, "m"),
+            ("Sub", "Diag", Hazard::Raw, "m"),
+        ]
+    );
+
+    // Chain roles thread through to the per-kernel proofs.
+    for (k, idx) in [("Diag", 0), ("Col", 1), ("Sub", 2)] {
+        let role = r.kernel_proofs[k].chain.as_ref().unwrap();
+        assert_eq!((role.host.as_str(), role.len, role.index), ("Controller", 3, idx));
+        assert!(!role.mergeable_with_prev);
+    }
+
+    let w004: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "W004").collect();
+    assert_eq!(w004.len(), 3, "{:?}", r.diagnostics);
+}
+
+#[test]
+fn every_shipped_kernel_earns_a_split_proof() {
+    for app in ["matmul", "mandelbrot", "reduction", "docrank", "lud"] {
+        let r = app_report(app);
+        assert!(!r.proofs.splits.is_empty(), "{app}: no split proofs");
+        for sp in &r.proofs.splits {
+            assert!((1..=3).contains(&sp.ndims), "{app}/{}", sp.kernel);
+            assert_eq!(sp.dims.len(), sp.ndims, "{app}/{}", sp.kernel);
+            for d in &sp.dims {
+                assert!(!d.evidence.is_empty(), "{app}/{}", sp.kernel);
+            }
+            assert!(
+                r.kernel_proofs.contains_key(&sp.kernel),
+                "{app}/{} missing from kernel_proofs",
+                sp.kernel
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_ok_pair_is_mergeable_and_shadow_confirms() {
+    let src = std::fs::read_to_string(fixtures().join("fusion_ok.ens")).unwrap();
+    let r = analyze_source(&src, &proofs_opts()).unwrap();
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    let f = &r.proofs.fusion[0];
+    assert_eq!(f.sites, vec!["Double", "Square"]);
+    let p = &f.pairs[0];
+    assert!(p.mergeable, "disjoint-buffer pair must be mergeable: {}", p.detail);
+    assert!(p.hazard.is_none());
+    let role = r.kernel_proofs["Square"].chain.as_ref().unwrap();
+    assert!(role.mergeable_with_prev);
+
+    // The shadow validator executes both dispatches and re-checks the
+    // mergeable claim against the concrete access sets.
+    let d = dc(&[8], &[4], &[], &[("inp", &[8]), ("dbl", &[8]), ("sqr", &[8])]);
+    let refs = shadow_validate(
+        &src,
+        &shadow_cfg(vec![("Double", d.clone()), ("Square", d)]),
+    )
+    .unwrap();
+    assert!(refs.is_empty(), "{refs:?}");
+}
+
+#[test]
+fn w003_fixture_blocks_exactly_one_dim() {
+    let src = std::fs::read_to_string(fixtures().join("w003.ens")).unwrap();
+    let r = analyze_source(&src, &proofs_opts()).unwrap();
+    assert_eq!(
+        classes(&r, "Broadcast"),
+        vec![DimClass::Splittable, DimClass::Blocked]
+    );
+    // The surviving dim-0 claim holds up under execution.
+    let cfg = shadow_cfg(vec![(
+        "Broadcast",
+        dc(
+            &[8, 8],
+            &[4, 4],
+            &[],
+            &[("inp", &[8]), ("out", &[8]), ("res", &[8, 8])],
+        ),
+    )]);
+    let refs = shadow_validate(&src, &cfg).unwrap();
+    assert!(refs.is_empty(), "{refs:?}");
+}
+
+// ---- shadow validation of every shipped source ------------------------
+
+#[test]
+fn shadow_validates_all_shipped_sources() {
+    // Concrete (small) dispatch shapes per kernel actor; sequential
+    // sources carry no kernels and must validate trivially.
+    let mut checked = 0;
+    for app in std::fs::read_dir(assets()).unwrap() {
+        let app = app.unwrap().path();
+        let name = app.file_name().unwrap().to_str().unwrap().to_string();
+        for f in std::fs::read_dir(&app).unwrap() {
+            let f = f.unwrap().path();
+            if f.extension().is_none_or(|e| e != "ens") {
+                continue;
+            }
+            let src = std::fs::read_to_string(&f).unwrap();
+            let cfg = shadow_cfg(app_shadow_kernels(&name));
+            let refs = shadow_validate(&src, &cfg).unwrap();
+            assert!(refs.is_empty(), "{}: {refs:?}", f.display());
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "expected to shadow-validate all app sources");
+}
+
+fn app_shadow_kernels(app: &str) -> Vec<(&'static str, DispatchConfig)> {
+    let lud = |g: &[usize], l: &[usize]| {
+        dc(g, l, &[("step", 1)], &[("m", &[8, 8]), ("piv", &[8])])
+    };
+    match app {
+        "matmul" => vec![(
+            "Multiply",
+            dc(
+                &[4, 4],
+                &[2, 2],
+                &[],
+                &[("a", &[4, 4]), ("b", &[4, 4]), ("result", &[4, 4])],
+            ),
+        )],
+        "mandelbrot" => vec![("Mandelbrot", dc(&[4, 4], &[2, 2], &[], &[("", &[4, 4])]))],
+        "reduction" => vec![(
+            "Reduce",
+            dc(&[8], &[4], &[], &[("input", &[8]), ("partial", &[2])]),
+        )],
+        "docrank" => vec![(
+            "Rank",
+            dc(
+                &[4],
+                &[2],
+                &[],
+                &[("docs", &[4, 64]), ("tpl", &[64]), ("flags", &[4])],
+            ),
+        )],
+        "lud" => vec![
+            ("Diag", lud(&[1], &[1])),
+            ("Col", lud(&[2], &[1])),
+            ("Sub", lud(&[2, 2], &[1, 1])),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+// ---- suppression ------------------------------------------------------
+
+#[test]
+fn proof_warnings_respect_allow_flags() {
+    for (fixture, code) in [("w003.ens", "W003"), ("w004.ens", "W004"), ("w005.ens", "W005")] {
+        let src = std::fs::read_to_string(fixtures().join(fixture)).unwrap();
+        let mut opts = proofs_opts();
+        let r = analyze_source(&src, &opts).unwrap();
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == code),
+            "{fixture}: expected {code} before suppression"
+        );
+        opts.allow.insert(code.to_string());
+        let r = analyze_source(&src, &opts).unwrap();
+        assert!(
+            r.diagnostics.is_empty(),
+            "{fixture}: --allow {code} must suppress: {:?}",
+            r.diagnostics
+        );
+    }
+}
+
+#[test]
+fn proof_warnings_respect_allow_comments() {
+    // Annotating the flagged line with `// allow(W004)` suppresses it
+    // the same way it does for the E codes.
+    let src = std::fs::read_to_string(fixtures().join("w004.ens")).unwrap();
+    let marked = src.replace(
+        "send new settings_t(ws, gs, sin, scale_out) on scale_req;",
+        "send new settings_t(ws, gs, sin, scale_out) on scale_req; // allow(W004)",
+    );
+    assert_ne!(src, marked, "anchor line moved — update this test");
+    let r = analyze_source(&marked, &proofs_opts()).unwrap();
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+// ---- CLI --------------------------------------------------------------
+
+#[test]
+fn ens_lint_proofs_json_round_trips() {
+    let bin = env!("CARGO_BIN_EXE_ens-lint");
+    let matmul = assets().join("matmul/ocl.ens");
+    let out = std::process::Command::new(bin)
+        .args(["--proofs", "--json"])
+        .arg(&matmul)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"errors\":0"), "{stdout}");
+    assert!(stdout.contains("\"class\":\"splittable\""), "{stdout}");
+    assert!(stdout.contains("\"unmutated\":true"), "{stdout}");
+
+    // Errors exit 1; usage errors exit 2; warnings-only exits 0.
+    let racy = fixtures().join("racy.ens");
+    let out = std::process::Command::new(bin).arg(&racy).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = std::process::Command::new(bin).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let w004 = fixtures().join("w004.ens");
+    let out = std::process::Command::new(bin)
+        .arg("--proofs")
+        .arg(&w004)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "warnings-only must exit 0");
+}
+
+// ---- property-based soundness gate ------------------------------------
+
+fn strided_kernel_source(len: u32, groups: u32, lsize: u32, stride: u32, offset: u32) -> String {
+    format!(
+        r#"
+type data_t is struct (
+    real [] inp;
+    real [] out
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type dI is interface (
+    out settings_t requests;
+    out data_t dout;
+    in data_t din
+)
+type kI is interface(
+    in settings_t requests
+)
+
+stage home {{
+
+    opencl <device_index=0, device_type=GPU>
+    actor Scale presents kI {{
+        constructor() {{}}
+        behaviour {{
+            receive req from requests;
+            receive d from req.input;
+            gid = get_global_id(0);
+            d.out[{stride} * gid + {offset}] := 2.0 * d.inp[gid];
+            send d on req.output;
+        }}
+    }}
+
+    actor Run presents dI {{
+        constructor() {{}}
+        behaviour {{
+            ws = new integer[1] of {ws};
+            gs = new integer[1] of {lsize};
+            i = new in data_t;
+            o = new out data_t;
+            connect dout to i;
+            connect o to din;
+            send new settings_t(ws, gs, i, o) on requests;
+            d = new data_t(new real[{ws}] of 1.0, new real[{len}]);
+            send d on dout;
+            receive r from din;
+            printReal(checksum(r.out));
+            stop;
+        }}
+    }}
+
+    boot {{
+        k = new Scale();
+        r = new Run();
+        connect r.requests to k.requests;
+    }}
+}}
+"#,
+        ws = groups * lsize,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn shadow_never_refutes_proven_affine_kernels(
+        groups in 1u32..5,
+        lsize in 1u32..5,
+        stride in 1u32..4,
+        offset in 0u32..3,
+    ) {
+        // `out[stride*gid + offset]` is injective in gid, so dimension
+        // 0 must be proven splittable — and the concrete execution must
+        // agree for every parameter choice.
+        let ws = groups * lsize;
+        let len = stride * (ws - 1) + offset + 1;
+        let src = strided_kernel_source(len, groups, lsize, stride, offset);
+
+        let report = analyze_source(&src, &proofs_opts()).unwrap();
+        prop_assert!(
+            report.diagnostics.is_empty(),
+            "generated kernel flagged: {:?}",
+            report.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+        let sp = report.proofs.splits.iter().find(|s| s.kernel == "Scale").unwrap();
+        let expect = if ws == 1 { DimClass::Inactive } else { DimClass::Splittable };
+        prop_assert_eq!(sp.dims[0].class, expect);
+
+        let cfg = shadow_cfg(vec![(
+            "Scale",
+            dc(
+                &[ws as usize],
+                &[lsize as usize],
+                &[],
+                &[("inp", &[ws as usize]), ("out", &[len as usize])],
+            ),
+        )]);
+        let refs = shadow_validate(&src, &cfg).unwrap();
+        prop_assert!(refs.is_empty(), "soundness refuted: {:?}", refs);
+    }
+}

@@ -55,6 +55,13 @@ pub struct CompileOptions {
     /// device). Their [`KernelPlan`]s get `residency_proven = true` and
     /// the VM skips the runtime cross-context residency check (§6.2.3).
     pub residency_proven: BTreeSet<String>,
+    /// Per-kernel splittability/fusion proofs keyed by kernel-actor
+    /// name; attached to each [`KernelPlan`] so the VM can emit
+    /// `proof_splittable`/`proof_fusable` trace instants at dispatch.
+    pub kernel_proofs: std::collections::BTreeMap<String, crate::proof::KernelProof>,
+    /// The module-level proof inventory, stored whole on the
+    /// [`CompiledModule`].
+    pub proofs: crate::proof::ProofSet,
 }
 
 /// Failure of the analysis-gated compilation pipeline
@@ -222,6 +229,7 @@ pub fn compile_module_with(
         actors: Vec::new(),
         boot: Chunk::default(),
         stage_name: stage.name.clone(),
+        proofs: opts.proofs.clone(),
     };
 
     let actor_ids: HashMap<String, u16> = stage
@@ -632,6 +640,7 @@ fn compile_kernel_actor(
             mov,
             out,
             residency_proven: mov && opts.residency_proven.contains(&actor.name),
+            proofs: opts.kernel_proofs.get(&actor.name).cloned(),
         })),
     })
 }

@@ -33,6 +33,9 @@ use std::fmt;
 /// | `E008` | kernelgen | a statement cannot be lowered to OpenCL C |
 /// | `W001` | topology | an interface port no actor uses |
 /// | `W002` | mov | residency not provable (consumers on different devices) |
+/// | `W003` | split | an NDRange dimension is not provably splittable |
+/// | `W004` | fusion | merging adjacent dispatches is blocked by a data hazard |
+/// | `W005` | effects | a channel payload is mutated after being sent |
 pub mod codes {
     /// Write-write race between work-items.
     pub const KERNEL_RACE: &str = "E001";
@@ -54,6 +57,12 @@ pub mod codes {
     pub const UNUSED_PORT: &str = "W001";
     /// `mov` residency could not be proven device-stable.
     pub const RESIDENCY_UNPROVEN: &str = "W002";
+    /// NDRange dimension not provably partition-safe (proofs mode).
+    pub const SPLIT_UNPROVEN: &str = "W003";
+    /// Adjacent-dispatch merge blocked by a RAW/WAR/WAW hazard (proofs mode).
+    pub const FUSION_HAZARD: &str = "W004";
+    /// Channel payload mutated after being sent (proofs mode).
+    pub const PAYLOAD_MUTATED: &str = "W005";
 }
 
 /// How bad a diagnostic is.

@@ -28,6 +28,7 @@ pub mod compile;
 pub mod diag;
 pub mod kernelgen;
 pub mod parser;
+pub mod proof;
 pub mod token;
 pub mod vmops;
 
@@ -37,5 +38,9 @@ pub use compile::{
 };
 pub use diag::{Diagnostic, Severity};
 pub use parser::{parse, ParseError};
+pub use proof::{
+    ChainRole, DimClass, DimProof, FusionProof, Hazard, KernelProof, PairProof, ProofSet,
+    SendProof, SplitProof,
+};
 pub use token::{Pos, Span};
 pub use vmops::{ActorCode, Chunk, CompiledActor, CompiledModule, KernelPlan, VOp};

@@ -259,6 +259,10 @@ pub struct KernelPlan {
     /// this kernel's `mov` data type runs on the same device, so the VM
     /// may skip its runtime cross-context residency bookkeeping.
     pub residency_proven: bool,
+    /// Splittability/fusion proofs computed by the analysis suite, when
+    /// the compile was driven through it — the VM surfaces these as
+    /// `proof_splittable`/`proof_fusable` trace instants at dispatch.
+    pub proofs: Option<crate::proof::KernelProof>,
 }
 
 /// A compiled actor.
@@ -303,6 +307,9 @@ pub struct CompiledModule {
     pub boot: Chunk,
     /// Stage name.
     pub stage_name: String,
+    /// Module-level proof inventory (empty unless the compile was driven
+    /// through the analysis suite with proofs enabled).
+    pub proofs: crate::proof::ProofSet,
 }
 
 #[cfg(test)]

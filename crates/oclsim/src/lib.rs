@@ -113,7 +113,7 @@ pub use fault::{
     silence_kill_panics, FaultConfigError, FaultEffect, FaultInjector, FaultOp, FaultPlan,
     InjectedFault, InjectionRecord, KillMode, KillPanic,
 };
-pub use ndrange::NdRange;
+pub use ndrange::{NdRange, SubRange};
 pub use platform::Platform;
 pub use profile::{Profile, ProfileSink};
 pub use program::{Kernel, Program};

@@ -147,6 +147,17 @@ pub enum SpanKind {
     /// clock) or the serving layer cancelled the slower side of a hedge
     /// (wall clock). Instant.
     StragglerAbandoned,
+    /// The static prover certified this dispatch partition-safe along at
+    /// least one NDRange dimension (`SplitProof`, `crates/analysis`): a
+    /// group-aligned cut could run the pieces on different devices with
+    /// no cross-piece traffic. The event name carries the dimensions,
+    /// e.g. `Multiply dims=0,1`. Instant, virtual queue clock.
+    ProofSplittable,
+    /// The static prover placed this dispatch in a multi-dispatch chain
+    /// with no host round-trip between enqueues (`FusionProof`): the
+    /// chain can batch on one in-order queue. Instant, virtual queue
+    /// clock.
+    ProofFusable,
 }
 
 impl SpanKind {
@@ -182,6 +193,8 @@ impl SpanKind {
             SpanKind::Hedge => "hedge",
             SpanKind::HedgeWon => "hedge_won",
             SpanKind::StragglerAbandoned => "straggler_abandoned",
+            SpanKind::ProofSplittable => "proof_splittable",
+            SpanKind::ProofFusable => "proof_fusable",
         }
     }
 

@@ -726,6 +726,46 @@ fn kernel_actor(
                 .with_arg("actor", name),
             );
         }
+        // Compile-time partition/fusion proofs surface as instants so a
+        // trace shows, per dispatch, what a co-execution scheduler would
+        // be allowed to do with it (split across devices / batch with
+        // its chain neighbours).
+        if trace.is_enabled() {
+            if let Some(proofs) = &plan.proofs {
+                let dims = proofs.split.splittable_dims();
+                if !dims.is_empty() {
+                    let dims_csv = dims
+                        .iter()
+                        .map(usize::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    trace.record(
+                        TraceEvent::instant(
+                            SpanKind::ProofSplittable,
+                            &format!("{} dims={dims_csv}", plan.kernel_name),
+                            env.device.name(),
+                            env.queue.now_ns(),
+                        )
+                        .with_arg("actor", name)
+                        .with_arg("dims", dims_csv),
+                    );
+                }
+                if let Some(chain) = &proofs.chain {
+                    trace.record(
+                        TraceEvent::instant(
+                            SpanKind::ProofFusable,
+                            &plan.kernel_name,
+                            env.device.name(),
+                            env.queue.now_ns(),
+                        )
+                        .with_arg("actor", name)
+                        .with_arg("host", chain.host.clone())
+                        .with_arg("chain_len", chain.len as i64)
+                        .with_arg("index", chain.index as i64),
+                    );
+                }
+            }
+        }
 
         // 3. prepare buffers (§6.2.3 residency rules), 4. dispatch. Any
         // device error that survives the retry layer poisons the output
