@@ -135,16 +135,22 @@ fn scan_after(
 }
 
 /// Scan a flat event sequence (descending into loops — their bodies may
-/// run after the send). Rebinds retire aliases; returns the first
-/// mutation of a live alias.
+/// run after the send). A rebind to unrelated storage retires the
+/// alias, but a rebind that re-aliases live sent storage (`y = x` while
+/// `x` is live) keeps the name in the set. Returns the first mutation
+/// of a live alias.
 fn scan_seq(events: &[Ev], alias: &mut BTreeSet<String>) -> Option<(String, Span)> {
     for ev in events {
         match ev {
             Ev::Mutate { var, span } if alias.contains(var) => {
                 return Some((var.clone(), *span));
             }
-            Ev::Rebind { var } => {
-                alias.remove(var);
+            Ev::Rebind { var, from } => {
+                if from.iter().any(|s| alias.contains(s)) {
+                    alias.insert(var.clone());
+                } else {
+                    alias.remove(var);
+                }
             }
             Ev::Loop { body, .. } => {
                 if let Some(hit) = scan_seq(body, alias) {

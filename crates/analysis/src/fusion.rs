@@ -20,10 +20,11 @@
 //! separate per-pair verdict: merging interleaves the two work-item
 //! sets, so it needs RAW/WAR/WAW freedom on every shared buffer,
 //! checked with the affine interval model across the two kernels'
-//! symbol spaces (settings scalars unify by field name within one
-//! iteration; `lengthof` lengths unify by buffer; ids stay
-//! per-dispatch). A blocked merge yields W004 naming the offending
-//! subscript pair.
+//! symbol spaces (a settings scalar unifies only when the walker can
+//! prove both enqueues were fed the same value for it — the same
+//! constant or the same variable binding; `lengthof` lengths unify by
+//! buffer; ids stay per-dispatch). A blocked merge yields W004 naming
+//! the offending subscript pair.
 
 use crate::host::BootInfo;
 use crate::kernel::{Access, KernelCheck, Sym, Target};
@@ -42,6 +43,12 @@ pub(crate) enum Ev {
     Enqueue {
         /// Target kernel actor, when the port wiring resolved it.
         kernel: Option<String>,
+        /// Provably-known settings field values at this send, as opaque
+        /// equality keys (a constant, or one variable binding
+        /// generation): two enqueues whose keys agree for a field were
+        /// fed the same value for it. Fields whose value the walker
+        /// cannot pin are absent.
+        fields: BTreeMap<String, String>,
         /// Span of the send.
         span: Span,
     },
@@ -72,11 +79,16 @@ pub(crate) enum Ev {
         /// Span of the assignment.
         span: Span,
     },
-    /// The variable was bound to a fresh value (declare, whole-variable
-    /// assign, receive) — it no longer aliases what it did.
+    /// The variable was bound to a new value (declare, whole-variable
+    /// assign, receive) — it no longer aliases what it did, unless the
+    /// new value itself shares storage with something (`y = x`).
     Rebind {
         /// The rebound variable.
         var: String,
+        /// Variables whose storage the new binding shares (a plain
+        /// variable copy, or a struct construction's captured
+        /// arguments) — empty for fresh values.
+        from: Vec<String>,
     },
     /// A loop; `iterations` when the trip count is a known constant.
     Loop {
@@ -127,6 +139,15 @@ struct Walker<'m> {
     kinds: HashMap<String, VKind>,
     consts: HashMap<String, i64>,
     binds: HashMap<String, Vec<String>>,
+    /// Per-variable binding generation, bumped on every rebind: the
+    /// value-equality keys in [`Ev::Enqueue`] cite `var@generation` so
+    /// two reads of one binding compare equal while reads across a
+    /// rebind do not.
+    gen: HashMap<String, u64>,
+    /// Settings variables → the field value keys captured at their
+    /// construction (cleared when the variable is mutated or rebound to
+    /// something the walker cannot pin).
+    settings_fields: HashMap<String, BTreeMap<String, String>>,
 }
 
 /// Walk every non-kernel host actor of the stage.
@@ -190,6 +211,8 @@ pub(crate) fn walk_hosts<'m>(model: &'m Model<'m>, boot: &BootInfo) -> Vec<HostE
             kinds: HashMap::new(),
             consts: HashMap::new(),
             binds: HashMap::new(),
+            gen: HashMap::new(),
+            settings_fields: HashMap::new(),
         };
         let mut events = Vec::new();
         for s in &actor.constructor {
@@ -240,16 +263,27 @@ impl<'m> Walker<'m> {
     fn stmt(&mut self, s: &Stmt, events: &mut Vec<Ev>) {
         match s {
             Stmt::Declare { name, value, .. } | Stmt::DeclareLocal { name, value, .. } => {
-                events.push(Ev::Rebind { var: name.clone() });
+                self.bump(name);
+                events.push(Ev::Rebind {
+                    var: name.clone(),
+                    from: value_sources(value),
+                });
                 self.bind_value(name, value);
             }
             Stmt::Assign {
                 name, path, value, pos,
             } => {
                 if path.is_empty() {
-                    events.push(Ev::Rebind { var: name.clone() });
+                    self.bump(name);
+                    events.push(Ev::Rebind {
+                        var: name.clone(),
+                        from: value_sources(value),
+                    });
                     self.bind_value(name, value);
                 } else {
+                    // An in-place update: any settings construction the
+                    // variable held no longer describes its values.
+                    self.settings_fields.remove(name);
                     events.push(Ev::Mutate {
                         var: name.clone(),
                         span: *pos,
@@ -258,7 +292,12 @@ impl<'m> Walker<'m> {
             }
             Stmt::Send { value, chan, pos } => self.send(value, chan, *pos, events),
             Stmt::Receive { name, chan, pos } => {
-                events.push(Ev::Rebind { var: name.clone() });
+                self.bump(name);
+                self.settings_fields.remove(name);
+                events.push(Ev::Rebind {
+                    var: name.clone(),
+                    from: Vec::new(),
+                });
                 let mov = self.chan_in_mov(chan);
                 events.push(Ev::Readback { mov, span: *pos });
                 self.kinds.insert(name.clone(), VKind::Payload { mov });
@@ -276,7 +315,11 @@ impl<'m> Walker<'m> {
                     (Some(a), Some(b)) if b >= a => Some(b - a + 1),
                     _ => None,
                 };
-                events.push(Ev::Rebind { var: var.clone() });
+                self.bump(var);
+                events.push(Ev::Rebind {
+                    var: var.clone(),
+                    from: Vec::new(),
+                });
                 self.consts.remove(var);
                 self.kinds.insert(var.clone(), VKind::Other);
                 let mut inner = Vec::new();
@@ -302,28 +345,18 @@ impl<'m> Walker<'m> {
                 then_blk, else_blk, ..
             } => {
                 // Walk both branches; mutations survive (they *may*
-                // happen), rebinds do not (they may not), and any
-                // channel operation becomes an opaque barrier (we
-                // cannot order conditional dispatches).
+                // happen), rebinds do not (they may not), and every
+                // channel operation — wherever it sits, including
+                // inside a nested loop — becomes an opaque barrier at
+                // its original position (we cannot order conditional
+                // dispatches, and a conditional loop must never
+                // contribute a looping chain).
                 for blk in [then_blk, else_blk] {
                     let mut inner = Vec::new();
                     for st in blk {
                         self.stmt(st, &mut inner);
                     }
-                    let mut opaque_at: Option<Span> = None;
-                    for ev in inner {
-                        match ev {
-                            Ev::Mutate { .. } | Ev::Loop { .. } => events.push(ev),
-                            Ev::Rebind { .. } => {}
-                            Ev::Enqueue { span, .. }
-                            | Ev::PayloadSend { span, .. }
-                            | Ev::Readback { span, .. }
-                            | Ev::Opaque { span } => opaque_at = Some(span),
-                        }
-                    }
-                    if let Some(span) = opaque_at {
-                        events.push(Ev::Opaque { span });
-                    }
+                    scrub_conditional(inner, events);
                 }
             }
             Stmt::Connect { .. }
@@ -338,20 +371,35 @@ impl<'m> Walker<'m> {
             Expr::Path(root, segs, _) if segs.is_empty() => Some(root.as_str()),
             _ => None,
         };
-        let is_settings = match value {
-            Expr::NewStruct { name, .. } => self
-                .model
-                .structs
-                .get(name.as_str())
-                .is_some_and(|s| s.opencl),
-            Expr::Path(root, segs, _) if segs.is_empty() => {
-                self.kinds.get(root) == Some(&VKind::Settings)
+        let settings = match value {
+            Expr::NewStruct { name, args, .. }
+                if self
+                    .model
+                    .structs
+                    .get(name.as_str())
+                    .is_some_and(|s| s.opencl) =>
+            {
+                Some(self.settings_keys(name, args))
             }
-            _ => false,
+            Expr::Path(root, segs, _)
+                if segs.is_empty() && self.kinds.get(root.as_str()) == Some(&VKind::Settings) =>
+            {
+                Some(
+                    self.settings_fields
+                        .get(root.as_str())
+                        .cloned()
+                        .unwrap_or_default(),
+                )
+            }
+            _ => None,
         };
-        if is_settings {
+        if let Some(fields) = settings {
             let kernel = port.and_then(|p| self.port_to_kernel.get(p).cloned());
-            events.push(Ev::Enqueue { kernel, span });
+            events.push(Ev::Enqueue {
+                kernel,
+                fields,
+                span,
+            });
             return;
         }
         if let Expr::Path(root, segs, _) = value {
@@ -385,6 +433,7 @@ impl<'m> Walker<'m> {
 
     fn bind_value(&mut self, name: &str, value: &Expr) {
         self.consts.remove(name);
+        self.settings_fields.remove(name);
         self.binds.insert(name.to_string(), Vec::new());
         let kind = match value {
             Expr::Int(v, _) => {
@@ -405,7 +454,11 @@ impl<'m> Walker<'m> {
                 }
                 self.binds.insert(name.to_string(), arg_vars);
                 match sm {
-                    Some(s) if s.opencl => VKind::Settings,
+                    Some(s) if s.opencl => {
+                        let keys = self.settings_keys(ty, args);
+                        self.settings_fields.insert(name.to_string(), keys);
+                        VKind::Settings
+                    }
                     Some(s) => VKind::Payload { mov: s.any_mov },
                     None => VKind::Other,
                 }
@@ -418,6 +471,9 @@ impl<'m> Walker<'m> {
             Expr::Path(src, segs, _) if segs.is_empty() => {
                 if let Some(v) = self.consts.get(src.as_str()).copied() {
                     self.consts.insert(name.to_string(), v);
+                }
+                if let Some(keys) = self.settings_fields.get(src.as_str()).cloned() {
+                    self.settings_fields.insert(name.to_string(), keys);
                 }
                 self.binds
                     .entry(src.clone())
@@ -437,6 +493,45 @@ impl<'m> Walker<'m> {
             }
         };
         self.kinds.insert(name.to_string(), kind);
+    }
+
+    /// Bump `name`'s binding generation: the variable now holds a value
+    /// unrelated (for equality purposes) to its previous one.
+    fn bump(&mut self, name: &str) {
+        *self.gen.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Equality key for a settings constructor argument: two arguments
+    /// with the same key provably carry the same value (a constant, or
+    /// a read of one variable binding). `None` when equality cannot be
+    /// shown.
+    fn value_key(&self, e: &Expr) -> Option<String> {
+        if let Some(v) = self.const_eval(e) {
+            return Some(format!("c{v}"));
+        }
+        match e {
+            Expr::Path(root, segs, _) if segs.is_empty() => Some(format!(
+                "v{root}@{}",
+                self.gen.get(root.as_str()).copied().unwrap_or(0)
+            )),
+            _ => None,
+        }
+    }
+
+    /// Provable per-field value keys of a settings construction,
+    /// restricted to fields whose value the walker can pin. Scalar
+    /// fields are copied by value at construction, so the keys remain
+    /// valid for every later send of the constructed variable.
+    fn settings_keys(&self, ty: &str, args: &[Expr]) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        if let Some(sm) = self.model.structs.get(ty) {
+            for (field, arg) in sm.fields.iter().zip(args) {
+                if let Some(key) = self.value_key(arg) {
+                    out.insert(field.name.clone(), key);
+                }
+            }
+        }
+        out
     }
 
     /// Transitive storage-sharing closure of `var` at this point.
@@ -478,10 +573,55 @@ impl<'m> Walker<'m> {
     }
 }
 
+/// Variables whose storage a newly-bound value shares: a plain variable
+/// copy aliases its source, a struct construction aliases its captured
+/// arguments; everything else is fresh.
+fn value_sources(value: &Expr) -> Vec<String> {
+    match value {
+        Expr::Path(root, segs, _) if segs.is_empty() => vec![root.clone()],
+        Expr::NewStruct { args, .. } => args
+            .iter()
+            .filter_map(|a| match a {
+                Expr::Path(r, segs, _) if segs.is_empty() => Some(r.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Flatten the walked events of a conditional branch into `out`:
+/// mutations survive (they *may* happen), rebinds are dropped (they may
+/// not happen), and every channel operation — at this level or inside a
+/// nested loop — is replaced by an [`Ev::Opaque`] barrier at its
+/// original position. Loop structure never escapes a conditional, so a
+/// conditional loop can never be claimed as a looping chain.
+fn scrub_conditional(inner: Vec<Ev>, out: &mut Vec<Ev>) {
+    for ev in inner {
+        match ev {
+            Ev::Mutate { .. } => out.push(ev),
+            Ev::Rebind { .. } => {}
+            Ev::Loop { body, .. } => scrub_conditional(body, out),
+            Ev::Enqueue { span, .. }
+            | Ev::PayloadSend { span, .. }
+            | Ev::Readback { span, .. }
+            | Ev::Opaque { span } => out.push(Ev::Opaque { span }),
+        }
+    }
+}
+
 // ---- chain extraction -------------------------------------------------
 
+/// One enqueue site of a chain.
+struct Site {
+    kernel: String,
+    span: Span,
+    /// Settings field value-equality keys at this enqueue.
+    fields: BTreeMap<String, String>,
+}
+
 struct RawChain {
-    sites: Vec<(String, Span)>,
+    sites: Vec<Site>,
     loops: bool,
     iterations: Option<i64>,
     barrier: Option<String>,
@@ -489,7 +629,8 @@ struct RawChain {
 
 fn extract_chains(events: &[Ev]) -> Vec<RawChain> {
     let mut chains = Vec::new();
-    let open = scan_level(events, &mut chains);
+    let mut sent = Vec::new();
+    let (open, _) = scan_level(events, &mut chains, &mut sent);
     if !open.sites.is_empty() {
         chains.push(RawChain {
             barrier: Some("end of behaviour".to_string()),
@@ -499,14 +640,30 @@ fn extract_chains(events: &[Ev]) -> Vec<RawChain> {
     chains
 }
 
-fn scan_level(events: &[Ev], chains: &mut Vec<RawChain>) -> RawChain {
+/// Scan one nesting level. Returns the still-open chain at the end of
+/// the level plus a *clean* verdict: true only when no fusion barrier
+/// occurred anywhere in the level (at any nesting depth, with or
+/// without a pending chain) and no chain was closed. Clean is exactly
+/// the precondition for the enclosing loop to claim a wrap-around
+/// chain — iteration `n`'s last dispatch really is followed
+/// immediately by iteration `n+1`'s first.
+///
+/// `sent` is shared across nesting levels so a payload sent anywhere
+/// marks later mutations of its aliases as barriers in execution
+/// order, not just within one lexical level.
+fn scan_level(
+    events: &[Ev],
+    chains: &mut Vec<RawChain>,
+    sent: &mut Vec<String>,
+) -> (RawChain, bool) {
+    let chains_at_entry = chains.len();
+    let mut saw_barrier = false;
     let mut cur = RawChain {
         sites: Vec::new(),
         loops: false,
         iterations: None,
         barrier: None,
     };
-    let mut sent: Vec<String> = Vec::new();
     let close = |cur: &mut RawChain, chains: &mut Vec<RawChain>, reason: &str| {
         if !cur.sites.is_empty() {
             chains.push(RawChain {
@@ -521,16 +678,24 @@ fn scan_level(events: &[Ev], chains: &mut Vec<RawChain>) -> RawChain {
         match ev {
             Ev::Enqueue {
                 kernel: Some(k),
+                fields,
                 span,
-            } => cur.sites.push((k.clone(), *span)),
+            } => cur.sites.push(Site {
+                kernel: k.clone(),
+                span: *span,
+                fields: fields.clone(),
+            }),
             Ev::Enqueue { kernel: None, .. } => {
+                saw_barrier = true;
                 close(&mut cur, chains, "un-routable dispatch");
             }
             Ev::Readback { mov: false, .. } => {
+                saw_barrier = true;
                 close(&mut cur, chains, "readback receive");
             }
             Ev::Readback { mov: true, .. } => {}
             Ev::Opaque { .. } => {
+                saw_barrier = true;
                 close(&mut cur, chains, "conditional channel operation");
             }
             Ev::PayloadSend { var, aliases, .. } => {
@@ -538,17 +703,44 @@ fn scan_level(events: &[Ev], chains: &mut Vec<RawChain>) -> RawChain {
                 sent.extend(aliases.iter().cloned());
             }
             Ev::Mutate { var, .. } if sent.contains(var) => {
+                saw_barrier = true;
                 close(&mut cur, chains, "host mutation of a sent payload");
             }
-            Ev::Mutate { .. } | Ev::Rebind { .. } => {}
+            Ev::Mutate { .. } => {}
+            Ev::Rebind { var, from } => {
+                // `y = x` after `send x` re-aliases the sent storage;
+                // only a rebind to unrelated storage retires the name.
+                if from.iter().any(|s| sent.contains(s)) {
+                    if !sent.contains(var) {
+                        sent.push(var.clone());
+                    }
+                } else {
+                    sent.retain(|s| s != var);
+                }
+            }
             Ev::Loop { iterations, body } => {
                 close(&mut cur, chains, "loop boundary");
-                let inner = scan_level(body, chains);
+                let (inner, first_clean) = scan_level(body, chains, sent);
+                // A wrap-around chain additionally needs a second pass
+                // with the body's own payload sends already in `sent`:
+                // a mutation lexically *before* its send executes after
+                // it on the next iteration, across the back-edge.
+                let wrap_clean = first_clean && {
+                    let mut scratch = Vec::new();
+                    scan_level(body, &mut scratch, sent).1
+                };
+                if !wrap_clean {
+                    // A barrier inside the nested loop also separates
+                    // this level's dispatches across *its* enclosing
+                    // back-edge.
+                    saw_barrier = true;
+                }
                 if !inner.sites.is_empty() {
-                    if inner.barrier.is_none() && !chains_from(body) {
-                        // No barrier anywhere in the loop body: the last
-                        // dispatch of iteration n feeds iteration n+1's
-                        // first — one looping chain.
+                    if wrap_clean {
+                        // No barrier anywhere in the loop body and no
+                        // chain closed mid-body: the last dispatch of
+                        // iteration n feeds iteration n+1's first — one
+                        // looping chain.
                         chains.push(RawChain {
                             sites: inner.sites,
                             loops: true,
@@ -567,20 +759,8 @@ fn scan_level(events: &[Ev], chains: &mut Vec<RawChain>) -> RawChain {
             }
         }
     }
-    cur
-}
-
-/// Did this loop body close any chain internally (i.e. contain a
-/// barrier between enqueues)?
-fn chains_from(body: &[Ev]) -> bool {
-    // Re-scan cheaply: any closing event at this level before/after an
-    // enqueue means the loop cannot form a wrap-around chain.
-    body.iter().any(|e| {
-        matches!(
-            e,
-            Ev::Readback { mov: false, .. } | Ev::Opaque { .. } | Ev::Enqueue { kernel: None, .. }
-        )
-    })
+    let clean = !saw_barrier && chains.len() == chains_at_entry;
+    (cur, clean)
 }
 
 // ---- hazard analysis --------------------------------------------------
@@ -606,8 +786,8 @@ pub(crate) fn prove(
                     pair_list.push((n - 1, 0, true));
                 }
                 for (i, j, wrap) in pair_list {
-                    let (from, _) = &raw.sites[i];
-                    let (to, to_span) = &raw.sites[j];
+                    let from = &raw.sites[i];
+                    let to = &raw.sites[j];
                     let p = check_pair(from, to, wrap, kernels);
                     if !p.mergeable {
                         let (hz, buf) = match &p.hazard {
@@ -617,10 +797,12 @@ pub(crate) fn prove(
                         diags.push(
                             Diagnostic::warning(
                                 codes::FUSION_HAZARD,
-                                *to_span,
+                                to.span,
                                 format!(
-                                    "dispatch of `{to}` cannot be merged with the preceding \
-                                     dispatch of `{from}`{}: {hz} hazard on {buf} — {}",
+                                    "dispatch of `{}` cannot be merged with the preceding \
+                                     dispatch of `{}`{}: {hz} hazard on {buf} — {}",
+                                    to.kernel,
+                                    from.kernel,
                                     if wrap { " (next iteration)" } else { "" },
                                     p.detail
                                 ),
@@ -634,7 +816,7 @@ pub(crate) fn prove(
                     }
                     pairs.push(p);
                 }
-                for (idx, (k, _)) in raw.sites.iter().enumerate() {
+                for (idx, site) in raw.sites.iter().enumerate() {
                     let mergeable_with_prev = if idx > 0 {
                         pairs[idx - 1].mergeable
                     } else if raw.loops {
@@ -642,7 +824,7 @@ pub(crate) fn prove(
                     } else {
                         true
                     };
-                    roles.entry(k.clone()).or_insert_with(|| ChainRole {
+                    roles.entry(site.kernel.clone()).or_insert_with(|| ChainRole {
                         host: host.actor.clone(),
                         len: n,
                         index: idx,
@@ -652,7 +834,7 @@ pub(crate) fn prove(
             }
             proofs.push(FusionProof {
                 host: host.actor.clone(),
-                sites: raw.sites.iter().map(|(k, _)| k.clone()).collect(),
+                sites: raw.sites.iter().map(|s| s.kernel.clone()).collect(),
                 loops: raw.loops,
                 iterations: raw.iterations,
                 barrier: raw.barrier,
@@ -664,11 +846,12 @@ pub(crate) fn prove(
 }
 
 fn check_pair(
-    from: &str,
-    to: &str,
+    from_site: &Site,
+    to_site: &Site,
     wrap: bool,
     kernels: &HashMap<String, KernelInfo<'_>>,
 ) -> PairProof {
+    let (from, to) = (from_site.kernel.as_str(), to_site.kernel.as_str());
     let (Some(a), Some(b)) = (kernels.get(from), kernels.get(to)) else {
         return PairProof {
             from: from.to_string(),
@@ -687,10 +870,22 @@ fn check_pair(
             detail: "distinct data types — aliasing unknown".to_string(),
         };
     }
-    // Within one iteration the two dispatches receive the same settings
-    // values, so scalars unify by field name; across the loop back-edge
-    // they are re-sent and unify on nothing (only buffer lengths).
-    let share_scalars = !wrap;
+    // A settings scalar unifies across the two dispatches only when the
+    // walker proved both enqueues were fed the same value for it (the
+    // same constant or the same variable binding) — same-named fields
+    // can otherwise carry different values. Across the loop back-edge
+    // the settings are re-sent with potentially fresh values, so
+    // nothing unifies (only buffer lengths).
+    let shared_scalars: std::collections::BTreeSet<&str> = if wrap {
+        Default::default()
+    } else {
+        from_site
+            .fields
+            .iter()
+            .filter(|(f, key)| to_site.fields.get(*f) == Some(key))
+            .map(|(f, _)| f.as_str())
+            .collect()
+    };
     let fields: Vec<String> = {
         let mut f: Vec<String> = Vec::new();
         for acc in a.check.accesses.iter().chain(&b.check.accesses) {
@@ -744,7 +939,7 @@ fn check_pair(
             }
             for x in xs {
                 for y in ys {
-                    if !cross_disjoint(a.check, x, b.check, y, share_scalars) {
+                    if !cross_disjoint(a.check, x, b.check, y, &shared_scalars) {
                         let detail = format!(
                             "`{}` ({from}) vs `{}` ({to})",
                             a.check.render_access(x),
@@ -782,14 +977,15 @@ fn check_pair(
 /// provably non-overlapping for *every* pair of work-items, one from
 /// each dispatch? Uniform symbols unify when they denote the same
 /// quantity in both dispatches (`lengthof` lengths always; settings
-/// scalars only when `share_scalars`); everything else ranges
+/// scalars only when named in `shared_scalars`, i.e. both dispatches
+/// provably received the same value); everything else ranges
 /// independently over its own dispatch's interval.
 fn cross_disjoint(
     ca: &KernelCheck,
     a: &Access,
     cb: &KernelCheck,
     b: &Access,
-    share_scalars: bool,
+    shared_scalars: &std::collections::BTreeSet<&str>,
 ) -> bool {
     for (x, y) in a.idxs.iter().zip(&b.idxs) {
         let (Some(x), Some(y)) = (x, y) else { continue };
@@ -797,9 +993,12 @@ fn cross_disjoint(
         let shared_key = |check: &KernelCheck, s: Sym| -> Option<String> {
             match s {
                 Sym::DimLen(id) => check.names.get(id as usize).map(|n| format!("L:{n}")),
-                Sym::Scalar(id) if share_scalars => {
-                    check.names.get(id as usize).map(|n| format!("S:{n}"))
-                }
+                Sym::Scalar(id) => check
+                    .names
+                    .get(id as usize)
+                    .map(|n| n.strip_prefix("s:").unwrap_or(n))
+                    .filter(|n| shared_scalars.contains(n))
+                    .map(|n| format!("S:{n}")),
                 _ => None,
             }
         };

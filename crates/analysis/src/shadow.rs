@@ -346,9 +346,13 @@ impl Interp<'_, '_> {
                 let lo = self.eval(from).as_i64();
                 let hi = self.eval(to).as_i64();
                 for i in lo..=hi {
+                    // Charge fuel per iteration, not just per body
+                    // statement: an empty body over a huge range must
+                    // still hit the backstop.
                     if self.fuel == 0 {
                         break;
                     }
+                    self.fuel -= 1;
                     self.env.push(HashMap::new());
                     self.env
                         .last_mut()
@@ -361,7 +365,11 @@ impl Interp<'_, '_> {
                 }
             }
             Stmt::While { cond, body } => {
+                // Charge fuel per iteration in the header: a truthy
+                // condition over an empty body consumes no statement
+                // fuel and would otherwise spin forever.
                 while self.fuel > 0 && self.eval(cond).truthy() {
+                    self.fuel -= 1;
                     self.block(body);
                 }
             }

@@ -378,6 +378,482 @@ fn ens_lint_proofs_json_round_trips() {
     assert_eq!(out.status.code(), Some(0), "warnings-only must exit 0");
 }
 
+// ---- soundness regressions --------------------------------------------
+// Each test pins a prover-soundness fix: claims that once leaked through
+// (wrap-around chains across real barriers, scalar unification without
+// value equality, conditional loops, re-aliasing rebinds, unbounded
+// empty loops) must stay refuted.
+
+/// Two mov kernels and a dispatch loop whose body mutates the sent
+/// payload *between* the two enqueues. The mutation is a fusion
+/// barrier, so neither chain may close over the loop back-edge.
+const MUTATED_IN_LOOP_SRC: &str = r#"
+type data_t is struct (
+    mov real [] v;
+    mov integer [] flags
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type hostI is interface (
+    out settings_t a_req;
+    out settings_t b_req
+)
+type kI is interface(
+    in settings_t requests
+)
+
+stage home {
+
+    opencl <device_index=0, device_type=GPU>
+    actor A presents kI {
+        constructor() {}
+        behaviour {
+            receive req from requests;
+            receive d from req.input;
+            gid = get_global_id(0);
+            d.v[gid] := 1.0;
+            send d on req.output;
+        }
+    }
+
+    opencl <device_index=0, device_type=GPU>
+    actor B presents kI {
+        constructor() {}
+        behaviour {
+            receive req from requests;
+            receive d from req.input;
+            gid = get_global_id(0);
+            d.flags[gid] := 1;
+            send d on req.output;
+        }
+    }
+
+    actor Run presents hostI {
+        constructor() {}
+        behaviour {
+            d = new data_t(new real[8], new integer[8]);
+            for r = 0 .. 3 do {
+                ws = new integer[1] of 8;
+                gs = new integer[1] of 4;
+                ia = new in data_t;
+                ib = new in data_t;
+                back = new in data_t;
+                to_a = new out data_t;
+                a_out = new out data_t;
+                b_out = new out data_t;
+                connect to_a to ia;
+                connect a_out to ib;
+                connect b_out to back;
+                send new settings_t(ws, gs, ia, a_out) on a_req;
+                send d on to_a;
+                d.flags[0] := 1;
+                send new settings_t(ws, gs, ib, b_out) on b_req;
+                receive dn from back;
+                d := dn;
+            }
+            stop;
+        }
+    }
+
+    boot {
+        h = new Run();
+        ka = new A();
+        kb = new B();
+        connect h.a_req to ka.requests;
+        connect h.b_req to kb.requests;
+    }
+}
+"#;
+
+#[test]
+fn payload_mutation_in_loop_body_blocks_wraparound_chains() {
+    let r = analyze_source(MUTATED_IN_LOOP_SRC, &proofs_opts()).unwrap();
+    // The host mutation between the two enqueues is a real barrier:
+    // nothing may claim a looping chain (no wrap-around pairs), even
+    // though the open chain at the end of the body never saw it.
+    assert!(
+        r.proofs.fusion.iter().all(|f| !f.loops),
+        "wrap-around claimed across a payload mutation: {:?}",
+        r.proofs.fusion
+    );
+    let barriers: Vec<&str> = r
+        .proofs
+        .fusion
+        .iter()
+        .filter_map(|f| f.barrier.as_deref())
+        .collect();
+    assert!(
+        barriers.contains(&"host mutation of a sent payload"),
+        "mutation barrier not recorded: {barriers:?}"
+    );
+    assert!(
+        barriers.contains(&"loop body barrier"),
+        "trailing chain must carry the loop-body barrier: {barriers:?}"
+    );
+}
+
+/// A dispatch loop nested under a conditional: its channel operations
+/// cannot be ordered, so no chain — and certainly no *looping* chain —
+/// may be extracted from it.
+const CONDITIONAL_LOOP_SRC: &str = r#"
+type data_t is struct (
+    mov real [] v
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type hostI is interface (
+    out settings_t a_req
+)
+type kI is interface(
+    in settings_t requests
+)
+
+stage home {
+
+    opencl <device_index=0, device_type=GPU>
+    actor A presents kI {
+        constructor() {}
+        behaviour {
+            receive req from requests;
+            receive d from req.input;
+            gid = get_global_id(0);
+            d.v[gid] := 1.0;
+            send d on req.output;
+        }
+    }
+
+    actor Run presents hostI {
+        constructor() {}
+        behaviour {
+            flag = 1;
+            d = new data_t(new real[8]);
+            if flag > 0 then {
+                for r = 0 .. 9 do {
+                    ws = new integer[1] of 8;
+                    gs = new integer[1] of 4;
+                    ia = new in data_t;
+                    back = new in data_t;
+                    to_a = new out data_t;
+                    a_out = new out data_t;
+                    connect to_a to ia;
+                    connect a_out to back;
+                    send new settings_t(ws, gs, ia, a_out) on a_req;
+                    send d on to_a;
+                    receive dn from back;
+                    d := dn;
+                }
+            }
+            stop;
+        }
+    }
+
+    boot {
+        h = new Run();
+        ka = new A();
+        connect h.a_req to ka.requests;
+    }
+}
+"#;
+
+#[test]
+fn conditional_dispatch_loop_yields_no_chain() {
+    let r = analyze_source(CONDITIONAL_LOOP_SRC, &proofs_opts()).unwrap();
+    assert!(
+        r.proofs.fusion.is_empty(),
+        "conditional dispatches must not form chains: {:?}",
+        r.proofs.fusion
+    );
+    assert!(r.kernel_proofs["A"].chain.is_none());
+}
+
+/// Two single-item kernels subscripting by the settings scalar `n`:
+/// A writes `v[n]`, B reads `v[n + 1]`. The pair is mergeable only when
+/// both dispatches provably receive the same `n`.
+fn scalar_pair_source(na: &str, nb: &str) -> String {
+    format!(
+        r#"
+type data_t is struct (
+    mov real [] v;
+    mov real [] w
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output;
+    integer n
+)
+type hostI is interface (
+    out settings_t a_req;
+    out settings_t b_req
+)
+type kI is interface(
+    in settings_t requests
+)
+
+stage home {{
+
+    opencl <device_index=0, device_type=GPU>
+    actor A presents kI {{
+        constructor() {{}}
+        behaviour {{
+            receive req from requests;
+            receive d from req.input;
+            n = req.n;
+            d.v[n] := 1.0;
+            send d on req.output;
+        }}
+    }}
+
+    opencl <device_index=0, device_type=GPU>
+    actor B presents kI {{
+        constructor() {{}}
+        behaviour {{
+            receive req from requests;
+            receive d from req.input;
+            n = req.n;
+            d.w[0] := d.v[n + 1];
+            send d on req.output;
+        }}
+    }}
+
+    actor Run presents hostI {{
+        constructor() {{}}
+        behaviour {{
+            ws = new integer[1] of 1;
+            gs = new integer[1] of 1;
+            ia = new in data_t;
+            ib = new in data_t;
+            back = new in data_t;
+            to_a = new out data_t;
+            a_out = new out data_t;
+            b_out = new out data_t;
+            connect to_a to ia;
+            connect a_out to ib;
+            connect b_out to back;
+            send new settings_t(ws, gs, ia, a_out, {na}) on a_req;
+            send new settings_t(ws, gs, ib, b_out, {nb}) on b_req;
+            d = new data_t(new real[16], new real[16]);
+            send d on to_a;
+            receive dn from back;
+            printReal(checksum(dn.w));
+            stop;
+        }}
+    }}
+
+    boot {{
+        h = new Run();
+        ka = new A();
+        kb = new B();
+        connect h.a_req to ka.requests;
+        connect h.b_req to kb.requests;
+    }}
+}}
+"#
+    )
+}
+
+#[test]
+fn scalars_unify_only_on_proven_equal_values() {
+    // Same value to both dispatches: `n` cancels, the write `v[n]` and
+    // the read `v[n + 1]` sit a constant 1 apart — mergeable.
+    let r = analyze_source(&scalar_pair_source("7", "7"), &proofs_opts()).unwrap();
+    let p = &r.proofs.fusion[0].pairs[0];
+    assert!(
+        p.mergeable,
+        "equal-valued scalars must still unify: {}",
+        p.detail
+    );
+
+    // Different values (A gets 6, B gets 5): both kernels touch v[6],
+    // so unifying by field name alone would be unsound. The scalar must
+    // range independently, leaving a RAW hazard.
+    let r = analyze_source(&scalar_pair_source("6", "5"), &proofs_opts()).unwrap();
+    let p = &r.proofs.fusion[0].pairs[0];
+    assert!(
+        !p.mergeable,
+        "distinct scalar values unified by field name: {}",
+        p.detail
+    );
+    let (hz, buf) = p.hazard.as_ref().expect("hazard recorded");
+    assert_eq!((*hz, buf.as_str()), (Hazard::Raw, "v"));
+}
+
+/// `e = d` inside the loop re-aliases the sent payload; the back-edge
+/// scan must keep `e` live across its rebind and catch the mutation.
+const REALIAS_REBIND_SRC: &str = r#"
+type data_t is struct (
+    real [] inp;
+    real [] out
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type dI is interface (
+    out settings_t requests;
+    out data_t dout;
+    in data_t din
+)
+type kI is interface(
+    in settings_t requests
+)
+
+stage home {
+
+    opencl <device_index=0, device_type=GPU>
+    actor Scale presents kI {
+        constructor() {}
+        behaviour {
+            receive req from requests;
+            receive d from req.input;
+            gid = get_global_id(0);
+            d.out[gid] := 2.0 * d.inp[gid];
+            send d on req.output;
+        }
+    }
+
+    actor Run presents dI {
+        constructor() {}
+        behaviour {
+            d = new data_t(new real[8] of 1.0, new real[8]);
+            for r = 0 .. 3 do {
+                e = d;
+                e.inp[0] := 2.0;
+                ws = new integer[1] of 8;
+                gs = new integer[1] of 4;
+                i = new in data_t;
+                o = new out data_t;
+                connect dout to i;
+                connect o to din;
+                send new settings_t(ws, gs, i, o) on requests;
+                send d on dout;
+                receive res from din;
+            }
+            stop;
+        }
+    }
+
+    boot {
+        k = new Scale();
+        r = new Run();
+        connect r.requests to k.requests;
+    }
+}
+"#;
+
+#[test]
+fn realiasing_rebind_keeps_sent_payload_mutable() {
+    let r = analyze_source(REALIAS_REBIND_SRC, &proofs_opts()).unwrap();
+    let s = r
+        .proofs
+        .sends
+        .iter()
+        .find(|s| s.payload == "d")
+        .expect("send proof for d");
+    // `e = d; e.inp[0] := 2.0` runs again after the send on the next
+    // iteration: the payload is NOT provably unmutated.
+    assert!(
+        !s.unmutated,
+        "mutation through re-aliasing rebind missed — false CoW-safe verdict"
+    );
+    assert!(
+        r.diagnostics.iter().any(|d| d.code == "W005"),
+        "expected W005 at the aliased mutation: {:?}",
+        r.diagnostics
+    );
+}
+
+/// Kernels with empty-bodied loops (truthy `while`, huge `for`): the
+/// shadow validator's fuel must bound them — this test hanging means
+/// fuel is not charged per iteration.
+fn empty_loop_kernel_source(loop_stmt: &str) -> String {
+    format!(
+        r#"
+type data_t is struct (
+    real [] inp;
+    real [] out
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type dI is interface (
+    out settings_t requests;
+    out data_t dout;
+    in data_t din
+)
+type kI is interface(
+    in settings_t requests
+)
+
+stage home {{
+
+    opencl <device_index=0, device_type=GPU>
+    actor Spin presents kI {{
+        constructor() {{}}
+        behaviour {{
+            receive req from requests;
+            receive d from req.input;
+            {loop_stmt}
+            d.out[get_global_id(0)] := 1.0;
+            send d on req.output;
+        }}
+    }}
+
+    actor Run presents dI {{
+        constructor() {{}}
+        behaviour {{
+            ws = new integer[1] of 1;
+            gs = new integer[1] of 1;
+            i = new in data_t;
+            o = new out data_t;
+            connect dout to i;
+            connect o to din;
+            send new settings_t(ws, gs, i, o) on requests;
+            d = new data_t(new real[4] of 1.0, new real[4]);
+            send d on dout;
+            receive res from din;
+            stop;
+        }}
+    }}
+
+    boot {{
+        k = new Spin();
+        r = new Run();
+        connect r.requests to k.requests;
+    }}
+}}
+"#
+    )
+}
+
+#[test]
+fn shadow_fuel_bounds_empty_bodied_loops() {
+    for loop_stmt in ["while (0 < 1) { }", "for q = 0 .. 999999999 do { }"] {
+        let src = empty_loop_kernel_source(loop_stmt);
+        let cfg = shadow_cfg(vec![(
+            "Spin",
+            dc(&[1], &[1], &[], &[("inp", &[4]), ("out", &[4])]),
+        )]);
+        // Must terminate (fuel charged per iteration), not hang.
+        let refs = shadow_validate(&src, &cfg).unwrap();
+        assert!(refs.is_empty(), "{loop_stmt}: {refs:?}");
+    }
+}
+
 // ---- property-based soundness gate ------------------------------------
 
 fn strided_kernel_source(len: u32, groups: u32, lsize: u32, stride: u32, offset: u32) -> String {
