@@ -829,6 +829,7 @@ pub(crate) fn prove(
                         len: n,
                         index: idx,
                         mergeable_with_prev,
+                        loops: raw.loops,
                     });
                 }
             }

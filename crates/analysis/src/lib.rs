@@ -133,6 +133,79 @@ pub fn analyze_source(src: &str, opts: &Options) -> Result<Report, ParseError> {
     Ok(analyze(&module, src, opts))
 }
 
+/// Typed proof inventory for an already-parsed module: the per-kernel
+/// bundle of splittability proof and chain role, keyed by kernel-actor
+/// name. This is the front door for proof *consumers* — e.g. a
+/// co-execution scheduler asking "which dimensions may I cut?" or a
+/// dispatch batcher asking "is this kernel part of a fusable chain?" —
+/// without threading a full [`Report`] around.
+///
+/// ```
+/// use ensemble_lang::proof::DimClass;
+///
+/// let src = r#"
+///     type data_t is struct ( mov real [] v )
+///     type settings_t is opencl struct (
+///         integer [] worksize;
+///         integer [] groupsize;
+///         in data_t input;
+///         out data_t output
+///     )
+///     type host_i is interface ( out settings_t req )
+///     type kernel_i is interface ( in settings_t requests )
+///
+///     stage home {
+///         opencl <device_index=0, device_type=GPU>
+///         actor Scale presents kernel_i {
+///             constructor() {}
+///             behaviour {
+///                 receive r from requests;
+///                 receive d from r.input;
+///                 gid = get_global_id(0);
+///                 d.v[gid] := d.v[gid] * 2.0;
+///                 send d on r.output;
+///             }
+///         }
+///         actor Run presents host_i {
+///             constructor() {}
+///             behaviour {
+///                 d = new data_t(new real[8]);
+///                 ws = new integer[1] of 8;
+///                 gs = new integer[1] of 4;
+///                 ia = new in data_t;
+///                 back = new in data_t;
+///                 to_k = new out data_t;
+///                 k_out = new out data_t;
+///                 connect to_k to ia;
+///                 connect k_out to back;
+///                 send new settings_t(ws, gs, ia, k_out) on req;
+///                 send d on to_k;
+///                 receive dn from back;
+///                 stop;
+///             }
+///         }
+///         boot {
+///             h = new Run();
+///             k = new Scale();
+///             connect h.req to k.requests;
+///         }
+///     }
+/// "#;
+/// let module = ensemble_lang::parse(src).unwrap();
+/// let proofs = ensemble_analysis::proofs_for(&module);
+/// // Each work-item touches only `v[gid]`: dimension 0 may be cut
+/// // between work-groups, so a scheduler may co-execute this dispatch.
+/// assert_eq!(
+///     proofs["Scale"].split.class_of(0),
+///     Some(DimClass::Splittable)
+/// );
+/// // A single dispatch site forms no fusable chain.
+/// assert!(proofs["Scale"].chain.is_none());
+/// ```
+pub fn proofs_for(module: &Module) -> BTreeMap<String, KernelProof> {
+    analyze(module, "", &Options::default()).kernel_proofs
+}
+
 /// Parse, analyse (deny-by-default: any error rejects), and compile,
 /// threading residency proofs into the [`CompiledModule`]'s kernel
 /// plans. This is the front door the VM and benches use.

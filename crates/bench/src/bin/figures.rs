@@ -46,6 +46,19 @@
 //! result to `BENCH_8.json` (`--sdc-out <path>` overrides) and exits
 //! non-zero when any gate fails.
 //!
+//! `--coexec` runs the proof-guided co-execution bench instead of the
+//! figures: matmul and mandelbrot problem-size sweeps comparing each
+//! single device against the static/chunked/guided NDRange-splitting
+//! policies (reporting the crossover size where co-execution starts to
+//! win), plus lud and docrank dispatch chains with and without fused
+//! dispatch batching (reporting the charged-launch-overhead reduction).
+//! Writes the machine-readable result to `BENCH_9.json` (`--coexec-out
+//! <path>` overrides; `--coexec-quick` runs a reduced two-point sweep
+//! for CI). Exits non-zero when any co-executed or batched run's output
+//! diverges from its single-device reference, the guided policy falls
+//! materially behind static, no crossover is found, or batching saves
+//! less than 2× of lud's charged launch overhead.
+//!
 //! `--serve` runs the multi-tenant serving bench instead of the figures:
 //! three mixed-application workloads drive an open-loop load at ~2× the
 //! admission watermark with seeded kill-chaos in half the tenants
@@ -56,7 +69,38 @@
 //! tenant's output or virtual clock diverges from its solo reference.
 
 use bench::figures::{self, ALL};
-use bench::{chaos, sdc, serve_bench, wallclock, Sizes, TraceSink};
+use bench::{chaos, coexec, sdc, serve_bench, wallclock, Sizes, TraceSink};
+
+fn run_coexec_mode(sizes: &Sizes, quick: bool, out_path: &str) -> ! {
+    eprintln!(
+        "coexec mode: {} sweep",
+        if quick { "quick (reduced)" } else { "full" }
+    );
+    match coexec::run_coexec(sizes, quick) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if let Err(e) = std::fs::write(out_path, report.to_json()) {
+                eprintln!("error: writing {out_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("coexec: results written to {out_path}");
+            if !report.all_consistent() {
+                eprintln!(
+                    "error: a co-executed or batched run diverged from its \
+                     single-device reference, a sweep found no crossover, the \
+                     guided policy fell materially behind static, or batching \
+                     saved less than the required launch overhead"
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn run_wallclock_mode(sizes: &Sizes, sizes_label: &str, repeats: usize, out_path: &str) -> ! {
     eprintln!("wall-clock mode: {sizes_label} sizes, {repeats} runs per engine");
@@ -198,10 +242,26 @@ fn main() {
     let mut serve_out = "BENCH_7.json".to_string();
     let mut sdc_seed: Option<u64> = None;
     let mut sdc_out = "BENCH_8.json".to_string();
+    let mut coexec_mode = false;
+    let mut coexec_quick = false;
+    let mut coexec_out = "BENCH_9.json".to_string();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--wallclock" {
             wallclock_mode = true;
+        } else if a == "--coexec" {
+            coexec_mode = true;
+        } else if a == "--coexec-quick" {
+            coexec_mode = true;
+            coexec_quick = true;
+        } else if a == "--coexec-out" {
+            match it.next() {
+                Some(p) => coexec_out = p,
+                None => {
+                    eprintln!("error: --coexec-out requires an output file path");
+                    std::process::exit(2);
+                }
+            }
         } else if a == "--wallclock-out" {
             match it.next() {
                 Some(p) => wallclock_out = p,
@@ -316,6 +376,9 @@ fn main() {
     }
     if let Some(seed) = sdc_seed {
         run_sdc_mode(seed, &sizes, serve_tenants, &sdc_out);
+    }
+    if coexec_mode {
+        run_coexec_mode(&sizes, coexec_quick, &coexec_out);
     }
     if wallclock_mode {
         let label = if paper { "paper" } else { "bench" };

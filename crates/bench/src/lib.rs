@@ -34,6 +34,7 @@ pub use trace::TraceSink;
 
 pub mod apps_ens;
 pub mod chaos;
+pub mod coexec;
 pub mod figures;
 pub mod sdc;
 pub mod serve_bench;

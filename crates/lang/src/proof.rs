@@ -314,6 +314,10 @@ pub struct ChainRole {
     /// The pair arriving at this site (from the previous site, or the
     /// wrap-around pair for site 0 of a looping chain) is mergeable.
     pub mergeable_with_prev: bool,
+    /// The chain closes over a loop back-edge (copied from the owning
+    /// [`FusionProof::loops`]): consecutive traversals chain too, so a
+    /// dispatch batcher may keep one batch open across iterations.
+    pub loops: bool,
 }
 
 /// Escape and quote a string as a JSON string literal.

@@ -97,6 +97,15 @@ pub(crate) struct ArbiterGrant {
     tenant: u64,
 }
 
+impl std::fmt::Debug for ArbiterGrant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArbiterGrant")
+            .field("device_id", &self.device_id)
+            .field("tenant", &self.tenant)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Drop for ArbiterGrant {
     fn drop(&mut self) {
         self.arbiter.release(self.device_id, self.tenant);

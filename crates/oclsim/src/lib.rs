@@ -87,6 +87,7 @@
 
 pub mod arbiter;
 pub mod buffer;
+pub mod coexec;
 pub mod context;
 pub mod device;
 pub mod engine;
@@ -104,6 +105,7 @@ pub mod timing;
 
 pub use arbiter::{ArbiterHandle, MemObserver, QueueArbiter};
 pub use buffer::{fnv1a64, Buffer, MemFlags};
+pub use coexec::{co_enqueue, CoexecConfig, CoexecPolicy, LaneView, PolicyKind};
 pub use context::Context;
 pub use device::{Device, DeviceType};
 pub use engine::{default_engine, set_default_engine, Engine};
@@ -117,4 +119,4 @@ pub use ndrange::{NdRange, SubRange};
 pub use platform::Platform;
 pub use profile::{Profile, ProfileSink};
 pub use program::{Kernel, Program};
-pub use queue::CommandQueue;
+pub use queue::{CommandQueue, DispatchBatch};

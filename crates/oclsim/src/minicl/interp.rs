@@ -134,6 +134,29 @@ pub fn run_ndrange(
         global[1] / local[1].max(1),
         global[2] / local[2].max(1),
     ];
+    let window = [0..num_groups[0], 0..num_groups[1], 0..num_groups[2]];
+    run_ndrange_window(unit, kernel, args, pool, global, local, window)
+}
+
+/// Execute a *window* of a larger ND-range: only work-groups whose
+/// per-dimension group index falls inside `window` run, but
+/// `get_global_size` / `get_num_groups` / global ids all report the full
+/// range — the semantics a co-execution scheduler needs when it assigns
+/// disjoint group slices of one dispatch to different devices.
+pub fn run_ndrange_window(
+    unit: &CompiledUnit,
+    kernel: &KernelInfo,
+    args: &[RtArg],
+    pool: &mut MemPool,
+    global: [usize; 3],
+    local: [usize; 3],
+    window: [std::ops::Range<usize>; 3],
+) -> Result<NdStats, Trap> {
+    let num_groups = [
+        global[0] / local[0].max(1),
+        global[1] / local[1].max(1),
+        global[2] / local[2].max(1),
+    ];
     let region_bytes = local_region_sizes(kernel, args)?;
 
     let mut stats = NdStats::default();
@@ -153,9 +176,9 @@ pub fn run_ndrange(
     };
 
     let mut first_group = true;
-    for gz in 0..num_groups[2] {
-        for gy in 0..num_groups[1] {
-            for gx in 0..num_groups[0] {
+    for gz in window[2].clone() {
+        for gy in window[1].clone() {
+            for gx in window[0].clone() {
                 ctx.group_id = [gx, gy, gz];
                 // Zero local memory between groups for determinism. The
                 // first group sees freshly allocated (zeroed) regions, and

@@ -2798,6 +2798,29 @@ pub fn run_ndrange(
         global[1] / local[1].max(1),
         global[2] / local[2].max(1),
     ];
+    let window = [0..num_groups[0], 0..num_groups[1], 0..num_groups[2]];
+    run_ndrange_window(prog, kernel, args, pool, global, local, window)
+}
+
+/// Execute a *window* of group indices of a larger ND-range — the native
+/// engine's counterpart of [`super::interp::run_ndrange_window`]: ids and
+/// query functions report the full range, only `window`'s groups run. Site
+/// pre-resolution is unchanged (sites depend on the template, not on which
+/// groups run).
+pub fn run_ndrange_window(
+    prog: &NativeProgram,
+    kernel: &KernelInfo,
+    args: &[RtArg],
+    pool: &mut MemPool,
+    global: [usize; 3],
+    local: [usize; 3],
+    window: [std::ops::Range<usize>; 3],
+) -> Result<NdStats, Trap> {
+    let num_groups = [
+        global[0] / local[0].max(1),
+        global[1] / local[1].max(1),
+        global[2] / local[2].max(1),
+    ];
     let region_bytes = local_region_sizes(kernel, args)?;
     // Dispatch template: bound locals, zeroed canonical stack slots, then
     // the static tail (main constant pool + every inline window).
@@ -2844,9 +2867,9 @@ pub fn run_ndrange(
     let mut priv_mem = vec![0u8; kernel.priv_bytes];
     let mut items: Vec<NItem> = Vec::new();
     let mut first_group = true;
-    for gz in 0..num_groups[2] {
-        for gy in 0..num_groups[1] {
-            for gx in 0..num_groups[0] {
+    for gz in window[2].clone() {
+        for gy in window[1].clone() {
+            for gx in window[0].clone() {
                 ctx.group_id = [gx, gy, gz];
                 if !first_group && !ctx.local_regions.is_empty() {
                     for r in &mut ctx.local_regions {

@@ -8,7 +8,7 @@ use crate::engine::Engine;
 use crate::error::{ClError, ClResult};
 use crate::event::{CommandKind, Event};
 use crate::fault::{FaultEffect, FaultInjector, FaultOp};
-use crate::minicl::interp::{run_ndrange, MemPool};
+use crate::minicl::interp::{run_ndrange_window, MemPool, NdStats};
 use crate::minicl::native;
 use crate::minicl::regir;
 use crate::ndrange::NdRange;
@@ -37,6 +37,13 @@ struct QueueInner {
     /// Optional recorder: when attached, every command this queue executes
     /// becomes a virtual-clock span on the device's trace track.
     trace: Mutex<TraceSink>,
+    /// Optional *instant mirror*: a second sink that receives only the
+    /// queue's instant markers (co-execution splits, fused batches,
+    /// integrity checks, straggler kills) and none of the command spans.
+    /// The VM attaches its run trace here — its profile layer already
+    /// emits the command spans, so mirroring the full trace would
+    /// double-count every segment.
+    instants: Mutex<TraceSink>,
     /// Optional fault source: when attached, every command consults it
     /// first and may fail with an injected error (see [`crate::fault`]).
     faults: Mutex<FaultInjector>,
@@ -72,6 +79,7 @@ impl CommandQueue {
                 device: device.clone(),
                 clock_ns: Mutex::new(0.0),
                 trace: Mutex::new(TraceSink::disabled()),
+                instants: Mutex::new(TraceSink::disabled()),
                 faults: Mutex::new(FaultInjector::disabled()),
                 arbiter: Mutex::new(ArbiterHandle::detached()),
                 repair_ns: Mutex::new(0.0),
@@ -165,18 +173,33 @@ impl CommandQueue {
         *self.inner.repair_ns.lock() += cost_ns;
     }
 
+    /// Attach an instant mirror: `sink` receives every subsequent
+    /// instant marker this queue records (and nothing else — command
+    /// spans stay on the [`CommandQueue::attach_trace`] sink). All
+    /// clones of the queue share the attachment; attach
+    /// [`TraceSink::disabled`] to detach.
+    pub fn attach_instants(&self, sink: TraceSink) {
+        *self.inner.instants.lock() = sink;
+    }
+
     /// Record an instant of `kind` on this queue's device track at the
     /// current virtual time (no-op when no sink is attached).
     fn instant(&self, kind: SpanKind, name: &str, args: &[(&str, String)]) {
-        let sink = self.inner.trace.lock();
-        if !sink.is_enabled() {
+        let trace = self.inner.trace.lock();
+        let mirror = self.inner.instants.lock();
+        if !trace.is_enabled() && !mirror.is_enabled() {
             return;
         }
         let mut ev = TraceEvent::instant(kind, name, self.inner.device.name(), self.now_ns());
         for (k, v) in args {
             ev = ev.with_arg(k, v);
         }
-        sink.record(ev);
+        if trace.is_enabled() {
+            trace.record(ev.clone());
+        }
+        if mirror.is_enabled() {
+            mirror.record(ev);
+        }
     }
 
     /// Detection seam shared by the readback and dispatch paths: `buf`'s
@@ -479,6 +502,52 @@ impl CommandQueue {
     /// repeat dispatches with unchanged arguments skip re-resolution.
     pub fn enqueue_nd_range(&self, kernel: &Kernel, nd: &NdRange) -> ClResult<Event> {
         let _slot = self.arbiter_slot();
+        self.enqueue_nd_range_held(kernel, nd, 0.0)
+    }
+
+    /// [`CommandQueue::enqueue_nd_range`] without acquiring an arbiter
+    /// slot (the caller — a [`DispatchBatch`] or the co-execution
+    /// scheduler — already holds one for the whole composite command),
+    /// with `discount_ns` subtracted from the charged cost before the
+    /// slowdown/watchdog stage (the batcher's amortised launch overhead).
+    pub(crate) fn enqueue_nd_range_held(
+        &self,
+        kernel: &Kernel,
+        nd: &NdRange,
+        discount_ns: f64,
+    ) -> ClResult<Event> {
+        let prep = self.predispatch(kernel, nd)?;
+        let num_groups = [
+            nd.global[0] / nd.local[0].max(1),
+            nd.global[1] / nd.local[1].max(1),
+            nd.global[2] / nd.local[2].max(1),
+        ];
+        let window = [0..num_groups[0], 0..num_groups[1], 0..num_groups[2]];
+        let (stats, engine) = self.run_window(kernel, &prep.plan, nd, window)?;
+        let base = self.inner.device.cost_model().kernel_ns(
+            &stats.group_ops,
+            nd.group_size(),
+            self.inner.device.compute_units(),
+            self.inner.device.simd_width(),
+        );
+        let ops = stats.group_ops.iter().sum();
+        self.commit_kernel(
+            kernel,
+            &prep.plan,
+            &prep.effect,
+            stats.items,
+            ops,
+            (base - discount_ns).max(0.0),
+            engine,
+        )
+    }
+
+    /// Everything that precedes execution for a kernel dispatch: the
+    /// Enqueue fault draw (exactly one per dispatch, however many window
+    /// pieces later run), context/shape/local-memory validation, the
+    /// corruption seam, and armed-path pre-verification. Shared by the
+    /// single-device path and the co-execution scheduler.
+    pub(crate) fn predispatch(&self, kernel: &Kernel, nd: &NdRange) -> ClResult<PreparedDispatch> {
         let effect = self.fault_check(FaultOp::Enqueue)?;
         if kernel.ctx_id != self.inner.ctx.id() {
             return Err(ClError::InvalidContext(format!(
@@ -512,7 +581,22 @@ impl CommandQueue {
         if self.integrity_armed() {
             self.preverify(&plan.pooled)?;
         }
+        Ok(PreparedDispatch { plan, effect })
+    }
 
+    /// Functionally execute the work-groups of `nd` whose per-dimension
+    /// group indices fall in `window`, on this queue's engine ladder.
+    /// No clock advance, no event, no provenance — the caller aggregates
+    /// the returned [`NdStats`] into a single committed command (see
+    /// [`CommandQueue::commit_kernel`]). Buffers are checked out for the
+    /// duration of the piece and always returned, trap or not.
+    pub(crate) fn run_window(
+        &self,
+        kernel: &Kernel,
+        plan: &crate::program::DispatchPlan,
+        nd: &NdRange,
+        window: [std::ops::Range<usize>; 3],
+    ) -> ClResult<(NdStats, Engine)> {
         // Check out the plan's unique buffers, undoing on conflict.
         let mut pool = MemPool {
             bufs: Vec::with_capacity(plan.pooled.len()),
@@ -545,37 +629,40 @@ impl CommandQueue {
         };
         let (result, engine_used) = if let Some(prog) = native {
             (
-                native::run_ndrange(
+                native::run_ndrange_window(
                     &prog,
                     &kernel.info,
                     &plan.rt_args,
                     &mut pool,
                     nd.global,
                     nd.local,
+                    window,
                 ),
                 Engine::Native,
             )
         } else if let Some(prog) = reg {
             (
-                regir::run_ndrange(
+                regir::run_ndrange_window(
                     &prog,
                     &kernel.info,
                     &plan.rt_args,
                     &mut pool,
                     nd.global,
                     nd.local,
+                    window,
                 ),
                 Engine::Register,
             )
         } else {
             (
-                run_ndrange(
+                run_ndrange_window(
                     &kernel.unit,
                     &kernel.info,
                     &plan.rt_args,
                     &mut pool,
                     nd.global,
                     nd.local,
+                    window,
                 ),
                 Engine::Stack,
             )
@@ -591,13 +678,27 @@ impl CommandQueue {
             message: t.message,
             global_id: t.global_id,
         })?;
+        Ok((stats, engine_used))
+    }
 
-        let mut cost = self.inner.device.cost_model().kernel_ns(
-            &stats.group_ops,
-            nd.group_size(),
-            self.inner.device.compute_units(),
-            self.inner.device.simd_width(),
-        );
+    /// Commit an executed kernel command to the queue: apply any injected
+    /// slowdown to `cost_ns`, enforce the watchdog (rolling buffer
+    /// mutations back from provenance shadows on abandonment), refresh
+    /// provenance checkpoints, advance the virtual clock, and record the
+    /// kernel [`Event`] + trace span. The tail of every dispatch path —
+    /// single-device, batched, and co-executed (where `cost_ns` is the
+    /// makespan over device lanes).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn commit_kernel(
+        &self,
+        kernel: &Kernel,
+        plan: &crate::program::DispatchPlan,
+        effect: &FaultEffect,
+        items: u64,
+        ops: u64,
+        mut cost: f64,
+        engine: Engine,
+    ) -> ClResult<Event> {
         if let Some(factor) = effect.slowdown {
             // A straggling kernel: correct results, stretched virtual
             // duration. Only the watchdog below can turn this into an
@@ -642,12 +743,143 @@ impl CommandQueue {
             start,
             start,
             end,
-            stats.items,
-            stats.group_ops.iter().sum(),
-            engine_used.label(),
+            items,
+            ops,
+            engine.label(),
         );
         self.trace_command(&ev);
         Ok(ev)
+    }
+
+    /// Record an instant of `kind` on this queue's device track — the
+    /// crate-internal seam the co-execution scheduler uses for its
+    /// [`SpanKind::CoexecSplit`] marker.
+    pub(crate) fn record_instant(&self, kind: SpanKind, name: &str, args: &[(&str, String)]) {
+        self.instant(kind, name, args);
+    }
+
+    /// Acquire this queue's arbiter slot for a composite command (the
+    /// crate-internal seam the co-execution scheduler uses; `None` when no
+    /// arbiter is attached).
+    pub(crate) fn composite_slot(&self) -> Option<ArbiterGrant> {
+        self.arbiter_slot()
+    }
+
+    /// Consult this queue's fault surface as a liveness probe — the
+    /// crate-internal seam the co-execution scheduler draws once per
+    /// chunk a *secondary* lane takes, so a device lost mid-split is
+    /// observed at the chunk boundary and its groups can be rescued.
+    /// Non-error effects (slowdown, bit corruption) are ignored here:
+    /// the secondary lane never executes functionally, so only its
+    /// availability matters. An injected kill-fault still propagates.
+    pub(crate) fn probe_enqueue_fault(&self) -> ClResult<FaultEffect> {
+        self.fault_check(FaultOp::Enqueue)
+    }
+
+    /// Open a batched dispatch session on this queue: one arbiter slot is
+    /// held for the whole batch, and every dispatch after the first is
+    /// charged its cost *minus* the device's fixed launch overhead — the
+    /// virtual-clock model of coalescing a proven-fusable chain of
+    /// enqueues into a single submission. Close (or drop) the batch to
+    /// release the slot and record a [`SpanKind::BatchFused`] instant
+    /// summarising launches and saved overhead.
+    pub fn open_batch(&self) -> DispatchBatch {
+        DispatchBatch {
+            queue: self.clone(),
+            _slot: self.arbiter_slot(),
+            launches: 0,
+            saved_ns: 0.0,
+            closed: false,
+        }
+    }
+}
+
+/// Pre-dispatch state shared by the single-device, batched, and
+/// co-executed kernel paths (see [`CommandQueue::predispatch`]).
+pub(crate) struct PreparedDispatch {
+    /// The kernel's resolved dispatch plan.
+    pub(crate) plan: Arc<crate::program::DispatchPlan>,
+    /// The injected fault effect this dispatch drew.
+    pub(crate) effect: FaultEffect,
+}
+
+/// A batched dispatch session: a chain of enqueues on one queue whose
+/// `FusionProof` shows they may coalesce into a single submission (see
+/// `crates/analysis`). The first dispatch pays the device's full launch
+/// overhead; every later one is charged `kernel cost − launch overhead`,
+/// and one arbiter slot covers the whole batch — so under the serving
+/// layer's `FairArbiter` a fused chain costs one grant, not N.
+///
+/// Obtained from [`CommandQueue::open_batch`]. Fault injection still fires
+/// per dispatch (batching changes accounting, not the fault surface).
+/// Closing — explicitly via [`DispatchBatch::close`] or implicitly on drop
+/// — records a [`SpanKind::BatchFused`] instant with the batch's launch
+/// count and total saved overhead.
+#[derive(Debug)]
+pub struct DispatchBatch {
+    queue: CommandQueue,
+    _slot: Option<ArbiterGrant>,
+    launches: u32,
+    saved_ns: f64,
+    closed: bool,
+}
+
+impl DispatchBatch {
+    /// Dispatch `kernel` over `nd` as part of this batch. Identical to
+    /// [`CommandQueue::enqueue_nd_range`] except that dispatches after
+    /// the batch's first are charged launch overhead once — the saving is
+    /// tallied into [`DispatchBatch::saved_ns`].
+    pub fn enqueue_nd_range(&mut self, kernel: &Kernel, nd: &NdRange) -> ClResult<Event> {
+        let discount = if self.launches > 0 {
+            self.queue.inner.device.cost_model().launch_overhead_ns
+        } else {
+            0.0
+        };
+        let ev = self.queue.enqueue_nd_range_held(kernel, nd, discount)?;
+        self.launches += 1;
+        self.saved_ns += discount;
+        Ok(ev)
+    }
+
+    /// Dispatches successfully enqueued through this batch so far.
+    pub fn launches(&self) -> u32 {
+        self.launches
+    }
+
+    /// Launch overhead saved so far versus unbatched dispatch, in virtual
+    /// nanoseconds: `(launches − 1) × launch_overhead_ns` of the device.
+    pub fn saved_ns(&self) -> f64 {
+        self.saved_ns
+    }
+
+    /// Close the batch, releasing its arbiter slot and recording the
+    /// [`SpanKind::BatchFused`] instant. Returns `(launches, saved_ns)`.
+    pub fn close(mut self) -> (u32, f64) {
+        self.finish();
+        (self.launches, self.saved_ns)
+    }
+
+    fn finish(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if self.launches > 0 {
+            self.queue.instant(
+                SpanKind::BatchFused,
+                "batch",
+                &[
+                    ("launches", self.launches.to_string()),
+                    ("saved_ns", format!("{}", self.saved_ns)),
+                ],
+            );
+        }
+    }
+}
+
+impl Drop for DispatchBatch {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 

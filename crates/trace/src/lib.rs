@@ -158,6 +158,20 @@ pub enum SpanKind {
     /// chain can batch on one in-order queue. Instant, virtual queue
     /// clock.
     ProofFusable,
+    /// The co-execution scheduler split this dispatch across two device
+    /// lanes under a `SplitProof` (`oclsim::coexec`). The args carry the
+    /// policy, split dimension, per-lane group counts and virtual spans,
+    /// and any groups rescued from a lost device. Instant, virtual clock
+    /// of the primary queue, at the dispatch's committed end time. Never
+    /// part of a figure segment: the composite kernel span carries the
+    /// makespan.
+    CoexecSplit,
+    /// A batched dispatch session closed (`oclsim::CommandQueue::
+    /// open_batch`): a proven-fusable chain of enqueues shared one launch
+    /// overhead charge and one arbiter grant. The args carry the launch
+    /// count and the overhead saved versus unbatched dispatch. Instant,
+    /// virtual queue clock. Never part of a figure segment.
+    BatchFused,
 }
 
 impl SpanKind {
@@ -195,6 +209,8 @@ impl SpanKind {
             SpanKind::StragglerAbandoned => "straggler_abandoned",
             SpanKind::ProofSplittable => "proof_splittable",
             SpanKind::ProofFusable => "proof_fusable",
+            SpanKind::CoexecSplit => "coexec_split",
+            SpanKind::BatchFused => "batch_fused",
         }
     }
 

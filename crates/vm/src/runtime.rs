@@ -35,7 +35,10 @@ use ensemble_ocl::{
     nd_from, DeviceSel, FlatData, FlatSeg, MatrixResolver, MemGuard, OpenClEnvironment, Profile,
     ProfileSink, RecoveryPolicy, ResidentBufs, ResolveEnv,
 };
-use oclsim::{DeviceType, Kernel, KillPanic, MemFlags, Program};
+use oclsim::{
+    co_enqueue, CoexecConfig, DeviceType, DispatchBatch, Kernel, KillPanic, MemFlags, PolicyKind,
+    Program,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -163,6 +166,15 @@ struct Shared {
     /// Registered by the serving layer's memory accountant; called for
     /// every `mov` value the moment it becomes device-resident.
     resident_hook: Mutex<Option<ResidentHook>>,
+    /// Co-execution / dispatch-batching configuration. The ambient
+    /// default comes from `OCLSIM_COEXEC` at VM construction;
+    /// [`VmRuntime::set_coexec`] overrides it per VM.
+    coexec: Mutex<CoexecConfig>,
+    /// Open batched-dispatch sessions, keyed by `chain-host@device-id`
+    /// so every kernel actor of one proven chain appends to the same
+    /// batch. Drained — closing each session and recording its
+    /// `BatchFused` instant — before the run's profile snapshot.
+    batches: Mutex<HashMap<String, DispatchBatch>>,
 }
 
 impl RuntimeHooks for Arc<Shared> {
@@ -207,6 +219,8 @@ impl VmRuntime {
                 env: Mutex::new(Arc::new(MatrixResolver)),
                 deadline: Mutex::new(None),
                 resident_hook: Mutex::new(None),
+                coexec: Mutex::new(CoexecConfig::from_env()),
+                batches: Mutex::new(HashMap::new()),
             }),
             budget: RestartBudget::default(),
         }
@@ -240,6 +254,15 @@ impl VmRuntime {
     /// (the default allows 8 restarts per 1 ms virtual window).
     pub fn set_restart_budget(&mut self, budget: RestartBudget) {
         self.budget = budget;
+    }
+
+    /// Set the co-execution / dispatch-batching configuration for this
+    /// VM's kernel actors (see [`oclsim::CoexecConfig`]). The default is
+    /// parsed from `OCLSIM_COEXEC` when the VM is constructed; setting a
+    /// config explicitly makes runs independent of ambient environment
+    /// state, which is what the benches and tests do.
+    pub fn set_coexec(&self, cfg: CoexecConfig) {
+        *self.shared.coexec.lock() = cfg;
     }
 
     /// Run boot, supervise every actor until it stops, and report.
@@ -363,6 +386,11 @@ impl VmRuntime {
                 )),
             );
         }
+        // Close any batched-dispatch sessions left open by the chain's
+        // kernel actors: each drop records its `BatchFused` instant and
+        // releases the held arbiter slot, so the snapshot below carries
+        // the full batching story.
+        self.shared.batches.lock().clear();
         if let Some(e) = first_error.lock().take() {
             return Err(e);
         }
@@ -525,6 +553,24 @@ fn upload(
     })
 }
 
+/// How a kernel actor's dispatch reaches the device, decided per request
+/// from the kernel's compile-time proofs and the VM's [`CoexecConfig`].
+enum DispatchMode<'a> {
+    /// Plain single-device enqueue (no proof, no policy, or too small).
+    Single,
+    /// Proof-gated co-execution: split the NDRange along `dim` (proven
+    /// `Splittable`) across this queue and a secondary device lane.
+    Coexec {
+        secondary: &'a OpenClEnvironment,
+        dim: usize,
+        kind: PolicyKind,
+        cfg: &'a CoexecConfig,
+    },
+    /// Append to an open batched-dispatch session of the kernel's proven
+    /// fusion chain (launch overhead charged once per batch).
+    Batched(&'a mut DispatchBatch),
+}
+
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     env: &OpenClEnvironment,
@@ -535,6 +581,7 @@ fn dispatch(
     gs: &[usize],
     scalars: &[VmVal],
     profile: &ProfileSink,
+    mode: DispatchMode<'_>,
 ) -> Result<(), VmError> {
     let mut arg = 0usize;
     for (b, _) in &bufs.bufs {
@@ -556,14 +603,40 @@ fn dispatch(
         arg += 1;
     }
     let nd = nd_from(ws, gs).map_err(|e| VmError(format!("bad worksizes: {e}")))?;
-    let ev = with_retry(
-        policy,
-        &env.queue,
-        env.device.name(),
-        profile,
-        "dispatch",
-        || env.queue.enqueue_nd_range(kernel, &nd),
-    )
+    let name = env.device.name();
+    let ev = match mode {
+        DispatchMode::Single => with_retry(policy, &env.queue, name, profile, "dispatch", || {
+            env.queue.enqueue_nd_range(kernel, &nd)
+        }),
+        DispatchMode::Coexec {
+            secondary,
+            dim,
+            kind,
+            cfg,
+        } => {
+            let items: usize = ws.iter().product();
+            let groups = nd.global[dim] / nd.local[dim].max(1);
+            if items < cfg.min_items || groups < 2 {
+                // Under the minimum the secondary's transfer latency
+                // dominates any split: stay on one device.
+                with_retry(policy, &env.queue, name, profile, "dispatch", || {
+                    env.queue.enqueue_nd_range(kernel, &nd)
+                })
+            } else {
+                with_retry(policy, &env.queue, name, profile, "dispatch", || {
+                    // A fresh policy per attempt: retries must not see a
+                    // half-consumed chunk schedule.
+                    let mut p = kind.make(cfg);
+                    co_enqueue(&env.queue, &secondary.queue, kernel, &nd, dim, p.as_mut())
+                })
+            }
+        }
+        DispatchMode::Batched(batch) => {
+            with_retry(policy, &env.queue, name, profile, "dispatch", || {
+                batch.enqueue_nd_range(kernel, &nd)
+            })
+        }
+    }
     .map_err(|e| vm_cl_err("dispatch failed", e))?;
     profile.record_command(&ev, env.device.name());
     Ok(())
@@ -605,6 +678,50 @@ fn kernel_actor(
         .map_err(|e| VmError(format!("{e}")))?;
     let profile = shared.profile.clone();
     let policy = RecoveryPolicy::default();
+    // Mirror the queue's instant markers (co-execution splits, fused
+    // batches, integrity checks) into this run's trace. Only instants:
+    // the profile layer already records the command spans, so mirroring
+    // the full queue trace would double-count every segment.
+    if profile.trace().is_enabled() {
+        env.queue.attach_instants(profile.trace().clone());
+    }
+
+    // The scheduler seam: decide once per incarnation how this actor's
+    // dispatches reach the device. Co-execution needs a policy, a
+    // dimension the split proof classifies `Splittable`, the copy path
+    // (`mov` chains keep data resident and batch instead), and a second
+    // device of the opposite type that actually resolves — anything
+    // missing falls back to plain single-device dispatch.
+    let coexec_cfg = shared.coexec.lock().clone();
+    let split_dim = if coexec_cfg.policy.is_some() && !plan.mov {
+        plan.proofs
+            .as_ref()
+            .and_then(|p| p.split.splittable_dims().into_iter().next())
+    } else {
+        None
+    };
+    let secondary = split_dim
+        .and_then(|_| {
+            let other = match env.device.device_type() {
+                DeviceType::Gpu => DeviceType::Cpu,
+                _ => DeviceType::Gpu,
+            };
+            resolver.resolve(DeviceSel::new(other, 0)).ok()
+        })
+        .filter(|s| s.device.id() != env.device.id());
+    // Dispatch batching rides on the fusion proof: membership in a
+    // proven chain means no host-side barrier separates this dispatch
+    // from its neighbours, so consecutive launches may coalesce into one
+    // submission (in-order execution preserves the chain's RAW hazards —
+    // only the per-launch overhead is amortised).
+    let chain_key = if coexec_cfg.batch {
+        plan.proofs
+            .as_ref()
+            .and_then(|p| p.chain.as_ref())
+            .map(|c| (format!("{}@{}", c.host, env.device.id()), c.clone()))
+    } else {
+        None
+    };
 
     loop {
         // Redelivery-first: an item parked in the checkpoint means a
@@ -818,7 +935,48 @@ fn kernel_actor(
                     let MovState::Device { bufs, .. } = &*guard else {
                         unreachable!("uploaded above");
                     };
-                    dispatch(&env, &policy, &kernel, bufs, &ws, &gs, &scalars, &profile)?;
+                    match &chain_key {
+                        Some((key, role)) => {
+                            let mut batches = shared.batches.lock();
+                            // A batch closes (recording its BatchFused
+                            // instant) at the cap, or when a fresh
+                            // traversal starts and the chain does not
+                            // loop — a looping chain's site 0 continues
+                            // the previous iteration's batch.
+                            let stale = batches.get(key).is_some_and(|b| {
+                                b.launches() as usize >= coexec_cfg.batch_cap
+                                    || (role.index == 0 && !role.loops)
+                            });
+                            if stale {
+                                batches.remove(key);
+                            }
+                            let batch = batches
+                                .entry(key.clone())
+                                .or_insert_with(|| env.queue.open_batch());
+                            dispatch(
+                                &env,
+                                &policy,
+                                &kernel,
+                                bufs,
+                                &ws,
+                                &gs,
+                                &scalars,
+                                &profile,
+                                DispatchMode::Batched(batch),
+                            )?;
+                        }
+                        None => dispatch(
+                            &env,
+                            &policy,
+                            &kernel,
+                            bufs,
+                            &ws,
+                            &gs,
+                            &scalars,
+                            &profile,
+                            DispatchMode::Single,
+                        )?,
+                    }
                 }
                 // The value is device-resident now: hand the accountant an
                 // eviction handle (after releasing the state lock — the
@@ -845,7 +1003,18 @@ fn kernel_actor(
                 // kill-panic unwinding out of the dispatch/read-back.
                 let mut release = MemGuard::new(env.context.clone());
                 release.add(bufs.bufs.iter().map(|(b, _)| b.len()).sum());
-                dispatch(&env, &policy, &kernel, &bufs, &ws, &gs, &scalars, &profile)?;
+                let mode = match (&secondary, split_dim) {
+                    (Some(sec), Some(dim)) => DispatchMode::Coexec {
+                        secondary: sec,
+                        dim,
+                        kind: coexec_cfg.policy.expect("split_dim implies policy"),
+                        cfg: &coexec_cfg,
+                    },
+                    _ => DispatchMode::Single,
+                };
+                dispatch(
+                    &env, &policy, &kernel, &bufs, &ws, &gs, &scalars, &profile, mode,
+                )?;
                 let result = match plan.out {
                     KernelOut::Whole => {
                         let mut segs = Vec::new();
